@@ -1,0 +1,65 @@
+//! Design-choice ablations called out in DESIGN.md: tree depth, feature
+//! scheme width, and bag size. Each variant's cost is measured; the
+//! accuracy side of these ablations is covered by the `feature_ablation`
+//! example and the sensitivity figures.
+
+use bagpred_bench::corpus;
+use bagpred_core::{Feature, FeatureSet, Predictor};
+use bagpred_gpusim::{GpuConfig, GpuSimulator};
+use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_tree_depth(c: &mut Criterion) {
+    let records = corpus();
+    let mut group = c.benchmark_group("ablation_tree_depth");
+    group.sample_size(20);
+    for depth in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut p = Predictor::new(FeatureSet::full()).with_max_depth(depth);
+                p.train(records);
+                black_box(p.evaluate(records))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheme_width(c: &mut Criterion) {
+    let records = corpus();
+    let mut group = c.benchmark_group("ablation_scheme_width");
+    group.sample_size(20);
+    let schemes = [
+        ("gpu_only", FeatureSet::only(Feature::GpuTime)),
+        ("gpu_cpu", FeatureSet::only(Feature::GpuTime).with(Feature::CpuTime)),
+        ("insmix", FeatureSet::insmix()),
+        ("full", FeatureSet::full()),
+    ];
+    for (name, scheme) in schemes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
+            b.iter(|| {
+                let mut p = Predictor::new(scheme.clone());
+                p.train(records);
+                black_box(p.evaluate(records))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bag_size(c: &mut Criterion) {
+    let gpu = GpuSimulator::new(GpuConfig::tesla_t4());
+    let profile = Workload::new(Benchmark::Hog, STANDARD_BATCH).profile();
+    let mut group = c.benchmark_group("ablation_bag_size");
+    for n in [1usize, 2, 4, 8] {
+        let bag: Vec<_> = (0..n).map(|_| profile.clone()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bag, |b, bag| {
+            b.iter(|| black_box(gpu.simulate_bag(bag)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_depth, bench_scheme_width, bench_bag_size);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! One Criterion group per paper artifact: measures the cost of
+//! regenerating each table and figure from the shared measured corpus.
+//!
+//! Run `cargo bench -p bagpred-bench --bench figures` to both time the
+//! regeneration and (via Criterion's output) demonstrate that every
+//! artifact is reproducible from this crate alone.
+
+use bagpred_experiments::{accuracy, paths, scaling, sensitivity, tables, Context};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    // Pay the corpus measurement once, outside the timed regions.
+    let ctx = Context::shared();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_cpu_scaling", |b| {
+        b.iter(|| black_box(scaling::figure1(ctx)))
+    });
+    group.bench_function("fig2_gpu_scaling", |b| {
+        b.iter(|| black_box(scaling::figure2(ctx)))
+    });
+    group.bench_function("fig3_gpu_cpu_ratio", |b| {
+        b.iter(|| black_box(scaling::figure3(ctx)))
+    });
+    group.bench_function("fig4_loocv", |b| {
+        b.iter(|| black_box(accuracy::figure4(ctx)))
+    });
+    group.bench_function("fig5_related_work", |b| {
+        b.iter(|| black_box(accuracy::figure5(ctx)))
+    });
+    group.bench_function("fig6_cpu_time_effect", |b| {
+        b.iter(|| black_box(sensitivity::figure6(ctx)))
+    });
+    group.bench_function("fig7_gpu_time_effect", |b| {
+        b.iter(|| black_box(sensitivity::figure7(ctx)))
+    });
+    group.bench_function("fig8_insmix_effect", |b| {
+        b.iter(|| black_box(sensitivity::figure8(ctx)))
+    });
+    group.bench_function("fig9_fairness_effect", |b| {
+        b.iter(|| black_box(sensitivity::figure9(ctx)))
+    });
+    group.bench_function("fig10_feature_presence", |b| {
+        b.iter(|| black_box(paths::figure10(ctx)))
+    });
+    group.bench_function("fig11_feature_frequency", |b| {
+        b.iter(|| black_box(paths::figure11(ctx)))
+    });
+    group.bench_function("fig12_heatmap", |b| {
+        b.iter(|| black_box(paths::figure12(ctx)))
+    });
+    group.bench_function("table2_benchmarks", |b| {
+        b.iter(|| black_box(tables::table2(ctx)))
+    });
+    group.bench_function("table3_system", |b| {
+        b.iter(|| black_box(tables::table3(ctx)))
+    });
+    group.bench_function("table4_features", |b| {
+        b.iter(|| black_box(tables::table4(ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Timing-model throughput: how fast the CPU and GPU simulators evaluate
+//! workload profiles, solo and in bags.
+
+use bagpred_cpusim::{fairness, CpuConfig, CpuSimulator};
+use bagpred_gpusim::{GpuConfig, GpuSimulator};
+use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulators(c: &mut Criterion) {
+    let cpu = CpuSimulator::new(CpuConfig::xeon_gold_5118());
+    let gpu = GpuSimulator::new(GpuConfig::tesla_t4());
+    let sift = Workload::new(Benchmark::Sift, STANDARD_BATCH).profile();
+    let fast = Workload::new(Benchmark::Fast, STANDARD_BATCH).profile();
+
+    let mut group = c.benchmark_group("simulators");
+
+    group.bench_function("cpu_simulate_fixed_threads", |b| {
+        b.iter(|| black_box(cpu.simulate(&sift, 24)))
+    });
+    group.bench_function("cpu_simulate_best_config", |b| {
+        b.iter(|| black_box(cpu.simulate_best(&sift)))
+    });
+    group.bench_function("cpu_simulate_shared_pair", |b| {
+        b.iter(|| black_box(cpu.simulate_shared(&[sift.clone(), fast.clone()])))
+    });
+    group.bench_function("cpu_fairness_eq2", |b| {
+        b.iter(|| black_box(fairness(&cpu, &[sift.clone(), fast.clone()])))
+    });
+
+    group.bench_function("gpu_simulate_solo", |b| {
+        b.iter(|| black_box(gpu.simulate(&sift)))
+    });
+    group.bench_function("gpu_simulate_bag2", |b| {
+        b.iter(|| black_box(gpu.simulate_bag(&[sift.clone(), fast.clone()])))
+    });
+    group.bench_function("gpu_simulate_bag4", |b| {
+        b.iter(|| {
+            black_box(gpu.simulate_bag(&[
+                sift.clone(),
+                fast.clone(),
+                sift.clone(),
+                fast.clone(),
+            ]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Model training and prediction latency on the paper corpus.
+
+use bagpred_bench::corpus;
+use bagpred_core::{FeatureSet, ModelKind, Predictor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let records = corpus();
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(20);
+
+    group.bench_function("tree_train_full_corpus", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(FeatureSet::full());
+            p.train(records);
+            black_box(p)
+        })
+    });
+    group.bench_function("svr_train_full_corpus", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(FeatureSet::full()).with_model(ModelKind::Svr);
+            p.train(records);
+            black_box(p)
+        })
+    });
+    group.bench_function("linear_train_full_corpus", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(FeatureSet::full()).with_model(ModelKind::Linear);
+            p.train(records);
+            black_box(p)
+        })
+    });
+
+    let mut trained = Predictor::new(FeatureSet::full());
+    trained.train(records);
+    group.bench_function("tree_predict_one_bag", |b| {
+        b.iter(|| black_box(trained.predict(&records[0])))
+    });
+    group.bench_function("tree_evaluate_corpus", |b| {
+        b.iter(|| black_box(trained.evaluate(records)))
+    });
+    group.bench_function("loocv_by_benchmark", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(FeatureSet::full());
+            black_box(p.loocv_by_benchmark(records))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Instrumented kernel execution cost per benchmark: how expensive it is to
+//! collect the PIN/MICA-style profile of one batch.
+
+use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_profiling");
+    group.sample_size(10);
+
+    for bench in Benchmark::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("profile_batch20", bench.name()),
+            &bench,
+            |b, &bench| {
+                // `run()` bypasses the profile cache: this times the real
+                // instrumented kernel execution.
+                b.iter(|| black_box(Workload::new(bench, STANDARD_BATCH).run()))
+            },
+        );
+    }
+
+    // Batch-size scaling for one representative kernel.
+    for batch in [20usize, 40, 80] {
+        group.bench_with_input(
+            BenchmarkId::new("surf_batch_scaling", batch),
+            &batch,
+            |b, &batch| b.iter(|| black_box(Workload::new(Benchmark::Surf, batch).run())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

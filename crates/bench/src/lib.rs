@@ -1,0 +1,37 @@
+//! Benchmark harness crate for `bagpred`.
+//!
+//! The actual Criterion benchmarks live under `benches/`:
+//!
+//! * `figures` — regeneration cost of every paper artifact (Figs. 1-12,
+//!   Tables II-IV), one Criterion group per artifact.
+//! * `simulators` — CPU/GPU timing-model throughput (solo, best-config,
+//!   bags, fairness).
+//! * `training` — model fitting and prediction latency (tree, SVR, linear;
+//!   LOOCV; single-bag prediction).
+//! * `workload_profiling` — instrumented kernel execution per benchmark.
+//! * `ablations` — design-choice sweeps called out in DESIGN.md (tree
+//!   depth, feature-scheme width, bag size).
+//!
+//! This library only hosts shared helpers for those benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bagpred_core::{Corpus, Measurement};
+use std::sync::OnceLock;
+
+/// The measured paper corpus, built once per bench binary.
+pub fn corpus() -> &'static [Measurement] {
+    static RECORDS: OnceLock<Vec<Measurement>> = OnceLock::new();
+    RECORDS.get_or_init(|| Corpus::paper().measure())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn corpus_helper_is_cached() {
+        let a = super::corpus().as_ptr();
+        let b = super::corpus().as_ptr();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! Decision-path analysis at the feature level (the paper's §VI-C).
+
+use crate::feature::{Feature, FeatureSet};
+use crate::measure::Measurement;
+use crate::predictor::Predictor;
+use bagpred_ml::introspect::PathAnalysis;
+use bagpred_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated usage of one base feature across test-point decision paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureUsage {
+    /// The base feature.
+    pub feature: Feature,
+    /// % of test points whose decision path uses the feature (Fig. 10).
+    pub presence_percent: f64,
+    /// Mean uses per decision path (Fig. 11's radial magnitude).
+    pub mean_uses: f64,
+    /// Maximum uses in any single path.
+    pub max_uses: usize,
+}
+
+/// Decision-path analysis over a set of test points, pooled across the
+/// LOOCV rounds as the paper's Figs. 10-12 are.
+///
+/// Columns of the underlying feature vector are folded back to their base
+/// feature: the `GPU_a` and `GPU_b` slots both count as uses of `GPU`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionPathReport {
+    usage: Vec<FeatureUsage>,
+    /// Per-test-point rows: `(label, counts per base feature)` (Fig. 12).
+    heatmap: Vec<(String, Vec<usize>)>,
+    features: Vec<Feature>,
+}
+
+impl DecisionPathReport {
+    /// Runs the paper's decision-path experiment: for every LOOCV round
+    /// (leave one benchmark out), train the tree predictor and record which
+    /// features gate each held-out test point, pooling all rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor's backing model is not a decision tree or a
+    /// LOOCV round has no training data.
+    pub fn collect(predictor: &mut Predictor, records: &[Measurement]) -> Self {
+        let scheme = predictor.scheme().clone();
+        let features: Vec<Feature> = scheme.features().to_vec();
+        let columns = scheme.column_names(2);
+
+        let mut heatmap: Vec<(String, Vec<usize>)> = Vec::new();
+        for bench in Benchmark::ALL {
+            let (test, train): (Vec<_>, Vec<_>) = records
+                .iter()
+                .cloned()
+                .partition(|m| m.bag().involves(bench));
+            if test.is_empty() {
+                continue;
+            }
+            predictor.train(&train);
+            let tree = predictor
+                .tree()
+                .expect("decision-path analysis requires a tree model");
+            let test_data = predictor.materialize(&test);
+            let analysis = PathAnalysis::analyze(tree, &test_data);
+
+            for (m, row) in test.iter().zip(analysis.usage_matrix()) {
+                // Fold slot columns back onto base features.
+                let mut counts = vec![0usize; features.len()];
+                for (col_idx, col_name) in columns.iter().enumerate() {
+                    let base = FeatureSet::base_feature_of_column(col_name)
+                        .expect("columns come from known features");
+                    let fi = features
+                        .iter()
+                        .position(|f| *f == base)
+                        .expect("base feature is in the scheme");
+                    counts[fi] += row[col_idx];
+                }
+                heatmap.push((format!("{bench}:{}", m.bag().label()), counts));
+            }
+        }
+
+        let n = heatmap.len().max(1) as f64;
+        let usage = features
+            .iter()
+            .enumerate()
+            .map(|(fi, &feature)| {
+                let present = heatmap.iter().filter(|(_, row)| row[fi] > 0).count();
+                let total: usize = heatmap.iter().map(|(_, row)| row[fi]).sum();
+                let max = heatmap.iter().map(|(_, row)| row[fi]).max().unwrap_or(0);
+                FeatureUsage {
+                    feature,
+                    presence_percent: 100.0 * present as f64 / n,
+                    mean_uses: total as f64 / n,
+                    max_uses: max,
+                }
+            })
+            .collect();
+
+        Self {
+            usage,
+            heatmap,
+            features,
+        }
+    }
+
+    /// Per-feature aggregated usage (Figs. 10 and 11).
+    pub fn usage(&self) -> &[FeatureUsage] {
+        &self.usage
+    }
+
+    /// Usage of one feature, if it is part of the analyzed scheme.
+    pub fn usage_of(&self, feature: Feature) -> Option<&FeatureUsage> {
+        self.usage.iter().find(|u| u.feature == feature)
+    }
+
+    /// The per-test-point heat map rows (Fig. 12): label + per-feature
+    /// counts in [`features`](Self::features) order.
+    pub fn heatmap(&self) -> &[(String, Vec<usize>)] {
+        &self.heatmap
+    }
+
+    /// The base features analyzed, in column order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Bag;
+    use crate::corpus::Corpus;
+    use crate::measure::Platforms;
+    use bagpred_workloads::Workload;
+    use std::sync::OnceLock;
+
+    fn records() -> &'static [Measurement] {
+        static RECORDS: OnceLock<Vec<Measurement>> = OnceLock::new();
+        RECORDS.get_or_init(|| {
+            let mut bags = Vec::new();
+            for bench in Benchmark::ALL {
+                for batch in [2usize, 4, 8] {
+                    bags.push(Bag::homogeneous(Workload::new(bench, batch)));
+                }
+            }
+            for (i, a) in Benchmark::ALL.iter().enumerate() {
+                for b in &Benchmark::ALL[i + 1..] {
+                    bags.push(Bag::pair(Workload::new(*a, 4), Workload::new(*b, 4)));
+                }
+            }
+            Corpus::custom(bags).measure_on(&Platforms::paper())
+        })
+    }
+
+    #[test]
+    fn report_covers_all_test_points() {
+        let mut p = Predictor::new(crate::FeatureSet::full());
+        let report = DecisionPathReport::collect(&mut p, records());
+        // Every record involves 1 or 2 benchmarks, so it appears once per
+        // involved benchmark across the pooled rounds.
+        let expected: usize = records()
+            .iter()
+            .map(|m| m.bag().benchmarks().len())
+            .sum();
+        assert_eq!(report.heatmap().len(), expected);
+    }
+
+    #[test]
+    fn gpu_time_dominates_decision_paths() {
+        // The paper's Fig. 10: GPU time appears in ~100% of paths, more than
+        // any instruction-mix feature.
+        let mut p = Predictor::new(crate::FeatureSet::full());
+        let report = DecisionPathReport::collect(&mut p, records());
+        let gpu = report.usage_of(Feature::GpuTime).unwrap();
+        assert!(
+            gpu.presence_percent > 80.0,
+            "GPU presence {}%",
+            gpu.presence_percent
+        );
+        for mix in [Feature::StringOp, Feature::Shift] {
+            let u = report.usage_of(mix).unwrap();
+            assert!(
+                gpu.presence_percent >= u.presence_percent,
+                "GPU must dominate {mix}"
+            );
+        }
+    }
+
+    #[test]
+    fn usage_is_internally_consistent() {
+        let mut p = Predictor::new(crate::FeatureSet::full());
+        let report = DecisionPathReport::collect(&mut p, records());
+        for u in report.usage() {
+            assert!(u.presence_percent >= 0.0 && u.presence_percent <= 100.0);
+            assert!(u.mean_uses <= u.max_uses as f64 + 1e-12);
+            if u.presence_percent == 0.0 {
+                assert_eq!(u.max_uses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_restricts_analyzed_features() {
+        let mut p = Predictor::new(crate::FeatureSet::only(Feature::GpuTime));
+        let report = DecisionPathReport::collect(&mut p, records());
+        assert_eq!(report.features(), &[Feature::GpuTime]);
+        assert!(report.usage_of(Feature::CpuTime).is_none());
+    }
+}

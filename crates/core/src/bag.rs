@@ -1,0 +1,168 @@
+//! Bags of concurrently-running workloads.
+
+use bagpred_workloads::{Benchmark, Workload};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bag of two applications to run concurrently on the GPU.
+///
+/// The paper limits bags to two applications (§V-A1: a variable-sized
+/// feature vector would make learning much harder); this type enforces the
+/// same limit and canonicalizes member order so that `{A, B}` and `{B, A}`
+/// are the same bag.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_core::Bag;
+/// use bagpred_workloads::{Benchmark, Workload};
+///
+/// let homo = Bag::homogeneous(Workload::new(Benchmark::Sift, 20));
+/// assert!(homo.is_homogeneous());
+///
+/// let hetero = Bag::pair(
+///     Workload::new(Benchmark::Sift, 20),
+///     Workload::new(Benchmark::Fast, 20),
+/// );
+/// assert!(!hetero.is_homogeneous());
+/// // Canonical order makes member order irrelevant.
+/// let flipped = Bag::pair(
+///     Workload::new(Benchmark::Fast, 20),
+///     Workload::new(Benchmark::Sift, 20),
+/// );
+/// assert_eq!(hetero, flipped);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bag {
+    first: Workload,
+    second: Workload,
+}
+
+impl Bag {
+    /// A bag of two instances of the same workload.
+    pub fn homogeneous(workload: Workload) -> Self {
+        Self {
+            first: workload,
+            second: workload,
+        }
+    }
+
+    /// A bag of two (possibly different) workloads, canonically ordered by
+    /// benchmark name and then batch size.
+    pub fn pair(a: Workload, b: Workload) -> Self {
+        let key = |w: &Workload| (w.benchmark().name(), w.batch_size());
+        if key(&a) <= key(&b) {
+            Self {
+                first: a,
+                second: b,
+            }
+        } else {
+            Self {
+                first: b,
+                second: a,
+            }
+        }
+    }
+
+    /// The two members, in canonical order.
+    pub fn members(&self) -> [Workload; 2] {
+        [self.first, self.second]
+    }
+
+    /// True when both members run the same benchmark with the same input.
+    pub fn is_homogeneous(&self) -> bool {
+        self.first == self.second
+    }
+
+    /// The benchmarks involved (deduplicated, canonical order).
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        if self.first.benchmark() == self.second.benchmark() {
+            vec![self.first.benchmark()]
+        } else {
+            vec![self.first.benchmark(), self.second.benchmark()]
+        }
+    }
+
+    /// True when any member runs `benchmark` — the membership test the
+    /// leave-one-benchmark-out protocol uses.
+    pub fn involves(&self, benchmark: Benchmark) -> bool {
+        self.first.benchmark() == benchmark || self.second.benchmark() == benchmark
+    }
+
+    /// A stable human-readable label, e.g. `SIFT@20+FAST@20`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}@{}+{}@{}",
+            self.first.benchmark(),
+            self.first.batch_size(),
+            self.second.benchmark(),
+            self.second.batch_size()
+        )
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_detection() {
+        let same = Bag::homogeneous(Workload::new(Benchmark::Hog, 40));
+        assert!(same.is_homogeneous());
+        assert_eq!(same.benchmarks(), vec![Benchmark::Hog]);
+
+        // Same benchmark, different batch: a pair, not homogeneous.
+        let mixed = Bag::pair(
+            Workload::new(Benchmark::Hog, 20),
+            Workload::new(Benchmark::Hog, 40),
+        );
+        assert!(!mixed.is_homogeneous());
+        assert_eq!(mixed.benchmarks(), vec![Benchmark::Hog]);
+    }
+
+    #[test]
+    fn canonical_ordering_sorts_by_name_then_batch() {
+        let bag = Bag::pair(
+            Workload::new(Benchmark::Svm, 20),
+            Workload::new(Benchmark::Fast, 320),
+        );
+        assert_eq!(bag.members()[0].benchmark(), Benchmark::Fast);
+
+        let same_bench = Bag::pair(
+            Workload::new(Benchmark::Knn, 320),
+            Workload::new(Benchmark::Knn, 20),
+        );
+        assert_eq!(same_bench.members()[0].batch_size(), 20);
+    }
+
+    #[test]
+    fn involves_checks_both_slots() {
+        let bag = Bag::pair(
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Fast, 20),
+        );
+        assert!(bag.involves(Benchmark::Sift));
+        assert!(bag.involves(Benchmark::Fast));
+        assert!(!bag.involves(Benchmark::Svm));
+    }
+
+    #[test]
+    fn label_is_stable_under_member_order() {
+        let a = Bag::pair(
+            Workload::new(Benchmark::Orb, 20),
+            Workload::new(Benchmark::Hog, 80),
+        );
+        let b = Bag::pair(
+            Workload::new(Benchmark::Hog, 80),
+            Workload::new(Benchmark::Orb, 20),
+        );
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a.label(), "HoG@80+ORB@20");
+    }
+}

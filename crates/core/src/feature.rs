@@ -1,0 +1,342 @@
+//! The feature space of Table IV and its subset schemes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the twelve base features the predictor can use.
+///
+/// Table IV lists eleven features with a merged `MEM` percentage; the
+/// paper's decision-path heat map (Fig. 12) splits memory reads and writes,
+/// which is the granularity the feature vector actually carries — so this
+/// enum has [`MemRd`](Feature::MemRd) and [`MemWr`](Feature::MemWr)
+/// separately (twelve base features in all).
+///
+/// For a bag of two applications, every feature except
+/// [`Fairness`](Feature::Fairness) appears once per application slot;
+/// fairness is a bag-level scalar (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Feature {
+    /// Single-instance execution time on the CPU.
+    CpuTime,
+    /// Single-instance execution time on the GPU (novel in the paper).
+    GpuTime,
+    /// % of memory-read instructions.
+    MemRd,
+    /// % of memory-write instructions.
+    MemWr,
+    /// % of control/branch instructions.
+    Ctrl,
+    /// % of scalar arithmetic instructions.
+    Arith,
+    /// % of floating-point instructions.
+    Fp,
+    /// % of stack push/pop instructions.
+    Stack,
+    /// % of multiply/shift instructions.
+    Shift,
+    /// % of string operations.
+    StringOp,
+    /// % of SSE/vector instructions.
+    Sse,
+    /// Fairness of the bag's co-run on the multicore server (novel).
+    Fairness,
+}
+
+impl Feature {
+    /// All features, in the column order of the paper's Fig. 12.
+    pub const ALL: [Feature; 12] = [
+        Feature::CpuTime,
+        Feature::GpuTime,
+        Feature::MemRd,
+        Feature::MemWr,
+        Feature::Ctrl,
+        Feature::Arith,
+        Feature::Fp,
+        Feature::Stack,
+        Feature::Shift,
+        Feature::StringOp,
+        Feature::Sse,
+        Feature::Fairness,
+    ];
+
+    /// Short name matching the paper's figure labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Feature::CpuTime => "CPU",
+            Feature::GpuTime => "GPU",
+            Feature::MemRd => "mem_rd",
+            Feature::MemWr => "mem_wr",
+            Feature::Ctrl => "ctrl",
+            Feature::Arith => "arith",
+            Feature::Fp => "fp",
+            Feature::Stack => "stack",
+            Feature::Shift => "shift",
+            Feature::StringOp => "string",
+            Feature::Sse => "sse",
+            Feature::Fairness => "fairness",
+        }
+    }
+
+    /// True for the bag-level feature (one column, not one per app slot).
+    pub const fn is_bag_level(self) -> bool {
+        matches!(self, Feature::Fairness)
+    }
+
+    /// True for time-valued features (normalized per §V-C).
+    pub const fn is_time(self) -> bool {
+        matches!(self, Feature::CpuTime | Feature::GpuTime)
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named subset of the feature space — one of the "schemes" the paper
+/// compares in Figs. 5-9.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_core::{Feature, FeatureSet};
+///
+/// let insmix = FeatureSet::insmix();
+/// assert!(insmix.contains(Feature::Sse));
+/// assert!(!insmix.contains(Feature::GpuTime));
+///
+/// let scheme = insmix.with(Feature::CpuTime).named("insmix+CPUtime");
+/// assert!(scheme.contains(Feature::CpuTime));
+/// assert_eq!(scheme.name(), "insmix+CPUtime");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    name: String,
+    features: Vec<Feature>,
+}
+
+impl FeatureSet {
+    /// Creates a named feature set. Duplicates are removed; order follows
+    /// [`Feature::ALL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty.
+    pub fn new(name: impl Into<String>, features: &[Feature]) -> Self {
+        assert!(!features.is_empty(), "a feature set cannot be empty");
+        let ordered: Vec<Feature> = Feature::ALL
+            .into_iter()
+            .filter(|f| features.contains(f))
+            .collect();
+        Self {
+            name: name.into(),
+            features: ordered,
+        }
+    }
+
+    /// The nine instruction-mix percentages (Baldini et al.'s feature set).
+    pub fn insmix() -> Self {
+        Self::new(
+            "insmix",
+            &[
+                Feature::MemRd,
+                Feature::MemWr,
+                Feature::Ctrl,
+                Feature::Arith,
+                Feature::Fp,
+                Feature::Stack,
+                Feature::Shift,
+                Feature::StringOp,
+                Feature::Sse,
+            ],
+        )
+    }
+
+    /// The paper's full feature set (Table IV): instruction mix + CPU time +
+    /// GPU time + fairness.
+    pub fn full() -> Self {
+        Self::new("Full", &Feature::ALL)
+    }
+
+    /// Only the memory-instruction percentages.
+    pub fn mem() -> Self {
+        Self::new("mem", &[Feature::MemRd, Feature::MemWr])
+    }
+
+    /// Only the compute-instruction percentages (`arith + sse`).
+    pub fn arith_sse() -> Self {
+        Self::new("arith+sse", &[Feature::Arith, Feature::Sse])
+    }
+
+    /// A single-feature set.
+    pub fn only(feature: Feature) -> Self {
+        Self::new(feature.name(), &[feature])
+    }
+
+    /// Returns a copy extended with `feature`, named `<name>+<feature>`.
+    pub fn with(&self, feature: Feature) -> Self {
+        let mut features = self.features.clone();
+        if !features.contains(&feature) {
+            features.push(feature);
+        }
+        FeatureSet::new(format!("{}+{}", self.name, feature.name()), &features)
+    }
+
+    /// Returns a copy merged with another set, named `<a>+<b>`.
+    pub fn union(&self, other: &FeatureSet) -> Self {
+        let mut features = self.features.clone();
+        for f in &other.features {
+            if !features.contains(f) {
+                features.push(*f);
+            }
+        }
+        FeatureSet::new(format!("{}+{}", self.name, other.name), &features)
+    }
+
+    /// Renames the set.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The scheme's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base features, in canonical order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// True when the set includes `feature`.
+    pub fn contains(&self, feature: Feature) -> bool {
+        self.features.contains(&feature)
+    }
+
+    /// Column names of the materialized feature vector for a bag of
+    /// `slots` applications: per-app features get `_a`/`_b`… suffixes,
+    /// bag-level features appear once.
+    pub fn column_names(&self, slots: usize) -> Vec<String> {
+        let mut names = Vec::new();
+        for f in &self.features {
+            if f.is_bag_level() {
+                names.push(f.name().to_string());
+            } else {
+                for slot in 0..slots {
+                    let suffix = (b'a' + slot as u8) as char;
+                    names.push(format!("{}_{}", f.name(), suffix));
+                }
+            }
+        }
+        names
+    }
+
+    /// Maps a materialized column name back to its base feature.
+    pub fn base_feature_of_column(column: &str) -> Option<Feature> {
+        let base = column
+            .rsplit_once('_')
+            .filter(|(_, suffix)| suffix.len() == 1 && suffix.as_bytes()[0].is_ascii_lowercase())
+            .map(|(head, _)| head)
+            .unwrap_or(column);
+        // `mem_rd`/`mem_wr` contain underscores themselves: try the full
+        // column first, then the stripped head.
+        Feature::ALL
+            .into_iter()
+            .find(|f| f.name() == column)
+            .or_else(|| Feature::ALL.into_iter().find(|f| f.name() == base))
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_twelve_distinct_features() {
+        let mut names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn insmix_has_nine_percentages_no_times() {
+        let s = FeatureSet::insmix();
+        assert_eq!(s.features().len(), 9);
+        assert!(!s.contains(Feature::CpuTime));
+        assert!(!s.contains(Feature::GpuTime));
+        assert!(!s.contains(Feature::Fairness));
+    }
+
+    #[test]
+    fn full_has_everything() {
+        assert_eq!(FeatureSet::full().features().len(), 12);
+    }
+
+    #[test]
+    fn with_is_idempotent() {
+        let a = FeatureSet::insmix().with(Feature::CpuTime);
+        let b = a.with(Feature::CpuTime);
+        assert_eq!(a.features(), b.features());
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        let u = FeatureSet::mem().union(&FeatureSet::arith_sse());
+        assert_eq!(u.features().len(), 4);
+        assert_eq!(u.name(), "mem+arith+sse");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_set_rejected() {
+        FeatureSet::new("x", &[]);
+    }
+
+    #[test]
+    fn column_names_expand_per_slot() {
+        let s = FeatureSet::new("t", &[Feature::GpuTime, Feature::Fairness]);
+        assert_eq!(s.column_names(2), vec!["GPU_a", "GPU_b", "fairness"]);
+    }
+
+    #[test]
+    fn column_roundtrip_to_base_feature() {
+        for f in Feature::ALL {
+            let s = FeatureSet::only(f);
+            for col in s.column_names(2) {
+                assert_eq!(
+                    FeatureSet::base_feature_of_column(&col),
+                    Some(f),
+                    "column {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mem_rd_column_maps_correctly() {
+        // `mem_rd_a` must map to MemRd, not be confused by inner underscores.
+        assert_eq!(
+            FeatureSet::base_feature_of_column("mem_rd_a"),
+            Some(Feature::MemRd)
+        );
+        assert_eq!(
+            FeatureSet::base_feature_of_column("fairness"),
+            Some(Feature::Fairness)
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_stable() {
+        let s = FeatureSet::new("x", &[Feature::Fairness, Feature::CpuTime]);
+        assert_eq!(s.features(), &[Feature::CpuTime, Feature::Fairness]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Feature measurement: the paper's §V-B/§V-C data-point collection.
+
+use crate::bag::Bag;
+use crate::feature::Feature;
+use bagpred_cpusim::{fairness, CpuConfig, CpuSimulator};
+use bagpred_gpusim::{GpuConfig, GpuSimulator};
+use bagpred_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The two machines every measurement runs against (Table III).
+#[derive(Debug, Clone)]
+pub struct Platforms {
+    cpu: CpuSimulator,
+    gpu: GpuSimulator,
+}
+
+impl Default for Platforms {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl Platforms {
+    /// The paper's baseline: 2× Xeon Gold 5118 + Tesla T4.
+    pub fn paper() -> Self {
+        Self {
+            cpu: CpuSimulator::new(CpuConfig::xeon_gold_5118()),
+            gpu: GpuSimulator::new(GpuConfig::tesla_t4()),
+        }
+    }
+
+    /// Custom machine pair (for sensitivity studies).
+    pub fn new(cpu: CpuSimulator, gpu: GpuSimulator) -> Self {
+        Self { cpu, gpu }
+    }
+
+    /// The CPU simulator.
+    pub fn cpu(&self) -> &CpuSimulator {
+        &self.cpu
+    }
+
+    /// The GPU simulator.
+    pub fn gpu(&self) -> &GpuSimulator {
+        &self.gpu
+    }
+}
+
+/// Per-application feature values (one Table IV row's worth, minus the
+/// bag-level fairness).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppFeatures {
+    /// Single-instance CPU time at the best thread count, seconds.
+    pub cpu_time_s: f64,
+    /// Single-instance GPU time, seconds.
+    pub gpu_time_s: f64,
+    /// Instruction-mix percentages, keyed by [`Feature`] order
+    /// (`mem_rd, mem_wr, ctrl, arith, fp, stack, shift, string, sse`).
+    pub mix_percent: [f64; 9],
+}
+
+impl AppFeatures {
+    /// The mix percentage of one mix feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics when given a non-mix feature (times or fairness).
+    pub fn mix(&self, feature: Feature) -> f64 {
+        let idx = match feature {
+            Feature::MemRd => 0,
+            Feature::MemWr => 1,
+            Feature::Ctrl => 2,
+            Feature::Arith => 3,
+            Feature::Fp => 4,
+            Feature::Stack => 5,
+            Feature::Shift => 6,
+            Feature::StringOp => 7,
+            Feature::Sse => 8,
+            other => panic!("{other} is not an instruction-mix feature"),
+        };
+        self.mix_percent[idx]
+    }
+}
+
+/// One fully-measured data point: a bag, its feature values, and the
+/// ground-truth multi-application GPU time the predictor learns to predict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    bag: Bag,
+    apps: [AppFeatures; 2],
+    fairness: f64,
+    bag_gpu_time_s: f64,
+}
+
+impl Measurement {
+    /// Measures one bag on the given platforms: profiles both workloads,
+    /// times single instances on CPU (best thread count) and GPU, computes
+    /// the fairness of the co-run on the multicore server (Eq. 2), and
+    /// records the ground-truth GPU bag makespan under MPS.
+    pub fn collect(bag: Bag, platforms: &Platforms) -> Self {
+        let profiles: Vec<_> = bag.members().iter().map(Workload::profile).collect();
+
+        let apps: Vec<AppFeatures> = profiles
+            .iter()
+            .map(|p| {
+                let mix = p.mix();
+                use bagpred_trace::InstrClass as C;
+                AppFeatures {
+                    cpu_time_s: platforms.cpu.simulate_best(p).time_s,
+                    gpu_time_s: platforms.gpu.simulate(p).time_s,
+                    mix_percent: [
+                        mix.percent(C::Load),
+                        mix.percent(C::Store),
+                        mix.percent(C::Control),
+                        mix.percent(C::Alu),
+                        mix.percent(C::Fp),
+                        mix.percent(C::Stack),
+                        mix.percent(C::Shift),
+                        mix.percent(C::StringOp),
+                        mix.percent(C::Sse),
+                    ],
+                }
+            })
+            .collect();
+
+        let fairness = fairness(&platforms.cpu, &profiles);
+        let bag_gpu_time_s = platforms.gpu.simulate_bag(&profiles).makespan_s();
+
+        let apps: [AppFeatures; 2] = match <[AppFeatures; 2]>::try_from(apps) {
+            Ok(a) => a,
+            Err(_) => unreachable!("a bag always has exactly two members"),
+        };
+        Self {
+            bag,
+            apps,
+            fairness,
+            bag_gpu_time_s,
+        }
+    }
+
+    /// The measured bag.
+    pub fn bag(&self) -> &Bag {
+        &self.bag
+    }
+
+    /// Per-application features, in the bag's canonical member order.
+    pub fn apps(&self) -> &[AppFeatures; 2] {
+        &self.apps
+    }
+
+    /// The fairness of the bag (Eq. 2), in `(0, 1]`.
+    pub fn fairness(&self) -> f64 {
+        self.fairness
+    }
+
+    /// Ground truth: the bag's GPU makespan under MPS, seconds.
+    pub fn bag_gpu_time_s(&self) -> f64 {
+        self.bag_gpu_time_s
+    }
+
+    /// Returns a copy with multiplicative measurement noise applied to the
+    /// measured quantities (times, fairness and the target), emulating the
+    /// run-to-run variance of a physical testbed.
+    ///
+    /// Each quantity is scaled by `1 + ε` with `ε` uniform in
+    /// `[-sigma, sigma]`, drawn deterministically from `seed`. The
+    /// instruction mix is a deterministic count and is left untouched.
+    /// Used by the noise-robustness extension experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma` is in `[0, 0.5]`.
+    pub fn with_noise(&self, seed: u64, sigma: f64) -> Measurement {
+        assert!(
+            (0.0..=0.5).contains(&sigma),
+            "noise sigma must be in [0, 0.5]"
+        );
+        let mut rng = bagpred_trace::SplitMix64::new(seed ^ 0x4015_e5ee_d000);
+        let mut noisy = self.clone();
+        let mut perturb = |v: &mut f64| {
+            *v *= 1.0 + rng.next_range(-sigma, sigma);
+        };
+        for app in &mut noisy.apps {
+            perturb(&mut app.cpu_time_s);
+            perturb(&mut app.gpu_time_s);
+        }
+        perturb(&mut noisy.bag_gpu_time_s);
+        // Fairness is a ratio of measurements: noise partially cancels.
+        noisy.fairness =
+            (noisy.fairness * (1.0 + rng.next_range(-sigma / 2.0, sigma / 2.0))).min(1.0);
+        noisy
+    }
+
+    /// Raw (unnormalized) value of one feature for one application slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot > 1`.
+    pub fn raw_value(&self, feature: Feature, slot: usize) -> f64 {
+        assert!(slot < 2, "bags have two slots");
+        match feature {
+            Feature::CpuTime => self.apps[slot].cpu_time_s,
+            Feature::GpuTime => self.apps[slot].gpu_time_s,
+            Feature::Fairness => self.fairness,
+            mix => self.apps[slot].mix(mix),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagpred_workloads::{Benchmark, Workload};
+
+    fn measure(bag: Bag) -> Measurement {
+        Measurement::collect(bag, &Platforms::paper())
+    }
+
+    #[test]
+    fn homogeneous_bag_has_identical_slots() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Hog, 4)));
+        assert_eq!(m.apps()[0], m.apps()[1]);
+        // Identical tasks suffer identically: fairness ~ 1.
+        assert!(m.fairness() > 0.99);
+    }
+
+    #[test]
+    fn heterogeneous_bag_differs_across_slots() {
+        let m = measure(Bag::pair(
+            Workload::new(Benchmark::Sift, 4),
+            Workload::new(Benchmark::Fast, 4),
+        ));
+        assert_ne!(m.apps()[0], m.apps()[1]);
+        assert!(m.fairness() > 0.0 && m.fairness() <= 1.0);
+    }
+
+    #[test]
+    fn bag_time_exceeds_both_solo_times() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Surf, 4)));
+        assert!(m.bag_gpu_time_s() > m.apps()[0].gpu_time_s);
+    }
+
+    #[test]
+    fn mix_percentages_sum_to_100() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Knn, 4)));
+        let sum: f64 = m.apps()[0].mix_percent.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn raw_value_routes_features() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Orb, 4)));
+        assert_eq!(m.raw_value(Feature::CpuTime, 0), m.apps()[0].cpu_time_s);
+        assert_eq!(m.raw_value(Feature::Fairness, 1), m.fairness());
+        assert_eq!(
+            m.raw_value(Feature::Sse, 0),
+            m.apps()[0].mix(Feature::Sse)
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_times_but_not_mix() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Hog, 4)));
+        let noisy = m.with_noise(1, 0.05);
+        assert_ne!(noisy.apps()[0].cpu_time_s, m.apps()[0].cpu_time_s);
+        assert_ne!(noisy.bag_gpu_time_s(), m.bag_gpu_time_s());
+        assert_eq!(noisy.apps()[0].mix_percent, m.apps()[0].mix_percent);
+        // Bounded perturbation.
+        let ratio = noisy.apps()[0].cpu_time_s / m.apps()[0].cpu_time_s;
+        assert!((0.95..=1.05).contains(&ratio));
+        assert!(noisy.fairness() <= 1.0);
+    }
+
+    #[test]
+    fn zero_noise_changes_nothing() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Fast, 4)));
+        assert_eq!(m.with_noise(9, 0.0), m);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Knn, 4)));
+        assert_eq!(m.with_noise(7, 0.03), m.with_noise(7, 0.03));
+        assert_ne!(m.with_noise(7, 0.03), m.with_noise(8, 0.03));
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sigma must be in")]
+    fn oversized_noise_rejected() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Fast, 4)));
+        let _ = m.with_noise(0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an instruction-mix feature")]
+    fn mix_rejects_time_features() {
+        let m = measure(Bag::homogeneous(Workload::new(Benchmark::Fast, 4)));
+        m.apps()[0].mix(Feature::CpuTime);
+    }
+}

@@ -1,0 +1,438 @@
+//! The trainable multi-application performance predictor.
+
+use crate::feature::{Feature, FeatureSet};
+use crate::measure::Measurement;
+use bagpred_ml::{
+    metrics, Dataset, DecisionTreeRegressor, LinearRegression, RandomForestRegressor, Regressor,
+    SvrKernel, SvrRegressor,
+};
+use bagpred_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Which regression model backs the predictor.
+///
+/// The paper selects the decision tree for accuracy *and* explainability;
+/// SVR and linear regression are retained as the comparison points of §V-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// CART regression tree (the paper's choice).
+    DecisionTree,
+    /// ε-insensitive support-vector regression with an RBF kernel.
+    Svr,
+    /// Ordinary least squares.
+    Linear,
+    /// Bagged-CART random forest (robustness extension).
+    RandomForest,
+}
+
+/// Time normalization per the paper's §V-C: all time-valued features are
+/// divided by the range (max − min) of the CPU-time feature over the
+/// *training* data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Normalizer {
+    cpu_range: f64,
+}
+
+impl Normalizer {
+    fn fit(records: &[Measurement]) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for m in records {
+            for slot in 0..2 {
+                let t = m.raw_value(Feature::CpuTime, slot);
+                min = min.min(t);
+                max = max.max(t);
+            }
+        }
+        let range = max - min;
+        Self {
+            cpu_range: if range > 0.0 { range } else { 1.0 },
+        }
+    }
+
+    fn value(&self, m: &Measurement, feature: Feature, slot: usize) -> f64 {
+        let raw = m.raw_value(feature, slot);
+        if feature.is_time() {
+            raw / self.cpu_range
+        } else {
+            raw
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Model {
+    Tree(DecisionTreeRegressor),
+    Svr(SvrRegressor),
+    Linear(LinearRegression),
+    Forest(RandomForestRegressor),
+}
+
+impl Model {
+    fn new(kind: ModelKind, max_depth: usize) -> Self {
+        match kind {
+            ModelKind::DecisionTree => {
+                Model::Tree(DecisionTreeRegressor::new().with_max_depth(max_depth))
+            }
+            ModelKind::Svr => Model::Svr(SvrRegressor::new(SvrKernel::Rbf { gamma: 0.5 })),
+            ModelKind::Linear => Model::Linear(LinearRegression::new()),
+            ModelKind::RandomForest => {
+                Model::Forest(RandomForestRegressor::new().with_max_depth(max_depth))
+            }
+        }
+    }
+
+    fn regressor_mut(&mut self) -> &mut dyn Regressor {
+        match self {
+            Model::Tree(m) => m,
+            Model::Svr(m) => m,
+            Model::Linear(m) => m,
+            Model::Forest(m) => m,
+        }
+    }
+
+    fn regressor(&self) -> &dyn Regressor {
+        match self {
+            Model::Tree(m) => m,
+            Model::Svr(m) => m,
+            Model::Linear(m) => m,
+            Model::Forest(m) => m,
+        }
+    }
+}
+
+/// Per-benchmark leave-one-out cross-validation results (the paper's Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoocvReport {
+    per_benchmark: Vec<(Benchmark, f64, usize)>,
+}
+
+impl LoocvReport {
+    /// `(benchmark, mean relative error %, test points)` per LOOCV round.
+    pub fn per_benchmark(&self) -> &[(Benchmark, f64, usize)] {
+        &self.per_benchmark
+    }
+
+    /// Mean of the per-benchmark relative errors, in percent — the paper's
+    /// headline "9%" statistic.
+    pub fn mean_error_percent(&self) -> f64 {
+        let n = self.per_benchmark.len().max(1) as f64;
+        self.per_benchmark.iter().map(|(_, e, _)| e).sum::<f64>() / n
+    }
+}
+
+/// The multi-application GPU performance predictor.
+///
+/// Materializes feature vectors for bags of two applications over a chosen
+/// [`FeatureSet`], trains a regression model (decision tree by default), and
+/// predicts the bag's GPU makespan.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_core::{Bag, Corpus, FeatureSet, Predictor};
+/// use bagpred_workloads::{Benchmark, Workload};
+///
+/// let records = Corpus::paper().measure();
+/// let mut predictor = Predictor::new(FeatureSet::full());
+/// predictor.train(&records);
+/// let predicted = predictor.predict(&records[0]);
+/// assert!(predicted > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Predictor {
+    scheme: FeatureSet,
+    kind: ModelKind,
+    max_depth: usize,
+    model: Option<Model>,
+    normalizer: Option<Normalizer>,
+}
+
+impl Predictor {
+    /// Creates an untrained decision-tree predictor over a feature scheme.
+    pub fn new(scheme: FeatureSet) -> Self {
+        Self {
+            scheme,
+            kind: ModelKind::DecisionTree,
+            // Depth 8 minimizes leave-one-benchmark-out error on the paper
+            // corpus (deeper trees memorize benchmark-specific leaves that
+            // do not transfer to the held-out benchmark).
+            max_depth: 8,
+            model: None,
+            normalizer: None,
+        }
+    }
+
+    /// Switches the backing model.
+    pub fn with_model(mut self, kind: ModelKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the decision tree's maximum depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        self.max_depth = depth;
+        self
+    }
+
+    /// The feature scheme in use.
+    pub fn scheme(&self) -> &FeatureSet {
+        &self.scheme
+    }
+
+    /// Materializes the dataset for a record set, normalizing times with
+    /// the given normalizer and grouping each sample by its bag label.
+    fn dataset(&self, records: &[Measurement], norm: &Normalizer) -> Dataset {
+        let names = self.scheme.column_names(2);
+        let mut data = Dataset::new(names).expect("schemes are non-empty");
+        for m in records {
+            let mut row = Vec::new();
+            for f in self.scheme.features() {
+                if f.is_bag_level() {
+                    row.push(norm.value(m, *f, 0));
+                } else {
+                    row.push(norm.value(m, *f, 0));
+                    row.push(norm.value(m, *f, 1));
+                }
+            }
+            data.push_grouped(row, m.bag_gpu_time_s(), m.bag().label())
+                .expect("measurements are finite");
+        }
+        data
+    }
+
+    /// Trains on a record set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn train(&mut self, records: &[Measurement]) {
+        assert!(!records.is_empty(), "training needs at least one record");
+        let norm = Normalizer::fit(records);
+        let data = self.dataset(records, &norm);
+        let mut model = Model::new(self.kind, self.max_depth);
+        model
+            .regressor_mut()
+            .fit(&data)
+            .expect("non-empty dataset must fit");
+        self.model = Some(model);
+        self.normalizer = Some(norm);
+    }
+
+    /// Predicts the GPU bag makespan (seconds) for one measured bag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor has not been trained.
+    pub fn predict(&self, record: &Measurement) -> f64 {
+        let norm = self.normalizer.expect("predictor must be trained");
+        let model = self.model.as_ref().expect("predictor must be trained");
+        let mut row = Vec::new();
+        for f in self.scheme.features() {
+            if f.is_bag_level() {
+                row.push(norm.value(record, *f, 0));
+            } else {
+                row.push(norm.value(record, *f, 0));
+                row.push(norm.value(record, *f, 1));
+            }
+        }
+        model.regressor().predict(&row)
+    }
+
+    /// Mean relative error (%) of the trained model over a record set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor has not been trained or `records` is empty.
+    pub fn evaluate(&self, records: &[Measurement]) -> f64 {
+        let truth: Vec<f64> = records.iter().map(Measurement::bag_gpu_time_s).collect();
+        let predicted: Vec<f64> = records.iter().map(|m| self.predict(m)).collect();
+        metrics::mean_relative_error(&truth, &predicted)
+    }
+
+    /// Trains on a seeded 80/20 split and reports the test error (%) — the
+    /// paper's §V-D2 protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` has fewer than five entries.
+    pub fn train_test_error(&mut self, records: &[Measurement], seed: u64) -> f64 {
+        assert!(records.len() >= 5, "need enough records for an 80/20 split");
+        let mut indices: Vec<usize> = (0..records.len()).collect();
+        // Seeded Fisher-Yates via the workspace RNG.
+        let mut rng = bagpred_trace::SplitMix64::new(seed ^ 0x80_20);
+        for i in (1..indices.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            indices.swap(i, j);
+        }
+        let n_test = (records.len() as f64 * 0.2).ceil() as usize;
+        let (test_idx, train_idx) = indices.split_at(n_test);
+        let train: Vec<Measurement> = train_idx.iter().map(|&i| records[i].clone()).collect();
+        let test: Vec<Measurement> = test_idx.iter().map(|&i| records[i].clone()).collect();
+        self.train(&train);
+        self.evaluate(&test)
+    }
+
+    /// Leave-one-benchmark-out cross-validation (the paper's Fig. 4): for
+    /// each benchmark, every bag *involving* it is held out for testing and
+    /// the model trains on the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some LOOCV round would have an empty training set.
+    pub fn loocv_by_benchmark(&mut self, records: &[Measurement]) -> LoocvReport {
+        let mut per_benchmark = Vec::new();
+        for bench in Benchmark::ALL {
+            let (test, train): (Vec<_>, Vec<_>) = records
+                .iter()
+                .cloned()
+                .partition(|m| m.bag().involves(bench));
+            if test.is_empty() {
+                continue;
+            }
+            assert!(
+                !train.is_empty(),
+                "LOOCV round for {bench} has no training data"
+            );
+            self.train(&train);
+            let error = self.evaluate(&test);
+            per_benchmark.push((bench, error, test.len()));
+        }
+        LoocvReport { per_benchmark }
+    }
+
+    /// The fitted decision tree, when the backing model is a tree.
+    ///
+    /// Used by the decision-path analysis of §VI-C.
+    pub fn tree(&self) -> Option<&DecisionTreeRegressor> {
+        match self.model.as_ref()? {
+            Model::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Materializes the (normalized) dataset for external analysis, using
+    /// the trained normalizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor has not been trained.
+    pub fn materialize(&self, records: &[Measurement]) -> Dataset {
+        let norm = self.normalizer.expect("predictor must be trained");
+        self.dataset(records, &norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Bag;
+    use crate::corpus::Corpus;
+    use crate::measure::Platforms;
+    use bagpred_workloads::Workload;
+    use std::sync::OnceLock;
+
+    /// A small measured corpus shared across tests (batch sizes reduced for
+    /// speed; the structure matches the paper's recipe).
+    fn records() -> &'static [Measurement] {
+        static RECORDS: OnceLock<Vec<Measurement>> = OnceLock::new();
+        RECORDS.get_or_init(|| {
+            let mut bags = Vec::new();
+            for bench in Benchmark::ALL {
+                for batch in [2usize, 4, 8] {
+                    bags.push(Bag::homogeneous(Workload::new(bench, batch)));
+                }
+            }
+            for (i, a) in Benchmark::ALL.iter().enumerate() {
+                for b in &Benchmark::ALL[i + 1..] {
+                    bags.push(Bag::pair(Workload::new(*a, 4), Workload::new(*b, 4)));
+                }
+            }
+            Corpus::custom(bags).measure_on(&Platforms::paper())
+        })
+    }
+
+    #[test]
+    fn trained_full_model_fits_training_data_well() {
+        let mut p = Predictor::new(FeatureSet::full());
+        p.train(records());
+        let err = p.evaluate(records());
+        assert!(err < 5.0, "training error {err}%");
+    }
+
+    #[test]
+    fn full_features_beat_insmix_only() {
+        let mut full = Predictor::new(FeatureSet::full());
+        let mut insmix = Predictor::new(FeatureSet::insmix());
+        let full_err = full.train_test_error(records(), 7);
+        let insmix_err = insmix.train_test_error(records(), 7);
+        assert!(
+            full_err < insmix_err,
+            "full {full_err}% vs insmix {insmix_err}%"
+        );
+    }
+
+    #[test]
+    fn loocv_excludes_involved_bags() {
+        let mut p = Predictor::new(FeatureSet::full());
+        let report = p.loocv_by_benchmark(records());
+        assert_eq!(report.per_benchmark().len(), 9);
+        for (bench, err, n) in report.per_benchmark() {
+            // 3 homogeneous + 8 heterogeneous involve each benchmark.
+            assert_eq!(*n, 11, "{bench}");
+            assert!(err.is_finite() && *err >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_accessor_matches_model_kind() {
+        let mut tree = Predictor::new(FeatureSet::full());
+        tree.train(records());
+        assert!(tree.tree().is_some());
+
+        let mut linear = Predictor::new(FeatureSet::full()).with_model(ModelKind::Linear);
+        linear.train(records());
+        assert!(linear.tree().is_none());
+    }
+
+    #[test]
+    fn predictions_are_positive_times() {
+        let mut p = Predictor::new(FeatureSet::full());
+        p.train(records());
+        for m in records() {
+            let y = p.predict(m);
+            assert!(y > 0.0 && y.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be trained")]
+    fn predict_before_train_panics() {
+        Predictor::new(FeatureSet::full()).predict(&records()[0]);
+    }
+
+    #[test]
+    fn normalization_uses_training_cpu_range() {
+        let norm = Normalizer::fit(records());
+        assert!(norm.cpu_range > 0.0);
+        let m = &records()[0];
+        let normalized = norm.value(m, Feature::CpuTime, 0);
+        assert!((normalized - m.raw_value(Feature::CpuTime, 0) / norm.cpu_range).abs() < 1e-15);
+        // Percentages pass through unchanged.
+        assert_eq!(norm.value(m, Feature::Sse, 0), m.raw_value(Feature::Sse, 0));
+    }
+
+    #[test]
+    fn materialized_dataset_has_expected_shape() {
+        let mut p = Predictor::new(FeatureSet::full());
+        p.train(records());
+        let data = p.materialize(records());
+        assert_eq!(data.len(), records().len());
+        assert_eq!(data.n_features(), 11 * 2 + 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! The named feature schemes of the paper's evaluation (Figs. 5-9), with
+//! the paper's reported relative errors for side-by-side comparison.
+
+use crate::feature::{Feature, FeatureSet};
+
+/// A scheme paired with the relative error (%) the paper reports for it,
+/// where one is given. Paper numbers come from its Figs. 5-9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperScheme {
+    /// The feature scheme.
+    pub scheme: FeatureSet,
+    /// The paper's reported relative error, when the figure labels one.
+    pub paper_error_percent: Option<f64>,
+}
+
+fn scheme(set: FeatureSet, paper: Option<f64>) -> PaperScheme {
+    PaperScheme {
+        scheme: set,
+        paper_error_percent: paper,
+    }
+}
+
+/// Fig. 5's four bars: the headline comparison with related work.
+///
+/// The first bar (instruction mix only) is the feature set of Baldini et
+/// al., the state of the art for *single-application* prediction; the last
+/// is the paper's full set.
+pub fn figure5() -> Vec<PaperScheme> {
+    vec![
+        scheme(FeatureSet::insmix(), Some(144.6)),
+        scheme(
+            FeatureSet::insmix().with(Feature::CpuTime).named("insmix+CPUtime"),
+            Some(57.05),
+        ),
+        scheme(
+            FeatureSet::insmix()
+                .with(Feature::CpuTime)
+                .with(Feature::Fairness)
+                .named("insmix+CPUtime+Fairness"),
+            Some(37.73),
+        ),
+        scheme(FeatureSet::full(), Some(9.05)),
+    ]
+}
+
+/// Fig. 6: base schemes and the same schemes with CPU time added.
+/// Returns `(without, with)` pairs.
+pub fn figure6() -> Vec<(PaperScheme, PaperScheme)> {
+    vec![
+        (
+            scheme(FeatureSet::insmix(), Some(144.6)),
+            scheme(FeatureSet::insmix().with(Feature::CpuTime), Some(57.05)),
+        ),
+        (
+            scheme(
+                FeatureSet::arith_sse().with(Feature::Fairness),
+                Some(229.75),
+            ),
+            scheme(
+                FeatureSet::arith_sse()
+                    .with(Feature::Fairness)
+                    .with(Feature::CpuTime),
+                Some(40.7),
+            ),
+        ),
+        (
+            scheme(FeatureSet::mem().with(Feature::Fairness), Some(89.54)),
+            scheme(
+                FeatureSet::mem()
+                    .with(Feature::Fairness)
+                    .with(Feature::CpuTime),
+                Some(55.05),
+            ),
+        ),
+        (
+            scheme(FeatureSet::insmix().with(Feature::Fairness), Some(98.17)),
+            scheme(
+                FeatureSet::insmix()
+                    .with(Feature::Fairness)
+                    .with(Feature::CpuTime),
+                Some(37.73),
+            ),
+        ),
+        (
+            scheme(FeatureSet::only(Feature::Fairness), Some(120.5)),
+            scheme(
+                FeatureSet::only(Feature::Fairness).with(Feature::CpuTime),
+                Some(49.67),
+            ),
+        ),
+    ]
+}
+
+/// Fig. 7: base schemes and the same schemes with GPU time added.
+pub fn figure7() -> Vec<(PaperScheme, PaperScheme)> {
+    vec![
+        (
+            scheme(FeatureSet::insmix(), Some(144.6)),
+            scheme(FeatureSet::insmix().with(Feature::GpuTime), Some(11.36)),
+        ),
+        (
+            scheme(
+                FeatureSet::arith_sse().with(Feature::Fairness),
+                Some(229.75),
+            ),
+            scheme(
+                FeatureSet::arith_sse()
+                    .with(Feature::Fairness)
+                    .with(Feature::GpuTime),
+                Some(350.0),
+            ),
+        ),
+        (
+            scheme(FeatureSet::only(Feature::CpuTime), Some(62.5)),
+            scheme(
+                FeatureSet::only(Feature::CpuTime).with(Feature::GpuTime),
+                Some(10.66),
+            ),
+        ),
+        (
+            scheme(FeatureSet::insmix().with(Feature::Fairness), Some(98.17)),
+            scheme(
+                FeatureSet::insmix()
+                    .with(Feature::Fairness)
+                    .with(Feature::GpuTime),
+                Some(11.51),
+            ),
+        ),
+        (
+            scheme(FeatureSet::mem().with(Feature::Fairness), Some(89.54)),
+            scheme(
+                FeatureSet::mem()
+                    .with(Feature::Fairness)
+                    .with(Feature::GpuTime),
+                Some(9.7),
+            ),
+        ),
+    ]
+}
+
+/// Fig. 8: base schemes and the same schemes with the instruction mix added.
+pub fn figure8() -> Vec<(PaperScheme, PaperScheme)> {
+    vec![
+        (
+            scheme(FeatureSet::only(Feature::GpuTime), Some(10.5)),
+            scheme(
+                FeatureSet::insmix().with(Feature::GpuTime).named("GPU+insmix"),
+                Some(11.36),
+            ),
+        ),
+        (
+            scheme(FeatureSet::only(Feature::CpuTime), Some(62.5)),
+            scheme(
+                FeatureSet::insmix().with(Feature::CpuTime).named("CPU+insmix"),
+                Some(57.05),
+            ),
+        ),
+        (
+            scheme(
+                FeatureSet::only(Feature::CpuTime).with(Feature::Fairness),
+                Some(55.05),
+            ),
+            scheme(
+                FeatureSet::insmix()
+                    .with(Feature::CpuTime)
+                    .with(Feature::Fairness)
+                    .named("CPU+fairness+insmix"),
+                Some(37.73),
+            ),
+        ),
+        (
+            scheme(
+                FeatureSet::only(Feature::GpuTime).with(Feature::Fairness),
+                Some(9.7),
+            ),
+            scheme(
+                FeatureSet::insmix()
+                    .with(Feature::GpuTime)
+                    .with(Feature::Fairness)
+                    .named("GPU+fairness+insmix"),
+                Some(11.51),
+            ),
+        ),
+    ]
+}
+
+/// Fig. 9: base schemes and the same schemes with fairness added.
+pub fn figure9() -> Vec<(PaperScheme, PaperScheme)> {
+    vec![
+        (
+            scheme(FeatureSet::insmix(), Some(144.6)),
+            scheme(FeatureSet::insmix().with(Feature::Fairness), Some(98.17)),
+        ),
+        (
+            scheme(FeatureSet::insmix().with(Feature::CpuTime), Some(57.05)),
+            scheme(
+                FeatureSet::insmix()
+                    .with(Feature::CpuTime)
+                    .with(Feature::Fairness),
+                Some(37.73),
+            ),
+        ),
+        (
+            scheme(
+                FeatureSet::mem().with(Feature::CpuTime).named("mem+CPUtime"),
+                Some(53.5),
+            ),
+            scheme(
+                FeatureSet::mem()
+                    .with(Feature::CpuTime)
+                    .with(Feature::Fairness)
+                    .named("mem+CPUtime+fairness"),
+                Some(49.67),
+            ),
+        ),
+        (
+            scheme(
+                FeatureSet::insmix()
+                    .with(Feature::CpuTime)
+                    .with(Feature::GpuTime),
+                Some(11.5),
+            ),
+            scheme(FeatureSet::full(), Some(9.05)),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_has_four_schemes_in_improving_order() {
+        let schemes = figure5();
+        assert_eq!(schemes.len(), 4);
+        let errors: Vec<f64> = schemes
+            .iter()
+            .map(|s| s.paper_error_percent.unwrap())
+            .collect();
+        assert!(errors.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sensitivity_pairs_differ_by_exactly_one_feature() {
+        for (name, pairs, added) in [
+            ("fig6", figure6(), Feature::CpuTime),
+            ("fig7", figure7(), Feature::GpuTime),
+            ("fig9", figure9(), Feature::Fairness),
+        ] {
+            for (base, extended) in pairs {
+                assert!(
+                    !base.scheme.contains(added),
+                    "{name}: base {} already has {added}",
+                    base.scheme.name()
+                );
+                assert!(
+                    extended.scheme.contains(added),
+                    "{name}: extended {} lacks {added}",
+                    extended.scheme.name()
+                );
+                assert_eq!(
+                    extended.scheme.features().len(),
+                    base.scheme.features().len() + 1,
+                    "{name}: pair must differ by exactly one feature"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_pairs_add_the_full_instruction_mix() {
+        for (base, extended) in figure8() {
+            assert!(!base.scheme.contains(Feature::Sse));
+            assert!(extended.scheme.contains(Feature::Sse));
+            assert_eq!(
+                extended.scheme.features().len(),
+                base.scheme.features().len() + 9
+            );
+        }
+    }
+
+    #[test]
+    fn all_schemes_have_paper_reference_values() {
+        for s in figure5() {
+            assert!(s.paper_error_percent.is_some());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+use bagpred_core::{Corpus, FeatureSet, Predictor};
+
+#[test]
+#[ignore]
+fn loocv_probe() {
+    let records = Corpus::paper().measure();
+    for scheme in [FeatureSet::full(), FeatureSet::insmix()] {
+        let mut p = Predictor::new(scheme.clone());
+        let report = p.loocv_by_benchmark(&records);
+        eprintln!("=== scheme {} mean={:.2}%", scheme.name(), report.mean_error_percent());
+        for (b, e, n) in report.per_benchmark() {
+            eprintln!("  {:8} {:8.2}% ({n} pts)", b.name(), e);
+        }
+    }
+    // also 80/20
+    let mut p = Predictor::new(FeatureSet::full());
+    eprintln!("80/20 full: {:.2}%", p.train_test_error(&records, 42));
+}

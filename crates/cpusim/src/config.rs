@@ -1,0 +1,266 @@
+//! CPU machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the modelled multicore server.
+///
+/// Defaults ([`CpuConfig::xeon_gold_5118`]) follow the paper's Table III:
+/// two Intel Xeon Gold 5118 sockets, 24 physical cores, hyper-threading (48
+/// logical cores), 2.3 GHz, 128 GB of main memory.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_cpusim::CpuConfig;
+///
+/// let config = CpuConfig::xeon_gold_5118();
+/// assert_eq!(config.physical_cores(), 24);
+/// assert_eq!(config.logical_cores(), 48);
+///
+/// let small = CpuConfig::builder().sockets(1).cores_per_socket(4).build();
+/// assert_eq!(small.physical_cores(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    sockets: u32,
+    cores_per_socket: u32,
+    smt_ways: u32,
+    freq_ghz: f64,
+    llc_bytes_per_socket: u64,
+    dram_bw_bytes_per_s: f64,
+    issue_width: f64,
+    mem_latency_cycles: f64,
+    memory_level_parallelism: f64,
+}
+
+impl CpuConfig {
+    /// The paper's baseline server (Table III).
+    pub fn xeon_gold_5118() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts building a custom configuration.
+    pub fn builder() -> CpuConfigBuilder {
+        CpuConfigBuilder::default()
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// Physical cores across all sockets.
+    pub fn physical_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Logical cores (physical × SMT ways).
+    pub fn logical_cores(&self) -> u32 {
+        self.physical_cores() * self.smt_ways
+    }
+
+    /// SMT ways per physical core.
+    pub fn smt_ways(&self) -> u32 {
+        self.smt_ways
+    }
+
+    /// Core frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// Core frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_ghz * 1e9
+    }
+
+    /// Total last-level cache capacity in bytes.
+    pub fn llc_bytes(&self) -> u64 {
+        self.llc_bytes_per_socket * self.sockets as u64
+    }
+
+    /// Aggregate DRAM bandwidth in bytes per second.
+    pub fn dram_bandwidth(&self) -> f64 {
+        self.dram_bw_bytes_per_s
+    }
+
+    /// Peak sustained issue width (instructions per cycle per core).
+    pub fn issue_width(&self) -> f64 {
+        self.issue_width
+    }
+
+    /// Average DRAM access latency in core cycles.
+    pub fn mem_latency_cycles(&self) -> f64 {
+        self.mem_latency_cycles
+    }
+
+    /// Effective memory-level parallelism the out-of-order core extracts
+    /// (overlapped outstanding misses).
+    pub fn memory_level_parallelism(&self) -> f64 {
+        self.memory_level_parallelism
+    }
+}
+
+/// Builder for [`CpuConfig`]; see [`CpuConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CpuConfigBuilder {
+    config: CpuConfig,
+}
+
+impl Default for CpuConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: CpuConfig {
+                sockets: 2,
+                cores_per_socket: 12,
+                smt_ways: 2,
+                freq_ghz: 2.3,
+                llc_bytes_per_socket: 16_896 * 1024, // 16.5 MB Skylake-SP LLC
+                dram_bw_bytes_per_s: 115e9,          // 6 ch DDR4-2400 x 2 sockets
+                issue_width: 4.0,
+                mem_latency_cycles: 220.0,
+                memory_level_parallelism: 4.0,
+            },
+        }
+    }
+}
+
+impl CpuConfigBuilder {
+    /// Sets the socket count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets` is zero.
+    pub fn sockets(mut self, sockets: u32) -> Self {
+        assert!(sockets > 0, "sockets must be positive");
+        self.config.sockets = sockets;
+        self
+    }
+
+    /// Sets the cores per socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn cores_per_socket(mut self, cores: u32) -> Self {
+        assert!(cores > 0, "cores per socket must be positive");
+        self.config.cores_per_socket = cores;
+        self
+    }
+
+    /// Sets the SMT ways per core (1 disables hyper-threading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn smt_ways(mut self, ways: u32) -> Self {
+        assert!(ways > 0, "smt ways must be positive");
+        self.config.smt_ways = ways;
+        self
+    }
+
+    /// Sets the core frequency in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not positive and finite.
+    pub fn freq_ghz(mut self, ghz: f64) -> Self {
+        assert!(ghz > 0.0 && ghz.is_finite(), "frequency must be positive");
+        self.config.freq_ghz = ghz;
+        self
+    }
+
+    /// Sets the per-socket LLC capacity in bytes.
+    pub fn llc_bytes_per_socket(mut self, bytes: u64) -> Self {
+        self.config.llc_bytes_per_socket = bytes;
+        self
+    }
+
+    /// Sets the aggregate DRAM bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_s` is not positive and finite.
+    pub fn dram_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        assert!(
+            bytes_per_s > 0.0 && bytes_per_s.is_finite(),
+            "bandwidth must be positive"
+        );
+        self.config.dram_bw_bytes_per_s = bytes_per_s;
+        self
+    }
+
+    /// Sets the sustained issue width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive and finite.
+    pub fn issue_width(mut self, width: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "issue width must be positive");
+        self.config.issue_width = width;
+        self
+    }
+
+    /// Sets the DRAM latency in cycles.
+    pub fn mem_latency_cycles(mut self, cycles: f64) -> Self {
+        assert!(cycles > 0.0 && cycles.is_finite(), "latency must be positive");
+        self.config.mem_latency_cycles = cycles;
+        self
+    }
+
+    /// Sets the effective memory-level parallelism.
+    pub fn memory_level_parallelism(mut self, mlp: f64) -> Self {
+        assert!(mlp >= 1.0 && mlp.is_finite(), "MLP must be at least 1");
+        self.config.memory_level_parallelism = mlp;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> CpuConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let c = CpuConfig::xeon_gold_5118();
+        assert_eq!(c.sockets(), 2);
+        assert_eq!(c.physical_cores(), 24);
+        assert_eq!(c.logical_cores(), 48);
+        assert!((c.freq_ghz() - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = CpuConfig::builder()
+            .sockets(1)
+            .cores_per_socket(8)
+            .smt_ways(1)
+            .freq_ghz(3.0)
+            .build();
+        assert_eq!(c.logical_cores(), 8);
+        assert!((c.freq_hz() - 3.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sockets must be positive")]
+    fn zero_sockets_rejected() {
+        CpuConfig::builder().sockets(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn nan_frequency_rejected() {
+        CpuConfig::builder().freq_ghz(f64::NAN);
+    }
+
+    #[test]
+    fn llc_aggregates_sockets() {
+        let c = CpuConfig::xeon_gold_5118();
+        assert_eq!(c.llc_bytes(), 2 * 16_896 * 1024);
+    }
+}

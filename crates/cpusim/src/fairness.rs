@@ -1,0 +1,127 @@
+//! The fairness metric (the paper's Eq. 2).
+
+use crate::model::{CpuExecution, CpuSimulator};
+use bagpred_trace::KernelProfile;
+
+/// Computes the fairness of a bag of tasks on the multicore server.
+///
+/// The paper's Eq. 2 defines fairness over the per-task slowdowns measured
+/// with Linux perf:
+///
+/// ```text
+/// fairness_T = min over (i, j) of (IPC_i^shared / IPC_i^alone)
+///                               / (IPC_j^shared / IPC_j^alone)
+/// ```
+///
+/// i.e. the minimum slowdown ratio divided by the maximum across all task
+/// pairs, which lies in `(0, 1]`: 1 means every task suffers equally from
+/// contention; values near 0 mean one task absorbs nearly all of it.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_cpusim::{fairness, CpuConfig, CpuSimulator};
+/// use bagpred_workloads::{Benchmark, Workload};
+///
+/// let sim = CpuSimulator::new(CpuConfig::xeon_gold_5118());
+/// let a = Workload::new(Benchmark::Hog, 20).profile();
+/// let b = Workload::new(Benchmark::Knn, 20).profile();
+/// let f = fairness(&sim, &[a, b]);
+/// assert!(f > 0.0 && f <= 1.0);
+/// ```
+pub fn fairness(sim: &CpuSimulator, profiles: &[KernelProfile]) -> f64 {
+    assert!(!profiles.is_empty(), "at least one profile is required");
+    if profiles.len() == 1 {
+        return 1.0; // a lone task suffers no relative slowdown
+    }
+    let alone: Vec<CpuExecution> = profiles.iter().map(|p| sim.simulate_best(p)).collect();
+    let shared = sim.simulate_shared(profiles);
+
+    let slowdowns: Vec<f64> = alone
+        .iter()
+        .zip(shared.iter())
+        .map(|(a, s)| s.ipc / a.ipc)
+        .collect();
+    let min = slowdowns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = slowdowns.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return 1.0;
+    }
+    (min / max).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuConfig;
+    use bagpred_trace::{InstrClass, Profiler};
+    use bagpred_workloads::{Benchmark, Workload};
+
+    fn sim() -> CpuSimulator {
+        CpuSimulator::new(CpuConfig::xeon_gold_5118())
+    }
+
+    fn profile(ws: u64, mem_heavy: bool) -> KernelProfile {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 1_000_000);
+        if mem_heavy {
+            p.read_bytes(400_000_000);
+        } else {
+            p.count(InstrClass::Fp, 9_000_000);
+            p.read_bytes(1_000_000);
+        }
+        KernelProfile::builder(p)
+            .working_set_bytes(ws)
+            .parallel_width(1 << 20)
+            .parallel_fraction(0.95)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_task_is_perfectly_fair() {
+        assert_eq!(fairness(&sim(), &[profile(1 << 20, false)]), 1.0);
+    }
+
+    #[test]
+    fn homogeneous_pairs_are_fair() {
+        let p = profile(1 << 24, true);
+        let f = fairness(&sim(), &[p.clone(), p]);
+        assert!(f > 0.99, "identical tasks slow down identically: {f}");
+    }
+
+    #[test]
+    fn asymmetric_pairs_are_less_fair() {
+        // A cache-sensitive task (working set that fits the LLC alone but
+        // not under sharing) suffers from a cache-polluting streaming
+        // partner far more than the polluter suffers from it.
+        let victim = profile(20 << 20, true); // 20 MB: fits 33 MB LLC alone
+        let polluter = profile(1 << 28, true); // 256 MB streaming
+        let f = fairness(&sim(), &[victim, polluter]);
+        assert!(f < 0.95, "asymmetric contention must show up: {f}");
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn fairness_in_unit_interval_for_all_real_pairs() {
+        let s = sim();
+        for a in Benchmark::ALL {
+            for b in Benchmark::ALL {
+                let pa = Workload::new(a, 4).profile();
+                let pb = Workload::new(b, 4).profile();
+                let f = fairness(&s, &[pa, pb]);
+                assert!(f > 0.0 && f <= 1.0, "{a}+{b}: fairness {f}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_bag_rejected() {
+        fairness(&sim(), &[]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Analytical multicore CPU timing model for the `bagpred` workspace.
+//!
+//! The ISPASS 2020 paper measures its CPU-side features on a 2-socket Intel
+//! Xeon Gold 5118 server (Table III): per-benchmark execution time at the
+//! best thread count, and per-task IPC alone vs. co-run (via Linux perf),
+//! from which the *fairness* feature (Eq. 2) is computed. This crate
+//! reproduces that measurement capability as an analytical timing model in
+//! the tradition of first-order processor models: issue-width-limited
+//! compute, an LLC capacity model, memory-bandwidth saturation, SMT yield,
+//! and Amdahl fork-join scaling.
+//!
+//! The predictor consumes only the model's *scalar outputs* — times and IPC
+//! ratios — so the substitution preserves exactly the signals the paper's
+//! pipeline feeds to its machine-learning stage.
+//!
+//! # Example
+//!
+//! ```
+//! use bagpred_cpusim::{CpuConfig, CpuSimulator};
+//! use bagpred_workloads::{Benchmark, Workload};
+//!
+//! let sim = CpuSimulator::new(CpuConfig::xeon_gold_5118());
+//! let profile = Workload::new(Benchmark::Hog, 20).profile();
+//! let exec = sim.simulate_best(&profile);
+//! assert!(exec.time_s > 0.0);
+//! assert!(exec.ipc > 0.0);
+//!
+//! // Co-running two instances slows each down; fairness is in (0, 1].
+//! let shared = sim.simulate_shared(&[profile.clone(), profile.clone()]);
+//! assert!(shared[0].time_s >= exec.time_s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fairness;
+mod model;
+
+pub use config::CpuConfig;
+pub use fairness::fairness;
+pub use model::{CpuExecution, CpuSimulator};

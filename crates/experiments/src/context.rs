@@ -1,0 +1,57 @@
+//! Shared experiment context: the measured corpus and platforms.
+
+use bagpred_core::{Corpus, Measurement, Platforms};
+use std::sync::OnceLock;
+
+/// Everything the experiments need, measured once per process.
+///
+/// Building the context profiles all 45 workloads (9 benchmarks × 5 batch
+/// sizes) and measures the 91-bag corpus; it takes a few seconds and is
+/// shared behind [`Context::shared`].
+#[derive(Debug)]
+pub struct Context {
+    platforms: Platforms,
+    records: Vec<Measurement>,
+}
+
+impl Context {
+    /// Builds a fresh context (prefer [`Context::shared`]).
+    pub fn build() -> Self {
+        let platforms = Platforms::paper();
+        let records = Corpus::paper().measure_on(&platforms);
+        Self { platforms, records }
+    }
+
+    /// The process-wide shared context.
+    pub fn shared() -> &'static Context {
+        static CONTEXT: OnceLock<Context> = OnceLock::new();
+        CONTEXT.get_or_init(Context::build)
+    }
+
+    /// The simulated machines (Table III).
+    pub fn platforms(&self) -> &Platforms {
+        &self.platforms
+    }
+
+    /// The measured 91-run corpus.
+    pub fn records(&self) -> &[Measurement] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_context_is_reused() {
+        let a = Context::shared() as *const Context;
+        let b = Context::shared() as *const Context;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn context_has_full_corpus() {
+        assert_eq!(Context::shared().records().len(), 91);
+    }
+}

@@ -1,0 +1,572 @@
+//! Extension experiments beyond the paper's evaluation.
+//!
+//! Six studies the paper motivates but does not run:
+//!
+//! * [`temporal_vs_spatial`] — §II discusses time multiplexing as the
+//!   alternative to MPS; this quantifies both on the same bags.
+//! * [`nbag_scaling`] — §VII names prediction for more than two
+//!   applications an open problem; this evaluates the order-statistic
+//!   aggregation predictor on bags of 2-4.
+//! * [`model_comparison`] — §V-D reports SVR an order of magnitude worse
+//!   than the tree; this measures tree, random forest, SVR and linear
+//!   regression under the same LOOCV protocol.
+//! * [`noise_robustness`] — how the predictor degrades when every time
+//!   measurement carries testbed-style run-to-run noise.
+//! * [`benchmark_similarity`] — the MICA-style similarity matrix over the
+//!   suite's instruction mixes.
+//! * [`dynamic_release`] — how much the steady-state bag model overstates
+//!   makespans compared to phase-based resource release.
+
+use crate::context::Context;
+use crate::render::TextTable;
+use bagpred_core::nbag::{nbag_corpus, NBagMeasurement, NBagPredictor};
+use bagpred_core::{FeatureSet, ModelKind, Platforms, Predictor};
+use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's spatial-vs-temporal comparison (2-way homogeneous bag).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiplexRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Per-app slowdown under MPS spatial sharing.
+    pub spatial_slowdown: f64,
+    /// Mean turnaround slowdown under 1 ms round-robin time slicing.
+    pub temporal_slowdown: f64,
+}
+
+/// Extension 1: spatial (MPS) vs. temporal multiplexing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalVsSpatial {
+    /// Per-benchmark rows.
+    pub rows: Vec<MultiplexRow>,
+}
+
+impl TemporalVsSpatial {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "benchmark".into(),
+            "spatial (MPS) slowdown".into(),
+            "temporal slowdown".into(),
+            "better".into(),
+        ]);
+        for r in &self.rows {
+            table.row(vec![
+                r.benchmark.name().into(),
+                format!("{:.2}x", r.spatial_slowdown),
+                format!("{:.2}x", r.temporal_slowdown),
+                if r.spatial_slowdown <= r.temporal_slowdown {
+                    "spatial".into()
+                } else {
+                    "temporal".into()
+                },
+            ]);
+        }
+        format!(
+            "Extension 1: spatial (MPS) vs temporal multiplexing, 2-way \
+             homogeneous bags\n{}",
+            table.render()
+        )
+    }
+}
+
+/// Runs extension 1 with a 1 ms scheduling quantum.
+pub fn temporal_vs_spatial(ctx: &Context) -> TemporalVsSpatial {
+    let gpu = ctx.platforms().gpu();
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = Workload::new(bench, STANDARD_BATCH).profile();
+            let solo = gpu.simulate(&profile).time_s;
+            let spatial = gpu.simulate_bag(&[profile.clone(), profile.clone()]);
+            let temporal = gpu.simulate_time_sliced(&[profile.clone(), profile], 1e-3);
+            MultiplexRow {
+                benchmark: bench,
+                spatial_slowdown: spatial.per_app()[0].time_s / solo,
+                temporal_slowdown: temporal.mean_slowdown(&[solo, solo]),
+            }
+        })
+        .collect();
+    TemporalVsSpatial { rows }
+}
+
+/// Extension 2: n-bag prediction accuracy per bag size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NBagScaling {
+    /// `(bag size, mean LOOCV relative error %, points)` rows.
+    pub per_size: Vec<(usize, f64, usize)>,
+    /// Mean LOOCV error over the whole mixed-size corpus.
+    pub overall_percent: f64,
+}
+
+impl NBagScaling {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "bag size".into(),
+            "rel. error %".into(),
+            "test points".into(),
+        ]);
+        for (n, e, pts) in &self.per_size {
+            table.row(vec![n.to_string(), format!("{e:.2}"), pts.to_string()]);
+        }
+        format!(
+            "Extension 2: n-application bag prediction (order-statistic \
+             aggregation)\n{}\noverall LOOCV mean: {:.2}%\n",
+            table.render(),
+            self.overall_percent
+        )
+    }
+}
+
+/// Runs extension 2 on a mixed-size corpus (bags of 2..=4).
+pub fn nbag_scaling() -> NBagScaling {
+    let platforms = Platforms::paper();
+    let records: Vec<NBagMeasurement> = nbag_corpus(24)
+        .into_iter()
+        .map(|bag| NBagMeasurement::collect(bag, &platforms))
+        .collect();
+
+    // Pooled LOOCV predictions, tagged with bag size.
+    let mut errors_by_size: Vec<(usize, f64)> = Vec::new();
+    let mut predictor = NBagPredictor::new();
+    for bench in Benchmark::ALL {
+        let (test, train): (Vec<_>, Vec<_>) = records
+            .iter()
+            .cloned()
+            .partition(|m| m.bag().involves(bench));
+        if test.is_empty() || train.is_empty() {
+            continue;
+        }
+        predictor.train(&train);
+        for m in &test {
+            let predicted = predictor.predict(m);
+            let truth = m.bag_gpu_time_s();
+            errors_by_size.push((m.bag().len(), ((truth - predicted) / truth).abs() * 100.0));
+        }
+    }
+
+    let per_size = (2..=4usize)
+        .map(|n| {
+            let errs: Vec<f64> = errors_by_size
+                .iter()
+                .filter(|(size, _)| *size == n)
+                .map(|(_, e)| *e)
+                .collect();
+            let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+            (n, mean, errs.len())
+        })
+        .collect();
+    let overall_percent =
+        errors_by_size.iter().map(|(_, e)| e).sum::<f64>() / errors_by_size.len().max(1) as f64;
+    NBagScaling {
+        per_size,
+        overall_percent,
+    }
+}
+
+/// Extension 3: regression-model comparison under the paper's LOOCV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelComparison {
+    /// `(model name, mean LOOCV relative error %)` rows.
+    pub rows: Vec<(String, f64)>,
+}
+
+impl ModelComparison {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec!["model".into(), "LOOCV error %".into()]);
+        for (name, e) in &self.rows {
+            table.row(vec![name.clone(), format!("{e:.2}")]);
+        }
+        format!(
+            "Extension 3: regression-model comparison (full feature set)\n{}",
+            table.render()
+        )
+    }
+
+    /// Error of one model by name.
+    pub fn error_of(&self, name: &str) -> Option<f64> {
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, e)| *e)
+    }
+}
+
+/// Runs extension 3.
+pub fn model_comparison(ctx: &Context) -> ModelComparison {
+    let rows = [
+        (ModelKind::DecisionTree, "decision tree"),
+        (ModelKind::RandomForest, "random forest"),
+        (ModelKind::Svr, "SVR (RBF)"),
+        (ModelKind::Linear, "linear regression"),
+    ]
+    .into_iter()
+    .map(|(kind, name)| {
+        let mut p = Predictor::new(FeatureSet::full()).with_model(kind);
+        let err = p.loocv_by_benchmark(ctx.records()).mean_error_percent();
+        (name.to_string(), err)
+    })
+    .collect();
+    ModelComparison { rows }
+}
+
+/// Extension 4: robustness of the predictor to measurement noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseRobustness {
+    /// `(noise sigma, mean LOOCV relative error %)` rows.
+    pub rows: Vec<(f64, f64)>,
+}
+
+impl NoiseRobustness {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec!["noise sigma".into(), "LOOCV error %".into()]);
+        for (sigma, e) in &self.rows {
+            table.row(vec![format!("{:.0}%", sigma * 100.0), format!("{e:.2}")]);
+        }
+        format!(
+            "Extension 4: predictor robustness to measurement noise \
+             (full feature set)\n{}",
+            table.render()
+        )
+    }
+}
+
+/// Runs extension 4: re-evaluates the full-feature predictor with
+/// multiplicative measurement noise injected into every time measurement —
+/// the run-to-run variance a physical testbed (like the paper's) exhibits.
+pub fn noise_robustness(ctx: &Context) -> NoiseRobustness {
+    let rows = [0.0, 0.02, 0.05, 0.10]
+        .into_iter()
+        .map(|sigma| {
+            let noisy: Vec<_> = ctx
+                .records()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.with_noise(i as u64, sigma))
+                .collect();
+            let mut p = Predictor::new(FeatureSet::full());
+            let err = p.loocv_by_benchmark(&noisy).mean_error_percent();
+            (sigma, err)
+        })
+        .collect();
+    NoiseRobustness { rows }
+}
+
+/// Extension 5: MICA-style benchmark similarity from instruction mixes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    /// Benchmark names, in matrix order.
+    pub benchmarks: Vec<String>,
+    /// `matrix[i][j]` = Manhattan distance between mixes, in percentage
+    /// points (0 = identical, up to 200).
+    pub matrix: Vec<Vec<f64>>,
+}
+
+impl SimilarityMatrix {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["".to_string()];
+        header.extend(self.benchmarks.iter().cloned());
+        let mut table = TextTable::new(header);
+        for (i, row) in self.matrix.iter().enumerate() {
+            let mut cells = vec![self.benchmarks[i].clone()];
+            cells.extend(row.iter().map(|d| format!("{d:.0}")));
+            table.row(cells);
+        }
+        format!(
+            "Extension 5: benchmark similarity (Manhattan distance between \
+             instruction mixes, MICA-style)\n{}",
+            table.render()
+        )
+    }
+
+    /// The most similar distinct pair.
+    pub fn closest_pair(&self) -> (usize, usize, f64) {
+        let mut best = (0, 0, f64::INFINITY);
+        for i in 0..self.matrix.len() {
+            for j in i + 1..self.matrix.len() {
+                if self.matrix[i][j] < best.2 {
+                    best = (i, j, self.matrix[i][j]);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Runs extension 5 at the standard batch size.
+pub fn benchmark_similarity(_ctx: &Context) -> SimilarityMatrix {
+    let mixes: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|&b| Workload::new(b, STANDARD_BATCH).profile().mix())
+        .collect();
+    let matrix = mixes
+        .iter()
+        .map(|a| mixes.iter().map(|b| a.manhattan_distance(b)).collect())
+        .collect();
+    SimilarityMatrix {
+        benchmarks: Benchmark::ALL.iter().map(|b| b.name().to_string()).collect(),
+        matrix,
+    }
+}
+
+/// Extension 6: the effect of dynamic resource release on bag makespans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicRelease {
+    /// `(bag label, static makespan s, dynamic makespan s)` rows over
+    /// heterogeneous standard-batch pairs.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+impl DynamicRelease {
+    /// Renders as a text table (largest savings first, top 12).
+    pub fn render(&self) -> String {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            let sa = 1.0 - a.2 / a.1;
+            let sb = 1.0 - b.2 / b.1;
+            sb.total_cmp(&sa)
+        });
+        let mut table = TextTable::new(vec![
+            "bag".into(),
+            "static makespan".into(),
+            "dynamic makespan".into(),
+            "saving".into(),
+        ]);
+        for (label, st, dy) in rows.iter().take(12) {
+            table.row(vec![
+                label.clone(),
+                format!("{:.2} ms", st * 1e3),
+                format!("{:.2} ms", dy * 1e3),
+                format!("{:.1}%", (1.0 - dy / st) * 100.0),
+            ]);
+        }
+        format!(
+            "Extension 6: steady-state vs dynamic-release bag model \
+             (top 12 savings of {} heterogeneous pairs)\n{}",
+            self.rows.len(),
+            table.render()
+        )
+    }
+
+    /// Mean relative saving of the dynamic model across all pairs.
+    pub fn mean_saving(&self) -> f64 {
+        let total: f64 = self.rows.iter().map(|(_, s, d)| 1.0 - d / s).sum();
+        total / self.rows.len().max(1) as f64
+    }
+}
+
+/// Runs extension 6 over every heterogeneous benchmark pair.
+pub fn dynamic_release(ctx: &Context) -> DynamicRelease {
+    let gpu = ctx.platforms().gpu();
+    let mut rows = Vec::new();
+    for (i, &a) in Benchmark::ALL.iter().enumerate() {
+        for &b in &Benchmark::ALL[i + 1..] {
+            let pa = Workload::new(a, STANDARD_BATCH).profile();
+            let pb = Workload::new(b, STANDARD_BATCH).profile();
+            let static_ms = gpu.simulate_bag(&[pa.clone(), pb.clone()]).makespan_s();
+            let dynamic_ms = gpu.simulate_bag_dynamic(&[pa, pb]).makespan_s;
+            rows.push((format!("{a}+{b}"), static_ms, dynamic_ms));
+        }
+    }
+    DynamicRelease { rows }
+}
+
+/// Extension 7: CPU thread-count sensitivity (the paper's second open
+/// problem: §V-A1 fixes every application at its best thread count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSensitivity {
+    /// Thread counts swept.
+    pub threads: Vec<u32>,
+    /// `(benchmark, time at each thread count in seconds, best count)`.
+    pub rows: Vec<(Benchmark, Vec<f64>, u32)>,
+}
+
+impl ThreadSensitivity {
+    /// Renders as a text table (times normalized to each benchmark's best).
+    pub fn render(&self) -> String {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.threads.iter().map(|t| format!("t{t}")));
+        header.push("best".into());
+        let mut table = TextTable::new(header);
+        for (bench, times, best) in &self.rows {
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mut row = vec![bench.name().to_string()];
+            row.extend(times.iter().map(|t| format!("{:.2}x", t / min)));
+            row.push(best.to_string());
+            table.row(row);
+        }
+        format!(
+            "Extension 7: CPU thread-count sensitivity (execution time \
+             relative to each benchmark's best configuration)\n{}",
+            table.render()
+        )
+    }
+}
+
+/// Runs extension 7 over a thread ladder at the standard batch.
+pub fn thread_sensitivity(ctx: &Context) -> ThreadSensitivity {
+    let cpu = ctx.platforms().cpu();
+    let threads: Vec<u32> = vec![1, 2, 4, 8, 16, 24, 48];
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = Workload::new(bench, STANDARD_BATCH).profile();
+            let times: Vec<f64> = threads
+                .iter()
+                .map(|&t| cpu.simulate(&profile, t).time_s)
+                .collect();
+            let best = threads[times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)];
+            (bench, times, best)
+        })
+        .collect();
+    ThreadSensitivity { threads, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_multiplexing_schemes_are_destructive() {
+        // Neither scheme reaches ideal 2x-free sharing; both slow each app.
+        let ext = temporal_vs_spatial(Context::shared());
+        assert_eq!(ext.rows.len(), 9);
+        for r in &ext.rows {
+            assert!(r.spatial_slowdown > 1.0, "{}", r.benchmark);
+            assert!(r.temporal_slowdown > 1.0, "{}", r.benchmark);
+        }
+    }
+
+    #[test]
+    fn temporal_is_serialization_bound_and_spatial_varies() {
+        // Round-robin pins every 2-way bag near the 2x serialization bound
+        // (switch overheads are small at a 1 ms quantum), while MPS spatial
+        // sharing ranges from below 2x (interference-light apps win) to well
+        // above it (interference-heavy apps lose) — destructive interference
+        // can make time-slicing the better scheme, which is exactly the
+        // paper's §II complaint about MPS.
+        let ext = temporal_vs_spatial(Context::shared());
+        for r in &ext.rows {
+            assert!(
+                (1.8..2.3).contains(&r.temporal_slowdown),
+                "{}: temporal {:.2}",
+                r.benchmark,
+                r.temporal_slowdown
+            );
+        }
+        let spatial_wins = ext
+            .rows
+            .iter()
+            .filter(|r| r.spatial_slowdown < r.temporal_slowdown)
+            .count();
+        assert!(
+            (1..=8).contains(&spatial_wins),
+            "both schemes should win somewhere: spatial {spatial_wins}/9"
+        );
+        // Interference-heavy benchmarks (large working sets / bandwidth
+        // hunger) must be the ones where spatial loses badly.
+        let worst = ext
+            .rows
+            .iter()
+            .max_by(|a, b| a.spatial_slowdown.total_cmp(&b.spatial_slowdown))
+            .unwrap();
+        assert!(worst.spatial_slowdown > 2.5, "worst {:.2}", worst.spatial_slowdown);
+    }
+
+    #[test]
+    fn noise_degrades_error_gracefully() {
+        let ext = noise_robustness(Context::shared());
+        assert_eq!(ext.rows.len(), 4);
+        let clean = ext.rows[0].1;
+        let worst = ext.rows.last().unwrap().1;
+        // 10% measurement noise should not blow the predictor up — the
+        // error floor just rises toward the noise level.
+        assert!(worst < 3.0 * clean + 15.0, "clean {clean:.1} worst {worst:.1}");
+        // The zero-noise row must match the deterministic Fig. 4 result.
+        let fig4 = crate::accuracy::figure4(Context::shared());
+        assert!((clean - fig4.mean_error_percent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_with_zero_diagonal() {
+        let ext = benchmark_similarity(Context::shared());
+        let n = ext.benchmarks.len();
+        assert_eq!(n, 9);
+        for i in 0..n {
+            assert!(ext.matrix[i][i] < 1e-9);
+            for j in 0..n {
+                assert!((ext.matrix[i][j] - ext.matrix[j][i]).abs() < 1e-9);
+                assert!(ext.matrix[i][j] <= 200.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn objrec_is_most_similar_to_hog() {
+        // ObjRec is HoG feature extraction + classification, so its mix must
+        // sit closest to HoG's among all pairs involving ObjRec.
+        let ext = benchmark_similarity(Context::shared());
+        let objrec = ext.benchmarks.iter().position(|b| b == "OBJREC").unwrap();
+        let hog = ext.benchmarks.iter().position(|b| b == "HoG").unwrap();
+        for (j, name) in ext.benchmarks.iter().enumerate() {
+            if j != objrec && j != hog {
+                assert!(
+                    ext.matrix[objrec][hog] <= ext.matrix[objrec][j],
+                    "OBJREC closer to {name} than to HoG"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_release_never_hurts_and_helps_asymmetric_pairs() {
+        let ext = dynamic_release(Context::shared());
+        assert_eq!(ext.rows.len(), 36);
+        for (label, st, dy) in &ext.rows {
+            assert!(dy <= &(st * (1.0 + 1e-9)), "{label}: dynamic {dy} > static {st}");
+        }
+        // Asymmetric pairs save substantially on average.
+        assert!(
+            ext.mean_saving() > 0.05,
+            "mean saving {:.1}%",
+            ext.mean_saving() * 100.0
+        );
+    }
+
+    #[test]
+    fn thread_sensitivity_best_is_never_one_thread() {
+        // Every benchmark parallelizes at least somewhat; the best config
+        // always uses multiple threads, and single-threaded runs are
+        // substantially slower.
+        let ext = thread_sensitivity(Context::shared());
+        assert_eq!(ext.rows.len(), 9);
+        for (bench, times, best) in &ext.rows {
+            assert!(*best > 1, "{bench}: best config is single-threaded");
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(times[0] > 1.5 * min, "{bench}: 1 thread not much slower");
+            // Times are finite and positive throughout the ladder.
+            for t in times {
+                assert!(t.is_finite() && *t > 0.0, "{bench}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_comparison_matches_paper_section_vd() {
+        // §V-D: SVR was ~10x worse than the decision tree; linear regression
+        // is unsuitable. The tree(-based) models must win clearly.
+        let cmp = model_comparison(Context::shared());
+        let tree = cmp.error_of("decision tree").unwrap();
+        let svr = cmp.error_of("SVR (RBF)").unwrap();
+        let linear = cmp.error_of("linear regression").unwrap();
+        assert!(svr > 2.0 * tree, "SVR {svr:.1} vs tree {tree:.1}");
+        assert!(linear > tree, "linear {linear:.1} vs tree {tree:.1}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation.
+//!
+//! Each experiment is a function that computes the figure's underlying data
+//! series and returns a structured, serializable result with a plain-text
+//! rendering (the paper's plots are bar/radar charts of exactly these
+//! numbers). The `repro` binary exposes one subcommand per artifact.
+//!
+//! | Module | Artifacts |
+//! |---|---|
+//! | [`scaling`] | Figs. 1-3: CPU/GPU performance vs. instance count |
+//! | [`accuracy`] | Fig. 4 (LOOCV) and Fig. 5 (related-work comparison) |
+//! | [`sensitivity`] | Figs. 6-9: per-feature ablations |
+//! | [`paths`] | Figs. 10-12: decision-path analysis |
+//! | [`tables`] | Tables II-IV: benchmarks, machine configuration, features |
+//! | [`extensions`] | Studies beyond the paper: temporal vs spatial multiplexing, n-application bags, model comparison |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bagpred_experiments::{accuracy, Context};
+//!
+//! let ctx = Context::shared();
+//! let fig4 = accuracy::figure4(ctx);
+//! println!("{}", fig4.render());
+//! assert!(fig4.mean_error_percent < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod context;
+pub mod extensions;
+pub mod paths;
+mod render;
+pub mod scaling;
+pub mod sensitivity;
+pub mod tables;
+
+pub use context::Context;
+pub use render::TextTable;

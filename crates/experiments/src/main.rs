@@ -1,0 +1,106 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <artifact>...
+//! repro all
+//! ```
+//!
+//! Artifacts: `fig1` … `fig12`, `table2`, `table3`, `table4`,
+//! `ext1` … `ext6`, `summary`, `all`.
+
+use bagpred_experiments::{accuracy, extensions, paths, scaling, sensitivity, tables, Context};
+
+const ARTIFACTS: [&str; 23] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "table2", "table3", "table4", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
+    "ext7", "summary",
+];
+
+fn run(artifact: &str, ctx: &Context) -> Result<String, String> {
+    Ok(match artifact {
+        "fig1" => scaling::figure1(ctx).render(),
+        "fig2" => scaling::figure2(ctx).render(),
+        "fig3" => scaling::figure3(ctx).render(),
+        "fig4" => accuracy::figure4(ctx).render(),
+        "fig5" => accuracy::figure5(ctx).render(),
+        "fig6" => sensitivity::figure6(ctx).render(),
+        "fig7" => sensitivity::figure7(ctx).render(),
+        "fig8" => sensitivity::figure8(ctx).render(),
+        "fig9" => sensitivity::figure9(ctx).render(),
+        "fig10" => paths::figure10(ctx).render(),
+        "fig11" => paths::figure11(ctx).render(),
+        "fig12" => paths::figure12(ctx).render_snapshot(26),
+        "table2" => tables::table2(ctx).render(),
+        "table3" => tables::table3(ctx).render(),
+        "table4" => tables::table4(ctx).render(),
+        "ext1" => extensions::temporal_vs_spatial(ctx).render(),
+        "ext2" => extensions::nbag_scaling().render(),
+        "ext3" => extensions::model_comparison(ctx).render(),
+        "ext4" => extensions::noise_robustness(ctx).render(),
+        "ext5" => extensions::benchmark_similarity(ctx).render(),
+        "ext6" => extensions::dynamic_release(ctx).render(),
+        "ext7" => extensions::thread_sensitivity(ctx).render(),
+        "summary" => summary(ctx),
+        other => return Err(format!("unknown artifact `{other}`")),
+    })
+}
+
+/// One-screen headline comparison against the paper.
+fn summary(ctx: &Context) -> String {
+    let fig4 = accuracy::figure4(ctx);
+    let fig5 = accuracy::figure5(ctx);
+    let fig10 = paths::figure10(ctx);
+    let gpu_presence = fig10
+        .presence
+        .iter()
+        .find(|(n, _)| n == "GPU")
+        .map(|(_, p)| *p)
+        .unwrap_or(0.0);
+    let mut out = String::from("Headline summary (paper vs measured)\n");
+    out.push_str(&format!(
+        "  LOOCV mean error, full features:   paper  9.0%   measured {:>6.2}%\n",
+        fig4.mean_error_percent
+    ));
+    for s in &fig5.schemes {
+        out.push_str(&format!(
+            "  {:<34} paper {:>5.1}%  measured {:>7.2}%\n",
+            s.scheme,
+            s.paper_percent.unwrap_or(f64::NAN),
+            s.measured_percent
+        ));
+    }
+    out.push_str(&format!(
+        "  GPU time in decision paths:        paper 100%    measured {gpu_presence:>6.1}%\n"
+    ));
+    out.push_str("  (full comparison: EXPERIMENTS.md; regenerate with `repro all`)\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro <artifact>... | all");
+        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ARTIFACTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    eprintln!("measuring the 91-run corpus...");
+    let ctx = Context::shared();
+
+    for artifact in selected {
+        match run(artifact, ctx) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Figures 1-3: performance under homogeneous multi-application concurrency.
+//!
+//! The paper's motivation section runs 1-4 instances of every benchmark on
+//! the CPU and the GPU and plots per-benchmark performance normalized to the
+//! single-instance run. The headline observations these figures carry:
+//!
+//! 1. GPU performance falls monotonically as instances are added;
+//! 2. CPU performance degrades far less (and non-monotonically for some
+//!    benchmarks);
+//! 3. single-instance GPU performance beats the CPU for most benchmarks —
+//!    with exceptions (FAST, ORB, SVM) — and the advantage erodes with
+//!    concurrency.
+
+use crate::context::Context;
+use crate::render::TextTable;
+use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
+use serde::{Deserialize, Serialize};
+
+/// Instance counts swept by Figs. 1-3.
+pub const INSTANCE_COUNTS: [usize; 4] = [1, 2, 3, 4];
+
+/// One benchmark's normalized-performance series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingSeries {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Normalized performance at each of [`INSTANCE_COUNTS`] instances
+    /// (1.0 at one instance by construction).
+    pub normalized_perf: Vec<f64>,
+}
+
+/// A whole figure: one series per benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFigure {
+    /// Which artifact this is ("Figure 1" …).
+    pub title: String,
+    /// Per-benchmark series.
+    pub series: Vec<ScalingSeries>,
+}
+
+impl ScalingFigure {
+    /// Renders the figure as a text table (benchmarks × instance counts).
+    pub fn render(&self) -> String {
+        let mut header = vec!["benchmark".to_string()];
+        for n in INSTANCE_COUNTS {
+            header.push(format!("x{n}"));
+        }
+        let mut table = TextTable::new(header);
+        for s in &self.series {
+            let mut row = vec![s.benchmark.name().to_string()];
+            for v in &s.normalized_perf {
+                row.push(format!("{v:.3}"));
+            }
+            table.row(row);
+        }
+        format!("{}\n{}", self.title, table.render())
+    }
+
+    /// The series for one benchmark.
+    pub fn series_for(&self, benchmark: Benchmark) -> Option<&ScalingSeries> {
+        self.series.iter().find(|s| s.benchmark == benchmark)
+    }
+}
+
+/// Per-instance CPU performance, normalized to one instance (Fig. 1).
+///
+/// Performance is the reciprocal of per-instance execution time (the
+/// paper's definition); `n` co-running instances are simulated as an
+/// `n`-way share of the server.
+pub fn figure1(ctx: &Context) -> ScalingFigure {
+    let cpu = ctx.platforms().cpu();
+    let series = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = Workload::new(bench, STANDARD_BATCH).profile();
+            let solo = cpu.simulate_best(&profile).time_s;
+            let normalized_perf = INSTANCE_COUNTS
+                .iter()
+                .map(|&n| {
+                    let shared = cpu.simulate_shared(&vec![profile.clone(); n]);
+                    solo / shared[0].time_s
+                })
+                .collect();
+            ScalingSeries {
+                benchmark: bench,
+                normalized_perf,
+            }
+        })
+        .collect();
+    ScalingFigure {
+        title: "Figure 1: CPU performance with multi-application concurrency \
+                (normalized to 1 instance)"
+            .to_string(),
+        series,
+    }
+}
+
+/// Per-instance GPU performance, normalized to one instance (Fig. 2).
+pub fn figure2(ctx: &Context) -> ScalingFigure {
+    let gpu = ctx.platforms().gpu();
+    let series = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = Workload::new(bench, STANDARD_BATCH).profile();
+            let solo = gpu.simulate(&profile).time_s;
+            let normalized_perf = INSTANCE_COUNTS
+                .iter()
+                .map(|&n| {
+                    let bag = gpu.simulate_bag(&vec![profile.clone(); n]);
+                    solo / bag.per_app()[0].time_s
+                })
+                .collect();
+            ScalingSeries {
+                benchmark: bench,
+                normalized_perf,
+            }
+        })
+        .collect();
+    ScalingFigure {
+        title: "Figure 2: GPU performance with multi-application concurrency \
+                (normalized to 1 instance)"
+            .to_string(),
+        series,
+    }
+}
+
+/// GPU/CPU performance ratio at each instance count (Fig. 3).
+///
+/// Values above 1 mean the GPU outperforms the CPU at that concurrency.
+pub fn figure3(ctx: &Context) -> ScalingFigure {
+    let cpu = ctx.platforms().cpu();
+    let gpu = ctx.platforms().gpu();
+    let series = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = Workload::new(bench, STANDARD_BATCH).profile();
+            let normalized_perf = INSTANCE_COUNTS
+                .iter()
+                .map(|&n| {
+                    let (cpu_time, gpu_time) = if n == 1 {
+                        (
+                            cpu.simulate_best(&profile).time_s,
+                            gpu.simulate(&profile).time_s,
+                        )
+                    } else {
+                        (
+                            cpu.simulate_shared(&vec![profile.clone(); n])[0].time_s,
+                            gpu.simulate_bag(&vec![profile.clone(); n]).per_app()[0].time_s,
+                        )
+                    };
+                    cpu_time / gpu_time
+                })
+                .collect();
+            ScalingSeries {
+                benchmark: bench,
+                normalized_perf,
+            }
+        })
+        .collect();
+    ScalingFigure {
+        title: "Figure 3: GPU / CPU performance with multi-application concurrency".to_string(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_performance_falls_monotonically() {
+        // The paper's central motivation (Fig. 2).
+        let fig = figure2(Context::shared());
+        for s in &fig.series {
+            assert!((s.normalized_perf[0] - 1.0).abs() < 1e-9);
+            for w in s.normalized_perf.windows(2) {
+                assert!(
+                    w[1] < w[0],
+                    "{}: GPU perf must fall with instances: {:?}",
+                    s.benchmark,
+                    s.normalized_perf
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_degrades_less_than_gpu() {
+        // Fig. 1 vs Fig. 2: at 4 instances, the CPU retains more of its
+        // single-instance performance than the GPU for most benchmarks.
+        let ctx = Context::shared();
+        let cpu = figure1(ctx);
+        let gpu = figure2(ctx);
+        let better = Benchmark::ALL
+            .iter()
+            .filter(|&&b| {
+                let c = cpu.series_for(b).unwrap().normalized_perf[3];
+                let g = gpu.series_for(b).unwrap().normalized_perf[3];
+                c > g
+            })
+            .count();
+        assert!(better >= 6, "CPU should degrade less for most: {better}/9");
+    }
+
+    #[test]
+    fn figure3_exceptions_match_paper() {
+        // Single-instance GPU beats CPU except FAST, ORB, SVM (§IV-C).
+        let fig = figure3(Context::shared());
+        for s in &fig.series {
+            let single = s.normalized_perf[0];
+            let expect_cpu_win = matches!(
+                s.benchmark,
+                Benchmark::Fast | Benchmark::Orb | Benchmark::Svm
+            );
+            if expect_cpu_win {
+                assert!(single < 1.0, "{} should favor CPU: {single:.2}", s.benchmark);
+            } else {
+                assert!(single > 1.0, "{} should favor GPU: {single:.2}", s.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_benchmarks() {
+        let fig = figure1(Context::shared());
+        let text = fig.render();
+        for b in Benchmark::ALL {
+            assert!(text.contains(b.name()), "missing {b}");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Figures 6-9: sensitivity of the prediction error to each feature group.
+//!
+//! Each figure takes a set of base feature schemes and re-evaluates them
+//! with one feature group added: CPU time (Fig. 6), GPU time (Fig. 7), the
+//! instruction mix (Fig. 8), and fairness (Fig. 9).
+
+use crate::accuracy::{evaluate_scheme, SchemeError};
+use crate::context::Context;
+use crate::render::TextTable;
+use bagpred_core::schemes::{self, PaperScheme};
+use serde::{Deserialize, Serialize};
+
+/// One before/after ablation pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPair {
+    /// The base scheme's errors.
+    pub base: SchemeError,
+    /// The extended scheme's errors.
+    pub extended: SchemeError,
+}
+
+impl AblationPair {
+    /// Change in measured error when the feature is added (negative =
+    /// improvement).
+    pub fn measured_delta(&self) -> f64 {
+        self.extended.measured_percent - self.base.measured_percent
+    }
+}
+
+/// A sensitivity figure: several ablation pairs around one feature group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityFigure {
+    /// Artifact title.
+    pub title: String,
+    /// The pairs, in the paper's x-axis order.
+    pub pairs: Vec<AblationPair>,
+}
+
+impl SensitivityFigure {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "base scheme".into(),
+            "base %".into(),
+            "(paper)".into(),
+            "extended scheme".into(),
+            "ext %".into(),
+            "(paper)".into(),
+        ]);
+        let paper = |p: Option<f64>| p.map_or("-".into(), |v| format!("{v:.1}"));
+        for p in &self.pairs {
+            table.row(vec![
+                p.base.scheme.clone(),
+                format!("{:.2}", p.base.measured_percent),
+                paper(p.base.paper_percent),
+                p.extended.scheme.clone(),
+                format!("{:.2}", p.extended.measured_percent),
+                paper(p.extended.paper_percent),
+            ]);
+        }
+        format!("{}\n{}", self.title, table.render())
+    }
+
+    /// Number of pairs where adding the feature reduced the error.
+    pub fn improvements(&self) -> usize {
+        self.pairs.iter().filter(|p| p.measured_delta() < 0.0).count()
+    }
+}
+
+fn run_pairs(
+    ctx: &Context,
+    title: &str,
+    pairs: Vec<(PaperScheme, PaperScheme)>,
+) -> SensitivityFigure {
+    let pairs = pairs
+        .into_iter()
+        .map(|(base, extended)| AblationPair {
+            base: SchemeError {
+                measured_percent: evaluate_scheme(ctx, &base.scheme),
+                scheme: base.scheme.name().to_string(),
+                paper_percent: base.paper_error_percent,
+            },
+            extended: SchemeError {
+                measured_percent: evaluate_scheme(ctx, &extended.scheme),
+                scheme: extended.scheme.name().to_string(),
+                paper_percent: extended.paper_error_percent,
+            },
+        })
+        .collect();
+    SensitivityFigure {
+        title: title.to_string(),
+        pairs,
+    }
+}
+
+/// Fig. 6: effect of adding CPU time to five base schemes.
+pub fn figure6(ctx: &Context) -> SensitivityFigure {
+    run_pairs(
+        ctx,
+        "Figure 6: effect of CPU time on the prediction error",
+        schemes::figure6(),
+    )
+}
+
+/// Fig. 7: effect of adding GPU time to five base schemes.
+pub fn figure7(ctx: &Context) -> SensitivityFigure {
+    run_pairs(
+        ctx,
+        "Figure 7: effect of GPU time on the prediction error",
+        schemes::figure7(),
+    )
+}
+
+/// Fig. 8: effect of adding the instruction mix to four base schemes.
+pub fn figure8(ctx: &Context) -> SensitivityFigure {
+    run_pairs(
+        ctx,
+        "Figure 8: effect of the instruction mix on the prediction error",
+        schemes::figure8(),
+    )
+}
+
+/// Fig. 9: effect of adding fairness to four base schemes.
+pub fn figure9(ctx: &Context) -> SensitivityFigure {
+    run_pairs(
+        ctx,
+        "Figure 9: effect of fairness on the prediction error",
+        schemes::figure9(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_helps_most_schemes() {
+        // The paper: "for any feature combination, the prediction error
+        // decreases with the introduction of CPU time".
+        let fig = figure6(Context::shared());
+        assert_eq!(fig.pairs.len(), 5);
+        assert!(
+            fig.improvements() >= 4,
+            "CPU time should help at least 4/5 schemes: {}",
+            fig.improvements()
+        );
+    }
+
+    #[test]
+    fn gpu_time_gives_the_largest_reductions() {
+        // The paper: GPU time's effect is more pronounced than CPU time's.
+        let ctx = Context::shared();
+        let cpu = figure6(ctx);
+        let gpu = figure7(ctx);
+        // Compare the shared base: insmix -> +CPU vs insmix -> +GPU.
+        let cpu_gain = -cpu.pairs[0].measured_delta();
+        let gpu_gain = -gpu.pairs[0].measured_delta();
+        assert!(
+            gpu_gain > cpu_gain,
+            "GPU gain {gpu_gain:.1} vs CPU gain {cpu_gain:.1}"
+        );
+        // GPU-extended schemes land in the low-error regime.
+        let best = gpu
+            .pairs
+            .iter()
+            .map(|p| p.extended.measured_percent)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 30.0, "best GPU-extended scheme {best:.1}%");
+    }
+
+    #[test]
+    fn fairness_rescues_time_less_schemes() {
+        // The paper's Fig. 9 headline: fairness cuts the instruction-mix
+        // scheme's error dramatically (144.6% -> 98.2%). We reproduce that
+        // shape; for schemes already carrying time features our deterministic
+        // targets leave fairness little residual to explain, so we require
+        // the big win on the time-less scheme and no serious regressions.
+        let fig = figure9(Context::shared());
+        assert_eq!(fig.pairs.len(), 4);
+        let insmix_pair = &fig.pairs[0];
+        assert!(
+            insmix_pair.extended.measured_percent < 0.7 * insmix_pair.base.measured_percent,
+            "fairness must cut the insmix error strongly: {:.1}% -> {:.1}%",
+            insmix_pair.base.measured_percent,
+            insmix_pair.extended.measured_percent
+        );
+        for p in &fig.pairs {
+            assert!(
+                p.measured_delta() < 0.15 * p.base.measured_percent + 5.0,
+                "fairness must not seriously degrade {}: {:+.1}",
+                p.base.scheme,
+                p.measured_delta()
+            );
+        }
+    }
+
+    #[test]
+    fn insmix_is_not_harmful_with_cpu_time(){
+        // Fig. 8's nuance: the mix helps alongside CPU time but has no
+        // sizeable positive impact alongside GPU time.
+        let fig = figure8(Context::shared());
+        let with_cpu = &fig.pairs[1];
+        assert!(
+            with_cpu.measured_delta() < 10.0,
+            "insmix should not hurt CPU-time schemes much: {:+.1}",
+            with_cpu.measured_delta()
+        );
+    }
+
+    #[test]
+    fn render_lists_all_pairs() {
+        let fig = figure6(Context::shared());
+        let text = fig.render();
+        for p in &fig.pairs {
+            assert!(text.contains(&p.base.scheme));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Tables II-IV: benchmark inventory, machine configuration, feature list.
+
+use crate::context::Context;
+use crate::render::{format_time, TextTable};
+use bagpred_core::Feature;
+use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
+use serde::{Deserialize, Serialize};
+
+/// Table II: the benchmark suite, with measured single-instance statistics
+/// appended (the paper's table is descriptive; the measured columns document
+/// what our implementations actually do).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// `(name, description, dynamic instructions, CPU time s, GPU time s)`.
+    pub rows: Vec<(String, String, u64, f64, f64)>,
+}
+
+impl Table2 {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "benchmark".into(),
+            "instructions".into(),
+            "CPU time".into(),
+            "GPU time".into(),
+            "description".into(),
+        ]);
+        for (name, desc, instr, cpu, gpu) in &self.rows {
+            table.row(vec![
+                name.clone(),
+                instr.to_string(),
+                format_time(*cpu),
+                format_time(*gpu),
+                desc.clone(),
+            ]);
+        }
+        format!(
+            "Table II: benchmarks (batch of {STANDARD_BATCH} images)\n{}",
+            table.render()
+        )
+    }
+}
+
+/// Builds Table II.
+pub fn table2(ctx: &Context) -> Table2 {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = Workload::new(bench, STANDARD_BATCH).profile();
+            let cpu = ctx.platforms().cpu().simulate_best(&profile).time_s;
+            let gpu = ctx.platforms().gpu().simulate(&profile).time_s;
+            (
+                bench.name().to_string(),
+                bench.description().to_string(),
+                profile.total_instructions(),
+                cpu,
+                gpu,
+            )
+        })
+        .collect();
+    Table2 { rows }
+}
+
+/// Table III: the simulated baseline system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// `(parameter, value)` rows.
+    pub rows: Vec<(String, String)>,
+}
+
+impl Table3 {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec!["parameter".into(), "type/value".into()]);
+        for (k, v) in &self.rows {
+            table.row(vec![k.clone(), v.clone()]);
+        }
+        format!("Table III: details of the baseline system\n{}", table.render())
+    }
+}
+
+/// Builds Table III from the live simulator configurations.
+pub fn table3(ctx: &Context) -> Table3 {
+    let cpu = ctx.platforms().cpu().config();
+    let gpu = ctx.platforms().gpu().config();
+    let rows = vec![
+        (
+            "CPU".to_string(),
+            format!("{}x Intel Xeon Gold 5118 (Skylake) [modelled]", cpu.sockets()),
+        ),
+        ("# of cores".to_string(), format!("{} physical", cpu.physical_cores())),
+        ("Logical cores".to_string(), cpu.logical_cores().to_string()),
+        ("Frequency".to_string(), format!("{:.1} GHz", cpu.freq_ghz())),
+        (
+            "LLC".to_string(),
+            format!("{:.1} MB total", cpu.llc_bytes() as f64 / (1024.0 * 1024.0)),
+        ),
+        (
+            "DRAM bandwidth".to_string(),
+            format!("{:.0} GB/s", cpu.dram_bandwidth() / 1e9),
+        ),
+        ("GPU".to_string(), "NVIDIA Tesla T4 (Turing) [modelled]".to_string()),
+        ("CUDA cores".to_string(), gpu.cuda_cores().to_string()),
+        ("SMs".to_string(), gpu.sms().to_string()),
+        ("GPU frequency".to_string(), format!("{:.2} GHz", gpu.freq_ghz())),
+        (
+            "GPU L2".to_string(),
+            format!("{} MB shared", gpu.l2_bytes() / (1024 * 1024)),
+        ),
+        (
+            "GDDR bandwidth".to_string(),
+            format!("{:.0} GB/s", gpu.dram_bandwidth() / 1e9),
+        ),
+        (
+            "PCIe bandwidth".to_string(),
+            format!("{:.0} GB/s effective", gpu.pcie_bandwidth() / 1e9),
+        ),
+    ];
+    Table3 { rows }
+}
+
+/// Table IV: the feature list with the measured value range of each feature
+/// across the 91-run corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// `(feature, description, min, max)` rows.
+    pub rows: Vec<(String, String, f64, f64)>,
+}
+
+impl Table4 {
+    /// Renders as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "num".into(),
+            "feature".into(),
+            "min".into(),
+            "max".into(),
+            "description".into(),
+        ]);
+        for (i, (name, desc, min, max)) in self.rows.iter().enumerate() {
+            table.row(vec![
+                (i + 1).to_string(),
+                name.clone(),
+                format!("{min:.4}"),
+                format!("{max:.4}"),
+                desc.clone(),
+            ]);
+        }
+        format!("Table IV: list of features\n{}", table.render())
+    }
+}
+
+const fn feature_description(f: Feature) -> &'static str {
+    match f {
+        Feature::CpuTime => "Execution time of the benchmark on a CPU (s)",
+        Feature::GpuTime => "Execution time of the benchmark on a GPU (s)",
+        Feature::MemRd => "% of memory-read instructions",
+        Feature::MemWr => "% of memory-write instructions",
+        Feature::Ctrl => "% of control/branch instructions",
+        Feature::Arith => "% of arithmetic instructions",
+        Feature::Fp => "% of floating point instructions",
+        Feature::Stack => "% of stack push/pop instructions",
+        Feature::Shift => "% of multiply/shift operations",
+        Feature::StringOp => "% of string operations",
+        Feature::Sse => "% of SSE instructions",
+        Feature::Fairness => "Fairness of concurrent multi-application execution",
+    }
+}
+
+/// Builds Table IV with measured ranges over the corpus.
+pub fn table4(ctx: &Context) -> Table4 {
+    let rows = Feature::ALL
+        .iter()
+        .map(|&f| {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for m in ctx.records() {
+                for slot in 0..2 {
+                    let v = m.raw_value(f, slot);
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            (
+                f.name().to_string(),
+                feature_description(f).to_string(),
+                min,
+                max,
+            )
+        })
+        .collect();
+    Table4 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_every_benchmark_with_positive_times() {
+        let t = table2(Context::shared());
+        assert_eq!(t.rows.len(), 9);
+        for (name, _, instr, cpu, gpu) in &t.rows {
+            assert!(*instr > 0, "{name}");
+            assert!(*cpu > 0.0 && *gpu > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_headline_numbers() {
+        let t = table3(Context::shared());
+        let get = |k: &str| {
+            t.rows
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert!(get("# of cores").contains("24"));
+        assert!(get("CUDA cores").contains("2560"));
+        assert!(get("Frequency").contains("2.3"));
+    }
+
+    #[test]
+    fn table4_has_twelve_features_with_sane_ranges() {
+        let t = table4(Context::shared());
+        assert_eq!(t.rows.len(), 12);
+        for (name, _, min, max) in &t.rows {
+            assert!(min <= max, "{name}");
+            assert!(min.is_finite() && max.is_finite(), "{name}");
+        }
+        // Fairness stays in (0, 1].
+        let fairness = t.rows.iter().find(|(n, ..)| n == "fairness").unwrap();
+        assert!(fairness.2 > 0.0 && fairness.3 <= 1.0);
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        let ctx = Context::shared();
+        assert!(table2(ctx).render().contains("SIFT"));
+        assert!(table3(ctx).render().contains("Tesla T4"));
+        assert!(table4(ctx).render().contains("fairness"));
+    }
+}

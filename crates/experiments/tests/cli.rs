@@ -1,0 +1,42 @@
+//! CLI behavior of the `repro` binary.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = repro().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("fig1"));
+}
+
+#[test]
+fn help_flag_succeeds() {
+    let out = repro().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("artifacts:"));
+}
+
+#[test]
+fn unknown_artifact_reports_error() {
+    let out = repro().arg("fig99").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown artifact"), "{stderr}");
+}
+
+#[test]
+fn table3_renders_quickly() {
+    // table3 only dumps configuration: cheap enough for a CLI test.
+    let out = repro().arg("table3").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Tesla T4"));
+    assert!(stdout.contains("2560"));
+}

@@ -1,0 +1,315 @@
+//! GPU machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the modelled GPU.
+///
+/// Defaults ([`GpuConfig::tesla_t4`]) follow the paper's Table III: an
+/// NVIDIA Tesla T4 (Turing) with 2560 CUDA cores.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_gpusim::GpuConfig;
+///
+/// let t4 = GpuConfig::tesla_t4();
+/// assert_eq!(t4.cuda_cores(), 2560);
+/// let half = GpuConfig::builder().sms(20).build();
+/// assert_eq!(half.cuda_cores(), 1280);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    sms: u32,
+    cores_per_sm: u32,
+    freq_ghz: f64,
+    max_threads_per_sm: u32,
+    l2_bytes: u64,
+    dram_bw_bytes_per_s: f64,
+    pcie_bw_bytes_per_s: f64,
+    launch_latency_s: f64,
+    tlb_reach_bytes: u64,
+    tlb_miss_penalty_s: f64,
+    serial_throughput_ips: f64,
+}
+
+impl GpuConfig {
+    /// The paper's baseline GPU (Table III): Tesla T4.
+    pub fn tesla_t4() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts building a custom configuration.
+    pub fn builder() -> GpuConfigBuilder {
+        GpuConfigBuilder::default()
+    }
+
+    /// Number of streaming multiprocessors.
+    pub fn sms(&self) -> u32 {
+        self.sms
+    }
+
+    /// CUDA cores per SM.
+    pub fn cores_per_sm(&self) -> u32 {
+        self.cores_per_sm
+    }
+
+    /// Total CUDA cores.
+    pub fn cuda_cores(&self) -> u32 {
+        self.sms * self.cores_per_sm
+    }
+
+    /// Boost clock in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// Boost clock in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_ghz * 1e9
+    }
+
+    /// Maximum resident threads per SM.
+    pub fn max_threads_per_sm(&self) -> u32 {
+        self.max_threads_per_sm
+    }
+
+    /// Maximum resident threads on the whole device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.sms as u64 * self.max_threads_per_sm as u64
+    }
+
+    /// Shared L2 cache capacity in bytes.
+    pub fn l2_bytes(&self) -> u64 {
+        self.l2_bytes
+    }
+
+    /// GDDR6 bandwidth in bytes per second.
+    pub fn dram_bandwidth(&self) -> f64 {
+        self.dram_bw_bytes_per_s
+    }
+
+    /// Effective host–device PCIe bandwidth in bytes per second.
+    pub fn pcie_bandwidth(&self) -> f64 {
+        self.pcie_bw_bytes_per_s
+    }
+
+    /// Fixed latency per kernel launch, in seconds.
+    pub fn launch_latency_s(&self) -> f64 {
+        self.launch_latency_s
+    }
+
+    /// Address range the (shared) TLB hierarchy can map at once.
+    pub fn tlb_reach_bytes(&self) -> u64 {
+        self.tlb_reach_bytes
+    }
+
+    /// Penalty of a TLB miss (page walk), in seconds.
+    pub fn tlb_miss_penalty_s(&self) -> f64 {
+        self.tlb_miss_penalty_s
+    }
+
+    /// Throughput of the serial residue of a workload, in instructions/s.
+    ///
+    /// The non-parallelizable fraction of a GPU workload — dependent
+    /// iterations (SVM epochs), inter-stage reductions, pipeline
+    /// synchronization — effectively executes at single-lane speed between
+    /// dependent kernel launches, roughly one instruction per device clock.
+    /// This is the structural reason iterative workloads lose to a big
+    /// out-of-order CPU core even when their parallel phase flies.
+    pub fn serial_throughput_ips(&self) -> f64 {
+        self.serial_throughput_ips
+    }
+}
+
+/// Builder for [`GpuConfig`]; see [`GpuConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct GpuConfigBuilder {
+    config: GpuConfig,
+}
+
+impl Default for GpuConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: GpuConfig {
+                sms: 40,
+                cores_per_sm: 64,
+                freq_ghz: 1.59,
+                max_threads_per_sm: 1024,
+                l2_bytes: 4 * 1024 * 1024,
+                dram_bw_bytes_per_s: 320e9,
+                // PCIe 3.0 x16 effective for pageable-memory copies.
+                pcie_bw_bytes_per_s: 6e9,
+                launch_latency_s: 8e-6,
+                tlb_reach_bytes: 512 * 2 * 1024 * 1024, // 512 x 2 MB entries
+                tlb_miss_penalty_s: 0.6e-6,
+                serial_throughput_ips: 1.0e9,
+            },
+        }
+    }
+}
+
+impl GpuConfigBuilder {
+    /// Sets the SM count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sms` is zero.
+    pub fn sms(mut self, sms: u32) -> Self {
+        assert!(sms > 0, "SM count must be positive");
+        self.config.sms = sms;
+        self
+    }
+
+    /// Sets the CUDA cores per SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn cores_per_sm(mut self, cores: u32) -> Self {
+        assert!(cores > 0, "cores per SM must be positive");
+        self.config.cores_per_sm = cores;
+        self
+    }
+
+    /// Sets the boost clock in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ghz` is positive and finite.
+    pub fn freq_ghz(mut self, ghz: f64) -> Self {
+        assert!(ghz > 0.0 && ghz.is_finite(), "frequency must be positive");
+        self.config.freq_ghz = ghz;
+        self
+    }
+
+    /// Sets the maximum resident threads per SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn max_threads_per_sm(mut self, threads: u32) -> Self {
+        assert!(threads > 0, "resident threads must be positive");
+        self.config.max_threads_per_sm = threads;
+        self
+    }
+
+    /// Sets the L2 capacity in bytes.
+    pub fn l2_bytes(mut self, bytes: u64) -> Self {
+        self.config.l2_bytes = bytes;
+        self
+    }
+
+    /// Sets the DRAM bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive and finite.
+    pub fn dram_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        assert!(
+            bytes_per_s > 0.0 && bytes_per_s.is_finite(),
+            "bandwidth must be positive"
+        );
+        self.config.dram_bw_bytes_per_s = bytes_per_s;
+        self
+    }
+
+    /// Sets the PCIe bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive and finite.
+    pub fn pcie_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        assert!(
+            bytes_per_s > 0.0 && bytes_per_s.is_finite(),
+            "bandwidth must be positive"
+        );
+        self.config.pcie_bw_bytes_per_s = bytes_per_s;
+        self
+    }
+
+    /// Sets the kernel-launch latency in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless non-negative and finite.
+    pub fn launch_latency_s(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "latency must be non-negative"
+        );
+        self.config.launch_latency_s = seconds;
+        self
+    }
+
+    /// Sets the TLB reach in bytes.
+    pub fn tlb_reach_bytes(mut self, bytes: u64) -> Self {
+        self.config.tlb_reach_bytes = bytes;
+        self
+    }
+
+    /// Sets the TLB miss penalty in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless non-negative and finite.
+    pub fn tlb_miss_penalty_s(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "penalty must be non-negative"
+        );
+        self.config.tlb_miss_penalty_s = seconds;
+        self
+    }
+
+    /// Sets the serial-residue throughput in instructions per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless positive and finite.
+    pub fn serial_throughput_ips(mut self, ips: f64) -> Self {
+        assert!(ips > 0.0 && ips.is_finite(), "throughput must be positive");
+        self.config.serial_throughput_ips = ips;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> GpuConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4_matches_table_iii() {
+        let c = GpuConfig::tesla_t4();
+        assert_eq!(c.cuda_cores(), 2560);
+        assert_eq!(c.sms(), 40);
+        assert_eq!(c.max_resident_threads(), 40 * 1024);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = GpuConfig::builder()
+            .sms(10)
+            .cores_per_sm(32)
+            .freq_ghz(1.0)
+            .build();
+        assert_eq!(c.cuda_cores(), 320);
+        assert!((c.freq_hz() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SM count must be positive")]
+    fn zero_sms_rejected() {
+        GpuConfig::builder().sms(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be non-negative")]
+    fn negative_launch_latency_rejected() {
+        GpuConfig::builder().launch_latency_s(-1.0);
+    }
+}

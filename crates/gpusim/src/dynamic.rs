@@ -1,0 +1,191 @@
+//! Dynamic bag execution: resources are re-shared as applications finish.
+//!
+//! [`GpuSimulator::simulate_bag`] models a steady state in which every
+//! member of the bag runs for the whole makespan — a standard first-order
+//! treatment, but pessimistic for asymmetric bags: once the short
+//! application completes, the survivor should get the whole device back.
+//! This module simulates the bag in *phases*: within a phase the member
+//! set is fixed and every live application progresses at the rate the
+//! interference model gives it; at each completion the shares are
+//! recomputed for the survivors.
+//!
+//! The `dynamic_release` ablation (extension experiment 6) quantifies how
+//! much the steady-state simplification overstates makespans.
+
+use crate::model::GpuSimulator;
+use crate::mps::bag_share_for;
+use bagpred_trace::KernelProfile;
+use serde::{Deserialize, Serialize};
+
+/// Result of dynamically simulating a bag with resource release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicBagExecution {
+    /// Per-application completion times (from bag launch), in input order.
+    pub completion_s: Vec<f64>,
+    /// Time until the last application completes.
+    pub makespan_s: f64,
+    /// Number of sharing phases simulated (= bag size for distinct
+    /// finishers).
+    pub phases: usize,
+}
+
+impl GpuSimulator {
+    /// Simulates a bag with dynamic resource release: each time an
+    /// application finishes, the remaining ones re-share the device.
+    ///
+    /// Within a phase, application `i` progresses at rate `1 / t_i` where
+    /// `t_i` is its whole-run time under the current sharing configuration;
+    /// the phase ends when the first live application reaches completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn simulate_bag_dynamic(&self, profiles: &[KernelProfile]) -> DynamicBagExecution {
+        assert!(!profiles.is_empty(), "at least one profile is required");
+        let n = profiles.len();
+        let mut remaining = vec![1.0f64; n]; // fraction of work left
+        let mut completion = vec![0.0f64; n];
+        let mut live: Vec<usize> = (0..n).collect();
+        let mut clock = 0.0f64;
+        let mut phases = 0usize;
+
+        while !live.is_empty() {
+            phases += 1;
+            // Whole-run time of each live app under the current member set.
+            let members: Vec<KernelProfile> =
+                live.iter().map(|&i| profiles[i].clone()).collect();
+            let times: Vec<f64> = live
+                .iter()
+                .enumerate()
+                .map(|(pos, _)| {
+                    self.simulate_with_share(&members[pos], bag_share_for(
+                        self.config(),
+                        &members,
+                        pos,
+                    ))
+                    .time_s
+                })
+                .collect();
+
+            // Time until the first live app finishes at current rates.
+            let dt = live
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| remaining[i] * times[pos])
+                .fold(f64::INFINITY, f64::min);
+            clock += dt;
+
+            let mut still_live = Vec::with_capacity(live.len());
+            for (pos, &i) in live.iter().enumerate() {
+                remaining[i] -= dt / times[pos];
+                if remaining[i] <= 1e-12 {
+                    completion[i] = clock;
+                } else {
+                    still_live.push(i);
+                }
+            }
+            live = still_live;
+        }
+
+        DynamicBagExecution {
+            makespan_s: clock,
+            completion_s: completion,
+            phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use bagpred_trace::{InstrClass, Profiler};
+
+    fn sim() -> GpuSimulator {
+        GpuSimulator::new(GpuConfig::tesla_t4())
+    }
+
+    fn profile(mega_instr: u64) -> KernelProfile {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Fp, mega_instr * 1_000_000);
+        p.read_bytes(mega_instr * 2_000_000);
+        KernelProfile::builder(p)
+            .parallel_width(1 << 22)
+            .parallel_fraction(0.999)
+            .working_set_bytes(6 << 20)
+            .kernel_launches(4)
+            .transfer_bytes(1 << 20)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_app_matches_solo() {
+        let p = profile(100);
+        let solo = sim().simulate(&p).time_s;
+        let dynamic = sim().simulate_bag_dynamic(std::slice::from_ref(&p));
+        assert!((dynamic.makespan_s - solo).abs() < 1e-12);
+        assert_eq!(dynamic.phases, 1);
+    }
+
+    #[test]
+    fn homogeneous_bag_matches_steady_state() {
+        // Identical apps finish together: no release happens, so the
+        // dynamic makespan equals the static model's.
+        let p = profile(150);
+        let static_bag = sim().simulate_bag(&[p.clone(), p.clone()]);
+        let dynamic = sim().simulate_bag_dynamic(&[p.clone(), p]);
+        assert!(
+            (dynamic.makespan_s - static_bag.makespan_s()).abs()
+                < 1e-9 * static_bag.makespan_s()
+        );
+    }
+
+    #[test]
+    fn asymmetric_bag_benefits_from_release() {
+        let long = profile(400);
+        let short = profile(40);
+        let static_bag = sim().simulate_bag(&[long.clone(), short.clone()]);
+        let dynamic = sim().simulate_bag_dynamic(&[long.clone(), short.clone()]);
+        // The long app reclaims the device after the short one exits.
+        assert!(
+            dynamic.makespan_s < static_bag.makespan_s(),
+            "dynamic {} vs static {}",
+            dynamic.makespan_s,
+            static_bag.makespan_s()
+        );
+        // But never better than running the long app alone.
+        let solo_long = sim().simulate(&long).time_s;
+        assert!(dynamic.makespan_s > solo_long);
+        assert_eq!(dynamic.phases, 2);
+    }
+
+    #[test]
+    fn completion_order_follows_work() {
+        let long = profile(400);
+        let short = profile(40);
+        let dynamic = sim().simulate_bag_dynamic(&[long, short]);
+        assert!(dynamic.completion_s[1] < dynamic.completion_s[0]);
+        assert_eq!(dynamic.makespan_s, dynamic.completion_s[0]);
+    }
+
+    #[test]
+    fn dynamic_is_bounded_by_static_for_any_pair() {
+        for (a, b) in [(100u64, 100u64), (300, 50), (50, 300), (500, 20)] {
+            let pa = profile(a);
+            let pb = profile(b);
+            let static_ms = sim().simulate_bag(&[pa.clone(), pb.clone()]).makespan_s();
+            let dynamic_ms = sim().simulate_bag_dynamic(&[pa, pb]).makespan_s;
+            assert!(
+                dynamic_ms <= static_ms * (1.0 + 1e-9),
+                "{a}/{b}: dynamic {dynamic_ms} > static {static_ms}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_bag_rejected() {
+        sim().simulate_bag_dynamic(&[]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Analytical SIMT GPU timing model for the `bagpred` workspace.
+//!
+//! The ISPASS 2020 paper measures GPU execution times on an NVIDIA Tesla T4
+//! (Turing) with CUDA MPS enabled, both for single instances and for bags of
+//! concurrently-running applications. This crate reproduces that measurement
+//! capability as a first-order analytical model in the tradition of Hong &
+//! Kim's GPU model (the paper's reference [18]):
+//!
+//! * **Compute pipeline** — per-thread instruction throughput over the CUDA
+//!   cores, scaled by occupancy (resident threads vs. data-parallel width)
+//!   and SIMT efficiency (lane idling under branch divergence).
+//! * **Memory pipeline** — DRAM traffic after an L2 capacity model, inflated
+//!   by uncoalesced access, bounded by GDDR6 bandwidth.
+//! * **Latency overlap** — compute and memory overlap in proportion to
+//!   occupancy (abundant warps hide latency; starved SMs do not).
+//! * **Fixed overheads** — kernel-launch latency and PCIe transfer time.
+//! * **MPS multi-application interference** ([`GpuSimulator::simulate_bag`])
+//!   — SM/L2/bandwidth partitioning across the bag plus the *destructive*
+//!   terms the paper attributes the GPU's poor scaling to (citing MASK and
+//!   Jog et al.): shared-TLB thrashing, L2 conflict inflation, and MPS
+//!   scheduling overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use bagpred_gpusim::{GpuConfig, GpuSimulator};
+//! use bagpred_workloads::{Benchmark, Workload};
+//!
+//! let sim = GpuSimulator::new(GpuConfig::tesla_t4());
+//! let profile = Workload::new(Benchmark::Sift, 20).profile();
+//! let solo = sim.simulate(&profile);
+//!
+//! // Two concurrent instances interfere destructively: each takes more
+//! // than twice as long as running alone (the paper's Fig. 2).
+//! let bag = sim.simulate_bag(&[profile.clone(), profile.clone()]);
+//! assert!(bag.makespan_s() > 2.0 * solo.time_s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dynamic;
+mod model;
+mod mps;
+mod temporal;
+
+pub use config::GpuConfig;
+pub use dynamic::DynamicBagExecution;
+pub use model::{ExecutionBound, GpuExecution, GpuSimulator};
+pub use mps::BagExecution;
+pub use temporal::TemporalExecution;

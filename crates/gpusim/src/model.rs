@@ -1,0 +1,343 @@
+//! The single-application SIMT timing model.
+
+use crate::config::GpuConfig;
+use bagpred_trace::{InstrClass, KernelProfile};
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline dominated an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionBound {
+    /// CUDA-core instruction throughput dominated.
+    Compute,
+    /// DRAM bandwidth dominated.
+    Memory,
+    /// Fixed overheads (launches + PCIe transfer) dominated.
+    Overhead,
+}
+
+/// Result of simulating one application on the GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuExecution {
+    /// Total wall-clock time in seconds (kernels + overheads).
+    pub time_s: f64,
+    /// Time spent inside kernels.
+    pub kernel_time_s: f64,
+    /// Time spent on launches and PCIe transfers.
+    pub overhead_s: f64,
+    /// Achieved occupancy in `(0, 1]`.
+    pub occupancy: f64,
+    /// Modelled L2 miss rate over memory traffic.
+    pub l2_miss_rate: f64,
+    /// The dominating pipeline.
+    pub bound: ExecutionBound,
+}
+
+/// Resource share granted to one application (full device when alone).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GpuShare {
+    /// Fraction of SMs available, in `(0, 1]`.
+    pub sm_fraction: f64,
+    /// L2 bytes available to this app.
+    pub l2_bytes: f64,
+    /// DRAM bandwidth available to this app.
+    pub bandwidth: f64,
+    /// PCIe bandwidth available to this app (the bus is shared under MPS).
+    pub pcie_bandwidth: f64,
+    /// Multiplier on L2 misses from co-runner conflicts (1 = none).
+    pub l2_interference: f64,
+    /// Multiplier on launch latency from MPS scheduling (1 = none).
+    pub schedule_inflation: f64,
+    /// Multiplier on kernel time from cache-victim contention (1 = none).
+    ///
+    /// An application whose working set is comparable to the shared L2 is a
+    /// contention *victim*: cache-polluting co-runners evict its resident
+    /// lines and its whole kernel slows, beyond the capacity split.
+    pub victim_slowdown: f64,
+    /// Multiplier on the serial residue from device contention (1 = none).
+    ///
+    /// Between dependent launches, a lone app re-acquires the device
+    /// immediately; in a bag, each dependent step waits behind co-runners'
+    /// kernel bursts in the MPS queue.
+    pub serial_inflation: f64,
+    /// Multiplier on memory time from shared-TLB thrashing (1 = none).
+    ///
+    /// Co-runners' translation streams evict each other's TLB entries, so a
+    /// fraction of memory accesses pay a page walk — modelled as a
+    /// proportional slowdown of the memory pipeline.
+    pub tlb_inflation: f64,
+}
+
+impl GpuShare {
+    pub(crate) fn whole_device(config: &GpuConfig) -> Self {
+        Self {
+            sm_fraction: 1.0,
+            l2_bytes: config.l2_bytes() as f64,
+            bandwidth: config.dram_bandwidth(),
+            pcie_bandwidth: config.pcie_bandwidth(),
+            l2_interference: 1.0,
+            schedule_inflation: 1.0,
+            serial_inflation: 1.0,
+            victim_slowdown: 1.0,
+            tlb_inflation: 1.0,
+        }
+    }
+}
+
+/// Analytical SIMT GPU simulator.
+///
+/// See the [crate docs](crate) for the modelling rationale and an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSimulator {
+    config: GpuConfig,
+}
+
+/// Per-thread instruction cost in core cycles on the SIMT pipeline.
+fn class_cost(class: InstrClass) -> f64 {
+    match class {
+        // Vector ops decompose into per-lane scalar ops on a GPU.
+        InstrClass::Sse => 1.0,
+        InstrClass::Alu => 1.0,
+        // Address generation; the data movement is priced by the memory pipe.
+        InstrClass::Load => 1.0,
+        InstrClass::Store => 1.0,
+        InstrClass::Fp => 1.0,
+        InstrClass::Stack => 1.2,
+        InstrClass::StringOp => 4.0,
+        InstrClass::Shift => 1.0,
+        InstrClass::Control => 1.5,
+    }
+}
+
+impl GpuSimulator {
+    /// Creates a simulator over a device configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Self { config }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Simulates one application running alone on the whole device.
+    pub fn simulate(&self, profile: &KernelProfile) -> GpuExecution {
+        self.simulate_with_share(profile, GpuShare::whole_device(&self.config))
+    }
+
+    pub(crate) fn simulate_with_share(
+        &self,
+        profile: &KernelProfile,
+        share: GpuShare,
+    ) -> GpuExecution {
+        let cfg = &self.config;
+
+        // --- Occupancy: resident threads vs. available width. ---
+        // MPS on Turing shares SMs rather than hard-partitioning them, so a
+        // narrow kernel cannot reclaim a co-runner's resident-thread slots:
+        // occupancy is always relative to the whole device, while the
+        // throughput share (`sm_fraction`) reflects the co-run split.
+        let resident_capacity = cfg.max_resident_threads() as f64;
+        let occupancy =
+            (profile.parallel_width() as f64 / resident_capacity).clamp(1e-4, 1.0);
+
+        // --- Compute pipeline. ---
+        let mix = profile.mix();
+        let cpi: f64 = InstrClass::ALL
+            .iter()
+            .map(|&c| mix.percent(c) / 100.0 * class_cost(c))
+            .sum();
+        // Divergent branches idle a fraction of each warp's lanes.
+        let simt_efficiency = 1.0 - 0.7 * profile.branch_divergence();
+        let cores = cfg.cuda_cores() as f64 * share.sm_fraction;
+        let instr = profile.total_instructions() as f64;
+        // The serial residue (Amdahl) runs on a single lane of a single SM —
+        // the structural reason iterative workloads (SVM epochs) lose to a
+        // big out-of-order core.
+        let par = profile.parallel_fraction();
+        let parallel_throughput = cores * cfg.freq_hz() * occupancy * simt_efficiency;
+        // The serial residue's dependent micro-launches dispatch through the
+        // (contended) MPS server, so it inflates with scheduling pressure.
+        let compute_time = instr * cpi * par / parallel_throughput
+            + instr * (1.0 - par) / cfg.serial_throughput_ips() * share.serial_inflation;
+
+        // --- Memory pipeline. ---
+        let ws = profile.working_set_bytes() as f64;
+        let l2_miss_rate = if ws <= share.l2_bytes {
+            0.05 // streaming compulsory misses
+        } else {
+            (0.05 + 0.7 * (1.0 - share.l2_bytes / ws)).min(1.0)
+        };
+        let l2_miss_rate = (l2_miss_rate * share.l2_interference).min(1.0);
+        // Uncoalesced accesses fetch whole sectors for single words.
+        let coalescing = profile.coalescing().max(0.05);
+        let dram_traffic = profile.bytes_total() as f64 * l2_miss_rate / coalescing;
+        // Shared-TLB thrashing (multi-app only) slows the memory pipeline
+        // proportionally: a fraction of accesses stall for page walks.
+        let memory_time = dram_traffic / share.bandwidth * share.tlb_inflation;
+
+        // --- Overlap: abundant warps hide memory latency behind compute. ---
+        let hide = occupancy.sqrt();
+        let kernel_time = (compute_time.max(memory_time)
+            + (1.0 - hide) * compute_time.min(memory_time))
+            * share.victim_slowdown;
+
+        // --- Fixed overheads. ---
+        let launch_time = profile.kernel_launches() as f64
+            * cfg.launch_latency_s()
+            * share.schedule_inflation;
+        let transfer_time = profile.transfer_bytes() as f64 / share.pcie_bandwidth;
+        let overhead = launch_time + transfer_time;
+
+        let time_s = kernel_time + overhead;
+        let bound = if overhead >= compute_time.max(memory_time) {
+            ExecutionBound::Overhead
+        } else if memory_time > compute_time {
+            ExecutionBound::Memory
+        } else {
+            ExecutionBound::Compute
+        };
+
+        GpuExecution {
+            time_s,
+            kernel_time_s: kernel_time,
+            overhead_s: overhead,
+            occupancy,
+            l2_miss_rate,
+            bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagpred_trace::Profiler;
+    use bagpred_workloads::{Benchmark, Workload};
+
+    fn sim() -> GpuSimulator {
+        GpuSimulator::new(GpuConfig::tesla_t4())
+    }
+
+    fn profile(width: u64, divergence: f64, launches: u64) -> KernelProfile {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Fp, 50_000_000);
+        p.read_bytes(100_000_000);
+        KernelProfile::builder(p)
+            .parallel_width(width)
+            .parallel_fraction(0.999)
+            .branch_divergence(divergence)
+            .coalescing(0.9)
+            .kernel_launches(launches)
+            .transfer_bytes(1_000_000)
+            .working_set_bytes(1 << 20)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn wide_kernels_saturate_occupancy() {
+        let exec = sim().simulate(&profile(1 << 22, 0.1, 4));
+        assert!((exec.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_kernels_underutilize() {
+        let wide = sim().simulate(&profile(1 << 22, 0.1, 4));
+        let narrow = sim().simulate(&profile(512, 0.1, 4));
+        assert!(narrow.occupancy < 0.05);
+        assert!(narrow.time_s > 3.0 * wide.time_s);
+    }
+
+    #[test]
+    fn divergence_slows_compute() {
+        let uniform = sim().simulate(&profile(1 << 22, 0.0, 4));
+        let divergent = sim().simulate(&profile(1 << 22, 0.8, 4));
+        assert!(divergent.time_s > uniform.time_s);
+    }
+
+    #[test]
+    fn launches_add_fixed_cost() {
+        let few = sim().simulate(&profile(1 << 22, 0.1, 2));
+        let many = sim().simulate(&profile(1 << 22, 0.1, 2000));
+        let expected = 1998.0 * sim().config().launch_latency_s();
+        assert!((many.time_s - few.time_s - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn l2_overflow_inflates_memory_time() {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 1_000_000);
+        p.read_bytes(4_000_000_000);
+        let base = KernelProfile::builder(p);
+        let mut small_builder = base.clone();
+        let fits = small_builder
+            .parallel_width(1 << 22)
+            .parallel_fraction(0.999)
+            .working_set_bytes(1 << 20)
+            .build()
+            .unwrap();
+        let mut big_builder = base.clone();
+        let spills = big_builder
+            .parallel_width(1 << 22)
+            .parallel_fraction(0.999)
+            .working_set_bytes(1 << 30)
+            .build()
+            .unwrap();
+        let t_fits = sim().simulate(&fits);
+        let t_spills = sim().simulate(&spills);
+        assert!(t_spills.l2_miss_rate > 5.0 * t_fits.l2_miss_rate);
+        assert!(t_spills.time_s > t_fits.time_s);
+    }
+
+    #[test]
+    fn bound_classification_is_consistent() {
+        // Overhead-bound: tiny compute, many launches.
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 1_000);
+        let tiny = KernelProfile::builder(p)
+            .parallel_width(1 << 20)
+            .kernel_launches(1_000)
+            .build()
+            .unwrap();
+        assert_eq!(sim().simulate(&tiny).bound, ExecutionBound::Overhead);
+
+        // Memory-bound: huge uncached traffic.
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 1_000_000);
+        p.read_bytes(8_000_000_000);
+        let memory = KernelProfile::builder(p)
+            .parallel_width(1 << 22)
+            .parallel_fraction(0.999)
+            .working_set_bytes(1 << 30)
+            .coalescing(0.2)
+            .kernel_launches(1)
+            .build()
+            .unwrap();
+        assert_eq!(sim().simulate(&memory).bound, ExecutionBound::Memory);
+    }
+
+    #[test]
+    fn real_workloads_have_sane_times() {
+        for b in Benchmark::ALL {
+            let exec = sim().simulate(&Workload::new(b, 4).profile());
+            assert!(
+                exec.time_s > 1e-9 && exec.time_s < 100.0,
+                "{b}: implausible {}",
+                exec.time_s
+            );
+            assert!(exec.occupancy > 0.0 && exec.occupancy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gpu_time_grows_with_batch() {
+        // Within the paper's batch range (20..320) occupancy is saturated
+        // and more images mean more time. (Below ~10 images, added work can
+        // be absorbed by rising occupancy instead.)
+        for b in [Benchmark::Sift, Benchmark::Knn] {
+            let small = sim().simulate(&Workload::new(b, 20).profile());
+            let large = sim().simulate(&Workload::new(b, 80).profile());
+            assert!(large.time_s > small.time_s, "{b}");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Multi-application (MPS) execution with destructive interference.
+
+use crate::config::GpuConfig;
+use crate::model::{GpuExecution, GpuShare, GpuSimulator};
+use bagpred_trace::KernelProfile;
+use serde::{Deserialize, Serialize};
+
+/// Result of co-running a bag of applications under MPS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BagExecution {
+    per_app: Vec<GpuExecution>,
+    makespan_s: f64,
+}
+
+impl BagExecution {
+    /// Per-application executions, in input order.
+    pub fn per_app(&self) -> &[GpuExecution] {
+        &self.per_app
+    }
+
+    /// Time until the last application finishes — the quantity the paper's
+    /// predictor learns to predict for a bag.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_s
+    }
+
+    /// Aggregate throughput relative to a set of solo times: the sum over
+    /// apps of `solo_time / shared_time`. Equals `n` under perfect
+    /// isolation-scaled sharing, and falls below 1 under heavy destructive
+    /// interference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solo_times` has a different length than the bag.
+    pub fn weighted_speedup(&self, solo_times: &[f64]) -> f64 {
+        assert_eq!(
+            solo_times.len(),
+            self.per_app.len(),
+            "one solo time per bag member is required"
+        );
+        self.per_app
+            .iter()
+            .zip(solo_times)
+            .map(|(exec, &solo)| solo / exec.time_s)
+            .sum()
+    }
+}
+
+impl GpuSimulator {
+    /// Simulates a bag of applications running concurrently under MPS
+    /// spatial multiplexing.
+    ///
+    /// The model partitions SMs, L2 and DRAM bandwidth evenly (MPS provides
+    /// no quality-of-service isolation, but a symmetric steady state is the
+    /// standard first-order treatment) and adds the destructive-interference
+    /// terms the paper highlights in §II:
+    ///
+    /// 1. **Shared TLB thrashing** — address translations of one app evict
+    ///    entries of the others, adding a per-miss page-walk penalty that
+    ///    grows with the bag size.
+    /// 2. **L2 conflict inflation** — beyond losing capacity, co-runners
+    ///    conflict in the shared L2 and at the memory controller.
+    /// 3. **MPS scheduling overhead** — launch dispatch serializes in the
+    ///    MPS server, inflating per-launch latency with bag size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn simulate_bag(&self, profiles: &[KernelProfile]) -> BagExecution {
+        assert!(!profiles.is_empty(), "at least one profile is required");
+        let per_app: Vec<GpuExecution> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.simulate_with_share(p, bag_share_for(self.config(), profiles, i)))
+            .collect();
+        let makespan_s = per_app
+            .iter()
+            .map(|e| e.time_s)
+            .fold(0.0f64, f64::max);
+        BagExecution {
+            per_app,
+            makespan_s,
+        }
+    }
+}
+
+/// Computes the resource share of `profiles[me]` when co-running with the
+/// rest of the bag.
+///
+/// Interference is *partner-dependent*: how much one application suffers
+/// depends on what its co-runners demand — the interaction the paper's
+/// predictor is designed to capture.
+pub(crate) fn bag_share_for(
+    cfg: &GpuConfig,
+    profiles: &[KernelProfile],
+    me: usize,
+) -> GpuShare {
+    let n = profiles.len() as f64;
+    if profiles.len() <= 1 {
+        return GpuShare::whole_device(cfg);
+    }
+
+    // Demand-proportional bandwidth arbitration (how GDDR controllers and
+    // the PCIe bus behave), floored so no app starves completely.
+    let demand = |p: &KernelProfile| p.bytes_total() as f64 + 1.0;
+    let total_demand: f64 = profiles.iter().map(demand).sum();
+    let my_bw_share = (demand(&profiles[me]) / total_demand).max(1.0 / (3.0 * n));
+    let transfer = |p: &KernelProfile| p.transfer_bytes() as f64 + 1.0;
+    let total_transfer: f64 = profiles.iter().map(transfer).sum();
+    let my_pcie_share = (transfer(&profiles[me]) / total_transfer).max(1.0 / (2.0 * n));
+
+    // Co-runners' working sets pressure the shared L2 (Jog et al.): conflict
+    // misses grow with how much of the cache the partners want.
+    let partner_ws: f64 = profiles
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != me)
+        .map(|(_, p)| p.working_set_bytes() as f64)
+        .sum();
+    let l2 = cfg.l2_bytes() as f64;
+    let l2_interference = 1.0 + 0.25 * (partner_ws / l2).min(2.5);
+
+    // Cache-victim sensitivity peaks when the app's working set is about the
+    // cache size: much smaller sets ride in registers/L1, much larger sets
+    // miss regardless of the co-runners.
+    let my_ws = profiles[me].working_set_bytes() as f64 + 1.0;
+    let sensitivity = (my_ws / l2).min(l2 / my_ws).clamp(0.0, 1.0);
+    let victim_slowdown = 1.0 + 0.45 * (partner_ws / l2).min(2.0) * sensitivity;
+
+    GpuShare {
+        // Compute throughput splits evenly: MPS interleaves everyone's warps
+        // across the shared SMs.
+        sm_fraction: 1.0 / n,
+        l2_bytes: l2 / n,
+        bandwidth: cfg.dram_bandwidth() * my_bw_share,
+        pcie_bandwidth: cfg.pcie_bandwidth() * my_pcie_share,
+        l2_interference,
+        // MPS server serializes launch dispatch across clients.
+        schedule_inflation: 1.0 + 0.35 * (n - 1.0),
+        // Dependent serial steps wait behind co-runners' kernel bursts.
+        serial_inflation: 1.0 + 0.85 * (n - 1.0),
+        victim_slowdown,
+        // Shared-TLB thrashing: co-runners' translation streams evict each
+        // other's entries (the MASK paper's headline problem); pressure is
+        // proportional to how memory-hungry the partners are.
+        tlb_inflation: 1.0
+            + 0.12
+                * (n - 1.0)
+                * (1.0 - demand(&profiles[me]) / total_demand)
+                * (cfg.tlb_miss_penalty_s() / 0.6e-6).min(4.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagpred_trace::{InstrClass, Profiler};
+    use bagpred_workloads::{Benchmark, Workload};
+
+    fn sim() -> GpuSimulator {
+        GpuSimulator::new(GpuConfig::tesla_t4())
+    }
+
+    fn wide_profile() -> KernelProfile {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Fp, 80_000_000);
+        p.read_bytes(2_000_000_000);
+        KernelProfile::builder(p)
+            .parallel_width(1 << 22)
+            .parallel_fraction(0.999)
+            .coalescing(0.9)
+            .branch_divergence(0.1)
+            .kernel_launches(8)
+            .transfer_bytes(4_000_000)
+            .working_set_bytes(8 << 20) // spills the 4 MB L2
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bag_of_one_matches_solo() {
+        let p = wide_profile();
+        let solo = sim().simulate(&p);
+        let bag = sim().simulate_bag(std::slice::from_ref(&p));
+        assert!((bag.makespan_s() - solo.time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_is_destructive_not_just_divisive() {
+        // Per-app time under 2-way sharing exceeds 2x the solo time: the
+        // interference terms make the whole less than the sum of its parts.
+        let p = wide_profile();
+        let solo = sim().simulate(&p);
+        let bag = sim().simulate_bag(&[p.clone(), p.clone()]);
+        assert!(
+            bag.per_app()[0].time_s > 2.0 * solo.time_s,
+            "shared {} vs solo {}",
+            bag.per_app()[0].time_s,
+            solo.time_s
+        );
+    }
+
+    #[test]
+    fn aggregate_throughput_decreases_with_bag_size() {
+        // The paper's Fig. 2: normalized GPU performance falls as instances
+        // are added.
+        let p = wide_profile();
+        let solo = sim().simulate(&p).time_s;
+        let mut last = f64::INFINITY;
+        for n in 2..=4usize {
+            let bag = sim().simulate_bag(&vec![p.clone(); n]);
+            let agg = bag.weighted_speedup(&vec![solo; n]);
+            assert!(agg < last, "aggregate must fall: n={n} agg={agg}");
+            last = agg;
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_of_members() {
+        let a = wide_profile();
+        let b = Workload::new(Benchmark::Fast, 4).profile();
+        let bag = sim().simulate_bag(&[a, b]);
+        let max = bag
+            .per_app()
+            .iter()
+            .map(|e| e.time_s)
+            .fold(0.0f64, f64::max);
+        assert_eq!(bag.makespan_s(), max);
+    }
+
+    #[test]
+    fn heterogeneous_members_are_reported_in_order() {
+        let a = Workload::new(Benchmark::Sift, 4).profile();
+        let b = Workload::new(Benchmark::Fast, 4).profile();
+        let bag_ab = sim().simulate_bag(&[a.clone(), b.clone()]);
+        let bag_ba = sim().simulate_bag(&[b, a]);
+        assert!((bag_ab.per_app()[0].time_s - bag_ba.per_app()[1].time_s).abs() < 1e-12);
+        assert!((bag_ab.makespan_s() - bag_ba.makespan_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bag_makespan_correlates_with_solo_time() {
+        // Insight 3 of the paper: single-instance GPU time is the strongest
+        // signal for multi-instance GPU time.
+        let s = sim();
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for b in Benchmark::ALL {
+            let p = Workload::new(b, 4).profile();
+            let solo = s.simulate(&p).time_s;
+            let bag = s.simulate_bag(&[p.clone(), p]);
+            pairs.push((solo, bag.makespan_s()));
+        }
+        // Spearman rank correlation between solo time and bag makespan.
+        let rank = |key: fn(&(f64, f64)) -> f64, pairs: &[(f64, f64)]| -> Vec<f64> {
+            let mut order: Vec<usize> = (0..pairs.len()).collect();
+            order.sort_by(|&i, &j| key(&pairs[i]).total_cmp(&key(&pairs[j])));
+            let mut ranks = vec![0.0; pairs.len()];
+            for (r, &i) in order.iter().enumerate() {
+                ranks[i] = r as f64;
+            }
+            ranks
+        };
+        let ra = rank(|p| p.0, &pairs);
+        let rb = rank(|p| p.1, &pairs);
+        let n = pairs.len() as f64;
+        let d2: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - b) * (a - b)).sum();
+        let rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+        assert!(rho > 0.7, "solo/bag rank correlation too weak: {rho:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_bag_rejected() {
+        sim().simulate_bag(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one solo time per bag member")]
+    fn weighted_speedup_length_mismatch() {
+        let p = wide_profile();
+        let bag = sim().simulate_bag(&[p.clone(), p]);
+        bag.weighted_speedup(&[1.0]);
+    }
+}

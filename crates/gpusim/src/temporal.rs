@@ -1,0 +1,232 @@
+//! Temporal multiplexing: the time-slicing alternative to MPS.
+//!
+//! Before spatial multiplexing, GPUs shared applications by interleaving
+//! them at scheduling points (the paper's §II-A, citing Ausavarungnirun et
+//! al.'s observation that performance degrades as concurrent applications
+//! scale). This module models round-robin time slicing: each application
+//! owns the whole device for a quantum, paying a preemption latency and a
+//! cold-cache reload penalty at every switch.
+//!
+//! The `temporal_vs_spatial` extension experiment compares this against the
+//! MPS model of [`GpuSimulator::simulate_bag`].
+
+use crate::model::GpuSimulator;
+use bagpred_trace::KernelProfile;
+use serde::{Deserialize, Serialize};
+
+/// Preemption/drain latency per context switch, seconds.
+///
+/// Kernel-granularity preemption must drain in-flight thread blocks and
+/// swap contexts; tens of microseconds on hardware of the paper's era.
+const SWITCH_LATENCY_S: f64 = 25e-6;
+
+/// Result of time-slicing a bag of applications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalExecution {
+    /// Per-application turnaround time (submission to completion), seconds,
+    /// in input order.
+    pub turnaround_s: Vec<f64>,
+    /// Time until the last application completes.
+    pub makespan_s: f64,
+    /// Total context switches performed.
+    pub context_switches: u64,
+}
+
+impl TemporalExecution {
+    /// The mean slowdown relative to the given solo times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solo_times` has a different length than the schedule.
+    pub fn mean_slowdown(&self, solo_times: &[f64]) -> f64 {
+        assert_eq!(
+            solo_times.len(),
+            self.turnaround_s.len(),
+            "one solo time per application is required"
+        );
+        let sum: f64 = self
+            .turnaround_s
+            .iter()
+            .zip(solo_times)
+            .map(|(t, s)| t / s)
+            .sum();
+        sum / solo_times.len() as f64
+    }
+}
+
+impl GpuSimulator {
+    /// Simulates round-robin temporal multiplexing of a bag with the given
+    /// scheduling quantum.
+    ///
+    /// Each application executes alone on the whole device during its
+    /// quantum (no spatial interference), but pays [`SWITCH_LATENCY_S`] plus
+    /// an L2 reload penalty at each context switch — re-fetching its
+    /// resident working set through DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or `quantum_s` is not positive.
+    pub fn simulate_time_sliced(
+        &self,
+        profiles: &[KernelProfile],
+        quantum_s: f64,
+    ) -> TemporalExecution {
+        assert!(!profiles.is_empty(), "at least one profile is required");
+        assert!(
+            quantum_s > 0.0 && quantum_s.is_finite(),
+            "quantum must be positive"
+        );
+
+        // Solo execution time of each app (whole device to itself).
+        let mut remaining: Vec<f64> = profiles.iter().map(|p| self.simulate(p).time_s).collect();
+        // Cache reload after a switch: the evicted working set re-streams
+        // from DRAM.
+        let reload: Vec<f64> = profiles
+            .iter()
+            .map(|p| {
+                let resident =
+                    (p.working_set_bytes() as f64).min(self.config().l2_bytes() as f64);
+                resident / self.config().dram_bandwidth()
+            })
+            .collect();
+
+        let n = profiles.len();
+        let mut turnaround = vec![0.0f64; n];
+        let mut clock = 0.0f64;
+        let mut switches = 0u64;
+        let mut live = n;
+
+        // A single app owns the device outright: no switching at all.
+        if n == 1 {
+            return TemporalExecution {
+                turnaround_s: remaining,
+                makespan_s: self.simulate(&profiles[0]).time_s,
+                context_switches: 0,
+            };
+        }
+
+        while live > 0 {
+            for i in 0..n {
+                if remaining[i] <= 0.0 {
+                    continue;
+                }
+                // Context switch in (drain + state swap + cold L2).
+                clock += SWITCH_LATENCY_S + reload[i];
+                switches += 1;
+                let slice = remaining[i].min(quantum_s);
+                clock += slice;
+                remaining[i] -= slice;
+                if remaining[i] <= 0.0 {
+                    turnaround[i] = clock;
+                    live -= 1;
+                }
+            }
+        }
+
+        TemporalExecution {
+            makespan_s: clock,
+            turnaround_s: turnaround,
+            context_switches: switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use bagpred_trace::{InstrClass, Profiler};
+
+    fn sim() -> GpuSimulator {
+        GpuSimulator::new(GpuConfig::tesla_t4())
+    }
+
+    fn profile(mega_instr: u64) -> KernelProfile {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Fp, mega_instr * 1_000_000);
+        KernelProfile::builder(p)
+            .parallel_width(1 << 22)
+            .parallel_fraction(0.999)
+            .working_set_bytes(2 << 20)
+            .kernel_launches(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_app_pays_no_switches() {
+        let p = profile(100);
+        let solo = sim().simulate(&p).time_s;
+        let sliced = sim().simulate_time_sliced(std::slice::from_ref(&p), 1e-3);
+        assert_eq!(sliced.context_switches, 0);
+        assert!((sliced.makespan_s - solo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slicing_is_slower_than_solo_sum() {
+        let a = profile(200);
+        let b = profile(100);
+        let solo_sum = sim().simulate(&a).time_s + sim().simulate(&b).time_s;
+        let sliced = sim().simulate_time_sliced(&[a, b], 0.5e-3);
+        assert!(
+            sliced.makespan_s > solo_sum,
+            "switch overheads must cost something: {} vs {}",
+            sliced.makespan_s,
+            solo_sum
+        );
+    }
+
+    #[test]
+    fn finer_quanta_cost_more_switches() {
+        let bag = [profile(200), profile(200)];
+        let coarse = sim().simulate_time_sliced(&bag, 2e-3);
+        let fine = sim().simulate_time_sliced(&bag, 0.2e-3);
+        assert!(fine.context_switches > coarse.context_switches);
+        assert!(fine.makespan_s > coarse.makespan_s);
+    }
+
+    #[test]
+    fn short_apps_finish_before_the_makespan() {
+        // Quantum small enough that the long app needs several rounds while
+        // the short one completes in its first slice.
+        let long = profile(500);
+        let short = profile(20);
+        let sliced = sim().simulate_time_sliced(&[long, short], 20e-6);
+        assert!(sliced.turnaround_s[1] < sliced.turnaround_s[0]);
+        assert_eq!(sliced.makespan_s, sliced.turnaround_s[0]);
+    }
+
+    #[test]
+    fn mean_slowdown_grows_with_bag_size() {
+        // The degradation-with-scale observation the paper cites.
+        let p = profile(150);
+        let solo = sim().simulate(&p).time_s;
+        let mut last = 0.0;
+        for n in 2..=4usize {
+            let bag: Vec<_> = (0..n).map(|_| p.clone()).collect();
+            let sliced = sim().simulate_time_sliced(&bag, 1e-3);
+            let slowdown = sliced.mean_slowdown(&vec![solo; n]);
+            assert!(slowdown > last, "n={n}: {slowdown}");
+            last = slowdown;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        sim().simulate_time_sliced(&[profile(1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_bag_rejected() {
+        sim().simulate_time_sliced(&[], 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one solo time per application")]
+    fn mean_slowdown_length_mismatch() {
+        let sliced = sim().simulate_time_sliced(&[profile(1)], 1e-3);
+        sliced.mean_slowdown(&[1.0, 2.0]);
+    }
+}

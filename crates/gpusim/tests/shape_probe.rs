@@ -1,0 +1,26 @@
+use bagpred_cpusim::{CpuConfig, CpuSimulator};
+use bagpred_gpusim::{GpuConfig, GpuSimulator};
+use bagpred_workloads::{Benchmark, Workload};
+
+#[test]
+#[ignore]
+fn probe() {
+    let cpu = CpuSimulator::new(CpuConfig::xeon_gold_5118());
+    let gpu = GpuSimulator::new(GpuConfig::tesla_t4());
+    for b in Benchmark::ALL {
+        let p = Workload::new(b, 20).profile();
+        let c = cpu.simulate_best(&p);
+        let g = gpu.simulate(&p);
+        let bag = gpu.simulate_bag(&[p.clone(), p.clone()]);
+        eprintln!(
+            "{:8} cpu={:10.3}us gpu={:10.3}us ratio(gpu/cpu perf)={:6.2} gpu_bound={:?} occ={:.3} bag2/solo={:5.2}",
+            b.name(),
+            c.time_s * 1e6,
+            g.time_s * 1e6,
+            c.time_s / g.time_s,
+            g.bound,
+            g.occupancy,
+            bag.makespan_s() / g.time_s
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Datasets of feature vectors with regression targets.
+
+use crate::error::DatasetError;
+use serde::{Deserialize, Serialize};
+
+/// One training/test sample: a feature vector, a target, and an optional
+/// group label (the paper groups data points by benchmark for its
+/// leave-one-benchmark-out cross-validation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    features: Vec<f64>,
+    target: f64,
+    group: Option<String>,
+}
+
+impl Sample {
+    /// The feature vector.
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// The regression target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The group label, if any.
+    pub fn group(&self) -> Option<&str> {
+        self.group.as_deref()
+    }
+}
+
+/// A named-feature dataset.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_ml::Dataset;
+///
+/// let mut data = Dataset::new(vec!["a".into(), "b".into()])?;
+/// data.push(vec![1.0, 2.0], 3.0)?;
+/// data.push_grouped(vec![4.0, 5.0], 9.0, "SIFT")?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.feature_index("b"), Some(1));
+/// # Ok::<(), bagpred_ml::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over named features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] when no names are given or names repeat.
+    pub fn new(feature_names: Vec<String>) -> Result<Self, DatasetError> {
+        if feature_names.is_empty() {
+            return Err(DatasetError::NoFeatures);
+        }
+        for (i, name) in feature_names.iter().enumerate() {
+            if feature_names[..i].contains(name) {
+                return Err(DatasetError::DuplicateFeature { name: name.clone() });
+            }
+        }
+        Ok(Self {
+            feature_names,
+            samples: Vec::new(),
+        })
+    }
+
+    /// Adds an ungrouped sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on dimension mismatch or non-finite values.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), DatasetError> {
+        self.push_sample(features, target, None)
+    }
+
+    /// Adds a sample labelled with a group (e.g. the benchmark it came from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on dimension mismatch or non-finite values.
+    pub fn push_grouped(
+        &mut self,
+        features: Vec<f64>,
+        target: f64,
+        group: impl Into<String>,
+    ) -> Result<(), DatasetError> {
+        self.push_sample(features, target, Some(group.into()))
+    }
+
+    fn push_sample(
+        &mut self,
+        features: Vec<f64>,
+        target: f64,
+        group: Option<String>,
+    ) -> Result<(), DatasetError> {
+        if features.len() != self.feature_names.len() {
+            return Err(DatasetError::DimensionMismatch {
+                expected: self.feature_names.len(),
+                actual: features.len(),
+            });
+        }
+        if !target.is_finite() || features.iter().any(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFiniteValue);
+        }
+        self.samples.push(Sample {
+            features,
+            target,
+            group,
+        });
+        Ok(())
+    }
+
+    /// Feature names, in feature-vector order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All targets, in sample order.
+    pub fn targets(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.target).collect()
+    }
+
+    /// Distinct group labels, in first-appearance order.
+    pub fn groups(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for s in &self.samples {
+            if let Some(g) = &s.group {
+                if !seen.contains(g) {
+                    seen.push(g.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Splits into (samples **not** in `group`, samples in `group`) — the
+    /// paper's leave-one-benchmark-out partition.
+    pub fn split_by_group(&self, group: &str) -> (Dataset, Dataset) {
+        let mut train = Dataset {
+            feature_names: self.feature_names.clone(),
+            samples: Vec::new(),
+        };
+        let mut test = train.clone();
+        for s in &self.samples {
+            if s.group.as_deref() == Some(group) {
+                test.samples.push(s.clone());
+            } else {
+                train.samples.push(s.clone());
+            }
+        }
+        (train, test)
+    }
+
+    /// Builds a new dataset from a subset of sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            samples: indices.iter().map(|&i| self.samples[i].clone()).collect(),
+        }
+    }
+
+    /// Returns a copy restricted to the named feature columns, in the given
+    /// order — how the predictor evaluates feature-subset schemes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::DuplicateFeature`] for repeated names and
+    /// [`DatasetError::NoFeatures`] when `names` is empty or contains an
+    /// unknown feature.
+    pub fn project(&self, names: &[&str]) -> Result<Dataset, DatasetError> {
+        let mut indices = Vec::with_capacity(names.len());
+        for name in names {
+            match self.feature_index(name) {
+                Some(i) => indices.push(i),
+                None => return Err(DatasetError::NoFeatures),
+            }
+        }
+        let mut projected = Dataset::new(names.iter().map(|s| s.to_string()).collect())?;
+        for s in &self.samples {
+            let features = indices.iter().map(|&i| s.features[i]).collect();
+            projected.push_sample(features, s.target, s.group.clone())?;
+        }
+        Ok(projected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        d.push_grouped(vec![1.0, 10.0], 100.0, "x").unwrap();
+        d.push_grouped(vec![2.0, 20.0], 200.0, "y").unwrap();
+        d.push_grouped(vec![3.0, 30.0], 300.0, "x").unwrap();
+        d
+    }
+
+    #[test]
+    fn rejects_empty_feature_list() {
+        assert_eq!(Dataset::new(vec![]).unwrap_err(), DatasetError::NoFeatures);
+    }
+
+    #[test]
+    fn rejects_duplicate_features() {
+        let err = Dataset::new(vec!["a".into(), "a".into()]).unwrap_err();
+        assert!(matches!(err, DatasetError::DuplicateFeature { .. }));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let mut d = Dataset::new(vec!["a".into()]).unwrap();
+        let err = d.push(vec![1.0, 2.0], 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut d = Dataset::new(vec!["a".into()]).unwrap();
+        assert_eq!(
+            d.push(vec![f64::NAN], 0.0).unwrap_err(),
+            DatasetError::NonFiniteValue
+        );
+        assert_eq!(
+            d.push(vec![1.0], f64::INFINITY).unwrap_err(),
+            DatasetError::NonFiniteValue
+        );
+    }
+
+    #[test]
+    fn groups_are_deduplicated_in_order() {
+        assert_eq!(toy().groups(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn split_by_group_partitions() {
+        let (train, test) = toy().split_by_group("x");
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 2);
+        assert!(test.samples().iter().all(|s| s.group() == Some("x")));
+    }
+
+    #[test]
+    fn subset_selects_indices() {
+        let sub = toy().subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.samples()[0].target(), 300.0);
+        assert_eq!(sub.samples()[1].target(), 100.0);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let p = toy().project(&["b", "a"]).unwrap();
+        assert_eq!(p.feature_names(), &["b".to_string(), "a".to_string()]);
+        assert_eq!(p.samples()[0].features(), &[10.0, 1.0]);
+        assert_eq!(p.samples()[0].target(), 100.0);
+    }
+
+    #[test]
+    fn project_rejects_unknown() {
+        assert!(toy().project(&["z"]).is_err());
+    }
+}

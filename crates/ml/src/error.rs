@@ -1,0 +1,95 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or extending a [`Dataset`](crate::Dataset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No feature names were given.
+    NoFeatures,
+    /// Feature names are not unique.
+    DuplicateFeature {
+        /// The repeated name.
+        name: String,
+    },
+    /// A sample's feature vector has the wrong length.
+    DimensionMismatch {
+        /// Expected dimension (number of feature names).
+        expected: usize,
+        /// Dimension of the offending sample.
+        actual: usize,
+    },
+    /// A feature value or target is NaN or infinite.
+    NonFiniteValue,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::NoFeatures => f.write_str("dataset needs at least one feature"),
+            DatasetError::DuplicateFeature { name } => {
+                write!(f, "duplicate feature name `{name}`")
+            }
+            DatasetError::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected} features, got {actual}")
+            }
+            DatasetError::NonFiniteValue => f.write_str("values must be finite"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// Error raised when fitting a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set has no samples.
+    EmptyDataset,
+    /// The model's hyper-parameters are invalid for this data.
+    InvalidHyperparameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The underlying linear system could not be solved.
+    SingularSystem,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyDataset => f.write_str("training set has no samples"),
+            FitError::InvalidHyperparameters { reason } => {
+                write!(f, "invalid hyper-parameters: {reason}")
+            }
+            FitError::SingularSystem => f.write_str("linear system is singular"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DatasetError::NoFeatures.to_string().contains("feature"));
+        assert!(DatasetError::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(FitError::EmptyDataset.to_string().contains("no samples"));
+        assert!(FitError::SingularSystem.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(DatasetError::NonFiniteValue);
+        takes_error(FitError::EmptyDataset);
+    }
+}

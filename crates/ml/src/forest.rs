@@ -1,0 +1,262 @@
+//! Random-forest regression (bagged CART ensemble).
+//!
+//! The paper uses a single decision tree for explainability; a forest is
+//! the natural robustness extension (averaging bootstrap-resampled trees
+//! with feature subsampling). It trades the single tree's readable decision
+//! paths for lower variance — the comparison the `model_comparison`
+//! extension experiment quantifies.
+
+use crate::dataset::Dataset;
+use crate::error::FitError;
+use crate::tree::DecisionTreeRegressor;
+use crate::Regressor;
+use bagpred_trace::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A bagged ensemble of CART regression trees.
+///
+/// Each tree trains on a bootstrap resample of the data over a random
+/// subset of the features; predictions are the ensemble mean. Training is
+/// deterministic for a given seed.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_ml::{Dataset, RandomForestRegressor, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()])?;
+/// for i in 0..40 {
+///     data.push(vec![i as f64], (i * 3) as f64)?;
+/// }
+/// let mut forest = RandomForestRegressor::new().with_n_trees(20);
+/// forest.fit(&data)?;
+/// let y = forest.predict(&[20.0]);
+/// assert!((y - 60.0).abs() < 12.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    n_trees: usize,
+    max_depth: usize,
+    feature_fraction: f64,
+    seed: u64,
+    trees: Vec<(DecisionTreeRegressor, Vec<usize>)>,
+}
+
+impl Default for RandomForestRegressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RandomForestRegressor {
+    /// Creates a forest with default hyper-parameters (25 trees, depth 10,
+    /// ~70% of features per tree).
+    pub fn new() -> Self {
+        Self {
+            n_trees: 25,
+            max_depth: 10,
+            feature_fraction: 0.7,
+            seed: 0x0f0e_0257,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Sets the ensemble size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_n_trees(mut self, n: usize) -> Self {
+        assert!(n > 0, "a forest needs at least one tree");
+        self.n_trees = n;
+        self
+    }
+
+    /// Sets the per-tree maximum depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the fraction of features each tree sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `(0, 1]`.
+    pub fn with_feature_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "feature fraction must be in (0, 1]"
+        );
+        self.feature_fraction = fraction;
+        self
+    }
+
+    /// Sets the resampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of fitted trees (0 before fitting).
+    pub fn n_fitted_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, dataset: &Dataset) -> Result<(), FitError> {
+        if dataset.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let n = dataset.len();
+        let d = dataset.n_features();
+        let n_feats = ((d as f64 * self.feature_fraction).ceil() as usize).clamp(1, d);
+        let mut rng = SplitMix64::new(self.seed);
+        self.trees.clear();
+
+        for _ in 0..self.n_trees {
+            // Bootstrap resample of rows.
+            let rows: Vec<usize> = (0..n).map(|_| rng.next_below(n as u64) as usize).collect();
+            // Random feature subset (Fisher-Yates prefix).
+            let mut feats: Vec<usize> = (0..d).collect();
+            for i in 0..n_feats {
+                let j = i + rng.next_below((d - i) as u64) as usize;
+                feats.swap(i, j);
+            }
+            feats.truncate(n_feats);
+            feats.sort_unstable();
+
+            // Project the bootstrap sample onto the feature subset.
+            let names: Vec<&str> = feats
+                .iter()
+                .map(|&f| dataset.feature_names()[f].as_str())
+                .collect();
+            let projected = dataset
+                .subset(&rows)
+                .project(&names)
+                .expect("projection of known features succeeds");
+
+            let mut tree = DecisionTreeRegressor::new().with_max_depth(self.max_depth);
+            tree.fit(&projected)?;
+            self.trees.push((tree, feats));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "forest must be fitted");
+        let sum: f64 = self
+            .trees
+            .iter()
+            .map(|(tree, feats)| {
+                let projected: Vec<f64> = feats.iter().map(|&f| features[f]).collect();
+                tree.predict(&projected)
+            })
+            .sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn noisy_line() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "junk".into()]).unwrap();
+        let mut rng = SplitMix64::new(99);
+        for i in 0..60 {
+            let noise = rng.next_range(-2.0, 2.0);
+            d.push(vec![i as f64, rng.next_f64()], 2.0 * i as f64 + noise)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn forest_fits_noisy_line() {
+        let mut f = RandomForestRegressor::new();
+        f.fit(&noisy_line()).unwrap();
+        assert_eq!(f.n_fitted_trees(), 25);
+        let y = f.predict(&[30.0, 0.5]);
+        assert!((y - 60.0).abs() < 8.0, "predicted {y}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = noisy_line();
+        let mut a = RandomForestRegressor::new().with_seed(5);
+        let mut b = RandomForestRegressor::new().with_seed(5);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&[10.0, 0.0]), b.predict(&[10.0, 0.0]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = noisy_line();
+        let mut a = RandomForestRegressor::new().with_seed(1);
+        let mut b = RandomForestRegressor::new().with_seed(2);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_ne!(a.predict(&[10.5, 0.0]), b.predict(&[10.5, 0.0]));
+    }
+
+    #[test]
+    fn single_tree_forest_behaves_like_a_tree() {
+        let data = noisy_line();
+        let mut f = RandomForestRegressor::new()
+            .with_n_trees(1)
+            .with_feature_fraction(1.0);
+        f.fit(&data).unwrap();
+        assert_eq!(f.n_fitted_trees(), 1);
+        assert!(f.predict(&[0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert_eq!(
+            RandomForestRegressor::new().fit(&d).unwrap_err(),
+            FitError::EmptyDataset
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forest must be fitted")]
+    fn predict_before_fit_panics() {
+        RandomForestRegressor::new().predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature fraction")]
+    fn bad_feature_fraction_panics() {
+        RandomForestRegressor::new().with_feature_fraction(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn forest_predictions_stay_in_target_hull(
+            targets in proptest::collection::vec(-50.0f64..50.0, 4..30),
+            query in -100.0f64..100.0,
+        ) {
+            let mut d = Dataset::new(vec!["x".into()]).unwrap();
+            for (i, &t) in targets.iter().enumerate() {
+                d.push(vec![i as f64], t).unwrap();
+            }
+            let mut f = RandomForestRegressor::new().with_n_trees(8);
+            f.fit(&d).unwrap();
+            let y = f.predict(&[query]);
+            let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+    }
+}

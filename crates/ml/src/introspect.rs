@@ -1,0 +1,186 @@
+//! Decision-path analysis over fitted trees (the paper's §VI-C).
+//!
+//! The paper's unique selling point for decision trees is explainability: it
+//! analyzes, for every test point, *which* features gate the prediction and
+//! *how many times* each appears along the decision path (Figs. 10-12).
+//! This module computes exactly those quantities.
+
+use crate::dataset::Dataset;
+use crate::tree::DecisionTreeRegressor;
+
+/// Per-test-point feature usage along decision paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathAnalysis {
+    feature_names: Vec<String>,
+    /// `usage[point][feature]` = times the feature gates that point's path.
+    usage: Vec<Vec<usize>>,
+}
+
+impl PathAnalysis {
+    /// Analyzes the decision paths of every sample in `test` through `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted or was fitted on a different feature
+    /// dimension than `test`.
+    pub fn analyze(tree: &DecisionTreeRegressor, test: &Dataset) -> Self {
+        let usage = test
+            .samples()
+            .iter()
+            .map(|s| {
+                let mut counts = vec![0usize; test.n_features()];
+                for step in tree.decision_path(s.features()) {
+                    counts[step.feature] += 1;
+                }
+                counts
+            })
+            .collect();
+        Self {
+            feature_names: test.feature_names().to_vec(),
+            usage,
+        }
+    }
+
+    /// Merges analyses over the same feature space (used to pool the test
+    /// points of every LOOCV round, as the paper's Fig. 11 does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature spaces differ.
+    pub fn merge(mut self, other: PathAnalysis) -> PathAnalysis {
+        assert_eq!(
+            self.feature_names, other.feature_names,
+            "analyses cover different feature spaces"
+        );
+        self.usage.extend(other.usage);
+        self
+    }
+
+    /// Feature names, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of test points analyzed.
+    pub fn n_points(&self) -> usize {
+        self.usage.len()
+    }
+
+    /// The raw usage matrix: `[point][feature]` → count (Fig. 12's heatmap).
+    pub fn usage_matrix(&self) -> &[Vec<usize>] {
+        &self.usage
+    }
+
+    /// Percentage of test points whose path uses each feature at least once
+    /// (Fig. 10).
+    pub fn presence_percent(&self) -> Vec<f64> {
+        let n = self.usage.len().max(1) as f64;
+        (0..self.feature_names.len())
+            .map(|f| {
+                let present = self.usage.iter().filter(|row| row[f] > 0).count();
+                100.0 * present as f64 / n
+            })
+            .collect()
+    }
+
+    /// Mean number of times each feature appears per decision path (the
+    /// radial magnitude of Fig. 11).
+    pub fn mean_usage(&self) -> Vec<f64> {
+        let n = self.usage.len().max(1) as f64;
+        (0..self.feature_names.len())
+            .map(|f| self.usage.iter().map(|row| row[f] as f64).sum::<f64>() / n)
+            .collect()
+    }
+
+    /// Maximum times any single path uses each feature.
+    pub fn max_usage(&self) -> Vec<usize> {
+        (0..self.feature_names.len())
+            .map(|f| self.usage.iter().map(|row| row[f]).max().unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regressor;
+
+    /// Dataset where `x` fully determines the target and `junk` is constant.
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "junk".into()]).unwrap();
+        for i in 0..16 {
+            d.push(vec![i as f64, 1.0], (i / 4) as f64 * 10.0).unwrap();
+        }
+        d
+    }
+
+    fn fitted_tree(d: &Dataset) -> DecisionTreeRegressor {
+        let mut tree = DecisionTreeRegressor::new();
+        tree.fit(d).unwrap();
+        tree
+    }
+
+    #[test]
+    fn informative_feature_is_present_everywhere() {
+        let d = dataset();
+        let analysis = PathAnalysis::analyze(&fitted_tree(&d), &d);
+        let presence = analysis.presence_percent();
+        assert_eq!(presence[0], 100.0, "x gates every path");
+        assert_eq!(presence[1], 0.0, "junk gates nothing");
+    }
+
+    #[test]
+    fn mean_usage_reflects_path_depth() {
+        let d = dataset();
+        let analysis = PathAnalysis::analyze(&fitted_tree(&d), &d);
+        let mean = analysis.mean_usage();
+        assert!(mean[0] >= 1.0, "x used at least once per path");
+        assert_eq!(mean[1], 0.0);
+    }
+
+    #[test]
+    fn usage_matrix_has_one_row_per_point() {
+        let d = dataset();
+        let analysis = PathAnalysis::analyze(&fitted_tree(&d), &d);
+        assert_eq!(analysis.n_points(), d.len());
+        assert_eq!(analysis.usage_matrix()[0].len(), 2);
+    }
+
+    #[test]
+    fn merge_concatenates_points() {
+        let d = dataset();
+        let tree = fitted_tree(&d);
+        let a = PathAnalysis::analyze(&tree, &d);
+        let b = PathAnalysis::analyze(&tree, &d);
+        let merged = a.merge(b);
+        assert_eq!(merged.n_points(), 2 * d.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "different feature spaces")]
+    fn merge_rejects_mismatched_features() {
+        let d = dataset();
+        let tree = fitted_tree(&d);
+        let a = PathAnalysis::analyze(&tree, &d);
+
+        let mut other = Dataset::new(vec!["p".into(), "q".into()]).unwrap();
+        other.push(vec![0.0, 0.0], 0.0).unwrap();
+        let tree2 = fitted_tree(&{
+            let mut t = Dataset::new(vec!["p".into(), "q".into()]).unwrap();
+            t.push(vec![0.0, 0.0], 0.0).unwrap();
+            t.push(vec![1.0, 1.0], 1.0).unwrap();
+            t
+        });
+        let b = PathAnalysis::analyze(&tree2, &other);
+        let _ = a.merge(b);
+    }
+
+    #[test]
+    fn max_usage_bounds_mean_usage() {
+        let d = dataset();
+        let analysis = PathAnalysis::analyze(&fitted_tree(&d), &d);
+        for (mean, max) in analysis.mean_usage().iter().zip(analysis.max_usage()) {
+            assert!(*mean <= max as f64 + 1e-12);
+        }
+    }
+}

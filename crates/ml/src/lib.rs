@@ -1,0 +1,96 @@
+//! Regression machine learning for the `bagpred` workspace.
+//!
+//! The ISPASS 2020 paper trains its predictor with scikit-learn. This crate
+//! provides the needed capabilities natively, from scratch:
+//!
+//! * [`DecisionTreeRegressor`] — CART with MSE splitting, the paper's model
+//!   of choice (for its accuracy *and* its explainability).
+//! * [`LinearRegression`] — ordinary least squares via the normal equations
+//!   (with a ridge fallback for singular systems), the baseline the paper
+//!   dismisses because its features are not independent.
+//! * [`SvrRegressor`] — ε-insensitive support-vector regression with linear
+//!   and RBF kernels, the alternative the paper reports to be ~10× worse on
+//!   its sparse dataset.
+//! * [`RandomForestRegressor`] — a bagged-CART extension model for the
+//!   robustness comparison.
+//! * [`tune`] — cross-validated hyper-parameter search.
+//! * [`validation`] — seeded train/test splits, k-fold, and the grouped
+//!   leave-one-out scheme of the paper's Fig. 4 (leave *all data points of
+//!   one benchmark* out).
+//! * [`metrics`] — MSE and the relative-error measure of §VI.
+//! * [`introspect`] — decision-path extraction over a fitted tree: which
+//!   features gate each test point and how often (Figs. 10-12).
+//!
+//! Owning the tree implementation is what makes the decision-path analysis
+//! possible; a black-box library would not expose its internals in a stable
+//! way.
+//!
+//! # Example
+//!
+//! ```
+//! use bagpred_ml::{Dataset, DecisionTreeRegressor, Regressor};
+//!
+//! // y = x0 * 2, a relationship a depth-limited tree can approximate.
+//! let mut data = Dataset::new(vec!["x0".into()])?;
+//! for i in 0..32 {
+//!     data.push(vec![i as f64], i as f64 * 2.0)?;
+//! }
+//! let mut tree = DecisionTreeRegressor::new().with_max_depth(6);
+//! tree.fit(&data)?;
+//! let y = tree.predict(&[10.0]);
+//! assert!((y - 20.0).abs() < 4.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod forest;
+pub mod introspect;
+mod linear;
+pub mod metrics;
+mod svr;
+mod tree;
+pub mod tune;
+pub mod validation;
+
+pub use dataset::{Dataset, Sample};
+pub use error::{DatasetError, FitError};
+pub use forest::RandomForestRegressor;
+pub use linear::LinearRegression;
+pub use svr::{SvrKernel, SvrRegressor};
+pub use tree::{DecisionTreeRegressor, TreeNode};
+
+/// A trainable regression model.
+///
+/// All models in this crate implement `Regressor`, so the predictor layer
+/// and the benchmark harness can treat them uniformly (and as trait
+/// objects).
+pub trait Regressor {
+    /// Fits the model to a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when the dataset is empty or otherwise
+    /// unusable for this model.
+    fn fit(&mut self, dataset: &Dataset) -> Result<(), FitError>;
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the model has not been fitted or if the
+    /// feature vector has the wrong dimension; see each model's docs.
+    fn predict(&self, features: &[f64]) -> f64;
+
+    /// Predicts targets for every sample of a dataset.
+    fn predict_all(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .samples()
+            .iter()
+            .map(|s| self.predict(s.features()))
+            .collect()
+    }
+}

@@ -1,0 +1,221 @@
+//! Ordinary least-squares linear regression.
+
+use crate::dataset::Dataset;
+use crate::error::FitError;
+use crate::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// Linear regression `y = w · x + b`, solved via the normal equations with
+/// Gaussian elimination (partial pivoting) and a small ridge term retried on
+/// singular systems.
+///
+/// The paper notes linear regression presumes independent features — which
+/// its feature set violates — and uses it only as a conceptual baseline; we
+/// provide it for the same comparative role.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_ml::{Dataset, LinearRegression, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()])?;
+/// for i in 0..10 {
+///     data.push(vec![i as f64], 3.0 * i as f64 + 1.0)?;
+/// }
+/// let mut model = LinearRegression::new();
+/// model.fit(&data)?;
+/// assert!((model.predict(&[20.0]) - 61.0).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fitted weights (empty before fitting).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, FitError> {
+        let n = b.len();
+        for col in 0..n {
+            // Partial pivoting.
+            let pivot = (col..n)
+                .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+                .expect("non-empty range");
+            if a[pivot][col].abs() < 1e-12 {
+                return Err(FitError::SingularSystem);
+            }
+            a.swap(col, pivot);
+            b.swap(col, pivot);
+            for row in col + 1..n {
+                let factor = a[row][col] / a[col][col];
+                let (pivot_rows, rest) = a.split_at_mut(row);
+                let pivot_row = &pivot_rows[col];
+                for (dst, src) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                    *dst -= factor * src;
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in row + 1..n {
+                acc -= a[row][k] * x[k];
+            }
+            x[row] = acc / a[row][row];
+        }
+        Ok(x)
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, dataset: &Dataset) -> Result<(), FitError> {
+        if dataset.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let d = dataset.n_features() + 1; // + intercept
+        // Normal equations: (X^T X) w = X^T y over [x, 1] vectors.
+        let mut xtx = vec![vec![0.0; d]; d];
+        let mut xty = vec![0.0; d];
+        for s in dataset.samples() {
+            let mut row: Vec<f64> = s.features().to_vec();
+            row.push(1.0);
+            for i in 0..d {
+                xty[i] += row[i] * s.target();
+                for j in 0..d {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        let solution = match Self::solve(&mut xtx.clone(), &mut xty.clone()) {
+            Ok(x) => x,
+            Err(FitError::SingularSystem) => {
+                // Ridge fallback: well-posed for any data.
+                let mut ridge = xtx;
+                for (i, row) in ridge.iter_mut().enumerate() {
+                    row[i] += 1e-6;
+                    let _ = i;
+                }
+                Self::solve(&mut ridge, &mut xty)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.bias = solution[d - 1];
+        self.weights = solution[..d - 1].to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert!(self.fitted, "model must be fitted");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature vector has wrong dimension"
+        );
+        self.weights
+            .iter()
+            .zip(features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for i in 0..20 {
+            let (a, b) = (i as f64, (i * i % 7) as f64);
+            d.push(vec![a, b], 2.0 * a - 3.0 * b + 5.0).unwrap();
+        }
+        let mut m = LinearRegression::new();
+        m.fit(&d).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-8);
+        assert!((m.weights()[1] + 3.0).abs() < 1e-8);
+        assert!((m.bias() - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn collinear_features_fall_back_to_ridge() {
+        // b = 2a exactly: X^T X is singular; the ridge fallback must fit.
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for i in 0..10 {
+            let a = i as f64;
+            d.push(vec![a, 2.0 * a], 3.0 * a).unwrap();
+        }
+        let mut m = LinearRegression::new();
+        m.fit(&d).unwrap();
+        // Prediction is what matters, not the (non-unique) weights.
+        assert!((m.predict(&[4.0, 8.0]) - 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert_eq!(
+            LinearRegression::new().fit(&d).unwrap_err(),
+            FitError::EmptyDataset
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn predict_before_fit_panics() {
+        LinearRegression::new().predict(&[1.0]);
+    }
+
+    #[test]
+    fn constant_target_learns_intercept() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..5 {
+            d.push(vec![i as f64], 9.0).unwrap();
+        }
+        let mut m = LinearRegression::new();
+        m.fit(&d).unwrap();
+        assert!((m.predict(&[100.0]) - 9.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn fits_arbitrary_planes(
+            w0 in -10.0f64..10.0,
+            w1 in -10.0f64..10.0,
+            b in -10.0f64..10.0,
+        ) {
+            let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+            // Deterministic non-collinear design.
+            for i in 0..25 {
+                let a = (i % 5) as f64;
+                let c = (i / 5) as f64;
+                d.push(vec![a, c], w0 * a + w1 * c + b).unwrap();
+            }
+            let mut m = LinearRegression::new();
+            m.fit(&d).unwrap();
+            let err = (m.predict(&[2.5, 1.5]) - (w0 * 2.5 + w1 * 1.5 + b)).abs();
+            prop_assert!(err < 1e-6, "err {err}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Regression quality metrics.
+
+/// Mean squared error — the loss function of the paper's Eq. 1.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// let mse = bagpred_ml::metrics::mse(&[1.0, 2.0], &[1.0, 4.0]);
+/// assert_eq!(mse, 2.0);
+/// ```
+pub fn mse(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    truth
+        .iter()
+        .zip(predicted)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    truth
+        .iter()
+        .zip(predicted)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Relative error of one prediction, in percent — the paper's §VI measure:
+/// `|(true - predicted) / true| × 100`.
+///
+/// Returns infinity for a zero true value with a non-zero prediction.
+pub fn relative_error(truth: f64, predicted: f64) -> f64 {
+    if truth == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((truth - predicted) / truth).abs() * 100.0
+    }
+}
+
+/// Mean relative error over a prediction set, in percent.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// let err = bagpred_ml::metrics::mean_relative_error(&[10.0, 20.0], &[11.0, 18.0]);
+/// assert!((err - 10.0).abs() < 1e-9); // (10% + 10%) / 2
+/// ```
+pub fn mean_relative_error(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    truth
+        .iter()
+        .zip(predicted)
+        .map(|(&t, &p)| relative_error(t, p))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Median relative error over a prediction set, in percent.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn median_relative_error(truth: &[f64], predicted: &[f64]) -> f64 {
+    check(truth, predicted);
+    let mut errors: Vec<f64> = truth
+        .iter()
+        .zip(predicted)
+        .map(|(&t, &p)| relative_error(t, p))
+        .collect();
+    errors.sort_by(f64::total_cmp);
+    let mid = errors.len() / 2;
+    if errors.len() % 2 == 1 {
+        errors[mid]
+    } else {
+        (errors[mid - 1] + errors[mid]) / 2.0
+    }
+}
+
+/// Pearson correlation coefficient between two series.
+///
+/// Returns 0 when either series is constant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    check(a, b);
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a) * (x - mean_a);
+        var_b += (y - mean_b) * (y - mean_b);
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        0.0
+    } else {
+        cov / (var_a.sqrt() * var_b.sqrt())
+    }
+}
+
+fn check(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    assert!(!a.is_empty(), "series must be non-empty");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mse_of_perfect_prediction_is_zero() {
+        assert_eq!(mse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_is_mean_of_absolute_errors() {
+        assert_eq!(mae(&[0.0, 0.0], &[1.0, -3.0]), 2.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let truth = [10.0, 10.0, 10.0];
+        let pred = [11.0, 9.0, 1000.0];
+        assert!(mean_relative_error(&truth, &pred) > 100.0);
+        assert!((median_relative_error(&truth, &pred) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_of_even_count_averages() {
+        let truth = [10.0, 10.0];
+        let pred = [11.0, 13.0];
+        assert!((median_relative_error(&truth, &pred) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_linear_series_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let neg = [-10.0, -20.0, -30.0, -40.0];
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_series_panics() {
+        mse(&[], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn mse_is_nonnegative(
+            truth in proptest::collection::vec(-100.0f64..100.0, 1..20),
+            noise in proptest::collection::vec(-100.0f64..100.0, 1..20),
+        ) {
+            let n = truth.len().min(noise.len());
+            prop_assert!(mse(&truth[..n], &noise[..n]) >= 0.0);
+        }
+
+        #[test]
+        fn pearson_is_bounded(
+            a in proptest::collection::vec(-100.0f64..100.0, 2..20),
+            b in proptest::collection::vec(-100.0f64..100.0, 2..20),
+        ) {
+            let n = a.len().min(b.len());
+            let r = pearson(&a[..n], &b[..n]);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! ε-insensitive support-vector regression.
+
+use crate::dataset::Dataset;
+use crate::error::FitError;
+use crate::Regressor;
+use bagpred_trace::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Kernel function for [`SvrRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SvrKernel {
+    /// Plain dot product.
+    Linear,
+    /// Radial basis function `exp(-gamma * |x - y|^2)`.
+    Rbf {
+        /// Kernel width.
+        gamma: f64,
+    },
+}
+
+impl SvrKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            SvrKernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            SvrKernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// Kernelized ε-SVR trained by stochastic subgradient descent on the
+/// ε-insensitive loss in the representer form `f(x) = Σ αᵢ K(xᵢ, x) + b`.
+///
+/// This is the "sophisticated non-linear regression" alternative the paper
+/// evaluated and rejected: on its sparse 91-point dataset SVR could not find
+/// a distinctive hyperplane and its error was an order of magnitude worse
+/// than the decision tree's.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_ml::{Dataset, Regressor, SvrKernel, SvrRegressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()])?;
+/// for i in 0..20 {
+///     data.push(vec![i as f64 / 10.0], i as f64 / 5.0)?;
+/// }
+/// let mut svr = SvrRegressor::new(SvrKernel::Linear);
+/// svr.fit(&data)?;
+/// let y = svr.predict(&[1.0]);
+/// assert!((y - 2.0).abs() < 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvrRegressor {
+    kernel: SvrKernel,
+    epsilon: f64,
+    learning_rate: f64,
+    regularization: f64,
+    epochs: usize,
+    support: Vec<Vec<f64>>,
+    alphas: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl SvrRegressor {
+    /// Creates an SVR with the given kernel and default hyper-parameters
+    /// (ε = 0.01, η = 0.05, λ = 1e-4, 200 epochs).
+    pub fn new(kernel: SvrKernel) -> Self {
+        Self {
+            kernel,
+            epsilon: 0.01,
+            learning_rate: 0.05,
+            regularization: 1e-4,
+            epochs: 200,
+            support: Vec::new(),
+            alphas: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Sets the insensitivity tube half-width ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon` is non-negative and finite.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be non-negative"
+        );
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the number of training epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "at least one epoch is required");
+        self.epochs = epochs;
+        self
+    }
+
+    /// Number of support vectors with non-negligible weight (post-fit).
+    pub fn n_support(&self) -> usize {
+        self.alphas.iter().filter(|a| a.abs() > 1e-9).count()
+    }
+
+    fn raw_predict(&self, features: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.alphas)
+            .map(|(sv, a)| a * self.kernel.eval(sv, features))
+            .sum::<f64>()
+            + self.bias
+    }
+}
+
+impl Regressor for SvrRegressor {
+    fn fit(&mut self, dataset: &Dataset) -> Result<(), FitError> {
+        if dataset.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let n = dataset.len();
+        self.support = dataset
+            .samples()
+            .iter()
+            .map(|s| s.features().to_vec())
+            .collect();
+        self.alphas = vec![0.0; n];
+        self.bias = 0.0;
+        self.fitted = true; // raw_predict is usable during training
+
+        let targets = dataset.targets();
+        let mut rng = SplitMix64::new(0x5bf1_2da7);
+        for epoch in 0..self.epochs {
+            let eta = self.learning_rate / (1.0 + epoch as f64 * 0.05);
+            for _ in 0..n {
+                let i = rng.next_below(n as u64) as usize;
+                let err = self.raw_predict(&self.support[i]) - targets[i];
+                // Subgradient of the epsilon-insensitive loss.
+                let g = if err > self.epsilon {
+                    1.0
+                } else if err < -self.epsilon {
+                    -1.0
+                } else {
+                    0.0
+                };
+                if g != 0.0 {
+                    self.alphas[i] -= eta * g;
+                    self.bias -= eta * g * 0.1;
+                }
+                // L2 shrinkage keeps alphas bounded.
+                self.alphas[i] *= 1.0 - eta * self.regularization;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert!(self.fitted, "model must be fitted");
+        assert_eq!(
+            features.len(),
+            self.support.first().map_or(0, Vec::len),
+            "feature vector has wrong dimension"
+        );
+        self.raw_predict(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..30 {
+            let x = i as f64 / 15.0;
+            d.push(vec![x], 2.0 * x - 0.5).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn linear_kernel_fits_a_line() {
+        let mut svr = SvrRegressor::new(SvrKernel::Linear);
+        svr.fit(&line_dataset()).unwrap();
+        for (x, want) in [(0.0, -0.5), (1.0, 1.5), (2.0, 3.5)] {
+            let got = svr.predict(&[x]);
+            assert!((got - want).abs() < 0.4, "x={x}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn rbf_kernel_fits_a_bump() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..40 {
+            let x = i as f64 / 10.0 - 2.0;
+            d.push(vec![x], (-x * x).exp()).unwrap();
+        }
+        let mut svr = SvrRegressor::new(SvrKernel::Rbf { gamma: 2.0 }).with_epochs(400);
+        svr.fit(&d).unwrap();
+        let peak = svr.predict(&[0.0]);
+        let tail = svr.predict(&[-2.0]);
+        assert!(peak > 0.6, "peak {peak}");
+        assert!(tail < 0.4, "tail {tail}");
+    }
+
+    #[test]
+    fn epsilon_tube_tolerates_small_errors() {
+        // With a huge tube, nothing is a violation and alphas stay zero.
+        let mut svr = SvrRegressor::new(SvrKernel::Linear).with_epsilon(1e9);
+        svr.fit(&line_dataset()).unwrap();
+        assert_eq!(svr.n_support(), 0);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert_eq!(
+            SvrRegressor::new(SvrKernel::Linear).fit(&d).unwrap_err(),
+            FitError::EmptyDataset
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn predict_before_fit_panics() {
+        SvrRegressor::new(SvrKernel::Linear).predict(&[1.0]);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let mut a = SvrRegressor::new(SvrKernel::Linear);
+        let mut b = SvrRegressor::new(SvrKernel::Linear);
+        a.fit(&line_dataset()).unwrap();
+        b.fit(&line_dataset()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kernel_eval_matches_definitions() {
+        let lin = SvrKernel::Linear;
+        assert_eq!(lin.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let rbf = SvrKernel::Rbf { gamma: 1.0 };
+        assert!((rbf.eval(&[0.0], &[0.0]) - 1.0).abs() < 1e-12);
+        assert!(rbf.eval(&[0.0], &[10.0]) < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Hyper-parameter tuning by cross-validated grid search.
+
+use crate::dataset::Dataset;
+use crate::metrics;
+use crate::tree::DecisionTreeRegressor;
+use crate::validation;
+use crate::Regressor;
+
+/// Result of a grid search over tree depths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthSearch {
+    /// `(depth, mean k-fold relative error %)` per candidate.
+    pub candidates: Vec<(usize, f64)>,
+    /// The depth with the lowest cross-validated error.
+    pub best_depth: usize,
+}
+
+/// Selects a decision-tree depth by `k`-fold cross-validation over the
+/// candidate depths, scoring with mean relative error.
+///
+/// Ties resolve to the *shallowest* depth (prefer the simpler model).
+///
+/// # Panics
+///
+/// Panics if `depths` is empty, `k < 2`, or `k` exceeds the dataset size.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_ml::{tune, Dataset};
+///
+/// let mut data = Dataset::new(vec!["x".into()])?;
+/// for i in 0..40 {
+///     data.push(vec![i as f64], if i < 20 { 1.0 } else { 5.0 })?;
+/// }
+/// let search = tune::select_tree_depth(&data, &[1, 2, 6], 4, 7);
+/// // A single split suffices for a step function.
+/// assert!(search.best_depth <= 2);
+/// # Ok::<(), bagpred_ml::DatasetError>(())
+/// ```
+pub fn select_tree_depth(
+    dataset: &Dataset,
+    depths: &[usize],
+    k: usize,
+    seed: u64,
+) -> DepthSearch {
+    assert!(!depths.is_empty(), "at least one candidate depth is required");
+    let folds = validation::k_fold(dataset, k, seed);
+
+    let mut candidates = Vec::with_capacity(depths.len());
+    for &depth in depths {
+        let mut total = 0.0;
+        for (train, val) in &folds {
+            let mut tree = DecisionTreeRegressor::new().with_max_depth(depth);
+            tree.fit(train).expect("folds are non-empty");
+            let truth = val.targets();
+            let predicted = tree.predict_all(val);
+            total += metrics::mean_relative_error(&truth, &predicted);
+        }
+        candidates.push((depth, total / folds.len() as f64));
+    }
+
+    let best_depth = candidates
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .expect("candidates is non-empty")
+        .0;
+    DepthSearch {
+        candidates,
+        best_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..48 {
+            d.push(vec![i as f64], if i < 24 { 10.0 } else { 90.0 })
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn search_prefers_sufficient_shallow_depth() {
+        let search = select_tree_depth(&step_data(), &[1, 4, 12], 4, 3);
+        assert_eq!(search.best_depth, 1, "{:?}", search.candidates);
+    }
+
+    #[test]
+    fn all_candidates_are_scored() {
+        let search = select_tree_depth(&step_data(), &[1, 2, 3], 3, 0);
+        assert_eq!(search.candidates.len(), 3);
+        for (_, err) in &search.candidates {
+            assert!(err.is_finite() && *err >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deeper_helps_curvier_data() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..64 {
+            d.push(vec![i as f64], ((i * i) % 97) as f64 + 1.0).unwrap();
+        }
+        let search = select_tree_depth(&d, &[1, 8], 4, 1);
+        assert_eq!(search.best_depth, 8, "{:?}", search.candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_depths_panic() {
+        select_tree_depth(&step_data(), &[], 3, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dataset splitting and cross-validation.
+
+use crate::dataset::Dataset;
+use bagpred_trace::SplitMix64;
+
+/// Splits a dataset into (train, test) with the given test fraction, using a
+/// seeded shuffle — the paper's 80/20 protocol (§V-D2).
+///
+/// The test set receives `ceil(test_fraction * len)` samples (at least one
+/// sample stays in each side when `0 < test_fraction < 1` and the dataset
+/// has two or more samples).
+///
+/// # Panics
+///
+/// Panics unless `0.0 < test_fraction < 1.0`.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_ml::{validation, Dataset};
+///
+/// let mut data = Dataset::new(vec!["x".into()])?;
+/// for i in 0..10 {
+///     data.push(vec![i as f64], i as f64)?;
+/// }
+/// let (train, test) = validation::train_test_split(&data, 0.2, 42);
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test.len(), 2);
+/// # Ok::<(), bagpred_ml::DatasetError>(())
+/// ```
+pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let n = dataset.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    shuffle(&mut indices, seed);
+    let n_test = ((n as f64 * test_fraction).ceil() as usize).clamp(
+        usize::from(n >= 2),
+        n.saturating_sub(usize::from(n >= 2)).max(1),
+    );
+    let (test_idx, train_idx) = indices.split_at(n_test);
+    (dataset.subset(train_idx), dataset.subset(test_idx))
+}
+
+/// Yields `k` cross-validation folds as (train, validation) pairs over a
+/// seeded shuffle.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the number of samples.
+pub fn k_fold(dataset: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(k <= dataset.len(), "more folds than samples");
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    shuffle(&mut indices, seed);
+
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let val_idx: Vec<usize> = indices
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % k == fold)
+            .map(|(_, &i)| i)
+            .collect();
+        let train_idx: Vec<usize> = indices
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % k != fold)
+            .map(|(_, &i)| i)
+            .collect();
+        folds.push((dataset.subset(&train_idx), dataset.subset(&val_idx)));
+    }
+    folds
+}
+
+/// Leave-one-group-out cross-validation: one (train, test, group) triple per
+/// distinct group, where the test set holds *all* samples of that group.
+///
+/// This is the paper's Fig. 4 protocol: "to perform LOOCV for a particular
+/// benchmark, we leave all the data points corresponding to that benchmark
+/// for testing and use the rest for training."
+pub fn leave_one_group_out(dataset: &Dataset) -> Vec<(Dataset, Dataset, String)> {
+    dataset
+        .groups()
+        .into_iter()
+        .map(|g| {
+            let (train, test) = dataset.split_by_group(&g);
+            (train, test, g)
+        })
+        .collect()
+}
+
+/// Fisher–Yates shuffle with the workspace's deterministic RNG.
+fn shuffle(indices: &mut [usize], seed: u64) {
+    let mut rng = SplitMix64::new(seed ^ 0x5eed_5b11);
+    for i in (1..indices.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        indices.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grouped_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..12 {
+            let group = ["a", "b", "c"][i % 3];
+            d.push_grouped(vec![i as f64], i as f64, group).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = grouped_dataset();
+        let (t1, v1) = train_test_split(&d, 0.25, 7);
+        let (t2, v2) = train_test_split(&d, 0.25, 7);
+        assert_eq!(t1, t2);
+        assert_eq!(v1, v2);
+        let (_, v3) = train_test_split(&d, 0.25, 8);
+        assert_ne!(v1, v3, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = grouped_dataset();
+        let (train, test) = train_test_split(&d, 0.3, 1);
+        assert_eq!(train.len() + test.len(), d.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        train_test_split(&grouped_dataset(), 1.5, 0);
+    }
+
+    #[test]
+    fn k_fold_covers_every_sample_once() {
+        let d = grouped_dataset();
+        let folds = k_fold(&d, 4, 3);
+        assert_eq!(folds.len(), 4);
+        let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total_val, d.len());
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), d.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        k_fold(&grouped_dataset(), 13, 0);
+    }
+
+    #[test]
+    fn logo_holds_out_whole_groups() {
+        let d = grouped_dataset();
+        let rounds = leave_one_group_out(&d);
+        assert_eq!(rounds.len(), 3);
+        for (train, test, group) in &rounds {
+            assert_eq!(test.len(), 4);
+            assert_eq!(train.len(), 8);
+            // No leakage: the held-out group never appears in training.
+            assert!(train.samples().iter().all(|s| s.group() != Some(group)));
+            assert!(test.samples().iter().all(|s| s.group() == Some(group)));
+        }
+    }
+
+    #[test]
+    fn logo_on_ungrouped_data_is_empty() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        d.push(vec![1.0], 1.0).unwrap();
+        assert!(leave_one_group_out(&d).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn split_never_leaks(seed in any::<u64>(), frac in 0.05f64..0.95) {
+            let d = grouped_dataset();
+            let (train, test) = train_test_split(&d, frac, seed);
+            // Union of targets matches the original multiset.
+            let mut all: Vec<f64> = train.targets();
+            all.extend(test.targets());
+            all.sort_by(f64::total_cmp);
+            let mut want = d.targets();
+            want.sort_by(f64::total_cmp);
+            prop_assert_eq!(all, want);
+            prop_assert!(!train.is_empty());
+            prop_assert!(!test.is_empty());
+        }
+    }
+}

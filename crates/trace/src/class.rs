@@ -1,0 +1,143 @@
+//! Dynamic instruction classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamic instruction class, in the MICA-style taxonomy used by the paper.
+///
+/// The paper's feature table (Table IV) lists eight instruction-mix features:
+/// SSE, ALU, MEM, FP, stack, string, shift and control percentages. Its
+/// decision-path analysis (Fig. 12) splits MEM into reads and writes, so this
+/// enum keeps [`Load`](InstrClass::Load) and [`Store`](InstrClass::Store)
+/// separate; [`InstructionMix::mem`](crate::InstructionMix::mem) provides the
+/// merged view.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_trace::InstrClass;
+///
+/// assert_eq!(InstrClass::ALL.len(), 9);
+/// assert_eq!(InstrClass::Sse.name(), "sse");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// SIMD/vector instructions (SSE/AVX on the paper's Xeon host).
+    Sse,
+    /// Scalar integer arithmetic and logic.
+    Alu,
+    /// Memory reads.
+    Load,
+    /// Memory writes.
+    Store,
+    /// Scalar floating-point arithmetic.
+    Fp,
+    /// Stack push/pop (call frames, spills).
+    Stack,
+    /// String/block operations (memcpy-like).
+    StringOp,
+    /// Multiplies and shifts (the paper groups these).
+    Shift,
+    /// Branches, calls, and other control flow.
+    Control,
+}
+
+impl InstrClass {
+    /// All nine classes, in canonical order.
+    ///
+    /// The order is stable and is used to index count arrays throughout the
+    /// workspace.
+    pub const ALL: [InstrClass; 9] = [
+        InstrClass::Sse,
+        InstrClass::Alu,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Fp,
+        InstrClass::Stack,
+        InstrClass::StringOp,
+        InstrClass::Shift,
+        InstrClass::Control,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Canonical index of this class into count arrays (0..[`COUNT`](Self::COUNT)).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            InstrClass::Sse => 0,
+            InstrClass::Alu => 1,
+            InstrClass::Load => 2,
+            InstrClass::Store => 3,
+            InstrClass::Fp => 4,
+            InstrClass::Stack => 5,
+            InstrClass::StringOp => 6,
+            InstrClass::Shift => 7,
+            InstrClass::Control => 8,
+        }
+    }
+
+    /// Inverse of [`index`](Self::index). Returns `None` when out of range.
+    pub const fn from_index(index: usize) -> Option<InstrClass> {
+        if index < Self::COUNT {
+            Some(Self::ALL[index])
+        } else {
+            None
+        }
+    }
+
+    /// Short lowercase name, matching the labels in the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InstrClass::Sse => "sse",
+            InstrClass::Alu => "arith",
+            InstrClass::Load => "mem_rd",
+            InstrClass::Store => "mem_wr",
+            InstrClass::Fp => "fp",
+            InstrClass::Stack => "stack",
+            InstrClass::StringOp => "string",
+            InstrClass::Shift => "shift",
+            InstrClass::Control => "ctrl",
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for class in InstrClass::ALL {
+            assert_eq!(InstrClass::from_index(class.index()), Some(class));
+        }
+        assert_eq!(InstrClass::from_index(InstrClass::COUNT), None);
+    }
+
+    #[test]
+    fn all_is_in_index_order() {
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = InstrClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InstrClass::COUNT);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(InstrClass::Control.to_string(), "ctrl");
+    }
+}

@@ -1,0 +1,186 @@
+//! Instruction-mix percentages.
+
+use crate::InstrClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dynamic instruction-mix percentages over the nine [`InstrClass`]es.
+///
+/// Percentages sum to 100 (within floating-point error) whenever at least one
+/// instruction was recorded, and are all zero otherwise.
+///
+/// The paper's Table IV uses a *merged* memory percentage (loads + stores);
+/// its Fig. 12 analysis splits reads and writes. Both views are available.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_trace::{InstrClass, InstructionMix};
+///
+/// let mut counts = [0u64; InstrClass::COUNT];
+/// counts[InstrClass::Load.index()] = 30;
+/// counts[InstrClass::Store.index()] = 10;
+/// counts[InstrClass::Alu.index()] = 60;
+/// let mix = InstructionMix::from_counts(&counts);
+/// assert!((mix.mem() - 40.0).abs() < 1e-9);
+/// assert!((mix.percent(InstrClass::Alu) - 60.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InstructionMix {
+    percents: [f64; InstrClass::COUNT],
+}
+
+impl InstructionMix {
+    /// Computes percentages from raw per-class counts.
+    pub fn from_counts(counts: &[u64; InstrClass::COUNT]) -> Self {
+        let total: u64 = counts.iter().sum();
+        let mut percents = [0.0; InstrClass::COUNT];
+        if total > 0 {
+            for (p, &c) in percents.iter_mut().zip(counts.iter()) {
+                *p = 100.0 * c as f64 / total as f64;
+            }
+        }
+        Self { percents }
+    }
+
+    /// Percentage of one instruction class.
+    pub fn percent(&self, class: InstrClass) -> f64 {
+        self.percents[class.index()]
+    }
+
+    /// Merged memory percentage (loads + stores), the paper's `MEM` feature.
+    pub fn mem(&self) -> f64 {
+        self.percent(InstrClass::Load) + self.percent(InstrClass::Store)
+    }
+
+    /// All percentages in [`InstrClass::ALL`] order.
+    pub fn percents(&self) -> &[f64; InstrClass::COUNT] {
+        &self.percents
+    }
+
+    /// Sum of all percentages: 100 for a non-empty mix, 0 for an empty one.
+    pub fn total(&self) -> f64 {
+        self.percents.iter().sum()
+    }
+
+    /// Manhattan distance between two mixes, in percentage points.
+    ///
+    /// This is the MICA-style workload-similarity measure: two runs with
+    /// identical dynamic instruction mixes have distance 0; completely
+    /// disjoint mixes approach 200. Used by the benchmark-similarity
+    /// extension experiment.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bagpred_trace::{InstrClass, InstructionMix};
+    ///
+    /// let mut a = [0u64; InstrClass::COUNT];
+    /// a[InstrClass::Alu.index()] = 10;
+    /// let mut b = [0u64; InstrClass::COUNT];
+    /// b[InstrClass::Fp.index()] = 10;
+    /// let ma = InstructionMix::from_counts(&a);
+    /// let mb = InstructionMix::from_counts(&b);
+    /// assert_eq!(ma.manhattan_distance(&mb), 200.0);
+    /// assert_eq!(ma.manhattan_distance(&ma), 0.0);
+    /// ```
+    pub fn manhattan_distance(&self, other: &InstructionMix) -> f64 {
+        self.percents
+            .iter()
+            .zip(other.percents.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// True when no instructions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0.0
+    }
+}
+
+impl fmt::Display for InstructionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for class in InstrClass::ALL {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            write!(f, "{}={:.1}%", class, self.percent(class))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_counts_give_empty_mix() {
+        let mix = InstructionMix::from_counts(&[0; InstrClass::COUNT]);
+        assert!(mix.is_empty());
+        assert_eq!(mix.total(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_every_class() {
+        let mut counts = [1u64; InstrClass::COUNT];
+        counts[0] = 10;
+        let s = InstructionMix::from_counts(&counts).to_string();
+        for class in InstrClass::ALL {
+            assert!(s.contains(class.name()), "missing {class} in {s}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn percents_sum_to_100(counts in proptest::array::uniform9(0u64..1_000_000)) {
+            let mix = InstructionMix::from_counts(&counts);
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                prop_assert!(mix.is_empty());
+            } else {
+                prop_assert!((mix.total() - 100.0).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn percents_are_nonnegative(counts in proptest::array::uniform9(0u64..1_000_000)) {
+            let mix = InstructionMix::from_counts(&counts);
+            for class in InstrClass::ALL {
+                prop_assert!(mix.percent(class) >= 0.0);
+                prop_assert!(mix.percent(class) <= 100.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn mem_merges_load_and_store(counts in proptest::array::uniform9(0u64..1_000_000)) {
+            let mix = InstructionMix::from_counts(&counts);
+            let merged = mix.percent(InstrClass::Load) + mix.percent(InstrClass::Store);
+            prop_assert!((mix.mem() - merged).abs() < 1e-12);
+        }
+
+        #[test]
+        fn manhattan_distance_is_a_metric(
+            a in proptest::array::uniform9(0u64..1_000_000),
+            b in proptest::array::uniform9(0u64..1_000_000),
+            c in proptest::array::uniform9(0u64..1_000_000),
+        ) {
+            let (ma, mb, mc) = (
+                InstructionMix::from_counts(&a),
+                InstructionMix::from_counts(&b),
+                InstructionMix::from_counts(&c),
+            );
+            // Identity, symmetry, bounds, triangle inequality.
+            prop_assert!(ma.manhattan_distance(&ma) < 1e-12);
+            prop_assert!((ma.manhattan_distance(&mb) - mb.manhattan_distance(&ma)).abs() < 1e-9);
+            prop_assert!(ma.manhattan_distance(&mb) <= 200.0 + 1e-9);
+            prop_assert!(
+                ma.manhattan_distance(&mc)
+                    <= ma.manhattan_distance(&mb) + mb.manhattan_distance(&mc) + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The full dynamic character of one workload run.
+
+use crate::{InstrClass, InstructionMix, Profiler};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a [`KernelProfileBuilder`] is given invalid values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A fraction-valued field was outside `[0, 1]` or not finite.
+    FractionOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The data-parallel width was zero.
+    ZeroParallelWidth,
+    /// No dynamic instructions were recorded.
+    EmptyProfile,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::FractionOutOfRange { field } => {
+                write!(f, "field `{field}` must be a finite value in [0, 1]")
+            }
+            ProfileError::ZeroParallelWidth => {
+                f.write_str("data-parallel width must be at least 1")
+            }
+            ProfileError::EmptyProfile => f.write_str("profile records no dynamic instructions"),
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+/// The complete dynamic characterization of one workload execution.
+///
+/// This is the hand-off point between the workload layer and the two timing
+/// models: everything the CPU and GPU simulators know about a run is in here.
+/// It plays the role of the PIN/MICA trace summary plus the kernel metadata
+/// (launch counts, transfer sizes) that `nvprof`-style tooling would report.
+///
+/// Construct with [`KernelProfile::builder`].
+///
+/// # Example
+///
+/// ```
+/// use bagpred_trace::{InstrClass, KernelProfile, Profiler};
+///
+/// let mut prof = Profiler::new();
+/// prof.count(InstrClass::Fp, 1_000);
+/// prof.count(InstrClass::Load, 500);
+/// let profile = KernelProfile::builder(prof)
+///     .working_set_bytes(1 << 20)
+///     .parallel_width(4_096)
+///     .parallel_fraction(0.95)
+///     .build()?;
+/// assert_eq!(profile.total_instructions(), 1_500);
+/// # Ok::<(), bagpred_trace::ProfileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    counts: [u64; InstrClass::COUNT],
+    bytes_read: u64,
+    bytes_written: u64,
+    working_set_bytes: u64,
+    parallel_width: u64,
+    parallel_fraction: f64,
+    branch_divergence: f64,
+    coalescing: f64,
+    kernel_launches: u64,
+    transfer_bytes: u64,
+}
+
+impl KernelProfile {
+    /// Starts building a profile from recorded instruction counts.
+    pub fn builder(profiler: Profiler) -> KernelProfileBuilder {
+        KernelProfileBuilder::new(profiler)
+    }
+
+    /// Total dynamic instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count of one instruction class.
+    pub fn class_count(&self, class: InstrClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Instruction-mix percentages.
+    pub fn mix(&self) -> InstructionMix {
+        InstructionMix::from_counts(&self.counts)
+    }
+
+    /// Bytes read from memory.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Bytes written to memory.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total memory traffic (reads + writes).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Resident working set in bytes (drives cache-miss modelling).
+    pub fn working_set_bytes(&self) -> u64 {
+        self.working_set_bytes
+    }
+
+    /// Data-parallel width: independent work items available (e.g. pixels).
+    ///
+    /// Drives GPU occupancy and CPU thread scaling.
+    pub fn parallel_width(&self) -> u64 {
+        self.parallel_width
+    }
+
+    /// Fraction of dynamic work that is parallelizable (Amdahl).
+    pub fn parallel_fraction(&self) -> f64 {
+        self.parallel_fraction
+    }
+
+    /// Fraction of branches that diverge within a SIMT warp, in `[0, 1]`.
+    pub fn branch_divergence(&self) -> f64 {
+        self.branch_divergence
+    }
+
+    /// Memory-coalescing efficiency on a SIMT machine, in `(0, 1]`.
+    ///
+    /// 1.0 means perfectly coalesced (streaming) access; values near 0 mean
+    /// fully scattered access.
+    pub fn coalescing(&self) -> f64 {
+        self.coalescing
+    }
+
+    /// Number of GPU kernel launches the workload performs.
+    pub fn kernel_launches(&self) -> u64 {
+        self.kernel_launches
+    }
+
+    /// Host–device transfer volume in bytes (both directions).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Merges another profile into this one (summing counts and traffic,
+    /// taking the max of working set and parallel width, and weighting the
+    /// fraction-valued fields by dynamic instruction count).
+    ///
+    /// Used by composite workloads such as ObjRec (feature extraction
+    /// followed by classification).
+    pub fn merge(&self, other: &KernelProfile) -> KernelProfile {
+        let mut counts = self.counts;
+        for (dst, src) in counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        let w_self = self.total_instructions() as f64;
+        let w_other = other.total_instructions() as f64;
+        let total = (w_self + w_other).max(1.0);
+        let blend = |a: f64, b: f64| (a * w_self + b * w_other) / total;
+        KernelProfile {
+            counts,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            working_set_bytes: self.working_set_bytes.max(other.working_set_bytes),
+            parallel_width: self.parallel_width.max(other.parallel_width),
+            parallel_fraction: blend(self.parallel_fraction, other.parallel_fraction),
+            branch_divergence: blend(self.branch_divergence, other.branch_divergence),
+            coalescing: blend(self.coalescing, other.coalescing),
+            kernel_launches: self.kernel_launches + other.kernel_launches,
+            transfer_bytes: self.transfer_bytes + other.transfer_bytes,
+        }
+    }
+}
+
+/// Builder for [`KernelProfile`]; see [`KernelProfile::builder`].
+#[derive(Debug, Clone)]
+pub struct KernelProfileBuilder {
+    profiler: Profiler,
+    working_set_bytes: u64,
+    parallel_width: u64,
+    parallel_fraction: f64,
+    branch_divergence: f64,
+    coalescing: f64,
+    kernel_launches: u64,
+    transfer_bytes: u64,
+    work_scale: f64,
+}
+
+impl KernelProfileBuilder {
+    fn new(profiler: Profiler) -> Self {
+        Self {
+            profiler,
+            working_set_bytes: 0,
+            parallel_width: 1,
+            parallel_fraction: 0.9,
+            branch_divergence: 0.1,
+            coalescing: 0.8,
+            kernel_launches: 1,
+            transfer_bytes: 0,
+            work_scale: 1.0,
+        }
+    }
+
+    /// Sets the resident working set in bytes.
+    pub fn working_set_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.working_set_bytes = bytes;
+        self
+    }
+
+    /// Sets the data-parallel width (independent work items).
+    pub fn parallel_width(&mut self, width: u64) -> &mut Self {
+        self.parallel_width = width;
+        self
+    }
+
+    /// Sets the parallelizable fraction of the work (Amdahl).
+    pub fn parallel_fraction(&mut self, fraction: f64) -> &mut Self {
+        self.parallel_fraction = fraction;
+        self
+    }
+
+    /// Sets the SIMT branch-divergence fraction.
+    pub fn branch_divergence(&mut self, fraction: f64) -> &mut Self {
+        self.branch_divergence = fraction;
+        self
+    }
+
+    /// Sets the memory-coalescing efficiency.
+    pub fn coalescing(&mut self, efficiency: f64) -> &mut Self {
+        self.coalescing = efficiency;
+        self
+    }
+
+    /// Sets the number of GPU kernel launches.
+    pub fn kernel_launches(&mut self, launches: u64) -> &mut Self {
+        self.kernel_launches = launches;
+        self
+    }
+
+    /// Sets the host–device transfer volume in bytes.
+    pub fn transfer_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.transfer_bytes = bytes;
+        self
+    }
+
+    /// Scales all extensive quantities (instruction counts, traffic, working
+    /// set, parallel width, transfer volume) by a constant factor.
+    ///
+    /// Profiling runs on reduced inputs for speed; the scale extrapolates the
+    /// measured character to the full-resolution input it stands in for.
+    /// Instruction-mix *percentages* and the structural fractions are
+    /// unaffected. Kernel-launch counts are also unaffected: larger inputs
+    /// enlarge kernels, they do not add pipeline stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn work_scale(&mut self, scale: f64) -> &mut Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        self.work_scale = scale;
+        self
+    }
+
+    /// Validates the configuration and builds the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] when a fraction field is outside `[0, 1]`,
+    /// the parallel width is zero, or no instructions were recorded.
+    pub fn build(&self) -> Result<KernelProfile, ProfileError> {
+        let check = |value: f64, field: &'static str| {
+            if value.is_finite() && (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(ProfileError::FractionOutOfRange { field })
+            }
+        };
+        check(self.parallel_fraction, "parallel_fraction")?;
+        check(self.branch_divergence, "branch_divergence")?;
+        check(self.coalescing, "coalescing")?;
+        if self.parallel_width == 0 {
+            return Err(ProfileError::ZeroParallelWidth);
+        }
+        if self.profiler.total() == 0 {
+            return Err(ProfileError::EmptyProfile);
+        }
+        let s = self.work_scale;
+        let scale_u64 = |v: u64| (v as f64 * s).round().max(if v > 0 { 1.0 } else { 0.0 }) as u64;
+        let mut counts = *self.profiler.counts();
+        for c in &mut counts {
+            *c = scale_u64(*c);
+        }
+        Ok(KernelProfile {
+            counts,
+            bytes_read: scale_u64(self.profiler.bytes_read()),
+            bytes_written: scale_u64(self.profiler.bytes_written()),
+            working_set_bytes: scale_u64(self.working_set_bytes),
+            parallel_width: scale_u64(self.parallel_width),
+            parallel_fraction: self.parallel_fraction,
+            branch_divergence: self.branch_divergence,
+            coalescing: self.coalescing,
+            kernel_launches: self.kernel_launches,
+            transfer_bytes: scale_u64(self.transfer_bytes),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profiler() -> Profiler {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 100);
+        p.read_bytes(64);
+        p.write_bytes(32);
+        p
+    }
+
+    #[test]
+    fn builder_applies_fields() {
+        let profile = KernelProfile::builder(sample_profiler())
+            .working_set_bytes(123)
+            .parallel_width(7)
+            .parallel_fraction(0.5)
+            .branch_divergence(0.25)
+            .coalescing(0.75)
+            .kernel_launches(3)
+            .transfer_bytes(99)
+            .build()
+            .unwrap();
+        assert_eq!(profile.working_set_bytes(), 123);
+        assert_eq!(profile.parallel_width(), 7);
+        assert_eq!(profile.parallel_fraction(), 0.5);
+        assert_eq!(profile.branch_divergence(), 0.25);
+        assert_eq!(profile.coalescing(), 0.75);
+        assert_eq!(profile.kernel_launches(), 3);
+        assert_eq!(profile.transfer_bytes(), 99);
+        assert_eq!(profile.bytes_read(), 64);
+        assert_eq!(profile.bytes_written(), 32);
+        assert_eq!(profile.bytes_total(), 96);
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let err = KernelProfile::builder(sample_profiler())
+            .parallel_fraction(1.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProfileError::FractionOutOfRange {
+                field: "parallel_fraction"
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_nan_fraction() {
+        let err = KernelProfile::builder(sample_profiler())
+            .coalescing(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::FractionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        let err = KernelProfile::builder(sample_profiler())
+            .parallel_width(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ProfileError::ZeroParallelWidth);
+    }
+
+    #[test]
+    fn rejects_empty_profiler() {
+        let err = KernelProfile::builder(Profiler::new()).build().unwrap_err();
+        assert_eq!(err, ProfileError::EmptyProfile);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_blends_fractions() {
+        let a = KernelProfile::builder(sample_profiler())
+            .parallel_fraction(1.0)
+            .parallel_width(10)
+            .build()
+            .unwrap();
+        let b = KernelProfile::builder(sample_profiler())
+            .parallel_fraction(0.0)
+            .parallel_width(20)
+            .build()
+            .unwrap();
+        let merged = a.merge(&b);
+        assert_eq!(
+            merged.total_instructions(),
+            a.total_instructions() + b.total_instructions()
+        );
+        assert_eq!(merged.parallel_width(), 20);
+        // Equal weights -> blended halfway.
+        assert!((merged.parallel_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(merged.kernel_launches(), 2);
+    }
+
+    #[test]
+    fn work_scale_multiplies_extensive_quantities() {
+        let base = KernelProfile::builder(sample_profiler())
+            .working_set_bytes(100)
+            .parallel_width(10)
+            .transfer_bytes(50)
+            .kernel_launches(7)
+            .build()
+            .unwrap();
+        let scaled = KernelProfile::builder(sample_profiler())
+            .working_set_bytes(100)
+            .parallel_width(10)
+            .transfer_bytes(50)
+            .kernel_launches(7)
+            .work_scale(4.0)
+            .build()
+            .unwrap();
+        assert_eq!(scaled.total_instructions(), 4 * base.total_instructions());
+        assert_eq!(scaled.working_set_bytes(), 400);
+        assert_eq!(scaled.parallel_width(), 40);
+        assert_eq!(scaled.transfer_bytes(), 200);
+        // Launches and intensive quantities are untouched.
+        assert_eq!(scaled.kernel_launches(), 7);
+        assert_eq!(scaled.mix(), base.mix());
+        assert_eq!(scaled.parallel_fraction(), base.parallel_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_work_scale_rejected() {
+        KernelProfile::builder(sample_profiler()).work_scale(0.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = ProfileError::ZeroParallelWidth.to_string();
+        assert!(msg.contains("width"));
+    }
+}

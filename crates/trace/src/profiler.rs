@@ -1,0 +1,183 @@
+//! The counting profiler threaded through workload kernels.
+
+use crate::{InstrClass, InstructionMix};
+use serde::{Deserialize, Serialize};
+
+/// A dynamic instruction counter, the stand-in for PIN+MICA instrumentation.
+///
+/// Workload kernels receive a `&mut Profiler` and tally abstract dynamic
+/// instructions as they perform the corresponding real computation. The
+/// result is a deterministic instruction-mix characterization of the run,
+/// exactly the signal MICA extracts from a PIN trace.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_trace::{InstrClass, Profiler};
+///
+/// let mut prof = Profiler::new();
+/// prof.count(InstrClass::Fp, 10);
+/// prof.count(InstrClass::Control, 10);
+/// assert_eq!(prof.total(), 20);
+/// assert_eq!(prof.class_count(InstrClass::Fp), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profiler {
+    counts: [u64; InstrClass::COUNT],
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` dynamic instructions of class `class`.
+    #[inline]
+    pub fn count(&mut self, class: InstrClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Records a read of `bytes` bytes, also counting the implied loads.
+    ///
+    /// One abstract load instruction is charged per 8 bytes (one machine
+    /// word), with a minimum of one.
+    #[inline]
+    pub fn read_bytes(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+        self.count(InstrClass::Load, bytes.div_ceil(8).max(1));
+    }
+
+    /// Records a write of `bytes` bytes, also counting the implied stores.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: u64) {
+        self.bytes_written += bytes;
+        self.count(InstrClass::Store, bytes.div_ceil(8).max(1));
+    }
+
+    /// Total dynamic instructions recorded so far.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count recorded for one class.
+    pub fn class_count(&self, class: InstrClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Raw per-class counts in [`InstrClass::ALL`] order.
+    pub fn counts(&self) -> &[u64; InstrClass::COUNT] {
+        &self.counts
+    }
+
+    /// Bytes read through [`read_bytes`](Self::read_bytes).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Bytes written through [`write_bytes`](Self::write_bytes).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Instruction-mix percentages over the recorded counts.
+    ///
+    /// Returns an all-zero mix when nothing has been recorded.
+    pub fn mix(&self) -> InstructionMix {
+        InstructionMix::from_counts(&self.counts)
+    }
+
+    /// Multiplies all recorded counts and traffic by an integer factor.
+    ///
+    /// Used when a reduced kernel (for example a demonstration-size Haar
+    /// cascade) stands in for a deeper production one: the dynamic work
+    /// extrapolates multiplicatively while the instruction *mix* is
+    /// preserved exactly.
+    pub fn scale_by(&mut self, factor: u64) {
+        for c in &mut self.counts {
+            *c *= factor;
+        }
+        self.bytes_read *= factor;
+        self.bytes_written *= factor;
+    }
+
+    /// Merges the counts of another profiler into this one.
+    ///
+    /// Used when a workload runs several kernels (for example ObjRec runs a
+    /// feature extractor and then a classifier) and the per-kernel profiles
+    /// are gathered separately.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_accumulates() {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 3);
+        p.count(InstrClass::Alu, 4);
+        assert_eq!(p.class_count(InstrClass::Alu), 7);
+        assert_eq!(p.total(), 7);
+    }
+
+    #[test]
+    fn read_bytes_charges_word_loads() {
+        let mut p = Profiler::new();
+        p.read_bytes(17);
+        assert_eq!(p.bytes_read(), 17);
+        assert_eq!(p.class_count(InstrClass::Load), 3); // ceil(17/8)
+    }
+
+    #[test]
+    fn small_reads_charge_at_least_one_load() {
+        let mut p = Profiler::new();
+        p.read_bytes(1);
+        assert_eq!(p.class_count(InstrClass::Load), 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Profiler::new();
+        a.count(InstrClass::Fp, 5);
+        a.write_bytes(8);
+        let mut b = Profiler::new();
+        b.count(InstrClass::Fp, 2);
+        b.read_bytes(8);
+        a.merge(&b);
+        assert_eq!(a.class_count(InstrClass::Fp), 7);
+        assert_eq!(a.bytes_read(), 8);
+        assert_eq!(a.bytes_written(), 8);
+    }
+
+    #[test]
+    fn scale_by_multiplies_counts_and_preserves_mix() {
+        let mut p = Profiler::new();
+        p.count(InstrClass::Alu, 30);
+        p.count(InstrClass::Fp, 10);
+        p.read_bytes(80);
+        let mix_before = p.mix();
+        p.scale_by(5);
+        assert_eq!(p.class_count(InstrClass::Alu), 150);
+        assert_eq!(p.bytes_read(), 400);
+        assert_eq!(p.mix(), mix_before);
+    }
+
+    #[test]
+    fn empty_mix_is_zero() {
+        let p = Profiler::new();
+        let mix = p.mix();
+        for class in InstrClass::ALL {
+            assert_eq!(mix.percent(class), 0.0);
+        }
+    }
+}

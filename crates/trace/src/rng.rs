@@ -1,0 +1,143 @@
+//! A tiny deterministic RNG for bit-reproducible workloads and datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// Every random choice in the workspace (synthetic image content, dataset
+/// shuffles, SVR initialization) flows through this generator so that results
+/// are bit-reproducible across platforms and crate versions — external RNG
+/// crates do not guarantee stream stability across releases.
+///
+/// # Example
+///
+/// ```
+/// use bagpred_trace::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for the bounds used here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Derives an independent child generator; useful for splitting one seed
+    /// across benchmarks/batches without correlating their streams.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_uncorrelated_with_parent() {
+        let mut parent = SplitMix64::new(3);
+        let mut child = parent.split();
+        assert_ne!(parent.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn known_answer_stream_is_stable() {
+        // Guards against accidental algorithm changes: SplitMix64(0) reference
+        // values from the original Java implementation by Steele et al.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    proptest! {
+        #[test]
+        fn f64_in_unit_interval(seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..32 {
+                let x = rng.next_f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn below_respects_bound(seed in any::<u64>(), bound in 1u64..10_000) {
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.next_below(bound) < bound);
+            }
+        }
+
+        #[test]
+        fn range_respects_bounds(seed in any::<u64>(), lo in -100.0f64..100.0, span in 0.001f64..100.0) {
+            let mut rng = SplitMix64::new(seed);
+            let hi = lo + span;
+            for _ in 0..16 {
+                let x = rng.next_range(lo, hi);
+                prop_assert!(x >= lo && x < hi);
+            }
+        }
+    }
+}

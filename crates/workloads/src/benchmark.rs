@@ -1,0 +1,181 @@
+//! The benchmark suite (the paper's Table II).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the nine vision benchmarks the paper evaluates (Table II).
+///
+/// # Example
+///
+/// ```
+/// use bagpred_workloads::Benchmark;
+///
+/// assert_eq!(Benchmark::ALL.len(), 9);
+/// assert_eq!(Benchmark::Sift.name(), "SIFT");
+/// assert_eq!("surf".parse::<Benchmark>().unwrap(), Benchmark::Surf);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// FAST corner extraction.
+    Fast,
+    /// Histogram-of-oriented-gradients feature description.
+    Hog,
+    /// k-nearest-neighbor classification.
+    Knn,
+    /// Object recognition: feature extraction + classification.
+    ObjRec,
+    /// Oriented FAST + rotated BRIEF feature extraction and matching.
+    Orb,
+    /// Scale-invariant feature transform.
+    Sift,
+    /// Speeded-up robust features.
+    Surf,
+    /// Support-vector-machine training and prediction.
+    Svm,
+    /// Haar-cascade face detection.
+    FaceDet,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the order the paper's figures list them.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Fast,
+        Benchmark::Hog,
+        Benchmark::Knn,
+        Benchmark::ObjRec,
+        Benchmark::Orb,
+        Benchmark::Sift,
+        Benchmark::Surf,
+        Benchmark::Svm,
+        Benchmark::FaceDet,
+    ];
+
+    /// Canonical display name, matching the paper's figure labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Benchmark::Fast => "FAST",
+            Benchmark::Hog => "HoG",
+            Benchmark::Knn => "KNN",
+            Benchmark::ObjRec => "OBJREC",
+            Benchmark::Orb => "ORB",
+            Benchmark::Sift => "SIFT",
+            Benchmark::Surf => "SURF",
+            Benchmark::Svm => "SVM",
+            Benchmark::FaceDet => "FACEDET",
+        }
+    }
+
+    /// One-line description from the paper's Table II.
+    pub const fn description(self) -> &'static str {
+        match self {
+            Benchmark::Fast => "Extracts corners from an image",
+            Benchmark::Hog => {
+                "Describes a feature by the number of gradients per orientation in a window"
+            }
+            Benchmark::Knn => "Classifies features with the nearest-neighbor algorithm",
+            Benchmark::ObjRec => {
+                "Object recognition using feature extraction plus classification"
+            }
+            Benchmark::Orb => "FAST detector plus BRIEF descriptor to extract and match features",
+            Benchmark::Sift => {
+                "Extracts features invariant to orientation, illumination and scaling"
+            }
+            Benchmark::Surf => "Feature extraction with scale invariance",
+            Benchmark::Svm => "Trains a support vector machine and predicts feature classes",
+            Benchmark::FaceDet => "Face detection based on the Haar cascade classifier",
+        }
+    }
+
+    /// Deterministic base seed for this benchmark's input images.
+    pub(crate) const fn seed(self) -> u64 {
+        // Arbitrary fixed values; distinct so batches are decorrelated.
+        match self {
+            Benchmark::Fast => 0xFA57_0001,
+            Benchmark::Hog => 0x0906_0002,
+            Benchmark::Knn => 0x0411_0003,
+            Benchmark::ObjRec => 0x0B1E_0004,
+            Benchmark::Orb => 0x0A0B_0005,
+            Benchmark::Sift => 0x51F7_0006,
+            Benchmark::Surf => 0x50AF_0007,
+            Benchmark::Svm => 0x5124_0008,
+            Benchmark::FaceDet => 0xFACE_0009,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    input: String,
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().to_ascii_lowercase() == lower)
+            .ok_or(ParseBenchmarkError {
+                input: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+            assert_eq!(b.name().to_lowercase().parse::<Benchmark>().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "resnet".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("resnet"));
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<u64> = Benchmark::ALL.iter().map(|b| b.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 9);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for b in Benchmark::ALL {
+            assert!(!b.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Forecasting bags of more than two applications — the paper's open
+//! problem, answered with the order-statistic aggregation extension.
+//!
+//! Trains the n-bag predictor on a mixed-size corpus (bags of 2-4) and
+//! forecasts the makespan of a fresh four-application ensemble, comparing
+//! prediction against the simulator's ground truth and against the naive
+//! "sum of solo times" and "max solo × n" heuristics.
+//!
+//! ```text
+//! cargo run --example nbag_forecast
+//! ```
+
+use bagpred::core::nbag::{nbag_corpus, NBag, NBagMeasurement, NBagPredictor};
+use bagpred::core::Platforms;
+use bagpred::workloads::{Benchmark, Workload};
+
+fn main() {
+    let platforms = Platforms::paper();
+
+    println!("measuring the mixed-size training corpus (bags of 2-4)...");
+    let records: Vec<NBagMeasurement> = nbag_corpus(24)
+        .into_iter()
+        .map(|bag| NBagMeasurement::collect(bag, &platforms))
+        .collect();
+    println!("  {} bags measured", records.len());
+
+    let mut predictor = NBagPredictor::new();
+    predictor.train(&records);
+    println!(
+        "  in-sample mean relative error: {:.1}%",
+        predictor.evaluate(&records)
+    );
+
+    // A fresh 4-app ensemble at a batch size whose heterogeneous combinations the corpus never saw.
+    let bag = NBag::new(vec![
+        Workload::new(Benchmark::Sift, 40),
+        Workload::new(Benchmark::FaceDet, 40),
+        Workload::new(Benchmark::Knn, 40),
+        Workload::new(Benchmark::Svm, 40),
+    ]);
+    println!("\nforecasting: {}", bag.label());
+    let measured = NBagMeasurement::collect(bag.clone(), &platforms);
+
+    let predicted = predictor.predict(&measured);
+    let truth = measured.bag_gpu_time_s();
+
+    // Naive baselines.
+    let solos: Vec<f64> = bag
+        .members()
+        .iter()
+        .map(|w| platforms.gpu().simulate(&w.profile()).time_s)
+        .collect();
+    let sum_solo: f64 = solos.iter().sum();
+    let max_times_n = solos.iter().cloned().fold(0.0f64, f64::max) * bag.len() as f64;
+
+    let err = |v: f64| ((truth - v) / truth).abs() * 100.0;
+    println!("  ground truth (simulator): {:8.2} ms", truth * 1e3);
+    println!(
+        "  n-bag predictor:          {:8.2} ms   ({:.1}% error)",
+        predicted * 1e3,
+        err(predicted)
+    );
+    println!(
+        "  naive sum-of-solos:       {:8.2} ms   ({:.1}% error)",
+        sum_solo * 1e3,
+        err(sum_solo)
+    );
+    println!(
+        "  naive max-solo x n:       {:8.2} ms   ({:.1}% error)",
+        max_times_n * 1e3,
+        err(max_times_n)
+    );
+    println!("  ensemble fairness:        {:8.3}", measured.fairness());
+}

@@ -1,0 +1,50 @@
+//! Quickstart: train the predictor on the paper's corpus and predict the
+//! GPU makespan of a new bag of applications.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bagpred::core::{Bag, Corpus, FeatureSet, Measurement, Platforms, Predictor};
+use bagpred::workloads::{Benchmark, Workload};
+
+fn main() {
+    // 1. Measure the paper's 91-run corpus (homogeneous + heterogeneous
+    //    bags of two, five batch sizes). This profiles every workload and
+    //    runs the CPU/GPU timing models; a few seconds.
+    println!("measuring the 91-run training corpus...");
+    let platforms = Platforms::paper();
+    let records = Corpus::paper().measure_on(&platforms);
+
+    // 2. Train the decision-tree predictor on the full Table IV feature
+    //    set: CPU time, single-instance GPU time, instruction mix, fairness.
+    let mut predictor = Predictor::new(FeatureSet::full());
+    predictor.train(&records);
+    println!(
+        "trained on {} bags; training error {:.2}%",
+        records.len(),
+        predictor.evaluate(&records)
+    );
+
+    // 3. Predict a bag the training recipe never saw: SIFT and KNN at a
+    //    batch size of 60 images.
+    let bag = Bag::pair(
+        Workload::new(Benchmark::Sift, 60),
+        Workload::new(Benchmark::Knn, 60),
+    );
+    let measured = Measurement::collect(bag, &platforms);
+    let predicted = predictor.predict(&measured);
+    let actual = measured.bag_gpu_time_s();
+
+    println!("\nbag: {}", measured.bag());
+    println!("  single-instance GPU times: {:.2} ms / {:.2} ms",
+        measured.apps()[0].gpu_time_s * 1e3,
+        measured.apps()[1].gpu_time_s * 1e3);
+    println!("  fairness (Eq. 2):          {:.3}", measured.fairness());
+    println!("  predicted bag makespan:    {:.2} ms", predicted * 1e3);
+    println!("  measured bag makespan:     {:.2} ms", actual * 1e3);
+    println!(
+        "  relative error:            {:.1}%",
+        ((actual - predicted) / actual).abs() * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! **bagpred** — performance prediction for multi-application concurrency on
+//! GPUs.
+//!
+//! A complete Rust reproduction of *"Performance Prediction for
+//! Multi-Application Concurrency on GPUs"* (ISPASS 2020): a decision-tree
+//! predictor for the execution time of a bag of applications co-running on a
+//! GPU under CUDA MPS, together with every substrate the paper's pipeline
+//! depends on — the vision benchmark suite, instruction-mix profiling, CPU
+//! and GPU timing models with multi-application interference, and a
+//! from-scratch regression library.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! roof. See each module for its full documentation:
+//!
+//! * [`trace`] — instruction-class profiling (PIN/MICA stand-in).
+//! * [`workloads`] — the nine vision kernels of Table II.
+//! * [`cpusim`] — the Xeon server model + fairness measurement (Eq. 2).
+//! * [`gpusim`] — the Tesla T4 model with MPS interference.
+//! * [`ml`] — decision trees, linear regression, SVR, validation.
+//! * [`core`] — the predictor itself: features, corpus, training, analysis.
+//! * [`experiments`] — regeneration of every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bagpred::core::{Bag, Corpus, FeatureSet, Predictor};
+//! use bagpred::workloads::{Benchmark, Workload};
+//!
+//! // Measure the paper's 91-run corpus and train the full-feature model.
+//! let records = Corpus::paper().measure();
+//! let mut predictor = Predictor::new(FeatureSet::full());
+//! predictor.train(&records);
+//!
+//! // Predict the makespan of a new heterogeneous bag.
+//! let bag = Bag::pair(
+//!     Workload::new(Benchmark::Sift, 40),
+//!     Workload::new(Benchmark::Knn, 40),
+//! );
+//! let measured = bagpred::core::Measurement::collect(bag, &bagpred::core::Platforms::paper());
+//! let predicted_s = predictor.predict(&measured);
+//! assert!(predicted_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bagpred_core as core;
+pub use bagpred_cpusim as cpusim;
+pub use bagpred_experiments as experiments;
+pub use bagpred_gpusim as gpusim;
+pub use bagpred_ml as ml;
+pub use bagpred_trace as trace;
+pub use bagpred_workloads as workloads;

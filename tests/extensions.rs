@@ -1,0 +1,129 @@
+//! Integration tests for the extension features: temporal multiplexing,
+//! dynamic resource release, n-bags, and the extra ML models.
+
+use bagpred::core::nbag::{NBag, NBagMeasurement, NBagPredictor};
+use bagpred::core::{Corpus, FeatureSet, ModelKind, Platforms, Predictor};
+use bagpred::gpusim::{GpuConfig, GpuSimulator};
+use bagpred::workloads::{Benchmark, Workload, STANDARD_BATCH};
+
+/// Temporal multiplexing and spatial sharing bracket each other: for every
+/// benchmark, both schemes cost more than solo and less than outright
+/// pathological blowup.
+#[test]
+fn multiplexing_schemes_are_sane_for_all_benchmarks() {
+    let gpu = GpuSimulator::new(GpuConfig::tesla_t4());
+    for bench in Benchmark::ALL {
+        let p = Workload::new(bench, STANDARD_BATCH).profile();
+        let solo = gpu.simulate(&p).time_s;
+        let spatial = gpu.simulate_bag(&[p.clone(), p.clone()]).per_app()[0].time_s;
+        let temporal = gpu
+            .simulate_time_sliced(&[p.clone(), p.clone()], 1e-3)
+            .makespan_s;
+        assert!(spatial > solo, "{bench}");
+        assert!(temporal > solo, "{bench}");
+        assert!(spatial < 10.0 * solo, "{bench}: spatial {spatial}");
+        assert!(temporal < 10.0 * solo, "{bench}: temporal {temporal}");
+    }
+}
+
+/// The dynamic-release model is consistent with the static model across
+/// real heterogeneous bags: never slower, never better than the slowest
+/// member alone.
+#[test]
+fn dynamic_release_brackets_for_real_pairs() {
+    let gpu = GpuSimulator::new(GpuConfig::tesla_t4());
+    for (a, b) in [
+        (Benchmark::Sift, Benchmark::Fast),
+        (Benchmark::Svm, Benchmark::Knn),
+        (Benchmark::Hog, Benchmark::FaceDet),
+    ] {
+        let pa = Workload::new(a, STANDARD_BATCH).profile();
+        let pb = Workload::new(b, STANDARD_BATCH).profile();
+        let solo_max = gpu.simulate(&pa).time_s.max(gpu.simulate(&pb).time_s);
+        let static_ms = gpu.simulate_bag(&[pa.clone(), pb.clone()]).makespan_s();
+        let dynamic = gpu.simulate_bag_dynamic(&[pa, pb]);
+        assert!(dynamic.makespan_s <= static_ms * (1.0 + 1e-9), "{a}+{b}");
+        assert!(dynamic.makespan_s > solo_max, "{a}+{b}");
+        assert_eq!(dynamic.completion_s.len(), 2);
+    }
+}
+
+/// The n-bag predictor generalizes across sizes: trained only on bags of 2
+/// and 4, it still predicts bags of 3 within a sane envelope.
+#[test]
+fn nbag_predictor_interpolates_unseen_size() {
+    let platforms = Platforms::paper();
+    let mut train = Vec::new();
+    for bench in Benchmark::ALL {
+        for n in [2usize, 4] {
+            train.push(NBagMeasurement::collect(
+                NBag::new(vec![Workload::new(bench, 4); n]),
+                &platforms,
+            ));
+        }
+    }
+    let mut predictor = NBagPredictor::new();
+    predictor.train(&train);
+
+    let mut errors = Vec::new();
+    for bench in Benchmark::ALL {
+        let m = NBagMeasurement::collect(
+            NBag::new(vec![Workload::new(bench, 4); 3]),
+            &platforms,
+        );
+        let predicted = predictor.predict(&m);
+        errors.push(((m.bag_gpu_time_s() - predicted) / m.bag_gpu_time_s()).abs());
+        assert!(predicted > 0.0, "{bench}");
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(mean < 0.6, "size-3 interpolation error {:.1}%", mean * 100.0);
+}
+
+/// Every model kind trains and predicts on the real corpus without
+/// panicking, and tree-family models beat the others.
+#[test]
+fn all_model_kinds_run_on_real_corpus() {
+    let records = Corpus::paper().measure();
+    let mut errors = Vec::new();
+    for kind in [
+        ModelKind::DecisionTree,
+        ModelKind::RandomForest,
+        ModelKind::Svr,
+        ModelKind::Linear,
+    ] {
+        let mut p = Predictor::new(FeatureSet::full()).with_model(kind);
+        p.train(&records);
+        let err = p.evaluate(&records);
+        assert!(err.is_finite(), "{kind:?}");
+        errors.push((kind, err));
+    }
+    let tree_err = errors[0].1;
+    let svr_err = errors[2].1;
+    assert!(
+        tree_err < svr_err,
+        "tree {tree_err:.1}% must beat SVR {svr_err:.1}% even in-sample"
+    );
+}
+
+/// Noise injection preserves determinism end to end.
+#[test]
+fn noisy_corpus_is_reproducible() {
+    let records = Corpus::paper().measure();
+    let noisy_a: Vec<_> = records
+        .iter()
+        .enumerate()
+        .map(|(i, m)| m.with_noise(i as u64, 0.05))
+        .collect();
+    let noisy_b: Vec<_> = records
+        .iter()
+        .enumerate()
+        .map(|(i, m)| m.with_noise(i as u64, 0.05))
+        .collect();
+    assert_eq!(noisy_a, noisy_b);
+
+    let mut pa = Predictor::new(FeatureSet::full());
+    let mut pb = Predictor::new(FeatureSet::full());
+    let ea = pa.loocv_by_benchmark(&noisy_a).mean_error_percent();
+    let eb = pb.loocv_by_benchmark(&noisy_b).mean_error_percent();
+    assert_eq!(ea, eb);
+}

@@ -1,0 +1,161 @@
+//! The reproduction's success criteria (DESIGN.md §4): the qualitative
+//! shape of every headline result in the paper must hold, end to end.
+//!
+//! All assertions share one measured corpus through the experiments
+//! context, so this binary runs the full evaluation once.
+
+use bagpred::core::Feature;
+use bagpred::experiments::{accuracy, paths, scaling, sensitivity, Context};
+use bagpred::workloads::Benchmark;
+
+/// Fig. 2 shape: GPU performance falls monotonically with instance count
+/// for every benchmark.
+#[test]
+fn shape_fig2_gpu_perf_falls_monotonically() {
+    let fig = scaling::figure2(Context::shared());
+    for s in &fig.series {
+        for w in s.normalized_perf.windows(2) {
+            assert!(w[1] < w[0], "{}: {:?}", s.benchmark, s.normalized_perf);
+        }
+    }
+}
+
+/// Fig. 1 vs Fig. 2 shape: the CPU retains more of its single-instance
+/// performance under concurrency than the GPU does.
+#[test]
+fn shape_fig1_cpu_is_more_resilient() {
+    let ctx = Context::shared();
+    let cpu = scaling::figure1(ctx);
+    let gpu = scaling::figure2(ctx);
+    let mut cpu_better = 0;
+    for b in Benchmark::ALL {
+        let c = cpu.series_for(b).unwrap().normalized_perf[3];
+        let g = gpu.series_for(b).unwrap().normalized_perf[3];
+        if c > g {
+            cpu_better += 1;
+        }
+    }
+    assert!(cpu_better >= 6, "CPU more resilient for {cpu_better}/9");
+}
+
+/// Fig. 3 shape: single-instance GPU beats the CPU for most benchmarks,
+/// with the paper's exceptions (FAST, ORB, SVM), and the advantage shrinks
+/// as instances are added.
+#[test]
+fn shape_fig3_gpu_advantage_and_exceptions() {
+    let fig = scaling::figure3(Context::shared());
+    for s in &fig.series {
+        let single = s.normalized_perf[0];
+        if matches!(s.benchmark, Benchmark::Fast | Benchmark::Orb | Benchmark::Svm) {
+            assert!(single < 1.0, "{}: {single:.2}", s.benchmark);
+        } else {
+            assert!(single > 1.0, "{}: {single:.2}", s.benchmark);
+        }
+    }
+    // The GPU's edge erodes with concurrency for the GPU-won benchmarks.
+    let eroding = fig
+        .series
+        .iter()
+        .filter(|s| s.normalized_perf[0] > 1.0)
+        .filter(|s| s.normalized_perf[3] < s.normalized_perf[0])
+        .count();
+    assert!(eroding >= 4, "GPU advantage should erode: {eroding}");
+}
+
+/// Fig. 4 shape: the full feature set lands in the paper's error regime —
+/// low double digits at worst, an order of magnitude below insmix-only.
+#[test]
+fn shape_fig4_full_feature_error_regime() {
+    let fig = accuracy::figure4(Context::shared());
+    assert!(
+        fig.mean_error_percent < 30.0,
+        "mean LOOCV error {:.1}%",
+        fig.mean_error_percent
+    );
+    for (bench, err, _) in &fig.per_benchmark {
+        assert!(*err < 60.0, "{bench}: {err:.1}%");
+    }
+}
+
+/// Fig. 5 shape: every feature-group addition reduces the error and the
+/// full set is an order of magnitude better than instruction mix alone.
+#[test]
+fn shape_fig5_scheme_ordering() {
+    let fig = accuracy::figure5(Context::shared());
+    let e: Vec<f64> = fig.schemes.iter().map(|s| s.measured_percent).collect();
+    assert!(e[0] > e[1] && e[1] > e[3] && e[2] > e[3], "{e:?}");
+    assert!(e[0] > 5.0 * e[3], "{e:?}");
+}
+
+/// Fig. 6 shape: adding CPU time helps (almost) every base scheme.
+#[test]
+fn shape_fig6_cpu_time_helps() {
+    let fig = sensitivity::figure6(Context::shared());
+    assert!(fig.improvements() >= 4, "{}/5", fig.improvements());
+}
+
+/// Fig. 7 shape: adding GPU time produces the most pronounced reductions,
+/// dropping errors into the low regime.
+#[test]
+fn shape_fig7_gpu_time_dominates() {
+    let fig = sensitivity::figure7(Context::shared());
+    let improved: Vec<f64> = fig
+        .pairs
+        .iter()
+        .filter(|p| p.base.scheme != "arith+sse+fairness")
+        .map(|p| p.extended.measured_percent)
+        .collect();
+    for e in &improved {
+        assert!(*e < 40.0, "GPU-extended scheme stuck at {e:.1}%");
+    }
+}
+
+/// Fig. 10 shape: GPU time gates ~100% of decision paths; fairness and CPU
+/// time are the leading auxiliary features.
+#[test]
+fn shape_fig10_gpu_gates_everything() {
+    let fig = paths::figure10(Context::shared());
+    let get = |f: Feature| {
+        fig.presence
+            .iter()
+            .find(|(n, _)| n == f.name())
+            .map(|(_, p)| *p)
+            .unwrap()
+    };
+    assert!(get(Feature::GpuTime) > 90.0);
+    assert!(get(Feature::CpuTime) > 30.0);
+    assert!(get(Feature::Fairness) > 5.0);
+    // The mix features individually trail the novel features.
+    assert!(get(Feature::GpuTime) > get(Feature::Sse));
+    assert!(get(Feature::GpuTime) > get(Feature::StringOp));
+}
+
+/// Fig. 11 shape: GPU time is the most frequently used feature per path.
+#[test]
+fn shape_fig11_gpu_most_frequent() {
+    let fig = paths::figure11(Context::shared());
+    let gpu = fig
+        .frequency
+        .iter()
+        .find(|(n, _, _)| n == "GPU")
+        .unwrap()
+        .1;
+    for (name, mean, _) in &fig.frequency {
+        assert!(gpu >= *mean, "{name} beats GPU: {mean:.2} vs {gpu:.2}");
+    }
+}
+
+/// Fig. 12 shape: the heat map is dominated by GPU-time usage, with CPU
+/// time appearing rarely yet non-trivially (the paper's §VI-C2 surprise).
+#[test]
+fn shape_fig12_heatmap_structure() {
+    let fig = paths::figure12(Context::shared());
+    let gpu_col = fig.features.iter().position(|f| f == "GPU").unwrap();
+    let cpu_col = fig.features.iter().position(|f| f == "CPU").unwrap();
+    let gpu_total: usize = fig.rows.iter().map(|(_, r)| r[gpu_col]).sum();
+    let cpu_total: usize = fig.rows.iter().map(|(_, r)| r[cpu_col]).sum();
+    assert!(gpu_total > cpu_total, "GPU {gpu_total} vs CPU {cpu_total}");
+    // CPU time appears in only a couple of nodes per path, as in Fig. 12.
+    let cpu_max = fig.rows.iter().map(|(_, r)| r[cpu_col]).max().unwrap();
+    assert!(cpu_max <= 6, "CPU used {cpu_max} times in one path");
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property-based tests on pipeline invariants.
+
+use bagpred::core::{Bag, Measurement, Platforms};
+use bagpred::cpusim::{CpuConfig, CpuSimulator};
+use bagpred::gpusim::{GpuConfig, GpuSimulator};
+use bagpred::workloads::{Benchmark, Workload};
+use proptest::prelude::*;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+/// Small batch sizes keep each proptest case fast; the invariants under
+/// test are size-independent.
+fn arb_batch() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 3, 5, 8])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fairness is a valid Eq. 2 value for any bag.
+    #[test]
+    fn fairness_is_in_unit_interval(
+        a in arb_benchmark(), b in arb_benchmark(),
+        ba in arb_batch(), bb in arb_batch(),
+    ) {
+        let bag = Bag::pair(Workload::new(a, ba), Workload::new(b, bb));
+        let m = Measurement::collect(bag, &Platforms::paper());
+        prop_assert!(m.fairness() > 0.0 && m.fairness() <= 1.0);
+    }
+
+    /// Destructive interference: a bag's makespan strictly exceeds the
+    /// slower member's solo time for any pairing.
+    #[test]
+    fn bag_never_beats_solo(
+        a in arb_benchmark(), b in arb_benchmark(),
+        ba in arb_batch(), bb in arb_batch(),
+    ) {
+        let bag = Bag::pair(Workload::new(a, ba), Workload::new(b, bb));
+        let m = Measurement::collect(bag, &Platforms::paper());
+        let max_solo = m.apps()[0].gpu_time_s.max(m.apps()[1].gpu_time_s);
+        prop_assert!(m.bag_gpu_time_s() > max_solo);
+    }
+
+    /// Member order never matters: bags are canonical.
+    #[test]
+    fn bag_order_is_irrelevant(
+        a in arb_benchmark(), b in arb_benchmark(),
+        ba in arb_batch(), bb in arb_batch(),
+    ) {
+        let platforms = Platforms::paper();
+        let m1 = Measurement::collect(
+            Bag::pair(Workload::new(a, ba), Workload::new(b, bb)), &platforms);
+        let m2 = Measurement::collect(
+            Bag::pair(Workload::new(b, bb), Workload::new(a, ba)), &platforms);
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// CPU simulation is monotone in machine size: more cores never slow a
+    /// workload down.
+    #[test]
+    fn cpu_time_monotone_in_cores(
+        bench in arb_benchmark(), batch in arb_batch(),
+        cores in 2u32..12,
+    ) {
+        let profile = Workload::new(bench, batch).profile();
+        let small = CpuSimulator::new(
+            CpuConfig::builder().sockets(1).cores_per_socket(cores).build());
+        let large = CpuSimulator::new(
+            CpuConfig::builder().sockets(1).cores_per_socket(cores * 2).build());
+        let t_small = small.simulate_best(&profile).time_s;
+        let t_large = large.simulate_best(&profile).time_s;
+        prop_assert!(t_large <= t_small * 1.0001,
+            "{bench}: {t_large} on 2x cores vs {t_small}");
+    }
+
+    /// GPU simulation is monotone in bandwidth: more GB/s never hurts.
+    #[test]
+    fn gpu_time_monotone_in_bandwidth(
+        bench in arb_benchmark(), batch in arb_batch(),
+    ) {
+        let profile = Workload::new(bench, batch).profile();
+        let slow = GpuSimulator::new(GpuConfig::builder().dram_bandwidth(100e9).build());
+        let fast = GpuSimulator::new(GpuConfig::builder().dram_bandwidth(400e9).build());
+        prop_assert!(fast.simulate(&profile).time_s <= slow.simulate(&profile).time_s * 1.0001);
+    }
+
+    /// Bigger bags are never faster per member (GPU).
+    #[test]
+    fn gpu_bag_time_monotone_in_bag_size(
+        bench in arb_benchmark(), batch in arb_batch(),
+    ) {
+        let gpu = GpuSimulator::new(GpuConfig::tesla_t4());
+        let profile = Workload::new(bench, batch).profile();
+        let two = gpu.simulate_bag(&[profile.clone(), profile.clone()]);
+        let three = gpu.simulate_bag(&vec![profile.clone(); 3]);
+        prop_assert!(three.per_app()[0].time_s > two.per_app()[0].time_s);
+    }
+}
