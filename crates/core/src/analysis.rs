@@ -158,10 +158,7 @@ mod tests {
         let report = DecisionPathReport::collect(&mut p, records());
         // Every record involves 1 or 2 benchmarks, so it appears once per
         // involved benchmark across the pooled rounds.
-        let expected: usize = records()
-            .iter()
-            .map(|m| m.bag().benchmarks().len())
-            .sum();
+        let expected: usize = records().iter().map(|m| m.bag().benchmarks().len()).sum();
         assert_eq!(report.heatmap().len(), expected);
     }
 

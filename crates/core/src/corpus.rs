@@ -126,10 +126,7 @@ mod tests {
             .bags()
             .iter()
             .filter(|b| {
-                !b.is_homogeneous()
-                    && b.members()
-                        .iter()
-                        .all(|w| w.batch_size() == STANDARD_BATCH)
+                !b.is_homogeneous() && b.members().iter().all(|w| w.batch_size() == STANDARD_BATCH)
             })
             .count();
         assert_eq!(standard_hetero, 36);

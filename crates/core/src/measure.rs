@@ -59,6 +59,32 @@ pub struct AppFeatures {
 }
 
 impl AppFeatures {
+    /// Measures one workload's per-application features: CPU time at the
+    /// best thread count, single-instance GPU time, and the instruction
+    /// mix. This is the expensive per-app scalar collection the serving
+    /// layer memoizes — it is a pure function of `(benchmark, batch_size)`
+    /// and the platform pair.
+    pub fn collect(workload: &Workload, platforms: &Platforms) -> Self {
+        let profile = workload.profile();
+        let mix = profile.mix();
+        use bagpred_trace::InstrClass as C;
+        Self {
+            cpu_time_s: platforms.cpu.simulate_best(&profile).time_s,
+            gpu_time_s: platforms.gpu.simulate(&profile).time_s,
+            mix_percent: [
+                mix.percent(C::Load),
+                mix.percent(C::Store),
+                mix.percent(C::Control),
+                mix.percent(C::Alu),
+                mix.percent(C::Fp),
+                mix.percent(C::Stack),
+                mix.percent(C::Shift),
+                mix.percent(C::StringOp),
+                mix.percent(C::Sse),
+            ],
+        }
+    }
+
     /// The mix percentage of one mix feature.
     ///
     /// # Panics
@@ -98,37 +124,42 @@ impl Measurement {
     /// records the ground-truth GPU bag makespan under MPS.
     pub fn collect(bag: Bag, platforms: &Platforms) -> Self {
         let profiles: Vec<_> = bag.members().iter().map(Workload::profile).collect();
-
-        let apps: Vec<AppFeatures> = profiles
-            .iter()
-            .map(|p| {
-                let mix = p.mix();
-                use bagpred_trace::InstrClass as C;
-                AppFeatures {
-                    cpu_time_s: platforms.cpu.simulate_best(p).time_s,
-                    gpu_time_s: platforms.gpu.simulate(p).time_s,
-                    mix_percent: [
-                        mix.percent(C::Load),
-                        mix.percent(C::Store),
-                        mix.percent(C::Control),
-                        mix.percent(C::Alu),
-                        mix.percent(C::Fp),
-                        mix.percent(C::Stack),
-                        mix.percent(C::Shift),
-                        mix.percent(C::StringOp),
-                        mix.percent(C::Sse),
-                    ],
-                }
-            })
-            .collect();
-
+        let members = bag.members();
+        let apps = [
+            AppFeatures::collect(&members[0], platforms),
+            AppFeatures::collect(&members[1], platforms),
+        ];
         let fairness = fairness(&platforms.cpu, &profiles);
         let bag_gpu_time_s = platforms.gpu.simulate_bag(&profiles).makespan_s();
+        Self {
+            bag,
+            apps,
+            fairness,
+            bag_gpu_time_s,
+        }
+    }
 
-        let apps: [AppFeatures; 2] = match <[AppFeatures; 2]>::try_from(apps) {
-            Ok(a) => a,
-            Err(_) => unreachable!("a bag always has exactly two members"),
-        };
+    /// Measures the fairness (Eq. 2) of a bag's co-run on the multicore
+    /// server, without running the GPU bag simulation.
+    pub fn collect_fairness(bag: &Bag, platforms: &Platforms) -> f64 {
+        let profiles: Vec<_> = bag.members().iter().map(Workload::profile).collect();
+        fairness(&platforms.cpu, &profiles)
+    }
+
+    /// Assembles a measurement from already-collected parts.
+    ///
+    /// This is the serving fast path: per-app features and fairness come
+    /// from a cache, and `bag_gpu_time_s` may be `f64::NAN` when the
+    /// ground truth is unknown — exactly the situation a prediction
+    /// request is in. Prediction never reads the ground-truth field;
+    /// training and evaluation do, so never feed NaN-labelled parts to
+    /// [`Predictor::train`](crate::Predictor::train).
+    pub fn from_parts(
+        bag: Bag,
+        apps: [AppFeatures; 2],
+        fairness: f64,
+        bag_gpu_time_s: f64,
+    ) -> Self {
         Self {
             bag,
             apps,
@@ -251,10 +282,7 @@ mod tests {
         let m = measure(Bag::homogeneous(Workload::new(Benchmark::Orb, 4)));
         assert_eq!(m.raw_value(Feature::CpuTime, 0), m.apps()[0].cpu_time_s);
         assert_eq!(m.raw_value(Feature::Fairness, 1), m.fairness());
-        assert_eq!(
-            m.raw_value(Feature::Sse, 0),
-            m.apps()[0].mix(Feature::Sse)
-        );
+        assert_eq!(m.raw_value(Feature::Sse, 0), m.apps()[0].mix(Feature::Sse));
     }
 
     #[test]
@@ -288,6 +316,33 @@ mod tests {
     fn oversized_noise_rejected() {
         let m = measure(Bag::homogeneous(Workload::new(Benchmark::Fast, 4)));
         let _ = m.with_noise(0, 0.9);
+    }
+
+    #[test]
+    fn parts_reassemble_into_identical_features() {
+        let platforms = Platforms::paper();
+        let bag = Bag::pair(
+            Workload::new(Benchmark::Sift, 4),
+            Workload::new(Benchmark::Knn, 4),
+        );
+        let full = Measurement::collect(bag, &platforms);
+        let members = bag.members();
+        let apps = [
+            AppFeatures::collect(&members[0], &platforms),
+            AppFeatures::collect(&members[1], &platforms),
+        ];
+        let fair = Measurement::collect_fairness(&bag, &platforms);
+        let lite = Measurement::from_parts(bag, apps, fair, f64::NAN);
+        for feature in Feature::ALL {
+            for slot in 0..2 {
+                assert_eq!(
+                    lite.raw_value(feature, slot).to_bits(),
+                    full.raw_value(feature, slot).to_bits(),
+                    "{feature} slot {slot}"
+                );
+            }
+        }
+        assert!(lite.bag_gpu_time_s().is_nan());
     }
 
     #[test]

@@ -123,9 +123,40 @@ impl NBagMeasurement {
     /// feature across the bag, computes Eq. 2 fairness over all members,
     /// and records the MPS makespan ground truth.
     pub fn collect(bag: NBag, platforms: &Platforms) -> Self {
-        let profiles: Vec<KernelProfile> =
-            bag.members().iter().map(Workload::profile).collect();
+        let profiles: Vec<KernelProfile> = bag.members().iter().map(Workload::profile).collect();
+        let (features, fair) = Self::aggregate(&bag, &profiles, platforms);
+        let bag_gpu_time_s = platforms.gpu().simulate_bag(&profiles).makespan_s();
+        Self {
+            bag,
+            features,
+            fairness: fair,
+            bag_gpu_time_s,
+        }
+    }
 
+    /// Measures one n-bag's feature vector *without* running the GPU bag
+    /// simulation: the ground-truth field is `f64::NAN`.
+    ///
+    /// This is what an online prediction or admission-control request
+    /// needs — the makespan is exactly the unknown being predicted, so
+    /// collecting it would defeat the predictor's purpose (and cost a
+    /// full multi-application GPU simulation per query). Never feed
+    /// unlabeled measurements to [`NBagPredictor::train`].
+    pub fn collect_unlabeled(bag: NBag, platforms: &Platforms) -> Self {
+        let profiles: Vec<KernelProfile> = bag.members().iter().map(Workload::profile).collect();
+        let (features, fair) = Self::aggregate(&bag, &profiles, platforms);
+        Self {
+            bag,
+            features,
+            fairness: fair,
+            bag_gpu_time_s: f64::NAN,
+        }
+    }
+
+    /// The order-statistic aggregation shared by labeled and unlabeled
+    /// collection: per-feature max/min/mean/sum across the bag, plus bag
+    /// size and Eq. 2 fairness.
+    fn aggregate(bag: &NBag, profiles: &[KernelProfile], platforms: &Platforms) -> (Vec<f64>, f64) {
         // Per-application raw feature values.
         let per_app: Vec<Vec<f64>> = profiles
             .iter()
@@ -160,16 +191,9 @@ impl NBagMeasurement {
         }
         features.push(bag.len() as f64);
 
-        let fair = fairness(platforms.cpu(), &profiles);
+        let fair = fairness(platforms.cpu(), profiles);
         features.push(fair);
-
-        let bag_gpu_time_s = platforms.gpu().simulate_bag(&profiles).makespan_s();
-        Self {
-            bag,
-            features,
-            fairness: fair,
-            bag_gpu_time_s,
-        }
+        (features, fair)
     }
 
     /// The measured bag.
@@ -209,12 +233,7 @@ pub fn nbag_corpus(extra_heterogeneous: usize) -> Vec<NBag> {
     while bags.len() < Benchmark::ALL.len() * BATCH_SIZES.len() * 3 + extra_heterogeneous {
         let n = 2 + rng.next_below((MAX_BAG - 1) as u64) as usize;
         let members: Vec<Workload> = (0..n)
-            .map(|_| {
-                Workload::new(
-                    Benchmark::ALL[rng.next_below(9) as usize],
-                    STANDARD_BATCH,
-                )
-            })
+            .map(|_| Workload::new(Benchmark::ALL[rng.next_below(9) as usize], STANDARD_BATCH))
             .collect();
         let bag = NBag::new(members);
         if !bags.contains(&bag) {
@@ -258,9 +277,35 @@ impl NBagPredictor {
         self
     }
 
+    /// The fitted decision tree, or `None` before training. Together with
+    /// [`max_depth`](Self::max_depth) this is the predictor's entire
+    /// trained state — what a serving snapshot persists.
+    pub fn tree(&self) -> Option<&DecisionTreeRegressor> {
+        self.tree.as_ref()
+    }
+
+    /// The configured maximum tree depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Rebuilds a *trained* n-bag predictor from snapshot parts, skipping
+    /// corpus measurement and training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn from_trained(depth: usize, tree: DecisionTreeRegressor) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        Self {
+            tree: Some(tree),
+            max_depth: depth,
+        }
+    }
+
     fn dataset(records: &[NBagMeasurement]) -> Dataset {
-        let mut data = Dataset::new(NBagMeasurement::column_names())
-            .expect("column names are valid");
+        let mut data =
+            Dataset::new(NBagMeasurement::column_names()).expect("column names are valid");
         for m in records {
             data.push_grouped(m.features().to_vec(), m.bag_gpu_time_s(), m.bag().label())
                 .expect("measurements are finite");
@@ -299,7 +344,10 @@ impl NBagPredictor {
     ///
     /// Panics if untrained or `records` is empty.
     pub fn evaluate(&self, records: &[NBagMeasurement]) -> f64 {
-        let truth: Vec<f64> = records.iter().map(NBagMeasurement::bag_gpu_time_s).collect();
+        let truth: Vec<f64> = records
+            .iter()
+            .map(NBagMeasurement::bag_gpu_time_s)
+            .collect();
         let predicted: Vec<f64> = records.iter().map(|m| self.predict(m)).collect();
         bagpred_ml::metrics::mean_relative_error(&truth, &predicted)
     }
@@ -402,6 +450,45 @@ mod tests {
                 assert!(max <= sum + 1e-12);
             }
             assert!(m.fairness() > 0.0 && m.fairness() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn unlabeled_collection_matches_labeled_features() {
+        let platforms = Platforms::paper();
+        let bag = NBag::new(vec![
+            Workload::new(Benchmark::Sift, 4),
+            Workload::new(Benchmark::Knn, 4),
+            Workload::new(Benchmark::Hog, 4),
+        ]);
+        let labeled = NBagMeasurement::collect(bag.clone(), &platforms);
+        let unlabeled = NBagMeasurement::collect_unlabeled(bag, &platforms);
+        assert_eq!(labeled.features(), unlabeled.features());
+        assert_eq!(labeled.fairness(), unlabeled.fairness());
+        assert!(unlabeled.bag_gpu_time_s().is_nan());
+
+        // An unlabeled measurement predicts identically to a labeled one.
+        let mut p = NBagPredictor::new();
+        p.train(small_records());
+        assert_eq!(
+            p.predict(&labeled).to_bits(),
+            p.predict(&unlabeled).to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_parts_rebuild_an_identical_nbag_predictor() {
+        let mut original = NBagPredictor::new();
+        original.train(small_records());
+        let rebuilt =
+            NBagPredictor::from_trained(original.max_depth(), original.tree().unwrap().clone());
+        for m in small_records() {
+            assert_eq!(
+                rebuilt.predict(m).to_bits(),
+                original.predict(m).to_bits(),
+                "{}",
+                m.bag().label()
+            );
         }
     }
 

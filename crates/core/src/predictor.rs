@@ -316,6 +316,88 @@ impl Predictor {
         }
     }
 
+    /// The fitted random forest, when the backing model is a forest.
+    pub fn forest(&self) -> Option<&RandomForestRegressor> {
+        match self.model.as_ref()? {
+            Model::Forest(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The backing model kind.
+    pub fn model_kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The configured maximum tree depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// The fitted normalizer's CPU-time range (§V-C), or `None` before
+    /// training. Together with the model this is the predictor's entire
+    /// trained state — what a serving snapshot must persist.
+    pub fn cpu_time_range(&self) -> Option<f64> {
+        self.normalizer.map(|n| n.cpu_range)
+    }
+
+    /// Rebuilds a *trained* tree-backed predictor from snapshot parts,
+    /// skipping the measurement corpus entirely. The inverse of reading
+    /// [`tree`](Self::tree) + [`cpu_time_range`](Self::cpu_time_range)
+    /// off a trained predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or `cpu_time_range` is not positive.
+    pub fn from_trained_tree(
+        scheme: FeatureSet,
+        depth: usize,
+        cpu_time_range: f64,
+        tree: DecisionTreeRegressor,
+    ) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!(
+            cpu_time_range > 0.0 && cpu_time_range.is_finite(),
+            "cpu_time_range must be positive"
+        );
+        Self {
+            scheme,
+            kind: ModelKind::DecisionTree,
+            max_depth: depth,
+            model: Some(Model::Tree(tree)),
+            normalizer: Some(Normalizer {
+                cpu_range: cpu_time_range,
+            }),
+        }
+    }
+
+    /// Rebuilds a *trained* forest-backed predictor from snapshot parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or `cpu_time_range` is not positive.
+    pub fn from_trained_forest(
+        scheme: FeatureSet,
+        depth: usize,
+        cpu_time_range: f64,
+        forest: RandomForestRegressor,
+    ) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!(
+            cpu_time_range > 0.0 && cpu_time_range.is_finite(),
+            "cpu_time_range must be positive"
+        );
+        Self {
+            scheme,
+            kind: ModelKind::RandomForest,
+            max_depth: depth,
+            model: Some(Model::Forest(forest)),
+            normalizer: Some(Normalizer {
+                cpu_range: cpu_time_range,
+            }),
+        }
+    }
+
     /// Materializes the (normalized) dataset for external analysis, using
     /// the trained normalizer.
     ///
@@ -414,6 +496,42 @@ mod tests {
     #[should_panic(expected = "must be trained")]
     fn predict_before_train_panics() {
         Predictor::new(FeatureSet::full()).predict(&records()[0]);
+    }
+
+    #[test]
+    fn snapshot_parts_rebuild_an_identical_tree_predictor() {
+        let mut original = Predictor::new(FeatureSet::full());
+        original.train(records());
+        let rebuilt = Predictor::from_trained_tree(
+            original.scheme().clone(),
+            original.max_depth(),
+            original.cpu_time_range().unwrap(),
+            original.tree().unwrap().clone(),
+        );
+        for m in records() {
+            assert_eq!(
+                rebuilt.predict(m).to_bits(),
+                original.predict(m).to_bits(),
+                "{}",
+                m.bag().label()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_parts_rebuild_an_identical_forest_predictor() {
+        let mut original = Predictor::new(FeatureSet::full()).with_model(ModelKind::RandomForest);
+        original.train(records());
+        assert!(original.forest().is_some());
+        let rebuilt = Predictor::from_trained_forest(
+            original.scheme().clone(),
+            original.max_depth(),
+            original.cpu_time_range().unwrap(),
+            original.forest().unwrap().clone(),
+        );
+        for m in records().iter().step_by(7) {
+            assert_eq!(rebuilt.predict(m).to_bits(), original.predict(m).to_bits());
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub fn figure5() -> Vec<PaperScheme> {
     vec![
         scheme(FeatureSet::insmix(), Some(144.6)),
         scheme(
-            FeatureSet::insmix().with(Feature::CpuTime).named("insmix+CPUtime"),
+            FeatureSet::insmix()
+                .with(Feature::CpuTime)
+                .named("insmix+CPUtime"),
             Some(57.05),
         ),
         scheme(
@@ -144,14 +146,18 @@ pub fn figure8() -> Vec<(PaperScheme, PaperScheme)> {
         (
             scheme(FeatureSet::only(Feature::GpuTime), Some(10.5)),
             scheme(
-                FeatureSet::insmix().with(Feature::GpuTime).named("GPU+insmix"),
+                FeatureSet::insmix()
+                    .with(Feature::GpuTime)
+                    .named("GPU+insmix"),
                 Some(11.36),
             ),
         ),
         (
             scheme(FeatureSet::only(Feature::CpuTime), Some(62.5)),
             scheme(
-                FeatureSet::insmix().with(Feature::CpuTime).named("CPU+insmix"),
+                FeatureSet::insmix()
+                    .with(Feature::CpuTime)
+                    .named("CPU+insmix"),
                 Some(57.05),
             ),
         ),
@@ -202,7 +208,9 @@ pub fn figure9() -> Vec<(PaperScheme, PaperScheme)> {
         ),
         (
             scheme(
-                FeatureSet::mem().with(Feature::CpuTime).named("mem+CPUtime"),
+                FeatureSet::mem()
+                    .with(Feature::CpuTime)
+                    .named("mem+CPUtime"),
                 Some(53.5),
             ),
             scheme(

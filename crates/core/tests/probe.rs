@@ -7,7 +7,11 @@ fn loocv_probe() {
     for scheme in [FeatureSet::full(), FeatureSet::insmix()] {
         let mut p = Predictor::new(scheme.clone());
         let report = p.loocv_by_benchmark(&records);
-        eprintln!("=== scheme {} mean={:.2}%", scheme.name(), report.mean_error_percent());
+        eprintln!(
+            "=== scheme {} mean={:.2}%",
+            scheme.name(),
+            report.mean_error_percent()
+        );
         for (b, e, n) in report.per_benchmark() {
             eprintln!("  {:8} {:8.2}% ({n} pts)", b.name(), e);
         }

@@ -196,14 +196,20 @@ impl CpuConfigBuilder {
     ///
     /// Panics if `width` is not positive and finite.
     pub fn issue_width(mut self, width: f64) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "issue width must be positive");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "issue width must be positive"
+        );
         self.config.issue_width = width;
         self
     }
 
     /// Sets the DRAM latency in cycles.
     pub fn mem_latency_cycles(mut self, cycles: f64) -> Self {
-        assert!(cycles > 0.0 && cycles.is_finite(), "latency must be positive");
+        assert!(
+            cycles > 0.0 && cycles.is_finite(),
+            "latency must be positive"
+        );
         self.config.mem_latency_cycles = cycles;
         self
     }

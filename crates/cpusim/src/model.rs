@@ -128,8 +128,7 @@ impl CpuSimulator {
                 // LLC size (see the field docs).
                 let sensitivity = (ws(p) / llc).min(llc / ws(p)).clamp(0.0, 1.0);
                 let share = ResourceShare {
-                    logical_cores: (self.config.logical_cores() as f64 / n).floor().max(1.0)
-                        as u32,
+                    logical_cores: (self.config.logical_cores() as f64 / n).floor().max(1.0) as u32,
                     llc_bytes: llc * (ws(p) / total_ws).max(1.0 / (2.0 * n)),
                     bandwidth: self.config.dram_bandwidth()
                         * (bytes(p) / total_bytes).max(1.0 / (2.0 * n)),
@@ -137,8 +136,7 @@ impl CpuSimulator {
                     // Multicore contention management keeps this mild — the
                     // paper's Fig. 1 vs Fig. 2 asymmetry.
                     interference: 1.0 + 0.25 * (partner_ws / llc).min(2.0),
-                    victim_slowdown: 1.0
-                        + 0.30 * (partner_ws / llc).min(2.0) * sensitivity,
+                    victim_slowdown: 1.0 + 0.30 * (partner_ws / llc).min(2.0) * sensitivity,
                 };
                 self.best_over_threads(p, share.logical_cores, |t| {
                     self.simulate_with_share(p, t, share)
@@ -200,8 +198,8 @@ impl CpuSimulator {
         };
         let llc_miss_rate = (llc_miss_rate * share.interference).min(1.0);
 
-        let mem_accesses = (profile.class_count(InstrClass::Load)
-            + profile.class_count(InstrClass::Store)) as f64;
+        let mem_accesses =
+            (profile.class_count(InstrClass::Load) + profile.class_count(InstrClass::Store)) as f64;
         let stall_cycles = mem_accesses * llc_miss_rate * cfg.mem_latency_cycles()
             / cfg.memory_level_parallelism();
 
@@ -210,8 +208,7 @@ impl CpuSimulator {
         // --- Amdahl fork-join over the chosen thread count. ---
         let width = profile.parallel_width() as f64;
         let usable_threads = (threads as f64).min(width);
-        let physical_avail =
-            (share.logical_cores as f64 / cfg.smt_ways() as f64).max(1.0);
+        let physical_avail = (share.logical_cores as f64 / cfg.smt_ways() as f64).max(1.0);
         let physical = usable_threads.min(physical_avail);
         let smt_extra = (usable_threads - physical).max(0.0);
         // SMT siblings contribute ~30%; synchronization costs grow with
@@ -278,7 +275,10 @@ mod tests {
         let profile = synthetic_profile(0.99, 1 << 20);
         let t1 = sim().simulate(&profile, 1);
         let t8 = sim().simulate(&profile, 8);
-        assert!(t8.time_s < t1.time_s / 3.0, "8 threads should speed up ~6x+");
+        assert!(
+            t8.time_s < t1.time_s / 3.0,
+            "8 threads should speed up ~6x+"
+        );
     }
 
     #[test]

@@ -70,17 +70,13 @@ pub struct Figure5 {
 impl Figure5 {
     /// Renders as a text table.
     pub fn render(&self) -> String {
-        let mut table = TextTable::new(vec![
-            "scheme".into(),
-            "measured %".into(),
-            "paper %".into(),
-        ]);
+        let mut table =
+            TextTable::new(vec!["scheme".into(), "measured %".into(), "paper %".into()]);
         for s in &self.schemes {
             table.row(vec![
                 s.scheme.clone(),
                 format!("{:.2}", s.measured_percent),
-                s.paper_percent
-                    .map_or("-".into(), |p| format!("{p:.2}")),
+                s.paper_percent.map_or("-".into(), |p| format!("{p:.2}")),
             ]);
         }
         format!(

@@ -306,7 +306,10 @@ pub fn benchmark_similarity(_ctx: &Context) -> SimilarityMatrix {
         .map(|a| mixes.iter().map(|b| a.manhattan_distance(b)).collect())
         .collect();
     SimilarityMatrix {
-        benchmarks: Benchmark::ALL.iter().map(|b| b.name().to_string()).collect(),
+        benchmarks: Benchmark::ALL
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect(),
         matrix,
     }
 }
@@ -477,7 +480,11 @@ mod tests {
             .iter()
             .max_by(|a, b| a.spatial_slowdown.total_cmp(&b.spatial_slowdown))
             .unwrap();
-        assert!(worst.spatial_slowdown > 2.5, "worst {:.2}", worst.spatial_slowdown);
+        assert!(
+            worst.spatial_slowdown > 2.5,
+            "worst {:.2}",
+            worst.spatial_slowdown
+        );
     }
 
     #[test]
@@ -488,7 +495,10 @@ mod tests {
         let worst = ext.rows.last().unwrap().1;
         // 10% measurement noise should not blow the predictor up — the
         // error floor just rises toward the noise level.
-        assert!(worst < 3.0 * clean + 15.0, "clean {clean:.1} worst {worst:.1}");
+        assert!(
+            worst < 3.0 * clean + 15.0,
+            "clean {clean:.1} worst {worst:.1}"
+        );
         // The zero-noise row must match the deterministic Fig. 4 result.
         let fig4 = crate::accuracy::figure4(Context::shared());
         assert!((clean - fig4.mean_error_percent).abs() < 1e-9);
@@ -530,7 +540,10 @@ mod tests {
         let ext = dynamic_release(Context::shared());
         assert_eq!(ext.rows.len(), 36);
         for (label, st, dy) in &ext.rows {
-            assert!(dy <= &(st * (1.0 + 1e-9)), "{label}: dynamic {dy} > static {st}");
+            assert!(
+                dy <= &(st * (1.0 + 1e-9)),
+                "{label}: dynamic {dy} > static {st}"
+            );
         }
         // Asymmetric pairs save substantially on average.
         assert!(

@@ -1,19 +1,28 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, or serve the
+//! trained predictor online.
 //!
 //! ```text
 //! repro <artifact>...
 //! repro all
+//! repro --list
+//! repro serve [ADDR] [--models DIR]
 //! ```
 //!
 //! Artifacts: `fig1` … `fig12`, `table2`, `table3`, `table4`,
-//! `ext1` … `ext6`, `summary`, `all`.
+//! `ext1` … `ext7`, `summary`, `all`. `--list` prints the machine-readable
+//! artifact list (one per line) without measuring anything. `serve` trains
+//! the pair + n-bag models (or loads snapshots from `--models DIR`) and
+//! answers the line protocol documented in `bagpred_serve::protocol` on
+//! `ADDR` (default `127.0.0.1:7878`).
 
 use bagpred_experiments::{accuracy, extensions, paths, scaling, sensitivity, tables, Context};
+use bagpred_serve::{bootstrap, ModelRegistry, PredictionService, Server, ServiceConfig};
+use std::sync::Arc;
 
 const ARTIFACTS: [&str; 23] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "table2", "table3", "table4", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
-    "ext7", "summary",
+    "fig12", "table2", "table3", "table4", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+    "summary",
 ];
 
 fn run(artifact: &str, ctx: &Context) -> Result<String, String> {
@@ -76,12 +85,107 @@ fn summary(ctx: &Context) -> String {
     out
 }
 
+/// Builds the serving registry: loaded from snapshots when `models_dir`
+/// holds any, trained from scratch (and saved back) otherwise.
+fn serve_registry(models_dir: Option<&std::path::Path>) -> Arc<ModelRegistry> {
+    let platforms = bagpred_core::Platforms::paper();
+    if let Some(dir) = models_dir {
+        let registry = Arc::new(ModelRegistry::new());
+        match registry.load_dir(dir) {
+            Ok(n) if n > 0 => {
+                eprintln!("loaded {n} model snapshot(s) from {}", dir.display());
+                return registry;
+            }
+            Ok(_) => eprintln!("no snapshots in {}; training", dir.display()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("training models on the paper corpus...");
+        let registry = bootstrap::default_registry(&platforms);
+        match registry.save_dir(dir) {
+            Ok(n) => eprintln!("saved {n} snapshot(s) to {}", dir.display()),
+            Err(e) => eprintln!("warning: could not save snapshots: {e}"),
+        }
+        registry
+    } else {
+        eprintln!("training models on the paper corpus...");
+        bootstrap::default_registry(&platforms)
+    }
+}
+
+fn serve(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut models_dir = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--models" => match it.next() {
+                Some(dir) => models_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --models needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown serve flag `{flag}`");
+                eprintln!("usage: repro serve [ADDR] [--models DIR]");
+                std::process::exit(2);
+            }
+            positional => addr = positional.to_string(),
+        }
+    }
+
+    // Claim the port before training: a bind conflict should fail in
+    // milliseconds, not after a multi-second training run.
+    let listener = match std::net::TcpListener::bind(addr.as_str()) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let registry = serve_registry(models_dir.as_deref());
+    let service = PredictionService::start(
+        registry,
+        bagpred_core::Platforms::paper(),
+        ServiceConfig::default(),
+    );
+    let server = match Server::serve_listener(listener, Arc::clone(&service)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot serve on {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("serving on {}", server.local_addr());
+    println!("commands: predict A@N+B@M | schedule k=K budget=S A@N ... | stats | models | quit");
+    // Serve until killed; connections and workers run on their own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <artifact>... | all");
+        eprintln!("usage: repro <artifact>... | all | --list | serve [ADDR] [--models DIR]");
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    // Machine-readable artifact list: one name per line on stdout, no
+    // corpus measurement, stable output for scripts to consume.
+    if args.iter().any(|a| a == "--list") {
+        for artifact in ARTIFACTS {
+            println!("{artifact}");
+        }
+        return;
+    }
+
+    if args[0] == "serve" {
+        serve(&args[1..]);
     }
 
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -89,6 +193,21 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+
+    // Validate every requested artifact before the expensive corpus
+    // measurement so a typo fails in milliseconds, not minutes.
+    let unknown: Vec<&str> = selected
+        .iter()
+        .copied()
+        .filter(|name| !ARTIFACTS.contains(name))
+        .collect();
+    if !unknown.is_empty() {
+        for name in unknown {
+            eprintln!("error: unknown artifact `{name}`");
+        }
+        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+        std::process::exit(2);
+    }
 
     eprintln!("measuring the 91-run corpus...");
     let ctx = Context::shared();

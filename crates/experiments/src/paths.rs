@@ -181,12 +181,7 @@ mod tests {
     fn gpu_mean_usage_is_highest() {
         // Fig. 11: the radar plot peaks on GPU time (used 5-6 times/path).
         let fig = figure11(Context::shared());
-        let gpu = fig
-            .frequency
-            .iter()
-            .find(|(n, _, _)| n == "GPU")
-            .unwrap()
-            .1;
+        let gpu = fig.frequency.iter().find(|(n, _, _)| n == "GPU").unwrap().1;
         for (name, mean, _) in &fig.frequency {
             if name != "GPU" {
                 assert!(gpu >= *mean, "{name} used more than GPU per path");

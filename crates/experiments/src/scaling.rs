@@ -213,9 +213,17 @@ mod tests {
                 Benchmark::Fast | Benchmark::Orb | Benchmark::Svm
             );
             if expect_cpu_win {
-                assert!(single < 1.0, "{} should favor CPU: {single:.2}", s.benchmark);
+                assert!(
+                    single < 1.0,
+                    "{} should favor CPU: {single:.2}",
+                    s.benchmark
+                );
             } else {
-                assert!(single > 1.0, "{} should favor GPU: {single:.2}", s.benchmark);
+                assert!(
+                    single > 1.0,
+                    "{} should favor GPU: {single:.2}",
+                    s.benchmark
+                );
             }
         }
     }

@@ -63,7 +63,10 @@ impl SensitivityFigure {
 
     /// Number of pairs where adding the feature reduced the error.
     pub fn improvements(&self) -> usize {
-        self.pairs.iter().filter(|p| p.measured_delta() < 0.0).count()
+        self.pairs
+            .iter()
+            .filter(|p| p.measured_delta() < 0.0)
+            .count()
     }
 }
 
@@ -195,7 +198,7 @@ mod tests {
     }
 
     #[test]
-    fn insmix_is_not_harmful_with_cpu_time(){
+    fn insmix_is_not_harmful_with_cpu_time() {
         // Fig. 8's nuance: the mix helps alongside CPU time but has no
         // sizeable positive impact alongside GPU time.
         let fig = figure8(Context::shared());

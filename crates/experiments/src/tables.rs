@@ -75,7 +75,10 @@ impl Table3 {
         for (k, v) in &self.rows {
             table.row(vec![k.clone(), v.clone()]);
         }
-        format!("Table III: details of the baseline system\n{}", table.render())
+        format!(
+            "Table III: details of the baseline system\n{}",
+            table.render()
+        )
     }
 }
 
@@ -86,11 +89,20 @@ pub fn table3(ctx: &Context) -> Table3 {
     let rows = vec![
         (
             "CPU".to_string(),
-            format!("{}x Intel Xeon Gold 5118 (Skylake) [modelled]", cpu.sockets()),
+            format!(
+                "{}x Intel Xeon Gold 5118 (Skylake) [modelled]",
+                cpu.sockets()
+            ),
         ),
-        ("# of cores".to_string(), format!("{} physical", cpu.physical_cores())),
+        (
+            "# of cores".to_string(),
+            format!("{} physical", cpu.physical_cores()),
+        ),
         ("Logical cores".to_string(), cpu.logical_cores().to_string()),
-        ("Frequency".to_string(), format!("{:.1} GHz", cpu.freq_ghz())),
+        (
+            "Frequency".to_string(),
+            format!("{:.1} GHz", cpu.freq_ghz()),
+        ),
         (
             "LLC".to_string(),
             format!("{:.1} MB total", cpu.llc_bytes() as f64 / (1024.0 * 1024.0)),
@@ -99,10 +111,16 @@ pub fn table3(ctx: &Context) -> Table3 {
             "DRAM bandwidth".to_string(),
             format!("{:.0} GB/s", cpu.dram_bandwidth() / 1e9),
         ),
-        ("GPU".to_string(), "NVIDIA Tesla T4 (Turing) [modelled]".to_string()),
+        (
+            "GPU".to_string(),
+            "NVIDIA Tesla T4 (Turing) [modelled]".to_string(),
+        ),
         ("CUDA cores".to_string(), gpu.cuda_cores().to_string()),
         ("SMs".to_string(), gpu.sms().to_string()),
-        ("GPU frequency".to_string(), format!("{:.2} GHz", gpu.freq_ghz())),
+        (
+            "GPU frequency".to_string(),
+            format!("{:.2} GHz", gpu.freq_ghz()),
+        ),
         (
             "GPU L2".to_string(),
             format!("{} MB shared", gpu.l2_bytes() / (1024 * 1024)),

@@ -52,17 +52,15 @@ impl GpuSimulator {
         while !live.is_empty() {
             phases += 1;
             // Whole-run time of each live app under the current member set.
-            let members: Vec<KernelProfile> =
-                live.iter().map(|&i| profiles[i].clone()).collect();
+            let members: Vec<KernelProfile> = live.iter().map(|&i| profiles[i].clone()).collect();
             let times: Vec<f64> = live
                 .iter()
                 .enumerate()
                 .map(|(pos, _)| {
-                    self.simulate_with_share(&members[pos], bag_share_for(
-                        self.config(),
-                        &members,
-                        pos,
-                    ))
+                    self.simulate_with_share(
+                        &members[pos],
+                        bag_share_for(self.config(), &members, pos),
+                    )
                     .time_s
                 })
                 .collect();
@@ -136,8 +134,7 @@ mod tests {
         let static_bag = sim().simulate_bag(&[p.clone(), p.clone()]);
         let dynamic = sim().simulate_bag_dynamic(&[p.clone(), p]);
         assert!(
-            (dynamic.makespan_s - static_bag.makespan_s()).abs()
-                < 1e-9 * static_bag.makespan_s()
+            (dynamic.makespan_s - static_bag.makespan_s()).abs() < 1e-9 * static_bag.makespan_s()
         );
     }
 

@@ -137,8 +137,7 @@ impl GpuSimulator {
         // occupancy is always relative to the whole device, while the
         // throughput share (`sm_fraction`) reflects the co-run split.
         let resident_capacity = cfg.max_resident_threads() as f64;
-        let occupancy =
-            (profile.parallel_width() as f64 / resident_capacity).clamp(1e-4, 1.0);
+        let occupancy = (profile.parallel_width() as f64 / resident_capacity).clamp(1e-4, 1.0);
 
         // --- Compute pipeline. ---
         let mix = profile.mix();
@@ -182,9 +181,8 @@ impl GpuSimulator {
             * share.victim_slowdown;
 
         // --- Fixed overheads. ---
-        let launch_time = profile.kernel_launches() as f64
-            * cfg.launch_latency_s()
-            * share.schedule_inflation;
+        let launch_time =
+            profile.kernel_launches() as f64 * cfg.launch_latency_s() * share.schedule_inflation;
         let transfer_time = profile.transfer_bytes() as f64 / share.pcie_bandwidth;
         let overhead = launch_time + transfer_time;
 

@@ -73,10 +73,7 @@ impl GpuSimulator {
             .enumerate()
             .map(|(i, p)| self.simulate_with_share(p, bag_share_for(self.config(), profiles, i)))
             .collect();
-        let makespan_s = per_app
-            .iter()
-            .map(|e| e.time_s)
-            .fold(0.0f64, f64::max);
+        let makespan_s = per_app.iter().map(|e| e.time_s).fold(0.0f64, f64::max);
         BagExecution {
             per_app,
             makespan_s,
@@ -90,11 +87,7 @@ impl GpuSimulator {
 /// Interference is *partner-dependent*: how much one application suffers
 /// depends on what its co-runners demand — the interaction the paper's
 /// predictor is designed to capture.
-pub(crate) fn bag_share_for(
-    cfg: &GpuConfig,
-    profiles: &[KernelProfile],
-    me: usize,
-) -> GpuShare {
+pub(crate) fn bag_share_for(cfg: &GpuConfig, profiles: &[KernelProfile], me: usize) -> GpuShare {
     let n = profiles.len() as f64;
     if profiles.len() <= 1 {
         return GpuShare::whole_device(cfg);

@@ -84,8 +84,7 @@ impl GpuSimulator {
         let reload: Vec<f64> = profiles
             .iter()
             .map(|p| {
-                let resident =
-                    (p.working_set_bytes() as f64).min(self.config().l2_bytes() as f64);
+                let resident = (p.working_set_bytes() as f64).min(self.config().l2_bytes() as f64);
                 resident / self.config().dram_bandwidth()
             })
             .collect();

@@ -1,0 +1,157 @@
+//! Compact line-based text serialization for fitted models.
+//!
+//! The serving layer snapshots trained models so that a long-lived service
+//! never re-runs the measurement corpus. The format is deliberately plain:
+//! one record per line, `key=value` tokens, every float printed with
+//! Rust's shortest round-trip representation — self-describing enough to
+//! diff, grep, and version-control, with no external dependencies.
+//!
+//! The module owns the shared plumbing (token parsing, float round-trip,
+//! the FNV-1a checksum used by snapshot envelopes); the per-model formats
+//! live next to their types ([`DecisionTreeRegressor::to_text`],
+//! [`RandomForestRegressor::to_text`]).
+//!
+//! [`DecisionTreeRegressor::to_text`]: crate::DecisionTreeRegressor::to_text
+//! [`RandomForestRegressor::to_text`]: crate::RandomForestRegressor::to_text
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// 1-based line number within the decoded text, 0 when the problem is
+    /// not tied to one line (e.g. truncated input).
+    line: usize,
+    reason: String,
+}
+
+impl CodecError {
+    /// Creates an error anchored to a 1-based line number (0 = whole input).
+    pub fn new(line: usize, reason: impl Into<String>) -> Self {
+        Self {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// The 1-based line the error refers to (0 = whole input).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "malformed model text: {}", self.reason)
+        } else {
+            write!(
+                f,
+                "malformed model text (line {}): {}",
+                self.line, self.reason
+            )
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Formats a float with Rust's shortest round-trip representation.
+///
+/// `{:?}` on `f64` prints the shortest decimal string that parses back to
+/// the identical bit pattern (Ryū), which is what makes the snapshot
+/// round-trip byte-exact for finite values.
+pub fn fmt_f64(value: f64) -> String {
+    format!("{value:?}")
+}
+
+/// Extracts the value of a `key=value` token, or errors.
+pub(crate) fn kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, CodecError> {
+    match token.split_once('=') {
+        Some((k, v)) if k == key => Ok(v),
+        _ => Err(CodecError::new(
+            line,
+            format!("expected `{key}=<value>`, got `{token}`"),
+        )),
+    }
+}
+
+/// Parses a `key=value` token as `f64`.
+pub(crate) fn kv_f64(token: &str, key: &str, line: usize) -> Result<f64, CodecError> {
+    let raw = kv(token, key, line)?;
+    let value: f64 = raw
+        .parse()
+        .map_err(|_| CodecError::new(line, format!("`{key}` is not a float: `{raw}`")))?;
+    if !value.is_finite() {
+        return Err(CodecError::new(
+            line,
+            format!("`{key}` must be finite, got `{raw}`"),
+        ));
+    }
+    Ok(value)
+}
+
+/// Parses a `key=value` token as `usize`.
+pub(crate) fn kv_usize(token: &str, key: &str, line: usize) -> Result<usize, CodecError> {
+    let raw = kv(token, key, line)?;
+    raw.parse()
+        .map_err(|_| CodecError::new(line, format!("`{key}` is not an integer: `{raw}`")))
+}
+
+/// Parses a `key=value` token as `u64`.
+pub(crate) fn kv_u64(token: &str, key: &str, line: usize) -> Result<u64, CodecError> {
+    let raw = kv(token, key, line)?;
+    raw.parse()
+        .map_err(|_| CodecError::new(line, format!("`{key}` is not an integer: `{raw}`")))
+}
+
+/// FNV-1a 64-bit hash — the checksum snapshot envelopes carry so a
+/// truncated or hand-edited model file fails loudly instead of serving
+/// silently wrong predictions.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [0.1, 1e-300, -3.5, 123456.789012345, f64::MIN_POSITIVE] {
+            let text = fmt_f64(v);
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn kv_rejects_wrong_key() {
+        assert!(kv("a=1", "b", 3).is_err());
+        assert_eq!(kv("a=1", "a", 3).unwrap(), "1");
+    }
+
+    #[test]
+    fn kv_f64_rejects_non_finite() {
+        assert!(kv_f64("x=NaN", "x", 1).is_err());
+        assert!(kv_f64("x=inf", "x", 1).is_err());
+        assert_eq!(kv_f64("x=2.5", "x", 1).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"tree"), fnv1a64(b"tree "));
+    }
+}

@@ -6,6 +6,7 @@
 //! paths for lower variance — the comparison the `model_comparison`
 //! extension experiment quantifies.
 
+use crate::codec::{self, CodecError};
 use crate::dataset::Dataset;
 use crate::error::FitError;
 use crate::tree::DecisionTreeRegressor;
@@ -107,6 +108,112 @@ impl RandomForestRegressor {
     /// Number of fitted trees (0 before fitting).
     pub fn n_fitted_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Serializes the forest as the line-based text of [`crate::codec`]:
+    /// a `forest` header, then per fitted tree a `features` line (the
+    /// feature-subset indices that tree was trained on) followed by the
+    /// tree's own block ([`DecisionTreeRegressor::to_text`] format).
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "forest n_trees={} max_depth={} feature_fraction={} seed={} fitted={}\n",
+            self.n_trees,
+            self.max_depth,
+            codec::fmt_f64(self.feature_fraction),
+            self.seed,
+            self.trees.len(),
+        );
+        for (tree, feats) in &self.trees {
+            out.push_str("features");
+            for f in feats {
+                out.push(' ');
+                out.push_str(&f.to_string());
+            }
+            out.push('\n');
+            tree.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Reconstructs a forest from [`to_text`](Self::to_text) output;
+    /// predictions are bit-identical to the serialized model's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a malformed header, feature line, or
+    /// embedded tree block, and on trailing garbage.
+    pub fn from_text(text: &str) -> Result<Self, CodecError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let header = lines
+            .first()
+            .ok_or_else(|| CodecError::new(0, "missing forest header"))?;
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        if tokens.first() != Some(&"forest") || tokens.len() != 6 {
+            return Err(CodecError::new(1, "expected `forest` header"));
+        }
+        let n_trees = codec::kv_usize(tokens[1], "n_trees", 1)?;
+        let max_depth = codec::kv_usize(tokens[2], "max_depth", 1)?;
+        let feature_fraction = codec::kv_f64(tokens[3], "feature_fraction", 1)?;
+        let seed = codec::kv_u64(tokens[4], "seed", 1)?;
+        let fitted = codec::kv_usize(tokens[5], "fitted", 1)?;
+        if n_trees == 0 || max_depth == 0 {
+            return Err(CodecError::new(1, "n_trees and max_depth must be positive"));
+        }
+        if !(feature_fraction > 0.0 && feature_fraction <= 1.0) {
+            return Err(CodecError::new(1, "feature_fraction must be in (0, 1]"));
+        }
+
+        let mut trees = Vec::with_capacity(fitted);
+        let mut cursor = 1;
+        for _ in 0..fitted {
+            let line_no = cursor + 1;
+            let feature_line = lines.get(cursor).ok_or_else(|| {
+                CodecError::new(0, format!("truncated forest: expected {fitted} trees"))
+            })?;
+            let mut parts = feature_line.split_whitespace();
+            if parts.next() != Some("features") {
+                return Err(CodecError::new(line_no, "expected `features` line"));
+            }
+            let feats: Vec<usize> = parts
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| CodecError::new(line_no, format!("bad feature index `{t}`")))
+                })
+                .collect::<Result<_, _>>()?;
+            if feats.is_empty() {
+                return Err(CodecError::new(
+                    line_no,
+                    "a tree needs at least one feature",
+                ));
+            }
+            cursor += 1;
+            let (tree, next) = DecisionTreeRegressor::decode_lines(&lines, cursor)?;
+            if tree.n_features() != feats.len() {
+                return Err(CodecError::new(
+                    cursor + 1,
+                    format!(
+                        "tree expects {} features but its subset line lists {}",
+                        tree.n_features(),
+                        feats.len()
+                    ),
+                ));
+            }
+            cursor = next;
+            trees.push((tree, feats));
+        }
+        if lines[cursor..].iter().any(|l| !l.trim().is_empty()) {
+            return Err(CodecError::new(
+                cursor + 1,
+                "trailing content after forest block",
+            ));
+        }
+        Ok(Self {
+            n_trees,
+            max_depth,
+            feature_fraction,
+            seed,
+            trees,
+        })
     }
 }
 
@@ -258,5 +365,43 @@ mod tests {
             let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
         }
+
+        #[test]
+        fn text_round_trip_is_exact(query in -20.0f64..80.0) {
+            let data = noisy_line();
+            let mut forest = RandomForestRegressor::new().with_n_trees(6);
+            forest.fit(&data).unwrap();
+            let restored = RandomForestRegressor::from_text(&forest.to_text()).unwrap();
+            prop_assert_eq!(&restored, &forest);
+            prop_assert!(
+                restored.predict(&[query, 0.3]).to_bits()
+                    == forest.predict(&[query, 0.3]).to_bits(),
+                "prediction drifted after round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn unfitted_forest_round_trips() {
+        let forest = RandomForestRegressor::new().with_seed(11);
+        let restored = RandomForestRegressor::from_text(&forest.to_text()).unwrap();
+        assert_eq!(restored, forest);
+        assert_eq!(restored.n_fitted_trees(), 0);
+    }
+
+    #[test]
+    fn malformed_forest_text_is_rejected() {
+        assert!(RandomForestRegressor::from_text("tree x=1").is_err());
+        // Feature-subset arity disagreeing with the embedded tree.
+        let mut forest = RandomForestRegressor::new().with_n_trees(1);
+        forest.fit(&noisy_line()).unwrap();
+        let mangled = forest.to_text().replacen("features 0 1", "features 0", 1);
+        if mangled != forest.to_text() {
+            assert!(RandomForestRegressor::from_text(&mangled).is_err());
+        }
+        // Truncation: drop the final line.
+        let text = forest.to_text();
+        let cut = &text[..text.trim_end().rfind('\n').unwrap()];
+        assert!(RandomForestRegressor::from_text(cut).is_err());
     }
 }

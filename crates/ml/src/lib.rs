@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod dataset;
 mod error;
 mod forest;
@@ -56,6 +57,7 @@ mod tree;
 pub mod tune;
 pub mod validation;
 
+pub use codec::CodecError;
 pub use dataset::{Dataset, Sample};
 pub use error::{DatasetError, FitError};
 pub use forest::RandomForestRegressor;

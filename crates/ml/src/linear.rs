@@ -91,7 +91,7 @@ impl Regressor for LinearRegression {
             return Err(FitError::EmptyDataset);
         }
         let d = dataset.n_features() + 1; // + intercept
-        // Normal equations: (X^T X) w = X^T y over [x, 1] vectors.
+                                          // Normal equations: (X^T X) w = X^T y over [x, 1] vectors.
         let mut xtx = vec![vec![0.0; d]; d];
         let mut xty = vec![0.0; d];
         for s in dataset.samples() {

@@ -1,5 +1,6 @@
 //! CART decision-tree regression.
 
+use crate::codec::{self, CodecError};
 use crate::dataset::Dataset;
 use crate::error::FitError;
 use crate::Regressor;
@@ -138,6 +139,12 @@ impl DecisionTreeRegressor {
     /// Maximum depth hyper-parameter.
     pub fn max_depth(&self) -> usize {
         self.max_depth
+    }
+
+    /// Dimensionality of the feature vectors the tree was fitted on
+    /// (0 when unfitted).
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// The sequence of decisions a feature vector takes through the tree.
@@ -284,12 +291,7 @@ impl DecisionTreeRegressor {
     ///
     /// Panics if the tree is unfitted.
     pub fn dump_dot(&self, feature_names: &[String]) -> String {
-        fn walk(
-            node: &TreeNode,
-            names: &[String],
-            next_id: &mut usize,
-            out: &mut String,
-        ) -> usize {
+        fn walk(node: &TreeNode, names: &[String], next_id: &mut usize, out: &mut String) -> usize {
             let id = *next_id;
             *next_id += 1;
             match node {
@@ -312,9 +314,7 @@ impl DecisionTreeRegressor {
                         .get(*feature)
                         .map(String::as_str)
                         .unwrap_or("<unknown>");
-                    out.push_str(&format!(
-                        "  n{id} [label=\"{name} <= {threshold:.4}\"];\n"
-                    ));
+                    out.push_str(&format!("  n{id} [label=\"{name} <= {threshold:.4}\"];\n"));
                     let l = walk(left, names, next_id, out);
                     let r = walk(right, names, next_id, out);
                     out.push_str(&format!("  n{id} -> n{l} [label=\"yes\"];\n"));
@@ -344,10 +344,7 @@ impl DecisionTreeRegressor {
     ) -> TreeNode {
         let n = indices.len();
         let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / n as f64;
-        let sse: f64 = indices
-            .iter()
-            .map(|&i| (targets[i] - mean).powi(2))
-            .sum();
+        let sse: f64 = indices.iter().map(|&i| (targets[i] - mean).powi(2)).sum();
 
         let make_leaf = || TreeNode::Leaf {
             prediction: mean,
@@ -413,6 +410,223 @@ impl DecisionTreeRegressor {
             impurity_decrease: sse - split_sse,
             left: Box::new(left),
             right: Box::new(right),
+        }
+    }
+}
+
+impl DecisionTreeRegressor {
+    /// Serializes the tree (hyper-parameters + fitted structure) as the
+    /// compact line-based text of [`crate::codec`]: a `tree` header line
+    /// followed by one pre-order line per node.
+    ///
+    /// Every float uses the shortest round-trip representation, so
+    /// [`from_text`](Self::from_text) reconstructs a tree whose
+    /// predictions are bit-identical to the original's.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    pub(crate) fn encode_into(&self, out: &mut String) {
+        fn count(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        fn encode_node(node: &TreeNode, out: &mut String) {
+            match node {
+                TreeNode::Leaf {
+                    prediction,
+                    n_samples,
+                } => {
+                    out.push_str(&format!(
+                        "leaf prediction={} n_samples={n_samples}\n",
+                        codec::fmt_f64(*prediction)
+                    ));
+                }
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    prediction,
+                    n_samples,
+                    impurity_decrease,
+                    left,
+                    right,
+                } => {
+                    out.push_str(&format!(
+                        "split feature={feature} threshold={} prediction={} \
+                         n_samples={n_samples} impurity_decrease={}\n",
+                        codec::fmt_f64(*threshold),
+                        codec::fmt_f64(*prediction),
+                        codec::fmt_f64(*impurity_decrease),
+                    ));
+                    encode_node(left, out);
+                    encode_node(right, out);
+                }
+            }
+        }
+        let nodes = self.root.as_ref().map_or(0, count);
+        out.push_str(&format!(
+            "tree max_depth={} min_samples_split={} min_impurity_decrease={} \
+             n_features={} nodes={nodes}\n",
+            self.max_depth,
+            self.min_samples_split,
+            codec::fmt_f64(self.min_impurity_decrease),
+            self.n_features,
+        ));
+        if let Some(root) = &self.root {
+            encode_node(root, out);
+        }
+    }
+
+    /// Reconstructs a tree from [`to_text`](Self::to_text) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on any structural problem: wrong header,
+    /// truncated node list, unparsable numbers, or trailing garbage.
+    pub fn from_text(text: &str) -> Result<Self, CodecError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let (tree, used) = Self::decode_lines(&lines, 0)?;
+        if lines[used..].iter().any(|l| !l.trim().is_empty()) {
+            return Err(CodecError::new(
+                used + 1,
+                "trailing content after tree block",
+            ));
+        }
+        Ok(tree)
+    }
+
+    /// Decodes one tree block starting at `lines[start]`, returning the
+    /// tree and the index one past its last line. Line numbers in errors
+    /// are 1-based and absolute within `lines`.
+    pub(crate) fn decode_lines(lines: &[&str], start: usize) -> Result<(Self, usize), CodecError> {
+        let header = lines
+            .get(start)
+            .ok_or_else(|| CodecError::new(0, "missing tree header"))?;
+        let header_no = start + 1;
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        if tokens.first() != Some(&"tree") || tokens.len() != 6 {
+            return Err(CodecError::new(header_no, "expected `tree` header"));
+        }
+        let max_depth = codec::kv_usize(tokens[1], "max_depth", header_no)?;
+        let min_samples_split = codec::kv_usize(tokens[2], "min_samples_split", header_no)?;
+        let min_impurity_decrease = codec::kv_f64(tokens[3], "min_impurity_decrease", header_no)?;
+        let n_features = codec::kv_usize(tokens[4], "n_features", header_no)?;
+        let nodes = codec::kv_usize(tokens[5], "nodes", header_no)?;
+        if max_depth == 0 {
+            return Err(CodecError::new(header_no, "max_depth must be positive"));
+        }
+        if min_samples_split < 2 {
+            return Err(CodecError::new(header_no, "min_samples_split must be >= 2"));
+        }
+
+        fn decode_node(
+            lines: &[&str],
+            cursor: &mut usize,
+            end: usize,
+        ) -> Result<TreeNode, CodecError> {
+            let line_no = *cursor + 1;
+            if *cursor >= end {
+                return Err(CodecError::new(0, "truncated tree: node list ended early"));
+            }
+            let line = lines[*cursor];
+            *cursor += 1;
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.first().copied() {
+                Some("leaf") if tokens.len() == 3 => Ok(TreeNode::Leaf {
+                    prediction: codec::kv_f64(tokens[1], "prediction", line_no)?,
+                    n_samples: codec::kv_usize(tokens[2], "n_samples", line_no)?,
+                }),
+                Some("split") if tokens.len() == 6 => {
+                    let feature = codec::kv_usize(tokens[1], "feature", line_no)?;
+                    let threshold = codec::kv_f64(tokens[2], "threshold", line_no)?;
+                    let prediction = codec::kv_f64(tokens[3], "prediction", line_no)?;
+                    let n_samples = codec::kv_usize(tokens[4], "n_samples", line_no)?;
+                    let impurity_decrease = codec::kv_f64(tokens[5], "impurity_decrease", line_no)?;
+                    let left = decode_node(lines, cursor, end)?;
+                    let right = decode_node(lines, cursor, end)?;
+                    Ok(TreeNode::Split {
+                        feature,
+                        threshold,
+                        prediction,
+                        n_samples,
+                        impurity_decrease,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    })
+                }
+                _ => Err(CodecError::new(
+                    line_no,
+                    format!("expected `leaf` or `split` node, got `{line}`"),
+                )),
+            }
+        }
+
+        let mut cursor = start + 1;
+        let end = start + 1 + nodes;
+        if end > lines.len() {
+            return Err(CodecError::new(
+                header_no,
+                format!(
+                    "header claims {nodes} nodes but only {} lines remain",
+                    lines.len() - start - 1
+                ),
+            ));
+        }
+        let root = if nodes == 0 {
+            None
+        } else {
+            Some(decode_node(lines, &mut cursor, end)?)
+        };
+        if cursor != end {
+            return Err(CodecError::new(
+                header_no,
+                format!(
+                    "header claims {nodes} nodes but the pre-order walk consumed {}",
+                    cursor - start - 1
+                ),
+            ));
+        }
+        let tree = Self {
+            max_depth,
+            min_samples_split,
+            min_impurity_decrease,
+            root,
+            n_features,
+        };
+        tree.validate_decoded(header_no)?;
+        Ok((tree, cursor))
+    }
+
+    /// Structural sanity checks on a freshly decoded tree: every split's
+    /// feature index must be in range so later `predict` calls cannot
+    /// panic on out-of-bounds indexing.
+    fn validate_decoded(&self, header_no: usize) -> Result<(), CodecError> {
+        fn walk(node: &TreeNode, n_features: usize, header_no: usize) -> Result<(), CodecError> {
+            if let TreeNode::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = node
+            {
+                if *feature >= n_features {
+                    return Err(CodecError::new(
+                        header_no,
+                        format!("split references feature {feature} but the tree has {n_features}"),
+                    ));
+                }
+                walk(left, n_features, header_no)?;
+                walk(right, n_features, header_no)?;
+            }
+            Ok(())
+        }
+        match &self.root {
+            Some(root) => walk(root, self.n_features, header_no),
+            None => Ok(()),
         }
     }
 }
@@ -678,5 +892,69 @@ mod tests {
             prop_assert!(imp.iter().all(|&v| v >= 0.0));
             prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
         }
+
+        #[test]
+        fn text_round_trip_is_exact(
+            targets in proptest::collection::vec(-50.0f64..50.0, 2..24),
+        ) {
+            let mut d = Dataset::new(vec!["x".into(), "x2".into()]).unwrap();
+            for (i, &t) in targets.iter().enumerate() {
+                d.push(vec![i as f64, (i * i) as f64], t).unwrap();
+            }
+            let mut tree = DecisionTreeRegressor::new().with_max_depth(6);
+            tree.fit(&d).unwrap();
+            let restored = DecisionTreeRegressor::from_text(&tree.to_text()).unwrap();
+            prop_assert_eq!(&restored, &tree);
+            for i in 0..targets.len() {
+                let row = [i as f64, (i * i) as f64];
+                prop_assert!(
+                    restored.predict(&row).to_bits() == tree.predict(&row).to_bits(),
+                    "prediction drifted after round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfitted_tree_round_trips() {
+        let tree = DecisionTreeRegressor::new().with_max_depth(4);
+        let restored = DecisionTreeRegressor::from_text(&tree.to_text()).unwrap();
+        assert_eq!(restored, tree);
+        assert!(restored.root().is_none());
+    }
+
+    #[test]
+    fn malformed_tree_text_is_rejected() {
+        // Wrong header keyword.
+        assert!(DecisionTreeRegressor::from_text("forest x=1").is_err());
+        // Claimed node count exceeds supplied lines.
+        let truncated = "tree max_depth=4 min_samples_split=2 \
+                         min_impurity_decrease=0.0 n_features=1 nodes=3\n\
+                         leaf prediction=1.0 n_samples=2\n";
+        assert!(DecisionTreeRegressor::from_text(truncated).is_err());
+        // Split referencing an out-of-range feature index.
+        let bad_feature = "tree max_depth=4 min_samples_split=2 \
+                           min_impurity_decrease=0.0 n_features=1 nodes=3\n\
+                           split feature=7 threshold=0.5 prediction=1.0 \
+                           n_samples=4 impurity_decrease=0.1\n\
+                           leaf prediction=0.5 n_samples=2\n\
+                           leaf prediction=1.5 n_samples=2\n";
+        assert!(DecisionTreeRegressor::from_text(bad_feature).is_err());
+        // Trailing garbage after a well-formed block.
+        let trailing = "tree max_depth=4 min_samples_split=2 \
+                        min_impurity_decrease=0.0 n_features=1 nodes=1\n\
+                        leaf prediction=1.0 n_samples=2\n\
+                        extra\n";
+        assert!(DecisionTreeRegressor::from_text(trailing).is_err());
+    }
+
+    #[test]
+    fn codec_errors_carry_line_numbers() {
+        let bad = "tree max_depth=4 min_samples_split=2 \
+                   min_impurity_decrease=0.0 n_features=1 nodes=1\n\
+                   leaf prediction=abc n_samples=2\n";
+        let err = DecisionTreeRegressor::from_text(bad).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("not a float"), "{err}");
     }
 }

@@ -38,13 +38,11 @@ pub struct DepthSearch {
 /// assert!(search.best_depth <= 2);
 /// # Ok::<(), bagpred_ml::DatasetError>(())
 /// ```
-pub fn select_tree_depth(
-    dataset: &Dataset,
-    depths: &[usize],
-    k: usize,
-    seed: u64,
-) -> DepthSearch {
-    assert!(!depths.is_empty(), "at least one candidate depth is required");
+pub fn select_tree_depth(dataset: &Dataset, depths: &[usize], k: usize, seed: u64) -> DepthSearch {
+    assert!(
+        !depths.is_empty(),
+        "at least one candidate depth is required"
+    );
     let folds = validation::k_fold(dataset, k, seed);
 
     let mut candidates = Vec::with_capacity(depths.len());

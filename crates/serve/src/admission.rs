@@ -1,0 +1,270 @@
+//! Admission control: greedy packing of applications onto simulated GPUs
+//! under a predicted-latency budget.
+//!
+//! This is the paper's motivating use case turned into a serving
+//! primitive: given a set of applications and `k` GPUs, decide which
+//! apps may co-run where so that every GPU's *predicted*
+//! multi-application time stays within a budget — without ever running
+//! the expensive co-run to find out.
+//!
+//! The policy is first-fit-decreasing: apps are ordered by predicted
+//! solo GPU time (longest first, the classic bin-packing heuristic) and
+//! each is placed on the GPU that minimizes the resulting predicted bag
+//! time while respecting the budget and the model's bag capacity (2 for
+//! the paper's pair model, [`MAX_BAG`] for the n-bag extension). Apps
+//! that fit nowhere are rejected, not queued — the caller decides what
+//! to do with them.
+
+use crate::cache::FeatureCache;
+use crate::error::ServeError;
+use crate::snapshot::ServableModel;
+use bagpred_core::nbag::{NBag, MAX_BAG};
+use bagpred_core::{Bag, Platforms};
+use bagpred_workloads::Workload;
+
+/// One GPU's assigned apps and the model's predicted completion time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuAssignment {
+    /// Apps co-running on this GPU (possibly empty).
+    pub apps: Vec<Workload>,
+    /// Predicted GPU time for this assignment, seconds (0 when empty).
+    pub predicted_s: f64,
+}
+
+/// The admission controller's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Per-GPU assignments, length `k`.
+    pub gpus: Vec<GpuAssignment>,
+    /// Apps that could not be placed within the budget.
+    pub rejected: Vec<Workload>,
+}
+
+impl Placement {
+    /// Number of apps that were admitted.
+    pub fn admitted(&self) -> usize {
+        self.gpus.iter().map(|g| g.apps.len()).sum()
+    }
+}
+
+/// Predicted GPU time for a candidate co-run set (1..=capacity apps).
+fn predict_set(
+    model: &ServableModel,
+    cache: &FeatureCache,
+    platforms: &Platforms,
+    apps: &[Workload],
+) -> Result<f64, ServeError> {
+    match apps.len() {
+        0 => Ok(0.0),
+        1 => Ok(cache.app_features(apps[0], platforms).gpu_time_s),
+        n => match model {
+            ServableModel::Pair(p) if n == 2 => {
+                let record = cache.pair_measurement(Bag::pair(apps[0], apps[1]), platforms);
+                Ok(p.predict(&record))
+            }
+            ServableModel::Pair(_) => Err(ServeError::Unsupported(format!(
+                "pair model cannot predict a {n}-app co-run"
+            ))),
+            ServableModel::NBag(p) => {
+                let bag = NBag::new(apps.to_vec());
+                let record = cache.nbag_measurement(&bag, platforms);
+                Ok(p.predict(&record))
+            }
+        },
+    }
+}
+
+/// Greedily packs `apps` onto `gpus` simulated GPUs so every GPU's
+/// predicted time stays within `budget_s`.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] for a zero GPU count or non-positive /
+/// non-finite budget; prediction errors propagate.
+pub fn admit(
+    model: &ServableModel,
+    cache: &FeatureCache,
+    platforms: &Platforms,
+    gpus: usize,
+    budget_s: f64,
+    apps: &[Workload],
+) -> Result<Placement, ServeError> {
+    if gpus == 0 {
+        return Err(ServeError::BadRequest(
+            "need at least one GPU (k>=1)".into(),
+        ));
+    }
+    if !budget_s.is_finite() || budget_s <= 0.0 {
+        return Err(ServeError::BadRequest(
+            "budget must be a positive number of seconds".into(),
+        ));
+    }
+    let capacity = match model {
+        ServableModel::Pair(_) => 2,
+        ServableModel::NBag(_) => MAX_BAG,
+    };
+
+    // First-fit-decreasing order: longest solo GPU time first, with the
+    // canonical workload order as a deterministic tie-break.
+    let mut ordered: Vec<(Workload, f64)> = apps
+        .iter()
+        .map(|&w| (w, cache.app_features(w, platforms).gpu_time_s))
+        .collect();
+    ordered.sort_by(|(wa, ta), (wb, tb)| {
+        tb.partial_cmp(ta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                (wa.benchmark().name(), wa.batch_size())
+                    .cmp(&(wb.benchmark().name(), wb.batch_size()))
+            })
+    });
+
+    let mut assignments: Vec<GpuAssignment> = (0..gpus)
+        .map(|_| GpuAssignment {
+            apps: Vec::new(),
+            predicted_s: 0.0,
+        })
+        .collect();
+    let mut rejected = Vec::new();
+
+    for (workload, _solo) in ordered {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, gpu) in assignments.iter().enumerate() {
+            if gpu.apps.len() >= capacity {
+                continue;
+            }
+            let mut candidate = gpu.apps.clone();
+            candidate.push(workload);
+            let predicted = predict_set(model, cache, platforms, &candidate)?;
+            if predicted <= budget_s && best.map_or(true, |(_, t)| predicted < t) {
+                best = Some((idx, predicted));
+            }
+        }
+        match best {
+            Some((idx, predicted)) => {
+                assignments[idx].apps.push(workload);
+                assignments[idx].predicted_s = predicted;
+            }
+            None => rejected.push(workload),
+        }
+    }
+
+    Ok(Placement {
+        gpus: assignments,
+        rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{NBAG_MODEL, PAIR_MODEL};
+    use crate::testutil;
+    use bagpred_workloads::Benchmark;
+
+    fn apps4() -> Vec<Workload> {
+        vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+            Workload::new(Benchmark::Orb, 10),
+            Workload::new(Benchmark::Hog, 20),
+        ]
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let registry = testutil::registry();
+        let model = registry.get(PAIR_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        assert!(matches!(
+            admit(&model, &cache, &platforms, 0, 1.0, &apps4()),
+            Err(ServeError::BadRequest(_))
+        ));
+        for bad_budget in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                admit(&model, &cache, &platforms, 2, bad_budget, &apps4()),
+                Err(ServeError::BadRequest(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn generous_budget_admits_everything_within_capacity() {
+        let registry = testutil::registry();
+        let model = registry.get(PAIR_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        let placement = admit(&model, &cache, &platforms, 2, 1e9, &apps4()).expect("admits");
+        assert_eq!(placement.admitted(), 4);
+        assert!(placement.rejected.is_empty());
+        for gpu in &placement.gpus {
+            assert!(gpu.apps.len() <= 2, "pair model caps co-runs at 2");
+            assert!(gpu.predicted_s.is_finite());
+        }
+    }
+
+    #[test]
+    fn pair_placement_predictions_match_direct_predictor() {
+        let registry = testutil::registry();
+        let model = registry.get(PAIR_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        let placement = admit(&model, &cache, &platforms, 2, 1e9, &apps4()).expect("admits");
+        let ServableModel::Pair(predictor) = &*model else {
+            panic!()
+        };
+        for gpu in &placement.gpus {
+            if gpu.apps.len() == 2 {
+                let record =
+                    cache.pair_measurement(Bag::pair(gpu.apps[0], gpu.apps[1]), &platforms);
+                assert_eq!(
+                    gpu.predicted_s.to_bits(),
+                    predictor.predict(&record).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_rejects_everything() {
+        let registry = testutil::registry();
+        let model = registry.get(PAIR_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        let placement = admit(&model, &cache, &platforms, 4, 1e-12, &apps4()).expect("runs");
+        assert_eq!(placement.admitted(), 0);
+        assert_eq!(placement.rejected.len(), 4);
+    }
+
+    #[test]
+    fn nbag_model_packs_up_to_max_bag_on_one_gpu() {
+        let registry = testutil::registry();
+        let model = registry.get(NBAG_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        let placement = admit(&model, &cache, &platforms, 1, 1e9, &apps4()).expect("admits");
+        assert_eq!(placement.admitted(), 4, "MAX_BAG={MAX_BAG} fits all four");
+        assert_eq!(placement.gpus[0].apps.len(), 4);
+    }
+
+    #[test]
+    fn budget_is_respected_by_every_assignment() {
+        let registry = testutil::registry();
+        let model = registry.get(PAIR_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        // Solo GPU times are fractions of a second; a mid-range budget
+        // forces a mix of admissions and rejections.
+        let budget = 0.5;
+        let placement = admit(&model, &cache, &platforms, 2, budget, &apps4()).expect("runs");
+        for gpu in &placement.gpus {
+            assert!(
+                gpu.predicted_s <= budget,
+                "assignment {:?} exceeds budget",
+                gpu
+            );
+        }
+        assert_eq!(placement.admitted() + placement.rejected.len(), 4);
+    }
+}

@@ -1,0 +1,55 @@
+//! One-call setup: train the paper's models and register them.
+//!
+//! Serving needs trained models; training needs the measurement corpus.
+//! This module runs the offline pipeline once — the 91-bag paper corpus
+//! for the pair model, the deterministic n-bag corpus for the extension
+//! — and registers the results under well-known names:
+//!
+//! * `pair-tree` — the paper's best configuration (full feature scheme,
+//!   depth-8 CART tree, §V-C / Fig. 9);
+//! * `nbag-tree` — the order-statistic n-bag predictor.
+//!
+//! Both are snapshot-capable, so a `save_dir`/`load_dir` cycle skips
+//! retraining on the next boot.
+
+use crate::snapshot::{ModelRegistry, ServableModel};
+use bagpred_core::nbag::{nbag_corpus, NBagMeasurement, NBagPredictor};
+use bagpred_core::{Corpus, FeatureSet, ModelKind, Platforms, Predictor};
+use std::sync::Arc;
+
+/// Extra heterogeneous bags in the n-bag training corpus (deterministic;
+/// matches the experiments crate's default).
+const NBAG_EXTRA: usize = 20;
+
+/// Name the pair model is registered under.
+pub const PAIR_MODEL: &str = "pair-tree";
+/// Name the n-bag model is registered under.
+pub const NBAG_MODEL: &str = "nbag-tree";
+
+/// Trains the paper's pair predictor on the 91-bag corpus.
+pub fn train_pair(platforms: &Platforms) -> Predictor {
+    let records = Corpus::paper().measure_on(platforms);
+    let mut predictor = Predictor::new(FeatureSet::full()).with_model(ModelKind::DecisionTree);
+    predictor.train(&records);
+    predictor
+}
+
+/// Trains the n-bag predictor on the deterministic n-bag corpus.
+pub fn train_nbag(platforms: &Platforms) -> NBagPredictor {
+    let records: Vec<NBagMeasurement> = nbag_corpus(NBAG_EXTRA)
+        .into_iter()
+        .map(|bag| NBagMeasurement::collect(bag, platforms))
+        .collect();
+    let mut predictor = NBagPredictor::new();
+    predictor.train(&records);
+    predictor
+}
+
+/// Trains both models and returns a registry holding them as
+/// [`PAIR_MODEL`] and [`NBAG_MODEL`].
+pub fn default_registry(platforms: &Platforms) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(PAIR_MODEL, ServableModel::Pair(train_pair(platforms)));
+    registry.insert(NBAG_MODEL, ServableModel::NBag(train_nbag(platforms)));
+    registry
+}

@@ -1,0 +1,265 @@
+//! Feature cache for the serving fast path.
+//!
+//! Collecting features for a prediction request means simulating the
+//! workload on the CPU and GPU models — cheap next to the ground-truth
+//! bag simulation, but still the dominant per-request cost. Features are
+//! pure functions of the workload (per-app features key on
+//! `(benchmark, batch_size)`, i.e. [`Workload`]) or of the bag (fairness
+//! and n-bag aggregates key on the canonicalized bag), so the cache can
+//! return bit-identical values forever.
+
+use bagpred_core::nbag::{NBag, NBagMeasurement};
+use bagpred_core::{AppFeatures, Bag, Measurement, Platforms};
+use bagpred_workloads::Workload;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Thread-safe cache of collected features.
+///
+/// Three maps, one per cacheable quantity:
+///
+/// * per-app features, keyed by [`Workload`] (benchmark + batch size);
+/// * pair-bag fairness, keyed by [`Bag`];
+/// * n-bag aggregate measurements, keyed by [`NBag`].
+///
+/// Hit/miss counters feed the `stats` command.
+#[derive(Debug, Default)]
+pub struct FeatureCache {
+    apps: RwLock<HashMap<Workload, Arc<AppFeatures>>>,
+    fairness: RwLock<HashMap<Bag, f64>>,
+    nbags: RwLock<HashMap<NBag, Arc<NBagMeasurement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FeatureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-app features for `workload`, computed on first use.
+    pub fn app_features(&self, workload: Workload, platforms: &Platforms) -> Arc<AppFeatures> {
+        if let Some(hit) = self
+            .apps
+            .read()
+            .expect("cache lock poisoned")
+            .get(&workload)
+            .cloned()
+        {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let computed = Arc::new(AppFeatures::collect(&workload, platforms));
+        // A racing thread may have inserted meanwhile; keep the first value
+        // so every caller sees one canonical Arc (values are identical
+        // anyway: collection is deterministic).
+        Arc::clone(
+            self.apps
+                .write()
+                .expect("cache lock poisoned")
+                .entry(workload)
+                .or_insert(computed),
+        )
+    }
+
+    /// Fairness of `bag`'s multicore co-run, computed on first use.
+    pub fn fairness(&self, bag: Bag, platforms: &Platforms) -> f64 {
+        if let Some(&hit) = self.fairness.read().expect("cache lock poisoned").get(&bag) {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let computed = Measurement::collect_fairness(&bag, platforms);
+        *self
+            .fairness
+            .write()
+            .expect("cache lock poisoned")
+            .entry(bag)
+            .or_insert(computed)
+    }
+
+    /// A ground-truth-free [`Measurement`] for a two-app bag, assembled
+    /// from cached parts. `bag_gpu_time_s` is NaN — that is the quantity
+    /// being predicted.
+    pub fn pair_measurement(&self, bag: Bag, platforms: &Platforms) -> Measurement {
+        let [a, b] = bag.members();
+        let apps = [
+            (*self.app_features(a, platforms)).clone(),
+            (*self.app_features(b, platforms)).clone(),
+        ];
+        let fairness = self.fairness(bag, platforms);
+        Measurement::from_parts(bag, apps, fairness, f64::NAN)
+    }
+
+    /// A ground-truth-free [`NBagMeasurement`], computed on first use.
+    pub fn nbag_measurement(&self, bag: &NBag, platforms: &Platforms) -> Arc<NBagMeasurement> {
+        if let Some(hit) = self
+            .nbags
+            .read()
+            .expect("cache lock poisoned")
+            .get(bag)
+            .cloned()
+        {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let computed = Arc::new(NBagMeasurement::collect_unlabeled(bag.clone(), platforms));
+        Arc::clone(
+            self.nbags
+                .write()
+                .expect("cache lock poisoned")
+                .entry(bag.clone())
+                .or_insert(computed),
+        )
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Number of cached entries across all three maps.
+    pub fn len(&self) -> usize {
+        self.apps.read().expect("cache lock poisoned").len()
+            + self.fairness.read().expect("cache lock poisoned").len()
+            + self.nbags.read().expect("cache lock poisoned").len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagpred_core::Feature;
+    use bagpred_workloads::Benchmark;
+
+    #[test]
+    fn pair_measurement_matches_direct_collection_bit_for_bit() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        let bag = Bag::pair(
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+        );
+        let cached = cache.pair_measurement(bag, &platforms);
+        let direct = Measurement::collect(bag, &platforms);
+        for feature in Feature::ALL {
+            let slots = if feature.is_bag_level() { 1 } else { 2 };
+            for slot in 0..slots {
+                assert_eq!(
+                    cached.raw_value(feature, slot).to_bits(),
+                    direct.raw_value(feature, slot).to_bits(),
+                    "{feature} slot {slot}"
+                );
+            }
+        }
+        assert!(
+            cached.bag_gpu_time_s().is_nan(),
+            "serving has no ground truth"
+        );
+    }
+
+    #[test]
+    fn second_lookup_is_all_hits_and_bit_identical() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        let bag = Bag::pair(
+            Workload::new(Benchmark::Hog, 20),
+            Workload::new(Benchmark::Fast, 80),
+        );
+        let cold = cache.pair_measurement(bag, &platforms);
+        assert_eq!(cache.hits(), 0);
+        let misses_after_cold = cache.misses();
+        assert_eq!(
+            misses_after_cold, 3,
+            "two app lookups + one fairness lookup"
+        );
+
+        let warm = cache.pair_measurement(bag, &platforms);
+        assert_eq!(
+            cache.misses(),
+            misses_after_cold,
+            "warm path computes nothing"
+        );
+        assert_eq!(cache.hits(), 3);
+        for feature in Feature::ALL {
+            let slots = if feature.is_bag_level() { 1 } else { 2 };
+            for slot in 0..slots {
+                assert_eq!(
+                    cold.raw_value(feature, slot).to_bits(),
+                    warm.raw_value(feature, slot).to_bits()
+                );
+            }
+        }
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn app_features_are_shared_across_bags() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        let sift = Workload::new(Benchmark::Sift, 20);
+        cache.pair_measurement(
+            Bag::pair(sift, Workload::new(Benchmark::Knn, 40)),
+            &platforms,
+        );
+        let misses = cache.misses();
+        // A different bag sharing SIFT@20 only misses on KNN@80 + fairness.
+        cache.pair_measurement(
+            Bag::pair(sift, Workload::new(Benchmark::Knn, 80)),
+            &platforms,
+        );
+        assert_eq!(cache.misses() - misses, 2);
+        assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn nbag_measurement_matches_direct_collection() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        let bag = NBag::new(vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+            Workload::new(Benchmark::Orb, 10),
+        ]);
+        let cached = cache.nbag_measurement(&bag, &platforms);
+        let direct = NBagMeasurement::collect_unlabeled(bag.clone(), &platforms);
+        assert_eq!(cached.features(), direct.features());
+        assert!(cached.bag_gpu_time_s().is_nan());
+        let misses = cache.misses();
+        cache.nbag_measurement(&bag, &platforms);
+        assert_eq!(cache.misses(), misses);
+    }
+}

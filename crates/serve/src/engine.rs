@@ -1,0 +1,599 @@
+//! The concurrent request engine: a bounded queue feeding a worker pool.
+//!
+//! Requests enter through [`PredictionService::submit`] (async, returns a
+//! channel) or [`PredictionService::call`] (blocking convenience). A
+//! bounded `Mutex<VecDeque>` + `Condvar` queue decouples producers from
+//! the fixed worker pool; when the queue is full the service **sheds
+//! load** — [`ServeError::Overloaded`] immediately, never unbounded
+//! buffering — so a burst degrades into fast rejections instead of
+//! collapsing latency for everyone. Workers drain requests in small
+//! batches per lock acquisition to cut contention under load.
+
+use crate::admission::{self, Placement};
+use crate::cache::FeatureCache;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::snapshot::{ModelRegistry, ServableModel};
+use bagpred_core::nbag::{NBag, MAX_BAG};
+use bagpred_core::{Bag, Platforms};
+use bagpred_workloads::Workload;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Tuning knobs for the engine.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum queued (not yet picked up) requests before shedding.
+    pub queue_capacity: usize,
+    /// Maximum requests one worker takes per lock acquisition.
+    pub batch_size: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            batch_size: 8,
+        }
+    }
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict the multi-application GPU time of one bag of apps.
+    Predict {
+        /// Explicit model name; `None` picks a registered default by arity.
+        model: Option<String>,
+        /// The co-running applications (2..=[`MAX_BAG`]).
+        apps: Vec<Workload>,
+    },
+    /// Pack apps onto `gpus` GPUs under a predicted-latency budget.
+    Schedule {
+        /// Explicit model name; `None` picks a registered default.
+        model: Option<String>,
+        /// Number of simulated GPUs to pack onto.
+        gpus: usize,
+        /// Per-GPU predicted-time budget, seconds.
+        budget_s: f64,
+        /// Applications asking for admission.
+        apps: Vec<Workload>,
+    },
+    /// Report service counters, cache stats, and latency percentiles.
+    Stats,
+    /// List registered models.
+    Models,
+}
+
+/// A successful reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Predicted multi-application GPU time.
+    Prediction {
+        /// Name of the model that produced the prediction.
+        model: String,
+        /// Predicted bag GPU time, seconds.
+        predicted_s: f64,
+    },
+    /// Admission decision.
+    Schedule(Placement),
+    /// Service statistics.
+    Stats(StatsReport),
+    /// Registered models as `(name, description)` pairs, sorted.
+    Models(Vec<(String, String)>),
+}
+
+/// Everything the `stats` command reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Request counters and latency window.
+    pub metrics: MetricsSnapshot,
+    /// Feature-cache lookups answered without computing.
+    pub cache_hits: u64,
+    /// Feature-cache lookups that computed.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub cache_hit_rate: f64,
+    /// Entries across all cache maps.
+    pub cache_entries: usize,
+    /// Registered models.
+    pub models: usize,
+    /// Requests queued but not yet picked up at snapshot time.
+    pub queue_depth: usize,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+/// The outcome a submitter receives on its channel.
+pub type Outcome = Result<Reply, ServeError>;
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    tx: mpsc::Sender<Outcome>,
+}
+
+struct Inner {
+    registry: Arc<ModelRegistry>,
+    platforms: Platforms,
+    cache: FeatureCache,
+    metrics: Metrics,
+    config: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    nonempty: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The in-process prediction service. The TCP front-end in
+/// [`crate::server`] is a thin line-protocol adapter over this type.
+pub struct PredictionService {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for PredictionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionService")
+            .field("config", &self.inner.config)
+            .field("models", &self.inner.registry.len())
+            .finish()
+    }
+}
+
+impl PredictionService {
+    /// Starts the worker pool and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero worker count, queue capacity, or batch size.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        platforms: Platforms,
+        config: ServiceConfig,
+    ) -> Arc<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let inner = Arc::new(Inner {
+            registry,
+            platforms,
+            cache: FeatureCache::new(),
+            metrics: Metrics::new(),
+            config: config.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Arc::new(Self {
+            inner,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// Enqueues a request; the reply arrives on the returned channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full (load shedding)
+    /// and [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, request: Request) -> Result<mpsc::Receiver<Outcome>, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            if queue.len() >= self.inner.config.queue_capacity {
+                self.inner.metrics.on_shed();
+                return Err(ServeError::Overloaded);
+            }
+            queue.push_back(Job {
+                request,
+                enqueued: Instant::now(),
+                tx,
+            });
+            // Count inside the lock: a worker can pick the job up the
+            // moment the lock drops, and `stats` must already see it.
+            self.inner.metrics.on_received();
+        }
+        self.inner.nonempty.notify_one();
+        Ok(rx)
+    }
+
+    /// Blocking convenience: submit and wait for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Submission errors plus every per-request [`ServeError`].
+    pub fn call(&self, request: Request) -> Outcome {
+        let rx = self.submit(request)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// The model registry this service answers from.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.inner.registry
+    }
+
+    /// The feature cache (exposed for tests and warm-up).
+    pub fn cache(&self) -> &FeatureCache {
+        &self.inner.cache
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.nonempty.notify_all();
+        let mut handles = self.handles.lock().expect("handles lock poisoned");
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let batch = {
+            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner.nonempty.wait(queue).expect("queue lock poisoned");
+            }
+            let take = queue.len().min(inner.config.batch_size);
+            queue.drain(..take).collect::<Vec<Job>>()
+        };
+        for job in batch {
+            let outcome = process(inner, &job.request);
+            inner
+                .metrics
+                .on_done(outcome.is_ok(), job.enqueued.elapsed());
+            // A submitter that dropped its receiver no longer cares.
+            let _ = job.tx.send(outcome);
+        }
+    }
+}
+
+/// Picks the model for a request: an explicit name wins; otherwise the
+/// lexicographically-first pair model for 2-app bags (the paper's model)
+/// falling back to the first n-bag model, which is also the default for
+/// larger bags.
+fn resolve_model(
+    registry: &ModelRegistry,
+    name: &Option<String>,
+    arity: usize,
+) -> Result<(String, Arc<ServableModel>), ServeError> {
+    if let Some(name) = name {
+        let model = registry
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.clone()))?;
+        return Ok((name.clone(), model));
+    }
+    let names: Vec<String> = registry.list().into_iter().map(|(n, _)| n).collect();
+    let mut pair_default = None;
+    let mut nbag_default = None;
+    for candidate in names {
+        if let Some(model) = registry.get(&candidate) {
+            match (&*model, &pair_default) {
+                (ServableModel::Pair(_), None) => pair_default = Some((candidate, model)),
+                (ServableModel::NBag(_), _) if nbag_default.is_none() => {
+                    nbag_default = Some((candidate, model))
+                }
+                _ => {}
+            }
+        }
+    }
+    let picked = if arity == 2 {
+        pair_default.or(nbag_default)
+    } else {
+        nbag_default
+    };
+    picked.ok_or_else(|| {
+        ServeError::UnknownModel(format!("<no registered model serves {arity}-app bags>"))
+    })
+}
+
+fn predict(inner: &Inner, model: &Option<String>, apps: &[Workload]) -> Result<Reply, ServeError> {
+    if !(2..=MAX_BAG).contains(&apps.len()) {
+        return Err(ServeError::BadRequest(format!(
+            "a bag holds 2..={MAX_BAG} apps, got {}",
+            apps.len()
+        )));
+    }
+    let (name, model) = resolve_model(&inner.registry, model, apps.len())?;
+    let predicted_s = match &*model {
+        ServableModel::Pair(p) => {
+            if apps.len() != 2 {
+                return Err(ServeError::Unsupported(format!(
+                    "model `{name}` is a pair model; it cannot predict a {}-app bag",
+                    apps.len()
+                )));
+            }
+            let record = inner
+                .cache
+                .pair_measurement(Bag::pair(apps[0], apps[1]), &inner.platforms);
+            p.predict(&record)
+        }
+        ServableModel::NBag(p) => {
+            let bag = NBag::new(apps.to_vec());
+            let record = inner.cache.nbag_measurement(&bag, &inner.platforms);
+            p.predict(&record)
+        }
+    };
+    Ok(Reply::Prediction {
+        model: name,
+        predicted_s,
+    })
+}
+
+fn process(inner: &Inner, request: &Request) -> Outcome {
+    match request {
+        Request::Predict { model, apps } => predict(inner, model, apps),
+        Request::Schedule {
+            model,
+            gpus,
+            budget_s,
+            apps,
+        } => {
+            if apps.is_empty() {
+                return Err(ServeError::BadRequest("no apps to schedule".into()));
+            }
+            // Arity for default-model resolution: the largest co-run the
+            // packer may form. With one GPU and >2 apps only an n-bag
+            // model can express the packing.
+            let arity = if apps.len() > 2 && *gpus * 2 < apps.len() {
+                apps.len().min(MAX_BAG)
+            } else {
+                2
+            };
+            let (_, model) = resolve_model(&inner.registry, model, arity)?;
+            let placement = admission::admit(
+                &model,
+                &inner.cache,
+                &inner.platforms,
+                *gpus,
+                *budget_s,
+                apps,
+            )?;
+            Ok(Reply::Schedule(placement))
+        }
+        Request::Stats => {
+            let queue_depth = inner.queue.lock().expect("queue lock poisoned").len();
+            Ok(Reply::Stats(StatsReport {
+                metrics: inner.metrics.snapshot(),
+                cache_hits: inner.cache.hits(),
+                cache_misses: inner.cache.misses(),
+                cache_hit_rate: inner.cache.hit_rate(),
+                cache_entries: inner.cache.len(),
+                models: inner.registry.len(),
+                queue_depth,
+                workers: inner.config.workers,
+            }))
+        }
+        Request::Models => Ok(Reply::Models(inner.registry.list())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{NBAG_MODEL, PAIR_MODEL};
+    use crate::testutil;
+    use bagpred_workloads::Benchmark;
+
+    fn service() -> Arc<PredictionService> {
+        PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        )
+    }
+
+    fn pair_apps() -> Vec<Workload> {
+        vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+        ]
+    }
+
+    #[test]
+    fn served_prediction_is_bit_identical_to_direct_predictor() {
+        let service = service();
+        let reply = service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("predicts");
+        let Reply::Prediction { model, predicted_s } = reply else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(model, PAIR_MODEL);
+
+        let registry = testutil::registry();
+        let ServableModel::Pair(predictor) = &*registry.get(PAIR_MODEL).expect("registered") else {
+            panic!()
+        };
+        let record = service.cache().pair_measurement(
+            Bag::pair(pair_apps()[0], pair_apps()[1]),
+            &Platforms::paper(),
+        );
+        assert_eq!(predicted_s.to_bits(), predictor.predict(&record).to_bits());
+        service.shutdown();
+    }
+
+    #[test]
+    fn default_model_resolution_prefers_pair_for_two_apps() {
+        let service = service();
+        let Ok(Reply::Prediction { model, .. }) = service.call(Request::Predict {
+            model: None,
+            apps: pair_apps(),
+        }) else {
+            panic!("predict failed")
+        };
+        assert_eq!(
+            model, PAIR_MODEL,
+            "pair models are preferred for 2-app bags"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn three_app_bags_route_to_the_nbag_model() {
+        let service = service();
+        let Ok(Reply::Prediction { model, predicted_s }) = service.call(Request::Predict {
+            model: None,
+            apps: vec![
+                Workload::new(Benchmark::Sift, 20),
+                Workload::new(Benchmark::Knn, 40),
+                Workload::new(Benchmark::Orb, 10),
+            ],
+        }) else {
+            panic!("predict failed")
+        };
+        assert_eq!(model, NBAG_MODEL);
+        assert!(predicted_s.is_finite() && predicted_s > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pair_model_refuses_three_app_bags() {
+        let service = service();
+        let err = service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: vec![
+                    Workload::new(Benchmark::Sift, 20),
+                    Workload::new(Benchmark::Knn, 40),
+                    Workload::new(Benchmark::Orb, 10),
+                ],
+            })
+            .expect_err("must refuse");
+        assert!(matches!(err, ServeError::Unsupported(_)), "{err}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_and_bad_arity_error_cleanly() {
+        let service = service();
+        assert!(matches!(
+            service.call(Request::Predict {
+                model: Some("nope".into()),
+                apps: pair_apps(),
+            }),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            service.call(Request::Predict {
+                model: None,
+                apps: vec![Workload::new(Benchmark::Sift, 20)],
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_reflect_traffic_and_cache_activity() {
+        let service = service();
+        for _ in 0..3 {
+            service
+                .call(Request::Predict {
+                    model: None,
+                    apps: pair_apps(),
+                })
+                .expect("predicts");
+        }
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats.metrics.received, 4);
+        // The stats request itself is still in flight when it snapshots.
+        assert_eq!(stats.metrics.succeeded, 3);
+        assert!(stats.cache_hits >= 6, "repeat predicts hit the cache");
+        assert!(stats.cache_hit_rate > 0.5);
+        assert_eq!(stats.models, 2);
+        assert_eq!(stats.workers, ServiceConfig::default().workers);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_load_instead_of_buffering() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                batch_size: 1,
+            },
+        );
+        // Flood the single worker with cold requests: every bag uses a
+        // fresh batch size, so each one pays full feature collection.
+        // Submission is orders of magnitude faster than collection, so
+        // the size-1 queue must overflow long before the flood ends.
+        let mut shed = false;
+        let mut pending = Vec::new();
+        for batch in 0..2_000usize {
+            let outcome = service.submit(Request::Predict {
+                model: Some(NBAG_MODEL.into()),
+                apps: vec![
+                    Workload::new(Benchmark::Sift, 10 + batch),
+                    Workload::new(Benchmark::Knn, 10 + batch),
+                    Workload::new(Benchmark::Orb, 10 + batch),
+                ],
+            });
+            match outcome {
+                Err(ServeError::Overloaded) => {
+                    shed = true;
+                    break;
+                }
+                Ok(rx) => pending.push(rx),
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(shed, "bounded queue must reject under sustained overload");
+        for rx in pending {
+            rx.recv().expect("worker finishes").expect("predict ok");
+        }
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats) else {
+            panic!("stats failed")
+        };
+        assert!(stats.metrics.shed >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_is_idempotent() {
+        let service = service();
+        service.shutdown();
+        assert!(matches!(
+            service.call(Request::Stats),
+            Err(ServeError::ShuttingDown)
+        ));
+        service.shutdown();
+    }
+}

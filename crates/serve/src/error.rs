@@ -1,0 +1,46 @@
+//! Error type shared across the serving subsystem.
+
+use bagpred_ml::CodecError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while serving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full: explicit load shedding. Clients
+    /// should back off and retry; the server stays healthy.
+    Overloaded,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request line failed to parse; the payload says why.
+    BadRequest(String),
+    /// The request named a model the registry does not hold.
+    UnknownModel(String),
+    /// A model snapshot failed to decode or verify.
+    Snapshot(String),
+    /// The model exists but cannot serve this request shape (e.g. an SVR
+    /// predictor, which has no snapshot codec, or a pair model asked to
+    /// predict a 3-bag).
+    Unsupported(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded: request queue is full, retry later"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
+            ServeError::Snapshot(why) => write!(f, "snapshot error: {why}"),
+            ServeError::Unsupported(why) => write!(f, "unsupported: {why}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<CodecError> for ServeError {
+    fn from(err: CodecError) -> Self {
+        ServeError::Snapshot(err.to_string())
+    }
+}

@@ -1,0 +1,93 @@
+//! Online prediction serving for multi-application GPU concurrency.
+//!
+//! The rest of the workspace reproduces the paper's *offline* pipeline:
+//! measure a corpus, train a model, report cross-validated error. This
+//! crate is the *online* half — the piece a cluster scheduler would
+//! actually call: train once, snapshot the model, and answer
+//! `predict`/`schedule` requests from many concurrent clients in
+//! microseconds, never re-running the ground-truth co-run simulation
+//! that the predictor exists to avoid.
+//!
+//! Std-only by design (threads, `std::net`, no async runtime): the
+//! serving layer inherits the workspace's zero-dependency discipline.
+//!
+//! # Architecture
+//!
+//! * [`snapshot`] — versioned, checksummed text snapshots of trained
+//!   models and the thread-safe [`ModelRegistry`] serving them.
+//! * [`cache`] — memoized feature collection ([`FeatureCache`]): per-app
+//!   features keyed by `(benchmark, batch_size)`, fairness and n-bag
+//!   aggregates keyed by the canonical bag.
+//! * [`engine`] — [`PredictionService`]: a bounded queue + worker pool
+//!   with batched draining and explicit load shedding.
+//! * [`admission`] — greedy packing of apps onto `k` simulated GPUs
+//!   under a predicted-latency budget.
+//! * [`metrics`] — request counters and latency percentiles.
+//! * [`protocol`] / [`server`] — the line-delimited TCP front-end.
+//! * [`bootstrap`] — train-and-register in one call.
+//!
+//! # Example
+//!
+//! ```
+//! use bagpred_core::Platforms;
+//! use bagpred_serve::{bootstrap, PredictionService, Request, Reply, ServiceConfig};
+//! use bagpred_workloads::{Benchmark, Workload};
+//!
+//! let platforms = Platforms::paper();
+//! let registry = bootstrap::default_registry(&platforms);
+//! let service = PredictionService::start(registry, platforms, ServiceConfig::default());
+//!
+//! let reply = service.call(Request::Predict {
+//!     model: None,
+//!     apps: vec![
+//!         Workload::new(Benchmark::Sift, 20),
+//!         Workload::new(Benchmark::Knn, 40),
+//!     ],
+//! });
+//! let Ok(Reply::Prediction { predicted_s, .. }) = reply else { panic!() };
+//! assert!(predicted_s.is_finite() && predicted_s > 0.0);
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod bootstrap;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use admission::{GpuAssignment, Placement};
+pub use cache::FeatureCache;
+pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};
+pub use error::ServeError;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::Server;
+pub use snapshot::{ModelRegistry, ServableModel};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures: training is the slow part of every serve test,
+    //! so the registry is trained once per test binary.
+
+    use crate::snapshot::ModelRegistry;
+    use bagpred_core::Platforms;
+    use std::sync::{Arc, OnceLock};
+
+    pub fn registry() -> Arc<ModelRegistry> {
+        static REGISTRY: OnceLock<Arc<ModelRegistry>> = OnceLock::new();
+        Arc::clone(REGISTRY.get_or_init(|| crate::bootstrap::default_registry(&Platforms::paper())))
+    }
+
+    /// A fresh scratch directory under the target-local tmp root.
+    pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bagpred-serve-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+}

@@ -1,0 +1,161 @@
+//! Request counters and latency statistics for the serving engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent request latencies are retained for percentiles.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Lock-free counters plus a bounded window of recent latencies.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    received: AtomicU64,
+    succeeded: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a request entering the queue.
+    pub fn on_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request rejected by load shedding (queue full).
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a completed request and records its latency.
+    pub fn on_done(&self, ok: bool, latency: Duration) {
+        if ok {
+            self.succeeded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let mut window = self.latencies_us.lock().expect("metrics lock poisoned");
+        if window.len() == LATENCY_WINDOW {
+            // Keep the window bounded: overwrite round-robin using the
+            // total count as a cursor so old samples age out.
+            let idx = (self.received.load(Ordering::Relaxed) as usize) % LATENCY_WINDOW;
+            window[idx] = us;
+        } else {
+            window.push(us);
+        }
+    }
+
+    /// A consistent point-in-time summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut sorted = self
+            .latencies_us
+            .lock()
+            .expect("metrics lock poisoned")
+            .clone();
+        sorted.sort_unstable();
+        let (min, mean, p95, max) = if sorted.is_empty() {
+            (0, 0.0, 0, 0)
+        } else {
+            let min = sorted[0];
+            let max = *sorted.last().expect("non-empty");
+            let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+            // Nearest-rank p95 (ceil(0.95 n) - 1), the same convention the
+            // analysis crate uses for corpus percentiles.
+            let rank = ((sorted.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
+            (min, mean, sorted[rank], max)
+        };
+        MetricsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            latency_samples: sorted.len() as u64,
+            latency_us_min: min,
+            latency_us_mean: mean,
+            latency_us_p95: p95,
+            latency_us_max: max,
+        }
+    }
+}
+
+/// Point-in-time metrics values, as reported by the `stats` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub received: u64,
+    /// Requests that completed with an `ok` reply.
+    pub succeeded: u64,
+    /// Requests that completed with an `err` reply.
+    pub failed: u64,
+    /// Requests rejected because the queue was full.
+    pub shed: u64,
+    /// Latency samples currently in the window.
+    pub latency_samples: u64,
+    /// Fastest request in the window, microseconds.
+    pub latency_us_min: u64,
+    /// Mean latency over the window, microseconds.
+    pub latency_us_mean: f64,
+    /// Nearest-rank 95th percentile latency, microseconds.
+    pub latency_us_p95: u64,
+    /// Slowest request in the window, microseconds.
+    pub latency_us_max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap.received, 0);
+        assert_eq!(snap.latency_samples, 0);
+        assert_eq!(snap.latency_us_min, 0);
+        assert_eq!(snap.latency_us_max, 0);
+    }
+
+    #[test]
+    fn latency_stats_use_nearest_rank_p95() {
+        let metrics = Metrics::new();
+        for us in 1..=100u64 {
+            metrics.on_received();
+            metrics.on_done(true, Duration::from_micros(us));
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.received, 100);
+        assert_eq!(snap.succeeded, 100);
+        assert_eq!(snap.latency_us_min, 1);
+        assert_eq!(snap.latency_us_max, 100);
+        assert_eq!(snap.latency_us_p95, 95, "nearest-rank of 1..=100");
+        assert!((snap.latency_us_mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_and_shed_counters_are_separate() {
+        let metrics = Metrics::new();
+        metrics.on_received();
+        metrics.on_done(false, Duration::from_micros(7));
+        metrics.on_shed();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.succeeded, 0);
+    }
+
+    #[test]
+    fn latency_window_stays_bounded() {
+        let metrics = Metrics::new();
+        for _ in 0..(LATENCY_WINDOW + 500) {
+            metrics.on_received();
+            metrics.on_done(true, Duration::from_micros(3));
+        }
+        assert_eq!(metrics.snapshot().latency_samples as usize, LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,305 @@
+//! The line-delimited wire protocol spoken by the TCP server.
+//!
+//! One request per line, one reply line per request. Requests:
+//!
+//! ```text
+//! predict [model=NAME] APP@BATCH+APP@BATCH[+APP@BATCH[+APP@BATCH]]
+//! schedule [model=NAME] k=GPUS budget=SECONDS APP@BATCH [APP@BATCH ...]
+//! stats
+//! models
+//! ```
+//!
+//! Replies start with `ok ` or `err `:
+//!
+//! ```text
+//! ok model=pair-tree predicted_s=1.2345
+//! ok k=2 gpu0=SIFT@20+KNN@40 pred0=1.2 gpu1=ORB@10 pred1=0.4 rejected=-
+//! ok requests=9 ok=9 err=0 shed=0 cache_hits=12 ... latency_us_p95=1875
+//! ok models=2 pair-tree=pair/tree nbag-tree=nbag/tree
+//! err bad request: unknown benchmark `sfit`
+//! ```
+//!
+//! Predictions are formatted with [`fmt_f64`], Rust's shortest-roundtrip
+//! float formatting, so the wire value parses back to the exact bits the
+//! model produced — the integration tests assert byte-identity against
+//! the offline predictor.
+
+use crate::engine::{Reply, Request, StatsReport};
+use crate::error::ServeError;
+use bagpred_core::nbag::MAX_BAG;
+use bagpred_ml::codec::fmt_f64;
+use bagpred_workloads::Workload;
+
+fn parse_workload(spec: &str) -> Result<Workload, ServeError> {
+    let (name, batch) = spec.split_once('@').ok_or_else(|| {
+        ServeError::BadRequest(format!("expected APP@BATCH (e.g. SIFT@20), got `{spec}`"))
+    })?;
+    let benchmark = name
+        .parse()
+        .map_err(|_| ServeError::BadRequest(format!("unknown benchmark `{name}`")))?;
+    let batch: usize = batch
+        .parse()
+        .map_err(|_| ServeError::BadRequest(format!("batch size `{batch}` is not an integer")))?;
+    if batch == 0 {
+        return Err(ServeError::BadRequest("batch size must be positive".into()));
+    }
+    Ok(Workload::new(benchmark, batch))
+}
+
+fn parse_bag(spec: &str) -> Result<Vec<Workload>, ServeError> {
+    let apps: Vec<Workload> = spec
+        .split('+')
+        .map(parse_workload)
+        .collect::<Result<_, _>>()?;
+    if !(2..=MAX_BAG).contains(&apps.len()) {
+        return Err(ServeError::BadRequest(format!(
+            "a bag holds 2..={MAX_BAG} apps joined by `+`, got {}",
+            apps.len()
+        )));
+    }
+    Ok(apps)
+}
+
+/// Splits off a leading `key=value` token when `key` matches.
+fn take_kv<'a>(tokens: &mut Vec<&'a str>, key: &str) -> Option<&'a str> {
+    let pos = tokens
+        .iter()
+        .position(|t| t.split_once('=').is_some_and(|(k, _)| k == key))?;
+    let (_, value) = tokens.remove(pos).split_once('=').expect("matched above");
+    Some(value)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] describing exactly what failed to parse.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let mut tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some(verb) = tokens.first().copied() else {
+        return Err(ServeError::BadRequest("empty request".into()));
+    };
+    tokens.remove(0);
+    match verb {
+        "predict" => {
+            let model = take_kv(&mut tokens, "model").map(str::to_string);
+            match tokens.as_slice() {
+                [bag] => Ok(Request::Predict {
+                    model,
+                    apps: parse_bag(bag)?,
+                }),
+                [] => Err(ServeError::BadRequest(
+                    "predict needs a bag: predict SIFT@20+KNN@40".into(),
+                )),
+                _ => Err(ServeError::BadRequest(
+                    "predict takes one bag; join apps with `+`".into(),
+                )),
+            }
+        }
+        "schedule" => {
+            let model = take_kv(&mut tokens, "model").map(str::to_string);
+            let gpus: usize = take_kv(&mut tokens, "k")
+                .ok_or_else(|| ServeError::BadRequest("schedule needs k=<gpus>".into()))?
+                .parse()
+                .map_err(|_| ServeError::BadRequest("k must be an integer".into()))?;
+            let budget_s: f64 = take_kv(&mut tokens, "budget")
+                .ok_or_else(|| ServeError::BadRequest("schedule needs budget=<seconds>".into()))?
+                .parse()
+                .map_err(|_| ServeError::BadRequest("budget must be a number".into()))?;
+            if tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "schedule needs at least one APP@BATCH".into(),
+                ));
+            }
+            let apps = tokens
+                .iter()
+                .map(|t| parse_workload(t))
+                .collect::<Result<_, _>>()?;
+            Ok(Request::Schedule {
+                model,
+                gpus,
+                budget_s,
+                apps,
+            })
+        }
+        "stats" if tokens.is_empty() => Ok(Request::Stats),
+        "models" if tokens.is_empty() => Ok(Request::Models),
+        "stats" | "models" => Err(ServeError::BadRequest(format!("{verb} takes no arguments"))),
+        other => Err(ServeError::BadRequest(format!(
+            "unknown command `{other}` (try: predict, schedule, stats, models)"
+        ))),
+    }
+}
+
+fn format_workload(w: &Workload) -> String {
+    format!("{}@{}", w.benchmark().name(), w.batch_size())
+}
+
+fn format_stats(s: &StatsReport) -> String {
+    let m = &s.metrics;
+    format!(
+        "requests={} ok={} err={} shed={} queue_depth={} workers={} models={} \
+         cache_hits={} cache_misses={} cache_hit_rate={:.4} cache_entries={} \
+         latency_samples={} latency_us_min={} latency_us_mean={:.1} \
+         latency_us_p95={} latency_us_max={}",
+        m.received,
+        m.succeeded,
+        m.failed,
+        m.shed,
+        s.queue_depth,
+        s.workers,
+        s.models,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_hit_rate,
+        s.cache_entries,
+        m.latency_samples,
+        m.latency_us_min,
+        m.latency_us_mean,
+        m.latency_us_p95,
+        m.latency_us_max,
+    )
+}
+
+/// Formats the reply line (without the trailing newline).
+pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
+    match outcome {
+        Err(err) => format!("err {err}"),
+        Ok(Reply::Prediction { model, predicted_s }) => {
+            format!("ok model={model} predicted_s={}", fmt_f64(*predicted_s))
+        }
+        Ok(Reply::Schedule(placement)) => {
+            let mut out = format!("ok k={}", placement.gpus.len());
+            for (idx, gpu) in placement.gpus.iter().enumerate() {
+                let apps = if gpu.apps.is_empty() {
+                    "-".to_string()
+                } else {
+                    gpu.apps
+                        .iter()
+                        .map(format_workload)
+                        .collect::<Vec<_>>()
+                        .join("+")
+                };
+                out.push_str(&format!(
+                    " gpu{idx}={apps} pred{idx}={}",
+                    fmt_f64(gpu.predicted_s)
+                ));
+            }
+            let rejected = if placement.rejected.is_empty() {
+                "-".to_string()
+            } else {
+                placement
+                    .rejected
+                    .iter()
+                    .map(format_workload)
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            out.push_str(&format!(" rejected={rejected}"));
+            out
+        }
+        Ok(Reply::Stats(stats)) => format!("ok {}", format_stats(stats)),
+        Ok(Reply::Models(models)) => {
+            let mut out = format!("ok models={}", models.len());
+            for (name, desc) in models {
+                out.push_str(&format!(" {name}={desc}"));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagpred_workloads::Benchmark;
+
+    fn workload(b: Benchmark, n: usize) -> Workload {
+        Workload::new(b, n)
+    }
+
+    #[test]
+    fn parses_predict_with_and_without_model() {
+        let req = parse_request("predict SIFT@20+KNN@40").expect("parses");
+        assert_eq!(
+            req,
+            Request::Predict {
+                model: None,
+                apps: vec![workload(Benchmark::Sift, 20), workload(Benchmark::Knn, 40)],
+            }
+        );
+        let req = parse_request("predict model=pair-tree sift@20+knn@40").expect("parses");
+        let Request::Predict { model, apps } = req else {
+            panic!()
+        };
+        assert_eq!(model.as_deref(), Some("pair-tree"));
+        assert_eq!(apps.len(), 2);
+    }
+
+    #[test]
+    fn parses_schedule() {
+        let req = parse_request("schedule k=2 budget=1.5 SIFT@20 KNN@40 ORB@10").expect("parses");
+        let Request::Schedule {
+            model,
+            gpus,
+            budget_s,
+            apps,
+        } = req
+        else {
+            panic!()
+        };
+        assert_eq!(model, None);
+        assert_eq!(gpus, 2);
+        assert_eq!(budget_s, 1.5);
+        assert_eq!(apps.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("frobnicate", "unknown command"),
+            ("predict", "needs a bag"),
+            ("predict SIFT@20", "2..="),
+            ("predict SIFT@20+KNN@40+HOG@20+FAST@20+ORB@10", "2..="),
+            ("predict SFIT@20+KNN@40", "unknown benchmark"),
+            ("predict SIFT@x+KNN@40", "not an integer"),
+            ("predict SIFT+KNN@40", "APP@BATCH"),
+            ("predict SIFT@0+KNN@40", "positive"),
+            ("schedule budget=1 SIFT@20", "k="),
+            ("schedule k=2 SIFT@20", "budget="),
+            ("schedule k=2 budget=1", "at least one"),
+            ("stats now", "no arguments"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "`{line}` -> `{msg}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_reply_round_trips_float_exactly() {
+        let value = 1.234_567_890_123_456_7_f64 / 3.0;
+        let line = format_outcome(&Ok(Reply::Prediction {
+            model: "pair-tree".into(),
+            predicted_s: value,
+        }));
+        let parsed: f64 = line
+            .rsplit_once("predicted_s=")
+            .expect("has field")
+            .1
+            .parse()
+            .expect("parses back");
+        assert_eq!(parsed.to_bits(), value.to_bits());
+    }
+
+    #[test]
+    fn error_outcomes_format_as_err_lines() {
+        let line = format_outcome(&Err(crate::ServeError::Overloaded));
+        assert!(line.starts_with("err "), "{line}");
+        assert!(line.contains("overloaded"), "{line}");
+    }
+}

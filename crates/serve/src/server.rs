@@ -1,0 +1,218 @@
+//! TCP front-end: a line-delimited protocol adapter over
+//! [`PredictionService`].
+//!
+//! Pure `std::net`: an accept-loop thread plus one thread per
+//! connection. Each connection reads newline-terminated requests,
+//! forwards them to the engine, and writes exactly one `ok ...` or
+//! `err ...` line per request. Concurrency control lives in the engine
+//! (bounded queue + worker pool), so a slow or malicious client can at
+//! worst occupy its own connection thread — it cannot starve other
+//! clients of prediction workers.
+
+use crate::engine::PredictionService;
+use crate::protocol::{format_outcome, parse_request};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A running TCP server. Dropping it stops the accept loop; in-flight
+/// connections finish their current line and exit on the next read.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections, answering from `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<PredictionService>) -> io::Result<Self> {
+        Self::serve_listener(TcpListener::bind(addr)?, service)
+    }
+
+    /// Starts accepting on an already-bound listener. Lets a caller
+    /// claim the port *before* paying for model training, so a bind
+    /// conflict fails in milliseconds instead of after the training run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures on the listener.
+    pub fn serve_listener(
+        listener: TcpListener,
+        service: Arc<PredictionService>,
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let conn_stop = Arc::clone(&accept_stop);
+                thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &conn_stop);
+                });
+            }
+        });
+        Ok(Self {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address — read the ephemeral port from here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins it. Idempotent. Does not shut
+    /// down the underlying [`PredictionService`] — the caller owns that.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_handle.take() {
+            // Unblock the accept() call with a throwaway connection.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &PredictionService,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let outcome = match parse_request(line) {
+            // Parse errors never reach the queue; they are answered
+            // inline so malformed floods cannot shed well-formed load.
+            Err(err) => Err(err),
+            Ok(request) => service.call(request),
+        };
+        writer.write_all(format_outcome(&outcome).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Request, ServiceConfig};
+    use crate::testutil;
+    use bagpred_core::Platforms;
+    use std::io::BufRead;
+
+    fn start() -> (Server, Arc<PredictionService>) {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+        (server, service)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, lines: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        for line in lines {
+            writer.write_all(line.as_bytes()).expect("writes");
+            writer.write_all(b"\n").expect("writes");
+            writer.flush().expect("flushes");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("reads");
+            replies.push(reply.trim_end().to_string());
+        }
+        replies
+    }
+
+    #[test]
+    fn answers_predict_stats_and_models_over_tcp() {
+        let (mut server, service) = start();
+        let replies = roundtrip(
+            server.local_addr(),
+            &["predict SIFT@20+KNN@40", "stats", "models"],
+        );
+        assert!(replies[0].starts_with("ok model="), "{}", replies[0]);
+        assert!(replies[0].contains("predicted_s="), "{}", replies[0]);
+        assert!(replies[1].starts_with("ok requests="), "{}", replies[1]);
+        assert!(replies[2].starts_with("ok models=2"), "{}", replies[2]);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_err_replies_and_connection_survives() {
+        let (mut server, service) = start();
+        let replies = roundtrip(
+            server.local_addr(),
+            &["predict SIFT@20", "bogus", "predict SIFT@20+KNN@40"],
+        );
+        assert!(replies[0].starts_with("err bad request"), "{}", replies[0]);
+        assert!(replies[1].starts_with("err bad request"), "{}", replies[1]);
+        assert!(replies[2].starts_with("ok "), "{}", replies[2]);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_line_matches_in_process_call_byte_for_byte() {
+        let (mut server, service) = start();
+        let wire = roundtrip(
+            server.local_addr(),
+            &["predict model=pair-tree HOG@20+FAST@80"],
+        )
+        .remove(0);
+        let direct = format_outcome(&service.call(Request::Predict {
+            model: Some("pair-tree".into()),
+            apps: vec![
+                bagpred_workloads::Workload::new(bagpred_workloads::Benchmark::Hog, 20),
+                bagpred_workloads::Workload::new(bagpred_workloads::Benchmark::Fast, 80),
+            ],
+        }));
+        assert_eq!(wire, direct);
+        server.shutdown();
+        service.shutdown();
+    }
+}

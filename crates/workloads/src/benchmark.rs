@@ -74,9 +74,7 @@ impl Benchmark {
                 "Describes a feature by the number of gradients per orientation in a window"
             }
             Benchmark::Knn => "Classifies features with the nearest-neighbor algorithm",
-            Benchmark::ObjRec => {
-                "Object recognition using feature extraction plus classification"
-            }
+            Benchmark::ObjRec => "Object recognition using feature extraction plus classification",
             Benchmark::Orb => "FAST detector plus BRIEF descriptor to extract and match features",
             Benchmark::Sift => {
                 "Extracts features invariant to orientation, illumination and scaling"

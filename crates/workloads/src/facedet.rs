@@ -124,7 +124,10 @@ fn eval_feature(
     for &(x, y, w, h) in feature.negative {
         value -= ops::box_sum(integral, wx + x, wy + y, w, h, prof) as f64 / (w * h) as f64;
     }
-    prof.count(InstrClass::Fp, (feature.positive.len() + feature.negative.len()) as u64 + 1);
+    prof.count(
+        InstrClass::Fp,
+        (feature.positive.len() + feature.negative.len()) as u64 + 1,
+    );
     prof.count(InstrClass::Control, 1);
     value > feature.threshold
 }
@@ -195,8 +198,7 @@ pub(crate) fn run_batch(images: &[GrayImage], prof: &mut Profiler) -> FaceDetOut
     let mut windows = 0u64;
     let mut stage1_rejections = 0u64;
     for img in images {
-        let mut per_image =
-            detect_at_scale(img, 1, prof, &mut windows, &mut stage1_rejections);
+        let mut per_image = detect_at_scale(img, 1, prof, &mut windows, &mut stage1_rejections);
         let half = img.half();
         prof.read_bytes(img.len() as u64);
         prof.write_bytes((half.len()) as u64);

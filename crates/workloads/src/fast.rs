@@ -187,11 +187,12 @@ mod tests {
         assert!(!corners.is_empty(), "square corners must be detected");
         // Every detection should be near one of the 4 square corners.
         for c in &corners {
-            let near = [(10, 10), (21, 10), (10, 21), (21, 21)]
-                .iter()
-                .any(|&(cx, cy): &(i32, i32)| {
-                    (c.x as i32 - cx).abs() <= 2 && (c.y as i32 - cy).abs() <= 2
-                });
+            let near =
+                [(10, 10), (21, 10), (10, 21), (21, 21)]
+                    .iter()
+                    .any(|&(cx, cy): &(i32, i32)| {
+                        (c.x as i32 - cx).abs() <= 2 && (c.y as i32 - cy).abs() <= 2
+                    });
             assert!(near, "unexpected corner at ({}, {})", c.x, c.y);
         }
     }

@@ -84,12 +84,7 @@ fn cell_histograms(
 }
 
 /// L2-Hys block normalization over 2×2-cell blocks with 1-cell stride.
-fn normalize_blocks(
-    cells_x: usize,
-    cells_y: usize,
-    hist: &[f32],
-    prof: &mut Profiler,
-) -> Vec<f32> {
+fn normalize_blocks(cells_x: usize, cells_y: usize, hist: &[f32], prof: &mut Profiler) -> Vec<f32> {
     let mut features = Vec::new();
     if cells_x < 2 || cells_y < 2 {
         return features;

@@ -188,10 +188,10 @@ impl ImageSynthesizer {
         let waves: Vec<(f64, f64, f64, f64)> = (0..n_waves)
             .map(|_| {
                 (
-                    rng.next_range(0.05, 0.35),  // fx
-                    rng.next_range(0.05, 0.35),  // fy
+                    rng.next_range(0.05, 0.35),                 // fx
+                    rng.next_range(0.05, 0.35),                 // fy
                     rng.next_range(0.0, std::f64::consts::TAU), // phase
-                    rng.next_range(4.0, 14.0),   // amplitude
+                    rng.next_range(4.0, 14.0),                  // amplitude
                 )
             })
             .collect();
@@ -305,7 +305,10 @@ impl IntegralImage {
     /// Panics if the box extends beyond the image.
     #[inline]
     pub fn box_sum(&self, x: usize, y: usize, w: usize, h: usize) -> u64 {
-        assert!(x + w <= self.width && y + h <= self.height, "box out of bounds");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "box out of bounds"
+        );
         let stride = self.width + 1;
         let a = self.sums[y * stride + x];
         let b = self.sums[y * stride + (x + w)];

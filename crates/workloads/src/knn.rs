@@ -112,16 +112,19 @@ mod tests {
             refs.push(sample(vec![1.0 + i as f32 * 0.01, 1.0], 1.0));
         }
         let mut prof = Profiler::new();
-        assert_eq!(classify(&sample(vec![0.05, 0.05], 0.0), &refs, &mut prof), -1.0);
-        assert_eq!(classify(&sample(vec![0.95, 0.95], 0.0), &refs, &mut prof), 1.0);
+        assert_eq!(
+            classify(&sample(vec![0.05, 0.05], 0.0), &refs, &mut prof),
+            -1.0
+        );
+        assert_eq!(
+            classify(&sample(vec![0.95, 0.95], 0.0), &refs, &mut prof),
+            1.0
+        );
     }
 
     #[test]
     fn ties_resolve_positive() {
-        let refs = vec![
-            sample(vec![0.0], 1.0),
-            sample(vec![0.0], -1.0),
-        ];
+        let refs = vec![sample(vec![0.0], 1.0), sample(vec![0.0], -1.0)];
         let mut prof = Profiler::new();
         assert_eq!(classify(&sample(vec![0.0], 0.0), &refs, &mut prof), 1.0);
     }

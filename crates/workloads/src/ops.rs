@@ -36,7 +36,7 @@ impl FloatImage {
         prof.read_bytes(n);
         prof.write_bytes(4 * n);
         prof.count(InstrClass::Fp, n); // int -> float conversion
-        // Bulk plane conversion compiles to block-move sequences.
+                                       // Bulk plane conversion compiles to block-move sequences.
         prof.count(InstrClass::StringOp, n / 64);
         prof.count(InstrClass::Control, img.height() as u64);
         out

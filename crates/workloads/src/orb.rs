@@ -54,8 +54,14 @@ fn brief_pattern() -> &'static [(i8, i8, i8, i8); 256] {
         let mut pattern = [(0i8, 0i8, 0i8, 0i8); 256];
         for slot in &mut pattern {
             let r = PATCH_RADIUS as i64;
-            let sample = |rng: &mut SplitMix64| (rng.next_below((2 * r + 1) as u64) as i64 - r) as i8;
-            *slot = (sample(&mut rng), sample(&mut rng), sample(&mut rng), sample(&mut rng));
+            let sample =
+                |rng: &mut SplitMix64| (rng.next_below((2 * r + 1) as u64) as i64 - r) as i8;
+            *slot = (
+                sample(&mut rng),
+                sample(&mut rng),
+                sample(&mut rng),
+                sample(&mut rng),
+            );
         }
         pattern
     })
@@ -81,7 +87,13 @@ fn orientation(img: &GrayImage, cx: u16, cy: u16, prof: &mut Profiler) -> f32 {
 }
 
 /// Extracts the steered BRIEF descriptor at a keypoint.
-fn brief_descriptor(img: &GrayImage, kp_x: u16, kp_y: u16, angle: f32, prof: &mut Profiler) -> [u64; 4] {
+fn brief_descriptor(
+    img: &GrayImage,
+    kp_x: u16,
+    kp_y: u16,
+    angle: f32,
+    prof: &mut Profiler,
+) -> [u64; 4] {
     let (sin, cos) = angle.sin_cos();
     prof.count(InstrClass::Fp, 2);
     let mut desc = [0u64; 4];
@@ -114,7 +126,12 @@ fn brief_descriptor(img: &GrayImage, kp_x: u16, kp_y: u16, angle: f32, prof: &mu
 pub(crate) fn detect(img: &GrayImage, prof: &mut Profiler) -> Vec<OrbKeypoint> {
     let mut corners: Vec<Corner> = fast::detect(img, prof);
     // Keep the strongest corners (Harris-free variant: FAST score ranking).
-    corners.sort_by(|a, b| b.score.cmp(&a.score).then(a.y.cmp(&b.y)).then(a.x.cmp(&b.x)));
+    corners.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then(a.y.cmp(&b.y))
+            .then(a.x.cmp(&b.x))
+    });
     corners.truncate(MAX_KEYPOINTS);
     prof.count(
         InstrClass::Alu,

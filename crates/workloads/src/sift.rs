@@ -188,8 +188,7 @@ fn descriptor(
             let gy = dy.get_clamped(x as isize + ox as isize, y as isize + oy as isize);
             let mag = (gx * gx + gy * gy).sqrt();
             let ang = gy.atan2(gx) - angle;
-            let bin = ((ang.rem_euclid(2.0 * std::f32::consts::PI))
-                / (2.0 * std::f32::consts::PI)
+            let bin = ((ang.rem_euclid(2.0 * std::f32::consts::PI)) / (2.0 * std::f32::consts::PI)
                 * 8.0) as usize;
             desc[(cell_y * 4 + cell_x) * 8 + bin.min(7)] += mag;
         }
@@ -276,7 +275,10 @@ mod tests {
             assert_eq!(oct.dogs.len(), SCALES - 1);
         }
         // Second octave is half resolution.
-        assert_eq!(octaves[1].gaussians[0].width, octaves[0].gaussians[0].width / 2);
+        assert_eq!(
+            octaves[1].gaussians[0].width,
+            octaves[0].gaussians[0].width / 2
+        );
     }
 
     #[test]

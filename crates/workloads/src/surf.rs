@@ -93,12 +93,7 @@ fn hessian_response(
 
 /// Haar-wavelet descriptor: sums of (|dx|, dx, |dy|, dy) responses in a 4×4
 /// grid of subregions around the keypoint.
-fn haar_descriptor(
-    integral: &IntegralImage,
-    x: usize,
-    y: usize,
-    prof: &mut Profiler,
-) -> Vec<f32> {
+fn haar_descriptor(integral: &IntegralImage, x: usize, y: usize, prof: &mut Profiler) -> Vec<f32> {
     let mut desc = vec![0f32; 64];
     let wavelet = 4usize;
     let region = 4usize; // 4x4 samples per subregion
@@ -120,25 +115,14 @@ fn haar_descriptor(
                         continue;
                     }
                     let (px, py) = (px as usize, py as usize);
-                    let left =
-                        ops::box_sum(integral, px, py, wavelet / 2, wavelet, prof) as f64;
-                    let right = ops::box_sum(
-                        integral,
-                        px + wavelet / 2,
-                        py,
-                        wavelet / 2,
-                        wavelet,
-                        prof,
-                    ) as f64;
+                    let left = ops::box_sum(integral, px, py, wavelet / 2, wavelet, prof) as f64;
+                    let right =
+                        ops::box_sum(integral, px + wavelet / 2, py, wavelet / 2, wavelet, prof)
+                            as f64;
                     let top = ops::box_sum(integral, px, py, wavelet, wavelet / 2, prof) as f64;
-                    let bottom = ops::box_sum(
-                        integral,
-                        px,
-                        py + wavelet / 2,
-                        wavelet,
-                        wavelet / 2,
-                        prof,
-                    ) as f64;
+                    let bottom =
+                        ops::box_sum(integral, px, py + wavelet / 2, wavelet, wavelet / 2, prof)
+                            as f64;
                     let dx = right - left;
                     let dy = bottom - top;
                     sum_dx += dx;
@@ -180,9 +164,7 @@ pub(crate) fn detect(img: &GrayImage, prof: &mut Profiler) -> Vec<SurfKeypoint> 
         let cols = w / stride;
         for gy in 0..h / stride {
             for gx in 0..cols {
-                if let Some(r) =
-                    hessian_response(&integral, gx * stride, gy * stride, size, prof)
-                {
+                if let Some(r) = hessian_response(&integral, gx * stride, gy * stride, size, prof) {
                     responses[gy * cols + gx] = r;
                 }
             }
@@ -204,8 +186,8 @@ pub(crate) fn detect(img: &GrayImage, prof: &mut Profiler) -> Vec<SurfKeypoint> 
                         if dx == 0 && dy == 0 {
                             continue;
                         }
-                        let n = responses
-                            [(gy as i32 + dy) as usize * cols + (gx as i32 + dx) as usize];
+                        let n =
+                            responses[(gy as i32 + dy) as usize * cols + (gx as i32 + dx) as usize];
                         if n >= v {
                             is_max = false;
                         }

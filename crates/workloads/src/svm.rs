@@ -178,12 +178,7 @@ pub(crate) fn train(samples: &[Sample], prof: &mut Profiler) -> (Vec<f32>, f32) 
 }
 
 /// Classifies samples with a trained model; returns accuracy.
-pub(crate) fn predict_accuracy(
-    samples: &[Sample],
-    w: &[f32],
-    b: f32,
-    prof: &mut Profiler,
-) -> f64 {
+pub(crate) fn predict_accuracy(samples: &[Sample], w: &[f32], b: f32, prof: &mut Profiler) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }

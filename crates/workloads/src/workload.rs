@@ -272,8 +272,7 @@ impl Workload {
     /// The dynamic profile of this workload, computed once per process and
     /// cached: workloads are pure functions of `(benchmark, batch_size)`.
     pub fn profile(&self) -> KernelProfile {
-        static CACHE: OnceLock<Mutex<HashMap<(Benchmark, usize), KernelProfile>>> =
-            OnceLock::new();
+        static CACHE: OnceLock<Mutex<HashMap<(Benchmark, usize), KernelProfile>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(hit) = cache
             .lock()

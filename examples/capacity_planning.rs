@@ -16,7 +16,10 @@ use bagpred::workloads::{Benchmark, Workload, STANDARD_BATCH};
 
 fn slowdown_table(label: &str, gpu: &GpuSimulator) {
     println!("\n== {label} ==");
-    println!("{:<10} {:>12} {:>12} {:>10}", "benchmark", "solo", "2-way", "slowdown");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "benchmark", "solo", "2-way", "slowdown"
+    );
     for bench in Benchmark::ALL {
         let profile = Workload::new(bench, STANDARD_BATCH).profile();
         let solo = gpu.simulate(&profile).time_s;

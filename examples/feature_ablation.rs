@@ -32,14 +32,19 @@ fn main() {
     for scheme in ladder {
         let mut predictor = Predictor::new(scheme.clone());
         let error = predictor.loocv_by_benchmark(&records).mean_error_percent();
-        let delta = previous.map_or(String::new(), |p| format!("  ({:+.1} vs previous)", error - p));
+        let delta = previous.map_or(String::new(), |p| {
+            format!("  ({:+.1} vs previous)", error - p)
+        });
         println!("{:<40} {:>8.2}%{delta}", scheme.name(), error);
         previous = Some(error);
     }
 
     println!("\n== model choice on the full feature set (80/20 split) ==\n");
     for (kind, label) in [
-        (ModelKind::DecisionTree, "decision tree (the paper's choice)"),
+        (
+            ModelKind::DecisionTree,
+            "decision tree (the paper's choice)",
+        ),
         (ModelKind::Svr, "support-vector regression"),
         (ModelKind::Linear, "linear regression"),
     ] {

@@ -37,9 +37,11 @@ fn main() {
     let actual = measured.bag_gpu_time_s();
 
     println!("\nbag: {}", measured.bag());
-    println!("  single-instance GPU times: {:.2} ms / {:.2} ms",
+    println!(
+        "  single-instance GPU times: {:.2} ms / {:.2} ms",
         measured.apps()[0].gpu_time_s * 1e3,
-        measured.apps()[1].gpu_time_s * 1e3);
+        measured.apps()[1].gpu_time_s * 1e3
+    );
     println!("  fairness (Eq. 2):          {:.3}", measured.fairness());
     println!("  predicted bag makespan:    {:.2} ms", predicted * 1e3);
     println!("  measured bag makespan:     {:.2} ms", actual * 1e3);

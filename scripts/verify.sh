@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI (and the roadmap) require to stay green.
+#
+#   scripts/verify.sh          # build + tests + fmt + serving integration
+#
+# Everything runs offline; no registry access is needed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+# The root manifest is a package, not a virtual workspace, so the
+# tier-1 build above only covers the facade crate and its deps. Build
+# the remaining members (the `repro` binary in particular) too.
+echo "== workspace build: cargo build --release --workspace =="
+cargo build --release --workspace
+
+echo "== formatting: cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== serving integration (bounded at 300s) =="
+timeout 300 cargo test -q --test serving
+
+echo "verify: OK"

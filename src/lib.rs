@@ -19,6 +19,8 @@
 //! * [`ml`] — decision trees, linear regression, SVR, validation.
 //! * [`core`] — the predictor itself: features, corpus, training, analysis.
 //! * [`experiments`] — regeneration of every table and figure.
+//! * [`serve`] — online serving: model snapshots, a concurrent prediction
+//!   engine with a feature cache, admission control, and a TCP front-end.
 //!
 //! # Quickstart
 //!
@@ -49,5 +51,6 @@ pub use bagpred_cpusim as cpusim;
 pub use bagpred_experiments as experiments;
 pub use bagpred_gpusim as gpusim;
 pub use bagpred_ml as ml;
+pub use bagpred_serve as serve;
 pub use bagpred_trace as trace;
 pub use bagpred_workloads as workloads;

@@ -67,16 +67,17 @@ fn nbag_predictor_interpolates_unseen_size() {
 
     let mut errors = Vec::new();
     for bench in Benchmark::ALL {
-        let m = NBagMeasurement::collect(
-            NBag::new(vec![Workload::new(bench, 4); 3]),
-            &platforms,
-        );
+        let m = NBagMeasurement::collect(NBag::new(vec![Workload::new(bench, 4); 3]), &platforms);
         let predicted = predictor.predict(&m);
         errors.push(((m.bag_gpu_time_s() - predicted) / m.bag_gpu_time_s()).abs());
         assert!(predicted > 0.0, "{bench}");
     }
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
-    assert!(mean < 0.6, "size-3 interpolation error {:.1}%", mean * 100.0);
+    assert!(
+        mean < 0.6,
+        "size-3 interpolation error {:.1}%",
+        mean * 100.0
+    );
 }
 
 /// Every model kind trains and predicts on the real corpus without

@@ -46,7 +46,10 @@ fn shape_fig3_gpu_advantage_and_exceptions() {
     let fig = scaling::figure3(Context::shared());
     for s in &fig.series {
         let single = s.normalized_perf[0];
-        if matches!(s.benchmark, Benchmark::Fast | Benchmark::Orb | Benchmark::Svm) {
+        if matches!(
+            s.benchmark,
+            Benchmark::Fast | Benchmark::Orb | Benchmark::Svm
+        ) {
             assert!(single < 1.0, "{}: {single:.2}", s.benchmark);
         } else {
             assert!(single > 1.0, "{}: {single:.2}", s.benchmark);
@@ -134,12 +137,7 @@ fn shape_fig10_gpu_gates_everything() {
 #[test]
 fn shape_fig11_gpu_most_frequent() {
     let fig = paths::figure11(Context::shared());
-    let gpu = fig
-        .frequency
-        .iter()
-        .find(|(n, _, _)| n == "GPU")
-        .unwrap()
-        .1;
+    let gpu = fig.frequency.iter().find(|(n, _, _)| n == "GPU").unwrap().1;
     for (name, mean, _) in &fig.frequency {
         assert!(gpu >= *mean, "{name} beats GPU: {mean:.2} vs {gpu:.2}");
     }

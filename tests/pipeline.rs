@@ -108,10 +108,7 @@ fn full_batch_ladder_is_measurable() {
     for bench in Benchmark::ALL {
         let mut last_gpu = 0.0;
         for batch in BATCH_SIZES {
-            let m = Measurement::collect(
-                Bag::homogeneous(Workload::new(bench, batch)),
-                &platforms,
-            );
+            let m = Measurement::collect(Bag::homogeneous(Workload::new(bench, batch)), &platforms);
             // GPU bag time grows with batch size within each benchmark.
             assert!(
                 m.bag_gpu_time_s() > last_gpu,
@@ -132,10 +129,7 @@ fn gpu_solo_time_correlates_with_bag_time() {
         .iter()
         .map(|m| m.apps()[0].gpu_time_s.max(m.apps()[1].gpu_time_s).ln())
         .collect();
-    let bag: Vec<f64> = records
-        .iter()
-        .map(|m| m.bag_gpu_time_s().ln())
-        .collect();
+    let bag: Vec<f64> = records.iter().map(|m| m.bag_gpu_time_s().ln()).collect();
     let r = bagpred::ml::metrics::pearson(&solo_max, &bag);
     assert!(r > 0.95, "log-corr(solo GPU, bag GPU) = {r:.3}");
 }
@@ -150,10 +144,7 @@ fn cpu_time_correlates_with_bag_time() {
         .iter()
         .map(|m| m.apps()[0].cpu_time_s.max(m.apps()[1].cpu_time_s).ln())
         .collect();
-    let bag: Vec<f64> = records
-        .iter()
-        .map(|m| m.bag_gpu_time_s().ln())
-        .collect();
+    let bag: Vec<f64> = records.iter().map(|m| m.bag_gpu_time_s().ln()).collect();
     let r = bagpred::ml::metrics::pearson(&cpu, &bag);
     assert!(r > 0.6, "log-corr(CPU time, bag GPU) = {r:.3}");
 }

@@ -1,0 +1,289 @@
+//! Integration tests for the serving subsystem: the TCP server must
+//! answer many concurrent clients with predictions byte-identical to the
+//! offline predictor, snapshots must round-trip exactly, malformed
+//! requests must be rejected without killing the connection, and the
+//! feature cache must make warm requests measurably faster than cold.
+
+use bagpred::core::nbag::NBagMeasurement;
+use bagpred::core::{Bag, Measurement, Platforms};
+use bagpred::ml::codec::fmt_f64;
+use bagpred::serve::{
+    bootstrap, ModelRegistry, PredictionService, Reply, Request, ServableModel, Server,
+    ServiceConfig,
+};
+use bagpred::workloads::{Benchmark, Workload};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Trained registry, shared across tests (training dominates test time).
+fn registry() -> Arc<ModelRegistry> {
+    static REGISTRY: OnceLock<Arc<ModelRegistry>> = OnceLock::new();
+    Arc::clone(REGISTRY.get_or_init(|| bootstrap::default_registry(&Platforms::paper())))
+}
+
+fn start_server() -> (Server, Arc<PredictionService>) {
+    let service =
+        PredictionService::start(registry(), Platforms::paper(), ServiceConfig::default());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds ephemeral port");
+    (server, service)
+}
+
+/// Sends `lines` over one connection, returns one reply per line.
+fn client_roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones stream");
+    let mut reader = BufReader::new(stream);
+    let mut replies = Vec::new();
+    for line in lines {
+        writer.write_all(line.as_bytes()).expect("writes");
+        writer.write_all(b"\n").expect("writes newline");
+        writer.flush().expect("flushes");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reads reply");
+        replies.push(reply.trim_end().to_string());
+    }
+    replies
+}
+
+#[test]
+fn eight_concurrent_clients_get_predictions_byte_identical_to_offline_predictor() {
+    let (server, service) = start_server();
+    let addr = server.local_addr();
+    let platforms = Platforms::paper();
+    let registry = registry();
+    let ServableModel::Pair(predictor) = &*registry.get(bootstrap::PAIR_MODEL).expect("registered")
+    else {
+        panic!("pair-tree must be a pair model");
+    };
+
+    // Eight distinct bags, one per client. Expected wire lines come from
+    // the *offline* path: full ground-truth measurement + direct predict.
+    let pairs = [
+        (Benchmark::Sift, 20, Benchmark::Knn, 40),
+        (Benchmark::Hog, 20, Benchmark::Fast, 80),
+        (Benchmark::Orb, 40, Benchmark::Surf, 40),
+        (Benchmark::Svm, 20, Benchmark::ObjRec, 20),
+        (Benchmark::FaceDet, 20, Benchmark::Sift, 60),
+        (Benchmark::Knn, 100, Benchmark::Knn, 100),
+        (Benchmark::Fast, 20, Benchmark::Surf, 80),
+        (Benchmark::ObjRec, 40, Benchmark::Hog, 60),
+    ];
+    let expected: Vec<String> = pairs
+        .iter()
+        .map(|&(ba, na, bb, nb)| {
+            let bag = Bag::pair(Workload::new(ba, na), Workload::new(bb, nb));
+            let record = Measurement::collect(bag, &platforms);
+            format!(
+                "ok model={} predicted_s={}",
+                bootstrap::PAIR_MODEL,
+                fmt_f64(predictor.predict(&record))
+            )
+        })
+        .collect();
+
+    let handles: Vec<_> = pairs
+        .iter()
+        .map(|&(ba, na, bb, nb)| {
+            let line = format!(
+                "predict model={} {}@{na}+{}@{nb}",
+                bootstrap::PAIR_MODEL,
+                ba.name(),
+                bb.name()
+            );
+            std::thread::spawn(move || client_roundtrip(addr, &[line]).remove(0))
+        })
+        .collect();
+    let got: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread finishes"))
+        .collect();
+
+    assert_eq!(
+        got, expected,
+        "served lines must match the offline predictor byte for byte"
+    );
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn nbag_predictions_served_over_tcp_match_direct_nbag_predictor() {
+    let (server, service) = start_server();
+    let platforms = Platforms::paper();
+    let registry = registry();
+    let ServableModel::NBag(predictor) = &*registry.get(bootstrap::NBAG_MODEL).expect("registered")
+    else {
+        panic!("nbag-tree must be an nbag model");
+    };
+    let bag = bagpred::core::nbag::NBag::new(vec![
+        Workload::new(Benchmark::Sift, 20),
+        Workload::new(Benchmark::Knn, 40),
+        Workload::new(Benchmark::Orb, 40),
+    ]);
+    let record = NBagMeasurement::collect_unlabeled(bag, &platforms);
+    let expected = format!(
+        "ok model={} predicted_s={}",
+        bootstrap::NBAG_MODEL,
+        fmt_f64(predictor.predict(&record))
+    );
+    let got = client_roundtrip(
+        server.local_addr(),
+        &["predict SIFT@20+KNN@40+ORB@40".to_string()],
+    )
+    .remove(0);
+    assert_eq!(got, expected);
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn snapshot_save_load_round_trip_preserves_predictions_exactly() {
+    let registry = registry();
+    let dir = std::env::temp_dir().join(format!("bagpred-serving-itest-{}", std::process::id()));
+    registry.save_dir(&dir).expect("saves snapshots");
+
+    let restored = ModelRegistry::new();
+    assert_eq!(
+        restored.load_dir(&dir).expect("loads snapshots"),
+        registry.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Equality at the strongest level available: the re-encoded snapshot
+    // text (checksummed) and predictions on real measurements.
+    for (name, _) in registry.list() {
+        assert_eq!(
+            registry.snapshot(&name).expect("encodes"),
+            restored.snapshot(&name).expect("encodes"),
+            "snapshot text for {name} must survive a save/load cycle"
+        );
+    }
+    let platforms = Platforms::paper();
+    let bag = Bag::pair(
+        Workload::new(Benchmark::Surf, 20),
+        Workload::new(Benchmark::Svm, 60),
+    );
+    let record = Measurement::collect(bag, &platforms);
+    let (ServableModel::Pair(a), ServableModel::Pair(b)) = (
+        &*registry.get(bootstrap::PAIR_MODEL).expect("registered"),
+        &*restored.get(bootstrap::PAIR_MODEL).expect("restored"),
+    ) else {
+        panic!("expected pair models");
+    };
+    assert_eq!(a.predict(&record).to_bits(), b.predict(&record).to_bits());
+}
+
+#[test]
+fn malformed_requests_are_rejected_and_the_connection_keeps_serving() {
+    let (server, service) = start_server();
+    let replies = client_roundtrip(
+        server.local_addr(),
+        &[
+            "predict SIFT@20".to_string(),           // bag too small
+            "predict SFIT@20+KNN@40".to_string(),    // unknown benchmark
+            "predict SIFT@zero+KNN@40".to_string(),  // bad batch
+            "schedule budget=1 SIFT@20".to_string(), // missing k=
+            "launch missiles".to_string(),           // unknown verb
+            "predict SIFT@20+KNN@40".to_string(),    // still works after all that
+        ],
+    );
+    for bad in &replies[..5] {
+        assert!(
+            bad.starts_with("err bad request"),
+            "expected rejection, got `{bad}`"
+        );
+    }
+    assert!(
+        replies[5].starts_with("ok model="),
+        "connection must survive: {}",
+        replies[5]
+    );
+
+    let Ok(Reply::Stats(stats)) = service.call(Request::Stats) else {
+        panic!("stats failed")
+    };
+    assert_eq!(
+        stats.metrics.failed, 0,
+        "parse errors are answered inline, not counted as engine failures"
+    );
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn warm_cache_requests_are_measurably_faster_than_cold() {
+    // A private service so other tests cannot pre-warm the cache.
+    let service =
+        PredictionService::start(registry(), Platforms::paper(), ServiceConfig::default());
+    let request = Request::Predict {
+        model: None,
+        apps: vec![
+            Workload::new(Benchmark::FaceDet, 123),
+            Workload::new(Benchmark::ObjRec, 321),
+        ],
+    };
+
+    let t0 = Instant::now();
+    let Ok(Reply::Prediction {
+        predicted_s: cold_value,
+        ..
+    }) = service.call(request.clone())
+    else {
+        panic!("cold predict failed")
+    };
+    let cold = t0.elapsed();
+
+    // Best of several warm calls, so one unlucky scheduling blip cannot
+    // fail the test; the margin below is generous on top of that.
+    let mut warm = std::time::Duration::MAX;
+    let mut warm_value = f64::NAN;
+    for _ in 0..10 {
+        let t = Instant::now();
+        let Ok(Reply::Prediction { predicted_s, .. }) = service.call(request.clone()) else {
+            panic!("warm predict failed")
+        };
+        warm = warm.min(t.elapsed());
+        warm_value = predicted_s;
+    }
+
+    assert_eq!(
+        cold_value.to_bits(),
+        warm_value.to_bits(),
+        "cache must not change the prediction"
+    );
+    assert!(
+        warm * 2 < cold,
+        "warm ({warm:?}) must beat cold ({cold:?}) by at least 2x \
+         (cold collects features, warm reads the cache)"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn stats_over_tcp_report_cache_and_latency_fields() {
+    let (server, service) = start_server();
+    let replies = client_roundtrip(
+        server.local_addr(),
+        &[
+            "predict SIFT@20+KNN@40".to_string(),
+            "predict SIFT@20+KNN@40".to_string(),
+            "stats".to_string(),
+            "models".to_string(),
+        ],
+    );
+    let stats = &replies[2];
+    for field in [
+        "requests=",
+        "cache_hits=",
+        "cache_hit_rate=",
+        "latency_us_p95=",
+        "latency_us_max=",
+    ] {
+        assert!(stats.contains(field), "stats line missing {field}: {stats}");
+    }
+    assert!(replies[3].starts_with("ok models=2"), "{}", replies[3]);
+    drop(server);
+    service.shutdown();
+}

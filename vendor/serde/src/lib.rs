@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so that downstream users with the real `serde` can opt
+//! into interoperable encodings. Nothing inside the workspace serializes
+//! through serde, however — the model registry uses its own checksummed
+//! text format (`bagpred_ml::codec`, `bagpred_serve::snapshot`) — and the
+//! build environment has no registry access, so this crate supplies the
+//! two marker traits and no-op derive macros the annotations need.
+//!
+//! Swapping in the real `serde` is a one-line change in the workspace
+//! `Cargo.toml`; no source edits are required.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types annotated as serializable.
+///
+/// The real `serde::Serialize` carries a `serialize` method; this offline
+/// stand-in is a pure marker, which is all the workspace's own code needs.
+pub trait Serialize {}
+
+/// Marker for types annotated as deserializable.
+pub trait Deserialize<'de> {}
+
+/// Marker for seed-driven deserialization (unused; kept for API parity).
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
