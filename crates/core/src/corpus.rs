@@ -94,12 +94,20 @@ impl Corpus {
         self.measure_on(&Platforms::paper())
     }
 
-    /// Measures every bag on custom platforms.
+    /// Measures every bag on custom platforms, fanning the per-bag
+    /// collection out over [`crate::parallel::configured_threads`] scoped
+    /// workers. Collection is a pure function of the bag, and results come
+    /// back in corpus order, so the output is bit-identical to the serial
+    /// path (set `BAGPRED_THREADS=1` to force it).
     pub fn measure_on(&self, platforms: &Platforms) -> Vec<Measurement> {
-        self.bags
-            .iter()
-            .map(|&bag| Measurement::collect(bag, platforms))
-            .collect()
+        self.measure_on_threads(platforms, crate::parallel::configured_threads())
+    }
+
+    /// [`measure_on`](Self::measure_on) with an explicit worker count.
+    pub fn measure_on_threads(&self, platforms: &Platforms, threads: usize) -> Vec<Measurement> {
+        crate::parallel::parallel_map(&self.bags, threads, |&bag| {
+            Measurement::collect(bag, platforms)
+        })
     }
 }
 
@@ -144,6 +152,16 @@ mod tests {
     #[test]
     fn corpus_is_deterministic() {
         assert_eq!(Corpus::paper(), Corpus::paper());
+    }
+
+    #[test]
+    fn parallel_measurement_is_bit_identical_to_serial() {
+        let corpus = Corpus::paper();
+        let platforms = Platforms::paper();
+        let serial = corpus.measure_on_threads(&platforms, 1);
+        for threads in [2, 4] {
+            assert_eq!(corpus.measure_on_threads(&platforms, threads), serial);
+        }
     }
 
     #[test]

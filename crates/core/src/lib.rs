@@ -50,6 +50,7 @@ mod corpus;
 mod feature;
 mod measure;
 pub mod nbag;
+pub mod parallel;
 mod predictor;
 pub mod schemes;
 

@@ -14,7 +14,7 @@
 use crate::feature::Feature;
 use crate::measure::Platforms;
 use bagpred_cpusim::fairness;
-use bagpred_ml::{Dataset, DecisionTreeRegressor, Regressor};
+use bagpred_ml::{Dataset, DecisionTreeRegressor, FlatTree, Regressor};
 use bagpred_trace::{KernelProfile, SplitMix64};
 use bagpred_workloads::{Benchmark, Workload, BATCH_SIZES, STANDARD_BATCH};
 use serde::{Deserialize, Serialize};
@@ -217,6 +217,24 @@ impl NBagMeasurement {
     }
 }
 
+/// Measures a set of n-bags in parallel on
+/// [`crate::parallel::configured_threads`] scoped workers, returning
+/// results in input order — bit-identical to the serial loop.
+pub fn measure_nbags(bags: &[NBag], platforms: &Platforms) -> Vec<NBagMeasurement> {
+    measure_nbags_threads(bags, platforms, crate::parallel::configured_threads())
+}
+
+/// [`measure_nbags`] with an explicit worker count.
+pub fn measure_nbags_threads(
+    bags: &[NBag],
+    platforms: &Platforms,
+    threads: usize,
+) -> Vec<NBagMeasurement> {
+    crate::parallel::parallel_map(bags, threads, |bag| {
+        NBagMeasurement::collect(bag.clone(), platforms)
+    })
+}
+
 /// Builds a mixed-size training corpus: homogeneous bags of 2..=4 instances
 /// for every benchmark and batch size, plus `extra_heterogeneous` random
 /// mixed bags (seeded, deterministic).
@@ -248,6 +266,7 @@ pub fn nbag_corpus(extra_heterogeneous: usize) -> Vec<NBag> {
 #[derive(Debug)]
 pub struct NBagPredictor {
     tree: Option<DecisionTreeRegressor>,
+    flat: Option<FlatTree>,
     max_depth: usize,
 }
 
@@ -262,6 +281,7 @@ impl NBagPredictor {
     pub fn new() -> Self {
         Self {
             tree: None,
+            flat: None,
             max_depth: 8,
         }
     }
@@ -298,6 +318,7 @@ impl NBagPredictor {
     pub fn from_trained(depth: usize, tree: DecisionTreeRegressor) -> Self {
         assert!(depth > 0, "depth must be positive");
         Self {
+            flat: FlatTree::from_tree(&tree),
             tree: Some(tree),
             max_depth: depth,
         }
@@ -323,6 +344,7 @@ impl NBagPredictor {
         let data = Self::dataset(records);
         let mut tree = DecisionTreeRegressor::new().with_max_depth(self.max_depth);
         tree.fit(&data).expect("non-empty dataset fits");
+        self.flat = FlatTree::from_tree(&tree);
         self.tree = Some(tree);
     }
 
@@ -338,6 +360,23 @@ impl NBagPredictor {
             .predict(record.features())
     }
 
+    /// Predicts makespans for a whole batch of measured bags via the
+    /// compiled [`FlatTree`] — one walk per record over the already
+    /// materialized feature vectors, no per-record allocation. Bit-identical
+    /// to calling [`predict`](Self::predict) once per record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor has not been trained.
+    pub fn predict_batch(&self, records: &[NBagMeasurement]) -> Vec<f64> {
+        assert!(self.tree.is_some(), "predictor must be trained");
+        let rows: Vec<&[f64]> = records.iter().map(NBagMeasurement::features).collect();
+        match self.flat.as_ref() {
+            Some(flat) => flat.predict_batch(&rows),
+            None => records.iter().map(|m| self.predict(m)).collect(),
+        }
+    }
+
     /// Mean relative error (%) over a record set.
     ///
     /// # Panics
@@ -348,29 +387,50 @@ impl NBagPredictor {
             .iter()
             .map(NBagMeasurement::bag_gpu_time_s)
             .collect();
-        let predicted: Vec<f64> = records.iter().map(|m| self.predict(m)).collect();
+        let predicted = self.predict_batch(records);
         bagpred_ml::metrics::mean_relative_error(&truth, &predicted)
     }
 
     /// Leave-one-benchmark-out cross-validation over an n-bag corpus.
     /// Returns `(benchmark, error %, points)` per round.
+    ///
+    /// Folds train in parallel on
+    /// [`crate::parallel::configured_threads`] workers (each on a fresh
+    /// predictor with this depth); output order and values are
+    /// bit-identical to the serial loop. The predictor's own trained state
+    /// is left untouched.
     pub fn loocv_by_benchmark(
         &mut self,
         records: &[NBagMeasurement],
     ) -> Vec<(Benchmark, f64, usize)> {
-        let mut out = Vec::new();
-        for bench in Benchmark::ALL {
+        self.loocv_by_benchmark_threads(records, crate::parallel::configured_threads())
+    }
+
+    /// [`loocv_by_benchmark`](Self::loocv_by_benchmark) with an explicit
+    /// worker count (`threads == 1` is the plain serial loop).
+    pub fn loocv_by_benchmark_threads(
+        &mut self,
+        records: &[NBagMeasurement],
+        threads: usize,
+    ) -> Vec<(Benchmark, f64, usize)> {
+        let folds: Vec<Benchmark> = Benchmark::ALL
+            .iter()
+            .copied()
+            .filter(|&bench| {
+                let held_out = records.iter().filter(|m| m.bag().involves(bench)).count();
+                held_out > 0 && held_out < records.len()
+            })
+            .collect();
+        let max_depth = self.max_depth;
+        crate::parallel::parallel_map(&folds, threads, |&bench| {
             let (test, train): (Vec<_>, Vec<_>) = records
                 .iter()
                 .cloned()
                 .partition(|m| m.bag().involves(bench));
-            if test.is_empty() || train.is_empty() {
-                continue;
-            }
-            self.train(&train);
-            out.push((bench, self.evaluate(&test), test.len()));
-        }
-        out
+            let mut fold = NBagPredictor::new().with_max_depth(max_depth);
+            fold.train(&train);
+            (bench, fold.evaluate(&test), test.len())
+        })
     }
 }
 
@@ -518,6 +578,37 @@ mod tests {
             assert!(err.is_finite(), "{bench}");
             assert!(n >= 3, "{bench}: {n}");
         }
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_per_record_predict() {
+        let mut p = NBagPredictor::new();
+        p.train(small_records());
+        let batch = p.predict_batch(small_records());
+        assert_eq!(batch.len(), small_records().len());
+        for (m, y) in small_records().iter().zip(&batch) {
+            assert_eq!(y.to_bits(), p.predict(m).to_bits(), "{}", m.bag().label());
+        }
+    }
+
+    #[test]
+    fn parallel_loocv_reproduces_serial_report_exactly() {
+        let mut p = NBagPredictor::new();
+        let serial = p.loocv_by_benchmark_threads(small_records(), 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                p.loocv_by_benchmark_threads(small_records(), threads),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_nbag_measurement_is_bit_identical_to_serial() {
+        let platforms = Platforms::paper();
+        let bags = nbag_corpus(10);
+        let serial = measure_nbags_threads(&bags, &platforms, 1);
+        assert_eq!(measure_nbags_threads(&bags, &platforms, 4), serial);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use crate::feature::{Feature, FeatureSet};
 use crate::measure::Measurement;
 use bagpred_ml::{
-    metrics, Dataset, DecisionTreeRegressor, LinearRegression, RandomForestRegressor, Regressor,
-    SvrKernel, SvrRegressor,
+    metrics, Dataset, DecisionTreeRegressor, FlatForest, FlatTree, LinearRegression,
+    RandomForestRegressor, Regressor, SvrKernel, SvrRegressor,
 };
 use bagpred_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -101,6 +101,74 @@ impl Model {
     }
 }
 
+/// The flattened model behind [`CompiledModel`].
+#[derive(Debug)]
+enum FlatModel {
+    Tree(FlatTree),
+    Forest(FlatForest),
+}
+
+/// A fitted model compiled to the flattened array layout of
+/// [`bagpred_ml::FlatTree`] — the allocation-free walk behind
+/// [`Predictor::predict_batch`]. Only tree-shaped models compile; SVR and
+/// linear models have no tree to flatten.
+///
+/// At compile time the model's split features are remapped from
+/// full-scheme row space into a dense *used-columns-only* space, and
+/// `columns` records which `(Feature, slot)` pair backs each compiled
+/// column. A batch fill therefore materializes only the columns the model
+/// actually reads; the walk still compares the same values against the
+/// same thresholds, so predictions stay bit-identical to the boxed path.
+#[derive(Debug)]
+struct CompiledModel {
+    model: FlatModel,
+    /// The `(feature, slot)` pair behind each compiled row column, in
+    /// column order. Empty for a single-leaf model (rows then carry one
+    /// unread placeholder column).
+    columns: Vec<(Feature, usize)>,
+}
+
+impl CompiledModel {
+    fn compile(model: Option<&Model>, scheme: &FeatureSet) -> Option<Self> {
+        // Full-scheme columns in the exact order `predict` fills a row.
+        let full: Vec<(Feature, usize)> = scheme
+            .features()
+            .iter()
+            .flat_map(|f| {
+                let slots = if f.is_bag_level() { 1 } else { 2 };
+                (0..slots).map(move |s| (*f, s))
+            })
+            .collect();
+        let (mut flat, used) = match model? {
+            Model::Tree(t) => {
+                let flat = FlatTree::from_tree(t)?;
+                let used = flat.used_features();
+                (FlatModel::Tree(flat), used)
+            }
+            Model::Forest(f) => {
+                let flat = FlatForest::from_forest(f)?;
+                let used = flat.used_features();
+                (FlatModel::Forest(flat), used)
+            }
+            _ => return None,
+        };
+        let mut map = vec![u32::MAX; full.len().max(1)];
+        for (new, &old) in used.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        let width = used.len().max(1);
+        match &mut flat {
+            FlatModel::Tree(t) => t.remap_features(&map, width),
+            FlatModel::Forest(f) => f.remap_features(&map, width),
+        }
+        let columns = used.iter().map(|&old| full[old as usize]).collect();
+        Some(Self {
+            model: flat,
+            columns,
+        })
+    }
+}
+
 /// Per-benchmark leave-one-out cross-validation results (the paper's Fig. 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoocvReport {
@@ -145,6 +213,7 @@ pub struct Predictor {
     kind: ModelKind,
     max_depth: usize,
     model: Option<Model>,
+    compiled: Option<CompiledModel>,
     normalizer: Option<Normalizer>,
 }
 
@@ -159,6 +228,7 @@ impl Predictor {
             // do not transfer to the held-out benchmark).
             max_depth: 8,
             model: None,
+            compiled: None,
             normalizer: None,
         }
     }
@@ -220,6 +290,7 @@ impl Predictor {
             .regressor_mut()
             .fit(&data)
             .expect("non-empty dataset must fit");
+        self.compiled = CompiledModel::compile(Some(&model), &self.scheme);
         self.model = Some(model);
         self.normalizer = Some(norm);
     }
@@ -244,6 +315,45 @@ impl Predictor {
         model.regressor().predict(&row)
     }
 
+    /// Predicts GPU bag makespans for a whole batch of measured bags.
+    ///
+    /// Tree- and forest-backed predictors walk a compiled flattened model
+    /// ([`FlatTree`]/[`FlatForest`]) over one contiguous feature buffer —
+    /// no per-record row allocation, no pointer chasing — which is what
+    /// makes serve-side batching semantic instead of structural. Results
+    /// are bit-identical to calling [`predict`](Self::predict) once per
+    /// record (same comparisons, same leaves, same summation order).
+    /// Model kinds without a tree to flatten (SVR, linear) fall back to
+    /// the per-record walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor has not been trained.
+    pub fn predict_batch(&self, records: &[Measurement]) -> Vec<f64> {
+        let norm = self.normalizer.expect("predictor must be trained");
+        assert!(self.model.is_some(), "predictor must be trained");
+        let Some(compiled) = self.compiled.as_ref() else {
+            return records.iter().map(|m| self.predict(m)).collect();
+        };
+        // Only the columns the compiled model splits on get materialized
+        // (its features were remapped into that narrow space at compile
+        // time). One pass over the records per column keeps the feature
+        // dispatch inside `raw_value` perfectly predicted.
+        let width = compiled.columns.len().max(1);
+        let mut buf = vec![0.0f64; records.len() * width];
+        for (col, &(f, slot)) in compiled.columns.iter().enumerate() {
+            for (row, m) in records.iter().enumerate() {
+                buf[row * width + col] = norm.value(m, f, slot);
+            }
+        }
+        let mut out = Vec::new();
+        match &compiled.model {
+            FlatModel::Tree(t) => t.predict_strided(&buf, width, &mut out),
+            FlatModel::Forest(f) => f.predict_strided(&buf, width, &mut out),
+        }
+        out
+    }
+
     /// Mean relative error (%) of the trained model over a record set.
     ///
     /// # Panics
@@ -251,7 +361,7 @@ impl Predictor {
     /// Panics if the predictor has not been trained or `records` is empty.
     pub fn evaluate(&self, records: &[Measurement]) -> f64 {
         let truth: Vec<f64> = records.iter().map(Measurement::bag_gpu_time_s).collect();
-        let predicted: Vec<f64> = records.iter().map(|m| self.predict(m)).collect();
+        let predicted = self.predict_batch(records);
         metrics::mean_relative_error(&truth, &predicted)
     }
 
@@ -282,27 +392,58 @@ impl Predictor {
     /// each benchmark, every bag *involving* it is held out for testing and
     /// the model trains on the rest.
     ///
+    /// Folds are independent, so they train in parallel on
+    /// [`crate::parallel::configured_threads`] scoped workers (each fold on
+    /// a fresh predictor with this predictor's configuration). The report
+    /// is assembled in `Benchmark::ALL` order and is bit-identical to the
+    /// serial loop — see
+    /// [`loocv_by_benchmark_threads`](Self::loocv_by_benchmark_threads).
+    /// Unlike earlier revisions, the predictor's own trained state is left
+    /// untouched.
+    ///
     /// # Panics
     ///
     /// Panics if some LOOCV round would have an empty training set.
     pub fn loocv_by_benchmark(&mut self, records: &[Measurement]) -> LoocvReport {
-        let mut per_benchmark = Vec::new();
-        for bench in Benchmark::ALL {
+        self.loocv_by_benchmark_threads(records, crate::parallel::configured_threads())
+    }
+
+    /// [`loocv_by_benchmark`](Self::loocv_by_benchmark) with an explicit
+    /// worker count (`threads == 1` runs the plain serial loop; any count
+    /// yields the same report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some LOOCV round would have an empty training set.
+    pub fn loocv_by_benchmark_threads(
+        &mut self,
+        records: &[Measurement],
+        threads: usize,
+    ) -> LoocvReport {
+        let folds: Vec<Benchmark> = Benchmark::ALL
+            .iter()
+            .copied()
+            .filter(|&bench| records.iter().any(|m| m.bag().involves(bench)))
+            .collect();
+        let scheme = &self.scheme;
+        let kind = self.kind;
+        let max_depth = self.max_depth;
+        let per_benchmark = crate::parallel::parallel_map(&folds, threads, |&bench| {
             let (test, train): (Vec<_>, Vec<_>) = records
                 .iter()
                 .cloned()
                 .partition(|m| m.bag().involves(bench));
-            if test.is_empty() {
-                continue;
-            }
             assert!(
                 !train.is_empty(),
                 "LOOCV round for {bench} has no training data"
             );
-            self.train(&train);
-            let error = self.evaluate(&test);
-            per_benchmark.push((bench, error, test.len()));
-        }
+            let mut fold = Predictor::new(scheme.clone())
+                .with_model(kind)
+                .with_max_depth(max_depth);
+            fold.train(&train);
+            let error = fold.evaluate(&test);
+            (bench, error, test.len())
+        });
         LoocvReport { per_benchmark }
     }
 
@@ -360,11 +501,13 @@ impl Predictor {
             cpu_time_range > 0.0 && cpu_time_range.is_finite(),
             "cpu_time_range must be positive"
         );
+        let model = Model::Tree(tree);
         Self {
+            compiled: CompiledModel::compile(Some(&model), &scheme),
             scheme,
             kind: ModelKind::DecisionTree,
             max_depth: depth,
-            model: Some(Model::Tree(tree)),
+            model: Some(model),
             normalizer: Some(Normalizer {
                 cpu_range: cpu_time_range,
             }),
@@ -387,11 +530,13 @@ impl Predictor {
             cpu_time_range > 0.0 && cpu_time_range.is_finite(),
             "cpu_time_range must be positive"
         );
+        let model = Model::Forest(forest);
         Self {
+            compiled: CompiledModel::compile(Some(&model), &scheme),
             scheme,
             kind: ModelKind::RandomForest,
             max_depth: depth,
-            model: Some(Model::Forest(forest)),
+            model: Some(model),
             normalizer: Some(Normalizer {
                 cpu_range: cpu_time_range,
             }),
@@ -531,6 +676,46 @@ mod tests {
         );
         for m in records().iter().step_by(7) {
             assert_eq!(rebuilt.predict(m).to_bits(), original.predict(m).to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_per_record_predict() {
+        let mut p = Predictor::new(FeatureSet::full());
+        p.train(records());
+        let batch = p.predict_batch(records());
+        assert_eq!(batch.len(), records().len());
+        for (m, y) in records().iter().zip(&batch) {
+            assert_eq!(y.to_bits(), p.predict(m).to_bits(), "{}", m.bag().label());
+        }
+    }
+
+    #[test]
+    fn forest_predict_batch_is_bit_identical_to_per_record_predict() {
+        let mut p = Predictor::new(FeatureSet::full()).with_model(ModelKind::RandomForest);
+        p.train(records());
+        let batch = p.predict_batch(records());
+        for (m, y) in records().iter().zip(&batch) {
+            assert_eq!(y.to_bits(), p.predict(m).to_bits(), "{}", m.bag().label());
+        }
+    }
+
+    #[test]
+    fn uncompilable_models_fall_back_to_per_record_predict() {
+        let mut p = Predictor::new(FeatureSet::full()).with_model(ModelKind::Linear);
+        p.train(records());
+        let batch = p.predict_batch(records());
+        for (m, y) in records().iter().zip(&batch) {
+            assert_eq!(y.to_bits(), p.predict(m).to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_loocv_reproduces_serial_report_exactly() {
+        let mut p = Predictor::new(FeatureSet::full());
+        let serial = p.loocv_by_benchmark_threads(records(), 1);
+        for threads in [2, 4] {
+            assert_eq!(p.loocv_by_benchmark_threads(records(), threads), serial);
         }
     }
 

@@ -1,0 +1,444 @@
+//! In-tree benchmark harness for the training + inference pipeline.
+//!
+//! `repro bench` times the stages the flattened-tree and parallel-training
+//! work targets:
+//!
+//! * corpus measurement, serial vs. parallel ([`bagpred_core::parallel`]);
+//! * cold model training (tree and forest);
+//! * leave-one-benchmark-out cross-validation, serial vs. parallel;
+//! * single-record `predict` vs. flattened `predict_batch` on a large
+//!   cycled batch (tree and forest).
+//!
+//! The report is written as `BENCH_pipeline.json` (hand-formatted — the
+//! offline build carries no JSON dependency) so `scripts/verify.sh` can
+//! smoke-run the harness and fail on large throughput regressions against
+//! the committed baseline. Wall-clock numbers depend on the machine and
+//! `BAGPRED_THREADS`; the per-record nanosecond rates are the stable
+//! regression signal, so only `*_ns_per_record` keys are compared.
+
+use bagpred_core::{
+    parallel, Bag, Corpus, FeatureSet, Measurement, ModelKind, Platforms, Predictor,
+};
+use bagpred_workloads::{Benchmark, Workload};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Schema tag embedded in (and required of) every report.
+pub const SCHEMA: &str = "bagpred-bench-v1";
+
+/// The report keys compared against a baseline. Wall-clock stage times
+/// vary with corpus size and thread count; these per-record rates do not.
+pub const RATE_KEYS: [&str; 4] = [
+    "tree_single_ns_per_record",
+    "tree_batch_ns_per_record",
+    "forest_single_ns_per_record",
+    "forest_batch_ns_per_record",
+];
+
+/// Harness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Shrinks the corpus, batch and repetition counts so the harness
+    /// finishes in seconds — the mode `scripts/verify.sh` runs.
+    pub smoke: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self { smoke: false }
+    }
+}
+
+/// Every measured number, plus the context needed to interpret it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// True when produced by a smoke run (smaller corpus and batch — the
+    /// `*_ms` stage times are not comparable with a full run's).
+    pub smoke: bool,
+    /// Worker threads the parallel stages used
+    /// ([`parallel::configured_threads`]). Speedups can only materialize
+    /// when this exceeds 1 — record it so results are honest on any host.
+    pub threads: usize,
+    /// Bags in the measured corpus.
+    pub corpus_bags: usize,
+    /// Records in the cycled prediction batch.
+    pub batch_records: usize,
+    /// Corpus measurement wall time, one worker, milliseconds.
+    pub corpus_measure_serial_ms: f64,
+    /// Corpus measurement wall time, `threads` workers, milliseconds.
+    pub corpus_measure_parallel_ms: f64,
+    /// Cold decision-tree training, milliseconds.
+    pub train_tree_ms: f64,
+    /// Cold random-forest training, milliseconds.
+    pub train_forest_ms: f64,
+    /// Leave-one-benchmark-out CV wall time, one worker, milliseconds.
+    pub loocv_serial_ms: f64,
+    /// Leave-one-benchmark-out CV wall time, `threads` workers, ms.
+    pub loocv_parallel_ms: f64,
+    /// `loocv_serial_ms / loocv_parallel_ms`.
+    pub loocv_speedup: f64,
+    /// Per-record `predict` cost, boxed tree walk, nanoseconds.
+    pub tree_single_ns_per_record: f64,
+    /// Per-record `predict_batch` cost, flattened tree walk, nanoseconds.
+    pub tree_batch_ns_per_record: f64,
+    /// `tree_single_ns_per_record / tree_batch_ns_per_record`.
+    pub tree_batch_speedup: f64,
+    /// Per-record `predict` cost, boxed forest walk, nanoseconds.
+    pub forest_single_ns_per_record: f64,
+    /// Per-record `predict_batch` cost, flattened forest walk, ns.
+    pub forest_batch_ns_per_record: f64,
+    /// `forest_single_ns_per_record / forest_batch_ns_per_record`.
+    pub forest_batch_speedup: f64,
+}
+
+/// Runs `f` `runs` times and returns the best (minimum) wall time — the
+/// standard way to suppress scheduler noise for a deterministic workload.
+fn time_best<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn ns_per_record(d: Duration, records: usize) -> f64 {
+    d.as_nanos() as f64 / records.max(1) as f64
+}
+
+/// The corpus the harness measures: the paper's 91 bags, or a reduced
+/// deterministic corpus with the same structure in smoke mode.
+fn bench_corpus(smoke: bool) -> Corpus {
+    if !smoke {
+        return Corpus::paper();
+    }
+    let mut bags = Vec::new();
+    for bench in Benchmark::ALL {
+        for batch in [2usize, 4] {
+            bags.push(Bag::homogeneous(Workload::new(bench, batch)));
+        }
+    }
+    for (i, &a) in Benchmark::ALL.iter().enumerate() {
+        let b = Benchmark::ALL[(i + 1) % Benchmark::ALL.len()];
+        bags.push(Bag::pair(Workload::new(a, 2), Workload::new(b, 2)));
+    }
+    Corpus::custom(bags)
+}
+
+/// Runs the full harness and returns the report.
+pub fn run(options: &BenchOptions) -> BenchReport {
+    let smoke = options.smoke;
+    let platforms = Platforms::paper();
+    let corpus = bench_corpus(smoke);
+    let threads = parallel::configured_threads();
+    let (measure_runs, train_runs, predict_runs) = if smoke { (1, 2, 3) } else { (2, 3, 7) };
+    let batch_records = if smoke { 256 } else { 1000 };
+
+    let corpus_measure_serial =
+        time_best(measure_runs, || corpus.measure_on_threads(&platforms, 1));
+    let corpus_measure_parallel = time_best(measure_runs, || {
+        corpus.measure_on_threads(&platforms, threads)
+    });
+    let records = corpus.measure_on(&platforms);
+
+    let train_tree = time_best(train_runs, || {
+        let mut p = Predictor::new(FeatureSet::full());
+        p.train(&records);
+        p
+    });
+    let train_forest = time_best(train_runs, || {
+        let mut p = Predictor::new(FeatureSet::full()).with_model(ModelKind::RandomForest);
+        p.train(&records);
+        p
+    });
+
+    let mut probe = Predictor::new(FeatureSet::full());
+    let loocv_runs = if smoke { 1 } else { 3 };
+    let loocv_serial = time_best(loocv_runs, || probe.loocv_by_benchmark_threads(&records, 1));
+    let loocv_parallel = time_best(loocv_runs, || {
+        probe.loocv_by_benchmark_threads(&records, threads)
+    });
+
+    // The cycled batch: the corpus repeated up to `batch_records` rows —
+    // the shape an online service's drained queue hands `predict_batch`.
+    let batch: Vec<Measurement> = (0..batch_records)
+        .map(|i| records[i % records.len()].clone())
+        .collect();
+
+    let mut tree = Predictor::new(FeatureSet::full());
+    tree.train(&records);
+    let mut forest = Predictor::new(FeatureSet::full()).with_model(ModelKind::RandomForest);
+    forest.train(&records);
+
+    // Equivalence guard: the two paths must agree bit-for-bit before
+    // their relative speed means anything.
+    for (p, label) in [(&tree, "tree"), (&forest, "forest")] {
+        let batched = p.predict_batch(&batch);
+        for (m, y) in batch.iter().zip(&batched) {
+            assert_eq!(
+                y.to_bits(),
+                p.predict(m).to_bits(),
+                "{label} batch/single mismatch on {}",
+                m.bag().label()
+            );
+        }
+    }
+
+    let tree_single = time_best(predict_runs, || {
+        batch.iter().map(|m| tree.predict(m)).sum::<f64>()
+    });
+    let tree_batch = time_best(predict_runs, || tree.predict_batch(&batch));
+    let forest_single = time_best(predict_runs, || {
+        batch.iter().map(|m| forest.predict(m)).sum::<f64>()
+    });
+    let forest_batch = time_best(predict_runs, || forest.predict_batch(&batch));
+
+    let tree_single_ns = ns_per_record(tree_single, batch_records);
+    let tree_batch_ns = ns_per_record(tree_batch, batch_records);
+    let forest_single_ns = ns_per_record(forest_single, batch_records);
+    let forest_batch_ns = ns_per_record(forest_batch, batch_records);
+
+    BenchReport {
+        smoke,
+        threads,
+        corpus_bags: corpus.bags().len(),
+        batch_records,
+        corpus_measure_serial_ms: ms(corpus_measure_serial),
+        corpus_measure_parallel_ms: ms(corpus_measure_parallel),
+        train_tree_ms: ms(train_tree),
+        train_forest_ms: ms(train_forest),
+        loocv_serial_ms: ms(loocv_serial),
+        loocv_parallel_ms: ms(loocv_parallel),
+        loocv_speedup: ms(loocv_serial) / ms(loocv_parallel).max(f64::MIN_POSITIVE),
+        tree_single_ns_per_record: tree_single_ns,
+        tree_batch_ns_per_record: tree_batch_ns,
+        tree_batch_speedup: tree_single_ns / tree_batch_ns.max(f64::MIN_POSITIVE),
+        forest_single_ns_per_record: forest_single_ns,
+        forest_batch_ns_per_record: forest_batch_ns,
+        forest_batch_speedup: forest_single_ns / forest_batch_ns.max(f64::MIN_POSITIVE),
+    }
+}
+
+impl BenchReport {
+    /// The report as pretty-printed JSON (hand-formatted; stable key
+    /// order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        let numbers: [(&str, f64); 16] = [
+            ("threads", self.threads as f64),
+            ("corpus_bags", self.corpus_bags as f64),
+            ("batch_records", self.batch_records as f64),
+            ("corpus_measure_serial_ms", self.corpus_measure_serial_ms),
+            (
+                "corpus_measure_parallel_ms",
+                self.corpus_measure_parallel_ms,
+            ),
+            ("train_tree_ms", self.train_tree_ms),
+            ("train_forest_ms", self.train_forest_ms),
+            ("loocv_serial_ms", self.loocv_serial_ms),
+            ("loocv_parallel_ms", self.loocv_parallel_ms),
+            ("loocv_speedup", self.loocv_speedup),
+            ("tree_single_ns_per_record", self.tree_single_ns_per_record),
+            ("tree_batch_ns_per_record", self.tree_batch_ns_per_record),
+            ("tree_batch_speedup", self.tree_batch_speedup),
+            (
+                "forest_single_ns_per_record",
+                self.forest_single_ns_per_record,
+            ),
+            (
+                "forest_batch_ns_per_record",
+                self.forest_batch_ns_per_record,
+            ),
+            ("forest_batch_speedup", self.forest_batch_speedup),
+        ];
+        for (i, (key, value)) in numbers.iter().enumerate() {
+            let comma = if i + 1 == numbers.len() { "" } else { "," };
+            if key.starts_with("threads")
+                || key.starts_with("corpus_bags")
+                || key.starts_with("batch_records")
+            {
+                out.push_str(&format!("  \"{key}\": {}{comma}\n", *value as u64));
+            } else {
+                out.push_str(&format!("  \"{key}\": {value:.3}{comma}\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Pipeline benchmark ({} corpus: {} bags, batch: {} records, {} thread(s))\n",
+            if self.smoke { "smoke" } else { "paper" },
+            self.corpus_bags,
+            self.batch_records,
+            self.threads,
+        ));
+        out.push_str(&format!(
+            "  corpus measure    serial {:>9.1} ms   parallel {:>9.1} ms\n",
+            self.corpus_measure_serial_ms, self.corpus_measure_parallel_ms
+        ));
+        out.push_str(&format!(
+            "  cold train        tree   {:>9.1} ms   forest   {:>9.1} ms\n",
+            self.train_tree_ms, self.train_forest_ms
+        ));
+        out.push_str(&format!(
+            "  LOOCV             serial {:>9.1} ms   parallel {:>9.1} ms   speedup {:>5.2}x\n",
+            self.loocv_serial_ms, self.loocv_parallel_ms, self.loocv_speedup
+        ));
+        out.push_str(&format!(
+            "  tree predict      single {:>9.1} ns/rec  batch {:>9.1} ns/rec  speedup {:>5.2}x\n",
+            self.tree_single_ns_per_record, self.tree_batch_ns_per_record, self.tree_batch_speedup
+        ));
+        out.push_str(&format!(
+            "  forest predict    single {:>9.1} ns/rec  batch {:>9.1} ns/rec  speedup {:>5.2}x\n",
+            self.forest_single_ns_per_record,
+            self.forest_batch_ns_per_record,
+            self.forest_batch_speedup
+        ));
+        out
+    }
+}
+
+/// Extracts the numeric value of `"key": <number>` from a JSON text.
+/// Minimal by design: the harness only reads back files it wrote itself.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh report against a committed baseline JSON, returning
+/// one message per rate key that regressed by more than `max_ratio`
+/// (e.g. `2.0` = twice as slow). An unreadable or schema-mismatched
+/// baseline is itself reported.
+pub fn regressions(report: &BenchReport, baseline_json: &str, max_ratio: f64) -> Vec<String> {
+    if !baseline_json.contains(SCHEMA) {
+        return vec![format!("baseline is not a {SCHEMA} report")];
+    }
+    let current = report.to_json();
+    let mut out = Vec::new();
+    for key in RATE_KEYS {
+        let Some(base) = json_number(baseline_json, key) else {
+            out.push(format!("baseline is missing `{key}`"));
+            continue;
+        };
+        let now = json_number(&current, key).expect("own report carries every rate key");
+        if base > 0.0 && now > base * max_ratio {
+            out.push(format!(
+                "{key} regressed: {now:.1} ns vs baseline {base:.1} ns (> {max_ratio}x)"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> BenchReport {
+        BenchReport {
+            smoke: true,
+            threads: 2,
+            corpus_bags: 27,
+            batch_records: 256,
+            corpus_measure_serial_ms: 100.0,
+            corpus_measure_parallel_ms: 60.0,
+            train_tree_ms: 5.0,
+            train_forest_ms: 50.0,
+            loocv_serial_ms: 80.0,
+            loocv_parallel_ms: 45.0,
+            loocv_speedup: 80.0 / 45.0,
+            tree_single_ns_per_record: 400.0,
+            tree_batch_ns_per_record: 80.0,
+            tree_batch_speedup: 5.0,
+            forest_single_ns_per_record: 9000.0,
+            forest_batch_ns_per_record: 1000.0,
+            forest_batch_speedup: 9.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_every_numeric_key() {
+        let report = fake_report();
+        let json = report.to_json();
+        assert!(json.contains(SCHEMA));
+        assert_eq!(json_number(&json, "threads"), Some(2.0));
+        assert_eq!(json_number(&json, "batch_records"), Some(256.0));
+        assert_eq!(json_number(&json, "tree_batch_ns_per_record"), Some(80.0));
+        assert_eq!(
+            json_number(&json, "forest_single_ns_per_record"),
+            Some(9000.0)
+        );
+        assert_eq!(json_number(&json, "no_such_key"), None);
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_the_ratio() {
+        let report = fake_report();
+        let baseline = report.to_json();
+        assert!(regressions(&report, &baseline, 2.0).is_empty());
+
+        let mut slower = fake_report();
+        slower.tree_batch_ns_per_record = 999.0; // > 2x of 80
+        let complaints = regressions(&slower, &baseline, 2.0);
+        assert_eq!(complaints.len(), 1);
+        assert!(complaints[0].contains("tree_batch_ns_per_record"));
+
+        let mut slightly_slower = fake_report();
+        slightly_slower.tree_batch_ns_per_record = 120.0; // < 2x
+        assert!(regressions(&slightly_slower, &baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn bad_baselines_are_reported_not_ignored() {
+        let report = fake_report();
+        let complaints = regressions(&report, "{}", 2.0);
+        assert_eq!(complaints.len(), 1);
+        assert!(complaints[0].contains("not a"));
+    }
+
+    #[test]
+    fn smoke_run_produces_a_complete_positive_report() {
+        let report = run(&BenchOptions { smoke: true });
+        assert!(report.smoke);
+        assert!(report.threads >= 1);
+        assert_eq!(report.batch_records, 256);
+        assert!(report.corpus_bags >= 18);
+        for value in [
+            report.corpus_measure_serial_ms,
+            report.corpus_measure_parallel_ms,
+            report.train_tree_ms,
+            report.train_forest_ms,
+            report.loocv_serial_ms,
+            report.loocv_parallel_ms,
+            report.tree_single_ns_per_record,
+            report.tree_batch_ns_per_record,
+            report.forest_single_ns_per_record,
+            report.forest_batch_ns_per_record,
+        ] {
+            assert!(value > 0.0 && value.is_finite(), "{report:?}");
+        }
+        // The flattened batch walk must never be slower than per-record
+        // dispatch; the full acceptance threshold is checked on the real
+        // (non-smoke) run committed as BENCH_pipeline.json.
+        assert!(report.tree_batch_speedup > 1.0, "{report:?}");
+        assert!(report.forest_batch_speedup > 1.0, "{report:?}");
+        let rendered = report.render();
+        assert!(rendered.contains("LOOCV"));
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`paths`] | Figs. 10-12: decision-path analysis |
 //! | [`tables`] | Tables II-IV: benchmarks, machine configuration, features |
 //! | [`extensions`] | Studies beyond the paper: temporal vs spatial multiplexing, n-application bags, model comparison |
+//! | [`bench`] | `repro bench`: pipeline throughput harness (training, LOOCV, batch inference) |
 //!
 //! # Example
 //!
@@ -30,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod bench;
 mod context;
 pub mod extensions;
 pub mod paths;

@@ -6,6 +6,7 @@
 //! repro all
 //! repro --list
 //! repro serve [ADDR] [--models DIR]
+//! repro bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]
 //! ```
 //!
 //! Artifacts: `fig1` … `fig12`, `table2`, `table3`, `table4`,
@@ -13,9 +14,12 @@
 //! artifact list (one per line) without measuring anything. `serve` trains
 //! the pair + n-bag models (or loads snapshots from `--models DIR`) and
 //! answers the line protocol documented in `bagpred_serve::protocol` on
-//! `ADDR` (default `127.0.0.1:7878`).
+//! `ADDR` (default `127.0.0.1:7878`). `bench` runs the pipeline benchmark
+//! harness and writes `BENCH_pipeline.json`.
 
-use bagpred_experiments::{accuracy, extensions, paths, scaling, sensitivity, tables, Context};
+use bagpred_experiments::{
+    accuracy, bench, extensions, paths, scaling, sensitivity, tables, Context,
+};
 use bagpred_serve::{bootstrap, ModelRegistry, PredictionService, Server, ServiceConfig};
 use std::sync::Arc;
 
@@ -167,10 +171,102 @@ fn serve(args: &[String]) -> ! {
     }
 }
 
+/// `repro bench`: run the pipeline harness, write the JSON report, and
+/// optionally gate on a committed baseline.
+fn run_bench(args: &[String]) -> ! {
+    let mut options = bench::BenchOptions::default();
+    let mut json_stdout = false;
+    let mut out_path = std::path::PathBuf::from("BENCH_pipeline.json");
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut max_ratio = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--json" => json_stdout = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = std::path::PathBuf::from(path),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(path) => baseline = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --baseline needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--max-regression" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(ratio)) if ratio >= 1.0 => max_ratio = ratio,
+                _ => {
+                    eprintln!("error: --max-regression needs a ratio >= 1.0");
+                    std::process::exit(2);
+                }
+            },
+            flag => {
+                eprintln!("error: unknown bench flag `{flag}`");
+                eprintln!(
+                    "usage: repro bench [--smoke] [--json] [--out FILE] \
+                     [--baseline FILE] [--max-regression X]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "benchmarking the pipeline ({} mode, {} thread(s))...",
+        if options.smoke { "smoke" } else { "full" },
+        bagpred_core::parallel::configured_threads()
+    );
+    let report = bench::run(&options);
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        std::process::exit(2);
+    }
+    if json_stdout {
+        print!("{json}");
+    } else {
+        print!("{}", report.render());
+    }
+    eprintln!("report written to {}", out_path.display());
+
+    if let Some(baseline_path) = baseline {
+        let baseline_json = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "error: cannot read baseline {}: {e}",
+                    baseline_path.display()
+                );
+                std::process::exit(2);
+            }
+        };
+        let complaints = bench::regressions(&report, &baseline_json, max_ratio);
+        if !complaints.is_empty() {
+            for complaint in &complaints {
+                eprintln!("regression: {complaint}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "no rate regressed beyond {max_ratio}x of {}",
+            baseline_path.display()
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <artifact>... | all | --list | serve [ADDR] [--models DIR]");
+        eprintln!(
+            "usage: repro <artifact>... | all | --list | serve [ADDR] [--models DIR] | \
+             bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]"
+        );
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -186,6 +282,9 @@ fn main() {
 
     if args[0] == "serve" {
         serve(&args[1..]);
+    }
+    if args[0] == "bench" {
+        run_bench(&args[1..]);
     }
 
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {

@@ -1,0 +1,528 @@
+//! Flattened, array-based tree inference — the serving hot path.
+//!
+//! A fitted [`DecisionTreeRegressor`] stores `Box<TreeNode>` nodes scattered
+//! across the heap; every prediction pointer-chases one record at a time.
+//! [`FlatTree`] compiles the fitted structure into a struct-of-arrays
+//! layout: nodes live in contiguous `Vec`s in **pre-order**, so a node's
+//! left child is always the next index and only the right-child index is
+//! stored. Traversal touches four dense arrays instead of boxed enums, and
+//! [`FlatTree::predict_batch`] walks many records per tree with zero
+//! per-record allocation.
+//!
+//! Compilation preserves split features, thresholds and leaf values
+//! bit-for-bit, so flat predictions are **bit-identical** to the boxed
+//! tree's — the property tests at the bottom of this module prove it on
+//! random datasets.
+//!
+//! # Example
+//!
+//! ```
+//! use bagpred_ml::{Dataset, DecisionTreeRegressor, FlatTree, Regressor};
+//!
+//! let mut data = Dataset::new(vec!["x".into()])?;
+//! for i in 0..10 {
+//!     data.push(vec![i as f64], if i <= 5 { 1.0 } else { 9.0 })?;
+//! }
+//! let mut tree = DecisionTreeRegressor::new();
+//! tree.fit(&data)?;
+//! let flat = FlatTree::from_tree(&tree).expect("fitted");
+//! assert_eq!(flat.predict(&[3.0]).to_bits(), tree.predict(&[3.0]).to_bits());
+//! let batch = flat.predict_batch(&[&[3.0][..], &[8.0][..]]);
+//! assert_eq!(batch, vec![1.0, 9.0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::forest::RandomForestRegressor;
+use crate::tree::{DecisionTreeRegressor, TreeNode};
+
+/// Sentinel in the `feature` array marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// A fitted regression tree compiled to a contiguous, index-linked,
+/// struct-of-arrays representation.
+///
+/// Nodes are laid out in pre-order: node `i`'s left child is `i + 1`, and
+/// `right[i]` holds the right child's index. A leaf stores [`LEAF`] in its
+/// feature slot and its prediction in `value[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTree {
+    n_features: usize,
+    /// Split feature per node; `u32::MAX` marks a leaf.
+    feature: Vec<u32>,
+    /// Split threshold per node (0.0 and unused for leaves).
+    threshold: Vec<f64>,
+    /// Leaf prediction per node (0.0 and unused for splits).
+    value: Vec<f64>,
+    /// Right-child index per node (the left child is the next node).
+    right: Vec<u32>,
+}
+
+impl FlatTree {
+    /// Compiles a fitted boxed tree, or `None` when the tree is unfitted.
+    pub fn from_tree(tree: &DecisionTreeRegressor) -> Option<Self> {
+        let root = tree.root()?;
+        let mut flat = Self {
+            n_features: tree.n_features(),
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            value: Vec::new(),
+            right: Vec::new(),
+        };
+        flat.flatten(root);
+        Some(flat)
+    }
+
+    fn flatten(&mut self, node: &TreeNode) -> u32 {
+        let idx = self.feature.len() as u32;
+        match node {
+            TreeNode::Leaf { prediction, .. } => {
+                self.feature.push(LEAF);
+                self.threshold.push(0.0);
+                self.value.push(*prediction);
+                self.right.push(0);
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                assert!(
+                    *feature < LEAF as usize,
+                    "feature index exceeds the flat encoding"
+                );
+                self.feature.push(*feature as u32);
+                self.threshold.push(*threshold);
+                self.value.push(0.0);
+                self.right.push(0); // patched once the left subtree is laid out
+                self.flatten(left);
+                let r = self.flatten(right);
+                self.right[idx as usize] = r;
+            }
+        }
+        idx
+    }
+
+    /// Number of nodes in the compiled tree.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Dimensionality of the feature vectors the source tree was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Predicts one record. Bit-identical to the source tree's
+    /// [`predict`](crate::Regressor::predict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimension.
+    #[inline]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature vector has wrong dimension"
+        );
+        self.walk(features)
+    }
+
+    /// The traversal itself, without the dimension assert — shared with
+    /// [`FlatForest`], whose remapped trees read full-width rows.
+    #[inline]
+    fn walk(&self, features: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.value[i];
+            }
+            i = if features[f as usize] <= self.threshold[i] {
+                i + 1
+            } else {
+                self.right[i] as usize
+            };
+        }
+    }
+
+    /// Predicts every record of a batch, appending into `out` (which is
+    /// not cleared). No allocation happens per record.
+    pub fn predict_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        out.reserve(rows.len());
+        for row in rows {
+            out.push(self.predict(row));
+        }
+    }
+
+    /// Predicts every `width`-wide row of one contiguous feature buffer,
+    /// appending into `out`. Skipping the per-row `&[f64]` fat pointers
+    /// makes this the cheapest batch entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not the tree's feature dimension or `buf` is
+    /// not a whole number of rows.
+    pub fn predict_strided(&self, buf: &[f64], width: usize, out: &mut Vec<f64>) {
+        assert_eq!(width, self.n_features, "row width has wrong dimension");
+        assert_eq!(buf.len() % width.max(1), 0, "buffer is not whole rows");
+        out.reserve(buf.len() / width.max(1));
+        for row in buf.chunks_exact(width) {
+            out.push(self.walk(row));
+        }
+    }
+
+    /// Predicts every record of a batch.
+    pub fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_into(rows, &mut out);
+        out
+    }
+
+    /// The distinct feature indices the compiled tree splits on, sorted
+    /// ascending. A caller can materialize only these row columns and
+    /// renumber via [`remap_features`](Self::remap_features).
+    pub fn used_features(&self) -> Vec<u32> {
+        let mut used: Vec<u32> = self
+            .feature
+            .iter()
+            .copied()
+            .filter(|&f| f != LEAF)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        used
+    }
+
+    /// Renumbers every split feature through `map` (indexed by the old
+    /// feature id) and declares `new_width` as the expected row width.
+    ///
+    /// The walk compares the same values against the same thresholds, so
+    /// predictions stay bit-identical as long as the caller's rows really
+    /// do carry the old column `f` at new column `map[f]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is missing an entry for a used feature or maps one
+    /// at or beyond `new_width`.
+    pub fn remap_features(&mut self, map: &[u32], new_width: usize) {
+        for f in &mut self.feature {
+            if *f != LEAF {
+                let to = map[*f as usize];
+                assert!(
+                    (to as usize) < new_width,
+                    "remapped feature exceeds row width"
+                );
+                *f = to;
+            }
+        }
+        self.n_features = new_width;
+    }
+}
+
+/// A fitted random forest compiled to flat trees whose split-feature
+/// indices are **remapped into full-row space** at compile time.
+///
+/// Each boxed forest tree is fitted on a projected feature subset, so the
+/// boxed walk must first copy the subset out of the row — one `Vec`
+/// allocation per tree per record. Remapping node `feature` indices
+/// through the subset (`subset[f]`) lets the flat walk read the full row
+/// directly: no projection, no scratch, no allocation anywhere on the
+/// batch path. The same values meet the same thresholds in the same
+/// order, so predictions are bit-identical to the boxed forest's (same
+/// tree order, same summation order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatForest {
+    trees: Vec<FlatTree>,
+    /// Minimum row width a prediction needs: the highest remapped feature
+    /// index + 1 (the boxed forest indexes rows identically).
+    min_width: usize,
+}
+
+impl FlatForest {
+    /// Compiles a fitted boxed forest, or `None` when unfitted.
+    pub fn from_forest(forest: &RandomForestRegressor) -> Option<Self> {
+        let fitted = forest.fitted_trees();
+        if fitted.is_empty() {
+            return None;
+        }
+        let mut min_width = 0usize;
+        let trees: Vec<FlatTree> = fitted
+            .iter()
+            .map(|(tree, subset)| {
+                let mut flat = FlatTree::from_tree(tree).expect("fitted forests hold fitted trees");
+                for f in &mut flat.feature {
+                    if *f != LEAF {
+                        let remapped = subset[*f as usize];
+                        assert!(remapped < LEAF as usize, "feature index exceeds encoding");
+                        *f = remapped as u32;
+                        min_width = min_width.max(remapped + 1);
+                    }
+                }
+                flat.n_features = 0; // subset-space width is meaningless now
+                flat
+            })
+            .collect();
+        Some(Self { trees, min_width })
+    }
+
+    /// Number of compiled trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Predicts one record. Bit-identical to the boxed forest's
+    /// [`predict`](crate::Regressor::predict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is narrower than any split feature needs.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert!(
+            features.len() >= self.min_width,
+            "feature vector has wrong dimension"
+        );
+        let mut sum = 0.0;
+        for tree in &self.trees {
+            sum += tree.walk(features);
+        }
+        sum / self.trees.len() as f64
+    }
+
+    /// Predicts every record of a batch, appending into `out`. No
+    /// allocation happens per record (or per tree).
+    ///
+    /// Traversal is **tree-major**: each tree walks the whole batch while
+    /// its node arrays sit hot in cache, instead of re-faulting all trees
+    /// in for every record. Each record still accumulates tree predictions
+    /// in tree order, so the sums carry the exact bits of the record-major
+    /// (and boxed) walk.
+    pub fn predict_into(&self, rows: &[&[f64]], out: &mut Vec<f64>) {
+        let base = out.len();
+        out.resize(base + rows.len(), 0.0);
+        for tree in &self.trees {
+            for (slot, row) in out[base..].iter_mut().zip(rows) {
+                debug_assert!(row.len() >= self.min_width);
+                *slot += tree.walk(row);
+            }
+        }
+        let n = self.trees.len() as f64;
+        for slot in &mut out[base..] {
+            *slot /= n;
+        }
+    }
+
+    /// Predicts every `width`-wide row of one contiguous feature buffer,
+    /// appending into `out`. Tree-major like
+    /// [`predict_into`](Self::predict_into), minus the per-row fat
+    /// pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is narrower than a split feature needs or `buf`
+    /// is not a whole number of rows.
+    pub fn predict_strided(&self, buf: &[f64], width: usize, out: &mut Vec<f64>) {
+        assert!(width >= self.min_width, "row width has wrong dimension");
+        assert!(width > 0, "rows must hold at least one feature");
+        assert_eq!(buf.len() % width, 0, "buffer is not whole rows");
+        let base = out.len();
+        out.resize(base + buf.len() / width, 0.0);
+        let slots = &mut out[base..];
+        for tree in &self.trees {
+            for (slot, row) in slots.iter_mut().zip(buf.chunks_exact(width)) {
+                *slot += tree.walk(row);
+            }
+        }
+        let n = self.trees.len() as f64;
+        for slot in &mut out[base..] {
+            *slot /= n;
+        }
+    }
+
+    /// Predicts every record of a batch.
+    pub fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_into(rows, &mut out);
+        out
+    }
+
+    /// The distinct full-row feature indices any compiled tree splits on,
+    /// sorted ascending — the forest-wide analogue of
+    /// [`FlatTree::used_features`].
+    pub fn used_features(&self) -> Vec<u32> {
+        let mut used: Vec<u32> = self
+            .trees
+            .iter()
+            .flat_map(|t| t.feature.iter().copied())
+            .filter(|&f| f != LEAF)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        used
+    }
+
+    /// Renumbers every split feature of every tree through `map` (indexed
+    /// by the old feature id) and recomputes the minimum row width.
+    ///
+    /// Same bit-identity contract as [`FlatTree::remap_features`]: rows
+    /// must carry the old column `f` at new column `map[f]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is missing an entry for a used feature or maps one
+    /// at or beyond `new_width`.
+    pub fn remap_features(&mut self, map: &[u32], new_width: usize) {
+        let mut min_width = 0usize;
+        for tree in &mut self.trees {
+            for f in &mut tree.feature {
+                if *f != LEAF {
+                    let to = map[*f as usize];
+                    assert!(
+                        (to as usize) < new_width,
+                        "remapped feature exceeds row width"
+                    );
+                    *f = to;
+                    min_width = min_width.max(to as usize + 1);
+                }
+            }
+        }
+        self.min_width = min_width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::Regressor;
+    use proptest::prelude::*;
+
+    fn step_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "noise".into()]).unwrap();
+        for i in 0..20 {
+            let y = if i < 10 { 5.0 } else { 50.0 };
+            d.push(vec![i as f64, (i % 3) as f64], y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn unfitted_models_do_not_compile() {
+        assert!(FlatTree::from_tree(&DecisionTreeRegressor::new()).is_none());
+        assert!(FlatForest::from_forest(&RandomForestRegressor::new()).is_none());
+    }
+
+    #[test]
+    fn flat_tree_matches_boxed_on_step_function() {
+        let mut tree = DecisionTreeRegressor::new();
+        tree.fit(&step_dataset()).unwrap();
+        let flat = FlatTree::from_tree(&tree).unwrap();
+        assert_eq!(flat.n_features(), 2);
+        assert_eq!(flat.n_nodes(), 2 * tree.n_leaves() - 1);
+        for i in 0..20 {
+            let row = [i as f64, (i % 3) as f64];
+            assert_eq!(flat.predict(&row).to_bits(), tree.predict(&row).to_bits());
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        d.push(vec![1.0], 42.0).unwrap();
+        let mut tree = DecisionTreeRegressor::new();
+        tree.fit(&d).unwrap();
+        let flat = FlatTree::from_tree(&tree).unwrap();
+        assert_eq!(flat.n_nodes(), 1);
+        assert_eq!(flat.predict(&[0.0]), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn flat_predict_checks_dimension() {
+        let mut tree = DecisionTreeRegressor::new();
+        tree.fit(&step_dataset()).unwrap();
+        FlatTree::from_tree(&tree).unwrap().predict(&[1.0]);
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_record() {
+        let mut tree = DecisionTreeRegressor::new();
+        tree.fit(&step_dataset()).unwrap();
+        let flat = FlatTree::from_tree(&tree).unwrap();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let batch = flat.predict_batch(&refs);
+        assert_eq!(batch.len(), rows.len());
+        for (row, y) in refs.iter().zip(&batch) {
+            assert_eq!(y.to_bits(), flat.predict(row).to_bits());
+        }
+    }
+
+    fn random_dataset(targets: &[f64], n_features: usize) -> Dataset {
+        let names: Vec<String> = (0..n_features).map(|f| format!("f{f}")).collect();
+        let mut d = Dataset::new(names).unwrap();
+        let mut rng = bagpred_trace::SplitMix64::new(targets.len() as u64 ^ 0xf1a7);
+        for &t in targets {
+            let row: Vec<f64> = (0..n_features)
+                .map(|_| rng.next_range(-10.0, 10.0))
+                .collect();
+            d.push(row, t).unwrap();
+        }
+        d
+    }
+
+    proptest! {
+        #[test]
+        fn flat_tree_is_bit_identical_on_random_data(
+            targets in proptest::collection::vec(-100.0f64..100.0, 2..48),
+            queries in proptest::collection::vec(-15.0f64..15.0, 3..30),
+        ) {
+            let data = random_dataset(&targets, 3);
+            let mut tree = DecisionTreeRegressor::new().with_max_depth(16);
+            tree.fit(&data).unwrap();
+            let flat = FlatTree::from_tree(&tree).unwrap();
+
+            // Every training row and every random query routes to the same
+            // leaf bit-for-bit.
+            for s in data.samples() {
+                prop_assert_eq!(
+                    flat.predict(s.features()).to_bits(),
+                    tree.predict(s.features()).to_bits()
+                );
+            }
+            let rows: Vec<Vec<f64>> = queries
+                .chunks_exact(3)
+                .map(|c| c.to_vec())
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let batch = flat.predict_batch(&refs);
+            for (row, y) in refs.iter().zip(&batch) {
+                prop_assert_eq!(y.to_bits(), tree.predict(row).to_bits());
+            }
+        }
+
+        #[test]
+        fn flat_forest_is_bit_identical_on_random_data(
+            targets in proptest::collection::vec(-50.0f64..50.0, 6..40),
+            seed in 0u64..1_000,
+        ) {
+            let data = random_dataset(&targets, 4);
+            let mut forest = RandomForestRegressor::new()
+                .with_n_trees(7)
+                .with_seed(seed);
+            forest.fit(&data).unwrap();
+            let flat = FlatForest::from_forest(&forest).unwrap();
+            prop_assert_eq!(flat.n_trees(), forest.n_fitted_trees());
+
+            let rows: Vec<&[f64]> =
+                data.samples().iter().map(|s| s.features()).collect();
+            let batch = flat.predict_batch(&rows);
+            for (row, y) in rows.iter().zip(&batch) {
+                prop_assert_eq!(y.to_bits(), forest.predict(row).to_bits());
+                prop_assert_eq!(y.to_bits(), flat.predict(row).to_bits());
+            }
+        }
+    }
+}

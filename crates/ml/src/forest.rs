@@ -110,6 +110,12 @@ impl RandomForestRegressor {
         self.trees.len()
     }
 
+    /// The fitted trees with their feature-subset indices (empty before
+    /// fitting). This is what [`crate::FlatForest`] compiles from.
+    pub fn fitted_trees(&self) -> &[(DecisionTreeRegressor, Vec<usize>)] {
+        &self.trees
+    }
+
     /// Serializes the forest as the line-based text of [`crate::codec`]:
     /// a `forest` header, then per fitted tree a `features` line (the
     /// feature-subset indices that tree was trained on) followed by the

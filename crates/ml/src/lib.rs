@@ -48,6 +48,7 @@
 pub mod codec;
 mod dataset;
 mod error;
+mod flat;
 mod forest;
 pub mod introspect;
 mod linear;
@@ -60,6 +61,7 @@ pub mod validation;
 pub use codec::CodecError;
 pub use dataset::{Dataset, Sample};
 pub use error::{DatasetError, FitError};
+pub use flat::{FlatForest, FlatTree};
 pub use forest::RandomForestRegressor;
 pub use linear::LinearRegression;
 pub use svr::{SvrKernel, SvrRegressor};
@@ -86,6 +88,15 @@ pub trait Regressor {
     /// Implementations may panic if the model has not been fitted or if the
     /// feature vector has the wrong dimension; see each model's docs.
     fn predict(&self, features: &[f64]) -> f64;
+
+    /// Predicts targets for a batch of feature vectors.
+    ///
+    /// The default walks records one at a time; tree-backed callers should
+    /// compile a [`FlatTree`]/[`FlatForest`] once after fitting and use its
+    /// allocation-free batch walk instead.
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        rows.iter().map(|row| self.predict(row)).collect()
+    }
 
     /// Predicts targets for every sample of a dataset.
     fn predict_all(&self, dataset: &Dataset) -> Vec<f64> {

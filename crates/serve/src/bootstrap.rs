@@ -36,10 +36,8 @@ pub fn train_pair(platforms: &Platforms) -> Predictor {
 
 /// Trains the n-bag predictor on the deterministic n-bag corpus.
 pub fn train_nbag(platforms: &Platforms) -> NBagPredictor {
-    let records: Vec<NBagMeasurement> = nbag_corpus(NBAG_EXTRA)
-        .into_iter()
-        .map(|bag| NBagMeasurement::collect(bag, platforms))
-        .collect();
+    let records: Vec<NBagMeasurement> =
+        bagpred_core::nbag::measure_nbags(&nbag_corpus(NBAG_EXTRA), platforms);
     let mut predictor = NBagPredictor::new();
     predictor.train(&records);
     predictor
@@ -47,9 +45,23 @@ pub fn train_nbag(platforms: &Platforms) -> NBagPredictor {
 
 /// Trains both models and returns a registry holding them as
 /// [`PAIR_MODEL`] and [`NBAG_MODEL`].
+///
+/// The two models are independent, so a cold boot trains them on two
+/// scoped threads (each one's corpus measurement additionally fans out
+/// over `BAGPRED_THREADS` workers — see [`bagpred_core::parallel`]).
+/// Training is deterministic, so the registry contents are identical to
+/// a serial boot.
 pub fn default_registry(platforms: &Platforms) -> Arc<ModelRegistry> {
     let registry = Arc::new(ModelRegistry::new());
-    registry.insert(PAIR_MODEL, ServableModel::Pair(train_pair(platforms)));
-    registry.insert(NBAG_MODEL, ServableModel::NBag(train_nbag(platforms)));
+    let (pair, nbag) = std::thread::scope(|scope| {
+        let pair = scope.spawn(|| train_pair(platforms));
+        let nbag = scope.spawn(|| train_nbag(platforms));
+        (
+            pair.join().expect("pair training panicked"),
+            nbag.join().expect("n-bag training panicked"),
+        )
+    });
+    registry.insert(PAIR_MODEL, ServableModel::Pair(pair));
+    registry.insert(NBAG_MODEL, ServableModel::NBag(nbag));
     registry
 }

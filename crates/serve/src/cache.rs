@@ -1,4 +1,4 @@
-//! Feature cache for the serving fast path.
+//! Feature cache for the serving fast path, with an LRU capacity bound.
 //!
 //! Collecting features for a prediction request means simulating the
 //! workload on the CPU and GPU models — cheap next to the ground-truth
@@ -7,15 +7,101 @@
 //! `(benchmark, batch_size)`, i.e. [`Workload`]) or of the bag (fairness
 //! and n-bag aggregates key on the canonicalized bag), so the cache can
 //! return bit-identical values forever.
+//!
+//! The n-bag key space is combinatorial (any multiset of up to four
+//! workloads), so a long-lived service cannot let the maps grow without
+//! bound. Each map is therefore capped at a configurable capacity and
+//! evicts its least-recently-used entry on overflow; evictions only cost
+//! a recomputation later, never correctness.
 
 use bagpred_core::nbag::{NBag, NBagMeasurement};
 use bagpred_core::{AppFeatures, Bag, Measurement, Platforms};
 use bagpred_workloads::Workload;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 
-/// Thread-safe cache of collected features.
+/// A `Mutex`-guarded hash map with least-recently-used eviction.
+///
+/// Recency is a monotonic stamp bumped on every hit and insert; eviction
+/// scans for the minimum stamp, which is O(capacity) but runs only when
+/// the map is full and capacities are small (hundreds to thousands). A
+/// `Mutex` rather than an `RwLock` because even a read must update the
+/// recency stamp.
+#[derive(Debug)]
+struct LruMap<K, V> {
+    state: Mutex<LruState<K, V>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct LruState<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
+    /// `capacity == 0` means unbounded.
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(LruState {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&self, key: &K) -> Option<V> {
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.clock += 1;
+        let clock = state.clock;
+        state.entries.get_mut(key).map(|(value, stamp)| {
+            *stamp = clock;
+            value.clone()
+        })
+    }
+
+    /// Inserts `value` unless `key` is already present (first writer wins,
+    /// so every caller sees one canonical value — values are identical
+    /// anyway: collection is deterministic). Returns the canonical value
+    /// and whether an older entry was evicted to make room.
+    fn insert(&self, key: K, value: V) -> (V, bool) {
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.clock += 1;
+        let clock = state.clock;
+        if let Some((existing, stamp)) = state.entries.get_mut(&key) {
+            *stamp = clock;
+            return (existing.clone(), false);
+        }
+        let mut evicted = false;
+        if self.capacity > 0 && state.entries.len() >= self.capacity {
+            if let Some(oldest) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                state.entries.remove(&oldest);
+                evicted = true;
+            }
+        }
+        state.entries.insert(key, (value.clone(), clock));
+        (value, evicted)
+    }
+
+    fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
+    }
+}
+
+/// Thread-safe, LRU-bounded cache of collected features.
 ///
 /// Three maps, one per cacheable quantity:
 ///
@@ -23,20 +109,49 @@ use std::sync::{Arc, RwLock};
 /// * pair-bag fairness, keyed by [`Bag`];
 /// * n-bag aggregate measurements, keyed by [`NBag`].
 ///
-/// Hit/miss counters feed the `stats` command.
-#[derive(Debug, Default)]
+/// Each map holds at most [`capacity`](Self::capacity) entries (0 =
+/// unbounded) and evicts least-recently-used on overflow. Hit, miss and
+/// eviction counters feed the `stats` command.
+#[derive(Debug)]
 pub struct FeatureCache {
-    apps: RwLock<HashMap<Workload, Arc<AppFeatures>>>,
-    fairness: RwLock<HashMap<Bag, f64>>,
-    nbags: RwLock<HashMap<NBag, Arc<NBagMeasurement>>>,
+    apps: LruMap<Workload, Arc<AppFeatures>>,
+    fairness: LruMap<Bag, f64>,
+    nbags: LruMap<NBag, Arc<NBagMeasurement>>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for FeatureCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FeatureCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(0)
+    }
+
+    /// An empty cache bounding **each** of the three maps at `capacity`
+    /// entries; `0` means unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            apps: LruMap::new(capacity),
+            fairness: LruMap::new(capacity),
+            nbags: LruMap::new(capacity),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-map entry bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     fn record(&self, hit: bool) {
@@ -47,46 +162,37 @@ impl FeatureCache {
         }
     }
 
+    fn record_eviction(&self, evicted: bool) {
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Per-app features for `workload`, computed on first use.
     pub fn app_features(&self, workload: Workload, platforms: &Platforms) -> Arc<AppFeatures> {
-        if let Some(hit) = self
-            .apps
-            .read()
-            .expect("cache lock poisoned")
-            .get(&workload)
-            .cloned()
-        {
+        if let Some(hit) = self.apps.get(&workload) {
             self.record(true);
             return hit;
         }
         self.record(false);
+        // Compute outside the lock: simulation is the expensive part.
         let computed = Arc::new(AppFeatures::collect(&workload, platforms));
-        // A racing thread may have inserted meanwhile; keep the first value
-        // so every caller sees one canonical Arc (values are identical
-        // anyway: collection is deterministic).
-        Arc::clone(
-            self.apps
-                .write()
-                .expect("cache lock poisoned")
-                .entry(workload)
-                .or_insert(computed),
-        )
+        let (value, evicted) = self.apps.insert(workload, computed);
+        self.record_eviction(evicted);
+        value
     }
 
     /// Fairness of `bag`'s multicore co-run, computed on first use.
     pub fn fairness(&self, bag: Bag, platforms: &Platforms) -> f64 {
-        if let Some(&hit) = self.fairness.read().expect("cache lock poisoned").get(&bag) {
+        if let Some(hit) = self.fairness.get(&bag) {
             self.record(true);
             return hit;
         }
         self.record(false);
         let computed = Measurement::collect_fairness(&bag, platforms);
-        *self
-            .fairness
-            .write()
-            .expect("cache lock poisoned")
-            .entry(bag)
-            .or_insert(computed)
+        let (value, evicted) = self.fairness.insert(bag, computed);
+        self.record_eviction(evicted);
+        value
     }
 
     /// A ground-truth-free [`Measurement`] for a two-app bag, assembled
@@ -104,25 +210,15 @@ impl FeatureCache {
 
     /// A ground-truth-free [`NBagMeasurement`], computed on first use.
     pub fn nbag_measurement(&self, bag: &NBag, platforms: &Platforms) -> Arc<NBagMeasurement> {
-        if let Some(hit) = self
-            .nbags
-            .read()
-            .expect("cache lock poisoned")
-            .get(bag)
-            .cloned()
-        {
+        if let Some(hit) = self.nbags.get(bag) {
             self.record(true);
             return hit;
         }
         self.record(false);
         let computed = Arc::new(NBagMeasurement::collect_unlabeled(bag.clone(), platforms));
-        Arc::clone(
-            self.nbags
-                .write()
-                .expect("cache lock poisoned")
-                .entry(bag.clone())
-                .or_insert(computed),
-        )
+        let (value, evicted) = self.nbags.insert(bag.clone(), computed);
+        self.record_eviction(evicted);
+        value
     }
 
     /// Lookups answered from the cache.
@@ -133,6 +229,11 @@ impl FeatureCache {
     /// Lookups that had to compute.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups answered from the cache (0 when idle).
@@ -148,9 +249,7 @@ impl FeatureCache {
 
     /// Number of cached entries across all three maps.
     pub fn len(&self) -> usize {
-        self.apps.read().expect("cache lock poisoned").len()
-            + self.fairness.read().expect("cache lock poisoned").len()
-            + self.nbags.read().expect("cache lock poisoned").len()
+        self.apps.len() + self.fairness.len() + self.nbags.len()
     }
 
     /// True when nothing is cached yet.
@@ -261,5 +360,62 @@ mod tests {
         let misses = cache.misses();
         cache.nbag_measurement(&bag, &platforms);
         assert_eq!(cache.misses(), misses);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        assert_eq!(cache.capacity(), 0);
+        for bench in Benchmark::ALL {
+            for batch in [10, 20, 40, 80] {
+                cache.app_features(Workload::new(bench, batch), &platforms);
+            }
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 36);
+    }
+
+    #[test]
+    fn bounded_cache_respects_capacity() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::with_capacity(3);
+        for bench in Benchmark::ALL {
+            cache.app_features(Workload::new(bench, 20), &platforms);
+        }
+        assert!(cache.len() <= 3, "len {} exceeds capacity", cache.len());
+        assert_eq!(cache.evictions(), 6);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::with_capacity(2);
+        let a = Workload::new(Benchmark::Sift, 20);
+        let b = Workload::new(Benchmark::Knn, 20);
+        let c = Workload::new(Benchmark::Hog, 20);
+        cache.app_features(a, &platforms); // {a}
+        cache.app_features(b, &platforms); // {a, b}
+        cache.app_features(a, &platforms); // hit: a becomes most recent
+        cache.app_features(c, &platforms); // evicts b, the LRU entry
+        assert_eq!(cache.evictions(), 1);
+
+        let misses = cache.misses();
+        cache.app_features(a, &platforms);
+        assert_eq!(cache.misses(), misses, "recently used entry survived");
+        cache.app_features(b, &platforms);
+        assert_eq!(cache.misses(), misses + 1, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn evicted_entries_recompute_bit_identically() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::with_capacity(1);
+        let a = Workload::new(Benchmark::Surf, 40);
+        let b = Workload::new(Benchmark::Orb, 40);
+        let first = cache.app_features(a, &platforms);
+        cache.app_features(b, &platforms); // evicts a
+        let again = cache.app_features(a, &platforms); // recomputed
+        assert_eq!(*first, *again);
     }
 }

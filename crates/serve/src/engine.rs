@@ -14,8 +14,8 @@ use crate::cache::FeatureCache;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::snapshot::{ModelRegistry, ServableModel};
-use bagpred_core::nbag::{NBag, MAX_BAG};
-use bagpred_core::{Bag, Platforms};
+use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
+use bagpred_core::{Bag, Measurement, Platforms};
 use bagpred_workloads::Workload;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,8 +30,12 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Maximum queued (not yet picked up) requests before shedding.
     pub queue_capacity: usize,
-    /// Maximum requests one worker takes per lock acquisition.
+    /// Maximum requests one worker takes per lock acquisition — also the
+    /// upper bound on one semantic `predict_batch` call.
     pub batch_size: usize,
+    /// Per-map entry bound of the feature cache (LRU eviction on
+    /// overflow); `0` disables the bound.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +44,10 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 64,
             batch_size: 8,
+            // Generous next to the pair key space (9 benchmarks × a few
+            // batch sizes) but finite, so adversarial n-bag traffic with
+            // fresh batch sizes cannot grow the maps without bound.
+            cache_capacity: 4096,
         }
     }
 }
@@ -102,6 +110,8 @@ pub struct StatsReport {
     pub cache_hit_rate: f64,
     /// Entries across all cache maps.
     pub cache_entries: usize,
+    /// Entries evicted to respect the cache capacity bound.
+    pub cache_evictions: u64,
     /// Registered models.
     pub models: usize,
     /// Requests queued but not yet picked up at snapshot time.
@@ -163,7 +173,7 @@ impl PredictionService {
         let inner = Arc::new(Inner {
             registry,
             platforms,
-            cache: FeatureCache::new(),
+            cache: FeatureCache::with_capacity(config.cache_capacity),
             metrics: Metrics::new(),
             config: config.clone(),
             queue: Mutex::new(VecDeque::new()),
@@ -266,13 +276,90 @@ fn worker_loop(inner: &Inner) {
             let take = queue.len().min(inner.config.batch_size);
             queue.drain(..take).collect::<Vec<Job>>()
         };
-        for job in batch {
+        process_batch(inner, batch);
+    }
+}
+
+/// Completes one job: records metrics and sends the outcome.
+fn finish(inner: &Inner, job: Job, outcome: Outcome) {
+    inner
+        .metrics
+        .on_done(outcome.is_ok(), job.enqueued.elapsed());
+    // A submitter that dropped its receiver no longer cares.
+    let _ = job.tx.send(outcome);
+}
+
+/// Processes one drained batch with **semantic** batching: every predict
+/// job resolves its model and collects features up front, the jobs are
+/// grouped by the model that will serve them, and each group is answered
+/// by a single `predict_batch` call over the compiled flat model — one
+/// tree-walk loop per group instead of one full dispatch per request.
+/// Non-predict requests and failed preparations complete individually.
+/// Predictions are bit-identical to the per-request path.
+fn process_batch(inner: &Inner, jobs: Vec<Job>) {
+    let mut pair_groups: Vec<(String, Arc<ServableModel>, Vec<Job>, Vec<Measurement>)> = Vec::new();
+    let mut nbag_groups: Vec<(String, Arc<ServableModel>, Vec<Job>, Vec<NBagMeasurement>)> =
+        Vec::new();
+
+    for job in jobs {
+        let Request::Predict { model, apps } = &job.request else {
             let outcome = process(inner, &job.request);
-            inner
-                .metrics
-                .on_done(outcome.is_ok(), job.enqueued.elapsed());
-            // A submitter that dropped its receiver no longer cares.
-            let _ = job.tx.send(outcome);
+            finish(inner, job, outcome);
+            continue;
+        };
+        match prepare_predict(inner, model, apps) {
+            Ok((name, model, PreparedRecord::Pair(record))) => {
+                match pair_groups.iter_mut().find(|(n, _, _, _)| *n == name) {
+                    Some((_, _, jobs, records)) => {
+                        jobs.push(job);
+                        records.push(record);
+                    }
+                    None => pair_groups.push((name, model, vec![job], vec![record])),
+                }
+            }
+            Ok((name, model, PreparedRecord::NBag(record))) => {
+                match nbag_groups.iter_mut().find(|(n, _, _, _)| *n == name) {
+                    Some((_, _, jobs, records)) => {
+                        jobs.push(job);
+                        records.push((*record).clone());
+                    }
+                    None => nbag_groups.push((name, model, vec![job], vec![(*record).clone()])),
+                }
+            }
+            Err(err) => finish(inner, job, Err(err)),
+        }
+    }
+
+    for (name, model, jobs, records) in pair_groups {
+        let ServableModel::Pair(p) = &*model else {
+            unreachable!("pair groups only hold pair models");
+        };
+        let predictions = p.predict_batch(&records);
+        for (job, predicted_s) in jobs.into_iter().zip(predictions) {
+            finish(
+                inner,
+                job,
+                Ok(Reply::Prediction {
+                    model: name.clone(),
+                    predicted_s,
+                }),
+            );
+        }
+    }
+    for (name, model, jobs, records) in nbag_groups {
+        let ServableModel::NBag(p) = &*model else {
+            unreachable!("n-bag groups only hold n-bag models");
+        };
+        let predictions = p.predict_batch(&records);
+        for (job, predicted_s) in jobs.into_iter().zip(predictions) {
+            finish(
+                inner,
+                job,
+                Ok(Reply::Prediction {
+                    model: name.clone(),
+                    predicted_s,
+                }),
+            );
         }
     }
 }
@@ -316,7 +403,21 @@ fn resolve_model(
     })
 }
 
-fn predict(inner: &Inner, model: &Option<String>, apps: &[Workload]) -> Result<Reply, ServeError> {
+/// The features one predict job needs, collected (through the cache)
+/// before its group's `predict_batch` call.
+enum PreparedRecord {
+    Pair(Measurement),
+    NBag(Arc<NBagMeasurement>),
+}
+
+/// Validates a predict request, resolves its model, and collects its
+/// features — everything except the model walk itself, which
+/// [`process_batch`] performs once per model group.
+fn prepare_predict(
+    inner: &Inner,
+    model: &Option<String>,
+    apps: &[Workload],
+) -> Result<(String, Arc<ServableModel>, PreparedRecord), ServeError> {
     if !(2..=MAX_BAG).contains(&apps.len()) {
         return Err(ServeError::BadRequest(format!(
             "a bag holds 2..={MAX_BAG} apps, got {}",
@@ -324,34 +425,42 @@ fn predict(inner: &Inner, model: &Option<String>, apps: &[Workload]) -> Result<R
         )));
     }
     let (name, model) = resolve_model(&inner.registry, model, apps.len())?;
-    let predicted_s = match &*model {
-        ServableModel::Pair(p) => {
+    let record = match &*model {
+        ServableModel::Pair(_) => {
             if apps.len() != 2 {
                 return Err(ServeError::Unsupported(format!(
                     "model `{name}` is a pair model; it cannot predict a {}-app bag",
                     apps.len()
                 )));
             }
-            let record = inner
-                .cache
-                .pair_measurement(Bag::pair(apps[0], apps[1]), &inner.platforms);
-            p.predict(&record)
+            PreparedRecord::Pair(
+                inner
+                    .cache
+                    .pair_measurement(Bag::pair(apps[0], apps[1]), &inner.platforms),
+            )
         }
-        ServableModel::NBag(p) => {
+        ServableModel::NBag(_) => {
             let bag = NBag::new(apps.to_vec());
-            let record = inner.cache.nbag_measurement(&bag, &inner.platforms);
-            p.predict(&record)
+            PreparedRecord::NBag(inner.cache.nbag_measurement(&bag, &inner.platforms))
         }
     };
-    Ok(Reply::Prediction {
-        model: name,
-        predicted_s,
-    })
+    Ok((name, model, record))
 }
 
 fn process(inner: &Inner, request: &Request) -> Outcome {
     match request {
-        Request::Predict { model, apps } => predict(inner, model, apps),
+        Request::Predict { model, apps } => {
+            let (name, model, record) = prepare_predict(inner, model, apps)?;
+            let predicted_s = match (&*model, &record) {
+                (ServableModel::Pair(p), PreparedRecord::Pair(m)) => p.predict(m),
+                (ServableModel::NBag(p), PreparedRecord::NBag(m)) => p.predict(m),
+                _ => unreachable!("record kind always matches model kind"),
+            };
+            Ok(Reply::Prediction {
+                model: name,
+                predicted_s,
+            })
+        }
         Request::Schedule {
             model,
             gpus,
@@ -388,6 +497,7 @@ fn process(inner: &Inner, request: &Request) -> Outcome {
                 cache_misses: inner.cache.misses(),
                 cache_hit_rate: inner.cache.hit_rate(),
                 cache_entries: inner.cache.len(),
+                cache_evictions: inner.cache.evictions(),
                 models: inner.registry.len(),
                 queue_depth,
                 workers: inner.config.workers,
@@ -549,6 +659,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 batch_size: 1,
+                cache_capacity: 0,
             },
         );
         // Flood the single worker with cold requests: every bag uses a

@@ -140,6 +140,7 @@ fn format_stats(s: &StatsReport) -> String {
     format!(
         "requests={} ok={} err={} shed={} queue_depth={} workers={} models={} \
          cache_hits={} cache_misses={} cache_hit_rate={:.4} cache_entries={} \
+         cache_evictions={} \
          latency_samples={} latency_us_min={} latency_us_mean={:.1} \
          latency_us_p95={} latency_us_max={}",
         m.received,
@@ -153,6 +154,7 @@ fn format_stats(s: &StatsReport) -> String {
         s.cache_misses,
         s.cache_hit_rate,
         s.cache_entries,
+        s.cache_evictions,
         m.latency_samples,
         m.latency_us_min,
         m.latency_us_mean,

@@ -26,4 +26,27 @@ cargo fmt --all --check
 echo "== serving integration (bounded at 300s) =="
 timeout 300 cargo test -q --test serving
 
+echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
+# Few-iteration smoke run; `repro bench` exits non-zero when any
+# *_ns_per_record rate regresses past 2x the committed baseline.
+smoke_json="$(mktemp /tmp/bagpred_bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_json"' EXIT
+./target/release/repro bench --smoke --out "$smoke_json" \
+  --baseline BENCH_pipeline.json --max-regression 2.0
+for key in schema smoke threads corpus_bags batch_records \
+  corpus_measure_serial_ms corpus_measure_parallel_ms \
+  train_tree_ms train_forest_ms \
+  loocv_serial_ms loocv_parallel_ms loocv_speedup \
+  tree_single_ns_per_record tree_batch_ns_per_record tree_batch_speedup \
+  forest_single_ns_per_record forest_batch_ns_per_record forest_batch_speedup; do
+  grep -q "\"$key\"" "$smoke_json" || {
+    echo "bench report is missing key: $key" >&2
+    exit 1
+  }
+done
+grep -q '"schema": "bagpred-bench-v1"' "$smoke_json" || {
+  echo "bench report has the wrong schema tag" >&2
+  exit 1
+}
+
 echo "verify: OK"
