@@ -36,17 +36,11 @@ pub const RATE_KEYS: [&str; 4] = [
 ];
 
 /// Harness knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BenchOptions {
     /// Shrinks the corpus, batch and repetition counts so the harness
     /// finishes in seconds — the mode `scripts/verify.sh` runs.
     pub smoke: bool,
-}
-
-impl Default for BenchOptions {
-    fn default() -> Self {
-        Self { smoke: false }
-    }
 }
 
 /// Every measured number, plus the context needed to interpret it.

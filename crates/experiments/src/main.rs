@@ -5,7 +5,7 @@
 //! repro <artifact>...
 //! repro all
 //! repro --list
-//! repro serve [ADDR] [--models DIR]
+//! repro serve [ADDR] [--models DIR] [--read-timeout-ms MS]
 //! repro bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]
 //! ```
 //!
@@ -20,7 +20,7 @@
 use bagpred_experiments::{
     accuracy, bench, extensions, paths, scaling, sensitivity, tables, Context,
 };
-use bagpred_serve::{bootstrap, ModelRegistry, PredictionService, Server, ServiceConfig};
+use bagpred_serve::{bootstrap, PredictionService, Server, ServerConfig, ServiceConfig};
 use std::sync::Arc;
 
 const ARTIFACTS: [&str; 23] = [
@@ -89,39 +89,10 @@ fn summary(ctx: &Context) -> String {
     out
 }
 
-/// Builds the serving registry: loaded from snapshots when `models_dir`
-/// holds any, trained from scratch (and saved back) otherwise.
-fn serve_registry(models_dir: Option<&std::path::Path>) -> Arc<ModelRegistry> {
-    let platforms = bagpred_core::Platforms::paper();
-    if let Some(dir) = models_dir {
-        let registry = Arc::new(ModelRegistry::new());
-        match registry.load_dir(dir) {
-            Ok(n) if n > 0 => {
-                eprintln!("loaded {n} model snapshot(s) from {}", dir.display());
-                return registry;
-            }
-            Ok(_) => eprintln!("no snapshots in {}; training", dir.display()),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
-        }
-        eprintln!("training models on the paper corpus...");
-        let registry = bootstrap::default_registry(&platforms);
-        match registry.save_dir(dir) {
-            Ok(n) => eprintln!("saved {n} snapshot(s) to {}", dir.display()),
-            Err(e) => eprintln!("warning: could not save snapshots: {e}"),
-        }
-        registry
-    } else {
-        eprintln!("training models on the paper corpus...");
-        bootstrap::default_registry(&platforms)
-    }
-}
-
 fn serve(args: &[String]) -> ! {
     let mut addr = "127.0.0.1:7878".to_string();
-    let mut models_dir = None;
+    let mut models_dir: Option<std::path::PathBuf> = None;
+    let mut read_timeout_ms: u64 = 250;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -132,9 +103,16 @@ fn serve(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--read-timeout-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) if ms > 0 => read_timeout_ms = ms,
+                _ => {
+                    eprintln!("error: --read-timeout-ms needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown serve flag `{flag}`");
-                eprintln!("usage: repro serve [ADDR] [--models DIR]");
+                eprintln!("usage: repro serve [ADDR] [--models DIR] [--read-timeout-ms MS]");
                 std::process::exit(2);
             }
             positional => addr = positional.to_string(),
@@ -150,13 +128,50 @@ fn serve(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
-    let registry = serve_registry(models_dir.as_deref());
+    let platforms = bagpred_core::Platforms::paper();
+    eprintln!("booting models (loads snapshots, or trains on first run)...");
+    let (registry, source) = match bootstrap::load_or_train(&platforms, models_dir.as_deref()) {
+        Ok(boot) => boot,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match source {
+        bootstrap::BootSource::Loaded(n) => {
+            let dir = models_dir.as_deref().expect("loaded implies a dir");
+            eprintln!("loaded {n} model snapshot(s) from {}", dir.display());
+        }
+        bootstrap::BootSource::Trained(writeback) => {
+            eprintln!("trained models on the paper corpus");
+            match writeback {
+                bootstrap::SnapshotWriteback::Skipped => {}
+                bootstrap::SnapshotWriteback::Saved(n) => {
+                    let dir = models_dir.as_deref().expect("saved implies a dir");
+                    eprintln!("saved {n} snapshot(s) to {}", dir.display());
+                }
+                bootstrap::SnapshotWriteback::Failed(e) => {
+                    eprintln!("warning: could not save snapshots: {e}");
+                }
+            }
+        }
+    }
     let service = PredictionService::start(
         registry,
-        bagpred_core::Platforms::paper(),
-        ServiceConfig::default(),
+        platforms,
+        ServiceConfig {
+            // `save`/`reload` without path= read and write here.
+            snapshot_dir: models_dir.clone(),
+            ..ServiceConfig::default()
+        },
     );
-    let server = match Server::serve_listener(listener, Arc::clone(&service)) {
+    let server = match Server::serve_listener_with(
+        listener,
+        Arc::clone(&service),
+        ServerConfig {
+            read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        },
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("error: cannot serve on {addr}: {e}");
@@ -164,7 +179,11 @@ fn serve(args: &[String]) -> ! {
         }
     };
     println!("serving on {}", server.local_addr());
-    println!("commands: predict A@N+B@M | schedule k=K budget=S A@N ... | stats | models | quit");
+    println!(
+        "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
+         stats [model=NAME] | models | load model=NAME path=FILE | \
+         save [model=NAME] [path=DEST] | reload model=NAME [path=FILE] | quit"
+    );
     // Serve until killed; connections and workers run on their own threads.
     loop {
         std::thread::park();
@@ -264,7 +283,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: repro <artifact>... | all | --list | serve [ADDR] [--models DIR] | \
+            "usage: repro <artifact>... | all | --list | \
+             serve [ADDR] [--models DIR] [--read-timeout-ms MS] | \
              bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]"
         );
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));

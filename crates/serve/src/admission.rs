@@ -136,7 +136,7 @@ pub fn admit(
             let mut candidate = gpu.apps.clone();
             candidate.push(workload);
             let predicted = predict_set(model, cache, platforms, &candidate)?;
-            if predicted <= budget_s && best.map_or(true, |(_, t)| predicted < t) {
+            if predicted <= budget_s && best.is_none_or(|(_, t)| predicted < t) {
                 best = Some((idx, predicted));
             }
         }

@@ -12,9 +12,11 @@
 //! Both are snapshot-capable, so a `save_dir`/`load_dir` cycle skips
 //! retraining on the next boot.
 
+use crate::error::ServeError;
 use crate::snapshot::{ModelRegistry, ServableModel};
 use bagpred_core::nbag::{nbag_corpus, NBagMeasurement, NBagPredictor};
 use bagpred_core::{Corpus, FeatureSet, ModelKind, Platforms, Predictor};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Extra heterogeneous bags in the n-bag training corpus (deterministic;
@@ -64,4 +66,90 @@ pub fn default_registry(platforms: &Platforms) -> Arc<ModelRegistry> {
     registry.insert(PAIR_MODEL, ServableModel::Pair(pair));
     registry.insert(NBAG_MODEL, ServableModel::NBag(nbag));
     registry
+}
+
+/// Whether freshly trained models were written back as snapshots.
+#[derive(Debug)]
+pub enum SnapshotWriteback {
+    /// No snapshot directory was given; nothing written.
+    Skipped,
+    /// This many snapshots were written to the directory.
+    Saved(usize),
+    /// Writing failed — non-fatal, the in-memory registry still serves.
+    Failed(ServeError),
+}
+
+/// How [`load_or_train`] obtained its registry.
+#[derive(Debug)]
+pub enum BootSource {
+    /// All models decoded from this many snapshots in the directory.
+    Loaded(usize),
+    /// Trained from scratch (empty or missing snapshot directory).
+    Trained(SnapshotWriteback),
+}
+
+/// The standard serve boot path: load every snapshot from `dir` when it
+/// holds any; otherwise train the default models and write their
+/// snapshots back so the next boot skips training. With no directory,
+/// always trains.
+///
+/// # Errors
+///
+/// Snapshot read/decode errors (a corrupt snapshot directory must fail
+/// loudly, not silently retrain and mask the corruption). Write-back
+/// failures are *not* errors — they are reported in
+/// [`SnapshotWriteback::Failed`].
+pub fn load_or_train(
+    platforms: &Platforms,
+    dir: Option<&Path>,
+) -> Result<(Arc<ModelRegistry>, BootSource), ServeError> {
+    if let Some(dir) = dir {
+        let registry = Arc::new(ModelRegistry::new());
+        let loaded = registry.load_dir(dir)?;
+        if loaded > 0 {
+            return Ok((registry, BootSource::Loaded(loaded)));
+        }
+        let registry = default_registry(platforms);
+        let writeback = match registry.save_dir(dir) {
+            Ok(saved) => SnapshotWriteback::Saved(saved),
+            Err(err) => SnapshotWriteback::Failed(err),
+        };
+        Ok((registry, BootSource::Trained(writeback)))
+    } else {
+        Ok((
+            default_registry(platforms),
+            BootSource::Trained(SnapshotWriteback::Skipped),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn load_or_train_round_trips_through_a_snapshot_dir() {
+        let dir = testutil::scratch_dir("bootstrap-boot");
+        // Seed the dir from the shared trained registry (avoids a second
+        // training run just for this test).
+        let saved = testutil::registry().save_dir(&dir).expect("saves");
+        let (registry, source) =
+            load_or_train(&Platforms::paper(), Some(&dir)).expect("boots from snapshots");
+        match source {
+            BootSource::Loaded(n) => assert_eq!(n, saved),
+            other => panic!("expected a snapshot boot, got {other:?}"),
+        }
+        assert_eq!(registry.list(), testutil::registry().list());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_train_propagates_corrupt_snapshots() {
+        let dir = testutil::scratch_dir("bootstrap-corrupt");
+        std::fs::write(dir.join("bad.bagsnap"), "not a snapshot\n").expect("writes");
+        let err = load_or_train(&Platforms::paper(), Some(&dir)).expect_err("must fail loudly");
+        assert!(matches!(err, ServeError::Snapshot(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -12,12 +12,13 @@
 use crate::admission::{self, Placement};
 use crate::cache::FeatureCache;
 use crate::error::ServeError;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics};
 use crate::snapshot::{ModelRegistry, ServableModel};
 use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
 use bagpred_core::{Bag, Measurement, Platforms};
 use bagpred_workloads::Workload;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
@@ -36,6 +37,9 @@ pub struct ServiceConfig {
     /// Per-map entry bound of the feature cache (LRU eviction on
     /// overflow); `0` disables the bound.
     pub cache_capacity: usize,
+    /// Default directory for the `save` and `reload` wire commands when
+    /// they omit an explicit path; `None` makes the path mandatory.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +52,7 @@ impl Default for ServiceConfig {
             // batch sizes) but finite, so adversarial n-bag traffic with
             // fresh batch sizes cannot grow the maps without bound.
             cache_capacity: 4096,
+            snapshot_dir: None,
         }
     }
 }
@@ -73,10 +78,40 @@ pub enum Request {
         /// Applications asking for admission.
         apps: Vec<Workload>,
     },
-    /// Report service counters, cache stats, and latency percentiles.
-    Stats,
+    /// Report service counters, cache stats, and latency percentiles —
+    /// service-wide, or for one model when `model` is set.
+    Stats {
+        /// `Some(name)` reports that model's counters; `None` the whole
+        /// service.
+        model: Option<String>,
+    },
     /// List registered models.
     Models,
+    /// Register (or replace) a model from a snapshot file.
+    Load {
+        /// Name to register the model under.
+        model: String,
+        /// Snapshot file to decode (checksum-verified).
+        path: String,
+    },
+    /// Write snapshots to disk: one model to a file, or every model to a
+    /// directory.
+    Save {
+        /// `Some(name)` saves that model; `None` saves all of them.
+        model: Option<String>,
+        /// Destination — a file for one model, a directory for all;
+        /// `None` falls back to [`ServiceConfig::snapshot_dir`].
+        dest: Option<String>,
+    },
+    /// Atomically swap an already-registered model with a fresh decode of
+    /// its snapshot. Queued requests are never dropped: each one predicts
+    /// with whichever version it resolves, old or new.
+    Reload {
+        /// Name of the registered model to swap.
+        model: String,
+        /// Snapshot file; `None` reads `<snapshot_dir>/<model>.bagsnap`.
+        path: Option<String>,
+    },
 }
 
 /// A successful reply.
@@ -93,8 +128,40 @@ pub enum Reply {
     Schedule(Placement),
     /// Service statistics.
     Stats(StatsReport),
+    /// One model's request counters and latency window.
+    ModelStats {
+        /// The model the counters belong to.
+        model: String,
+        /// Its counters; all-zero when the model has seen no traffic.
+        metrics: MetricsSnapshot,
+    },
     /// Registered models as `(name, description)` pairs, sorted.
     Models(Vec<(String, String)>),
+    /// A `load` command registered a model.
+    Loaded {
+        /// Name the model was registered under.
+        model: String,
+        /// Short kind description (`pair/tree`, ...).
+        desc: String,
+        /// True when an existing model of the same name was replaced.
+        replaced: bool,
+    },
+    /// A `save` command wrote snapshots.
+    Saved {
+        /// The single model saved, or `None` for a save-all.
+        model: Option<String>,
+        /// Snapshots written.
+        count: usize,
+        /// File (single model) or directory (save-all) written to.
+        dest: String,
+    },
+    /// A `reload` command swapped a model in place.
+    Reloaded {
+        /// Name of the swapped model.
+        model: String,
+        /// Short kind description of the freshly decoded model.
+        desc: String,
+    },
 }
 
 /// Everything the `stats` command reports.
@@ -134,6 +201,7 @@ struct Inner {
     platforms: Platforms,
     cache: FeatureCache,
     metrics: Metrics,
+    model_metrics: ModelMetrics,
     config: ServiceConfig,
     queue: Mutex<VecDeque<Job>>,
     nonempty: Condvar,
@@ -175,6 +243,7 @@ impl PredictionService {
             platforms,
             cache: FeatureCache::with_capacity(config.cache_capacity),
             metrics: Metrics::new(),
+            model_metrics: ModelMetrics::new(),
             config: config.clone(),
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
@@ -280,11 +349,17 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
-/// Completes one job: records metrics and sends the outcome.
-fn finish(inner: &Inner, job: Job, outcome: Outcome) {
-    inner
-        .metrics
-        .on_done(outcome.is_ok(), job.enqueued.elapsed());
+/// Completes one job: records global (and, when the request resolved to
+/// a model, per-model) metrics and sends the outcome.
+fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
+    let latency = job.enqueued.elapsed();
+    inner.metrics.on_done(outcome.is_ok(), latency);
+    if let Some(name) = model {
+        inner
+            .model_metrics
+            .for_model(name)
+            .on_done(outcome.is_ok(), latency);
+    }
     // A submitter that dropped its receiver no longer cares.
     let _ = job.tx.send(outcome);
 }
@@ -297,14 +372,13 @@ fn finish(inner: &Inner, job: Job, outcome: Outcome) {
 /// Non-predict requests and failed preparations complete individually.
 /// Predictions are bit-identical to the per-request path.
 fn process_batch(inner: &Inner, jobs: Vec<Job>) {
-    let mut pair_groups: Vec<(String, Arc<ServableModel>, Vec<Job>, Vec<Measurement>)> = Vec::new();
-    let mut nbag_groups: Vec<(String, Arc<ServableModel>, Vec<Job>, Vec<NBagMeasurement>)> =
-        Vec::new();
+    let mut pair_groups: Vec<ModelGroup<Measurement>> = Vec::new();
+    let mut nbag_groups: Vec<ModelGroup<NBagMeasurement>> = Vec::new();
 
     for job in jobs {
         let Request::Predict { model, apps } = &job.request else {
-            let outcome = process(inner, &job.request);
-            finish(inner, job, outcome);
+            let (served_by, outcome) = process(inner, &job.request);
+            finish(inner, served_by.as_deref(), job, outcome);
             continue;
         };
         match prepare_predict(inner, model, apps) {
@@ -312,9 +386,9 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
                 match pair_groups.iter_mut().find(|(n, _, _, _)| *n == name) {
                     Some((_, _, jobs, records)) => {
                         jobs.push(job);
-                        records.push(record);
+                        records.push(*record);
                     }
-                    None => pair_groups.push((name, model, vec![job], vec![record])),
+                    None => pair_groups.push((name, model, vec![job], vec![*record])),
                 }
             }
             Ok((name, model, PreparedRecord::NBag(record))) => {
@@ -326,7 +400,7 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
                     None => nbag_groups.push((name, model, vec![job], vec![(*record).clone()])),
                 }
             }
-            Err(err) => finish(inner, job, Err(err)),
+            Err((served_by, err)) => finish(inner, served_by.as_deref(), job, Err(err)),
         }
     }
 
@@ -338,6 +412,7 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
         for (job, predicted_s) in jobs.into_iter().zip(predictions) {
             finish(
                 inner,
+                Some(&name),
                 job,
                 Ok(Reply::Prediction {
                     model: name.clone(),
@@ -354,6 +429,7 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
         for (job, predicted_s) in jobs.into_iter().zip(predictions) {
             finish(
                 inner,
+                Some(&name),
                 job,
                 Ok(Reply::Prediction {
                     model: name.clone(),
@@ -403,41 +479,58 @@ fn resolve_model(
     })
 }
 
+/// One semantic batch group: jobs sharing a model, plus their collected
+/// feature records in job order.
+type ModelGroup<R> = (String, Arc<ServableModel>, Vec<Job>, Vec<R>);
+
 /// The features one predict job needs, collected (through the cache)
 /// before its group's `predict_batch` call.
 enum PreparedRecord {
-    Pair(Measurement),
+    Pair(Box<Measurement>),
     NBag(Arc<NBagMeasurement>),
 }
 
-/// Validates a predict request, resolves its model, and collects its
-/// features — everything except the model walk itself, which
-/// [`process_batch`] performs once per model group.
+/// Preparation failure: the error, tagged with the model name when the
+/// request had already resolved to one — so the failure is attributed to
+/// that model's metrics, not lost.
+type PrepareError = (Option<String>, ServeError);
+
+/// Validates a predict request, resolves its model, counts the request
+/// against the resolved model's metrics, and collects its features —
+/// everything except the model walk itself, which [`process_batch`]
+/// performs once per model group.
 fn prepare_predict(
     inner: &Inner,
     model: &Option<String>,
     apps: &[Workload],
-) -> Result<(String, Arc<ServableModel>, PreparedRecord), ServeError> {
+) -> Result<(String, Arc<ServableModel>, PreparedRecord), PrepareError> {
     if !(2..=MAX_BAG).contains(&apps.len()) {
-        return Err(ServeError::BadRequest(format!(
-            "a bag holds 2..={MAX_BAG} apps, got {}",
-            apps.len()
-        )));
+        return Err((
+            None,
+            ServeError::BadRequest(format!(
+                "a bag holds 2..={MAX_BAG} apps, got {}",
+                apps.len()
+            )),
+        ));
     }
-    let (name, model) = resolve_model(&inner.registry, model, apps.len())?;
+    let (name, model) = resolve_model(&inner.registry, model, apps.len()).map_err(|e| (None, e))?;
+    inner.model_metrics.for_model(&name).on_received();
     let record = match &*model {
         ServableModel::Pair(_) => {
             if apps.len() != 2 {
-                return Err(ServeError::Unsupported(format!(
-                    "model `{name}` is a pair model; it cannot predict a {}-app bag",
-                    apps.len()
-                )));
+                return Err((
+                    Some(name.clone()),
+                    ServeError::Unsupported(format!(
+                        "model `{name}` is a pair model; it cannot predict a {}-app bag",
+                        apps.len()
+                    )),
+                ));
             }
-            PreparedRecord::Pair(
+            PreparedRecord::Pair(Box::new(
                 inner
                     .cache
                     .pair_measurement(Bag::pair(apps[0], apps[1]), &inner.platforms),
-            )
+            ))
         }
         ServableModel::NBag(_) => {
             let bag = NBag::new(apps.to_vec());
@@ -447,20 +540,27 @@ fn prepare_predict(
     Ok((name, model, record))
 }
 
-fn process(inner: &Inner, request: &Request) -> Outcome {
+/// Handles one request, returning the outcome plus the name of the model
+/// that served it (when one was resolved) for per-model accounting.
+fn process(inner: &Inner, request: &Request) -> (Option<String>, Outcome) {
     match request {
-        Request::Predict { model, apps } => {
-            let (name, model, record) = prepare_predict(inner, model, apps)?;
-            let predicted_s = match (&*model, &record) {
-                (ServableModel::Pair(p), PreparedRecord::Pair(m)) => p.predict(m),
-                (ServableModel::NBag(p), PreparedRecord::NBag(m)) => p.predict(m),
-                _ => unreachable!("record kind always matches model kind"),
-            };
-            Ok(Reply::Prediction {
-                model: name,
-                predicted_s,
-            })
-        }
+        Request::Predict { model, apps } => match prepare_predict(inner, model, apps) {
+            Ok((name, model, record)) => {
+                let predicted_s = match (&*model, &record) {
+                    (ServableModel::Pair(p), PreparedRecord::Pair(m)) => p.predict(m),
+                    (ServableModel::NBag(p), PreparedRecord::NBag(m)) => p.predict(m),
+                    _ => unreachable!("record kind always matches model kind"),
+                };
+                (
+                    Some(name.clone()),
+                    Ok(Reply::Prediction {
+                        model: name,
+                        predicted_s,
+                    }),
+                )
+            }
+            Err((served_by, err)) => (served_by, Err(err)),
+        },
         Request::Schedule {
             model,
             gpus,
@@ -468,7 +568,10 @@ fn process(inner: &Inner, request: &Request) -> Outcome {
             apps,
         } => {
             if apps.is_empty() {
-                return Err(ServeError::BadRequest("no apps to schedule".into()));
+                return (
+                    None,
+                    Err(ServeError::BadRequest("no apps to schedule".into())),
+                );
             }
             // Arity for default-model resolution: the largest co-run the
             // packer may form. With one GPU and >2 apps only an n-bag
@@ -478,33 +581,149 @@ fn process(inner: &Inner, request: &Request) -> Outcome {
             } else {
                 2
             };
-            let (_, model) = resolve_model(&inner.registry, model, arity)?;
-            let placement = admission::admit(
+            let (name, model) = match resolve_model(&inner.registry, model, arity) {
+                Ok(resolved) => resolved,
+                Err(err) => return (None, Err(err)),
+            };
+            inner.model_metrics.for_model(&name).on_received();
+            let outcome = admission::admit(
                 &model,
                 &inner.cache,
                 &inner.platforms,
                 *gpus,
                 *budget_s,
                 apps,
-            )?;
-            Ok(Reply::Schedule(placement))
+            )
+            .map(Reply::Schedule);
+            (Some(name), outcome)
         }
-        Request::Stats => {
+        Request::Stats { model: None } => {
             let queue_depth = inner.queue.lock().expect("queue lock poisoned").len();
-            Ok(Reply::Stats(StatsReport {
-                metrics: inner.metrics.snapshot(),
-                cache_hits: inner.cache.hits(),
-                cache_misses: inner.cache.misses(),
-                cache_hit_rate: inner.cache.hit_rate(),
-                cache_entries: inner.cache.len(),
-                cache_evictions: inner.cache.evictions(),
-                models: inner.registry.len(),
-                queue_depth,
-                workers: inner.config.workers,
-            }))
+            (
+                None,
+                Ok(Reply::Stats(StatsReport {
+                    metrics: inner.metrics.snapshot(),
+                    cache_hits: inner.cache.hits(),
+                    cache_misses: inner.cache.misses(),
+                    cache_hit_rate: inner.cache.hit_rate(),
+                    cache_entries: inner.cache.len(),
+                    cache_evictions: inner.cache.evictions(),
+                    models: inner.registry.len(),
+                    queue_depth,
+                    workers: inner.config.workers,
+                })),
+            )
         }
-        Request::Models => Ok(Reply::Models(inner.registry.list())),
+        Request::Stats { model: Some(name) } => (None, model_stats(inner, name)),
+        Request::Models => (None, Ok(Reply::Models(inner.registry.list()))),
+        Request::Load { model, path } => (None, do_load(inner, model, path)),
+        Request::Save { model, dest } => (None, do_save(inner, model.as_deref(), dest.as_deref())),
+        Request::Reload { model, path } => (None, do_reload(inner, model, path.as_deref())),
     }
+}
+
+/// `stats model=<name>`: the model's counters. The name must be
+/// registered; a registered model with no traffic reports zeros.
+fn model_stats(inner: &Inner, name: &str) -> Outcome {
+    if inner.registry.get(name).is_none() {
+        return Err(ServeError::UnknownModel(name.into()));
+    }
+    let metrics = match inner.model_metrics.get(name) {
+        Some(metrics) => metrics.snapshot(),
+        None => Metrics::new().snapshot(),
+    };
+    Ok(Reply::ModelStats {
+        model: name.into(),
+        metrics,
+    })
+}
+
+/// `load model=<name> path=<file>`: decode (checksum-verified) and
+/// register, replacing any same-named model atomically.
+fn do_load(inner: &Inner, name: &str, path: &str) -> Outcome {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServeError::Snapshot(format!("read {path}: {e}")))?;
+    let model = ServableModel::from_snapshot(&text)?;
+    let desc = model.describe();
+    let replaced = inner.registry.get(name).is_some();
+    inner.registry.insert(name, model);
+    Ok(Reply::Loaded {
+        model: name.into(),
+        desc,
+        replaced,
+    })
+}
+
+/// Resolves an optional wire path against the configured snapshot
+/// directory, erroring when neither is available.
+fn snapshot_path(inner: &Inner, explicit: Option<&str>, name: &str) -> Result<PathBuf, ServeError> {
+    match explicit {
+        Some(path) => Ok(PathBuf::from(path)),
+        None => inner
+            .config
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{name}.bagsnap")))
+            .ok_or_else(|| {
+                ServeError::BadRequest(
+                    "no snapshot dir configured (serve --models DIR); pass path=FILE".into(),
+                )
+            }),
+    }
+}
+
+/// `save [model=<name>] [path=<dest>]`: one model to a file, or the
+/// whole registry to a directory.
+fn do_save(inner: &Inner, model: Option<&str>, dest: Option<&str>) -> Outcome {
+    match model {
+        Some(name) => {
+            let path = snapshot_path(inner, dest, name)?;
+            let text = inner.registry.snapshot(name)?;
+            std::fs::write(&path, text)
+                .map_err(|e| ServeError::Snapshot(format!("write {}: {e}", path.display())))?;
+            Ok(Reply::Saved {
+                model: Some(name.into()),
+                count: 1,
+                dest: path.display().to_string(),
+            })
+        }
+        None => {
+            let dir = match dest {
+                Some(dir) => PathBuf::from(dir),
+                None => inner.config.snapshot_dir.clone().ok_or_else(|| {
+                    ServeError::BadRequest(
+                        "no snapshot dir configured (serve --models DIR); pass path=DIR".into(),
+                    )
+                })?,
+            };
+            let count = inner.registry.save_dir(&dir)?;
+            Ok(Reply::Saved {
+                model: None,
+                count,
+                dest: dir.display().to_string(),
+            })
+        }
+    }
+}
+
+/// `reload model=<name> [path=<file>]`: swap a *registered* model with a
+/// fresh decode of its snapshot. The registry insert is atomic — requests
+/// already holding the old `Arc` finish on the old version, later ones
+/// resolve the new one; nothing queued is dropped.
+fn do_reload(inner: &Inner, name: &str, path: Option<&str>) -> Outcome {
+    if inner.registry.get(name).is_none() {
+        return Err(ServeError::UnknownModel(name.into()));
+    }
+    let path = snapshot_path(inner, path, name)?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ServeError::Snapshot(format!("read {}: {e}", path.display())))?;
+    let model = ServableModel::from_snapshot(&text)?;
+    let desc = model.describe();
+    inner.registry.insert(name, model);
+    Ok(Reply::Reloaded {
+        model: name.into(),
+        desc,
+    })
 }
 
 #[cfg(test)]
@@ -637,7 +856,7 @@ mod tests {
                 })
                 .expect("predicts");
         }
-        let Ok(Reply::Stats(stats)) = service.call(Request::Stats) else {
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) else {
             panic!("stats failed")
         };
         assert_eq!(stats.metrics.received, 4);
@@ -660,6 +879,7 @@ mod tests {
                 queue_capacity: 1,
                 batch_size: 1,
                 cache_capacity: 0,
+                snapshot_dir: None,
             },
         );
         // Flood the single worker with cold requests: every bag uses a
@@ -690,7 +910,7 @@ mod tests {
         for rx in pending {
             rx.recv().expect("worker finishes").expect("predict ok");
         }
-        let Ok(Reply::Stats(stats)) = service.call(Request::Stats) else {
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) else {
             panic!("stats failed")
         };
         assert!(stats.metrics.shed >= 1);
@@ -702,8 +922,174 @@ mod tests {
         let service = service();
         service.shutdown();
         assert!(matches!(
-            service.call(Request::Stats),
+            service.call(Request::Stats { model: None }),
             Err(ServeError::ShuttingDown)
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn per_model_stats_count_resolved_requests_and_errors() {
+        let service = service();
+        for _ in 0..3 {
+            service
+                .call(Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                })
+                .expect("predicts");
+        }
+        // An error *after* model resolution charges the resolved model.
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: vec![
+                    Workload::new(Benchmark::Sift, 20),
+                    Workload::new(Benchmark::Knn, 40),
+                    Workload::new(Benchmark::Orb, 10),
+                ],
+            })
+            .expect_err("pair model refuses a 3-bag");
+
+        let Ok(Reply::ModelStats { model, metrics }) = service.call(Request::Stats {
+            model: Some(PAIR_MODEL.into()),
+        }) else {
+            panic!("model stats failed")
+        };
+        assert_eq!(model, PAIR_MODEL);
+        assert_eq!(metrics.received, 4);
+        assert_eq!(metrics.succeeded, 3);
+        assert_eq!(metrics.failed, 1);
+        assert_eq!(metrics.latency_samples, 4);
+
+        // A registered but untouched model reports zeros; an unknown
+        // name errors.
+        let Ok(Reply::ModelStats { metrics, .. }) = service.call(Request::Stats {
+            model: Some(NBAG_MODEL.into()),
+        }) else {
+            panic!("model stats failed")
+        };
+        assert_eq!(metrics.received, 0);
+        assert!(matches!(
+            service.call(Request::Stats {
+                model: Some("nope".into())
+            }),
+            Err(ServeError::UnknownModel(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn save_load_reload_round_trip_over_the_engine() {
+        let dir = testutil::scratch_dir("engine-admin");
+        let service = PredictionService::start(
+            // A private registry: `load` inserts a new name, which must
+            // not leak into tests sharing the global fixture.
+            testutil::fresh_registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                snapshot_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+        );
+
+        // save model=pair-tree (into the configured dir)
+        let Ok(Reply::Saved { model, count, dest }) = service.call(Request::Save {
+            model: Some(PAIR_MODEL.into()),
+            dest: None,
+        }) else {
+            panic!("save failed")
+        };
+        assert_eq!(model.as_deref(), Some(PAIR_MODEL));
+        assert_eq!(count, 1);
+        assert!(dest.ends_with("pair-tree.bagsnap"), "{dest}");
+
+        // load it back under a fresh name: a new entry, not a replacement.
+        let Ok(Reply::Loaded {
+            model,
+            desc,
+            replaced,
+        }) = service.call(Request::Load {
+            model: "pair-copy".into(),
+            path: dest.clone(),
+        })
+        else {
+            panic!("load failed")
+        };
+        assert_eq!(
+            (model.as_str(), desc.as_str(), replaced),
+            ("pair-copy", "pair/tree", false)
+        );
+        // The copy predicts bit-identically to the original.
+        let Ok(Reply::Prediction { predicted_s: a, .. }) = service.call(Request::Predict {
+            model: Some(PAIR_MODEL.into()),
+            apps: pair_apps(),
+        }) else {
+            panic!()
+        };
+        let Ok(Reply::Prediction { predicted_s: b, .. }) = service.call(Request::Predict {
+            model: Some("pair-copy".into()),
+            apps: pair_apps(),
+        }) else {
+            panic!()
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+
+        // reload swaps in place (implicit path via snapshot_dir)...
+        let Ok(Reply::Reloaded { model, desc }) = service.call(Request::Reload {
+            model: PAIR_MODEL.into(),
+            path: None,
+        }) else {
+            panic!("reload failed")
+        };
+        assert_eq!((model.as_str(), desc.as_str()), (PAIR_MODEL, "pair/tree"));
+        // ...but refuses names that were never registered.
+        assert!(matches!(
+            service.call(Request::Reload {
+                model: "ghost".into(),
+                path: None,
+            }),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        // save-all writes one snapshot per registered model.
+        let Ok(Reply::Saved {
+            model: None, count, ..
+        }) = service.call(Request::Save {
+            model: None,
+            dest: None,
+        })
+        else {
+            panic!("save-all failed")
+        };
+        assert_eq!(count, service.registry().len());
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_and_reload_without_a_dir_or_path_are_rejected() {
+        let service = service(); // no snapshot_dir configured
+        assert!(matches!(
+            service.call(Request::Save {
+                model: None,
+                dest: None
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.call(Request::Reload {
+                model: PAIR_MODEL.into(),
+                path: None
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.call(Request::Load {
+                model: "x".into(),
+                path: "/nonexistent/snapshot.bagsnap".into()
+            }),
+            Err(ServeError::Snapshot(_))
         ));
         service.shutdown();
     }

@@ -22,9 +22,13 @@
 //!   with batched draining and explicit load shedding.
 //! * [`admission`] — greedy packing of apps onto `k` simulated GPUs
 //!   under a predicted-latency budget.
-//! * [`metrics`] — request counters and latency percentiles.
-//! * [`protocol`] / [`server`] — the line-delimited TCP front-end.
-//! * [`bootstrap`] — train-and-register in one call.
+//! * [`metrics`] — request counters and latency percentiles, global and
+//!   per model (`stats model=<name>`).
+//! * [`protocol`] / [`server`] — the line-delimited TCP front-end, with
+//!   tracked connection threads, bounded reads, and a draining shutdown;
+//!   `load`/`save`/`reload` hot-swap models over the wire.
+//! * [`bootstrap`] — train-and-register in one call, or boot from a
+//!   snapshot directory ([`bootstrap::load_or_train`]).
 //!
 //! # Example
 //!
@@ -66,8 +70,8 @@ pub use admission::{GpuAssignment, Placement};
 pub use cache::FeatureCache;
 pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};
 pub use error::ServeError;
-pub use metrics::{Metrics, MetricsSnapshot};
-pub use server::Server;
+pub use metrics::{Metrics, MetricsSnapshot, ModelMetrics};
+pub use server::{Server, ServerConfig};
 pub use snapshot::{ModelRegistry, ServableModel};
 
 #[cfg(test)]
@@ -82,6 +86,21 @@ pub(crate) mod testutil {
     pub fn registry() -> Arc<ModelRegistry> {
         static REGISTRY: OnceLock<Arc<ModelRegistry>> = OnceLock::new();
         Arc::clone(REGISTRY.get_or_init(|| crate::bootstrap::default_registry(&Platforms::paper())))
+    }
+
+    /// A private registry holding snapshot-decoded copies of the shared
+    /// models: tests that insert/replace entries use this so they cannot
+    /// perturb tests reading the shared registry concurrently.
+    pub fn fresh_registry() -> Arc<ModelRegistry> {
+        let shared = registry();
+        let fresh = ModelRegistry::new();
+        for (name, _) in shared.list() {
+            let text = shared.snapshot(&name).expect("snapshot encodes");
+            fresh
+                .insert_snapshot(name, &text)
+                .expect("snapshot decodes");
+        }
+        Arc::new(fresh)
     }
 
     /// A fresh scratch directory under the target-local tmp root.

@@ -1,7 +1,11 @@
-//! Request counters and latency statistics for the serving engine.
+//! Request counters and latency statistics for the serving engine:
+//! one global [`Metrics`] for the whole service plus a [`ModelMetrics`]
+//! map holding an independent `Metrics` per registry entry, so `stats
+//! model=<name>` can report per-model traffic.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// How many recent request latencies are retained for percentiles.
@@ -14,6 +18,11 @@ pub struct Metrics {
     succeeded: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    /// Round-robin overwrite position once the window is full. A
+    /// dedicated cursor, *not* the `received` counter: `received` moves
+    /// concurrently with completions, so deriving the slot from it let
+    /// parallel completions land on the same slot and lose samples.
+    cursor: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -43,9 +52,10 @@ impl Metrics {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         let mut window = self.latencies_us.lock().expect("metrics lock poisoned");
         if window.len() == LATENCY_WINDOW {
-            // Keep the window bounded: overwrite round-robin using the
-            // total count as a cursor so old samples age out.
-            let idx = (self.received.load(Ordering::Relaxed) as usize) % LATENCY_WINDOW;
+            // Keep the window bounded: overwrite round-robin. The cursor
+            // advances once per write, so every completion lands in its
+            // own slot and old samples age out uniformly.
+            let idx = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % LATENCY_WINDOW;
             window[idx] = us;
         } else {
             window.push(us);
@@ -82,6 +92,63 @@ impl Metrics {
             latency_us_p95: p95,
             latency_us_max: max,
         }
+    }
+}
+
+/// Per-model metrics: one independent [`Metrics`] per registry entry,
+/// created on first traffic and keyed by model name.
+///
+/// Entries survive hot reloads — a model swapped in under the same name
+/// keeps accumulating into the same counters, so `stats model=<name>`
+/// reports the lifetime of the *name*, not of one loaded version. For a
+/// per-model entry, `received` is counted when a request resolves to the
+/// model (not at enqueue: the model is unknown until then) and `shed`
+/// stays zero — shedding happens before any model is picked.
+#[derive(Debug, Default)]
+pub struct ModelMetrics {
+    models: RwLock<HashMap<String, Arc<Metrics>>>,
+}
+
+impl ModelMetrics {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics entry for `name`, created zeroed on first use.
+    pub fn for_model(&self, name: &str) -> Arc<Metrics> {
+        if let Some(entry) = self
+            .models
+            .read()
+            .expect("model metrics lock poisoned")
+            .get(name)
+        {
+            return Arc::clone(entry);
+        }
+        let mut models = self.models.write().expect("model metrics lock poisoned");
+        Arc::clone(models.entry(name.to_string()).or_default())
+    }
+
+    /// The entry for `name`, if the model has seen any traffic.
+    pub fn get(&self, name: &str) -> Option<Arc<Metrics>> {
+        self.models
+            .read()
+            .expect("model metrics lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Names with at least one metrics entry, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("model metrics lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
     }
 }
 
@@ -157,5 +224,41 @@ mod tests {
             metrics.on_done(true, Duration::from_micros(3));
         }
         assert_eq!(metrics.snapshot().latency_samples as usize, LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn full_window_overwrites_advance_even_when_received_stalls() {
+        // The old cursor was derived from `received`, so completions
+        // arriving without interleaved submissions hammered one slot and
+        // lost samples. With a dedicated write cursor, a full generation
+        // of overwrites replaces every slot.
+        let metrics = Metrics::new();
+        for _ in 0..LATENCY_WINDOW {
+            metrics.on_received();
+            metrics.on_done(true, Duration::from_micros(1));
+        }
+        // `received` frozen from here on: only completions.
+        for _ in 0..LATENCY_WINDOW {
+            metrics.on_done(true, Duration::from_micros(9));
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.latency_us_min, 9, "every old sample must age out");
+        assert_eq!(snap.latency_us_max, 9);
+    }
+
+    #[test]
+    fn model_metrics_entries_are_independent_and_sorted() {
+        let models = ModelMetrics::new();
+        models.for_model("b").on_received();
+        models.for_model("a").on_received();
+        models
+            .for_model("a")
+            .on_done(true, Duration::from_micros(5));
+        assert_eq!(models.names(), vec!["a".to_string(), "b".to_string()]);
+        let a = models.get("a").expect("entry exists").snapshot();
+        assert_eq!((a.received, a.succeeded), (1, 1));
+        let b = models.get("b").expect("entry exists").snapshot();
+        assert_eq!((b.received, b.succeeded), (1, 0));
+        assert!(models.get("c").is_none());
     }
 }

@@ -5,9 +5,20 @@
 //! ```text
 //! predict [model=NAME] APP@BATCH+APP@BATCH[+APP@BATCH[+APP@BATCH]]
 //! schedule [model=NAME] k=GPUS budget=SECONDS APP@BATCH [APP@BATCH ...]
-//! stats
+//! stats [model=NAME]
 //! models
+//! load model=NAME path=FILE
+//! save [model=NAME] [path=DEST]
+//! reload model=NAME [path=FILE]
 //! ```
+//!
+//! `load` registers (or replaces) a model from a checksummed snapshot
+//! file; `save` writes one model to a file or, without `model=`, every
+//! model to a directory; `reload` atomically swaps an already-registered
+//! model with a fresh decode of its snapshot. `save`/`reload` fall back
+//! to the service's configured snapshot directory when `path=` is
+//! omitted. Paths must not contain whitespace (the protocol is
+//! whitespace-tokenized).
 //!
 //! Replies start with `ok ` or `err `:
 //!
@@ -15,7 +26,12 @@
 //! ok model=pair-tree predicted_s=1.2345
 //! ok k=2 gpu0=SIFT@20+KNN@40 pred0=1.2 gpu1=ORB@10 pred1=0.4 rejected=-
 //! ok requests=9 ok=9 err=0 shed=0 cache_hits=12 ... latency_us_p95=1875
+//! ok model=pair-tree requests=9 ok=9 err=0 latency_samples=9 ... latency_us_max=211
 //! ok models=2 pair-tree=pair/tree nbag-tree=nbag/tree
+//! ok loaded model=custom kind=pair/tree replaced=false
+//! ok saved model=pair-tree dest=/tmp/m.bagsnap
+//! ok saved models=2 dest=/tmp/models
+//! ok reloaded model=pair-tree kind=pair/tree
 //! err bad request: unknown benchmark `sfit`
 //! ```
 //!
@@ -122,11 +138,56 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                 apps,
             })
         }
-        "stats" if tokens.is_empty() => Ok(Request::Stats),
+        "stats" => {
+            let model = take_kv(&mut tokens, "model").map(str::to_string);
+            if !tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "stats takes no arguments beyond model=NAME".into(),
+                ));
+            }
+            Ok(Request::Stats { model })
+        }
         "models" if tokens.is_empty() => Ok(Request::Models),
-        "stats" | "models" => Err(ServeError::BadRequest(format!("{verb} takes no arguments"))),
+        "models" => Err(ServeError::BadRequest("models takes no arguments".into())),
+        "load" => {
+            let model = take_kv(&mut tokens, "model")
+                .ok_or_else(|| ServeError::BadRequest("load needs model=NAME".into()))?
+                .to_string();
+            let path = take_kv(&mut tokens, "path")
+                .ok_or_else(|| ServeError::BadRequest("load needs path=FILE".into()))?
+                .to_string();
+            if !tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "load takes model=NAME path=FILE and nothing else".into(),
+                ));
+            }
+            Ok(Request::Load { model, path })
+        }
+        "save" => {
+            let model = take_kv(&mut tokens, "model").map(str::to_string);
+            let dest = take_kv(&mut tokens, "path").map(str::to_string);
+            if !tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "save takes [model=NAME] [path=DEST] and nothing else".into(),
+                ));
+            }
+            Ok(Request::Save { model, dest })
+        }
+        "reload" => {
+            let model = take_kv(&mut tokens, "model")
+                .ok_or_else(|| ServeError::BadRequest("reload needs model=NAME".into()))?
+                .to_string();
+            let path = take_kv(&mut tokens, "path").map(str::to_string);
+            if !tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "reload takes model=NAME [path=FILE] and nothing else".into(),
+                ));
+            }
+            Ok(Request::Reload { model, path })
+        }
         other => Err(ServeError::BadRequest(format!(
-            "unknown command `{other}` (try: predict, schedule, stats, models)"
+            "unknown command `{other}` \
+             (try: predict, schedule, stats, models, load, save, reload)"
         ))),
     }
 }
@@ -201,6 +262,30 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
             out
         }
         Ok(Reply::Stats(stats)) => format!("ok {}", format_stats(stats)),
+        Ok(Reply::ModelStats { model, metrics: m }) => format!(
+            "ok model={model} requests={} ok={} err={} latency_samples={} \
+             latency_us_min={} latency_us_mean={:.1} latency_us_p95={} latency_us_max={}",
+            m.received,
+            m.succeeded,
+            m.failed,
+            m.latency_samples,
+            m.latency_us_min,
+            m.latency_us_mean,
+            m.latency_us_p95,
+            m.latency_us_max,
+        ),
+        Ok(Reply::Loaded {
+            model,
+            desc,
+            replaced,
+        }) => format!("ok loaded model={model} kind={desc} replaced={replaced}"),
+        Ok(Reply::Saved { model, count, dest }) => match model {
+            Some(model) => format!("ok saved model={model} dest={dest}"),
+            None => format!("ok saved models={count} dest={dest}"),
+        },
+        Ok(Reply::Reloaded { model, desc }) => {
+            format!("ok reloaded model={model} kind={desc}")
+        }
         Ok(Reply::Models(models)) => {
             let mut out = format!("ok models={}", models.len());
             for (name, desc) in models {
@@ -272,6 +357,13 @@ mod tests {
             ("schedule k=2 SIFT@20", "budget="),
             ("schedule k=2 budget=1", "at least one"),
             ("stats now", "no arguments"),
+            ("models all", "no arguments"),
+            ("load path=/tmp/x.bagsnap", "model=NAME"),
+            ("load model=x", "path=FILE"),
+            ("load model=x path=/tmp/x extra", "nothing else"),
+            ("save everything", "nothing else"),
+            ("reload path=/tmp/x.bagsnap", "model=NAME"),
+            ("reload model=x junk", "nothing else"),
         ] {
             let err = parse_request(line).expect_err(line);
             let msg = err.to_string();
@@ -280,6 +372,88 @@ mod tests {
                 "`{line}` -> `{msg}` (wanted `{needle}`)"
             );
         }
+    }
+
+    #[test]
+    fn parses_stats_and_lifecycle_commands() {
+        assert_eq!(
+            parse_request("stats").expect("parses"),
+            Request::Stats { model: None }
+        );
+        assert_eq!(
+            parse_request("stats model=pair-tree").expect("parses"),
+            Request::Stats {
+                model: Some("pair-tree".into())
+            }
+        );
+        assert_eq!(
+            parse_request("load model=custom path=/tmp/m.bagsnap").expect("parses"),
+            Request::Load {
+                model: "custom".into(),
+                path: "/tmp/m.bagsnap".into()
+            }
+        );
+        assert_eq!(
+            parse_request("save").expect("parses"),
+            Request::Save {
+                model: None,
+                dest: None
+            }
+        );
+        assert_eq!(
+            parse_request("save model=pair-tree path=/tmp/m.bagsnap").expect("parses"),
+            Request::Save {
+                model: Some("pair-tree".into()),
+                dest: Some("/tmp/m.bagsnap".into())
+            }
+        );
+        assert_eq!(
+            parse_request("reload model=pair-tree").expect("parses"),
+            Request::Reload {
+                model: "pair-tree".into(),
+                path: None
+            }
+        );
+    }
+
+    #[test]
+    fn lifecycle_and_model_stats_replies_format_as_documented() {
+        let line = format_outcome(&Ok(Reply::Loaded {
+            model: "custom".into(),
+            desc: "pair/tree".into(),
+            replaced: false,
+        }));
+        assert_eq!(line, "ok loaded model=custom kind=pair/tree replaced=false");
+
+        let line = format_outcome(&Ok(Reply::Saved {
+            model: Some("pair-tree".into()),
+            count: 1,
+            dest: "/tmp/m.bagsnap".into(),
+        }));
+        assert_eq!(line, "ok saved model=pair-tree dest=/tmp/m.bagsnap");
+
+        let line = format_outcome(&Ok(Reply::Saved {
+            model: None,
+            count: 2,
+            dest: "/tmp/models".into(),
+        }));
+        assert_eq!(line, "ok saved models=2 dest=/tmp/models");
+
+        let line = format_outcome(&Ok(Reply::Reloaded {
+            model: "pair-tree".into(),
+            desc: "pair/tree".into(),
+        }));
+        assert_eq!(line, "ok reloaded model=pair-tree kind=pair/tree");
+
+        let line = format_outcome(&Ok(Reply::ModelStats {
+            model: "pair-tree".into(),
+            metrics: crate::Metrics::new().snapshot(),
+        }));
+        assert!(
+            line.starts_with("ok model=pair-tree requests=0 ok=0 err=0"),
+            "{line}"
+        );
+        assert!(line.contains("latency_us_p95=0"), "{line}");
     }
 
     #[test]

@@ -8,20 +8,114 @@
 //! (bounded queue + worker pool), so a slow or malicious client can at
 //! worst occupy its own connection thread — it cannot starve other
 //! clients of prediction workers.
+//!
+//! # Connection lifecycle
+//!
+//! Every connection thread is tracked in a registry of join handles and
+//! reads with a bounded timeout ([`ServerConfig::read_timeout`]), so a
+//! half-open client that never sends a byte cannot pin its thread in
+//! `read` forever: the thread wakes at least once per timeout and
+//! re-checks the stop flag. [`Server::shutdown`] **drains**: it stops the
+//! accept loop (waking it through a loopback connection, which also works
+//! when the server is bound to a wildcard address like `0.0.0.0`), then
+//! joins every live connection thread. In-flight requests finish — the
+//! engine answers them and the client reads a complete final reply before
+//! EOF — and no thread is leaked: when `shutdown` returns,
+//! [`Server::active_connections`] is zero.
 
 use crate::engine::PredictionService;
 use crate::protocol::{format_outcome, parse_request};
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 
-/// A running TCP server. Dropping it stops the accept loop; in-flight
-/// connections finish their current line and exit on the next read.
+/// Connection-handling knobs for the TCP front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Upper bound on one blocking read: how long a silent connection
+    /// thread can go without re-checking the stop flag, and therefore
+    /// the drain latency an idle connection adds to `shutdown`.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The connection registry: join handles for every live connection
+/// thread, so shutdown can drain instead of leaking them.
+#[derive(Debug, Default)]
+struct Lifecycle {
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    /// Handles of spawned connection threads, keyed by connection id.
+    handles: Mutex<HashMap<u64, thread::JoinHandle<()>>>,
+    /// Ids whose thread has finished its work; their handles are reaped
+    /// (joined and removed) by the accept loop so the map stays bounded
+    /// on a long-lived server. A thread cannot join itself, hence the
+    /// two-phase mark-then-reap.
+    finished: Mutex<Vec<u64>>,
+}
+
+impl Lifecycle {
+    /// Joins and removes every handle whose thread marked itself done.
+    fn reap_finished(&self) {
+        let ids: Vec<u64> = {
+            let mut finished = self.finished.lock().expect("finished lock poisoned");
+            finished.drain(..).collect()
+        };
+        if ids.is_empty() {
+            return;
+        }
+        let reaped: Vec<thread::JoinHandle<()>> = {
+            let mut handles = self.handles.lock().expect("handles lock poisoned");
+            ids.iter().filter_map(|id| handles.remove(id)).collect()
+        };
+        for handle in reaped {
+            // The thread marked itself finished as its last action, so
+            // this join returns immediately.
+            let _ = handle.join();
+        }
+    }
+
+    /// Joins every tracked connection thread. Threads exit within one
+    /// read timeout of the stop flag (sooner if their client hangs up),
+    /// so this bounds shutdown instead of hanging on half-open peers.
+    fn drain(&self) {
+        let all: Vec<thread::JoinHandle<()>> = {
+            let mut handles = self.handles.lock().expect("handles lock poisoned");
+            handles.drain().map(|(_, handle)| handle).collect()
+        };
+        for handle in all {
+            let _ = handle.join();
+        }
+        self.finished
+            .lock()
+            .expect("finished lock poisoned")
+            .clear();
+    }
+
+    /// Live connection threads (registered and not yet marked finished).
+    fn active(&self) -> usize {
+        let handles = self.handles.lock().expect("handles lock poisoned").len();
+        let finished = self.finished.lock().expect("finished lock poisoned").len();
+        handles.saturating_sub(finished)
+    }
+}
+
+/// A running TCP server. Dropping it drains all connections; prefer an
+/// explicit [`shutdown`](Server::shutdown).
 pub struct Server {
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    lifecycle: Arc<Lifecycle>,
     accept_handle: Option<thread::JoinHandle<()>>,
 }
 
@@ -29,6 +123,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("local_addr", &self.local_addr)
+            .field("active_connections", &self.lifecycle.active())
             .finish()
     }
 }
@@ -44,6 +139,19 @@ impl Server {
         Self::serve_listener(TcpListener::bind(addr)?, service)
     }
 
+    /// [`bind`](Self::bind) with explicit connection-handling knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<PredictionService>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::serve_listener_with(TcpListener::bind(addr)?, service, config)
+    }
+
     /// Starts accepting on an already-bound listener. Lets a caller
     /// claim the port *before* paying for model training, so a bind
     /// conflict fails in milliseconds instead of after the training run.
@@ -55,25 +163,54 @@ impl Server {
         listener: TcpListener,
         service: Arc<PredictionService>,
     ) -> io::Result<Self> {
+        Self::serve_listener_with(listener, service, ServerConfig::default())
+    }
+
+    /// [`serve_listener`](Self::serve_listener) with explicit
+    /// connection-handling knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures on the listener.
+    pub fn serve_listener_with(
+        listener: TcpListener,
+        service: Arc<PredictionService>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
+        let lifecycle = Arc::new(Lifecycle::default());
+        let accept_lifecycle = Arc::clone(&lifecycle);
         let accept_handle = thread::spawn(move || {
             for stream in listener.incoming() {
-                if accept_stop.load(Ordering::Acquire) {
+                if accept_lifecycle.stop.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Opportunistically reclaim handles of finished threads
+                // so the registry stays bounded on a long-lived server.
+                accept_lifecycle.reap_finished();
+                let id = accept_lifecycle.next_id.fetch_add(1, Ordering::Relaxed);
                 let service = Arc::clone(&service);
-                let conn_stop = Arc::clone(&accept_stop);
-                thread::spawn(move || {
-                    let _ = handle_connection(stream, &service, &conn_stop);
+                let conn_lifecycle = Arc::clone(&accept_lifecycle);
+                let read_timeout = config.read_timeout;
+                let handle = thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &conn_lifecycle.stop, read_timeout);
+                    conn_lifecycle
+                        .finished
+                        .lock()
+                        .expect("finished lock poisoned")
+                        .push(id);
                 });
+                accept_lifecycle
+                    .handles
+                    .lock()
+                    .expect("handles lock poisoned")
+                    .insert(id, handle);
             }
         });
         Ok(Self {
             local_addr,
-            stop,
+            lifecycle,
             accept_handle: Some(accept_handle),
         })
     }
@@ -83,16 +220,44 @@ impl Server {
         self.local_addr
     }
 
-    /// Stops the accept loop and joins it. Idempotent. Does not shut
-    /// down the underlying [`PredictionService`] — the caller owns that.
+    /// Connection threads currently serving a client.
+    pub fn active_connections(&self) -> usize {
+        self.lifecycle.active()
+    }
+
+    /// Stops the accept loop, then **drains**: joins every connection
+    /// thread, letting in-flight requests finish their final reply.
+    /// Bounded by the read timeout plus the longest in-flight request;
+    /// when it returns, no connection thread remains. Idempotent. Does
+    /// not shut down the underlying [`PredictionService`] — the caller
+    /// owns that (and shuts it down *after* the server, so draining
+    /// connections can still collect their replies).
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.lifecycle.stop.store(true, Ordering::Release);
         if let Some(handle) = self.accept_handle.take() {
-            // Unblock the accept() call with a throwaway connection.
-            let _ = TcpStream::connect(self.local_addr);
+            // Unblock the accept() call with a throwaway connection. The
+            // *bound* address may be a wildcard (`0.0.0.0`/`[::]`), which
+            // is not connectable — aim at the loopback of the same
+            // family, same port.
+            let _ = TcpStream::connect(wake_addr(self.local_addr));
             let _ = handle.join();
         }
+        self.lifecycle.drain();
     }
+}
+
+/// A connectable stand-in for the bound address: wildcard binds answer on
+/// loopback, everything else is connectable as-is.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = if bound.ip().is_unspecified() {
+        match bound {
+            SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        }
+    } else {
+        bound.ip()
+    };
+    SocketAddr::new(ip, bound.port())
 }
 
 impl Drop for Server {
@@ -105,30 +270,57 @@ fn handle_connection(
     stream: TcpStream,
     service: &PredictionService,
     stop: &AtomicBool,
+    read_timeout: Duration,
 ) -> io::Result<()> {
+    // A bounded read is what makes shutdown drainable: without it a
+    // half-open client (connected, never sending) parks this thread in
+    // `read` forever and `shutdown` would hang joining it.
+    stream.set_read_timeout(Some(read_timeout))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // Checked before every line — not only after one arrives — so a
+        // client streaming requests back-to-back cannot postpone drain
+        // indefinitely.
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client hung up.
+            Ok(_) => {
+                let ended_with_newline = line.ends_with('\n');
+                let request = line.trim();
+                if request == "quit" || request == "exit" {
+                    break;
+                }
+                if !request.is_empty() {
+                    let outcome = match parse_request(request) {
+                        // Parse errors never reach the queue; they are
+                        // answered inline so malformed floods cannot
+                        // shed well-formed load.
+                        Err(err) => Err(err),
+                        Ok(request) => service.call(request),
+                    };
+                    writer.write_all(format_outcome(&outcome).as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                }
+                line.clear();
+                if !ended_with_newline {
+                    break; // EOF after an unterminated final line.
+                }
+            }
+            // Timeout: nothing (or only a partial line) arrived. The
+            // partial bytes stay in `line` — read_line appends — so a
+            // slow sender loses nothing; loop to re-check `stop`.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
         }
-        if line == "quit" || line == "exit" {
-            break;
-        }
-        let outcome = match parse_request(line) {
-            // Parse errors never reach the queue; they are answered
-            // inline so malformed floods cannot shed well-formed load.
-            Err(err) => Err(err),
-            Ok(request) => service.call(request),
-        };
-        writer.write_all(format_outcome(&outcome).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
     }
     Ok(())
 }
@@ -140,6 +332,7 @@ mod tests {
     use crate::testutil;
     use bagpred_core::Platforms;
     use std::io::BufRead;
+    use std::sync::mpsc;
 
     fn start() -> (Server, Arc<PredictionService>) {
         let service = PredictionService::start(
@@ -212,6 +405,112 @@ mod tests {
             ],
         }));
         assert_eq!(wire, direct);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    /// Runs `shutdown` under a watchdog so a regression hangs the test
+    /// with a clear message instead of wedging the whole test binary.
+    fn shutdown_within(mut server: Server, limit: Duration) -> Server {
+        let (tx, rx) = mpsc::channel();
+        let handle = thread::spawn(move || {
+            server.shutdown();
+            tx.send(()).expect("watchdog receiver alive");
+            server
+        });
+        rx.recv_timeout(limit).expect("shutdown must not hang");
+        handle.join().expect("shutdown thread finishes")
+    }
+
+    #[test]
+    fn shutdown_wakes_the_accept_loop_on_a_wildcard_bind() {
+        // Binding 0.0.0.0 used to hang shutdown: the wake-up connection
+        // targeted the unconnectable bound address, so the accept loop
+        // never woke and `join` blocked forever.
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let server = Server::bind("0.0.0.0:0", Arc::clone(&service)).expect("binds wildcard");
+        shutdown_within(server, Duration::from_secs(10));
+        service.shutdown();
+    }
+
+    #[test]
+    fn half_open_connections_do_not_block_shutdown() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig {
+                read_timeout: Duration::from_millis(25),
+            },
+        )
+        .expect("binds");
+
+        // A client that connects and never sends a byte: before read
+        // timeouts its thread sat in `read` forever.
+        let idle = TcpStream::connect(server.local_addr()).expect("connects");
+        // Wait until the connection thread is registered.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "connection never registered"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+
+        let server = shutdown_within(server, Duration::from_secs(10));
+        assert_eq!(
+            server.active_connections(),
+            0,
+            "drain must join every connection thread"
+        );
+
+        // The idle client observes a clean EOF, not a hang.
+        idle.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("sets timeout");
+        let mut reader = BufReader::new(idle);
+        let mut buf = String::new();
+        assert_eq!(reader.read_line(&mut buf).expect("reads EOF"), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn slow_senders_are_not_corrupted_by_read_timeouts() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let mut server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig {
+                read_timeout: Duration::from_millis(25),
+            },
+        )
+        .expect("binds");
+
+        // Dribble one request across several read timeouts: the partial
+        // line must survive each timeout intact.
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        for chunk in ["pre", "dict SIF", "T@20+K", "NN@40\n"] {
+            writer.write_all(chunk.as_bytes()).expect("writes");
+            writer.flush().expect("flushes");
+            thread::sleep(Duration::from_millis(60));
+        }
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reads");
+        assert!(reply.starts_with("ok model="), "{reply}");
         server.shutdown();
         service.shutdown();
     }

@@ -116,7 +116,7 @@ fn main() {
         }
         println!("  rejected: {}", placement.rejected.len());
     }
-    if let Ok(Reply::Stats(stats)) = service.call(Request::Stats) {
+    if let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) {
         println!(
             "\nstats: {} requests, cache hit rate {:.0}%, p95 latency {}us",
             stats.metrics.received,
@@ -124,7 +124,24 @@ fn main() {
             stats.metrics.latency_us_p95
         );
     }
+    // Per-model accounting: every registered model has its own counters.
+    for (name, _) in service.registry().list() {
+        if let Ok(Reply::ModelStats { model, metrics }) =
+            service.call(Request::Stats { model: Some(name) })
+        {
+            println!(
+                "  {model:<12} {} requests, {} ok, {} err",
+                metrics.received, metrics.succeeded, metrics.failed
+            );
+        }
+    }
 
-    drop(server);
+    // 6. Drain: shutdown joins every connection thread, so nothing leaks.
+    let mut server = server;
+    server.shutdown();
+    println!(
+        "\ndrained: {} active connections",
+        server.active_connections()
+    );
     service.shutdown();
 }

@@ -23,8 +23,20 @@ cargo build --release --workspace
 echo "== formatting: cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== lint: cargo clippy --all-targets -D warnings =="
+cargo clippy -q --all-targets -- -D warnings
+
 echo "== serving integration (bounded at 300s) =="
 timeout 300 cargo test -q --test serving
+
+echo "== serving lifecycle: drain + hot reload (bounded at 120s) =="
+# The two lifecycle regressions this repo has shipped fixes for: a
+# shutdown that leaks half-open connection threads, and a reload that
+# drops or mis-answers queued requests. Run them by name so a filter
+# change in the suite above can never silently skip them.
+timeout 120 cargo test -q --test serving -- --exact \
+  shutdown_under_load_drains_all_connections_with_clean_final_replies \
+  hot_reload_swaps_the_model_under_concurrent_traffic_without_dropping_requests
 
 echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any

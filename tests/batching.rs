@@ -71,6 +71,7 @@ fn concurrent_batched_predictions_are_bit_identical_to_the_offline_predictor() {
             queue_capacity: 64,
             batch_size: 8,
             cache_capacity: 0,
+            snapshot_dir: None,
         },
     );
     let handles: Vec<_> = bags
@@ -103,6 +104,7 @@ fn the_cache_capacity_bound_holds_end_to_end_and_evicted_entries_recompute_ident
             queue_capacity: 64,
             batch_size: 4,
             cache_capacity: capacity,
+            snapshot_dir: None,
         },
     );
     let bags = pair_bags();
