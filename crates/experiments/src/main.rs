@@ -5,7 +5,7 @@
 //! repro <artifact>...
 //! repro all
 //! repro --list
-//! repro serve [ADDR] [--models DIR] [--read-timeout-ms MS]
+//! repro serve [ADDR] [--models DIR] [--admin] [--read-timeout-ms MS] [--write-timeout-ms MS]
 //! repro bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]
 //! ```
 //!
@@ -14,8 +14,10 @@
 //! artifact list (one per line) without measuring anything. `serve` trains
 //! the pair + n-bag models (or loads snapshots from `--models DIR`) and
 //! answers the line protocol documented in `bagpred_serve::protocol` on
-//! `ADDR` (default `127.0.0.1:7878`). `bench` runs the pipeline benchmark
-//! harness and writes `BENCH_pipeline.json`.
+//! `ADDR` (default `127.0.0.1:7878`). The filesystem-touching
+//! `load`/`save`/`reload` commands are refused unless `--admin` is given
+//! (and even then resolve only inside the `--models` directory). `bench`
+//! runs the pipeline benchmark harness and writes `BENCH_pipeline.json`.
 
 use bagpred_experiments::{
     accuracy, bench, extensions, paths, scaling, sensitivity, tables, Context,
@@ -93,6 +95,8 @@ fn serve(args: &[String]) -> ! {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut models_dir: Option<std::path::PathBuf> = None;
     let mut read_timeout_ms: u64 = 250;
+    let mut write_timeout_ms: u64 = 5_000;
+    let mut admin = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -110,13 +114,31 @@ fn serve(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--write-timeout-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) if ms > 0 => write_timeout_ms = ms,
+                _ => {
+                    eprintln!("error: --write-timeout-ms needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--admin" => admin = true,
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown serve flag `{flag}`");
-                eprintln!("usage: repro serve [ADDR] [--models DIR] [--read-timeout-ms MS]");
+                eprintln!(
+                    "usage: repro serve [ADDR] [--models DIR] [--admin] \
+                     [--read-timeout-ms MS] [--write-timeout-ms MS]"
+                );
                 std::process::exit(2);
             }
             positional => addr = positional.to_string(),
         }
+    }
+    if admin && models_dir.is_none() {
+        eprintln!(
+            "error: --admin needs --models DIR \
+             (load/save/reload paths are confined to that directory)"
+        );
+        std::process::exit(2);
     }
 
     // Claim the port before training: a bind conflict should fail in
@@ -170,6 +192,8 @@ fn serve(args: &[String]) -> ! {
         Arc::clone(&service),
         ServerConfig {
             read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+            write_timeout: std::time::Duration::from_millis(write_timeout_ms),
+            admin,
         },
     ) {
         Ok(server) => server,
@@ -179,11 +203,26 @@ fn serve(args: &[String]) -> ! {
         }
     };
     println!("serving on {}", server.local_addr());
-    println!(
-        "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-         stats [model=NAME] | models | load model=NAME path=FILE | \
-         save [model=NAME] [path=DEST] | reload model=NAME [path=FILE] | quit"
-    );
+    if admin {
+        println!(
+            "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
+             stats [model=NAME] | models | load model=NAME path=FILE | \
+             save [model=NAME] [path=DEST] | reload model=NAME [path=FILE] | quit"
+        );
+        println!(
+            "admin enabled: load/save/reload paths resolve inside {}",
+            models_dir
+                .as_deref()
+                .expect("--admin requires --models")
+                .display()
+        );
+    } else {
+        println!(
+            "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
+             stats [model=NAME] | models | quit \
+             (load/save/reload need --admin)"
+        );
+    }
     // Serve until killed; connections and workers run on their own threads.
     loop {
         std::thread::park();
@@ -284,7 +323,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro <artifact>... | all | --list | \
-             serve [ADDR] [--models DIR] [--read-timeout-ms MS] | \
+             serve [ADDR] [--models DIR] [--admin] [--read-timeout-ms MS] [--write-timeout-ms MS] | \
              bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]"
         );
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));

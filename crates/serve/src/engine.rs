@@ -37,8 +37,10 @@ pub struct ServiceConfig {
     /// Per-map entry bound of the feature cache (LRU eviction on
     /// overflow); `0` disables the bound.
     pub cache_capacity: usize,
-    /// Default directory for the `save` and `reload` wire commands when
-    /// they omit an explicit path; `None` makes the path mandatory.
+    /// The one directory the `load`/`save`/`reload` commands may touch:
+    /// default location when `path=` is omitted *and* the confinement
+    /// root for explicit paths (no `..`, no absolute path outside it).
+    /// `None` rejects every admin file operation.
     pub snapshot_dir: Option<PathBuf>,
 }
 
@@ -112,6 +114,20 @@ pub enum Request {
         /// Snapshot file; `None` reads `<snapshot_dir>/<model>.bagsnap`.
         path: Option<String>,
     },
+}
+
+impl Request {
+    /// True for the admin commands (`load`/`save`/`reload`) — the ones
+    /// that read or write the server's filesystem. The TCP front-end
+    /// refuses them unless the listener opted in
+    /// ([`crate::ServerConfig::admin`]); even then, the engine confines
+    /// their paths to [`ServiceConfig::snapshot_dir`].
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            Request::Load { .. } | Request::Save { .. } | Request::Reload { .. }
+        )
+    }
 }
 
 /// A successful reply.
@@ -638,11 +654,65 @@ fn model_stats(inner: &Inner, name: &str) -> Outcome {
     })
 }
 
+/// Rejects model names unusable as snapshot file stems. Snapshot paths
+/// are derived as `<snapshot_dir>/<name>.bagsnap`, so a name carrying
+/// path separators or `..` would let `save`/`reload` escape the snapshot
+/// directory; only a conservative allowlist gets through.
+fn validate_model_name(name: &str) -> Result<(), ServeError> {
+    let allowed = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-');
+    if name.is_empty()
+        || name.len() > 128
+        || !name.chars().all(allowed)
+        || name.chars().all(|c| c == '.')
+    {
+        return Err(ServeError::BadRequest(format!(
+            "invalid model name `{name}`: use 1..=128 chars from [A-Za-z0-9._-], not all dots"
+        )));
+    }
+    Ok(())
+}
+
+/// Confines a client-supplied path to the configured snapshot directory:
+/// `..` components are rejected outright, relative paths resolve inside
+/// the directory, and absolute paths must already lie inside it. This is
+/// what keeps a (even admin-enabled) TCP client from reading or writing
+/// arbitrary files with the server's privileges — in-process callers
+/// with real filesystem intent use [`crate::ModelRegistry`] directly.
+fn confine_to_snapshot_dir(inner: &Inner, raw: &str) -> Result<PathBuf, ServeError> {
+    use std::path::{Component, Path};
+    let dir = inner.config.snapshot_dir.as_ref().ok_or_else(|| {
+        ServeError::BadRequest(
+            "no snapshot dir configured (serve --models DIR); admin paths resolve inside it".into(),
+        )
+    })?;
+    let path = Path::new(raw);
+    if path.components().any(|c| matches!(c, Component::ParentDir)) {
+        return Err(ServeError::BadRequest(format!(
+            "path `{raw}` must not contain `..`"
+        )));
+    }
+    if path.has_root() {
+        if path.starts_with(dir) {
+            Ok(path.to_path_buf())
+        } else {
+            Err(ServeError::BadRequest(format!(
+                "path `{raw}` escapes the snapshot dir `{}`",
+                dir.display()
+            )))
+        }
+    } else {
+        Ok(dir.join(path))
+    }
+}
+
 /// `load model=<name> path=<file>`: decode (checksum-verified) and
-/// register, replacing any same-named model atomically.
+/// register, replacing any same-named model atomically. The name and
+/// path are client-supplied, so both are validated/confined.
 fn do_load(inner: &Inner, name: &str, path: &str) -> Outcome {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ServeError::Snapshot(format!("read {path}: {e}")))?;
+    validate_model_name(name)?;
+    let path = confine_to_snapshot_dir(inner, path)?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ServeError::Snapshot(format!("read {}: {e}", path.display())))?;
     let model = ServableModel::from_snapshot(&text)?;
     let desc = model.describe();
     let replaced = inner.registry.get(name).is_some();
@@ -655,20 +725,15 @@ fn do_load(inner: &Inner, name: &str, path: &str) -> Outcome {
 }
 
 /// Resolves an optional wire path against the configured snapshot
-/// directory, erroring when neither is available.
+/// directory (both explicit and derived paths stay confined to it),
+/// erroring when no directory is configured.
 fn snapshot_path(inner: &Inner, explicit: Option<&str>, name: &str) -> Result<PathBuf, ServeError> {
     match explicit {
-        Some(path) => Ok(PathBuf::from(path)),
-        None => inner
-            .config
-            .snapshot_dir
-            .as_ref()
-            .map(|dir| dir.join(format!("{name}.bagsnap")))
-            .ok_or_else(|| {
-                ServeError::BadRequest(
-                    "no snapshot dir configured (serve --models DIR); pass path=FILE".into(),
-                )
-            }),
+        Some(path) => confine_to_snapshot_dir(inner, path),
+        None => {
+            validate_model_name(name)?;
+            confine_to_snapshot_dir(inner, &format!("{name}.bagsnap"))
+        }
     }
 }
 
@@ -689,7 +754,7 @@ fn do_save(inner: &Inner, model: Option<&str>, dest: Option<&str>) -> Outcome {
         }
         None => {
             let dir = match dest {
-                Some(dir) => PathBuf::from(dir),
+                Some(dir) => confine_to_snapshot_dir(inner, dir)?,
                 None => inner.config.snapshot_dir.clone().ok_or_else(|| {
                     ServeError::BadRequest(
                         "no snapshot dir configured (serve --models DIR); pass path=DIR".into(),
@@ -1068,7 +1133,7 @@ mod tests {
     }
 
     #[test]
-    fn save_and_reload_without_a_dir_or_path_are_rejected() {
+    fn admin_file_commands_without_a_snapshot_dir_are_rejected() {
         let service = service(); // no snapshot_dir configured
         assert!(matches!(
             service.call(Request::Save {
@@ -1084,13 +1149,114 @@ mod tests {
             }),
             Err(ServeError::BadRequest(_))
         ));
+        // `load` paths are confined to the snapshot dir, so without one
+        // even an existing file is unreachable — a path error, not a
+        // read error.
         assert!(matches!(
             service.call(Request::Load {
                 model: "x".into(),
                 path: "/nonexistent/snapshot.bagsnap".into()
             }),
-            Err(ServeError::Snapshot(_))
+            Err(ServeError::BadRequest(_))
         ));
         service.shutdown();
+    }
+
+    #[test]
+    fn admin_paths_and_model_names_cannot_escape_the_snapshot_dir() {
+        let dir = testutil::scratch_dir("engine-confine");
+        let service = PredictionService::start(
+            testutil::fresh_registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                snapshot_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+        );
+
+        // Traversal and absolute escapes die before any filesystem
+        // access, whichever command carries them.
+        for path in ["../evil.bagsnap", "inner/../../evil", "/etc/passwd"] {
+            assert!(
+                matches!(
+                    service.call(Request::Load {
+                        model: "x".into(),
+                        path: path.into(),
+                    }),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "load path `{path}` must be rejected"
+            );
+        }
+        assert!(matches!(
+            service.call(Request::Save {
+                model: Some(PAIR_MODEL.into()),
+                dest: Some("/tmp/elsewhere.bagsnap".into()),
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.call(Request::Reload {
+                model: PAIR_MODEL.into(),
+                path: Some("../elsewhere.bagsnap".into()),
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        // Hostile model names are rejected on `load`, and a hostile name
+        // already in the registry cannot turn `save`/`reload`'s derived
+        // `<dir>/<name>.bagsnap` path into an escape.
+        for name in ["", "..", "a/b", "a\\b", "."] {
+            assert!(
+                matches!(
+                    service.call(Request::Load {
+                        model: name.into(),
+                        path: "whatever.bagsnap".into(),
+                    }),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "model name `{name}` must be rejected"
+            );
+        }
+        let hostile = "../pair-escape";
+        let snapshot = service.registry().snapshot(PAIR_MODEL).expect("encodes");
+        service
+            .registry()
+            .insert_snapshot(hostile, &snapshot)
+            .expect("in-process insert is unrestricted");
+        assert!(matches!(
+            service.call(Request::Reload {
+                model: hostile.into(),
+                path: None,
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.call(Request::Save {
+                model: Some(hostile.into()),
+                dest: None,
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        // Confined-but-missing files are a snapshot error — the path
+        // checks above are not just masking read failures.
+        assert!(matches!(
+            service.call(Request::Load {
+                model: "x".into(),
+                path: "missing.bagsnap".into(),
+            }),
+            Err(ServeError::Snapshot(_))
+        ));
+        // Absolute paths *inside* the dir remain usable (`save` replies
+        // hand them out).
+        service
+            .call(Request::Save {
+                model: Some(PAIR_MODEL.into()),
+                dest: Some(dir.join("abs.bagsnap").display().to_string()),
+            })
+            .expect("absolute path inside the snapshot dir is allowed");
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

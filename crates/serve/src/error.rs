@@ -22,6 +22,10 @@ pub enum ServeError {
     /// predictor, which has no snapshot codec, or a pair model asked to
     /// predict a 3-bag).
     Unsupported(String),
+    /// An admin command (`load`/`save`/`reload`) arrived on a listener
+    /// that was not started with admin mode enabled. Admin commands
+    /// touch the server's filesystem, so they are opt-in per listener.
+    AdminDisabled,
 }
 
 impl fmt::Display for ServeError {
@@ -33,6 +37,10 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
             ServeError::Snapshot(why) => write!(f, "snapshot error: {why}"),
             ServeError::Unsupported(why) => write!(f, "unsupported: {why}"),
+            ServeError::AdminDisabled => write!(
+                f,
+                "admin disabled: load/save/reload need a server started with --admin"
+            ),
         }
     }
 }

@@ -15,10 +15,16 @@
 //! `load` registers (or replaces) a model from a checksummed snapshot
 //! file; `save` writes one model to a file or, without `model=`, every
 //! model to a directory; `reload` atomically swaps an already-registered
-//! model with a fresh decode of its snapshot. `save`/`reload` fall back
-//! to the service's configured snapshot directory when `path=` is
-//! omitted. Paths must not contain whitespace (the protocol is
-//! whitespace-tokenized).
+//! model with a fresh decode of its snapshot. These three are **admin
+//! commands**: they touch the server's filesystem, so the TCP listener
+//! refuses them with `err admin disabled` unless it was started in admin
+//! mode (`repro serve --admin`), and even then every path — explicit or
+//! derived — is confined to the configured snapshot directory: relative
+//! paths resolve inside it, absolute paths must already lie inside it,
+//! `..` components are rejected, and model names are restricted to
+//! `[A-Za-z0-9._-]`. `save`/`reload` fall back to
+//! `<snapshot_dir>/<model>.bagsnap` when `path=` is omitted. Paths must
+//! not contain whitespace (the protocol is whitespace-tokenized).
 //!
 //! Replies start with `ok ` or `err `:
 //!

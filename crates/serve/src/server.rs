@@ -7,23 +7,32 @@
 //! `err ...` line per request. Concurrency control lives in the engine
 //! (bounded queue + worker pool), so a slow or malicious client can at
 //! worst occupy its own connection thread — it cannot starve other
-//! clients of prediction workers.
+//! clients of prediction workers. The filesystem-touching admin commands
+//! (`load`/`save`/`reload`) are refused with `err admin disabled` unless
+//! the listener was started with [`ServerConfig::admin`]; even then the
+//! engine confines their paths to the configured snapshot directory, so
+//! no TCP client can read or write arbitrary files.
 //!
 //! # Connection lifecycle
 //!
-//! Every connection thread is tracked in a registry of join handles and
-//! reads with a bounded timeout ([`ServerConfig::read_timeout`]), so a
-//! half-open client that never sends a byte cannot pin its thread in
-//! `read` forever: the thread wakes at least once per timeout and
-//! re-checks the stop flag. [`Server::shutdown`] **drains**: it stops the
-//! accept loop (waking it through a loopback connection, which also works
-//! when the server is bound to a wildcard address like `0.0.0.0`), then
-//! joins every live connection thread. In-flight requests finish — the
-//! engine answers them and the client reads a complete final reply before
-//! EOF — and no thread is leaked: when `shutdown` returns,
+//! Every connection thread is tracked in a registry of join handles, and
+//! both directions of its socket are bounded: reads by
+//! [`ServerConfig::read_timeout`] — a half-open client that never sends
+//! a byte cannot pin its thread in `read`; the thread wakes at least
+//! once per timeout and re-checks the stop flag — and writes by
+//! [`ServerConfig::write_timeout`] — a client that pipelines requests
+//! but never drains replies fills its socket buffers and is
+//! disconnected instead of pinning the thread in `write`.
+//! [`Server::shutdown`] **drains**: it stops the accept loop (waking it
+//! through a loopback connection, which also works when the server is
+//! bound to a wildcard address like `0.0.0.0`), then joins every live
+//! connection thread. In-flight requests finish — the engine answers
+//! them and the client reads a complete final reply before EOF — and no
+//! thread is leaked: when `shutdown` returns,
 //! [`Server::active_connections`] is zero.
 
 use crate::engine::PredictionService;
+use crate::error::ServeError;
 use crate::protocol::{format_outcome, parse_request};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -40,12 +49,28 @@ pub struct ServerConfig {
     /// thread can go without re-checking the stop flag, and therefore
     /// the drain latency an idle connection adds to `shutdown`.
     pub read_timeout: Duration,
+    /// Upper bound on one blocking write. A client that pipelines
+    /// requests but never reads replies eventually fills its socket
+    /// buffers; without this bound the connection thread blocks in
+    /// `write_all` forever and shutdown cannot drain it. A timed-out
+    /// write is fatal to that connection (the reply would be torn
+    /// anyway), so pick it generous enough for legitimately slow
+    /// readers.
+    pub write_timeout: Duration,
+    /// Serve the `load`/`save`/`reload` admin commands on this listener.
+    /// Off by default: they touch the server's filesystem, which an
+    /// unauthenticated TCP client has no business doing. Even when
+    /// enabled, the engine confines their paths to the configured
+    /// snapshot directory.
+    pub admin: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(5),
+            admin: false,
         }
     }
 }
@@ -86,9 +111,11 @@ impl Lifecycle {
         }
     }
 
-    /// Joins every tracked connection thread. Threads exit within one
-    /// read timeout of the stop flag (sooner if their client hangs up),
-    /// so this bounds shutdown instead of hanging on half-open peers.
+    /// Joins every tracked connection thread. A thread notices the stop
+    /// flag within one read timeout, and no single blocking operation
+    /// outlasts the read/write timeouts plus one in-flight request, so
+    /// this bounds shutdown instead of hanging on half-open peers or
+    /// non-reading ones.
     fn drain(&self) {
         let all: Vec<thread::JoinHandle<()>> = {
             let mut handles = self.handles.lock().expect("handles lock poisoned");
@@ -192,9 +219,9 @@ impl Server {
                 let id = accept_lifecycle.next_id.fetch_add(1, Ordering::Relaxed);
                 let service = Arc::clone(&service);
                 let conn_lifecycle = Arc::clone(&accept_lifecycle);
-                let read_timeout = config.read_timeout;
+                let config = config.clone();
                 let handle = thread::spawn(move || {
-                    let _ = handle_connection(stream, &service, &conn_lifecycle.stop, read_timeout);
+                    let _ = handle_connection(stream, &service, &conn_lifecycle.stop, &config);
                     conn_lifecycle
                         .finished
                         .lock()
@@ -227,7 +254,9 @@ impl Server {
 
     /// Stops the accept loop, then **drains**: joins every connection
     /// thread, letting in-flight requests finish their final reply.
-    /// Bounded by the read timeout plus the longest in-flight request;
+    /// Bounded by the read timeout plus the write timeout plus the
+    /// longest in-flight request — a non-reading client cannot extend
+    /// it, its blocked reply write times out and fails fatally — and
     /// when it returns, no connection thread remains. Idempotent. Does
     /// not shut down the underlying [`PredictionService`] — the caller
     /// owns that (and shuts it down *after* the server, so draining
@@ -270,15 +299,25 @@ fn handle_connection(
     stream: TcpStream,
     service: &PredictionService,
     stop: &AtomicBool,
-    read_timeout: Duration,
+    config: &ServerConfig,
 ) -> io::Result<()> {
-    // A bounded read is what makes shutdown drainable: without it a
-    // half-open client (connected, never sending) parks this thread in
-    // `read` forever and `shutdown` would hang joining it.
-    stream.set_read_timeout(Some(read_timeout))?;
+    // Bounded reads *and* writes are what make shutdown drainable:
+    // without the read timeout a half-open client (connected, never
+    // sending) parks this thread in `read` forever; without the write
+    // timeout a client that pipelines requests but never drains replies
+    // fills its socket buffers and parks the thread in `write_all` — in
+    // either case `shutdown` would hang joining it. A timed-out write
+    // (`WouldBlock`/`TimedOut` below) propagates as a fatal connection
+    // error: the reply would be torn anyway.
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Bytes, not a String: `BufRead::read_line` drops a trailing
+    // incomplete UTF-8 sequence when a read times out mid-character,
+    // silently corrupting the request. `read_until` keeps every byte
+    // across timeouts; UTF-8 is validated once a full line is present.
+    let mut line: Vec<u8> = Vec::new();
     loop {
         // Checked before every line — not only after one arrives — so a
         // client streaming requests back-to-back cannot postpone drain
@@ -286,22 +325,38 @@ fn handle_connection(
         if stop.load(Ordering::Acquire) {
             break;
         }
-        match reader.read_line(&mut line) {
+        match reader.read_until(b'\n', &mut line) {
             Ok(0) => break, // EOF: client hung up.
             Ok(_) => {
-                let ended_with_newline = line.ends_with('\n');
-                let request = line.trim();
-                if request == "quit" || request == "exit" {
-                    break;
-                }
-                if !request.is_empty() {
-                    let outcome = match parse_request(request) {
-                        // Parse errors never reach the queue; they are
-                        // answered inline so malformed floods cannot
-                        // shed well-formed load.
-                        Err(err) => Err(err),
-                        Ok(request) => service.call(request),
-                    };
+                let ended_with_newline = line.last() == Some(&b'\n');
+                let outcome = match std::str::from_utf8(&line) {
+                    Err(_) => Some(Err(ServeError::BadRequest(
+                        "request is not valid UTF-8".into(),
+                    ))),
+                    Ok(text) => {
+                        let request = text.trim();
+                        if request == "quit" || request == "exit" {
+                            break;
+                        }
+                        if request.is_empty() {
+                            None
+                        } else {
+                            Some(match parse_request(request) {
+                                // Parse errors never reach the queue;
+                                // they are answered inline so malformed
+                                // floods cannot shed well-formed load.
+                                Err(err) => Err(err),
+                                // Admin commands touch the filesystem;
+                                // refused unless this listener opted in.
+                                Ok(request) if request.is_admin() && !config.admin => {
+                                    Err(ServeError::AdminDisabled)
+                                }
+                                Ok(request) => service.call(request),
+                            })
+                        }
+                    }
+                };
+                if let Some(outcome) = outcome {
                     writer.write_all(format_outcome(&outcome).as_bytes())?;
                     writer.write_all(b"\n")?;
                     writer.flush()?;
@@ -311,9 +366,9 @@ fn handle_connection(
                     break; // EOF after an unterminated final line.
                 }
             }
-            // Timeout: nothing (or only a partial line) arrived. The
-            // partial bytes stay in `line` — read_line appends — so a
-            // slow sender loses nothing; loop to re-check `stop`.
+            // Read timeout: nothing (or only a partial line) arrived.
+            // The partial bytes stay in `line` — read_until appends — so
+            // a slow sender loses nothing; loop to re-check `stop`.
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -449,6 +504,7 @@ mod tests {
             Arc::clone(&service),
             ServerConfig {
                 read_timeout: Duration::from_millis(25),
+                ..ServerConfig::default()
             },
         )
         .expect("binds");
@@ -494,6 +550,7 @@ mod tests {
             Arc::clone(&service),
             ServerConfig {
                 read_timeout: Duration::from_millis(25),
+                ..ServerConfig::default()
             },
         )
         .expect("binds");
@@ -512,6 +569,164 @@ mod tests {
         reader.read_line(&mut reply).expect("reads");
         assert!(reply.starts_with("ok model="), "{reply}");
         server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn multibyte_utf8_split_across_a_read_timeout_survives_intact() {
+        // A read timeout that fires between the two bytes of `é` used to
+        // lose the partial line: `read_line`'s UTF-8 guard dropped the
+        // incomplete tail. The byte-level reader must hand the parser
+        // the full `café` so the error names it verbatim.
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let mut server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig {
+                read_timeout: Duration::from_millis(25),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("binds");
+
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"predict caf\xC3").expect("writes");
+        writer.flush().expect("flushes");
+        thread::sleep(Duration::from_millis(80)); // several timeouts fire
+        writer.write_all(b"\xA9@20+KNN@40\n").expect("writes");
+        writer.flush().expect("flushes");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reads");
+        assert!(
+            reply.contains("unknown benchmark `café`"),
+            "split multi-byte char must survive the timeout: {reply:?}"
+        );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_utf8_gets_an_err_reply_and_the_connection_survives() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"\xFF\xFE nonsense\n").expect("writes");
+        writer
+            .write_all(b"predict SIFT@20+KNN@40\n")
+            .expect("writes");
+        writer.flush().expect("flushes");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reads");
+        assert!(
+            reply.starts_with("err bad request: request is not valid UTF-8"),
+            "{reply:?}"
+        );
+        reply.clear();
+        reader.read_line(&mut reply).expect("reads");
+        assert!(reply.starts_with("ok model="), "{reply:?}");
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn admin_commands_are_refused_unless_the_listener_opted_in() {
+        // Default listener: no admin. The engine never sees the command
+        // — no file is read or written, the queue is never entered.
+        let (mut server, service) = start();
+        let replies = roundtrip(
+            server.local_addr(),
+            &[
+                "load model=x path=x.bagsnap",
+                "save",
+                "reload model=pair-tree",
+                "predict SIFT@20+KNN@40", // non-admin traffic unaffected
+            ],
+        );
+        for admin_reply in &replies[..3] {
+            assert!(
+                admin_reply.starts_with("err admin disabled"),
+                "{admin_reply}"
+            );
+        }
+        assert!(replies[3].starts_with("ok model="), "{}", replies[3]);
+        server.shutdown();
+
+        // Opt-in listener: the command reaches the engine (which still
+        // demands a snapshot dir before touching the filesystem).
+        let mut server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig {
+                admin: true,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("binds");
+        let reply = roundtrip(server.local_addr(), &["save"]).remove(0);
+        assert!(
+            reply.starts_with("err bad request: no snapshot dir configured"),
+            "{reply}"
+        );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn non_reading_pipelining_client_cannot_block_shutdown() {
+        // A client that floods requests and never reads replies: once
+        // the socket buffers fill, the connection thread blocks in
+        // `write_all` — without a write timeout it would never re-check
+        // the stop flag and drain would join it forever.
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig {
+                read_timeout: Duration::from_millis(25),
+                write_timeout: Duration::from_millis(100),
+                admin: false,
+            },
+        )
+        .expect("binds");
+
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        stream
+            .set_write_timeout(Some(Duration::from_millis(250)))
+            .expect("sets timeout");
+        let flooder = thread::spawn(move || {
+            // ~30k pipelined stats requests (~250-byte replies) — far
+            // more reply bytes than default socket buffers hold. The
+            // client's own sends may start failing once the server
+            // stops reading; that is part of the scenario.
+            let burst = b"stats\n".repeat(1_000);
+            for _ in 0..30 {
+                let mut w: &TcpStream = &stream;
+                if w.write_all(&burst).is_err() {
+                    break;
+                }
+            }
+            stream // keep the socket open (never read) until joined
+        });
+
+        thread::sleep(Duration::from_millis(300)); // let buffers fill
+        let server = shutdown_within(server, Duration::from_secs(10));
+        assert_eq!(
+            server.active_connections(),
+            0,
+            "drain must not hang on a non-reading client"
+        );
+        drop(flooder.join());
         service.shutdown();
     }
 }

@@ -29,14 +29,20 @@ cargo clippy -q --all-targets -- -D warnings
 echo "== serving integration (bounded at 300s) =="
 timeout 300 cargo test -q --test serving
 
-echo "== serving lifecycle: drain + hot reload (bounded at 120s) =="
-# The two lifecycle regressions this repo has shipped fixes for: a
-# shutdown that leaks half-open connection threads, and a reload that
-# drops or mis-answers queued requests. Run them by name so a filter
-# change in the suite above can never silently skip them.
+echo "== serving lifecycle: drain + hot reload + admin gating (bounded at 120s) =="
+# The lifecycle and security regressions this repo has shipped fixes
+# for: a shutdown that leaks half-open connection threads, a reload
+# that drops or mis-answers queued requests, and admin commands that
+# let any TCP client read/write arbitrary files. Run them by name so a
+# filter change in the suite above can never silently skip them.
 timeout 120 cargo test -q --test serving -- --exact \
   shutdown_under_load_drains_all_connections_with_clean_final_replies \
-  hot_reload_swaps_the_model_under_concurrent_traffic_without_dropping_requests
+  hot_reload_swaps_the_model_under_concurrent_traffic_without_dropping_requests \
+  admin_commands_over_the_wire_are_disabled_by_default_and_confined_when_enabled
+timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
+  server::tests::non_reading_pipelining_client_cannot_block_shutdown \
+  server::tests::multibyte_utf8_split_across_a_read_timeout_survives_intact \
+  engine::tests::admin_paths_and_model_names_cannot_escape_the_snapshot_dir
 
 echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any

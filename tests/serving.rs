@@ -235,6 +235,7 @@ fn shutdown_under_load_drains_all_connections_with_clean_final_replies() {
         Arc::clone(&service),
         ServerConfig {
             read_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
         },
     )
     .expect("binds ephemeral port");
@@ -335,24 +336,37 @@ fn hot_reload_swaps_the_model_under_concurrent_traffic_without_dropping_requests
         panic!("pair-tree must be a pair model");
     };
 
-    // The snapshot `reload` will swap in: written before traffic starts.
-    let snapshot_path = std::env::temp_dir().join(format!(
-        "bagpred-serving-reload-{}.bagsnap",
-        std::process::id()
-    ));
+    // The snapshot `reload` will swap in: written into the service's
+    // snapshot dir before traffic starts (admin paths are confined to
+    // that directory, so the wire command names the file relatively).
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("bagpred-serving-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&snapshot_dir).expect("creates snapshot dir");
     std::fs::write(
-        &snapshot_path,
+        snapshot_dir.join("pair-v2.bagsnap"),
         registry.snapshot(bootstrap::PAIR_MODEL).expect("encodes"),
     )
     .expect("writes snapshot");
 
-    // A private service so the per-model tallies below are exact.
+    // A private service so the per-model tallies below are exact, on an
+    // admin-enabled listener: `reload` over the wire is opt-in.
     let service = PredictionService::start(
         Arc::clone(&registry),
         platforms.clone(),
-        ServiceConfig::default(),
+        ServiceConfig {
+            snapshot_dir: Some(snapshot_dir.clone()),
+            ..ServiceConfig::default()
+        },
     );
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds ephemeral port");
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            admin: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds ephemeral port");
     let addr = server.local_addr();
 
     // Three fixed bags, expected lines from the offline predictor. The
@@ -414,9 +428,8 @@ fn hot_reload_swaps_the_model_under_concurrent_traffic_without_dropping_requests
     // atomic in the registry; queued requests resolve old or new, never
     // neither.
     let reload_line = format!(
-        "reload model={} path={}",
-        bootstrap::PAIR_MODEL,
-        snapshot_path.display()
+        "reload model={} path=pair-v2.bagsnap",
+        bootstrap::PAIR_MODEL
     );
     for _ in 0..3 {
         let reply = client_roundtrip(addr, std::slice::from_ref(&reload_line)).remove(0);
@@ -452,9 +465,91 @@ fn hot_reload_swaps_the_model_under_concurrent_traffic_without_dropping_requests
         "per-model stats disagree with client tallies:\n  want prefix: {prefix}\n  got: {stats_line}"
     );
 
-    std::fs::remove_file(&snapshot_path).ok();
+    std::fs::remove_dir_all(&snapshot_dir).ok();
     drop(server);
     service.shutdown();
+}
+
+#[test]
+fn admin_commands_over_the_wire_are_disabled_by_default_and_confined_when_enabled() {
+    // Default listener (no --admin): `load`/`save`/`reload` never reach
+    // the engine — an unauthenticated client cannot make the server
+    // touch its filesystem at all.
+    let (server, service) = start_server();
+    let replies = client_roundtrip(
+        server.local_addr(),
+        &[
+            "load model=x path=/etc/passwd".to_string(),
+            "save path=/tmp/exfil".to_string(),
+            format!("reload model={}", bootstrap::PAIR_MODEL),
+            "predict SIFT@20+KNN@40".to_string(),
+        ],
+    );
+    for refusal in &replies[..3] {
+        assert!(
+            refusal.starts_with("err admin disabled"),
+            "admin command must be refused on a default listener: {refusal}"
+        );
+    }
+    assert!(replies[3].starts_with("ok model="), "{}", replies[3]);
+    drop(server);
+    service.shutdown();
+
+    // Admin-enabled listener: commands run, but their paths are confined
+    // to the configured snapshot dir — traversal and absolute escapes
+    // are rejected before any filesystem access.
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("bagpred-serving-admin-{}", std::process::id()));
+    std::fs::create_dir_all(&snapshot_dir).expect("creates snapshot dir");
+    let service = PredictionService::start(
+        registry(),
+        Platforms::paper(),
+        ServiceConfig {
+            snapshot_dir: Some(snapshot_dir.clone()),
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            admin: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds ephemeral port");
+    let replies = client_roundtrip(
+        server.local_addr(),
+        &[
+            "load model=x path=/etc/passwd".to_string(),
+            "load model=x path=../escape.bagsnap".to_string(),
+            "save path=/tmp/exfil".to_string(),
+            format!("save model={}", bootstrap::PAIR_MODEL), // inside the dir: allowed
+            format!("reload model={}", bootstrap::PAIR_MODEL),
+        ],
+    );
+    for escape in &replies[..3] {
+        assert!(
+            escape.starts_with("err bad request"),
+            "path escape must be rejected: {escape}"
+        );
+    }
+    assert_eq!(
+        replies[3],
+        format!(
+            "ok saved model={} dest={}",
+            bootstrap::PAIR_MODEL,
+            snapshot_dir.join("pair-tree.bagsnap").display()
+        )
+    );
+    assert!(
+        replies[4].starts_with("ok reloaded model="),
+        "{}",
+        replies[4]
+    );
+    drop(server);
+    service.shutdown();
+    std::fs::remove_dir_all(&snapshot_dir).ok();
 }
 
 #[test]
