@@ -425,26 +425,49 @@ impl Predictor {
             .copied()
             .filter(|&bench| records.iter().any(|m| m.bag().involves(bench)))
             .collect();
-        let scheme = &self.scheme;
-        let kind = self.kind;
-        let max_depth = self.max_depth;
+        let this: &Predictor = self;
         let per_benchmark = crate::parallel::parallel_map(&folds, threads, |&bench| {
-            let (test, train): (Vec<_>, Vec<_>) = records
-                .iter()
-                .cloned()
-                .partition(|m| m.bag().involves(bench));
-            assert!(
-                !train.is_empty(),
-                "LOOCV round for {bench} has no training data"
-            );
-            let mut fold = Predictor::new(scheme.clone())
-                .with_model(kind)
-                .with_max_depth(max_depth);
-            fold.train(&train);
-            let error = fold.evaluate(&test);
-            (bench, error, test.len())
+            let (error, tested) = this
+                .loocv_fold(records, bench)
+                .expect("folds keep only involved benchmarks");
+            (bench, error, tested)
         });
         LoocvReport { per_benchmark }
+    }
+
+    /// Trains and evaluates one leave-`bench`-out fold: every bag
+    /// *involving* `bench` is held out as the test set and a fresh
+    /// predictor with this predictor's configuration trains on the rest.
+    /// Returns `(mean_relative_error, tested_bags)`, or `None` when no
+    /// record involves `bench` (the fold would test nothing).
+    ///
+    /// This is exactly the per-fold body of
+    /// [`loocv_by_benchmark`](Self::loocv_by_benchmark) — exposed so
+    /// harnesses (`repro bench`) can time folds individually while
+    /// computing bit-identical errors. The predictor's own trained state
+    /// is never touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fold would have an empty training set.
+    pub fn loocv_fold(&self, records: &[Measurement], bench: Benchmark) -> Option<(f64, usize)> {
+        if !records.iter().any(|m| m.bag().involves(bench)) {
+            return None;
+        }
+        let (test, train): (Vec<_>, Vec<_>) = records
+            .iter()
+            .cloned()
+            .partition(|m| m.bag().involves(bench));
+        assert!(
+            !train.is_empty(),
+            "LOOCV round for {bench} has no training data"
+        );
+        let mut fold = Predictor::new(self.scheme.clone())
+            .with_model(self.kind)
+            .with_max_depth(self.max_depth);
+        fold.train(&train);
+        let error = fold.evaluate(&test);
+        Some((error, test.len()))
     }
 
     /// The fitted decision tree, when the backing model is a tree.
@@ -614,6 +637,24 @@ mod tests {
             assert_eq!(*n, 11, "{bench}");
             assert!(err.is_finite() && *err >= 0.0);
         }
+    }
+
+    #[test]
+    fn loocv_fold_is_bit_identical_to_the_report_entry() {
+        let mut p = Predictor::new(FeatureSet::full());
+        let report = p.loocv_by_benchmark_threads(records(), 1);
+        for (bench, err, n) in report.per_benchmark() {
+            let (fold_err, fold_n) = p.loocv_fold(records(), *bench).expect("bench is involved");
+            assert_eq!(fold_err.to_bits(), err.to_bits(), "{bench}");
+            assert_eq!(fold_n, *n, "{bench}");
+        }
+        // A corpus with no SIFT bags has no SIFT fold.
+        let no_sift: Vec<_> = records()
+            .iter()
+            .filter(|m| !m.bag().involves(Benchmark::Sift))
+            .cloned()
+            .collect();
+        assert_eq!(p.loocv_fold(&no_sift, Benchmark::Sift), None);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! * single-record `predict` vs. flattened `predict_batch` on a large
 //!   cycled batch (tree and forest).
 //!
+//! Every run of every stage is also recorded into the serving layer's
+//! lock-free [`LogHistogram`] — the report's `stage_*` keys give p50/p95/max
+//! per phase (including individual LOOCV folds via
+//! [`Predictor::loocv_fold`]) — and `obs_batch_overhead_percent` measures
+//! what that instrumentation costs on the batch-predict path (gated < 5%
+//! by `scripts/verify.sh`).
+//!
 //! The report is written as `BENCH_pipeline.json` (hand-formatted — the
 //! offline build carries no JSON dependency) so `scripts/verify.sh` can
 //! smoke-run the harness and fail on large throughput regressions against
@@ -19,6 +26,7 @@
 use bagpred_core::{
     parallel, Bag, Corpus, FeatureSet, Measurement, ModelKind, Platforms, Predictor,
 };
+use bagpred_obs::LogHistogram;
 use bagpred_workloads::{Benchmark, Workload};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -83,16 +91,60 @@ pub struct BenchReport {
     pub forest_batch_ns_per_record: f64,
     /// `forest_single_ns_per_record / forest_batch_ns_per_record`.
     pub forest_batch_speedup: f64,
+    /// Per-phase timing breakdown: every run of every stage recorded
+    /// through the same [`LogHistogram`] the serving layer uses, stable
+    /// order.
+    pub stages: Vec<StageStat>,
+    /// Wall-clock cost of recording one histogram sample per
+    /// `predict_batch` call, as a percentage of the uninstrumented loop
+    /// (clamped at 0 — noise can make the instrumented loop *faster*).
+    /// `scripts/verify.sh` gates this below 5%.
+    pub obs_batch_overhead_percent: f64,
+}
+
+/// One row of the per-phase breakdown: nearest-rank quantiles (see
+/// [`bagpred_obs::HistogramSnapshot::quantile`]) of every recorded run
+/// of the phase, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStat {
+    /// Phase name (`snake_case`, used in JSON keys as `stage_<name>_*`).
+    pub name: &'static str,
+    /// Runs recorded.
+    pub samples: u64,
+    /// Median run, microseconds (at log2 bucket resolution).
+    pub p50_us: u64,
+    /// 95th-percentile run, microseconds (at log2 bucket resolution).
+    pub p95_us: u64,
+    /// Slowest run, microseconds (exact).
+    pub max_us: u64,
+}
+
+impl StageStat {
+    fn of(name: &'static str, hist: &LogHistogram) -> Self {
+        let snap = hist.snapshot();
+        Self {
+            name,
+            samples: snap.count,
+            p50_us: snap.quantile(0.50),
+            p95_us: snap.quantile(0.95),
+            max_us: snap.max,
+        }
+    }
 }
 
 /// Runs `f` `runs` times and returns the best (minimum) wall time — the
-/// standard way to suppress scheduler noise for a deterministic workload.
-fn time_best<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+/// standard way to suppress scheduler noise for a deterministic
+/// workload — additionally recording every run (not just the best) into
+/// `hist`: the per-phase breakdown sees the spread, the headline number
+/// stays the noise-suppressed minimum.
+fn time_best_recorded<R>(runs: usize, hist: &LogHistogram, mut f: impl FnMut() -> R) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..runs.max(1) {
         let start = Instant::now();
         black_box(f());
-        best = best.min(start.elapsed());
+        let elapsed = start.elapsed();
+        hist.record_duration(elapsed);
+        best = best.min(elapsed);
     }
     best
 }
@@ -133,28 +185,51 @@ pub fn run(options: &BenchOptions) -> BenchReport {
     let (measure_runs, train_runs, predict_runs) = if smoke { (1, 2, 3) } else { (2, 3, 7) };
     let batch_records = if smoke { 256 } else { 1000 };
 
-    let corpus_measure_serial =
-        time_best(measure_runs, || corpus.measure_on_threads(&platforms, 1));
-    let corpus_measure_parallel = time_best(measure_runs, || {
+    // Per-phase histograms: the same lock-free type the serving layer
+    // records request latencies into, so offline and online breakdowns
+    // read identically.
+    let measure_hist = LogHistogram::new();
+    let train_tree_hist = LogHistogram::new();
+    let train_forest_hist = LogHistogram::new();
+    let loocv_hist = LogHistogram::new();
+    let loocv_fold_hist = LogHistogram::new();
+    let predict_single_hist = LogHistogram::new();
+    let predict_batch_hist = LogHistogram::new();
+
+    let corpus_measure_serial = time_best_recorded(measure_runs, &measure_hist, || {
+        corpus.measure_on_threads(&platforms, 1)
+    });
+    let corpus_measure_parallel = time_best_recorded(measure_runs, &measure_hist, || {
         corpus.measure_on_threads(&platforms, threads)
     });
     let records = corpus.measure_on(&platforms);
 
-    let train_tree = time_best(train_runs, || {
+    let train_tree = time_best_recorded(train_runs, &train_tree_hist, || {
         let mut p = Predictor::new(FeatureSet::full());
         p.train(&records);
         p
     });
-    let train_forest = time_best(train_runs, || {
+    let train_forest = time_best_recorded(train_runs, &train_forest_hist, || {
         let mut p = Predictor::new(FeatureSet::full()).with_model(ModelKind::RandomForest);
         p.train(&records);
         p
     });
 
     let mut probe = Predictor::new(FeatureSet::full());
+    // Each fold timed individually first — the per-fold histogram is the
+    // number a capacity planner wants (folds are the unit the parallel
+    // LOOCV schedules) — then the full serial/parallel sweeps.
+    for bench in Benchmark::ALL {
+        let start = Instant::now();
+        if black_box(probe.loocv_fold(&records, bench)).is_some() {
+            loocv_fold_hist.record_duration(start.elapsed());
+        }
+    }
     let loocv_runs = if smoke { 1 } else { 3 };
-    let loocv_serial = time_best(loocv_runs, || probe.loocv_by_benchmark_threads(&records, 1));
-    let loocv_parallel = time_best(loocv_runs, || {
+    let loocv_serial = time_best_recorded(loocv_runs, &loocv_hist, || {
+        probe.loocv_by_benchmark_threads(&records, 1)
+    });
+    let loocv_parallel = time_best_recorded(loocv_runs, &loocv_hist, || {
         probe.loocv_by_benchmark_threads(&records, threads)
     });
 
@@ -183,14 +258,20 @@ pub fn run(options: &BenchOptions) -> BenchReport {
         }
     }
 
-    let tree_single = time_best(predict_runs, || {
+    let tree_single = time_best_recorded(predict_runs, &predict_single_hist, || {
         batch.iter().map(|m| tree.predict(m)).sum::<f64>()
     });
-    let tree_batch = time_best(predict_runs, || tree.predict_batch(&batch));
-    let forest_single = time_best(predict_runs, || {
+    let tree_batch = time_best_recorded(predict_runs, &predict_batch_hist, || {
+        tree.predict_batch(&batch)
+    });
+    let forest_single = time_best_recorded(predict_runs, &predict_single_hist, || {
         batch.iter().map(|m| forest.predict(m)).sum::<f64>()
     });
-    let forest_batch = time_best(predict_runs, || forest.predict_batch(&batch));
+    let forest_batch = time_best_recorded(predict_runs, &predict_batch_hist, || {
+        forest.predict_batch(&batch)
+    });
+
+    let obs_batch_overhead_percent = obs_overhead(&tree, &batch, 400);
 
     let tree_single_ns = ns_per_record(tree_single, batch_records);
     let tree_batch_ns = ns_per_record(tree_batch, batch_records);
@@ -215,7 +296,77 @@ pub fn run(options: &BenchOptions) -> BenchReport {
         forest_single_ns_per_record: forest_single_ns,
         forest_batch_ns_per_record: forest_batch_ns,
         forest_batch_speedup: forest_single_ns / forest_batch_ns.max(f64::MIN_POSITIVE),
+        stages: vec![
+            StageStat::of("measure_corpus", &measure_hist),
+            StageStat::of("train_tree", &train_tree_hist),
+            StageStat::of("train_forest", &train_forest_hist),
+            StageStat::of("loocv", &loocv_hist),
+            StageStat::of("loocv_fold", &loocv_fold_hist),
+            StageStat::of("predict_single", &predict_single_hist),
+            StageStat::of("predict_batch", &predict_batch_hist),
+        ],
+        obs_batch_overhead_percent,
     }
+}
+
+/// Measures what one histogram sample per `predict_batch` call costs.
+/// Both loops time every call (the serving engine stamps `Trace` marks
+/// whether or not histograms exist — spans also feed slow-request
+/// capture), so the marginal cost under test is exactly the
+/// [`LogHistogram`] record: a relaxed `fetch_add` plus min/max updates.
+/// The statistic is built for a noisy single-CPU host: each trial runs
+/// the two loops back to back (alternating which goes first, so neither
+/// side systematically inherits a warmer cache or a pending scheduler
+/// tick) and contributes one instrumented/plain *ratio*; the reported
+/// overhead is the median ratio over all trials. Each loop runs long
+/// enough (hundreds of rounds, milliseconds of wall time) that a noise
+/// burst tends to span both loops of a pair and cancel in the ratio; a
+/// burst that doesn't produces one outlier ratio, which the median
+/// discards — a minimum-of-N over separately-timed sides needs just one
+/// burst-free loop per side and still read tens of percent of phantom
+/// overhead here. Clamped at 0: the record path costs nanoseconds
+/// against a multi-microsecond batch, so residual noise can still make
+/// the instrumented loop come out faster.
+fn obs_overhead(tree: &Predictor, batch: &[Measurement], rounds: usize) -> f64 {
+    const TRIALS: usize = 21;
+    let hist = LogHistogram::new();
+    let plain_loop = || {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let t = Instant::now();
+            black_box(tree.predict_batch(batch));
+            black_box(t.elapsed());
+        }
+        start.elapsed()
+    };
+    let instrumented_loop = || {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let t = Instant::now();
+            black_box(tree.predict_batch(batch));
+            hist.record_duration(t.elapsed());
+        }
+        start.elapsed()
+    };
+    let mut ratios = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        let (plain, instrumented) = if trial % 2 == 0 {
+            let p = plain_loop();
+            let i = instrumented_loop();
+            (p, i)
+        } else {
+            let i = instrumented_loop();
+            let p = plain_loop();
+            (p, i)
+        };
+        ratios.push(instrumented.as_secs_f64() / plain.as_secs_f64().max(f64::MIN_POSITIVE));
+    }
+    assert!(
+        hist.count() >= (rounds * TRIALS) as u64,
+        "histogram saw every batch"
+    );
+    ratios.sort_by(f64::total_cmp);
+    ((ratios[TRIALS / 2] - 1.0) * 100.0).max(0.0)
 }
 
 impl BenchReport {
@@ -252,17 +403,28 @@ impl BenchReport {
             ),
             ("forest_batch_speedup", self.forest_batch_speedup),
         ];
-        for (i, (key, value)) in numbers.iter().enumerate() {
-            let comma = if i + 1 == numbers.len() { "" } else { "," };
+        for (key, value) in numbers.iter() {
             if key.starts_with("threads")
                 || key.starts_with("corpus_bags")
                 || key.starts_with("batch_records")
             {
-                out.push_str(&format!("  \"{key}\": {}{comma}\n", *value as u64));
+                out.push_str(&format!("  \"{key}\": {},\n", *value as u64));
             } else {
-                out.push_str(&format!("  \"{key}\": {value:.3}{comma}\n"));
+                out.push_str(&format!("  \"{key}\": {value:.3},\n"));
             }
         }
+        for stage in &self.stages {
+            let name = stage.name;
+            out.push_str(&format!(
+                "  \"stage_{name}_samples\": {},\n  \"stage_{name}_p50_us\": {},\n  \
+                 \"stage_{name}_p95_us\": {},\n  \"stage_{name}_max_us\": {},\n",
+                stage.samples, stage.p50_us, stage.p95_us, stage.max_us,
+            ));
+        }
+        out.push_str(&format!(
+            "  \"obs_batch_overhead_percent\": {:.3}\n",
+            self.obs_batch_overhead_percent
+        ));
         out.push_str("}\n");
         out
     }
@@ -298,6 +460,17 @@ impl BenchReport {
             self.forest_single_ns_per_record,
             self.forest_batch_ns_per_record,
             self.forest_batch_speedup
+        ));
+        out.push_str("  stage breakdown (all runs, us):\n");
+        for stage in &self.stages {
+            out.push_str(&format!(
+                "    {:<16} n={:<3} p50 {:>10}  p95 {:>10}  max {:>10}\n",
+                stage.name, stage.samples, stage.p50_us, stage.p95_us, stage.max_us,
+            ));
+        }
+        out.push_str(&format!(
+            "  histogram overhead on predict_batch: {:.2}%\n",
+            self.obs_batch_overhead_percent
         ));
         out
     }
@@ -363,6 +536,14 @@ mod tests {
             forest_single_ns_per_record: 9000.0,
             forest_batch_ns_per_record: 1000.0,
             forest_batch_speedup: 9.0,
+            stages: vec![StageStat {
+                name: "loocv_fold",
+                samples: 9,
+                p50_us: 1023,
+                p95_us: 2047,
+                max_us: 1800,
+            }],
+            obs_batch_overhead_percent: 0.4,
         }
     }
 
@@ -378,6 +559,9 @@ mod tests {
             json_number(&json, "forest_single_ns_per_record"),
             Some(9000.0)
         );
+        assert_eq!(json_number(&json, "stage_loocv_fold_samples"), Some(9.0));
+        assert_eq!(json_number(&json, "stage_loocv_fold_p95_us"), Some(2047.0));
+        assert_eq!(json_number(&json, "obs_batch_overhead_percent"), Some(0.4));
         assert_eq!(json_number(&json, "no_such_key"), None);
     }
 
@@ -432,7 +616,29 @@ mod tests {
         // (non-smoke) run committed as BENCH_pipeline.json.
         assert!(report.tree_batch_speedup > 1.0, "{report:?}");
         assert!(report.forest_batch_speedup > 1.0, "{report:?}");
+
+        // Every phase recorded at least one run, and the loocv_fold
+        // histogram saw exactly one run per benchmark.
+        assert_eq!(report.stages.len(), 7);
+        for stage in &report.stages {
+            assert!(stage.samples > 0, "{stage:?}");
+            assert!(stage.p50_us <= stage.p95_us, "{stage:?}");
+        }
+        let folds = report
+            .stages
+            .iter()
+            .find(|s| s.name == "loocv_fold")
+            .expect("has fold stage");
+        assert_eq!(folds.samples, Benchmark::ALL.len() as u64);
+        assert!(
+            report.obs_batch_overhead_percent.is_finite()
+                && report.obs_batch_overhead_percent >= 0.0,
+            "{report:?}"
+        );
+
         let rendered = report.render();
         assert!(rendered.contains("LOOCV"));
+        assert!(rendered.contains("loocv_fold"));
+        assert!(rendered.contains("histogram overhead"));
     }
 }

@@ -5,7 +5,8 @@
 //! repro <artifact>...
 //! repro all
 //! repro --list
-//! repro serve [ADDR] [--models DIR] [--admin] [--read-timeout-ms MS] [--write-timeout-ms MS]
+//! repro serve [ADDR] [--models DIR] [--admin] [--metrics-addr ADDR]
+//!             [--slow-threshold-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS]
 //! repro bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]
 //! ```
 //!
@@ -15,14 +16,20 @@
 //! the pair + n-bag models (or loads snapshots from `--models DIR`) and
 //! answers the line protocol documented in `bagpred_serve::protocol` on
 //! `ADDR` (default `127.0.0.1:7878`). The filesystem-touching
-//! `load`/`save`/`reload` commands are refused unless `--admin` is given
-//! (and even then resolve only inside the `--models` directory). `bench`
+//! `load`/`save`/`reload` commands (and the slow-request `trace` dump)
+//! are refused unless `--admin` is given (and even then file paths
+//! resolve only inside the `--models` directory). `--metrics-addr`
+//! starts a second listener answering HTTP scrapes with the Prometheus
+//! text exposition; `--slow-threshold-ms` sets the latency at which a
+//! request's span breakdown is kept for `trace` (default 25). `bench`
 //! runs the pipeline benchmark harness and writes `BENCH_pipeline.json`.
 
 use bagpred_experiments::{
     accuracy, bench, extensions, paths, scaling, sensitivity, tables, Context,
 };
-use bagpred_serve::{bootstrap, PredictionService, Server, ServerConfig, ServiceConfig};
+use bagpred_serve::{
+    bootstrap, MetricsServer, PredictionService, Server, ServerConfig, ServiceConfig,
+};
 use std::sync::Arc;
 
 const ARTIFACTS: [&str; 23] = [
@@ -97,6 +104,8 @@ fn serve(args: &[String]) -> ! {
     let mut read_timeout_ms: u64 = 250;
     let mut write_timeout_ms: u64 = 5_000;
     let mut admin = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_threshold_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -104,6 +113,20 @@ fn serve(args: &[String]) -> ! {
                 Some(dir) => models_dir = Some(std::path::PathBuf::from(dir)),
                 None => {
                     eprintln!("error: --models needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-addr" => match it.next() {
+                Some(a) => metrics_addr = Some(a.to_string()),
+                None => {
+                    eprintln!("error: --metrics-addr needs an address (e.g. 127.0.0.1:9090)");
+                    std::process::exit(2);
+                }
+            },
+            "--slow-threshold-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => slow_threshold_ms = Some(ms),
+                _ => {
+                    eprintln!("error: --slow-threshold-ms needs a non-negative integer");
                     std::process::exit(2);
                 }
             },
@@ -126,6 +149,7 @@ fn serve(args: &[String]) -> ! {
                 eprintln!("error: unknown serve flag `{flag}`");
                 eprintln!(
                     "usage: repro serve [ADDR] [--models DIR] [--admin] \
+                     [--metrics-addr ADDR] [--slow-threshold-ms MS] \
                      [--read-timeout-ms MS] [--write-timeout-ms MS]"
                 );
                 std::process::exit(2);
@@ -141,7 +165,7 @@ fn serve(args: &[String]) -> ! {
         std::process::exit(2);
     }
 
-    // Claim the port before training: a bind conflict should fail in
+    // Claim the ports before training: a bind conflict should fail in
     // milliseconds, not after a multi-second training run.
     let listener = match std::net::TcpListener::bind(addr.as_str()) {
         Ok(listener) => listener,
@@ -150,6 +174,15 @@ fn serve(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    let metrics_listener = metrics_addr.as_deref().map(|metrics_addr| {
+        match std::net::TcpListener::bind(metrics_addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("error: cannot bind metrics address {metrics_addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     let platforms = bagpred_core::Platforms::paper();
     eprintln!("booting models (loads snapshots, or trains on first run)...");
     let (registry, source) = match bootstrap::load_or_train(&platforms, models_dir.as_deref()) {
@@ -178,15 +211,15 @@ fn serve(args: &[String]) -> ! {
             }
         }
     }
-    let service = PredictionService::start(
-        registry,
-        platforms,
-        ServiceConfig {
-            // `save`/`reload` without path= read and write here.
-            snapshot_dir: models_dir.clone(),
-            ..ServiceConfig::default()
-        },
-    );
+    let mut config = ServiceConfig {
+        // `save`/`reload` without path= read and write here.
+        snapshot_dir: models_dir.clone(),
+        ..ServiceConfig::default()
+    };
+    if let Some(ms) = slow_threshold_ms {
+        config.slow_request_threshold = std::time::Duration::from_millis(ms);
+    }
+    let service = PredictionService::start(registry, platforms, config);
     let server = match Server::serve_listener_with(
         listener,
         Arc::clone(&service),
@@ -202,12 +235,28 @@ fn serve(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    let metrics_server = metrics_listener.map(|listener| {
+        match MetricsServer::serve_listener(listener, Arc::clone(&service)) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("error: cannot serve metrics: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     println!("serving on {}", server.local_addr());
+    if let Some(metrics_server) = &metrics_server {
+        println!(
+            "metrics on http://{} (also: `metrics` wire command)",
+            metrics_server.local_addr()
+        );
+    }
     if admin {
         println!(
             "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-             stats [model=NAME] | models | load model=NAME path=FILE | \
-             save [model=NAME] [path=DEST] | reload model=NAME [path=FILE] | quit"
+             stats [model=NAME] | models | metrics | trace | \
+             load model=NAME path=FILE | save [model=NAME] [path=DEST] | \
+             reload model=NAME [path=FILE] | quit"
         );
         println!(
             "admin enabled: load/save/reload paths resolve inside {}",
@@ -219,8 +268,8 @@ fn serve(args: &[String]) -> ! {
     } else {
         println!(
             "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-             stats [model=NAME] | models | quit \
-             (load/save/reload need --admin)"
+             stats [model=NAME] | models | metrics | quit \
+             (load/save/reload/trace need --admin)"
         );
     }
     // Serve until killed; connections and workers run on their own threads.
@@ -323,7 +372,8 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro <artifact>... | all | --list | \
-             serve [ADDR] [--models DIR] [--admin] [--read-timeout-ms MS] [--write-timeout-ms MS] | \
+             serve [ADDR] [--models DIR] [--admin] [--metrics-addr ADDR] \
+             [--slow-threshold-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS] | \
              bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]"
         );
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));

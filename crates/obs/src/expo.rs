@@ -1,0 +1,262 @@
+//! Prometheus text exposition.
+//!
+//! [`Exposition`] builds the classic text format: `# HELP`/`# TYPE`
+//! comment headers followed by `name{label="value"} sample` lines, with
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for
+//! histograms, terminated by a `# EOF` line so line-oriented clients can
+//! detect the end of a multi-line reply. [`line_is_valid`] is the
+//! matching checker used by integration tests.
+
+use crate::hist::{bucket_bound, HistogramSnapshot};
+use std::fmt::Write as _;
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    body: String,
+}
+
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+/// Render a sample value: integers without a fractional part, floats via
+/// Rust's shortest-roundtrip `Display`.
+fn fmt_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit `# HELP` and `# TYPE` headers for a metric family.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.body, "# HELP {name} {help}");
+        let _ = writeln!(self.body, "# TYPE {name} {kind}");
+    }
+
+    /// Emit one `name{labels} value` sample.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.body.push_str(name);
+        write_labels(&mut self.body, labels);
+        self.body.push(' ');
+        self.body.push_str(&fmt_value(value));
+        self.body.push('\n');
+    }
+
+    /// Emit a histogram family: cumulative `_bucket{le="..."}` series up
+    /// to the highest non-empty bucket, an `{le="+Inf"}` bucket, and
+    /// `_sum`/`_count` samples, all carrying `labels`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let highest = snap
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|i| i.min(63))
+            .unwrap_or(0);
+        let mut cumulative = 0u64;
+        for i in 0..=highest {
+            cumulative = cumulative.saturating_add(snap.buckets[i]);
+            let le = bucket_bound(i).to_string();
+            let mut owned = labels.to_vec();
+            owned.push(("le", &le));
+            self.sample(&format!("{name}_bucket"), &owned, cumulative as f64);
+        }
+        let mut owned = labels.to_vec();
+        owned.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &owned, snap.count as f64);
+        self.sample(&format!("{name}_sum"), labels, snap.sum as f64);
+        self.sample(&format!("{name}_count"), labels, snap.count as f64);
+    }
+
+    /// Finish the document: body plus a trailing `# EOF` line.
+    pub fn render(self) -> String {
+        let mut body = self.body;
+        body.push_str("# EOF\n");
+        body
+    }
+}
+
+/// True when `line` is a valid exposition line: empty, a `#` comment, or
+/// `name{labels} value` where `name` is a valid metric identifier, the
+/// optional label block is well-formed, and `value` parses as a float
+/// (or `+Inf`/`-Inf`/`NaN`).
+pub fn line_is_valid(line: &str) -> bool {
+    if line.is_empty() || line.starts_with('#') {
+        return true;
+    }
+    // Split the sample into name[+labels] and value at the last space.
+    let Some(space) = line.rfind(' ') else {
+        return false;
+    };
+    let (head, value) = (&line[..space], &line[space + 1..]);
+    let value_ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    if !value_ok {
+        return false;
+    }
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            if !head.ends_with('}') {
+                return false;
+            }
+            (&head[..open], Some(&head[open + 1..head.len() - 1]))
+        }
+        None => (head, None),
+    };
+    if name.is_empty()
+        || !name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+    {
+        return false;
+    }
+    let Some(labels) = labels else {
+        return true;
+    };
+    // Each label is key="value" with escaped quotes; a simple state walk
+    // is enough for validation.
+    for pair in split_labels(labels) {
+        let Some(eq) = pair.find('=') else {
+            return false;
+        };
+        let (key, quoted) = (&pair[..eq], &pair[eq + 1..]);
+        if key.is_empty()
+            || !key
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+        {
+            return false;
+        }
+        if quoted.len() < 2 || !quoted.starts_with('"') || !quoted.ends_with('"') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Split a label block on commas that are outside quoted values.
+fn split_labels(labels: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in labels.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                parts.push(&labels[start..i]);
+                start = i + 1;
+                escaped = false;
+            }
+            _ => escaped = false,
+        }
+    }
+    parts.push(&labels[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn renders_headers_samples_and_eof() {
+        let mut expo = Exposition::new();
+        expo.header("demo_total", "counter", "Demo counter.");
+        expo.sample("demo_total", &[], 3.0);
+        expo.sample("demo_total", &[("model", "pair-tree")], 2.5);
+        let text = expo.render();
+        assert!(text.contains("# HELP demo_total Demo counter.\n"));
+        assert!(text.contains("# TYPE demo_total counter\n"));
+        assert!(text.contains("demo_total 3\n"));
+        assert!(text.contains("demo_total{model=\"pair-tree\"} 2.5\n"));
+        assert!(text.ends_with("# EOF\n"));
+        for line in text.lines() {
+            assert!(line_is_valid(line), "invalid line: {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_emits_cumulative_buckets_sum_and_count() {
+        let h = LogHistogram::new();
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let mut expo = Exposition::new();
+        expo.header("lat_us", "histogram", "Latency.");
+        expo.histogram("lat_us", &[("model", "m")], &h.snapshot());
+        let text = expo.render();
+        assert!(text.contains("lat_us_bucket{model=\"m\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{model=\"m\",le=\"3\"} 3\n"));
+        assert!(text.contains("lat_us_bucket{model=\"m\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_us_sum{model=\"m\"} 7\n"));
+        assert!(text.contains("lat_us_count{model=\"m\"} 3\n"));
+        for line in text.lines() {
+            assert!(line_is_valid(line), "invalid line: {line}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut expo = Exposition::new();
+        expo.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        let text = expo.render();
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+        for line in text.lines() {
+            assert!(line_is_valid(line), "invalid line: {line}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "no_value",
+            "name value",
+            "1name 2",
+            "name{unclosed 3",
+            "name{k=unquoted} 3",
+            "name{=\"v\"} 3",
+            "name{k=\"v\"} notanumber",
+        ] {
+            assert!(!line_is_valid(bad), "should reject: {bad}");
+        }
+        for good in ["", "# anything", "a_b:c{x=\"1\",y=\"2\"} 1e-9", "up +Inf"] {
+            assert!(line_is_valid(good), "should accept: {good}");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! Values (microseconds by convention) land in power-of-2 buckets:
+//! bucket 0 holds the value `0`, bucket `i` (1..=63) holds the range
+//! `[2^(i-1), 2^i - 1]`, and bucket 64 holds everything from `2^63` up.
+//! Recording is four relaxed atomic RMW operations (count, sum, bucket,
+//! and a `fetch_min`/`fetch_max` pair), so concurrent writers never
+//! contend on a lock and never lose samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`,
+/// i.e. one plus the position of the highest set bit.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    64 - value.leading_zeros() as usize
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A lock-free histogram with log2 buckets.
+///
+/// All methods take `&self`; share it via `Arc` (or a field of a shared
+/// struct) and record from as many threads as you like.
+#[derive(Debug)]
+pub struct LogHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample. Wait-free: four relaxed RMWs, no locks.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a `Duration` as whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    ///
+    /// Each field is read with its own relaxed load, so a snapshot taken
+    /// while writers are active may be slightly torn (e.g. `count` one
+    /// ahead of the bucket array). Every individual field is still a
+    /// value the histogram actually passed through, and once writers
+    /// stop the snapshot is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`LogHistogram`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping add on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts; see [`bucket_bound`] for ranges.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, quantized to log-bucket resolution.
+    ///
+    /// This is the single definition of percentile semantics for the
+    /// whole repo: the q-quantile of n samples is the value at rank
+    /// `ceil(q * n)` (1-based, clamped to `[1, n]`) of the sorted
+    /// samples — no interpolation. Because the histogram only keeps
+    /// power-of-2 buckets, the reported value is the inclusive upper
+    /// bound of the bucket containing that rank, clamped to the observed
+    /// `[min, max]` so quantization never reports a value outside the
+    /// recorded range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_bound(i).clamp(self.min, self.max);
+            }
+        }
+        // Torn snapshot (count ahead of buckets): fall back to max.
+        self.max
+    }
+
+    /// Element-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    /// Straight-line single-threaded reference of the same bucketing.
+    struct Reference {
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    }
+
+    impl Reference {
+        fn new() -> Self {
+            Self {
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+                buckets: [0; BUCKETS],
+            }
+        }
+
+        fn record(&mut self, v: u64) {
+            self.count += 1;
+            self.sum = self.sum.wrapping_add(v);
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+            let mut idx = 0;
+            while bucket_bound(idx) < v {
+                idx += 1;
+            }
+            self.buckets[idx] += 1;
+        }
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = LogHistogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!((snap.min, snap.max, snap.sum), (0, 0, 0));
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_clamped_to_observed_range() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 100);
+        // Rank 50 falls in bucket [32, 63]; the reported p50 is that
+        // bucket's upper bound.
+        assert_eq!(snap.quantile(0.50), 63);
+        // Ranks 95 and 99 fall in bucket [64, 127], whose bound (127)
+        // exceeds the observed max and is clamped to it.
+        assert_eq!(snap.quantile(0.95), 100);
+        assert_eq!(snap.quantile(0.99), 100);
+        assert_eq!(snap.quantile(1.0), 100);
+        // Rank clamps to 1 at q=0 and reports the min's bucket.
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.mean(), 50.5);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_extrema() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(5);
+        a.record(900);
+        b.record(2);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 907);
+        assert_eq!(merged.min, 2);
+        assert_eq!(merged.max, 900);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&merged);
+        assert_eq!(empty, merged);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Concurrent writers on the lock-free histogram produce exactly
+        /// the bucket counts (and count/sum/min/max) of a serial
+        /// reference fed the same values.
+        #[test]
+        fn concurrent_writers_match_serial_reference(
+            values in proptest::collection::vec(any::<u64>(), 1..512),
+            threads in 2usize..8,
+        ) {
+            let hist = Arc::new(LogHistogram::new());
+            std::thread::scope(|scope| {
+                for chunk in values.chunks(values.len().div_ceil(threads)) {
+                    let hist = Arc::clone(&hist);
+                    scope.spawn(move || {
+                        for &v in chunk {
+                            hist.record(v);
+                        }
+                    });
+                }
+            });
+
+            let mut reference = Reference::new();
+            for &v in &values {
+                reference.record(v);
+            }
+
+            let snap = hist.snapshot();
+            prop_assert_eq!(snap.count, reference.count);
+            prop_assert_eq!(snap.sum, reference.sum);
+            prop_assert_eq!(snap.min, reference.min);
+            prop_assert_eq!(snap.max, reference.max);
+            prop_assert_eq!(&snap.buckets[..], &reference.buckets[..]);
+        }
+    }
+}

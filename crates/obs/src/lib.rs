@@ -1,0 +1,36 @@
+//! Observability primitives shared by the online serving stack and the
+//! offline bench/LOOCV harness.
+//!
+//! The crate is deliberately std-only and dependency-free so it can sit
+//! below every other crate in the workspace:
+//!
+//! - [`LogHistogram`] — a lock-free latency histogram with power-of-2
+//!   buckets over microseconds. Recording is a handful of relaxed atomic
+//!   adds, so it is safe to call from every worker thread on the hot
+//!   path. [`HistogramSnapshot::quantile`] is the *one* place that
+//!   defines the nearest-rank percentile semantics used across the repo.
+//! - [`Stage`], [`Trace`], [`StageSet`] — per-request spans. A `Trace`
+//!   rides along with a request and records how long each pipeline stage
+//!   took (parse, queue wait, admission, cache lookup, batch assembly,
+//!   predict, reply write); a `StageSet` aggregates those durations into
+//!   one histogram per stage.
+//! - [`EventLog`] / [`SlowEvent`] — a bounded ring of slow-request
+//!   captures: requests whose end-to-end latency exceeds a threshold
+//!   keep their full span breakdown for later dumping.
+//! - [`Exposition`] — a Prometheus-text builder (`# HELP`/`# TYPE`
+//!   headers, `name{label="v"} value` samples, cumulative `_bucket`
+//!   series for histograms) plus [`expo::line_is_valid`] for tests that
+//!   want to assert the output parses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod hist;
+pub mod ring;
+pub mod span;
+
+pub use expo::Exposition;
+pub use hist::{HistogramSnapshot, LogHistogram, BUCKETS};
+pub use ring::{EventLog, SlowEvent};
+pub use span::{Stage, StageSet, Trace};

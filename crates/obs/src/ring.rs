@@ -1,0 +1,143 @@
+//! Bounded ring event log with slow-request capture.
+//!
+//! The serving engine records a [`SlowEvent`] for every request whose
+//! end-to-end latency exceeds the configured threshold. The ring keeps
+//! only the most recent `capacity` events (oldest evicted first), so the
+//! log is bounded no matter how unhealthy the service gets.
+
+use crate::span::{Stage, Trace};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A captured slow request: its span breakdown plus a short summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEvent {
+    /// Monotonic sequence number (1-based, never reused).
+    pub seq: u64,
+    /// One-line description of the request (e.g. `predict SIFT@20+KNN@40`).
+    pub summary: String,
+    /// End-to-end latency.
+    pub total: Duration,
+    /// Per-stage durations, in mark order.
+    pub stages: Vec<(Stage, Duration)>,
+}
+
+/// Bounded ring of [`SlowEvent`]s.
+///
+/// `record` takes a short mutex critical section (push + pop-front);
+/// this is off the hot path — it only runs for requests already slower
+/// than the threshold.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    seq: AtomicU64,
+    events: Mutex<VecDeque<SlowEvent>>,
+}
+
+impl EventLog {
+    /// A ring holding at most `capacity` events (capacity 0 disables
+    /// capture entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            seq: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including ones since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capture a finished trace. Returns the event's sequence number,
+    /// or `None` when capture is disabled (capacity 0).
+    pub fn record(&self, summary: String, trace: &Trace, total: Duration) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = SlowEvent {
+            seq,
+            summary,
+            total,
+            stages: trace.marks().to_vec(),
+        };
+        let mut events = self.events.lock().expect("event log poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+        Some(seq)
+    }
+
+    /// Retained events, oldest first.
+    pub fn dump(&self) -> Vec<SlowEvent> {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(stage: Stage, us: u64) -> Trace {
+        let mut t = Trace::new();
+        t.mark_for(stage, Duration::from_micros(us));
+        t
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence_numbers() {
+        let log = EventLog::new(2);
+        for i in 0..4u64 {
+            let t = trace_with(Stage::Predict, i);
+            let seq = log
+                .record(format!("req {i}"), &t, Duration::from_micros(i))
+                .expect("capture enabled");
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(log.recorded(), 4);
+        assert_eq!(log.len(), 2);
+        let dump = log.dump();
+        assert_eq!(dump[0].seq, 3);
+        assert_eq!(dump[0].summary, "req 2");
+        assert_eq!(dump[1].seq, 4);
+        assert_eq!(dump[1].stages.len(), 1);
+        assert_eq!(
+            dump[1].stages[0],
+            (Stage::Predict, Duration::from_micros(3))
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_capture() {
+        let log = EventLog::new(0);
+        let t = trace_with(Stage::Parse, 1);
+        assert_eq!(log.record("x".into(), &t, Duration::ZERO), None);
+        assert_eq!(log.recorded(), 0);
+        assert!(log.is_empty());
+    }
+}

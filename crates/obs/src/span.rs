@@ -1,0 +1,225 @@
+//! Per-request spans: a [`Trace`] rides along with a request and records
+//! how long each pipeline [`Stage`] took; a [`StageSet`] aggregates those
+//! durations into one [`LogHistogram`] per stage.
+
+use crate::hist::{HistogramSnapshot, LogHistogram};
+use std::time::{Duration, Instant};
+
+/// A pipeline stage a request passes through.
+///
+/// The serving pipeline marks them in roughly this order; `ReplyWrite`
+/// happens after the reply leaves the engine, so it is recorded into the
+/// global [`StageSet`] by the server rather than onto the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Wire-line tokenization into a request.
+    Parse,
+    /// Time between enqueue and a worker draining the job.
+    QueueWait,
+    /// Admission-control decision (schedule requests).
+    Admission,
+    /// Feature-cache lookup and (on miss) feature recomputation.
+    CacheLookup,
+    /// Grouping jobs of one batch by model before inference.
+    BatchAssembly,
+    /// The `predict_batch` call itself.
+    Predict,
+    /// Writing the reply back to the client socket.
+    ReplyWrite,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Parse,
+        Stage::QueueWait,
+        Stage::Admission,
+        Stage::CacheLookup,
+        Stage::BatchAssembly,
+        Stage::Predict,
+        Stage::ReplyWrite,
+    ];
+
+    /// Stable snake_case name used in wire replies and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::Admission => "admission",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::BatchAssembly => "batch_assembly",
+            Stage::Predict => "predict",
+            Stage::ReplyWrite => "reply_write",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::QueueWait => 1,
+            Stage::Admission => 2,
+            Stage::CacheLookup => 3,
+            Stage::BatchAssembly => 4,
+            Stage::Predict => 5,
+            Stage::ReplyWrite => 6,
+        }
+    }
+}
+
+/// Monotonic per-request span recorder.
+///
+/// Created when a request arrives; each [`Trace::mark`] attributes the
+/// time since the previous mark (or creation) to a stage. Stages not
+/// touched by a request simply never appear in [`Trace::marks`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    start: Instant,
+    last: Instant,
+    marks: Vec<(Stage, Duration)>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// Start a trace now.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Self {
+            start: now,
+            last: now,
+            marks: Vec::with_capacity(Stage::ALL.len()),
+        }
+    }
+
+    /// Attribute the time since the previous mark to `stage`.
+    pub fn mark(&mut self, stage: Stage) {
+        let now = Instant::now();
+        self.marks.push((stage, now.duration_since(self.last)));
+        self.last = now;
+    }
+
+    /// Attribute an externally measured duration to `stage` (used when
+    /// one measurement is shared, e.g. a batched `predict_batch` call
+    /// covering many requests). Also advances the mark cursor to now.
+    pub fn mark_for(&mut self, stage: Stage, elapsed: Duration) {
+        self.marks.push((stage, elapsed));
+        self.last = Instant::now();
+    }
+
+    /// Wall time since the trace started.
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// All recorded `(stage, duration)` marks, in mark order.
+    pub fn marks(&self) -> &[(Stage, Duration)] {
+        &self.marks
+    }
+
+    /// Total time attributed to `stage` (None if never marked).
+    pub fn duration_of(&self, stage: Stage) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        let mut found = false;
+        for &(s, d) in &self.marks {
+            if s == stage {
+                total += d;
+                found = true;
+            }
+        }
+        found.then_some(total)
+    }
+}
+
+/// One [`LogHistogram`] per [`Stage`], recording microseconds.
+#[derive(Debug, Default)]
+pub struct StageSet {
+    hists: [LogHistogram; Stage::ALL.len()],
+}
+
+impl StageSet {
+    /// An empty stage set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration against a stage.
+    pub fn record(&self, stage: Stage, elapsed: Duration) {
+        self.hists[stage.index()].record_duration(elapsed);
+    }
+
+    /// Fold every mark of a finished trace into the per-stage histograms.
+    pub fn observe(&self, trace: &Trace) {
+        for &(stage, d) in trace.marks() {
+            self.hists[stage.index()].record_duration(d);
+        }
+    }
+
+    /// Histogram for one stage.
+    pub fn stage(&self, stage: Stage) -> &LogHistogram {
+        &self.hists[stage.index()]
+    }
+
+    /// Snapshot every stage, in pipeline order.
+    pub fn snapshot(&self) -> Vec<(Stage, HistogramSnapshot)> {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, self.hists[s.index()].snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_attribute_time_in_order_and_sum_close_to_total() {
+        let mut trace = Trace::new();
+        std::thread::sleep(Duration::from_millis(2));
+        trace.mark(Stage::Parse);
+        trace.mark(Stage::CacheLookup);
+        trace.mark_for(Stage::Predict, Duration::from_micros(1500));
+        let marks = trace.marks();
+        assert_eq!(marks.len(), 3);
+        assert_eq!(marks[0].0, Stage::Parse);
+        assert!(marks[0].1 >= Duration::from_millis(2));
+        assert_eq!(
+            trace.duration_of(Stage::Predict),
+            Some(Duration::from_micros(1500))
+        );
+        assert_eq!(trace.duration_of(Stage::QueueWait), None);
+        assert!(trace.total() >= marks[0].1);
+    }
+
+    #[test]
+    fn repeated_marks_accumulate_per_stage() {
+        let mut trace = Trace::new();
+        trace.mark_for(Stage::CacheLookup, Duration::from_micros(10));
+        trace.mark_for(Stage::CacheLookup, Duration::from_micros(5));
+        assert_eq!(
+            trace.duration_of(Stage::CacheLookup),
+            Some(Duration::from_micros(15))
+        );
+    }
+
+    #[test]
+    fn stage_set_observes_traces_per_stage() {
+        let set = StageSet::new();
+        let mut trace = Trace::new();
+        trace.mark_for(Stage::Parse, Duration::from_micros(3));
+        trace.mark_for(Stage::Predict, Duration::from_micros(700));
+        set.observe(&trace);
+        set.record(Stage::ReplyWrite, Duration::from_micros(9));
+        assert_eq!(set.stage(Stage::Parse).count(), 1);
+        assert_eq!(set.stage(Stage::Predict).snapshot().sum, 700);
+        assert_eq!(set.stage(Stage::ReplyWrite).snapshot().max, 9);
+        assert_eq!(set.stage(Stage::QueueWait).count(), 0);
+        let all = set.snapshot();
+        assert_eq!(all.len(), Stage::ALL.len());
+        assert_eq!(all[0].0, Stage::Parse);
+    }
+}

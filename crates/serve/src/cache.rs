@@ -13,6 +13,10 @@
 //! bound. Each map is therefore capped at a configurable capacity and
 //! evicts its least-recently-used entry on overflow; evictions only cost
 //! a recomputation later, never correctness.
+//!
+//! Every map keeps its own hit/miss/eviction counters (surfaced by
+//! `stats` and the `metrics` exposition as [`CacheMapStats`]), so cache
+//! efficacy is observable per quantity, not just in aggregate.
 
 use bagpred_core::nbag::{NBag, NBagMeasurement};
 use bagpred_core::{AppFeatures, Bag, Measurement, Platforms};
@@ -28,11 +32,15 @@ use std::sync::{Arc, Mutex};
 /// scans for the minimum stamp, which is O(capacity) but runs only when
 /// the map is full and capacities are small (hundreds to thousands). A
 /// `Mutex` rather than an `RwLock` because even a read must update the
-/// recency stamp.
+/// recency stamp. Hit/miss/eviction counters live on the map itself so
+/// callers get per-map efficacy for free.
 #[derive(Debug)]
 struct LruMap<K, V> {
     state: Mutex<LruState<K, V>>,
     capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -50,33 +58,40 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
                 clock: 0,
             }),
             capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
+    /// Looks up `key`, refreshing its recency and counting the outcome.
     fn get(&self, key: &K) -> Option<V> {
         let mut state = self.state.lock().expect("cache lock poisoned");
         state.clock += 1;
         let clock = state.clock;
-        state.entries.get_mut(key).map(|(value, stamp)| {
+        let found = state.entries.get_mut(key).map(|(value, stamp)| {
             *stamp = clock;
             value.clone()
-        })
+        });
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Inserts `value` unless `key` is already present (first writer wins,
     /// so every caller sees one canonical value — values are identical
-    /// anyway: collection is deterministic). Returns the canonical value
-    /// and whether an older entry was evicted to make room.
-    fn insert(&self, key: K, value: V) -> (V, bool) {
+    /// anyway: collection is deterministic). Returns the canonical value;
+    /// an eviction made to create room is counted on the map.
+    fn insert(&self, key: K, value: V) -> V {
         let mut state = self.state.lock().expect("cache lock poisoned");
         state.clock += 1;
         let clock = state.clock;
         if let Some((existing, stamp)) = state.entries.get_mut(&key) {
             *stamp = clock;
-            return (existing.clone(), false);
+            return existing.clone();
         }
-        let mut evicted = false;
         if self.capacity > 0 && state.entries.len() >= self.capacity {
             if let Some(oldest) = state
                 .entries
@@ -85,11 +100,11 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 state.entries.remove(&oldest);
-                evicted = true;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         state.entries.insert(key, (value.clone(), clock));
-        (value, evicted)
+        value
     }
 
     fn len(&self) -> usize {
@@ -99,6 +114,31 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
             .entries
             .len()
     }
+
+    fn stats(&self, name: &'static str) -> CacheMapStats {
+        CacheMapStats {
+            name,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Point-in-time counters for one of the cache's three maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheMapStats {
+    /// Stable map name: `apps`, `fairness` or `nbags`.
+    pub name: &'static str,
+    /// Lookups answered from this map.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
 }
 
 /// Thread-safe, LRU-bounded cache of collected features.
@@ -111,16 +151,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
 ///
 /// Each map holds at most [`capacity`](Self::capacity) entries (0 =
 /// unbounded) and evicts least-recently-used on overflow. Hit, miss and
-/// eviction counters feed the `stats` command.
+/// eviction counters feed the `stats` command and the `metrics`
+/// exposition, both in aggregate and per map ([`Self::map_stats`]).
 #[derive(Debug)]
 pub struct FeatureCache {
     apps: LruMap<Workload, Arc<AppFeatures>>,
     fairness: LruMap<Bag, f64>,
     nbags: LruMap<NBag, Arc<NBagMeasurement>>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl Default for FeatureCache {
@@ -143,9 +181,6 @@ impl FeatureCache {
             fairness: LruMap::new(capacity),
             nbags: LruMap::new(capacity),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -154,45 +189,23 @@ impl FeatureCache {
         self.capacity
     }
 
-    fn record(&self, hit: bool) {
-        if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn record_eviction(&self, evicted: bool) {
-        if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
     /// Per-app features for `workload`, computed on first use.
     pub fn app_features(&self, workload: Workload, platforms: &Platforms) -> Arc<AppFeatures> {
         if let Some(hit) = self.apps.get(&workload) {
-            self.record(true);
             return hit;
         }
-        self.record(false);
         // Compute outside the lock: simulation is the expensive part.
         let computed = Arc::new(AppFeatures::collect(&workload, platforms));
-        let (value, evicted) = self.apps.insert(workload, computed);
-        self.record_eviction(evicted);
-        value
+        self.apps.insert(workload, computed)
     }
 
     /// Fairness of `bag`'s multicore co-run, computed on first use.
     pub fn fairness(&self, bag: Bag, platforms: &Platforms) -> f64 {
         if let Some(hit) = self.fairness.get(&bag) {
-            self.record(true);
             return hit;
         }
-        self.record(false);
         let computed = Measurement::collect_fairness(&bag, platforms);
-        let (value, evicted) = self.fairness.insert(bag, computed);
-        self.record_eviction(evicted);
-        value
+        self.fairness.insert(bag, computed)
     }
 
     /// A ground-truth-free [`Measurement`] for a two-app bag, assembled
@@ -211,29 +224,34 @@ impl FeatureCache {
     /// A ground-truth-free [`NBagMeasurement`], computed on first use.
     pub fn nbag_measurement(&self, bag: &NBag, platforms: &Platforms) -> Arc<NBagMeasurement> {
         if let Some(hit) = self.nbags.get(bag) {
-            self.record(true);
             return hit;
         }
-        self.record(false);
         let computed = Arc::new(NBagMeasurement::collect_unlabeled(bag.clone(), platforms));
-        let (value, evicted) = self.nbags.insert(bag.clone(), computed);
-        self.record_eviction(evicted);
-        value
+        self.nbags.insert(bag.clone(), computed)
     }
 
-    /// Lookups answered from the cache.
+    /// Per-map counters, in stable order: `apps`, `fairness`, `nbags`.
+    pub fn map_stats(&self) -> [CacheMapStats; 3] {
+        [
+            self.apps.stats("apps"),
+            self.fairness.stats("fairness"),
+            self.nbags.stats("nbags"),
+        ]
+    }
+
+    /// Lookups answered from the cache (all maps).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.map_stats().iter().map(|m| m.hits).sum()
     }
 
-    /// Lookups that had to compute.
+    /// Lookups that had to compute (all maps).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.map_stats().iter().map(|m| m.misses).sum()
     }
 
-    /// Entries evicted to respect the capacity bound.
+    /// Entries evicted to respect the capacity bound (all maps).
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.map_stats().iter().map(|m| m.evictions).sum()
     }
 
     /// Fraction of lookups answered from the cache (0 when idle).
@@ -326,6 +344,30 @@ mod tests {
     }
 
     #[test]
+    fn per_map_stats_attribute_traffic_to_the_right_map() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        let bag = Bag::pair(
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+        );
+        cache.pair_measurement(bag, &platforms);
+        cache.pair_measurement(bag, &platforms);
+        let [apps, fairness, nbags] = cache.map_stats();
+        assert_eq!(apps.name, "apps");
+        assert_eq!((apps.hits, apps.misses, apps.entries), (2, 2, 2));
+        assert_eq!(fairness.name, "fairness");
+        assert_eq!(
+            (fairness.hits, fairness.misses, fairness.entries),
+            (1, 1, 1)
+        );
+        assert_eq!(nbags.name, "nbags");
+        assert_eq!((nbags.hits, nbags.misses, nbags.entries), (0, 0, 0));
+        assert_eq!(cache.hits(), 3, "aggregate is the sum of the maps");
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
     fn app_features_are_shared_across_bags() {
         let platforms = Platforms::paper();
         let cache = FeatureCache::new();
@@ -385,6 +427,9 @@ mod tests {
         }
         assert!(cache.len() <= 3, "len {} exceeds capacity", cache.len());
         assert_eq!(cache.evictions(), 6);
+        let [apps, fairness, _] = cache.map_stats();
+        assert_eq!(apps.evictions, 6, "evictions attributed to the apps map");
+        assert_eq!(fairness.evictions, 0);
     }
 
     #[test]

@@ -8,21 +8,30 @@
 //! buffering — so a burst degrades into fast rejections instead of
 //! collapsing latency for everyone. Workers drain requests in small
 //! batches per lock acquisition to cut contention under load.
+//!
+//! Every job carries a [`Trace`] recording how long each pipeline stage
+//! took (parse, queue wait, admission, cache lookup, batch assembly,
+//! predict); completed traces feed per-stage histograms, queue-wait vs.
+//! service-time splits (global and per model), and — when the end-to-end
+//! latency exceeds [`ServiceConfig::slow_request_threshold`] — a bounded
+//! ring of slow-request captures dumpable via the `trace` command.
 
 use crate::admission::{self, Placement};
-use crate::cache::FeatureCache;
+use crate::cache::{CacheMapStats, FeatureCache};
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics};
+use crate::observe;
 use crate::snapshot::{ModelRegistry, ServableModel};
 use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
 use bagpred_core::{Bag, Measurement, Platforms};
+use bagpred_obs::{EventLog, SlowEvent, Stage, StageSet, Trace};
 use bagpred_workloads::Workload;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the engine.
 #[derive(Debug, Clone)]
@@ -42,6 +51,13 @@ pub struct ServiceConfig {
     /// root for explicit paths (no `..`, no absolute path outside it).
     /// `None` rejects every admin file operation.
     pub snapshot_dir: Option<PathBuf>,
+    /// Requests whose end-to-end latency meets or exceeds this keep
+    /// their full span breakdown in the slow-request ring (`trace`
+    /// command). `Duration::MAX` disables capture by threshold.
+    pub slow_request_threshold: Duration,
+    /// Bound of the slow-request ring (oldest evicted first); `0`
+    /// disables capture entirely.
+    pub event_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +71,11 @@ impl Default for ServiceConfig {
             // fresh batch sizes cannot grow the maps without bound.
             cache_capacity: 4096,
             snapshot_dir: None,
+            // A warm pair predict is tens of microseconds; cold feature
+            // collection is milliseconds. 25ms only fires on genuinely
+            // pathological requests.
+            slow_request_threshold: Duration::from_millis(25),
+            event_log_capacity: 128,
         }
     }
 }
@@ -89,6 +110,11 @@ pub enum Request {
     },
     /// List registered models.
     Models,
+    /// Render every counter and histogram as Prometheus text.
+    Metrics,
+    /// Dump the slow-request ring (admin-gated like `load`/`save`:
+    /// span breakdowns leak request contents and timing).
+    Trace,
     /// Register (or replace) a model from a snapshot file.
     Load {
         /// Name to register the model under.
@@ -121,11 +147,13 @@ impl Request {
     /// that read or write the server's filesystem. The TCP front-end
     /// refuses them unless the listener opted in
     /// ([`crate::ServerConfig::admin`]); even then, the engine confines
-    /// their paths to [`ServiceConfig::snapshot_dir`].
+    /// their paths to [`ServiceConfig::snapshot_dir`]. `trace` is admin
+    /// too: slow-request captures reveal other clients' request
+    /// contents and timing.
     pub fn is_admin(&self) -> bool {
         matches!(
             self,
-            Request::Load { .. } | Request::Save { .. } | Request::Reload { .. }
+            Request::Load { .. } | Request::Save { .. } | Request::Reload { .. } | Request::Trace
         )
     }
 }
@@ -153,6 +181,10 @@ pub enum Reply {
     },
     /// Registered models as `(name, description)` pairs, sorted.
     Models(Vec<(String, String)>),
+    /// The Prometheus-text exposition document.
+    Metrics(String),
+    /// Slow-request captures, oldest first.
+    Traces(Vec<SlowEvent>),
     /// A `load` command registered a model.
     Loaded {
         /// Name the model was registered under.
@@ -195,12 +227,17 @@ pub struct StatsReport {
     pub cache_entries: usize,
     /// Entries evicted to respect the cache capacity bound.
     pub cache_evictions: u64,
+    /// Per-map cache counters, in stable order: apps, fairness, nbags.
+    pub cache_maps: [CacheMapStats; 3],
     /// Registered models.
     pub models: usize,
     /// Requests queued but not yet picked up at snapshot time.
     pub queue_depth: usize,
     /// Worker threads.
     pub workers: usize,
+    /// Slow requests ever captured (including ones since evicted from
+    /// the ring).
+    pub slow_captured: u64,
 }
 
 /// The outcome a submitter receives on its channel.
@@ -208,20 +245,28 @@ pub type Outcome = Result<Reply, ServeError>;
 
 struct Job {
     request: Request,
-    enqueued: Instant,
+    trace: Trace,
     tx: mpsc::Sender<Outcome>,
 }
 
-struct Inner {
-    registry: Arc<ModelRegistry>,
+pub(crate) struct Inner {
+    pub(crate) registry: Arc<ModelRegistry>,
     platforms: Platforms,
-    cache: FeatureCache,
-    metrics: Metrics,
-    model_metrics: ModelMetrics,
-    config: ServiceConfig,
+    pub(crate) cache: FeatureCache,
+    pub(crate) metrics: Metrics,
+    pub(crate) model_metrics: ModelMetrics,
+    pub(crate) config: ServiceConfig,
     queue: Mutex<VecDeque<Job>>,
     nonempty: Condvar,
     shutdown: AtomicBool,
+    pub(crate) stages: StageSet,
+    pub(crate) events: EventLog,
+}
+
+impl Inner {
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock poisoned").len()
+    }
 }
 
 /// The in-process prediction service. The TCP front-end in
@@ -260,10 +305,12 @@ impl PredictionService {
             cache: FeatureCache::with_capacity(config.cache_capacity),
             metrics: Metrics::new(),
             model_metrics: ModelMetrics::new(),
-            config: config.clone(),
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            stages: StageSet::new(),
+            events: EventLog::new(config.event_log_capacity),
+            config: config.clone(),
         });
         let handles = (0..config.workers)
             .map(|_| {
@@ -284,6 +331,22 @@ impl PredictionService {
     /// [`ServeError::Overloaded`] when the queue is full (load shedding)
     /// and [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
     pub fn submit(&self, request: Request) -> Result<mpsc::Receiver<Outcome>, ServeError> {
+        self.submit_traced(request, Trace::new())
+    }
+
+    /// Enqueues a request carrying an already-started [`Trace`] (the TCP
+    /// front-end starts one per wire line and marks its parse stage
+    /// before submitting). Same contract as [`submit`](Self::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full (load shedding)
+    /// and [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit_traced(
+        &self,
+        request: Request,
+        trace: Trace,
+    ) -> Result<mpsc::Receiver<Outcome>, ServeError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
@@ -294,11 +357,7 @@ impl PredictionService {
                 self.inner.metrics.on_shed();
                 return Err(ServeError::Overloaded);
             }
-            queue.push_back(Job {
-                request,
-                enqueued: Instant::now(),
-                tx,
-            });
+            queue.push_back(Job { request, trace, tx });
             // Count inside the lock: a worker can pick the job up the
             // moment the lock drops, and `stats` must already see it.
             self.inner.metrics.on_received();
@@ -317,6 +376,16 @@ impl PredictionService {
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
+    /// [`call`](Self::call) with an already-started [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Submission errors plus every per-request [`ServeError`].
+    pub fn call_traced(&self, request: Request, trace: Trace) -> Outcome {
+        let rx = self.submit_traced(request, trace)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
     /// The model registry this service answers from.
     pub fn registry(&self) -> &ModelRegistry {
         &self.inner.registry
@@ -325,6 +394,39 @@ impl PredictionService {
     /// The feature cache (exposed for tests and warm-up).
     pub fn cache(&self) -> &FeatureCache {
         &self.inner.cache
+    }
+
+    /// The service-wide request metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The per-model metrics map.
+    pub fn model_metrics(&self) -> &ModelMetrics {
+        &self.inner.model_metrics
+    }
+
+    /// The per-stage histograms.
+    pub fn stages(&self) -> &StageSet {
+        &self.inner.stages
+    }
+
+    /// Records a duration against a stage histogram. The TCP front-end
+    /// uses this for [`Stage::ReplyWrite`], which happens after the
+    /// reply leaves the engine.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.inner.stages.record(stage, elapsed);
+    }
+
+    /// The slow-request ring, oldest first.
+    pub fn slow_events(&self) -> Vec<SlowEvent> {
+        self.inner.events.dump()
+    }
+
+    /// Renders every counter and histogram as Prometheus text (the
+    /// `metrics` command).
+    pub fn exposition(&self) -> String {
+        observe::render(&self.inner)
     }
 
     /// Stops accepting work, drains the queue, and joins the workers.
@@ -366,18 +468,60 @@ fn worker_loop(inner: &Inner) {
 }
 
 /// Completes one job: records global (and, when the request resolved to
-/// a model, per-model) metrics and sends the outcome.
+/// a model, per-model) metrics — end-to-end latency plus the queue-wait
+/// vs. service-time split — folds the trace into the per-stage
+/// histograms, captures a slow request when it crosses the threshold,
+/// and sends the outcome.
 fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
-    let latency = job.enqueued.elapsed();
-    inner.metrics.on_done(outcome.is_ok(), latency);
+    let total = job.trace.total();
+    let queue_wait = job.trace.duration_of(Stage::QueueWait).unwrap_or_default();
+    let parse = job.trace.duration_of(Stage::Parse).unwrap_or_default();
+    let service = total.saturating_sub(queue_wait).saturating_sub(parse);
+    inner.metrics.on_done(outcome.is_ok(), total);
+    inner.metrics.on_phases(queue_wait, service);
     if let Some(name) = model {
+        let metrics = inner.model_metrics.for_model(name);
+        metrics.on_done(outcome.is_ok(), total);
+        metrics.on_phases(queue_wait, service);
+    }
+    inner.stages.observe(&job.trace);
+    if total >= inner.config.slow_request_threshold {
         inner
-            .model_metrics
-            .for_model(name)
-            .on_done(outcome.is_ok(), latency);
+            .events
+            .record(summarize(&job.request), &job.trace, total);
     }
     // A submitter that dropped its receiver no longer cares.
     let _ = job.tx.send(outcome);
+}
+
+/// One-line request description for slow-request captures.
+fn summarize(request: &Request) -> String {
+    fn bag(apps: &[Workload]) -> String {
+        apps.iter()
+            .map(|w| format!("{}@{}", w.benchmark().name(), w.batch_size()))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+    match request {
+        Request::Predict { model: None, apps } => format!("predict {}", bag(apps)),
+        Request::Predict {
+            model: Some(m),
+            apps,
+        } => format!("predict model={m} {}", bag(apps)),
+        Request::Schedule {
+            gpus,
+            budget_s,
+            apps,
+            ..
+        } => format!("schedule k={gpus} budget={budget_s} {}", bag(apps)),
+        Request::Stats { .. } => "stats".into(),
+        Request::Models => "models".into(),
+        Request::Metrics => "metrics".into(),
+        Request::Trace => "trace".into(),
+        Request::Load { model, .. } => format!("load model={model}"),
+        Request::Save { .. } => "save".into(),
+        Request::Reload { model, .. } => format!("reload model={model}"),
+    }
 }
 
 /// Processes one drained batch with **semantic** batching: every predict
@@ -391,13 +535,17 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
     let mut pair_groups: Vec<ModelGroup<Measurement>> = Vec::new();
     let mut nbag_groups: Vec<ModelGroup<NBagMeasurement>> = Vec::new();
 
-    for job in jobs {
+    for mut job in jobs {
+        // Everything between the submitter's last mark and this point
+        // was spent queued (including the drain lock).
+        job.trace.mark(Stage::QueueWait);
         let Request::Predict { model, apps } = &job.request else {
-            let (served_by, outcome) = process(inner, &job.request);
+            let (served_by, outcome) = process(inner, &job.request, &mut job.trace);
             finish(inner, served_by.as_deref(), job, outcome);
             continue;
         };
-        match prepare_predict(inner, model, apps) {
+        let (model, apps) = (model.clone(), apps.clone());
+        match prepare_predict(inner, &model, &apps, &mut job.trace) {
             Ok((name, model, PreparedRecord::Pair(record))) => {
                 match pair_groups.iter_mut().find(|(n, _, _, _)| *n == name) {
                     Some((_, _, jobs, records)) => {
@@ -420,12 +568,21 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
         }
     }
 
-    for (name, model, jobs, records) in pair_groups {
+    for (name, model, mut jobs, records) in pair_groups {
         let ServableModel::Pair(p) = &*model else {
             unreachable!("pair groups only hold pair models");
         };
+        // Time since a job's cache lookup finished was spent assembling
+        // the group; the `predict_batch` walk is shared, so every job in
+        // the group is charged the same measured predict duration.
+        for job in &mut jobs {
+            job.trace.mark(Stage::BatchAssembly);
+        }
+        let started = Instant::now();
         let predictions = p.predict_batch(&records);
-        for (job, predicted_s) in jobs.into_iter().zip(predictions) {
+        let predict_elapsed = started.elapsed();
+        for (mut job, predicted_s) in jobs.into_iter().zip(predictions) {
+            job.trace.mark_for(Stage::Predict, predict_elapsed);
             finish(
                 inner,
                 Some(&name),
@@ -437,12 +594,18 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
             );
         }
     }
-    for (name, model, jobs, records) in nbag_groups {
+    for (name, model, mut jobs, records) in nbag_groups {
         let ServableModel::NBag(p) = &*model else {
             unreachable!("n-bag groups only hold n-bag models");
         };
+        for job in &mut jobs {
+            job.trace.mark(Stage::BatchAssembly);
+        }
+        let started = Instant::now();
         let predictions = p.predict_batch(&records);
-        for (job, predicted_s) in jobs.into_iter().zip(predictions) {
+        let predict_elapsed = started.elapsed();
+        for (mut job, predicted_s) in jobs.into_iter().zip(predictions) {
+            job.trace.mark_for(Stage::Predict, predict_elapsed);
             finish(
                 inner,
                 Some(&name),
@@ -519,6 +682,7 @@ fn prepare_predict(
     inner: &Inner,
     model: &Option<String>,
     apps: &[Workload],
+    trace: &mut Trace,
 ) -> Result<(String, Arc<ServableModel>, PreparedRecord), PrepareError> {
     if !(2..=MAX_BAG).contains(&apps.len()) {
         return Err((
@@ -531,6 +695,7 @@ fn prepare_predict(
     }
     let (name, model) = resolve_model(&inner.registry, model, apps.len()).map_err(|e| (None, e))?;
     inner.model_metrics.for_model(&name).on_received();
+    let lookup_started = Instant::now();
     let record = match &*model {
         ServableModel::Pair(_) => {
             if apps.len() != 2 {
@@ -553,20 +718,26 @@ fn prepare_predict(
             PreparedRecord::NBag(inner.cache.nbag_measurement(&bag, &inner.platforms))
         }
     };
+    // Cache lookup covers hit and miss alike — on a miss the duration
+    // includes feature recomputation, which is the point: the histogram
+    // shows exactly what misses cost.
+    trace.mark_for(Stage::CacheLookup, lookup_started.elapsed());
     Ok((name, model, record))
 }
 
 /// Handles one request, returning the outcome plus the name of the model
 /// that served it (when one was resolved) for per-model accounting.
-fn process(inner: &Inner, request: &Request) -> (Option<String>, Outcome) {
+fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<String>, Outcome) {
     match request {
-        Request::Predict { model, apps } => match prepare_predict(inner, model, apps) {
+        Request::Predict { model, apps } => match prepare_predict(inner, model, apps, trace) {
             Ok((name, model, record)) => {
+                let started = Instant::now();
                 let predicted_s = match (&*model, &record) {
                     (ServableModel::Pair(p), PreparedRecord::Pair(m)) => p.predict(m),
                     (ServableModel::NBag(p), PreparedRecord::NBag(m)) => p.predict(m),
                     _ => unreachable!("record kind always matches model kind"),
                 };
+                trace.mark_for(Stage::Predict, started.elapsed());
                 (
                     Some(name.clone()),
                     Ok(Reply::Prediction {
@@ -602,6 +773,7 @@ fn process(inner: &Inner, request: &Request) -> (Option<String>, Outcome) {
                 Err(err) => return (None, Err(err)),
             };
             inner.model_metrics.for_model(&name).on_received();
+            let started = Instant::now();
             let outcome = admission::admit(
                 &model,
                 &inner.cache,
@@ -611,10 +783,13 @@ fn process(inner: &Inner, request: &Request) -> (Option<String>, Outcome) {
                 apps,
             )
             .map(Reply::Schedule);
+            // The admission decision includes the feature lookups the
+            // packer performs for its candidate co-runs.
+            trace.mark_for(Stage::Admission, started.elapsed());
             (Some(name), outcome)
         }
         Request::Stats { model: None } => {
-            let queue_depth = inner.queue.lock().expect("queue lock poisoned").len();
+            let queue_depth = inner.queue_depth();
             (
                 None,
                 Ok(Reply::Stats(StatsReport {
@@ -624,14 +799,18 @@ fn process(inner: &Inner, request: &Request) -> (Option<String>, Outcome) {
                     cache_hit_rate: inner.cache.hit_rate(),
                     cache_entries: inner.cache.len(),
                     cache_evictions: inner.cache.evictions(),
+                    cache_maps: inner.cache.map_stats(),
                     models: inner.registry.len(),
                     queue_depth,
                     workers: inner.config.workers,
+                    slow_captured: inner.events.recorded(),
                 })),
             )
         }
         Request::Stats { model: Some(name) } => (None, model_stats(inner, name)),
         Request::Models => (None, Ok(Reply::Models(inner.registry.list()))),
+        Request::Metrics => (None, Ok(Reply::Metrics(observe::render(inner)))),
+        Request::Trace => (None, Ok(Reply::Traces(inner.events.dump()))),
         Request::Load { model, path } => (None, do_load(inner, model, path)),
         Request::Save { model, dest } => (None, do_save(inner, model.as_deref(), dest.as_deref())),
         Request::Reload { model, path } => (None, do_reload(inner, model, path.as_deref())),
@@ -944,7 +1123,7 @@ mod tests {
                 queue_capacity: 1,
                 batch_size: 1,
                 cache_capacity: 0,
-                snapshot_dir: None,
+                ..ServiceConfig::default()
             },
         );
         // Flood the single worker with cold requests: every bag uses a
@@ -1025,7 +1204,12 @@ mod tests {
         assert_eq!(metrics.received, 4);
         assert_eq!(metrics.succeeded, 3);
         assert_eq!(metrics.failed, 1);
-        assert_eq!(metrics.latency_samples, 4);
+        assert_eq!(metrics.latency.samples, 4);
+        assert_eq!(
+            metrics.queue_wait.samples, 4,
+            "queue wait is reported separately per model"
+        );
+        assert_eq!(metrics.service.samples, 4);
 
         // A registered but untouched model reports zeros; an unknown
         // name errors.
@@ -1258,5 +1442,121 @@ mod tests {
             .expect("absolute path inside the snapshot dir is allowed");
         service.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traces_split_queue_wait_from_service_time() {
+        let service = service();
+        for _ in 0..3 {
+            service
+                .call(Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                })
+                .expect("predicts");
+        }
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.latency.samples, 3);
+        assert_eq!(snap.queue_wait.samples, 3);
+        assert_eq!(snap.service.samples, 3);
+        // Stage histograms saw every predict stage once per request.
+        assert_eq!(service.stages().stage(Stage::QueueWait).count(), 3);
+        assert_eq!(service.stages().stage(Stage::CacheLookup).count(), 3);
+        assert_eq!(service.stages().stage(Stage::BatchAssembly).count(), 3);
+        assert_eq!(service.stages().stage(Stage::Predict).count(), 3);
+        // In-process submits never mark Parse; ReplyWrite belongs to the
+        // TCP front-end.
+        assert_eq!(service.stages().stage(Stage::Parse).count(), 0);
+        assert_eq!(service.stages().stage(Stage::ReplyWrite).count(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn slow_requests_are_captured_with_their_span_breakdown() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                // Threshold zero: every request is "slow".
+                slow_request_threshold: Duration::ZERO,
+                event_log_capacity: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("predicts");
+        let events = service.slow_events();
+        assert!(!events.is_empty(), "threshold 0 captures everything");
+        let predict = events
+            .iter()
+            .find(|e| e.summary.starts_with("predict"))
+            .expect("the predict request was captured");
+        assert_eq!(predict.summary, "predict model=pair-tree SIFT@20+KNN@40");
+        let stages: Vec<Stage> = predict.stages.iter().map(|(s, _)| *s).collect();
+        assert!(stages.contains(&Stage::QueueWait));
+        assert!(stages.contains(&Stage::CacheLookup));
+        assert!(stages.contains(&Stage::Predict));
+
+        // The default threshold (25ms) must not capture a warm predict.
+        let calm = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        calm.cache().pair_measurement(
+            Bag::pair(pair_apps()[0], pair_apps()[1]),
+            &Platforms::paper(),
+        );
+        calm.call(Request::Predict {
+            model: Some(PAIR_MODEL.into()),
+            apps: pair_apps(),
+        })
+        .expect("predicts");
+        assert!(
+            calm.slow_events().is_empty(),
+            "warm predicts stay under the default threshold"
+        );
+        calm.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn exposition_covers_global_and_per_model_series_and_parses() {
+        let service = service();
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("predicts");
+        let Ok(Reply::Metrics(text)) = service.call(Request::Metrics) else {
+            panic!("metrics failed")
+        };
+        for line in text.lines() {
+            assert!(
+                bagpred_obs::expo::line_is_valid(line),
+                "invalid exposition line: {line}"
+            );
+        }
+        for needle in [
+            "# TYPE bagpred_requests_received_total counter",
+            "# HELP bagpred_request_latency_us",
+            "bagpred_requests_received_total 2",
+            "bagpred_request_latency_us_bucket",
+            "bagpred_model_received_total{model=\"pair-tree\"} 1",
+            "bagpred_model_latency_us_count{model=\"pair-tree\"} 1",
+            "bagpred_cache_hits_total{map=\"apps\"}",
+            "bagpred_cache_misses_total{map=\"fairness\"}",
+            "bagpred_stage_duration_us_count{stage=\"queue_wait\"}",
+            "bagpred_queue_depth",
+            "# EOF",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        service.shutdown();
     }
 }

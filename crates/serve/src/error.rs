@@ -39,7 +39,7 @@ impl fmt::Display for ServeError {
             ServeError::Unsupported(why) => write!(f, "unsupported: {why}"),
             ServeError::AdminDisabled => write!(
                 f,
-                "admin disabled: load/save/reload need a server started with --admin"
+                "admin disabled: load/save/reload/trace need a server started with --admin"
             ),
         }
     }

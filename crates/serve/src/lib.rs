@@ -22,11 +22,15 @@
 //!   with batched draining and explicit load shedding.
 //! * [`admission`] — greedy packing of apps onto `k` simulated GPUs
 //!   under a predicted-latency budget.
-//! * [`metrics`] — request counters and latency percentiles, global and
-//!   per model (`stats model=<name>`).
+//! * [`metrics`] — request counters and lock-free latency histograms
+//!   (end-to-end, queue wait, service time), global and per model
+//!   (`stats model=<name>`).
+//! * `observe` — per-stage request traces, slow-request capture, and
+//!   the Prometheus-text `metrics` exposition (built on `bagpred-obs`).
 //! * [`protocol`] / [`server`] — the line-delimited TCP front-end, with
 //!   tracked connection threads, bounded reads, and a draining shutdown;
-//!   `load`/`save`/`reload` hot-swap models over the wire.
+//!   `load`/`save`/`reload` hot-swap models over the wire, and an
+//!   optional second listener answers HTTP metric scrapes.
 //! * [`bootstrap`] — train-and-register in one call, or boot from a
 //!   snapshot directory ([`bootstrap::load_or_train`]).
 //!
@@ -62,16 +66,17 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub(crate) mod observe;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
 pub use admission::{GpuAssignment, Placement};
-pub use cache::FeatureCache;
+pub use cache::{CacheMapStats, FeatureCache};
 pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};
 pub use error::ServeError;
-pub use metrics::{Metrics, MetricsSnapshot, ModelMetrics};
-pub use server::{Server, ServerConfig};
+pub use metrics::{LatencySummary, Metrics, MetricsSnapshot, ModelMetrics};
+pub use server::{MetricsServer, Server, ServerConfig};
 pub use snapshot::{ModelRegistry, ServableModel};
 
 #[cfg(test)]

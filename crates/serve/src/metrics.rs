@@ -2,28 +2,32 @@
 //! one global [`Metrics`] for the whole service plus a [`ModelMetrics`]
 //! map holding an independent `Metrics` per registry entry, so `stats
 //! model=<name>` can report per-model traffic.
+//!
+//! Latency is tracked in three lock-free [`LogHistogram`]s (power-of-2
+//! buckets over microseconds): end-to-end latency, queue wait (enqueue
+//! to worker pickup), and service time (everything after queue wait).
+//! Recording is a few relaxed atomic adds — no mutex, no sampling
+//! window, no lost samples under contention. Percentiles come from
+//! [`HistogramSnapshot::quantile`], the one place that defines the
+//! nearest-rank semantics used across the repo (values are quantized to
+//! log-bucket upper bounds, clamped to the observed min/max).
 
+use bagpred_obs::{HistogramSnapshot, LogHistogram};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-/// How many recent request latencies are retained for percentiles.
-const LATENCY_WINDOW: usize = 4096;
-
-/// Lock-free counters plus a bounded window of recent latencies.
+/// Lock-free counters plus per-phase latency histograms.
 #[derive(Debug, Default)]
 pub struct Metrics {
     received: AtomicU64,
     succeeded: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
-    /// Round-robin overwrite position once the window is full. A
-    /// dedicated cursor, *not* the `received` counter: `received` moves
-    /// concurrently with completions, so deriving the slot from it let
-    /// parallel completions land on the same slot and lose samples.
-    cursor: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latency: LogHistogram,
+    queue_wait: LogHistogram,
+    service: LogHistogram,
 }
 
 impl Metrics {
@@ -42,55 +46,48 @@ impl Metrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a completed request and records its latency.
+    /// Counts a completed request and records its end-to-end latency.
     pub fn on_done(&self, ok: bool, latency: Duration) {
         if ok {
             self.succeeded.fetch_add(1, Ordering::Relaxed);
         } else {
             self.failed.fetch_add(1, Ordering::Relaxed);
         }
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let mut window = self.latencies_us.lock().expect("metrics lock poisoned");
-        if window.len() == LATENCY_WINDOW {
-            // Keep the window bounded: overwrite round-robin. The cursor
-            // advances once per write, so every completion lands in its
-            // own slot and old samples age out uniformly.
-            let idx = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % LATENCY_WINDOW;
-            window[idx] = us;
-        } else {
-            window.push(us);
-        }
+        self.latency.record_duration(latency);
     }
 
-    /// A consistent point-in-time summary.
+    /// Records the queue-wait vs. service-time split of a completed
+    /// request (service time = end-to-end minus parse and queue wait).
+    pub fn on_phases(&self, queue_wait: Duration, service: Duration) {
+        self.queue_wait.record_duration(queue_wait);
+        self.service.record_duration(service);
+    }
+
+    /// The end-to-end latency histogram.
+    pub fn latency(&self) -> &LogHistogram {
+        &self.latency
+    }
+
+    /// The queue-wait histogram.
+    pub fn queue_wait(&self) -> &LogHistogram {
+        &self.queue_wait
+    }
+
+    /// The service-time histogram.
+    pub fn service(&self) -> &LogHistogram {
+        &self.service
+    }
+
+    /// A point-in-time summary.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut sorted = self
-            .latencies_us
-            .lock()
-            .expect("metrics lock poisoned")
-            .clone();
-        sorted.sort_unstable();
-        let (min, mean, p95, max) = if sorted.is_empty() {
-            (0, 0.0, 0, 0)
-        } else {
-            let min = sorted[0];
-            let max = *sorted.last().expect("non-empty");
-            let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
-            // Nearest-rank p95 (ceil(0.95 n) - 1), the same convention the
-            // analysis crate uses for corpus percentiles.
-            let rank = ((sorted.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
-            (min, mean, sorted[rank], max)
-        };
         MetricsSnapshot {
             received: self.received.load(Ordering::Relaxed),
             succeeded: self.succeeded.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
-            latency_samples: sorted.len() as u64,
-            latency_us_min: min,
-            latency_us_mean: mean,
-            latency_us_p95: p95,
-            latency_us_max: max,
+            latency: LatencySummary::of(&self.latency.snapshot()),
+            queue_wait: LatencySummary::of(&self.queue_wait.snapshot()),
+            service: LatencySummary::of(&self.service.snapshot()),
         }
     }
 }
@@ -116,6 +113,13 @@ impl ModelMetrics {
     }
 
     /// The metrics entry for `name`, created zeroed on first use.
+    ///
+    /// First-traffic racers are safe: the optimistic read-lock probe can
+    /// miss for several threads at once, but each then re-checks under
+    /// the write lock via `entry().or_default()`, so exactly one entry
+    /// is ever created per name and every caller gets a clone of that
+    /// same `Arc` — an entry another racer already received can never be
+    /// clobbered by a later insert.
     pub fn for_model(&self, name: &str) -> Arc<Metrics> {
         if let Some(entry) = self
             .models
@@ -152,6 +156,44 @@ impl ModelMetrics {
     }
 }
 
+/// Summary of one latency histogram, as reported by `stats`.
+///
+/// Percentiles are nearest-rank (see [`HistogramSnapshot::quantile`]),
+/// quantized to the histogram's power-of-2 buckets and clamped to the
+/// observed min/max.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub samples: u64,
+    /// Fastest recorded value, microseconds.
+    pub min_us: u64,
+    /// Mean over all samples, microseconds.
+    pub mean_us: f64,
+    /// Median (nearest-rank p50), microseconds.
+    pub p50_us: u64,
+    /// Nearest-rank 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// Nearest-rank 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Slowest recorded value, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram snapshot.
+    pub fn of(snap: &HistogramSnapshot) -> Self {
+        Self {
+            samples: snap.count,
+            min_us: snap.min,
+            mean_us: snap.mean(),
+            p50_us: snap.quantile(0.50),
+            p95_us: snap.quantile(0.95),
+            p99_us: snap.quantile(0.99),
+            max_us: snap.max,
+        }
+    }
+}
+
 /// Point-in-time metrics values, as reported by the `stats` command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -163,16 +205,12 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Requests rejected because the queue was full.
     pub shed: u64,
-    /// Latency samples currently in the window.
-    pub latency_samples: u64,
-    /// Fastest request in the window, microseconds.
-    pub latency_us_min: u64,
-    /// Mean latency over the window, microseconds.
-    pub latency_us_mean: f64,
-    /// Nearest-rank 95th percentile latency, microseconds.
-    pub latency_us_p95: u64,
-    /// Slowest request in the window, microseconds.
-    pub latency_us_max: u64,
+    /// End-to-end request latency.
+    pub latency: LatencySummary,
+    /// Time between enqueue and a worker draining the job.
+    pub queue_wait: LatencySummary,
+    /// Time spent being served (end-to-end minus parse and queue wait).
+    pub service: LatencySummary,
 }
 
 #[cfg(test)]
@@ -183,13 +221,14 @@ mod tests {
     fn empty_snapshot_is_all_zero() {
         let snap = Metrics::new().snapshot();
         assert_eq!(snap.received, 0);
-        assert_eq!(snap.latency_samples, 0);
-        assert_eq!(snap.latency_us_min, 0);
-        assert_eq!(snap.latency_us_max, 0);
+        assert_eq!(snap.latency.samples, 0);
+        assert_eq!(snap.latency.min_us, 0);
+        assert_eq!(snap.latency.max_us, 0);
+        assert_eq!(snap.queue_wait, LatencySummary::default());
     }
 
     #[test]
-    fn latency_stats_use_nearest_rank_p95() {
+    fn latency_stats_use_nearest_rank_quantiles_at_bucket_resolution() {
         let metrics = Metrics::new();
         for us in 1..=100u64 {
             metrics.on_received();
@@ -198,10 +237,16 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.received, 100);
         assert_eq!(snap.succeeded, 100);
-        assert_eq!(snap.latency_us_min, 1);
-        assert_eq!(snap.latency_us_max, 100);
-        assert_eq!(snap.latency_us_p95, 95, "nearest-rank of 1..=100");
-        assert!((snap.latency_us_mean - 50.5).abs() < 1e-9);
+        assert_eq!(snap.latency.samples, 100);
+        assert_eq!(snap.latency.min_us, 1);
+        assert_eq!(snap.latency.max_us, 100);
+        // Nearest-rank at log-bucket resolution: rank 50 falls in the
+        // [32, 63] bucket; ranks 95 and 99 fall in [64, 127], whose
+        // bound clamps to the observed max of 100.
+        assert_eq!(snap.latency.p50_us, 63);
+        assert_eq!(snap.latency.p95_us, 100);
+        assert_eq!(snap.latency.p99_us, 100);
+        assert!((snap.latency.mean_us - 50.5).abs() < 1e-9);
     }
 
     #[test]
@@ -217,33 +262,31 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_stays_bounded() {
+    fn queue_wait_and_service_time_are_tracked_separately() {
         let metrics = Metrics::new();
-        for _ in 0..(LATENCY_WINDOW + 500) {
-            metrics.on_received();
-            metrics.on_done(true, Duration::from_micros(3));
-        }
-        assert_eq!(metrics.snapshot().latency_samples as usize, LATENCY_WINDOW);
+        metrics.on_received();
+        metrics.on_done(true, Duration::from_micros(1000));
+        metrics.on_phases(Duration::from_micros(800), Duration::from_micros(200));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.queue_wait.samples, 1);
+        assert_eq!(snap.queue_wait.max_us, 800);
+        assert_eq!(snap.service.samples, 1);
+        assert_eq!(snap.service.max_us, 200);
+        assert_eq!(snap.latency.max_us, 1000);
     }
 
     #[test]
-    fn full_window_overwrites_advance_even_when_received_stalls() {
-        // The old cursor was derived from `received`, so completions
-        // arriving without interleaved submissions hammered one slot and
-        // lost samples. With a dedicated write cursor, a full generation
-        // of overwrites replaces every slot.
+    fn histogram_keeps_every_sample_no_window() {
+        // The old Mutex<Vec> window capped retention at 4096 samples;
+        // the histogram keeps exact counts forever.
         let metrics = Metrics::new();
-        for _ in 0..LATENCY_WINDOW {
-            metrics.on_received();
-            metrics.on_done(true, Duration::from_micros(1));
-        }
-        // `received` frozen from here on: only completions.
-        for _ in 0..LATENCY_WINDOW {
-            metrics.on_done(true, Duration::from_micros(9));
+        for _ in 0..5000u64 {
+            metrics.on_done(true, Duration::from_micros(3));
         }
         let snap = metrics.snapshot();
-        assert_eq!(snap.latency_us_min, 9, "every old sample must age out");
-        assert_eq!(snap.latency_us_max, 9);
+        assert_eq!(snap.latency.samples, 5000);
+        assert_eq!(snap.latency.min_us, 3);
+        assert_eq!(snap.latency.max_us, 3);
     }
 
     #[test]
@@ -260,5 +303,39 @@ mod tests {
         let b = models.get("b").expect("entry exists").snapshot();
         assert_eq!((b.received, b.succeeded), (1, 0));
         assert!(models.get("c").is_none());
+    }
+
+    #[test]
+    fn first_traffic_racers_share_one_entry_and_lose_no_counts() {
+        // Spawn-heavy check of the read-then-write upgrade in
+        // `for_model`: many threads request the same never-seen name at
+        // once; all must get the same underlying entry and every count
+        // must land in it.
+        for round in 0..16 {
+            let models = Arc::new(ModelMetrics::new());
+            let name = format!("fresh-{round}");
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let models = Arc::clone(&models);
+                    let name = name.clone();
+                    std::thread::spawn(move || {
+                        let entry = models.for_model(&name);
+                        entry.on_received();
+                        entry
+                    })
+                })
+                .collect();
+            let entries: Vec<Arc<Metrics>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let canonical = models.get(&name).expect("entry exists");
+            for entry in &entries {
+                assert!(
+                    Arc::ptr_eq(entry, &canonical),
+                    "racer got a clobbered entry"
+                );
+            }
+            assert_eq!(canonical.snapshot().received, 16, "lost counts");
+            assert_eq!(models.names().len(), 1);
+        }
     }
 }

@@ -1,0 +1,218 @@
+//! Prometheus-text rendering of the whole service state (the `metrics`
+//! command and the optional `--metrics-addr` HTTP listener).
+//!
+//! Every series carries the `bagpred_` prefix. Global counters and
+//! histograms come first, then per-map cache counters labelled
+//! `{map="apps|fairness|nbags"}`, per-stage histograms labelled
+//! `{stage="..."}`, and per-model series labelled `{model="..."}`.
+//! Histograms are exposed in classic cumulative `_bucket{le="..."}` form
+//! with the log2 bucket bounds of [`bagpred_obs::LogHistogram`].
+
+use crate::engine::Inner;
+use bagpred_obs::Exposition;
+
+/// Render the full exposition document for a running service.
+pub(crate) fn render(inner: &Inner) -> String {
+    let mut expo = Exposition::new();
+    let metrics = &inner.metrics;
+    let snap = metrics.snapshot();
+
+    expo.header(
+        "bagpred_requests_received_total",
+        "counter",
+        "Requests accepted into the queue.",
+    );
+    expo.sample("bagpred_requests_received_total", &[], snap.received as f64);
+    expo.header(
+        "bagpred_requests_succeeded_total",
+        "counter",
+        "Requests completed with an ok reply.",
+    );
+    expo.sample(
+        "bagpred_requests_succeeded_total",
+        &[],
+        snap.succeeded as f64,
+    );
+    expo.header(
+        "bagpred_requests_failed_total",
+        "counter",
+        "Requests completed with an err reply.",
+    );
+    expo.sample("bagpred_requests_failed_total", &[], snap.failed as f64);
+    expo.header(
+        "bagpred_requests_shed_total",
+        "counter",
+        "Requests rejected because the queue was full.",
+    );
+    expo.sample("bagpred_requests_shed_total", &[], snap.shed as f64);
+
+    expo.header(
+        "bagpred_queue_depth",
+        "gauge",
+        "Requests queued but not yet picked up.",
+    );
+    expo.sample("bagpred_queue_depth", &[], inner.queue_depth() as f64);
+    expo.header("bagpred_workers", "gauge", "Worker threads.");
+    expo.sample("bagpred_workers", &[], inner.config.workers as f64);
+    expo.header("bagpred_models", "gauge", "Registered models.");
+    expo.sample("bagpred_models", &[], inner.registry.len() as f64);
+
+    expo.header(
+        "bagpred_request_latency_us",
+        "histogram",
+        "End-to-end request latency, microseconds.",
+    );
+    expo.histogram(
+        "bagpred_request_latency_us",
+        &[],
+        &metrics.latency().snapshot(),
+    );
+    expo.header(
+        "bagpred_queue_wait_us",
+        "histogram",
+        "Time between enqueue and worker pickup, microseconds.",
+    );
+    expo.histogram(
+        "bagpred_queue_wait_us",
+        &[],
+        &metrics.queue_wait().snapshot(),
+    );
+    expo.header(
+        "bagpred_service_time_us",
+        "histogram",
+        "Service time (latency minus parse and queue wait), microseconds.",
+    );
+    expo.histogram(
+        "bagpred_service_time_us",
+        &[],
+        &metrics.service().snapshot(),
+    );
+
+    expo.header(
+        "bagpred_cache_hits_total",
+        "counter",
+        "Feature-cache lookups answered without computing, per map.",
+    );
+    expo.header(
+        "bagpred_cache_misses_total",
+        "counter",
+        "Feature-cache lookups that had to compute, per map.",
+    );
+    expo.header(
+        "bagpred_cache_evictions_total",
+        "counter",
+        "Feature-cache entries evicted to respect the capacity bound, per map.",
+    );
+    expo.header(
+        "bagpred_cache_entries",
+        "gauge",
+        "Feature-cache entries currently held, per map.",
+    );
+    for map in inner.cache.map_stats() {
+        let labels = [("map", map.name)];
+        expo.sample("bagpred_cache_hits_total", &labels, map.hits as f64);
+        expo.sample("bagpred_cache_misses_total", &labels, map.misses as f64);
+        expo.sample(
+            "bagpred_cache_evictions_total",
+            &labels,
+            map.evictions as f64,
+        );
+        expo.sample("bagpred_cache_entries", &labels, map.entries as f64);
+    }
+    expo.header(
+        "bagpred_cache_hit_rate",
+        "gauge",
+        "Fraction of feature-cache lookups answered from the cache, all maps.",
+    );
+    expo.sample("bagpred_cache_hit_rate", &[], inner.cache.hit_rate());
+
+    expo.header(
+        "bagpred_stage_duration_us",
+        "histogram",
+        "Per-stage request duration, microseconds.",
+    );
+    for (stage, snap) in inner.stages.snapshot() {
+        expo.histogram(
+            "bagpred_stage_duration_us",
+            &[("stage", stage.name())],
+            &snap,
+        );
+    }
+
+    expo.header(
+        "bagpred_slow_requests_total",
+        "counter",
+        "Requests that crossed the slow-request threshold (ring captures).",
+    );
+    expo.sample(
+        "bagpred_slow_requests_total",
+        &[],
+        inner.events.recorded() as f64,
+    );
+
+    expo.header(
+        "bagpred_model_received_total",
+        "counter",
+        "Requests resolved to the model.",
+    );
+    expo.header(
+        "bagpred_model_succeeded_total",
+        "counter",
+        "Requests the model answered with an ok reply.",
+    );
+    expo.header(
+        "bagpred_model_failed_total",
+        "counter",
+        "Requests charged to the model that failed.",
+    );
+    expo.header(
+        "bagpred_model_latency_us",
+        "histogram",
+        "End-to-end latency of requests served by the model, microseconds.",
+    );
+    expo.header(
+        "bagpred_model_queue_wait_us",
+        "histogram",
+        "Queue wait of requests served by the model, microseconds.",
+    );
+    expo.header(
+        "bagpred_model_service_time_us",
+        "histogram",
+        "Service time of requests served by the model, microseconds.",
+    );
+    for name in inner.model_metrics.names() {
+        let Some(model) = inner.model_metrics.get(&name) else {
+            continue;
+        };
+        let labels = [("model", name.as_str())];
+        let snap = model.snapshot();
+        expo.sample(
+            "bagpred_model_received_total",
+            &labels,
+            snap.received as f64,
+        );
+        expo.sample(
+            "bagpred_model_succeeded_total",
+            &labels,
+            snap.succeeded as f64,
+        );
+        expo.sample("bagpred_model_failed_total", &labels, snap.failed as f64);
+        expo.histogram(
+            "bagpred_model_latency_us",
+            &labels,
+            &model.latency().snapshot(),
+        );
+        expo.histogram(
+            "bagpred_model_queue_wait_us",
+            &labels,
+            &model.queue_wait().snapshot(),
+        );
+        expo.histogram(
+            "bagpred_model_service_time_us",
+            &labels,
+            &model.service().snapshot(),
+        );
+    }
+
+    expo.render()
+}

@@ -7,6 +7,8 @@
 //! schedule [model=NAME] k=GPUS budget=SECONDS APP@BATCH [APP@BATCH ...]
 //! stats [model=NAME]
 //! models
+//! metrics
+//! trace
 //! load model=NAME path=FILE
 //! save [model=NAME] [path=DEST]
 //! reload model=NAME [path=FILE]
@@ -25,6 +27,14 @@
 //! `[A-Za-z0-9._-]`. `save`/`reload` fall back to
 //! `<snapshot_dir>/<model>.bagsnap` when `path=` is omitted. Paths must
 //! not contain whitespace (the protocol is whitespace-tokenized).
+//!
+//! `metrics` renders every counter and histogram as a multi-line
+//! Prometheus text document terminated by a `# EOF` line — the one reply
+//! that is not a single line; read until `# EOF`. `trace` dumps the
+//! slow-request ring: a first `ok traces=N` line followed by one `trace
+//! seq=... total_us=... stages=stage:us,...` line per captured request,
+//! oldest first. `trace` is admin-gated like `load`/`save`/`reload`
+//! (span breakdowns reveal other clients' request contents and timing).
 //!
 //! Replies start with `ok ` or `err `:
 //!
@@ -155,6 +165,10 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         }
         "models" if tokens.is_empty() => Ok(Request::Models),
         "models" => Err(ServeError::BadRequest("models takes no arguments".into())),
+        "metrics" if tokens.is_empty() => Ok(Request::Metrics),
+        "metrics" => Err(ServeError::BadRequest("metrics takes no arguments".into())),
+        "trace" if tokens.is_empty() => Ok(Request::Trace),
+        "trace" => Err(ServeError::BadRequest("trace takes no arguments".into())),
         "load" => {
             let model = take_kv(&mut tokens, "model")
                 .ok_or_else(|| ServeError::BadRequest("load needs model=NAME".into()))?
@@ -193,7 +207,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         }
         other => Err(ServeError::BadRequest(format!(
             "unknown command `{other}` \
-             (try: predict, schedule, stats, models, load, save, reload)"
+             (try: predict, schedule, stats, models, metrics, trace, load, save, reload)"
         ))),
     }
 }
@@ -202,14 +216,24 @@ fn format_workload(w: &Workload) -> String {
     format!("{}@{}", w.benchmark().name(), w.batch_size())
 }
 
+/// Formats one latency summary as `<prefix>_samples=... <prefix>_us_min=...`
+/// key-value pairs. Quantiles use the nearest-rank semantics documented
+/// on [`bagpred_obs::HistogramSnapshot::quantile`].
+fn format_summary(prefix: &str, s: &crate::metrics::LatencySummary) -> String {
+    format!(
+        "{prefix}_samples={} {prefix}_us_min={} {prefix}_us_mean={:.1} \
+         {prefix}_us_p50={} {prefix}_us_p95={} {prefix}_us_p99={} {prefix}_us_max={}",
+        s.samples, s.min_us, s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us,
+    )
+}
+
 fn format_stats(s: &StatsReport) -> String {
     let m = &s.metrics;
-    format!(
+    let mut out = format!(
         "requests={} ok={} err={} shed={} queue_depth={} workers={} models={} \
+         slow_captured={} \
          cache_hits={} cache_misses={} cache_hit_rate={:.4} cache_entries={} \
-         cache_evictions={} \
-         latency_samples={} latency_us_min={} latency_us_mean={:.1} \
-         latency_us_p95={} latency_us_max={}",
+         cache_evictions={}",
         m.received,
         m.succeeded,
         m.failed,
@@ -217,17 +241,27 @@ fn format_stats(s: &StatsReport) -> String {
         s.queue_depth,
         s.workers,
         s.models,
+        s.slow_captured,
         s.cache_hits,
         s.cache_misses,
         s.cache_hit_rate,
         s.cache_entries,
         s.cache_evictions,
-        m.latency_samples,
-        m.latency_us_min,
-        m.latency_us_mean,
-        m.latency_us_p95,
-        m.latency_us_max,
-    )
+    );
+    for map in &s.cache_maps {
+        out.push_str(&format!(
+            " cache_{0}_hits={1} cache_{0}_misses={2} cache_{0}_evictions={3} \
+             cache_{0}_entries={4}",
+            map.name, map.hits, map.misses, map.evictions, map.entries,
+        ));
+    }
+    out.push(' ');
+    out.push_str(&format_summary("latency", &m.latency));
+    out.push(' ');
+    out.push_str(&format_summary("queue_wait", &m.queue_wait));
+    out.push(' ');
+    out.push_str(&format_summary("service", &m.service));
+    out
 }
 
 /// Formats the reply line (without the trailing newline).
@@ -269,16 +303,13 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
         }
         Ok(Reply::Stats(stats)) => format!("ok {}", format_stats(stats)),
         Ok(Reply::ModelStats { model, metrics: m }) => format!(
-            "ok model={model} requests={} ok={} err={} latency_samples={} \
-             latency_us_min={} latency_us_mean={:.1} latency_us_p95={} latency_us_max={}",
+            "ok model={model} requests={} ok={} err={} {} {} {}",
             m.received,
             m.succeeded,
             m.failed,
-            m.latency_samples,
-            m.latency_us_min,
-            m.latency_us_mean,
-            m.latency_us_p95,
-            m.latency_us_max,
+            format_summary("latency", &m.latency),
+            format_summary("queue_wait", &m.queue_wait),
+            format_summary("service", &m.service),
         ),
         Ok(Reply::Loaded {
             model,
@@ -299,7 +330,41 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
             }
             out
         }
+        // The exposition document is the one multi-line reply: it is
+        // written verbatim and already ends with its own `# EOF`
+        // sentinel, so clients read until that line rather than one line.
+        Ok(Reply::Metrics(text)) => text.trim_end_matches('\n').to_string(),
+        Ok(Reply::Traces(events)) => {
+            let mut out = format!("ok traces={}", events.len());
+            for event in events {
+                out.push('\n');
+                out.push_str(&format_trace(event));
+            }
+            out
+        }
     }
+}
+
+/// One `trace ...` line of the `trace` reply: sequence number, total
+/// latency, and the comma-joined `stage:us` span breakdown, followed by
+/// the request summary (which may contain spaces, so it comes last).
+fn format_trace(event: &bagpred_obs::SlowEvent) -> String {
+    let stages = if event.stages.is_empty() {
+        "-".to_string()
+    } else {
+        event
+            .stages
+            .iter()
+            .map(|(stage, d)| format!("{}:{}", stage.name(), d.as_micros()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "trace seq={} total_us={} stages={stages} req={}",
+        event.seq,
+        event.total.as_micros(),
+        event.summary,
+    )
 }
 
 #[cfg(test)]
@@ -364,6 +429,8 @@ mod tests {
             ("schedule k=2 budget=1", "at least one"),
             ("stats now", "no arguments"),
             ("models all", "no arguments"),
+            ("metrics now", "no arguments"),
+            ("trace all", "no arguments"),
             ("load path=/tmp/x.bagsnap", "model=NAME"),
             ("load model=x", "path=FILE"),
             ("load model=x path=/tmp/x extra", "nothing else"),
@@ -378,6 +445,43 @@ mod tests {
                 "`{line}` -> `{msg}` (wanted `{needle}`)"
             );
         }
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert_eq!(parse_request("metrics").expect("parses"), Request::Metrics);
+        assert_eq!(parse_request("trace").expect("parses"), Request::Trace);
+        assert!(Request::Trace.is_admin(), "trace dumps cross-client data");
+        assert!(!Request::Metrics.is_admin(), "metrics is aggregate-only");
+    }
+
+    #[test]
+    fn metrics_and_trace_replies_format_as_documented() {
+        let line = format_outcome(&Ok(Reply::Metrics(
+            "# HELP x y\n# TYPE x counter\nx 1\n# EOF\n".into(),
+        )));
+        assert_eq!(line, "# HELP x y\n# TYPE x counter\nx 1\n# EOF");
+
+        let line = format_outcome(&Ok(Reply::Traces(vec![])));
+        assert_eq!(line, "ok traces=0");
+
+        use bagpred_obs::{SlowEvent, Stage};
+        use std::time::Duration;
+        let line = format_outcome(&Ok(Reply::Traces(vec![SlowEvent {
+            seq: 7,
+            summary: "predict model=pair-tree SIFT@20+KNN@40".into(),
+            total: Duration::from_micros(1500),
+            stages: vec![
+                (Stage::QueueWait, Duration::from_micros(400)),
+                (Stage::Predict, Duration::from_micros(900)),
+            ],
+        }])));
+        assert_eq!(
+            line,
+            "ok traces=1\ntrace seq=7 total_us=1500 \
+             stages=queue_wait:400,predict:900 \
+             req=predict model=pair-tree SIFT@20+KNN@40"
+        );
     }
 
     #[test]

@@ -34,13 +34,14 @@
 use crate::engine::PredictionService;
 use crate::error::ServeError;
 use crate::protocol::{format_outcome, parse_request};
+use bagpred_obs::{Stage, Trace};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Connection-handling knobs for the TCP front-end.
 #[derive(Debug, Clone)]
@@ -295,6 +296,141 @@ impl Drop for Server {
     }
 }
 
+/// An optional second listener answering HTTP metric scrapes with the
+/// same Prometheus text document as the `metrics` wire command
+/// ([`PredictionService::exposition`]).
+///
+/// Deliberately minimal: one accept-loop thread answers scrapes inline
+/// (a scrape renders one string and writes it — there is nothing to
+/// parallelize), every request gets the full document regardless of
+/// method or path, and the connection closes after the response
+/// (`HTTP/1.0`-style, `Connection: close`). Reads and writes are
+/// bounded by timeouts so a stuck scraper delays — never wedges — the
+/// loop. Exposes *only* aggregate metrics: no admin surface, no
+/// request contents, so it is safe to bind more widely than the admin
+/// command listener.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts answering HTTP scrapes from `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<PredictionService>) -> io::Result<Self> {
+        Self::serve_listener(TcpListener::bind(addr)?, service)
+    }
+
+    /// Starts answering scrapes on an already-bound listener (claim the
+    /// port before paying for model training, like
+    /// [`Server::serve_listener`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures on the listener.
+    pub fn serve_listener(
+        listener: TcpListener,
+        service: Arc<PredictionService>,
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = answer_scrape(stream, &service);
+            }
+        });
+        Ok(Self {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address — read the ephemeral port from here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins it. Idempotent; bounded by the
+    /// per-scrape timeouts plus one loopback wake-up connection.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = TcpStream::connect(wake_addr(self.local_addr));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answers one HTTP scrape: drains the request head (bounded — at most
+/// 4 KiB and one read timeout), then writes the exposition document.
+/// The request itself is never interpreted; every scrape gets the full
+/// document.
+fn answer_scrape(mut stream: TcpStream, service: &PredictionService) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = [0u8; 4096];
+    let mut filled = 0;
+    while filled < head.len() {
+        match stream.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                let seen = &head[..filled];
+                if seen.windows(4).any(|w| w == b"\r\n\r\n")
+                    || seen.windows(2).any(|w| w == b"\n\n")
+                {
+                    break; // end of request head — body (if any) ignored
+                }
+            }
+            // A scraper that sent a partial head and stalled still gets
+            // its answer; the response is what matters.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let body = service.exposition();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &PredictionService,
@@ -341,25 +477,38 @@ fn handle_connection(
                         if request.is_empty() {
                             None
                         } else {
-                            Some(match parse_request(request) {
+                            // The trace starts when a complete line is in
+                            // hand, so its parse span measures parsing,
+                            // not how slowly the client dribbled bytes.
+                            let mut trace = Trace::new();
+                            let parsed = parse_request(request);
+                            trace.mark(Stage::Parse);
+                            Some(match parsed {
                                 // Parse errors never reach the queue;
                                 // they are answered inline so malformed
                                 // floods cannot shed well-formed load.
                                 Err(err) => Err(err),
-                                // Admin commands touch the filesystem;
-                                // refused unless this listener opted in.
+                                // Admin commands touch the filesystem (or,
+                                // for `trace`, dump other clients' request
+                                // summaries); refused unless this listener
+                                // opted in.
                                 Ok(request) if request.is_admin() && !config.admin => {
                                     Err(ServeError::AdminDisabled)
                                 }
-                                Ok(request) => service.call(request),
+                                Ok(request) => service.call_traced(request, trace),
                             })
                         }
                     }
                 };
                 if let Some(outcome) = outcome {
+                    let write_started = Instant::now();
                     writer.write_all(format_outcome(&outcome).as_bytes())?;
                     writer.write_all(b"\n")?;
                     writer.flush()?;
+                    // The engine consumed the per-request trace when it
+                    // finished the job, so the write span lands in the
+                    // global stage histogram only.
+                    service.record_stage(Stage::ReplyWrite, write_started.elapsed());
                 }
                 line.clear();
                 if !ended_with_newline {
@@ -674,6 +823,54 @@ mod tests {
             reply.starts_with("err bad request: no snapshot dir configured"),
             "{reply}"
         );
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn wire_requests_record_parse_and_reply_write_stages() {
+        let (mut server, service) = start();
+        let replies = roundtrip(
+            server.local_addr(),
+            &["predict SIFT@20+KNN@40", "predict HOG@20+FAST@80"],
+        );
+        assert!(replies.iter().all(|r| r.starts_with("ok model=")));
+        // Only the TCP front-end marks these stages; two wire requests
+        // mean two parse samples and two reply-write samples.
+        assert_eq!(service.stages().stage(Stage::Parse).count(), 2);
+        assert_eq!(service.stages().stage(Stage::ReplyWrite).count(), 2);
+        assert_eq!(service.stages().stage(Stage::QueueWait).count(), 2);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_listener_answers_http_scrapes_with_the_exposition() {
+        let (mut server, service) = start();
+        let _ = roundtrip(server.local_addr(), &["predict SIFT@20+KNN@40"]);
+        let mut metrics = MetricsServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+
+        let mut stream = TcpStream::connect(metrics.local_addr()).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("sets timeout");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+            .expect("writes");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("reads");
+
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        let (head, body) = response.split_once("\r\n\r\n").expect("has blank line");
+        assert!(
+            head.contains(&format!("Content-Length: {}", body.len())),
+            "{head}"
+        );
+        assert!(body.contains("bagpred_requests_received_total 1"), "{body}");
+        assert!(body.ends_with("# EOF\n"), "{body}");
+
+        metrics.shutdown();
+        metrics.shutdown(); // idempotent
         server.shutdown();
         service.shutdown();
     }

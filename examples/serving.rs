@@ -118,23 +118,42 @@ fn main() {
     }
     if let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) {
         println!(
-            "\nstats: {} requests, cache hit rate {:.0}%, p95 latency {}us",
+            "\nstats: {} requests, cache hit rate {:.0}%, \
+             latency p50 {}us p95 {}us p99 {}us \
+             (queue wait p95 {}us, service p95 {}us)",
             stats.metrics.received,
             stats.cache_hit_rate * 100.0,
-            stats.metrics.latency_us_p95
+            stats.metrics.latency.p50_us,
+            stats.metrics.latency.p95_us,
+            stats.metrics.latency.p99_us,
+            stats.metrics.queue_wait.p95_us,
+            stats.metrics.service.p95_us,
         );
     }
-    // Per-model accounting: every registered model has its own counters.
+    // Per-model accounting: every registered model has its own counters
+    // and queue-wait/service-time histograms.
     for (name, _) in service.registry().list() {
         if let Ok(Reply::ModelStats { model, metrics }) =
             service.call(Request::Stats { model: Some(name) })
         {
             println!(
-                "  {model:<12} {} requests, {} ok, {} err",
-                metrics.received, metrics.succeeded, metrics.failed
+                "  {model:<12} {} requests, {} ok, {} err, queue wait p95 {}us",
+                metrics.received, metrics.succeeded, metrics.failed, metrics.queue_wait.p95_us
             );
         }
     }
+
+    // The same numbers as a Prometheus scrape (first lines shown); a
+    // `MetricsServer` can serve this over HTTP next to the line protocol.
+    let exposition = service.exposition();
+    println!(
+        "\nmetrics exposition ({} lines):",
+        exposition.lines().count()
+    );
+    for line in exposition.lines().take(5) {
+        println!("  {line}");
+    }
+    println!("  ...");
 
     // 6. Drain: shutdown joins every connection thread, so nothing leaks.
     let mut server = server;

@@ -25,6 +25,7 @@ cargo fmt --all --check
 
 echo "== lint: cargo clippy --all-targets -D warnings =="
 cargo clippy -q --all-targets -- -D warnings
+cargo clippy -q -p bagpred-obs --all-targets -- -D warnings
 
 echo "== serving integration (bounded at 300s) =="
 timeout 300 cargo test -q --test serving
@@ -44,6 +45,28 @@ timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
   server::tests::multibyte_utf8_split_across_a_read_timeout_survives_intact \
   engine::tests::admin_paths_and_model_names_cannot_escape_the_snapshot_dir
 
+echo "== observability: histograms, traces, exposition (bounded at 180s) =="
+# The observability invariants, run by name so they can never be
+# silently filtered out: lock-free histograms must not lose samples
+# under concurrent writers, queue wait and service time must decompose
+# request latency per model, the exposition must parse line by line,
+# and the slow-request trace dump must stay admin-gated.
+timeout 120 cargo test -q -p bagpred-obs --lib -- --exact \
+  hist::tests::concurrent_writers_match_serial_reference \
+  hist::tests::quantiles_are_nearest_rank_clamped_to_observed_range \
+  expo::tests::histogram_emits_cumulative_buckets_sum_and_count \
+  expo::tests::validator_rejects_malformed_lines
+timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
+  engine::tests::traces_split_queue_wait_from_service_time \
+  engine::tests::slow_requests_are_captured_with_their_span_breakdown \
+  engine::tests::exposition_covers_global_and_per_model_series_and_parses \
+  metrics::tests::first_traffic_racers_share_one_entry_and_lose_no_counts \
+  server::tests::metrics_listener_answers_http_scrapes_with_the_exposition
+timeout 180 cargo test -q --test serving -- --exact \
+  metrics_over_tcp_is_valid_prometheus_text_line_by_line \
+  per_model_latency_histograms_sum_to_the_global_one_under_concurrent_clients \
+  trace_dump_is_admin_gated_and_reports_slow_requests
+
 echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any
 # *_ns_per_record rate regresses past 2x the committed baseline.
@@ -56,7 +79,11 @@ for key in schema smoke threads corpus_bags batch_records \
   train_tree_ms train_forest_ms \
   loocv_serial_ms loocv_parallel_ms loocv_speedup \
   tree_single_ns_per_record tree_batch_ns_per_record tree_batch_speedup \
-  forest_single_ns_per_record forest_batch_ns_per_record forest_batch_speedup; do
+  forest_single_ns_per_record forest_batch_ns_per_record forest_batch_speedup \
+  stage_measure_corpus_p95_us stage_train_tree_p95_us stage_train_forest_p95_us \
+  stage_loocv_p95_us stage_loocv_fold_samples stage_loocv_fold_p50_us \
+  stage_predict_single_p95_us stage_predict_batch_p95_us \
+  obs_batch_overhead_percent; do
   grep -q "\"$key\"" "$smoke_json" || {
     echo "bench report is missing key: $key" >&2
     exit 1
@@ -66,5 +93,14 @@ grep -q '"schema": "bagpred-bench-v1"' "$smoke_json" || {
   echo "bench report has the wrong schema tag" >&2
   exit 1
 }
+
+# Instrumenting the batch-predict path with a histogram sample must stay
+# cheap: fail if the measured overhead reaches 5%.
+overhead="$(sed -n 's/.*"obs_batch_overhead_percent": \([0-9.]*\).*/\1/p' "$smoke_json")"
+awk -v o="$overhead" 'BEGIN { exit !(o < 5.0) }' || {
+  echo "histogram overhead on predict_batch is ${overhead}% (gate: < 5%)" >&2
+  exit 1
+}
+echo "histogram overhead on predict_batch: ${overhead}% (< 5%)"
 
 echo "verify: OK"

@@ -18,6 +18,8 @@
 //! * [`gpusim`] — the Tesla T4 model with MPS interference.
 //! * [`ml`] — decision trees, linear regression, SVR, validation.
 //! * [`core`] — the predictor itself: features, corpus, training, analysis.
+//! * [`obs`] — observability: lock-free log-bucketed histograms, per-stage
+//!   request traces, slow-request capture, Prometheus text exposition.
 //! * [`experiments`] — regeneration of every table and figure.
 //! * [`serve`] — online serving: model snapshots, a concurrent prediction
 //!   engine with a feature cache, admission control, and a TCP front-end.
@@ -51,6 +53,7 @@ pub use bagpred_cpusim as cpusim;
 pub use bagpred_experiments as experiments;
 pub use bagpred_gpusim as gpusim;
 pub use bagpred_ml as ml;
+pub use bagpred_obs as obs;
 pub use bagpred_serve as serve;
 pub use bagpred_trace as trace;
 pub use bagpred_workloads as workloads;

@@ -72,6 +72,7 @@ fn concurrent_batched_predictions_are_bit_identical_to_the_offline_predictor() {
             batch_size: 8,
             cache_capacity: 0,
             snapshot_dir: None,
+            ..ServiceConfig::default()
         },
     );
     let handles: Vec<_> = bags
@@ -105,6 +106,7 @@ fn the_cache_capacity_bound_holds_end_to_end_and_evicted_entries_recompute_ident
             batch_size: 4,
             cache_capacity: capacity,
             snapshot_dir: None,
+            ..ServiceConfig::default()
         },
     );
     let bags = pair_bags();

@@ -618,12 +618,205 @@ fn stats_over_tcp_report_cache_and_latency_fields() {
         "requests=",
         "cache_hits=",
         "cache_hit_rate=",
+        "cache_apps_hits=",
+        "cache_nbags_misses=",
+        "slow_captured=",
+        "latency_us_p50=",
         "latency_us_p95=",
+        "latency_us_p99=",
         "latency_us_max=",
+        "queue_wait_us_p95=",
+        "service_us_p95=",
     ] {
         assert!(stats.contains(field), "stats line missing {field}: {stats}");
     }
     assert!(replies[3].starts_with("ok models=2"), "{}", replies[3]);
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn metrics_over_tcp_is_valid_prometheus_text_line_by_line() {
+    let (server, service) = start_server();
+    let addr = server.local_addr();
+
+    // Traffic first, so the exposition carries per-model series too.
+    let warmup = client_roundtrip(addr, &["predict SIFT@20+KNN@40".to_string()]);
+    assert!(warmup[0].starts_with("ok model="), "{}", warmup[0]);
+
+    // `metrics` is the one multi-line reply: read until the `# EOF`
+    // sentinel the document ends with.
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones stream");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"metrics\n").expect("writes");
+    writer.flush().expect("flushes");
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("reads") > 0,
+            "connection closed before # EOF"
+        );
+        let line = line.trim_end().to_string();
+        let done = line == "# EOF";
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+
+    // Every line must be a comment or a `name{labels} value` sample.
+    for line in &lines {
+        assert!(
+            bagpred::obs::expo::line_is_valid(line),
+            "invalid exposition line: {line:?}"
+        );
+    }
+    let text = lines.join("\n");
+    for needle in [
+        "# TYPE bagpred_requests_received_total counter",
+        "# HELP bagpred_request_latency_us",
+        "bagpred_cache_hits_total{map=\"apps\"}",
+        "bagpred_stage_duration_us_count{stage=\"queue_wait\"}",
+        "bagpred_stage_duration_us_count{stage=\"parse\"}",
+        "bagpred_model_latency_us_count{model=\"pair-tree\"}",
+        "bagpred_queue_depth",
+    ] {
+        assert!(text.contains(needle), "exposition missing {needle}");
+    }
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn per_model_latency_histograms_sum_to_the_global_one_under_concurrent_clients() {
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: usize = 25;
+
+    // A private service: the shared one carries traffic from other tests.
+    let service =
+        PredictionService::start(registry(), Platforms::paper(), ServiceConfig::default());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds ephemeral port");
+    let addr = server.local_addr();
+
+    // Predict-only traffic, alternating models, so every engine request
+    // is attributed to exactly one model.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let lines: Vec<String> = (0..REQUESTS_PER_CLIENT)
+                    .map(|i| {
+                        if (client + i) % 2 == 0 {
+                            "predict model=pair-tree SIFT@20+KNN@40".to_string()
+                        } else {
+                            "predict model=nbag-tree SIFT@20+KNN@40+ORB@40".to_string()
+                        }
+                    })
+                    .collect();
+                for reply in client_roundtrip(addr, &lines) {
+                    assert!(reply.starts_with("ok model="), "{reply}");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread finishes");
+    }
+
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    let global = service.metrics().latency().snapshot();
+    assert_eq!(global.count, total, "global histogram saw every request");
+
+    // Merging the per-model histograms must reproduce the global one
+    // exactly: same count, same sum of microseconds, same buckets.
+    let mut merged = bagpred::obs::HistogramSnapshot::default();
+    for name in service.model_metrics().names() {
+        let model = service.model_metrics().get(&name).expect("model exists");
+        merged.merge(&model.latency().snapshot());
+    }
+    assert_eq!(merged.count, global.count, "per-model counts sum to global");
+    assert_eq!(merged.sum, global.sum, "per-model sums equal global sum");
+    assert_eq!(merged.buckets, global.buckets, "bucket-for-bucket equal");
+
+    // Queue-wait and service-time decompose the same way.
+    let global_service = service.metrics().service().snapshot();
+    let mut merged_service = bagpred::obs::HistogramSnapshot::default();
+    for name in service.model_metrics().names() {
+        let model = service.model_metrics().get(&name).expect("model exists");
+        merged_service.merge(&model.service().snapshot());
+    }
+    assert_eq!(merged_service.count, global_service.count);
+    assert_eq!(merged_service.sum, global_service.sum);
+
+    drop(server);
+    service.shutdown();
+}
+
+#[test]
+fn trace_dump_is_admin_gated_and_reports_slow_requests() {
+    // Default listener: `trace` never reaches the engine — span
+    // breakdowns reveal other clients' request contents and timing.
+    let (server, service) = start_server();
+    let replies = client_roundtrip(
+        server.local_addr(),
+        &["trace".to_string(), "predict SIFT@20+KNN@40".to_string()],
+    );
+    assert!(
+        replies[0].starts_with("err admin disabled"),
+        "trace must be refused without --admin: {}",
+        replies[0]
+    );
+    assert!(replies[1].starts_with("ok model="), "{}", replies[1]);
+    drop(server);
+    service.shutdown();
+
+    // Admin listener on a service whose slow threshold is zero: every
+    // request is "slow", so the ring has a span breakdown to dump.
+    let service = PredictionService::start(
+        registry(),
+        Platforms::paper(),
+        ServiceConfig {
+            slow_request_threshold: Duration::ZERO,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            admin: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds ephemeral port");
+    let addr = server.local_addr();
+    let _ = client_roundtrip(addr, &["predict SIFT@20+KNN@40".to_string()]);
+
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones stream");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"trace\n").expect("writes");
+    writer.flush().expect("flushes");
+    let mut header = String::new();
+    reader.read_line(&mut header).expect("reads");
+    let header = header.trim_end();
+    let count: usize = header
+        .strip_prefix("ok traces=")
+        .expect("trace reply header")
+        .parse()
+        .expect("trace count parses");
+    assert!(count >= 1, "zero-threshold service must capture: {header}");
+    for _ in 0..count {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads trace line");
+        let line = line.trim_end();
+        assert!(line.starts_with("trace seq="), "{line}");
+        assert!(line.contains("total_us="), "{line}");
+        assert!(line.contains("queue_wait:"), "{line}");
+        assert!(line.contains("req=predict "), "{line}");
+        assert!(line.contains("SIFT@20+KNN@40"), "{line}");
+    }
     drop(server);
     service.shutdown();
 }
