@@ -183,37 +183,64 @@ fn serve(args: &[String]) -> ! {
             }
         }
     });
+    // Arm the fault plan (deterministic fault injection for robustness
+    // drills) before training: a typo'd BAGPRED_FAULTS spec should fail
+    // fast, and an *armed* plan deserves a loud warning line.
+    let faults = match bagpred_serve::FaultPlan::from_env() {
+        Ok(plan) => Arc::new(plan),
+        Err(e) => {
+            eprintln!("error: bad BAGPRED_FAULTS spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    if faults.is_armed() {
+        eprintln!(
+            "warning: fault injection ARMED via BAGPRED_FAULTS — \
+             this process will deliberately misbehave"
+        );
+    }
     let platforms = bagpred_core::Platforms::paper();
     eprintln!("booting models (loads snapshots, or trains on first run)...");
-    let (registry, source) = match bootstrap::load_or_train(&platforms, models_dir.as_deref()) {
+    let boot = match bootstrap::load_or_train(&platforms, models_dir.as_deref()) {
         Ok(boot) => boot,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
-    match source {
+    let registry = boot.registry;
+    for path in &boot.quarantined {
+        eprintln!(
+            "warning: quarantined corrupt snapshot {} (moved aside; retrain or restore it)",
+            path.display()
+        );
+    }
+    match boot.source {
         bootstrap::BootSource::Loaded(n) => {
             let dir = models_dir.as_deref().expect("loaded implies a dir");
             eprintln!("loaded {n} model snapshot(s) from {}", dir.display());
         }
         bootstrap::BootSource::Trained(writeback) => {
             eprintln!("trained models on the paper corpus");
-            match writeback {
-                bootstrap::SnapshotWriteback::Skipped => {}
-                bootstrap::SnapshotWriteback::Saved(n) => {
-                    let dir = models_dir.as_deref().expect("saved implies a dir");
-                    eprintln!("saved {n} snapshot(s) to {}", dir.display());
-                }
-                bootstrap::SnapshotWriteback::Failed(e) => {
-                    eprintln!("warning: could not save snapshots: {e}");
-                }
-            }
+            report_writeback(writeback, models_dir.as_deref());
+        }
+        bootstrap::BootSource::Repaired {
+            loaded,
+            retrained,
+            writeback,
+        } => {
+            let dir = models_dir.as_deref().expect("repaired implies a dir");
+            eprintln!(
+                "loaded {loaded} model snapshot(s) from {}; retrained {retrained} missing model(s)",
+                dir.display()
+            );
+            report_writeback(writeback, Some(dir));
         }
     }
     let mut config = ServiceConfig {
         // `save`/`reload` without path= read and write here.
         snapshot_dir: models_dir.clone(),
+        faults,
         ..ServiceConfig::default()
     };
     if let Some(ms) = slow_threshold_ms {
@@ -254,9 +281,10 @@ fn serve(args: &[String]) -> ! {
     if admin {
         println!(
             "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-             stats [model=NAME] | models | metrics | trace | \
+             stats [model=NAME] | models | health | metrics | trace | \
              load model=NAME path=FILE | save [model=NAME] [path=DEST] | \
-             reload model=NAME [path=FILE] | quit"
+             reload model=NAME [path=FILE] | quit \
+             (any request also takes deadline_ms=N)"
         );
         println!(
             "admin enabled: load/save/reload paths resolve inside {}",
@@ -268,13 +296,29 @@ fn serve(args: &[String]) -> ! {
     } else {
         println!(
             "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-             stats [model=NAME] | models | metrics | quit \
-             (load/save/reload/trace need --admin)"
+             stats [model=NAME] | models | health | metrics | quit \
+             (any request also takes deadline_ms=N; \
+             load/save/reload/trace need --admin)"
         );
     }
     // Serve until killed; connections and workers run on their own threads.
     loop {
         std::thread::park();
+    }
+}
+
+/// Reports how a boot's snapshot write-back went (shared by the trained
+/// and repaired boot paths).
+fn report_writeback(writeback: bootstrap::SnapshotWriteback, dir: Option<&std::path::Path>) {
+    match writeback {
+        bootstrap::SnapshotWriteback::Skipped => {}
+        bootstrap::SnapshotWriteback::Saved(n) => {
+            let dir = dir.expect("saved implies a dir");
+            eprintln!("saved {n} snapshot(s) to {}", dir.display());
+        }
+        bootstrap::SnapshotWriteback::Failed(e) => {
+            eprintln!("warning: could not save snapshots: {e}");
+        }
     }
 }
 

@@ -13,10 +13,12 @@
 //! retraining on the next boot.
 
 use crate::error::ServeError;
+use crate::fault::panic_message;
+use crate::metrics::boot_stats;
 use crate::snapshot::{ModelRegistry, ServableModel};
 use bagpred_core::nbag::{nbag_corpus, NBagMeasurement, NBagPredictor};
 use bagpred_core::{Corpus, FeatureSet, ModelKind, Platforms, Predictor};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Extra heterogeneous bags in the n-bag training corpus (deterministic;
@@ -58,9 +60,21 @@ pub fn default_registry(platforms: &Platforms) -> Arc<ModelRegistry> {
     let (pair, nbag) = std::thread::scope(|scope| {
         let pair = scope.spawn(|| train_pair(platforms));
         let nbag = scope.spawn(|| train_nbag(platforms));
+        // Joins name the thread *and* carry the original panic message,
+        // so a training failure reads as one self-contained report.
         (
-            pair.join().expect("pair training panicked"),
-            nbag.join().expect("n-bag training panicked"),
+            pair.join().unwrap_or_else(|payload| {
+                panic!(
+                    "pair training panicked: {}",
+                    panic_message(payload.as_ref())
+                )
+            }),
+            nbag.join().unwrap_or_else(|payload| {
+                panic!(
+                    "n-bag training panicked: {}",
+                    panic_message(payload.as_ref())
+                )
+            }),
         )
     });
     registry.insert(PAIR_MODEL, ServableModel::Pair(pair));
@@ -84,8 +98,34 @@ pub enum SnapshotWriteback {
 pub enum BootSource {
     /// All models decoded from this many snapshots in the directory.
     Loaded(usize),
-    /// Trained from scratch (empty or missing snapshot directory).
+    /// Trained from scratch (empty or missing snapshot directory, or
+    /// every snapshot quarantined as corrupt).
     Trained(SnapshotWriteback),
+    /// Some snapshots decoded, but a default model's snapshot was
+    /// corrupt (quarantined) or absent — the hole was filled by
+    /// retraining just the missing models.
+    Repaired {
+        /// Models that decoded from snapshots.
+        loaded: usize,
+        /// Default models retrained to fill the holes.
+        retrained: usize,
+        /// Whether the retrained models' snapshots were written back.
+        writeback: SnapshotWriteback,
+    },
+}
+
+/// Everything [`load_or_train`] hands back: the registry, how it was
+/// obtained, and which corrupt snapshot files were quarantined along
+/// the way (empty on a clean boot).
+#[derive(Debug)]
+pub struct Boot {
+    /// The registry ready to serve.
+    pub registry: Arc<ModelRegistry>,
+    /// Loaded from snapshots or trained from scratch.
+    pub source: BootSource,
+    /// Corrupt snapshots moved aside as `<name>.corrupt` during the
+    /// directory scan; the boot proceeded without them.
+    pub quarantined: Vec<PathBuf>,
 }
 
 /// The standard serve boot path: load every snapshot from `dir` when it
@@ -93,34 +133,101 @@ pub enum BootSource {
 /// snapshots back so the next boot skips training. With no directory,
 /// always trains.
 ///
+/// Corrupt snapshot files do **not** fail the boot: each is quarantined
+/// as `<name>.corrupt` (reported in [`Boot::quarantined`] and counted in
+/// [`boot_stats`]), and the boot retrains whatever that leaves missing —
+/// every default model when nothing decoded, or just the quarantined
+/// ones when the corruption was partial ([`BootSource::Repaired`]) — so
+/// a torn write from a crashed previous process never leaves a
+/// well-known model unservable. An unusable directory (uncreatable,
+/// unreadable) is different: that is an operator error, reported as
+/// [`ServeError::SnapshotDir`] before any training time is spent.
+///
 /// # Errors
 ///
-/// Snapshot read/decode errors (a corrupt snapshot directory must fail
-/// loudly, not silently retrain and mask the corruption). Write-back
-/// failures are *not* errors — they are reported in
-/// [`SnapshotWriteback::Failed`].
-pub fn load_or_train(
-    platforms: &Platforms,
-    dir: Option<&Path>,
-) -> Result<(Arc<ModelRegistry>, BootSource), ServeError> {
-    if let Some(dir) = dir {
-        let registry = Arc::new(ModelRegistry::new());
-        let loaded = registry.load_dir(dir)?;
-        if loaded > 0 {
-            return Ok((registry, BootSource::Loaded(loaded)));
+/// [`ServeError::SnapshotDir`] when the directory is missing and cannot
+/// be created, or cannot be read. Write-back failures are *not* errors —
+/// they are reported in [`SnapshotWriteback::Failed`].
+pub fn load_or_train(platforms: &Platforms, dir: Option<&Path>) -> Result<Boot, ServeError> {
+    let Some(dir) = dir else {
+        return Ok(Boot {
+            registry: default_registry(platforms),
+            source: BootSource::Trained(SnapshotWriteback::Skipped),
+            quarantined: Vec::new(),
+        });
+    };
+    // Probe the directory up front: creating it if missing proves the
+    // path is usable *before* minutes of training are sunk into a
+    // registry whose write-back would only fail. A typo'd --models path
+    // dies here with a typed error instead of a mid-boot panic.
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        boot_stats().on_snapshot_dir_error();
+        return Err(ServeError::SnapshotDir(format!(
+            "create {}: {e}",
+            dir.display()
+        )));
+    }
+    let registry = Arc::new(ModelRegistry::new());
+    let report = match registry.load_dir_report(dir) {
+        Ok(report) => report,
+        Err(err) => {
+            boot_stats().on_snapshot_dir_error();
+            return Err(err);
         }
-        let registry = default_registry(platforms);
-        let writeback = match registry.save_dir(dir) {
-            Ok(saved) => SnapshotWriteback::Saved(saved),
+    };
+    if report.loaded > 0 {
+        // Partial corruption: a quarantined snapshot must not leave a
+        // well-known model missing — `predict` on a 3-app bag with no
+        // n-bag model would answer `err unknown model` forever. Retrain
+        // just the holes and write their snapshots back.
+        let missing: Vec<&str> = [PAIR_MODEL, NBAG_MODEL]
+            .into_iter()
+            .filter(|name| registry.get(name).is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(Boot {
+                registry,
+                source: BootSource::Loaded(report.loaded),
+                quarantined: report.quarantined,
+            });
+        }
+        for name in &missing {
+            let model = match *name {
+                PAIR_MODEL => ServableModel::Pair(train_pair(platforms)),
+                _ => ServableModel::NBag(train_nbag(platforms)),
+            };
+            registry.insert(*name, model);
+        }
+        let saved: Result<usize, ServeError> = missing.iter().try_fold(0, |n, name| {
+            let text = registry.snapshot(name)?;
+            let path = dir.join(format!("{name}.bagsnap"));
+            crate::snapshot::write_snapshot_file(&path, &text, &crate::fault::FaultPlan::none())?;
+            Ok(n + 1)
+        });
+        let writeback = match saved {
+            Ok(n) => SnapshotWriteback::Saved(n),
             Err(err) => SnapshotWriteback::Failed(err),
         };
-        Ok((registry, BootSource::Trained(writeback)))
-    } else {
-        Ok((
-            default_registry(platforms),
-            BootSource::Trained(SnapshotWriteback::Skipped),
-        ))
+        return Ok(Boot {
+            registry,
+            source: BootSource::Repaired {
+                loaded: report.loaded,
+                retrained: missing.len(),
+                writeback,
+            },
+            quarantined: report.quarantined,
+        });
     }
+    let registry = default_registry(platforms);
+    let writeback = match registry.save_dir(dir) {
+        Ok(saved) => SnapshotWriteback::Saved(saved),
+        Err(err) => SnapshotWriteback::Failed(err),
+    };
+    Ok(Boot {
+        registry,
+        source: BootSource::Trained(writeback),
+        quarantined: report.quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -134,22 +241,92 @@ mod tests {
         // Seed the dir from the shared trained registry (avoids a second
         // training run just for this test).
         let saved = testutil::registry().save_dir(&dir).expect("saves");
-        let (registry, source) =
-            load_or_train(&Platforms::paper(), Some(&dir)).expect("boots from snapshots");
-        match source {
+        let boot = load_or_train(&Platforms::paper(), Some(&dir)).expect("boots from snapshots");
+        match boot.source {
             BootSource::Loaded(n) => assert_eq!(n, saved),
             other => panic!("expected a snapshot boot, got {other:?}"),
         }
-        assert_eq!(registry.list(), testutil::registry().list());
+        assert!(boot.quarantined.is_empty());
+        assert_eq!(boot.registry.list(), testutil::registry().list());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn load_or_train_propagates_corrupt_snapshots() {
+    fn load_or_train_quarantines_corrupt_snapshots_and_boots_the_rest() {
         let dir = testutil::scratch_dir("bootstrap-corrupt");
+        // Two valid snapshots plus one corrupt file: the boot must serve
+        // the valid models and fence off the corrupt one, not abort.
+        let saved = testutil::registry().save_dir(&dir).expect("saves");
         std::fs::write(dir.join("bad.bagsnap"), "not a snapshot\n").expect("writes");
-        let err = load_or_train(&Platforms::paper(), Some(&dir)).expect_err("must fail loudly");
-        assert!(matches!(err, ServeError::Snapshot(_)), "{err}");
+        let before = crate::metrics::boot_stats().snapshots_quarantined();
+        let boot = load_or_train(&Platforms::paper(), Some(&dir)).expect("boot survives");
+        match boot.source {
+            BootSource::Loaded(n) => assert_eq!(n, saved),
+            other => panic!("expected a snapshot boot, got {other:?}"),
+        }
+        assert_eq!(boot.quarantined.len(), 1);
+        let corrupt = dir.join("bad.bagsnap.corrupt");
+        assert_eq!(boot.quarantined[0], corrupt);
+        assert!(corrupt.exists(), "corrupt file moved aside");
+        assert!(!dir.join("bad.bagsnap").exists(), "original gone");
+        assert!(
+            crate::metrics::boot_stats().snapshots_quarantined() > before,
+            "quarantine surfaced in the boot counters"
+        );
+        assert_eq!(boot.registry.list(), testutil::registry().list());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_train_retrains_only_the_default_model_a_corrupt_snapshot_left_missing() {
+        let dir = testutil::scratch_dir("bootstrap-repair");
+        testutil::registry().save_dir(&dir).expect("saves");
+        // Corrupt the n-bag snapshot: the boot must quarantine it, keep
+        // the pair model it decoded, and retrain *only* the n-bag model.
+        let nbag_path = dir.join(format!("{NBAG_MODEL}.bagsnap"));
+        std::fs::write(&nbag_path, "garbage\n").expect("corrupts");
+        let boot = load_or_train(&Platforms::paper(), Some(&dir)).expect("boot repairs");
+        match boot.source {
+            BootSource::Repaired {
+                loaded,
+                retrained,
+                writeback,
+            } => {
+                assert_eq!(loaded, 1);
+                assert_eq!(retrained, 1);
+                assert!(
+                    matches!(writeback, SnapshotWriteback::Saved(1)),
+                    "{writeback:?}"
+                );
+            }
+            other => panic!("expected a repaired boot, got {other:?}"),
+        }
+        assert_eq!(boot.quarantined.len(), 1);
+        assert!(boot.registry.get(PAIR_MODEL).is_some());
+        assert!(boot.registry.get(NBAG_MODEL).is_some());
+        // The retrained model's snapshot was written back, so the *next*
+        // boot decodes both and needs no repair.
+        assert!(nbag_path.exists(), "snapshot written back");
+        let next = load_or_train(&Platforms::paper(), Some(&dir)).expect("boots clean");
+        assert!(matches!(next.source, BootSource::Loaded(2)), "clean reboot");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_train_returns_typed_error_when_the_dir_is_unusable() {
+        // A *file* where the directory should be: create_dir_all cannot
+        // succeed, even running as root (where permission bits lie).
+        let scratch = testutil::scratch_dir("bootstrap-unusable");
+        let blocker = scratch.join("blocker");
+        std::fs::write(&blocker, "i am a file\n").expect("writes");
+        let dir = blocker.join("models");
+        let before = boot_stats().snapshot_dir_errors();
+        let err = load_or_train(&Platforms::paper(), Some(&dir)).expect_err("must error typed");
+        assert!(matches!(err, ServeError::SnapshotDir(_)), "{err}");
+        assert!(
+            boot_stats().snapshot_dir_errors() > before,
+            "dir error surfaced in the boot counters"
+        );
+        std::fs::remove_dir_all(&scratch).ok();
     }
 }

@@ -1,0 +1,335 @@
+//! A small line-protocol client with retry and jittered exponential
+//! backoff.
+//!
+//! The serve front-end sheds load explicitly (`err overloaded`) and
+//! isolates worker panics into typed replies (`err internal`) — both are
+//! *transient*: the queue drains, the worker respawns, the model may be
+//! reloaded. [`Client`] owns the retry loop a well-behaved caller should
+//! run on those replies: exponential backoff with deterministic jitter
+//! (a seeded xorshift, so tests replay the exact schedule), reconnecting
+//! on I/O errors, and giving up with a typed [`ClientError`] once the
+//! attempt budget is spent.
+//!
+//! Non-transient errors (`err bad request`, `err unavailable`,
+//! `err deadline`, ...) are returned to the caller unchanged on the
+//! first attempt — retrying a quarantined model or a malformed line
+//! only adds load.
+//!
+//! The client speaks single-line replies only; multi-line commands
+//! (`metrics`, `trace`) need a raw socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Tuning knobs for [`Client`] retry behavior.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total attempts per request, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles every retry after that.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Read/write timeout applied to the socket.
+    pub io_timeout: Duration,
+    /// Seed for the deterministic jitter; two clients with the same seed
+    /// sleep the same schedule. Zero falls back to a fixed default.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(5),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Why a [`Client::request`] gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed and reconnecting kept failing.
+    Io(std::io::Error),
+    /// Every attempt drew a retryable `err` reply; the last one is
+    /// included so the caller can still inspect it.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final reply line received.
+        last_reply: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "io error: {err}"),
+            ClientError::Exhausted {
+                attempts,
+                last_reply,
+            } => write!(
+                f,
+                "gave up after {attempts} attempts; last reply: {last_reply}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Whether a reply line signals a transient failure worth retrying.
+///
+/// `err overloaded` is the queue shedding load and `err internal` is an
+/// isolated worker panic; both typically clear within a backoff or two.
+pub fn is_retryable(reply: &str) -> bool {
+    reply.starts_with("err overloaded") || reply.starts_with("err internal")
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The backoff before retry number `attempt` (0-based): exponential
+/// growth capped at `max_backoff`, with deterministic jitter drawn from
+/// `rng` over the upper half of the window (`delay/2 ..= delay`), so
+/// retries never synchronize into waves but also never fire early.
+pub fn backoff_delay(attempt: u32, config: &ClientConfig, rng: &mut u64) -> Duration {
+    let base_us = config.base_backoff.as_micros() as u64;
+    let max_us = (config.max_backoff.as_micros() as u64).max(base_us);
+    let exp_us = base_us
+        .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+        .min(max_us);
+    let half = exp_us / 2;
+    let jitter = if half == 0 {
+        0
+    } else {
+        xorshift(rng) % (half + 1)
+    };
+    Duration::from_micros(half + jitter)
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A reconnecting line-protocol client with retry/backoff.
+///
+/// Construction is cheap and infallible; the TCP connection is opened
+/// lazily on the first [`Client::request`] and re-opened after I/O
+/// errors.
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    rng: u64,
+    retries: u64,
+}
+
+impl Client {
+    /// A client for the server at `addr` with default retry settings.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit retry settings.
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Self {
+        let seed = if config.jitter_seed == 0 {
+            ClientConfig::default().jitter_seed
+        } else {
+            config.jitter_seed
+        };
+        Client {
+            addr,
+            config,
+            conn: None,
+            rng: seed,
+            retries: 0,
+        }
+    }
+
+    /// Retries performed across this client's lifetime (attempts beyond
+    /// the first, per request).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.config.io_timeout))?;
+            stream.set_write_timeout(Some(self.config.io_timeout))?;
+            let writer = stream.try_clone()?;
+            self.conn = Some(Conn {
+                reader: BufReader::new(stream),
+                writer,
+            });
+        }
+        Ok(self.conn.as_mut().expect("connection just installed"))
+    }
+
+    fn attempt(&mut self, line: &str) -> std::io::Result<String> {
+        let conn = self.connect()?;
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+        let mut reply = String::new();
+        let n = conn.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Send one request line and return the reply line, retrying
+    /// transient failures (see [`is_retryable`]) and I/O errors with
+    /// jittered exponential backoff. Non-transient `err` replies are
+    /// returned as `Ok` — the protocol answered; deciding what to do
+    /// with a `bad request` or `unavailable` is the caller's business.
+    pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        let attempts = self.config.max_attempts.max(1);
+        let mut last_io: Option<std::io::Error> = None;
+        let mut last_reply: Option<String> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                let config = self.config.clone();
+                std::thread::sleep(backoff_delay(attempt - 1, &config, &mut self.rng));
+            }
+            match self.attempt(line) {
+                Ok(reply) if is_retryable(&reply) => last_reply = Some(reply),
+                Ok(reply) => return Ok(reply),
+                Err(err) => {
+                    // A dead socket cannot be reused; reconnect on retry.
+                    self.conn = None;
+                    last_io = Some(err);
+                }
+            }
+        }
+        match (last_reply, last_io) {
+            (Some(last_reply), _) => Err(ClientError::Exhausted {
+                attempts,
+                last_reply,
+            }),
+            (None, Some(err)) => Err(ClientError::Io(err)),
+            (None, None) => unreachable!("at least one attempt always runs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_caps() {
+        let config = ClientConfig {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 42,
+            ..ClientConfig::default()
+        };
+        let mut rng_a = config.jitter_seed;
+        let mut rng_b = config.jitter_seed;
+        let schedule_a: Vec<Duration> = (0..8)
+            .map(|i| backoff_delay(i, &config, &mut rng_a))
+            .collect();
+        let schedule_b: Vec<Duration> = (0..8)
+            .map(|i| backoff_delay(i, &config, &mut rng_b))
+            .collect();
+        // Same seed, same schedule — tests can replay it exactly.
+        assert_eq!(schedule_a, schedule_b);
+        for (i, delay) in schedule_a.iter().enumerate() {
+            let exp =
+                Duration::from_millis(10u64.saturating_mul(1 << i)).min(Duration::from_millis(100));
+            // Jitter stays within [exp/2, exp]: never early, never over.
+            assert!(*delay >= exp / 2, "attempt {i}: {delay:?} < {:?}", exp / 2);
+            assert!(*delay <= exp, "attempt {i}: {delay:?} > {exp:?}");
+        }
+        // The cap binds: late attempts never exceed max_backoff.
+        assert!(schedule_a[7] <= Duration::from_millis(100));
+        // Different seeds jitter differently (with overwhelming odds).
+        let mut rng_c = 7;
+        let schedule_c: Vec<Duration> = (0..8)
+            .map(|i| backoff_delay(i, &config, &mut rng_c))
+            .collect();
+        assert_ne!(schedule_a, schedule_c);
+    }
+
+    #[test]
+    fn retryable_classification_matches_the_wire_prefixes() {
+        assert!(is_retryable(
+            "err overloaded: request queue is full, retry later"
+        ));
+        assert!(is_retryable("err internal: model `pair-tree` panicked"));
+        assert!(!is_retryable("ok model=pair-tree predicted_s=1.5"));
+        assert!(!is_retryable("err bad request: empty request"));
+        assert!(!is_retryable(
+            "err unavailable: model `pair-tree` is quarantined"
+        ));
+        assert!(!is_retryable("err deadline: request expired"));
+        assert!(!is_retryable("err unknown model `nope`"));
+    }
+
+    #[test]
+    fn exhausted_requests_surface_the_last_reply() {
+        // A fake server that always sheds: every attempt reads
+        // `err overloaded`, so the client retries then gives up typed.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let mut served = 0u32;
+            // One connection; the client keeps it open across retries.
+            let (stream, _) = listener.accept().expect("accepts");
+            let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+            let mut writer = stream;
+            let mut line = String::new();
+            while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                writer
+                    .write_all(b"err overloaded: request queue is full, retry later\n")
+                    .expect("writes");
+                served += 1;
+                line.clear();
+            }
+            served
+        });
+        let mut client = Client::with_config(
+            addr,
+            ClientConfig {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                ..ClientConfig::default()
+            },
+        );
+        let err = client
+            .request("predict SIFT@20+KNN@40")
+            .expect_err("gives up");
+        match err {
+            ClientError::Exhausted {
+                attempts,
+                last_reply,
+            } => {
+                assert_eq!(attempts, 3);
+                assert!(last_reply.starts_with("err overloaded"), "{last_reply}");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 2);
+        drop(client);
+        assert_eq!(server.join().expect("server thread"), 3);
+    }
+}

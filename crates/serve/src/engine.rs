@@ -15,21 +15,39 @@
 //! service-time splits (global and per model), and — when the end-to-end
 //! latency exceeds [`ServiceConfig::slow_request_threshold`] — a bounded
 //! ring of slow-request captures dumpable via the `trace` command.
+//!
+//! # Fault tolerance
+//!
+//! Workers are *supervised*: each semantic predict batch runs under
+//! `catch_unwind`, so a panicking model answers every request in its
+//! batch with [`ServeError::Internal`] instead of dropping them, and a
+//! panic that escapes the batch machinery respawns the worker loop
+//! without losing queued jobs. A model that panics
+//! [`ServiceConfig::quarantine_threshold`] times in a row is
+//! quarantined — it answers [`ServeError::Unavailable`] while every
+//! other model keeps serving — until an admin `load`/`reload` installs
+//! a fresh copy. Requests may carry a relative deadline; ones that
+//! expire before a worker picks them up are shed at dequeue with
+//! [`ServeError::DeadlineExceeded`]. All of it is exercised
+//! deterministically through the [`FaultPlan`] in
+//! [`ServiceConfig::faults`].
 
 use crate::admission::{self, Placement};
 use crate::cache::{CacheMapStats, FeatureCache};
 use crate::error::ServeError;
-use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics};
+use crate::fault::{panic_message, FaultPlan, FaultSite, HealthReport, ModelHealth};
+use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics, RobustnessCounters};
 use crate::observe;
-use crate::snapshot::{ModelRegistry, ServableModel};
+use crate::snapshot::{self, ModelRegistry, ServableModel};
 use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
 use bagpred_core::{Bag, Measurement, Platforms};
 use bagpred_obs::{EventLog, SlowEvent, Stage, StageSet, Trace};
 use bagpred_workloads::Workload;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -58,6 +76,14 @@ pub struct ServiceConfig {
     /// Bound of the slow-request ring (oldest evicted first); `0`
     /// disables capture entirely.
     pub event_log_capacity: usize,
+    /// Consecutive predict panics before a model is quarantined
+    /// (answers [`ServeError::Unavailable`] until an admin
+    /// `load`/`reload` clears it). `0` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// The armed fault-injection plan. Defaults to the empty plan,
+    /// which injects nothing and costs one `Vec::is_empty` per site
+    /// check; the `serve` binary arms it from `BAGPRED_FAULTS`.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +102,11 @@ impl Default for ServiceConfig {
             // pathological requests.
             slow_request_threshold: Duration::from_millis(25),
             event_log_capacity: 128,
+            // Three consecutive panics is deliberate, not one: a single
+            // panic may be a poison request; three in a row with no
+            // success in between means the model itself is broken.
+            quarantine_threshold: 3,
+            faults: Arc::new(FaultPlan::none()),
         }
     }
 }
@@ -112,6 +143,9 @@ pub enum Request {
     Models,
     /// Render every counter and histogram as Prometheus text.
     Metrics,
+    /// Report per-model panic/quarantine state (not admin: health is
+    /// what a load balancer polls to route around a sick model).
+    Health,
     /// Dump the slow-request ring (admin-gated like `load`/`save`:
     /// span breakdowns leak request contents and timing).
     Trace,
@@ -170,8 +204,9 @@ pub enum Reply {
     },
     /// Admission decision.
     Schedule(Placement),
-    /// Service statistics.
-    Stats(StatsReport),
+    /// Service statistics (boxed: the report is by far the largest
+    /// reply payload, and every prediction would pay its size inline).
+    Stats(Box<StatsReport>),
     /// One model's request counters and latency window.
     ModelStats {
         /// The model the counters belong to.
@@ -183,6 +218,8 @@ pub enum Reply {
     Models(Vec<(String, String)>),
     /// The Prometheus-text exposition document.
     Metrics(String),
+    /// Per-model health, sorted by model name.
+    Health(Vec<HealthReport>),
     /// Slow-request captures, oldest first.
     Traces(Vec<SlowEvent>),
     /// A `load` command registered a model.
@@ -238,6 +275,18 @@ pub struct StatsReport {
     /// Slow requests ever captured (including ones since evicted from
     /// the ring).
     pub slow_captured: u64,
+    /// Predict panics caught and answered with `err internal`.
+    pub worker_panics: u64,
+    /// Worker loops respawned after a panic escaped batch isolation.
+    pub worker_respawns: u64,
+    /// Requests shed at dequeue because their deadline had expired.
+    pub deadline_expired: u64,
+    /// Times any model entered quarantine.
+    pub quarantines: u64,
+    /// Models currently quarantined.
+    pub quarantined_models: usize,
+    /// Faults injected by the armed [`FaultPlan`] (0 in production).
+    pub faults_injected: u64,
 }
 
 /// The outcome a submitter receives on its channel.
@@ -247,6 +296,9 @@ struct Job {
     request: Request,
     trace: Trace,
     tx: mpsc::Sender<Outcome>,
+    /// Absolute expiry; a worker sheds the job at dequeue when the
+    /// deadline has already passed.
+    deadline: Option<Instant>,
 }
 
 pub(crate) struct Inner {
@@ -261,11 +313,20 @@ pub(crate) struct Inner {
     shutdown: AtomicBool,
     pub(crate) stages: StageSet,
     pub(crate) events: EventLog,
+    pub(crate) robust: RobustnessCounters,
+    pub(crate) health: ModelHealth,
 }
 
 impl Inner {
     pub(crate) fn queue_depth(&self) -> usize {
-        self.queue.lock().expect("queue lock poisoned").len()
+        // `into_inner` rather than panic on poison: the queue holds
+        // plain jobs and is structurally valid whatever thread died
+        // while holding it; cascading the panic would turn one isolated
+        // failure into a whole-service outage.
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -310,12 +371,17 @@ impl PredictionService {
             shutdown: AtomicBool::new(false),
             stages: StageSet::new(),
             events: EventLog::new(config.event_log_capacity),
+            robust: RobustnessCounters::new(),
+            health: ModelHealth::new(),
             config: config.clone(),
         });
         let handles = (0..config.workers)
-            .map(|_| {
+            .map(|index| {
                 let inner = Arc::clone(&inner);
-                thread::spawn(move || worker_loop(&inner))
+                thread::Builder::new()
+                    .name(format!("bagpred-worker-{index}"))
+                    .spawn(move || supervise_worker(&inner))
+                    .expect("spawn worker thread")
             })
             .collect();
         Arc::new(Self {
@@ -347,17 +413,45 @@ impl PredictionService {
         request: Request,
         trace: Trace,
     ) -> Result<mpsc::Receiver<Outcome>, ServeError> {
+        self.submit_traced_deadline(request, trace, None)
+    }
+
+    /// [`submit_traced`](Self::submit_traced) with an optional relative
+    /// deadline: if no worker picks the job up within the budget it is
+    /// shed at dequeue with [`ServeError::DeadlineExceeded`] instead of
+    /// serving a reply nobody is waiting for.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full (load shedding)
+    /// and [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit_traced_deadline(
+        &self,
+        request: Request,
+        trace: Trace,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<Outcome>, ServeError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
+        let deadline = deadline.map(|budget| Instant::now() + budget);
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            let mut queue = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if queue.len() >= self.inner.config.queue_capacity {
                 self.inner.metrics.on_shed();
                 return Err(ServeError::Overloaded);
             }
-            queue.push_back(Job { request, trace, tx });
+            queue.push_back(Job {
+                request,
+                trace,
+                tx,
+                deadline,
+            });
             // Count inside the lock: a worker can pick the job up the
             // moment the lock drops, and `stats` must already see it.
             self.inner.metrics.on_received();
@@ -386,6 +480,23 @@ impl PredictionService {
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
+    /// [`call_traced`](Self::call_traced) with an optional relative
+    /// deadline (see [`submit_traced_deadline`](Self::submit_traced_deadline)).
+    ///
+    /// # Errors
+    ///
+    /// Submission errors plus every per-request [`ServeError`],
+    /// including [`ServeError::DeadlineExceeded`].
+    pub fn call_traced_deadline(
+        &self,
+        request: Request,
+        trace: Trace,
+        deadline: Option<Duration>,
+    ) -> Outcome {
+        let rx = self.submit_traced_deadline(request, trace, deadline)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
     /// The model registry this service answers from.
     pub fn registry(&self) -> &ModelRegistry {
         &self.inner.registry
@@ -411,6 +522,17 @@ impl PredictionService {
         &self.inner.stages
     }
 
+    /// The per-model panic/quarantine state behind the `health` command.
+    pub fn health(&self) -> &ModelHealth {
+        &self.inner.health
+    }
+
+    /// The armed fault plan (the empty plan unless a test or
+    /// `BAGPRED_FAULTS` armed one).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.config.faults
+    }
+
     /// Records a duration against a stage histogram. The TCP front-end
     /// uses this for [`Stage::ReplyWrite`], which happens after the
     /// reply leaves the engine.
@@ -434,8 +556,12 @@ impl PredictionService {
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.nonempty.notify_all();
-        let mut handles = self.handles.lock().expect("handles lock poisoned");
+        let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
         for handle in handles.drain(..) {
+            // Workers run under `supervise_worker`, which catches every
+            // panic and respawns the loop in place, so the join result
+            // can only be `Ok`; swallowing it keeps a (theoretical)
+            // failure in one worker from aborting the drain of the rest.
             let _ = handle.join();
         }
     }
@@ -447,10 +573,35 @@ impl Drop for PredictionService {
     }
 }
 
+/// Runs the worker loop, respawning it in place after any panic that
+/// escapes batch isolation. Restarting *inside* the thread (instead of
+/// spawning a replacement) keeps the join handles in
+/// [`PredictionService`] valid for the lifetime of the service.
+fn supervise_worker(inner: &Inner) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(inner))) {
+            // A clean return is the shutdown path.
+            Ok(()) => return,
+            Err(_) => {
+                // Queued jobs are untouched (the panic site holds no
+                // queue lock) and drained jobs were already answered by
+                // batch isolation; the fresh loop picks up where the
+                // dead one left off.
+                inner.robust.on_worker_respawn();
+            }
+        }
+    }
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
+        // Deterministic crash site for the respawn path. Firing before
+        // the queue lock is taken means no job is ever lost to it.
+        if inner.config.faults.fire(FaultSite::WorkerAbort, None) {
+            panic!("injected fault: worker abort");
+        }
         let batch = {
-            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if !queue.is_empty() {
                     break;
@@ -458,7 +609,10 @@ fn worker_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                queue = inner.nonempty.wait(queue).expect("queue lock poisoned");
+                queue = inner
+                    .nonempty
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             let take = queue.len().min(inner.config.batch_size);
             queue.drain(..take).collect::<Vec<Job>>()
@@ -517,6 +671,7 @@ fn summarize(request: &Request) -> String {
         Request::Stats { .. } => "stats".into(),
         Request::Models => "models".into(),
         Request::Metrics => "metrics".into(),
+        Request::Health => "health".into(),
         Request::Trace => "trace".into(),
         Request::Load { model, .. } => format!("load model={model}"),
         Request::Save { .. } => "save".into(),
@@ -539,8 +694,28 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
         // Everything between the submitter's last mark and this point
         // was spent queued (including the drain lock).
         job.trace.mark(Stage::QueueWait);
+        // Shed expired work before spending anything on it: the client
+        // has given up (or will the instant it checks), so a late reply
+        // only burns predict time other requests are queued behind.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            inner.robust.on_deadline_expired();
+            finish(inner, None, job, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
         let Request::Predict { model, apps } = &job.request else {
-            let (served_by, outcome) = process(inner, &job.request, &mut job.trace);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                process(inner, &job.request, &mut job.trace)
+            }));
+            let (served_by, outcome) = result.unwrap_or_else(|payload| {
+                inner.robust.on_worker_panic();
+                (
+                    None,
+                    Err(ServeError::Internal(format!(
+                        "request handler panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))),
+                )
+            });
             finish(inner, served_by.as_deref(), job, outcome);
             continue;
         };
@@ -568,53 +743,92 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
         }
     }
 
-    for (name, model, mut jobs, records) in pair_groups {
+    for (name, model, jobs, records) in pair_groups {
         let ServableModel::Pair(p) = &*model else {
             unreachable!("pair groups only hold pair models");
         };
-        // Time since a job's cache lookup finished was spent assembling
-        // the group; the `predict_batch` walk is shared, so every job in
-        // the group is charged the same measured predict duration.
-        for job in &mut jobs {
-            job.trace.mark(Stage::BatchAssembly);
-        }
-        let started = Instant::now();
-        let predictions = p.predict_batch(&records);
-        let predict_elapsed = started.elapsed();
-        for (mut job, predicted_s) in jobs.into_iter().zip(predictions) {
-            job.trace.mark_for(Stage::Predict, predict_elapsed);
-            finish(
-                inner,
-                Some(&name),
-                job,
-                Ok(Reply::Prediction {
-                    model: name.clone(),
-                    predicted_s,
-                }),
-            );
-        }
+        finish_group(inner, &name, jobs, || p.predict_batch(&records));
     }
-    for (name, model, mut jobs, records) in nbag_groups {
+    for (name, model, jobs, records) in nbag_groups {
         let ServableModel::NBag(p) = &*model else {
             unreachable!("n-bag groups only hold n-bag models");
         };
-        for job in &mut jobs {
-            job.trace.mark(Stage::BatchAssembly);
+        finish_group(inner, &name, jobs, || p.predict_batch(&records));
+    }
+}
+
+/// Answers one semantic batch group: runs the shared `predict_batch`
+/// walk under `catch_unwind` so a panicking model fails *this group*
+/// with [`ServeError::Internal`] — every member gets a reply, the
+/// worker survives, and other models in the same drained batch are
+/// untouched. Consecutive panics quarantine the model.
+fn finish_group<F>(inner: &Inner, name: &str, mut jobs: Vec<Job>, predict: F)
+where
+    F: FnOnce() -> Vec<f64>,
+{
+    // Time since a job's cache lookup finished was spent assembling
+    // the group; the `predict_batch` walk is shared, so every job in
+    // the group is charged the same measured predict duration.
+    for job in &mut jobs {
+        job.trace.mark(Stage::BatchAssembly);
+    }
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inner.config.faults.fire(FaultSite::WorkerPanic, Some(name)) {
+            panic!("injected fault: worker panic on model `{name}`");
         }
-        let started = Instant::now();
-        let predictions = p.predict_batch(&records);
-        let predict_elapsed = started.elapsed();
-        for (mut job, predicted_s) in jobs.into_iter().zip(predictions) {
-            job.trace.mark_for(Stage::Predict, predict_elapsed);
-            finish(
-                inner,
-                Some(&name),
-                job,
-                Ok(Reply::Prediction {
-                    model: name.clone(),
-                    predicted_s,
-                }),
-            );
+        if let Some(delay) = inner
+            .config
+            .faults
+            .fire_delay(FaultSite::SlowPredict, Some(name))
+        {
+            thread::sleep(delay);
+        }
+        predict()
+    }));
+    let predict_elapsed = started.elapsed();
+    match result {
+        Ok(predictions) => {
+            inner.health.on_success(name);
+            for (mut job, predicted_s) in jobs.into_iter().zip(predictions) {
+                job.trace.mark_for(Stage::Predict, predict_elapsed);
+                finish(
+                    inner,
+                    Some(name),
+                    job,
+                    Ok(Reply::Prediction {
+                        model: name.to_string(),
+                        predicted_s,
+                    }),
+                );
+            }
+        }
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            inner.robust.on_worker_panic();
+            let quarantined = inner
+                .health
+                .on_panic(name, inner.config.quarantine_threshold);
+            if quarantined {
+                inner.robust.on_quarantine();
+            }
+            // Panics are always event-worthy, not just when slow: the
+            // ring is how `trace` explains a burst of `err internal`.
+            if let Some(job) = jobs.first() {
+                let note = if quarantined { " [quarantined]" } else { "" };
+                inner.events.record(
+                    format!("panic model={name}{note}: {message}"),
+                    &job.trace,
+                    job.trace.total(),
+                );
+            }
+            let err = ServeError::Internal(format!(
+                "model `{name}` panicked while predicting: {message}"
+            ));
+            for mut job in jobs {
+                job.trace.mark_for(Stage::Predict, predict_elapsed);
+                finish(inner, Some(name), job, Err(err.clone()));
+            }
         }
     }
 }
@@ -695,6 +909,13 @@ fn prepare_predict(
     }
     let (name, model) = resolve_model(&inner.registry, model, apps.len()).map_err(|e| (None, e))?;
     inner.model_metrics.for_model(&name).on_received();
+    // Fence quarantined models *before* feature collection: the request
+    // is counted against the model (operators see the refused traffic)
+    // but costs nothing else and cannot re-trigger the panic.
+    if inner.health.is_quarantined(&name) {
+        let err = ServeError::Unavailable(name.clone());
+        return Err((Some(name), err));
+    }
     let lookup_started = Instant::now();
     let record = match &*model {
         ServableModel::Pair(_) => {
@@ -792,7 +1013,7 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
             let queue_depth = inner.queue_depth();
             (
                 None,
-                Ok(Reply::Stats(StatsReport {
+                Ok(Reply::Stats(Box::new(StatsReport {
                     metrics: inner.metrics.snapshot(),
                     cache_hits: inner.cache.hits(),
                     cache_misses: inner.cache.misses(),
@@ -804,12 +1025,27 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
                     queue_depth,
                     workers: inner.config.workers,
                     slow_captured: inner.events.recorded(),
-                })),
+                    worker_panics: inner.robust.worker_panics(),
+                    worker_respawns: inner.robust.worker_respawns(),
+                    deadline_expired: inner.robust.deadline_expired(),
+                    quarantines: inner.robust.quarantines(),
+                    quarantined_models: inner.health.quarantined_count(),
+                    faults_injected: inner.config.faults.injected(),
+                }))),
             )
         }
         Request::Stats { model: Some(name) } => (None, model_stats(inner, name)),
         Request::Models => (None, Ok(Reply::Models(inner.registry.list()))),
         Request::Metrics => (None, Ok(Reply::Metrics(observe::render(inner)))),
+        Request::Health => {
+            let reports = inner
+                .registry
+                .list()
+                .into_iter()
+                .map(|(name, _)| inner.health.report_for(&name))
+                .collect();
+            (None, Ok(Reply::Health(reports)))
+        }
         Request::Trace => (None, Ok(Reply::Traces(inner.events.dump()))),
         Request::Load { model, path } => (None, do_load(inner, model, path)),
         Request::Save { model, dest } => (None, do_save(inner, model.as_deref(), dest.as_deref())),
@@ -896,6 +1132,9 @@ fn do_load(inner: &Inner, name: &str, path: &str) -> Outcome {
     let desc = model.describe();
     let replaced = inner.registry.get(name).is_some();
     inner.registry.insert(name, model);
+    // A fresh copy starts with a clean bill of health: installing it is
+    // the documented way out of quarantine.
+    inner.health.clear(name);
     Ok(Reply::Loaded {
         model: name.into(),
         desc,
@@ -923,8 +1162,7 @@ fn do_save(inner: &Inner, model: Option<&str>, dest: Option<&str>) -> Outcome {
         Some(name) => {
             let path = snapshot_path(inner, dest, name)?;
             let text = inner.registry.snapshot(name)?;
-            std::fs::write(&path, text)
-                .map_err(|e| ServeError::Snapshot(format!("write {}: {e}", path.display())))?;
+            snapshot::write_snapshot_file(&path, &text, &inner.config.faults)?;
             Ok(Reply::Saved {
                 model: Some(name.into()),
                 count: 1,
@@ -940,7 +1178,7 @@ fn do_save(inner: &Inner, model: Option<&str>, dest: Option<&str>) -> Outcome {
                     )
                 })?,
             };
-            let count = inner.registry.save_dir(&dir)?;
+            let count = inner.registry.save_dir_with(&dir, &inner.config.faults)?;
             Ok(Reply::Saved {
                 model: None,
                 count,
@@ -964,6 +1202,9 @@ fn do_reload(inner: &Inner, name: &str, path: Option<&str>) -> Outcome {
     let model = ServableModel::from_snapshot(&text)?;
     let desc = model.describe();
     inner.registry.insert(name, model);
+    // Reload is the documented way out of quarantine: the fresh decode
+    // starts healthy.
+    inner.health.clear(name);
     Ok(Reply::Reloaded {
         model: name.into(),
         desc,
@@ -1553,10 +1794,172 @@ mod tests {
             "bagpred_cache_misses_total{map=\"fairness\"}",
             "bagpred_stage_duration_us_count{stage=\"queue_wait\"}",
             "bagpred_queue_depth",
+            "bagpred_worker_panics_total 0",
+            "bagpred_deadline_expired_total 0",
+            "bagpred_quarantined_models 0",
+            "bagpred_faults_injected_total 0",
+            "bagpred_model_quarantined{model=\"pair-tree\"} 0",
             "# EOF",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+        service.shutdown();
+    }
+
+    #[test]
+    fn injected_panic_quarantines_the_model_and_reload_restores_it() {
+        let dir = testutil::scratch_dir("engine-quarantine");
+        let service = PredictionService::start(
+            testutil::fresh_registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                snapshot_dir: Some(dir.clone()),
+                quarantine_threshold: 1,
+                faults: Arc::new(
+                    FaultPlan::parse("worker_panic:model=pair-tree:count=1").expect("parses"),
+                ),
+                ..ServiceConfig::default()
+            },
+        );
+        // Give `reload` something to decode later.
+        service
+            .call(Request::Save {
+                model: Some(PAIR_MODEL.into()),
+                dest: None,
+            })
+            .expect("saves");
+
+        // First predict: the injected panic is caught, answered as a
+        // typed internal error, and (threshold 1) quarantines the model.
+        let err = service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect_err("injected panic must surface as an error");
+        let ServeError::Internal(why) = &err else {
+            panic!("expected Internal, got {err:?}")
+        };
+        assert!(why.contains("pair-tree"), "{why}");
+        assert!(why.contains("injected fault"), "{why}");
+
+        // Second predict: fenced off before any work, typed unavailable.
+        let err = service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect_err("quarantined model must refuse");
+        assert!(matches!(err, ServeError::Unavailable(_)), "{err:?}");
+
+        // The other model is untouched by the quarantine.
+        service
+            .call(Request::Predict {
+                model: Some(NBAG_MODEL.into()),
+                apps: vec![
+                    Workload::new(Benchmark::Sift, 20),
+                    Workload::new(Benchmark::Knn, 40),
+                    Workload::new(Benchmark::Orb, 10),
+                ],
+            })
+            .expect("healthy model keeps serving");
+
+        // `health` and `stats` both tell the story.
+        let Ok(Reply::Health(reports)) = service.call(Request::Health) else {
+            panic!("health failed")
+        };
+        let pair = reports
+            .iter()
+            .find(|r| r.model == PAIR_MODEL)
+            .expect("reported");
+        assert!(pair.quarantined);
+        assert_eq!(pair.total_panics, 1);
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(stats.quarantined_models, 1);
+        assert_eq!(stats.faults_injected, 1);
+
+        // Admin reload clears the quarantine; predictions are restored
+        // and bit-identical to the snapshot's decode.
+        service
+            .call(Request::Reload {
+                model: PAIR_MODEL.into(),
+                path: None,
+            })
+            .expect("reload succeeds");
+        assert!(!service.health().is_quarantined(PAIR_MODEL));
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("restored model serves again");
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aborted_workers_are_respawned_and_keep_serving() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                workers: 1,
+                faults: Arc::new(FaultPlan::parse("worker_abort:count=2").expect("parses")),
+                ..ServiceConfig::default()
+            },
+        );
+        // The sole worker dies twice on its way to the queue; the
+        // supervisor restarts it in place both times, so requests still
+        // complete — clients only see added latency, never a hang.
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("served by the respawned worker");
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats.worker_respawns, 2);
+        assert_eq!(stats.faults_injected, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_at_dequeue_with_a_typed_error() {
+        let service = service();
+        // A zero budget has always expired by pickup time, whatever the
+        // queue does — deterministic without any sleeps.
+        let err = service
+            .call_traced_deadline(
+                Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                },
+                Trace::new(),
+                Some(Duration::ZERO),
+            )
+            .expect_err("zero deadline must shed");
+        assert!(matches!(err, ServeError::DeadlineExceeded), "{err:?}");
+        // No deadline means wait forever — same request succeeds.
+        service
+            .call_traced_deadline(
+                Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                },
+                Trace::new(),
+                None,
+            )
+            .expect("no deadline, no shed");
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats.deadline_expired, 1);
         service.shutdown();
     }
 }

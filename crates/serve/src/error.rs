@@ -26,6 +26,22 @@ pub enum ServeError {
     /// that was not started with admin mode enabled. Admin commands
     /// touch the server's filesystem, so they are opt-in per listener.
     AdminDisabled,
+    /// A worker panicked while handling the request. The batch was
+    /// isolated and every member answered; the payload names the model
+    /// and the panic message. Clients may retry — other models (and a
+    /// respawned worker) keep serving.
+    Internal(String),
+    /// The model is quarantined after repeated panics and refuses
+    /// traffic until an admin `load`/`reload` installs a fresh copy.
+    Unavailable(String),
+    /// The request carried a `deadline_ms` budget and no worker picked
+    /// it up in time; it was shed at dequeue instead of serving a reply
+    /// nobody is waiting for.
+    DeadlineExceeded,
+    /// The snapshot directory itself is unusable (missing and
+    /// uncreatable, or unreadable) — distinct from a single corrupt
+    /// snapshot, which is quarantined without failing the boot.
+    SnapshotDir(String),
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +57,16 @@ impl fmt::Display for ServeError {
                 f,
                 "admin disabled: load/save/reload/trace need a server started with --admin"
             ),
+            ServeError::Internal(why) => write!(f, "internal: {why}"),
+            ServeError::Unavailable(model) => write!(
+                f,
+                "unavailable: model `{model}` is quarantined after repeated panics; \
+                 reload it to restore service"
+            ),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline: request expired before a worker picked it up")
+            }
+            ServeError::SnapshotDir(why) => write!(f, "snapshot dir: {why}"),
         }
     }
 }

@@ -32,7 +32,13 @@
 //!   `load`/`save`/`reload` hot-swap models over the wire, and an
 //!   optional second listener answers HTTP metric scrapes.
 //! * [`bootstrap`] — train-and-register in one call, or boot from a
-//!   snapshot directory ([`bootstrap::load_or_train`]).
+//!   snapshot directory ([`bootstrap::load_or_train`]), quarantining
+//!   corrupt snapshots and retraining instead of aborting.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   per-model panic/quarantine state ([`ModelHealth`]) behind the
+//!   `health` wire command.
+//! * [`client`] — a small line-protocol [`Client`] with jittered
+//!   exponential backoff on `err overloaded`/`err internal`.
 //!
 //! # Example
 //!
@@ -63,8 +69,10 @@
 pub mod admission;
 pub mod bootstrap;
 pub mod cache;
+pub mod client;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub(crate) mod observe;
 pub mod protocol;
@@ -73,11 +81,13 @@ pub mod snapshot;
 
 pub use admission::{GpuAssignment, Placement};
 pub use cache::{CacheMapStats, FeatureCache};
+pub use client::{Client, ClientConfig, ClientError};
 pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};
 pub use error::ServeError;
+pub use fault::{FaultPlan, FaultSite, HealthReport, ModelHealth};
 pub use metrics::{LatencySummary, Metrics, MetricsSnapshot, ModelMetrics};
 pub use server::{MetricsServer, Server, ServerConfig};
-pub use snapshot::{ModelRegistry, ServableModel};
+pub use snapshot::{DirLoad, ModelRegistry, ServableModel};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -106,6 +116,19 @@ pub(crate) mod testutil {
                 .expect("snapshot decodes");
         }
         Arc::new(fresh)
+    }
+
+    /// Joins a thread handle, propagating any panic with the thread's
+    /// name and original message attached — so a failing test says
+    /// *which* thread died and why, not `Any { .. }`.
+    pub fn join_named<T>(handle: std::thread::JoinHandle<T>) -> T {
+        let name = handle.thread().name().unwrap_or("<unnamed>").to_string();
+        handle.join().unwrap_or_else(|payload| {
+            panic!(
+                "thread `{name}` panicked: {}",
+                crate::fault::panic_message(payload.as_ref())
+            )
+        })
     }
 
     /// A fresh scratch directory under the target-local tmp root.

@@ -194,6 +194,106 @@ impl LatencySummary {
     }
 }
 
+/// Lock-free counters for the fault-tolerance machinery: caught worker
+/// panics, worker respawns, deadline sheds, and quarantine entries.
+/// Lives on the engine next to [`Metrics`]; surfaced by `stats` and the
+/// Prometheus exposition.
+#[derive(Debug, Default)]
+pub struct RobustnessCounters {
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    deadline_expired: AtomicU64,
+    quarantines: AtomicU64,
+}
+
+impl RobustnessCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a predict panic caught by batch isolation.
+    pub fn on_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a worker loop respawned after a panic escaped the batch.
+    pub fn on_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed at dequeue because its deadline passed.
+    pub fn on_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a model entering quarantine.
+    pub fn on_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Predict panics caught so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker loops respawned so far.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed on an expired deadline so far.
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Quarantine entries so far.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+}
+
+/// Process-wide counters for failures at *boot* time, before any engine
+/// (and its [`RobustnessCounters`]) exists: an unusable snapshot
+/// directory, or corrupt snapshot files quarantined by a directory
+/// load. Rendered into the exposition of every service in the process.
+#[derive(Debug)]
+pub struct BootStats {
+    snapshot_dir_errors: AtomicU64,
+    snapshots_quarantined: AtomicU64,
+}
+
+impl BootStats {
+    /// Counts a boot aborted because the snapshot dir was unusable.
+    pub fn on_snapshot_dir_error(&self) {
+        self.snapshot_dir_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a corrupt snapshot file moved aside as `<name>.corrupt`.
+    pub fn on_snapshot_quarantined(&self) {
+        self.snapshots_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unusable-snapshot-dir boots so far in this process.
+    pub fn snapshot_dir_errors(&self) -> u64 {
+        self.snapshot_dir_errors.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files quarantined so far in this process.
+    pub fn snapshots_quarantined(&self) -> u64 {
+        self.snapshots_quarantined.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-wide [`BootStats`] instance.
+pub fn boot_stats() -> &'static BootStats {
+    static STATS: BootStats = BootStats {
+        snapshot_dir_errors: AtomicU64::new(0),
+        snapshots_quarantined: AtomicU64::new(0),
+    };
+    &STATS
+}
+
 /// Point-in-time metrics values, as reported by the `stats` command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -315,18 +415,26 @@ mod tests {
             let models = Arc::new(ModelMetrics::new());
             let name = format!("fresh-{round}");
             let handles: Vec<_> = (0..16)
-                .map(|_| {
+                .map(|racer| {
                     let models = Arc::clone(&models);
                     let name = name.clone();
-                    std::thread::spawn(move || {
-                        let entry = models.for_model(&name);
-                        entry.on_received();
-                        entry
-                    })
+                    std::thread::Builder::new()
+                        .name(format!("racer-{round}-{racer}"))
+                        .spawn(move || {
+                            let entry = models.for_model(&name);
+                            entry.on_received();
+                            entry
+                        })
+                        .expect("spawn racer thread")
                 })
                 .collect();
-            let entries: Vec<Arc<Metrics>> =
-                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // `join_named` instead of `join().unwrap()`: a failure names
+            // the racer that died and carries its panic message, instead
+            // of an anonymous `Any { .. }`.
+            let entries: Vec<Arc<Metrics>> = handles
+                .into_iter()
+                .map(crate::testutil::join_named)
+                .collect();
             let canonical = models.get(&name).expect("entry exists");
             for entry in &entries {
                 assert!(

@@ -151,6 +151,107 @@ pub(crate) fn render(inner: &Inner) -> String {
     );
 
     expo.header(
+        "bagpred_worker_panics_total",
+        "counter",
+        "Batches whose predict call panicked (every job in the batch got err internal).",
+    );
+    expo.sample(
+        "bagpred_worker_panics_total",
+        &[],
+        inner.robust.worker_panics() as f64,
+    );
+    expo.header(
+        "bagpred_worker_respawns_total",
+        "counter",
+        "Worker threads restarted by the supervisor after a panic escaped the batch guard.",
+    );
+    expo.sample(
+        "bagpred_worker_respawns_total",
+        &[],
+        inner.robust.worker_respawns() as f64,
+    );
+    expo.header(
+        "bagpred_deadline_expired_total",
+        "counter",
+        "Requests shed at dequeue because their deadline_ms budget had passed.",
+    );
+    expo.sample(
+        "bagpred_deadline_expired_total",
+        &[],
+        inner.robust.deadline_expired() as f64,
+    );
+    expo.header(
+        "bagpred_model_quarantines_total",
+        "counter",
+        "Times a model crossed the consecutive-panic threshold and was quarantined.",
+    );
+    expo.sample(
+        "bagpred_model_quarantines_total",
+        &[],
+        inner.robust.quarantines() as f64,
+    );
+    expo.header(
+        "bagpred_quarantined_models",
+        "gauge",
+        "Models currently quarantined (answering err unavailable).",
+    );
+    expo.sample(
+        "bagpred_quarantined_models",
+        &[],
+        inner.health.quarantined_count() as f64,
+    );
+    expo.header(
+        "bagpred_faults_injected_total",
+        "counter",
+        "Faults fired by the configured fault plan (0 unless BAGPRED_FAULTS is set).",
+    );
+    expo.sample(
+        "bagpred_faults_injected_total",
+        &[],
+        inner.config.faults.injected() as f64,
+    );
+
+    let boot = crate::metrics::boot_stats();
+    expo.header(
+        "bagpred_boot_snapshot_dir_errors_total",
+        "counter",
+        "Boots that failed because the snapshot directory was unusable.",
+    );
+    expo.sample(
+        "bagpred_boot_snapshot_dir_errors_total",
+        &[],
+        boot.snapshot_dir_errors() as f64,
+    );
+    expo.header(
+        "bagpred_boot_snapshots_quarantined_total",
+        "counter",
+        "Corrupt snapshot files moved aside as .corrupt during boot scans.",
+    );
+    expo.sample(
+        "bagpred_boot_snapshots_quarantined_total",
+        &[],
+        boot.snapshots_quarantined() as f64,
+    );
+
+    expo.header(
+        "bagpred_model_quarantined",
+        "gauge",
+        "Whether the model is quarantined (1) or serving (0), per model.",
+    );
+    for report in inner
+        .registry
+        .list()
+        .into_iter()
+        .map(|(name, _)| inner.health.report_for(&name))
+    {
+        expo.sample(
+            "bagpred_model_quarantined",
+            &[("model", report.model.as_str())],
+            if report.quarantined { 1.0 } else { 0.0 },
+        );
+    }
+
+    expo.header(
         "bagpred_model_received_total",
         "counter",
         "Requests resolved to the model.",

@@ -7,12 +7,24 @@
 //! schedule [model=NAME] k=GPUS budget=SECONDS APP@BATCH [APP@BATCH ...]
 //! stats [model=NAME]
 //! models
+//! health
 //! metrics
 //! trace
 //! load model=NAME path=FILE
 //! save [model=NAME] [path=DEST]
 //! reload model=NAME [path=FILE]
 //! ```
+//!
+//! Any request may additionally carry `deadline_ms=N`: a freshness
+//! budget, measured from parse time. A request still queued when its
+//! deadline passes is shed at dequeue with `err deadline` instead of
+//! being served stale ([`parse_request_options`] strips the option
+//! before verb dispatch, so it composes with every verb).
+//!
+//! `health` reports per-model panic/quarantine state — one
+//! `<name>=<ok|quarantined>:<consecutive>/<total>` token per registered
+//! model (see [`crate::fault::ModelHealth`]). It is deliberately *not*
+//! admin-gated: a load balancer must be able to probe it.
 //!
 //! `load` registers (or replaces) a model from a checksummed snapshot
 //! file; `save` writes one model to a file or, without `model=`, every
@@ -44,11 +56,15 @@
 //! ok requests=9 ok=9 err=0 shed=0 cache_hits=12 ... latency_us_p95=1875
 //! ok model=pair-tree requests=9 ok=9 err=0 latency_samples=9 ... latency_us_max=211
 //! ok models=2 pair-tree=pair/tree nbag-tree=nbag/tree
+//! ok models=2 nbag-tree=ok:0/0 pair-tree=quarantined:3/5
 //! ok loaded model=custom kind=pair/tree replaced=false
 //! ok saved model=pair-tree dest=/tmp/m.bagsnap
 //! ok saved models=2 dest=/tmp/models
 //! ok reloaded model=pair-tree kind=pair/tree
 //! err bad request: unknown benchmark `sfit`
+//! err internal: model `pair-tree` panicked while predicting: ...
+//! err unavailable: model `pair-tree` is quarantined after repeated panics; reload it to restore service
+//! err deadline: request expired before a worker picked it up
 //! ```
 //!
 //! Predictions are formatted with [`fmt_f64`], Rust's shortest-roundtrip
@@ -61,6 +77,7 @@ use crate::error::ServeError;
 use bagpred_core::nbag::MAX_BAG;
 use bagpred_ml::codec::fmt_f64;
 use bagpred_workloads::Workload;
+use std::time::Duration;
 
 fn parse_workload(spec: &str) -> Result<Workload, ServeError> {
     let (name, batch) = spec.split_once('@').ok_or_else(|| {
@@ -101,18 +118,50 @@ fn take_kv<'a>(tokens: &mut Vec<&'a str>, key: &str) -> Option<&'a str> {
     Some(value)
 }
 
+/// Per-request options that ride alongside any verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Freshness budget from `deadline_ms=N`: how long the request may
+    /// wait before a worker picks it up. `None` means wait forever.
+    pub deadline: Option<Duration>,
+}
+
 /// Parses one request line.
+///
+/// Convenience wrapper over [`parse_request_options`] that discards the
+/// options — for callers (and tests) that only care about the verb.
 ///
 /// # Errors
 ///
 /// [`ServeError::BadRequest`] describing exactly what failed to parse.
 pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    parse_request_options(line).map(|(request, _)| request)
+}
+
+/// Parses one request line plus its cross-verb options.
+///
+/// `deadline_ms=N` is stripped before verb dispatch, so it is accepted
+/// (and honoured) on every request kind.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] describing exactly what failed to parse.
+pub fn parse_request_options(line: &str) -> Result<(Request, RequestOptions), ServeError> {
     let mut tokens: Vec<&str> = line.split_whitespace().collect();
     let Some(verb) = tokens.first().copied() else {
         return Err(ServeError::BadRequest("empty request".into()));
     };
     tokens.remove(0);
-    match verb {
+    let mut options = RequestOptions::default();
+    if let Some(raw) = take_kv(&mut tokens, "deadline_ms") {
+        let ms: u64 = raw.parse().map_err(|_| {
+            ServeError::BadRequest(format!(
+                "deadline_ms `{raw}` is not a non-negative integer of milliseconds"
+            ))
+        })?;
+        options.deadline = Some(Duration::from_millis(ms));
+    }
+    let request = match verb {
         "predict" => {
             let model = take_kv(&mut tokens, "model").map(str::to_string);
             match tokens.as_slice() {
@@ -165,6 +214,8 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         }
         "models" if tokens.is_empty() => Ok(Request::Models),
         "models" => Err(ServeError::BadRequest("models takes no arguments".into())),
+        "health" if tokens.is_empty() => Ok(Request::Health),
+        "health" => Err(ServeError::BadRequest("health takes no arguments".into())),
         "metrics" if tokens.is_empty() => Ok(Request::Metrics),
         "metrics" => Err(ServeError::BadRequest("metrics takes no arguments".into())),
         "trace" if tokens.is_empty() => Ok(Request::Trace),
@@ -207,9 +258,10 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         }
         other => Err(ServeError::BadRequest(format!(
             "unknown command `{other}` \
-             (try: predict, schedule, stats, models, metrics, trace, load, save, reload)"
+             (try: predict, schedule, stats, models, health, metrics, trace, load, save, reload)"
         ))),
-    }
+    }?;
+    Ok((request, options))
 }
 
 fn format_workload(w: &Workload) -> String {
@@ -248,6 +300,16 @@ fn format_stats(s: &StatsReport) -> String {
         s.cache_entries,
         s.cache_evictions,
     );
+    out.push_str(&format!(
+        " worker_panics={} worker_respawns={} deadline_expired={} quarantines={} \
+         quarantined_models={} faults_injected={}",
+        s.worker_panics,
+        s.worker_respawns,
+        s.deadline_expired,
+        s.quarantines,
+        s.quarantined_models,
+        s.faults_injected,
+    ));
     for map in &s.cache_maps {
         out.push_str(&format!(
             " cache_{0}_hits={1} cache_{0}_misses={2} cache_{0}_evictions={3} \
@@ -327,6 +389,17 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
             let mut out = format!("ok models={}", models.len());
             for (name, desc) in models {
                 out.push_str(&format!(" {name}={desc}"));
+            }
+            out
+        }
+        Ok(Reply::Health(reports)) => {
+            let mut out = format!("ok models={}", reports.len());
+            for r in reports {
+                let state = if r.quarantined { "quarantined" } else { "ok" };
+                out.push_str(&format!(
+                    " {}={state}:{}/{}",
+                    r.model, r.consecutive_panics, r.total_panics
+                ));
             }
             out
         }
@@ -445,6 +518,62 @@ mod tests {
                 "`{line}` -> `{msg}` (wanted `{needle}`)"
             );
         }
+    }
+
+    #[test]
+    fn deadline_ms_composes_with_any_verb_and_rejects_garbage() {
+        let (req, opts) =
+            parse_request_options("predict deadline_ms=250 SIFT@20+KNN@40").expect("parses");
+        assert!(matches!(req, Request::Predict { .. }));
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(250)));
+
+        // Position is irrelevant: it is a key-value option, not a verb arg.
+        let (req, opts) =
+            parse_request_options("stats model=pair-tree deadline_ms=10").expect("parses");
+        assert!(matches!(req, Request::Stats { .. }));
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(10)));
+
+        let (_, opts) = parse_request_options("models").expect("parses");
+        assert_eq!(opts.deadline, None);
+
+        for bad in [
+            "predict deadline_ms=soon SIFT@20+KNN@40",
+            "stats deadline_ms=-1",
+        ] {
+            let err = parse_request_options(bad).expect_err(bad);
+            assert!(err.to_string().contains("deadline_ms"), "{err}");
+        }
+    }
+
+    #[test]
+    fn parses_health_and_formats_its_reply() {
+        assert_eq!(parse_request("health").expect("parses"), Request::Health);
+        assert!(
+            !Request::Health.is_admin(),
+            "load balancers must be able to probe health"
+        );
+        let err = parse_request("health now").expect_err("rejects args");
+        assert!(err.to_string().contains("no arguments"), "{err}");
+
+        use crate::fault::HealthReport;
+        let line = format_outcome(&Ok(Reply::Health(vec![
+            HealthReport {
+                model: "nbag-tree".into(),
+                quarantined: false,
+                consecutive_panics: 0,
+                total_panics: 0,
+            },
+            HealthReport {
+                model: "pair-tree".into(),
+                quarantined: true,
+                consecutive_panics: 3,
+                total_panics: 5,
+            },
+        ])));
+        assert_eq!(
+            line,
+            "ok models=2 nbag-tree=ok:0/0 pair-tree=quarantined:3/5"
+        );
     }
 
     #[test]

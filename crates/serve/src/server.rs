@@ -33,7 +33,7 @@
 
 use crate::engine::PredictionService;
 use crate::error::ServeError;
-use crate::protocol::{format_outcome, parse_request};
+use crate::protocol::{format_outcome, parse_request_options};
 use bagpred_obs::{Stage, Trace};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -481,7 +481,7 @@ fn handle_connection(
                             // hand, so its parse span measures parsing,
                             // not how slowly the client dribbled bytes.
                             let mut trace = Trace::new();
-                            let parsed = parse_request(request);
+                            let parsed = parse_request_options(request);
                             trace.mark(Stage::Parse);
                             Some(match parsed {
                                 // Parse errors never reach the queue;
@@ -492,16 +492,28 @@ fn handle_connection(
                                 // for `trace`, dump other clients' request
                                 // summaries); refused unless this listener
                                 // opted in.
-                                Ok(request) if request.is_admin() && !config.admin => {
+                                Ok((request, _)) if request.is_admin() && !config.admin => {
                                     Err(ServeError::AdminDisabled)
                                 }
-                                Ok(request) => service.call_traced(request, trace),
+                                Ok((request, options)) => {
+                                    service.call_traced_deadline(request, trace, options.deadline)
+                                }
                             })
                         }
                     }
                 };
                 if let Some(outcome) = outcome {
+                    // Fault site `stall_reply_write`: the injected pause
+                    // sits *inside* the reply-write span, so stalled
+                    // writes show up in the stage histogram exactly like
+                    // a congested socket would.
                     let write_started = Instant::now();
+                    if let Some(delay) = service
+                        .faults()
+                        .fire_delay(crate::fault::FaultSite::StallReplyWrite, None)
+                    {
+                        thread::sleep(delay);
+                    }
                     writer.write_all(format_outcome(&outcome).as_bytes())?;
                     writer.write_all(b"\n")?;
                     writer.flush()?;

@@ -23,6 +23,7 @@
 //! load time instead of silently serving wrong predictions.
 
 use crate::error::ServeError;
+use crate::fault::{FaultPlan, FaultSite};
 use bagpred_core::nbag::NBagPredictor;
 use bagpred_core::{Feature, FeatureSet, ModelKind, Predictor};
 use bagpred_ml::codec::fnv1a64;
@@ -343,20 +344,34 @@ impl ModelRegistry {
         Ok(())
     }
 
-    /// Writes every registered model to `dir` as `<name>.bagsnap` files.
+    /// Writes every registered model to `dir` as `<name>.bagsnap` files,
+    /// each via the crash-safe [`write_snapshot_file`] path.
     ///
     /// # Errors
     ///
     /// I/O failures (as `ServeError::Snapshot`) and encoding errors.
     pub fn save_dir(&self, dir: &std::path::Path) -> Result<usize, ServeError> {
+        self.save_dir_with(dir, &FaultPlan::none())
+    }
+
+    /// [`save_dir`](Self::save_dir) with an armed [`FaultPlan`], so
+    /// tests can inject torn writes. Production callers use `save_dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (as `ServeError::Snapshot`) and encoding errors.
+    pub fn save_dir_with(
+        &self,
+        dir: &std::path::Path,
+        faults: &FaultPlan,
+    ) -> Result<usize, ServeError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| ServeError::Snapshot(format!("create {}: {e}", dir.display())))?;
         let names: Vec<String> = self.list().into_iter().map(|(n, _)| n).collect();
         for name in &names {
             let text = self.snapshot(name)?;
             let path = dir.join(format!("{name}.bagsnap"));
-            std::fs::write(&path, text)
-                .map_err(|e| ServeError::Snapshot(format!("write {}: {e}", path.display())))?;
+            write_snapshot_file(&path, &text, faults)?;
         }
         Ok(names.len())
     }
@@ -364,39 +379,140 @@ impl ModelRegistry {
     /// Loads every `*.bagsnap` file in `dir` into the registry, keyed by
     /// file stem. Returns the number of models loaded. A directory that
     /// does not exist yet loads zero models — first boot with a fresh
-    /// snapshot directory is not an error.
+    /// snapshot directory is not an error. Files that fail to read,
+    /// decode, or checksum-verify are **quarantined**, not fatal: see
+    /// [`load_dir_report`](Self::load_dir_report).
     ///
     /// # Errors
     ///
-    /// I/O and decoding errors; models loaded before the failure remain.
+    /// Directory-level I/O errors only (as [`ServeError::SnapshotDir`]).
     pub fn load_dir(&self, dir: &std::path::Path) -> Result<usize, ServeError> {
+        Ok(self.load_dir_report(dir)?.loaded)
+    }
+
+    /// [`load_dir`](Self::load_dir), reporting which corrupt files were
+    /// quarantined. A file that fails to read or decode is renamed to
+    /// `<file>.corrupt` (best effort) so the next boot does not trip
+    /// over it again, counted in the process-wide
+    /// [`boot_stats`](crate::metrics::boot_stats), and listed in the
+    /// returned [`DirLoad`]; the scan continues. One torn snapshot must
+    /// never take down a boot that could serve the other models — or
+    /// retrain.
+    ///
+    /// # Errors
+    ///
+    /// Directory-level I/O errors only (as [`ServeError::SnapshotDir`]):
+    /// an unreadable *directory* is an operator problem, an unreadable
+    /// *file* is quarantined.
+    pub fn load_dir_report(&self, dir: &std::path::Path) -> Result<DirLoad, ServeError> {
         let entries = match std::fs::read_dir(dir) {
             Ok(entries) => entries,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(ServeError::Snapshot(format!("read {}: {e}", dir.display()))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(DirLoad::default()),
+            Err(e) => {
+                return Err(ServeError::SnapshotDir(format!(
+                    "read {}: {e}",
+                    dir.display()
+                )))
+            }
         };
-        let mut loaded = 0;
+        let mut report = DirLoad::default();
         for entry in entries {
             let path = entry
-                .map_err(|e| ServeError::Snapshot(format!("read {}: {e}", dir.display())))?
+                .map_err(|e| ServeError::SnapshotDir(format!("read {}: {e}", dir.display())))?
                 .path();
             if path.extension().and_then(|e| e.to_str()) != Some("bagsnap") {
                 continue;
             }
-            let name = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .ok_or_else(|| {
-                    ServeError::Snapshot(format!("unusable snapshot filename {}", path.display()))
-                })?
-                .to_string();
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| ServeError::Snapshot(format!("read {}: {e}", path.display())))?;
-            self.insert_snapshot(name, &text)?;
-            loaded += 1;
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                // A non-UTF-8 stem cannot name a model; leave the file
+                // alone (it is not corrupt, just unusable) and move on.
+                continue;
+            };
+            let decoded = std::fs::read_to_string(&path)
+                .map_err(|e| ServeError::Snapshot(format!("read {}: {e}", path.display())))
+                .and_then(|text| ServableModel::from_snapshot(&text));
+            match decoded {
+                Ok(model) => {
+                    self.insert(name, model);
+                    report.loaded += 1;
+                }
+                Err(_) => {
+                    let corrupt = path.with_extension("bagsnap.corrupt");
+                    // Rename is metadata-only, so it usually works even
+                    // when the file contents are garbage; if it fails the
+                    // file stays put and the next boot quarantines again.
+                    let moved = std::fs::rename(&path, &corrupt).is_ok();
+                    crate::metrics::boot_stats().on_snapshot_quarantined();
+                    report.quarantined.push(if moved { corrupt } else { path });
+                }
+            }
         }
-        Ok(loaded)
+        Ok(report)
     }
+}
+
+/// Outcome of a [`ModelRegistry::load_dir_report`] scan.
+#[derive(Debug, Default)]
+pub struct DirLoad {
+    /// Models decoded, verified, and registered.
+    pub loaded: usize,
+    /// Corrupt snapshot files moved aside as `<file>.corrupt` (or left
+    /// in place when even the rename failed), in scan order.
+    pub quarantined: Vec<std::path::PathBuf>,
+}
+
+/// Writes one snapshot crash-safely: the text goes to a hidden temp
+/// file in the destination's directory, is fsynced, and is atomically
+/// renamed over `path` — a crash mid-write leaves the old file (or no
+/// file), never a torn one. The directory itself is fsynced best-effort
+/// so the rename survives power loss on filesystems that need it.
+///
+/// The [`FaultPlan`] hook simulates the failure this function exists to
+/// prevent: a `torn_snapshot_write` fault writes half the bytes
+/// straight to the final path, exactly what a plain `fs::write` would
+/// leave behind after a crash.
+///
+/// # Errors
+///
+/// I/O failures as [`ServeError::Snapshot`]; the temp file is removed
+/// on failure.
+pub fn write_snapshot_file(
+    path: &std::path::Path,
+    text: &str,
+    faults: &FaultPlan,
+) -> Result<(), ServeError> {
+    use std::io::Write as _;
+    if faults.fire(FaultSite::TornSnapshotWrite, None) {
+        let torn = &text.as_bytes()[..text.len() / 2];
+        return std::fs::write(path, torn)
+            .map_err(|e| ServeError::Snapshot(format!("write {}: {e}", path.display())));
+    }
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot");
+    // Hidden name, non-`.bagsnap` extension: a leftover temp file from a
+    // crash between create and rename is invisible to `load_dir`.
+    let tmp = dir.join(format!(".{stem}.tmp-{}", std::process::id()));
+    let result = (|| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Ok(d) = std::fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    result.map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        ServeError::Snapshot(format!("write {}: {e}", path.display()))
+    })
 }
 
 #[cfg(test)]
@@ -517,5 +633,87 @@ mod tests {
             .snapshot("no-such-model")
             .expect_err("must fail");
         assert_eq!(err, ServeError::UnknownModel("no-such-model".into()));
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_snapshots_are_quarantined_then_resave_round_trips() {
+        let registry = testutil::registry();
+        let dir = testutil::scratch_dir("registry-corrupt");
+        registry.save_dir(&dir).expect("saves");
+
+        // Simulate the two classic on-disk failure modes: a torn write
+        // (file cut short mid-stream) and silent media corruption (one
+        // payload byte flipped under an intact-looking file).
+        let pair_path = dir.join(format!("{PAIR_MODEL}.bagsnap"));
+        let text = std::fs::read_to_string(&pair_path).expect("reads");
+        std::fs::write(&pair_path, &text.as_bytes()[..text.len() / 2]).expect("truncates");
+        let nbag_path = dir.join(format!("{NBAG_MODEL}.bagsnap"));
+        let mut bytes = std::fs::read(&nbag_path).expect("reads");
+        let pos = bytes.len() / 2;
+        bytes[pos] = if bytes[pos] == b'7' { b'8' } else { b'7' };
+        std::fs::write(&nbag_path, &bytes).expect("flips");
+
+        let before = crate::metrics::boot_stats().snapshots_quarantined();
+        let fresh = ModelRegistry::new();
+        let report = fresh.load_dir_report(&dir).expect("scan survives");
+        assert_eq!(report.loaded, 0, "nothing decodable");
+        assert_eq!(report.quarantined.len(), 2);
+        for quarantined in &report.quarantined {
+            assert!(
+                quarantined.to_string_lossy().ends_with(".bagsnap.corrupt"),
+                "{quarantined:?}"
+            );
+            assert!(quarantined.exists(), "moved aside, not deleted");
+        }
+        assert!(!pair_path.exists() && !nbag_path.exists(), "originals gone");
+        assert_eq!(
+            crate::metrics::boot_stats().snapshots_quarantined(),
+            before + 2
+        );
+
+        // A subsequent save writes clean files that round-trip to the
+        // exact snapshot text (checksum included) — the `.corrupt`
+        // leftovers don't get in the way.
+        let saved = registry.save_dir(&dir).expect("re-saves");
+        assert_eq!(saved, registry.len());
+        let reread = ModelRegistry::new();
+        assert_eq!(reread.load_dir(&dir).expect("loads"), saved);
+        for (name, _) in registry.list() {
+            assert_eq!(
+                registry.snapshot(&name).expect("encodes"),
+                reread.snapshot(&name).expect("encodes"),
+                "re-saved snapshot for `{name}` must be bit-identical"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_writes_are_atomic_and_torn_write_faults_produce_detectable_corruption() {
+        let dir = testutil::scratch_dir("registry-atomic");
+        let text = testutil::registry().snapshot(PAIR_MODEL).expect("encodes");
+
+        // Normal path: tmp-file + fsync + rename, nothing left behind.
+        let path = dir.join("atomic.bagsnap");
+        write_snapshot_file(&path, &text, &FaultPlan::none()).expect("writes");
+        assert_eq!(std::fs::read_to_string(&path).expect("reads"), text);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("lists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+
+        // Injected torn write: half the bytes land on the *final* path
+        // (as a crash mid-`write` without the tmp/rename dance would
+        // leave them) — and the checksum catches it on the next load.
+        let torn = dir.join("torn.bagsnap");
+        let plan = FaultPlan::parse("torn_snapshot_write").expect("parses");
+        write_snapshot_file(&torn, &text, &plan).expect("fault swallows the write");
+        let written = std::fs::read(&torn).expect("reads");
+        assert_eq!(written.len(), text.len() / 2);
+        assert!(ServableModel::from_snapshot(&String::from_utf8_lossy(&written)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,11 +12,9 @@
 
 use bagpred::core::Platforms;
 use bagpred::serve::{
-    bootstrap, ModelRegistry, PredictionService, Reply, Request, Server, ServiceConfig,
+    bootstrap, Client, ModelRegistry, PredictionService, Reply, Request, Server, ServiceConfig,
 };
 use bagpred::workloads::{Benchmark, Workload};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,26 +50,34 @@ fn main() {
     let handles: Vec<_> = bags
         .iter()
         .map(|bag| {
-            let line = format!("predict {bag}\n");
+            let line = format!("predict {bag}");
+            // `Client` retries `err overloaded`/`err internal` with
+            // jittered exponential backoff — under load shedding or an
+            // injected worker panic these requests would still land.
             std::thread::spawn(move || {
-                let stream = TcpStream::connect(addr).expect("connects");
-                let mut writer = stream.try_clone().expect("clones");
-                let mut reader = BufReader::new(stream);
-                writer.write_all(line.as_bytes()).expect("writes");
-                let mut reply = String::new();
-                reader.read_line(&mut reply).expect("reads");
-                reply.trim_end().to_string()
+                let mut client = Client::new(addr);
+                let reply = client.request(&line).expect("request succeeds");
+                (reply, client.retries())
             })
         })
         .collect();
-    println!("\nconcurrent clients:");
+    println!("\nconcurrent clients (retry-aware):");
     for (bag, handle) in bags.iter().zip(handles) {
-        println!(
-            "  {:<24} -> {}",
-            bag,
-            handle.join().expect("client finishes")
-        );
+        let (reply, retries) = handle.join().expect("client finishes");
+        let note = if retries > 0 {
+            format!("  [{retries} retries]")
+        } else {
+            String::new()
+        };
+        println!("  {bag:<24} -> {reply}{note}");
     }
+    // `health` is the probe a load balancer would hit: per-model
+    // panic/quarantine state, no admin needed.
+    let mut probe = Client::new(addr);
+    println!(
+        "  health                   -> {}",
+        probe.request("health").expect("health")
+    );
 
     // 4. Cold vs warm: the feature cache pays for itself on the second
     //    request for the same bag.

@@ -67,6 +67,24 @@ timeout 180 cargo test -q --test serving -- --exact \
   per_model_latency_histograms_sum_to_the_global_one_under_concurrent_clients \
   trace_dump_is_admin_gated_and_reports_slow_requests
 
+echo "== fault tolerance: panic isolation + torn writes + deadlines (bounded at 300s) =="
+# The robustness drills, run by name so they can never be silently
+# filtered out: an injected worker panic must answer every one of 8
+# concurrent clients with a typed reply (and reload must lift the
+# quarantine), a torn snapshot write must quarantine-and-retrain on
+# boot rather than keep the service down, and expired deadline_ms
+# budgets must shed with `err deadline` instead of serving stale.
+timeout 300 cargo test -q --test serving -- --exact \
+  injected_worker_panic_under_eight_clients_answers_everyone_and_reload_recovers \
+  torn_snapshot_writes_quarantine_on_boot_and_fall_back_to_retraining \
+  deadline_shedding_refuses_stale_requests_behind_a_stalled_worker \
+  client_backoff_retries_shed_requests_until_every_client_succeeds
+timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
+  fault::tests::concurrent_firing_consumes_the_budget_exactly_once_each \
+  engine::tests::injected_panic_quarantines_the_model_and_reload_restores_it \
+  engine::tests::aborted_workers_are_respawned_and_keep_serving \
+  snapshot::tests::truncated_and_bitflipped_snapshots_are_quarantined_then_resave_round_trips
+
 echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any
 # *_ns_per_record rate regresses past 2x the committed baseline.

@@ -8,8 +8,8 @@ use bagpred::core::nbag::NBagMeasurement;
 use bagpred::core::{Bag, Measurement, Platforms};
 use bagpred::ml::codec::fmt_f64;
 use bagpred::serve::{
-    bootstrap, ModelRegistry, PredictionService, Reply, Request, ServableModel, Server,
-    ServerConfig, ServiceConfig,
+    bootstrap, Client, ClientConfig, FaultPlan, ModelRegistry, PredictionService, Reply, Request,
+    ServableModel, Server, ServerConfig, ServiceConfig,
 };
 use bagpred::workloads::{Benchmark, Workload};
 use std::io::{BufRead, BufReader, Write};
@@ -817,6 +817,459 @@ fn trace_dump_is_admin_gated_and_reports_slow_requests() {
         assert!(line.contains("req=predict "), "{line}");
         assert!(line.contains("SIFT@20+KNN@40"), "{line}");
     }
+    drop(server);
+    service.shutdown();
+}
+
+/// The fault-injection acceptance drill from the robustness issue: with a
+/// worker panic injected on the pair model under 8 concurrent clients,
+/// every in-flight request gets a reply (ok or a *typed* err — never a
+/// hang), the uninvolved n-bag model keeps answering byte-identically to
+/// the offline predictor, the panicking model is quarantined, and an
+/// admin `reload` restores it to bit-exact service.
+#[test]
+fn injected_worker_panic_under_eight_clients_answers_everyone_and_reload_recovers() {
+    const PAIR_CLIENTS: usize = 4;
+    const NBAG_CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 6;
+
+    let platforms = Platforms::paper();
+    let shared = registry();
+
+    // Expected ok lines come from the *offline* predictors.
+    let ServableModel::Pair(pair) = &*shared.get(bootstrap::PAIR_MODEL).expect("registered") else {
+        panic!("pair-tree must be a pair model");
+    };
+    let pair_bag = Bag::pair(
+        Workload::new(Benchmark::Sift, 20),
+        Workload::new(Benchmark::Knn, 40),
+    );
+    let pair_ok = format!(
+        "ok model={} predicted_s={}",
+        bootstrap::PAIR_MODEL,
+        fmt_f64(pair.predict(&Measurement::collect(pair_bag, &platforms)))
+    );
+    let ServableModel::NBag(nbag) = &*shared.get(bootstrap::NBAG_MODEL).expect("registered") else {
+        panic!("nbag-tree must be an nbag model");
+    };
+    let nbag_record = NBagMeasurement::collect_unlabeled(
+        bagpred::core::nbag::NBag::new(vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+            Workload::new(Benchmark::Orb, 40),
+        ]),
+        &platforms,
+    );
+    let nbag_ok = format!(
+        "ok model={} predicted_s={}",
+        bootstrap::NBAG_MODEL,
+        fmt_f64(nbag.predict(&nbag_record))
+    );
+
+    // Snapshots on disk give `reload model=pair-tree` (no path=) its
+    // implicit <dir>/pair-tree.bagsnap source. The service gets a private
+    // registry decoded from those snapshots so the reload cannot perturb
+    // other tests sharing the trained fixture.
+    let dir = std::env::temp_dir().join(format!("bagpred-serving-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creates dir");
+    shared.save_dir(&dir).expect("saves snapshots");
+    let private = Arc::new(ModelRegistry::new());
+    assert_eq!(private.load_dir(&dir).expect("loads"), 2);
+
+    // Threshold 1 latches the quarantine on the very first injected
+    // panic, whatever batch shapes the 8 clients produce.
+    let service = PredictionService::start(
+        private,
+        platforms.clone(),
+        ServiceConfig {
+            snapshot_dir: Some(dir.clone()),
+            quarantine_threshold: 1,
+            faults: Arc::new(
+                FaultPlan::parse(&format!(
+                    "worker_panic:model={}:count=1",
+                    bootstrap::PAIR_MODEL
+                ))
+                .expect("parses"),
+            ),
+            workers: 2,
+            batch_size: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            admin: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds ephemeral port");
+    let addr = server.local_addr();
+
+    let pair_line = format!("predict model={} SIFT@20+KNN@40", bootstrap::PAIR_MODEL);
+    let nbag_line = format!(
+        "predict model={} SIFT@20+KNN@40+ORB@40",
+        bootstrap::NBAG_MODEL
+    );
+    let clients: Vec<_> = (0..PAIR_CLIENTS + NBAG_CLIENTS)
+        .map(|client| {
+            let line = if client < PAIR_CLIENTS {
+                pair_line.clone()
+            } else {
+                nbag_line.clone()
+            };
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connects");
+                // A reply must arrive well inside this window or the
+                // test fails with a timeout error — "no hangs" is an
+                // assertion, not a hope.
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("sets timeout");
+                let mut writer = stream.try_clone().expect("clones");
+                let mut reader = BufReader::new(stream);
+                let mut replies = Vec::new();
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    writer.write_all(line.as_bytes()).expect("writes");
+                    writer.write_all(b"\n").expect("writes newline");
+                    writer.flush().expect("flushes");
+                    let mut reply = String::new();
+                    assert!(
+                        reader.read_line(&mut reply).expect("reply before timeout") > 0,
+                        "connection closed without a reply"
+                    );
+                    replies.push(reply.trim_end().to_string());
+                }
+                replies
+            })
+        })
+        .collect();
+    let replies: Vec<Vec<String>> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread finishes"))
+        .collect();
+
+    let mut internal_errors = 0usize;
+    for (client, client_replies) in replies.iter().enumerate() {
+        for reply in client_replies {
+            if client < PAIR_CLIENTS {
+                // Pair traffic: a correct prediction, the typed panic
+                // error, or the typed quarantine refusal — nothing else.
+                if reply == &pair_ok {
+                    continue;
+                } else if reply.starts_with("err internal:") {
+                    internal_errors += 1;
+                } else {
+                    assert!(
+                        reply.starts_with("err unavailable:"),
+                        "unexpected pair reply: {reply}"
+                    );
+                }
+            } else {
+                // The healthy model is never disturbed by the panic next
+                // door: byte-identical on every single request.
+                assert_eq!(reply, &nbag_ok, "nbag reply drifted under faults");
+            }
+        }
+    }
+    assert!(
+        internal_errors >= 1,
+        "the injected panic must surface as at least one err internal"
+    );
+
+    // The quarantine is visible on the health probe...
+    let health = client_roundtrip(addr, &["health".to_string()]).remove(0);
+    assert!(
+        health.contains(&format!("{}=quarantined:", bootstrap::PAIR_MODEL)),
+        "{health}"
+    );
+    assert!(
+        health.contains(&format!("{}=ok:", bootstrap::NBAG_MODEL)),
+        "{health}"
+    );
+    // ...and a fresh pair request is refused with the typed error.
+    let refused = client_roundtrip(addr, std::slice::from_ref(&pair_line)).remove(0);
+    assert!(refused.starts_with("err unavailable:"), "{refused}");
+
+    // Admin reload clears the quarantine and restores bit-exact service.
+    let replies = client_roundtrip(
+        addr,
+        &[
+            format!("reload model={}", bootstrap::PAIR_MODEL),
+            "health".to_string(),
+            pair_line.clone(),
+        ],
+    );
+    assert_eq!(
+        replies[0],
+        format!("ok reloaded model={} kind=pair/tree", bootstrap::PAIR_MODEL)
+    );
+    assert!(
+        replies[1].contains(&format!("{}=ok:", bootstrap::PAIR_MODEL)),
+        "{}",
+        replies[1]
+    );
+    assert_eq!(
+        replies[2], pair_ok,
+        "restored model must predict bit-identically"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    drop(server);
+    service.shutdown();
+}
+
+/// Torn snapshot writes (the crash-mid-write the atomic tmp+rename path
+/// exists to prevent) must not keep the service down: the boot
+/// quarantines every corrupt file, falls back to retraining, and the
+/// written-back snapshots round-trip bit-identically.
+#[test]
+fn torn_snapshot_writes_quarantine_on_boot_and_fall_back_to_retraining() {
+    let platforms = Platforms::paper();
+    let dir = std::env::temp_dir().join(format!("bagpred-serving-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creates dir");
+
+    // Write both snapshots through an armed torn-write plan: half the
+    // bytes land on the final path, exactly as a crash between `write`
+    // and `fsync` would leave a non-atomic writer.
+    let torn = FaultPlan::parse("torn_snapshot_write:count=2").expect("parses");
+    registry().save_dir_with(&dir, &torn).expect("torn writes");
+    for name in [bootstrap::PAIR_MODEL, bootstrap::NBAG_MODEL] {
+        let len = std::fs::metadata(dir.join(format!("{name}.bagsnap")))
+            .expect("file exists")
+            .len();
+        let full = registry().snapshot(name).expect("encodes").len() as u64;
+        assert_eq!(len, full / 2, "the torn write must truncate {name}");
+    }
+
+    let boot = bootstrap::load_or_train(&platforms, Some(&dir)).expect("boot survives");
+    match boot.source {
+        bootstrap::BootSource::Trained(bootstrap::SnapshotWriteback::Saved(n)) => {
+            assert_eq!(n, 2, "retrained models written back")
+        }
+        other => panic!("expected retrain-with-writeback, got {other:?}"),
+    }
+    assert_eq!(boot.quarantined.len(), 2, "both torn files quarantined");
+    for corrupt in &boot.quarantined {
+        assert!(corrupt.exists(), "{corrupt:?} moved aside, not deleted");
+    }
+    assert_eq!(boot.registry.list(), registry().list());
+
+    // The write-back used the real (atomic) path: loading the directory
+    // again yields snapshot text bit-identical to the trained models.
+    let reread = Arc::new(ModelRegistry::new());
+    assert_eq!(reread.load_dir(&dir).expect("loads"), 2);
+    for (name, _) in registry().list() {
+        assert_eq!(
+            reread.snapshot(&name).expect("encodes"),
+            registry().snapshot(&name).expect("encodes"),
+            "re-saved snapshot for `{name}` must round-trip bit-identically"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `deadline_ms` sheds stale requests at dequeue with `err deadline`
+/// instead of serving them late: a request parked behind an injected
+/// 300ms predict stall with a 50ms budget is refused, while the patient
+/// request ahead of it completes normally.
+#[test]
+fn deadline_shedding_refuses_stale_requests_behind_a_stalled_worker() {
+    let service = PredictionService::start(
+        registry(),
+        Platforms::paper(),
+        ServiceConfig {
+            workers: 1,
+            batch_size: 1,
+            faults: Arc::new(
+                FaultPlan::parse(&format!(
+                    "slow_predict:model={}:count=1:ms=300",
+                    bootstrap::PAIR_MODEL
+                ))
+                .expect("parses"),
+            ),
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let addr = server.local_addr();
+
+    // Warm the feature cache directly (not via a predict request, which
+    // would spend the single-shot fault budget) so the stalled request's
+    // service time is the injected 300ms, not collection noise.
+    service.cache().pair_measurement(
+        Bag::pair(
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+        ),
+        &Platforms::paper(),
+    );
+
+    // Connection A parks the only worker in the injected stall...
+    let stream_a = TcpStream::connect(addr).expect("connects");
+    let mut writer_a = stream_a.try_clone().expect("clones");
+    let mut reader_a = BufReader::new(stream_a);
+    writer_a
+        .write_all(format!("predict model={} SIFT@20+KNN@40\n", bootstrap::PAIR_MODEL).as_bytes())
+        .expect("writes");
+    writer_a.flush().expect("flushes");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // ...so connection B's 50ms budget is long gone when the worker
+    // finally dequeues it ~250ms later.
+    let stale = client_roundtrip(
+        addr,
+        &[format!(
+            "predict model={} deadline_ms=50 SIFT@20+KNN@40",
+            bootstrap::PAIR_MODEL
+        )],
+    )
+    .remove(0);
+    assert!(
+        stale.starts_with("err deadline:"),
+        "expected a deadline shed, got: {stale}"
+    );
+
+    // The patient request was served normally despite the stall.
+    let mut reply_a = String::new();
+    reader_a.read_line(&mut reply_a).expect("reads");
+    assert!(reply_a.starts_with("ok "), "{reply_a}");
+
+    // The shed is accounted, on the wire and in the exposition.
+    let stats = client_roundtrip(addr, &["stats".to_string()]).remove(0);
+    assert!(stats.contains("deadline_expired=1"), "{stats}");
+    assert!(
+        service
+            .exposition()
+            .contains("bagpred_deadline_expired_total 1"),
+        "exposition must carry the deadline counter"
+    );
+    drop(server);
+    service.shutdown();
+}
+
+/// The bundled `Client` rides out load shedding: eight clients hammer a
+/// deliberately tiny queue (one worker, capacity 2, with injected predict
+/// stalls) and every request eventually lands — `err overloaded` replies
+/// are retried with jittered exponential backoff, never surfaced.
+#[test]
+fn client_backoff_retries_shed_requests_until_every_client_succeeds() {
+    const CLIENTS: usize = 8;
+
+    let platforms = Platforms::paper();
+    let ServableModel::Pair(pair) = &*registry().get(bootstrap::PAIR_MODEL).expect("registered")
+    else {
+        panic!("pair-tree must be a pair model");
+    };
+    let bag = Bag::pair(
+        Workload::new(Benchmark::Sift, 20),
+        Workload::new(Benchmark::Knn, 40),
+    );
+    let expected = format!(
+        "ok model={} predicted_s={}",
+        bootstrap::PAIR_MODEL,
+        fmt_f64(pair.predict(&Measurement::collect(bag, &platforms)))
+    );
+
+    let service = PredictionService::start(
+        registry(),
+        platforms,
+        ServiceConfig {
+            workers: 1,
+            batch_size: 1,
+            queue_capacity: 2,
+            faults: Arc::new(
+                FaultPlan::parse(&format!(
+                    "slow_predict:model={}:count=2:ms=150",
+                    bootstrap::PAIR_MODEL
+                ))
+                .expect("parses"),
+            ),
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let addr = server.local_addr();
+
+    let line = format!("predict model={} SIFT@20+KNN@40", bootstrap::PAIR_MODEL);
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let line = line.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::with_config(
+                    addr,
+                    ClientConfig {
+                        max_attempts: 10,
+                        base_backoff: Duration::from_millis(25),
+                        // Distinct seeds decorrelate the retry storms.
+                        jitter_seed: 0x5DEE_CE66 + client as u64,
+                        ..ClientConfig::default()
+                    },
+                );
+                let reply = client.request(&line).expect("retries must converge");
+                (reply, client.retries())
+            })
+        })
+        .collect();
+
+    let mut total_retries = 0u64;
+    for handle in clients {
+        let (reply, retries) = handle.join().expect("client thread finishes");
+        assert_eq!(reply, expected, "retried replies stay byte-identical");
+        total_retries += retries;
+    }
+    assert!(
+        total_retries >= 1,
+        "a capacity-2 queue under 8 clients must shed at least once"
+    );
+    // Shed requests were retried by the client, not dropped: the engine
+    // counted them, and every client still ended with an ok reply.
+    let stats = client_roundtrip(addr, &["stats".to_string()]).remove(0);
+    let shed: u64 = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("shed="))
+        .expect("stats carry shed=")
+        .parse()
+        .expect("shed count parses");
+    assert!(
+        shed >= total_retries,
+        "every retry stems from a shed: {stats}"
+    );
+    drop(server);
+    service.shutdown();
+}
+
+/// An injected reply-write stall delays the reply but never corrupts or
+/// drops it — and the pause lands in the reply-write stage histogram
+/// where a congested socket would show up.
+#[test]
+fn stalled_reply_writes_delay_but_never_drop_replies() {
+    let service = PredictionService::start(
+        registry(),
+        Platforms::paper(),
+        ServiceConfig {
+            faults: Arc::new(FaultPlan::parse("stall_reply_write:count=1:ms=150").expect("parses")),
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let reply = client_roundtrip(addr, &["models".to_string()]).remove(0);
+    let stalled = started.elapsed();
+    assert!(reply.starts_with("ok models="), "{reply}");
+    assert!(
+        stalled >= Duration::from_millis(150),
+        "the stall must be visible end-to-end, got {stalled:?}"
+    );
+
+    // The second request is past the budget: fast again.
+    let started = Instant::now();
+    let reply = client_roundtrip(addr, &["models".to_string()]).remove(0);
+    assert!(reply.starts_with("ok models="), "{reply}");
+    assert!(started.elapsed() < Duration::from_millis(150));
     drop(server);
     service.shutdown();
 }
