@@ -12,7 +12,7 @@
 //! of two, three and four applications.
 
 use crate::feature::Feature;
-use crate::measure::Platforms;
+use crate::measure::{AppFeatures, Platforms};
 use bagpred_cpusim::fairness;
 use bagpred_ml::{Dataset, DecisionTreeRegressor, FlatTree, Regressor};
 use bagpred_trace::{KernelProfile, SplitMix64};
@@ -153,6 +153,45 @@ impl NBagMeasurement {
         }
     }
 
+    /// Assembles an unlabeled measurement from per-application features
+    /// and a precomputed Eq. 2 fairness — bit-identical to
+    /// [`Self::collect_unlabeled`], which re-profiles every member from
+    /// scratch. This is the serving-layer fast path: a feature cache
+    /// holds one [`AppFeatures`] per distinct workload (and one kernel
+    /// profile per member for fairness), so a fresh candidate bag costs
+    /// aggregation, not re-profiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `apps` carries exactly one entry per bag member, in
+    /// the bag's canonical member order.
+    pub fn from_apps_unlabeled(bag: NBag, apps: &[AppFeatures], fairness: f64) -> Self {
+        assert_eq!(
+            apps.len(),
+            bag.len(),
+            "one AppFeatures per member, in canonical order"
+        );
+        // The per-app row layout of `aggregate`: CPU time, GPU time, then
+        // the nine mix percentages — exactly the `AppFeatures` fields.
+        let per_app: Vec<Vec<f64>> = apps
+            .iter()
+            .map(|a| {
+                let mut row = Vec::with_capacity(11);
+                row.push(a.cpu_time_s);
+                row.push(a.gpu_time_s);
+                row.extend(a.mix_percent);
+                row
+            })
+            .collect();
+        let features = Self::aggregate_rows(&bag, &per_app, fairness);
+        Self {
+            bag,
+            features,
+            fairness,
+            bag_gpu_time_s: f64::NAN,
+        }
+    }
+
     /// The order-statistic aggregation shared by labeled and unlabeled
     /// collection: per-feature max/min/mean/sum across the bag, plus bag
     /// size and Eq. 2 fairness.
@@ -178,7 +217,12 @@ impl NBagMeasurement {
                 ]
             })
             .collect();
+        let fair = fairness(platforms.cpu(), profiles);
+        (Self::aggregate_rows(bag, &per_app, fair), fair)
+    }
 
+    /// Folds per-application rows into the fixed-length aggregate vector.
+    fn aggregate_rows(bag: &NBag, per_app: &[Vec<f64>], fair: f64) -> Vec<f64> {
         let n_features = per_app[0].len();
         let mut features = Vec::with_capacity(n_features * AGGREGATES.len() + 2);
         for f in 0..n_features {
@@ -190,10 +234,8 @@ impl NBagMeasurement {
             features.extend([max, min, mean, sum]);
         }
         features.push(bag.len() as f64);
-
-        let fair = fairness(platforms.cpu(), profiles);
         features.push(fair);
-        (features, fair)
+        features
     }
 
     /// The measured bag.
@@ -609,6 +651,43 @@ mod tests {
         let bags = nbag_corpus(10);
         let serial = measure_nbags_threads(&bags, &platforms, 1);
         assert_eq!(measure_nbags_threads(&bags, &platforms, 4), serial);
+    }
+
+    #[test]
+    fn from_apps_unlabeled_is_bit_identical_to_collect_unlabeled() {
+        let platforms = Platforms::paper();
+        let bag = NBag::new(vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+            Workload::new(Benchmark::Orb, 10),
+        ]);
+        let direct = NBagMeasurement::collect_unlabeled(bag.clone(), &platforms);
+        let apps: Vec<AppFeatures> = bag
+            .members()
+            .iter()
+            .map(|w| AppFeatures::collect(w, &platforms))
+            .collect();
+        let profiles: Vec<KernelProfile> = bag.members().iter().map(Workload::profile).collect();
+        let fair = fairness(platforms.cpu(), &profiles);
+        let assembled = NBagMeasurement::from_apps_unlabeled(bag, &apps, fair);
+        assert_eq!(assembled.features().len(), direct.features().len());
+        for (a, d) in assembled.features().iter().zip(direct.features()) {
+            assert_eq!(a.to_bits(), d.to_bits());
+        }
+        assert_eq!(assembled.fairness().to_bits(), direct.fairness().to_bits());
+        assert!(assembled.bag_gpu_time_s().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "one AppFeatures per member")]
+    fn from_apps_unlabeled_rejects_mismatched_arity() {
+        let platforms = Platforms::paper();
+        let bag = NBag::new(vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+        ]);
+        let one = AppFeatures::collect(&Workload::new(Benchmark::Sift, 20), &platforms);
+        NBagMeasurement::from_apps_unlabeled(bag, &[one], 1.0);
     }
 
     #[test]

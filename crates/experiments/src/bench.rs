@@ -513,6 +513,55 @@ pub fn regressions(report: &BenchReport, baseline_json: &str, max_ratio: f64) ->
     out
 }
 
+/// Merges a fleet report (`bagpred-fleet-v1`) into a pipeline report
+/// (`bagpred-bench-v1`) for combined `--json` output: every fleet key is
+/// prefixed `fleet_`, so the two schemas coexist without clobbering each
+/// other — and since [`regressions`] only reads [`RATE_KEYS`], the
+/// regression gate is unaffected by the merge.
+///
+/// # Errors
+///
+/// A message when either input lacks its schema tag or is not a
+/// hand-formatted single-object report.
+pub fn merge_fleet(pipeline_json: &str, fleet_json: &str) -> Result<String, String> {
+    if !pipeline_json.contains(SCHEMA) {
+        return Err(format!("pipeline report is not a {SCHEMA} report"));
+    }
+    if !fleet_json.contains("bagpred-fleet-v1") {
+        return Err("fleet report is not a bagpred-fleet-v1 report".into());
+    }
+    let body = pipeline_json
+        .trim_end()
+        .strip_suffix('}')
+        .ok_or("pipeline report does not end with `}`")?
+        .trim_end();
+
+    let mut out = String::from(body);
+    out.push_str(",\n");
+    let fleet_lines: Vec<&str> = fleet_json
+        .lines()
+        .filter(|line| {
+            let t = line.trim();
+            !t.is_empty() && t != "{" && t != "}"
+        })
+        .collect();
+    if fleet_lines.is_empty() {
+        return Err("fleet report carries no keys".into());
+    }
+    for (i, line) in fleet_lines.iter().enumerate() {
+        let renamed = line
+            .trim_start()
+            .strip_prefix('"')
+            .map(|rest| format!("  \"fleet_{rest}"))
+            .ok_or_else(|| format!("unexpected fleet report line: {line}"))?;
+        let renamed = renamed.trim_end().trim_end_matches(',');
+        let sep = if i + 1 == fleet_lines.len() { "" } else { "," };
+        out.push_str(&format!("{renamed}{sep}\n"));
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,5 +689,43 @@ mod tests {
         assert!(rendered.contains("LOOCV"));
         assert!(rendered.contains("loocv_fold"));
         assert!(rendered.contains("histogram overhead"));
+    }
+
+    fn fake_fleet_json() -> String {
+        "{\n  \"schema\": \"bagpred-fleet-v1\",\n  \"seed\": 42,\n  \
+         \"gpu_sweep\": [1, 2],\n  \"ffd_k1_shed_rate\": 0.125,\n  \
+         \"ffd_gap_max_percent\": 3.000\n}\n"
+            .to_string()
+    }
+
+    #[test]
+    fn merge_fleet_prefixes_keys_and_preserves_rate_keys() {
+        let pipeline = fake_report().to_json();
+        let merged = merge_fleet(&pipeline, &fake_fleet_json()).expect("merges");
+        assert!(merged.contains("\"fleet_schema\": \"bagpred-fleet-v1\""));
+        assert!(merged.contains("\"fleet_ffd_k1_shed_rate\": 0.125"));
+        assert!(merged.contains("\"fleet_gpu_sweep\": [1, 2]"));
+        assert_eq!(json_number(&merged, "fleet_ffd_gap_max_percent"), Some(3.0));
+        for key in RATE_KEYS {
+            assert_eq!(
+                json_number(&merged, key),
+                json_number(&pipeline, key),
+                "{key} must survive the merge unchanged"
+            );
+        }
+        assert!(merged.ends_with("}\n"));
+        assert_eq!(merged.matches('{').count(), 1);
+        assert_eq!(merged.matches('}').count(), 1);
+        // The merged text is still a valid regression baseline.
+        assert!(regressions(&fake_report(), &merged, 2.0).is_empty());
+    }
+
+    #[test]
+    fn merge_fleet_rejects_schema_mismatches() {
+        let pipeline = fake_report().to_json();
+        assert!(merge_fleet("{}", &fake_fleet_json()).is_err());
+        assert!(merge_fleet(&pipeline, "{}").is_err());
+        // Arguments swapped: both sides fail their schema check.
+        assert!(merge_fleet(&fake_fleet_json(), &pipeline).is_err());
     }
 }

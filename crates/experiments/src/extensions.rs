@@ -1,6 +1,6 @@
 //! Extension experiments beyond the paper's evaluation.
 //!
-//! Six studies the paper motivates but does not run:
+//! Studies the paper motivates but does not run:
 //!
 //! * [`temporal_vs_spatial`] — §II discusses time multiplexing as the
 //!   alternative to MPS; this quantifies both on the same bags.
@@ -16,6 +16,9 @@
 //!   suite's instruction mixes.
 //! * [`dynamic_release`] — how much the steady-state bag model overstates
 //!   makespans compared to phase-based resource release.
+//! * [`thread_sensitivity`] — execution time across a CPU thread ladder.
+//! * [`fleet_capacity`] — the fleet simulator's capacity-planning sweep
+//!   with the optimality-gap table (see `bagpred_fleet`).
 
 use crate::context::Context;
 use crate::render::TextTable;
@@ -430,6 +433,74 @@ pub fn thread_sensitivity(ctx: &Context) -> ThreadSensitivity {
         })
         .collect();
     ThreadSensitivity { threads, rows }
+}
+
+/// Extension 8: fleet capacity planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCapacity {
+    /// The full fleet report (cells per policy × k, gap table).
+    pub report: bagpred_fleet::FleetReport,
+}
+
+impl FleetCapacity {
+    /// Renders as text tables.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "policy".into(),
+            "k".into(),
+            "shed rate".into(),
+            "p50 ms".into(),
+            "p99 ms".into(),
+            "packing".into(),
+            "utilization".into(),
+        ]);
+        for c in &self.report.cells {
+            table.row(vec![
+                c.policy.into(),
+                c.gpus.to_string(),
+                format!("{:.4}", c.shed_rate),
+                format!("{:.2}", c.p50_ms),
+                format!("{:.2}", c.p99_ms),
+                format!("{:.3}", c.packing_efficiency),
+                format!("{:.3}", c.utilization),
+            ]);
+        }
+        let mut gaps = TextTable::new(vec![
+            "policy".into(),
+            "mean gap %".into(),
+            "max gap %".into(),
+        ]);
+        for row in &self.report.gaps {
+            gaps.row(vec![
+                row.policy.into(),
+                format!("{:.2}", row.mean_percent),
+                format!("{:.2}", row.max_percent),
+            ]);
+        }
+        format!(
+            "Extension 8: fleet capacity planning ({} diurnal arrivals, \
+             policies × fleet sizes)\n{}\nOptimality gap vs exhaustive \
+             optimum on small instances\n{}",
+            self.report.arrivals,
+            table.render(),
+            gaps.render()
+        )
+    }
+}
+
+/// Runs extension 8: a short diurnal trace swept over fleet sizes, plus
+/// the optimality-gap study. Trains its own serving models (the fleet
+/// stack predicts through the serve layer, not the raw predictor).
+pub fn fleet_capacity() -> FleetCapacity {
+    let cfg = bagpred_fleet::FleetConfig {
+        arrivals: bagpred_fleet::ArrivalConfig {
+            duration_s: 20.0,
+            ..bagpred_fleet::ArrivalConfig::default()
+        },
+        ..bagpred_fleet::FleetConfig::default()
+    };
+    let report = bagpred_fleet::run(&cfg).expect("default fleet config is valid");
+    FleetCapacity { report }
 }
 
 #[cfg(test)]

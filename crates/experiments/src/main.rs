@@ -8,10 +8,15 @@
 //! repro serve [ADDR] [--models DIR] [--admin] [--metrics-addr ADDR]
 //!             [--slow-threshold-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS]
 //! repro bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]
+//!             [--fleet FILE]
+//! repro fleet [--policy ffd|solo|all] [--gpus K,K,...] [--duration S] [--rate R]
+//!             [--amplitude A] [--period S] [--patience S] [--budget S] [--seed N]
+//!             [--window N] [--gap-instances N] [--gap-slack X] [--no-gap] [--smoke]
+//!             [--json] [--out FILE]
 //! ```
 //!
 //! Artifacts: `fig1` … `fig12`, `table2`, `table3`, `table4`,
-//! `ext1` … `ext7`, `summary`, `all`. `--list` prints the machine-readable
+//! `ext1` … `ext8`, `summary`, `all`. `--list` prints the machine-readable
 //! artifact list (one per line) without measuring anything. `serve` trains
 //! the pair + n-bag models (or loads snapshots from `--models DIR`) and
 //! answers the line protocol documented in `bagpred_serve::protocol` on
@@ -22,7 +27,12 @@
 //! starts a second listener answering HTTP scrapes with the Prometheus
 //! text exposition; `--slow-threshold-ms` sets the latency at which a
 //! request's span breakdown is kept for `trace` (default 25). `bench`
-//! runs the pipeline benchmark harness and writes `BENCH_pipeline.json`.
+//! runs the pipeline benchmark harness and writes `BENCH_pipeline.json`
+//! (`--fleet FILE` additionally merges a fleet report into the `--json`
+//! stdout — the written file stays pipeline-only so the committed
+//! regression baseline is never clobbered). `fleet` replays a synthetic
+//! diurnal arrival trace through the admission stack across policies and
+//! fleet sizes and writes `BENCH_fleet.json` (see `bagpred_fleet`).
 
 use bagpred_experiments::{
     accuracy, bench, extensions, paths, scaling, sensitivity, tables, Context,
@@ -32,10 +42,10 @@ use bagpred_serve::{
 };
 use std::sync::Arc;
 
-const ARTIFACTS: [&str; 23] = [
+const ARTIFACTS: [&str; 24] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "table2", "table3", "table4", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
-    "summary",
+    "ext8", "summary",
 ];
 
 fn run(artifact: &str, ctx: &Context) -> Result<String, String> {
@@ -62,6 +72,7 @@ fn run(artifact: &str, ctx: &Context) -> Result<String, String> {
         "ext5" => extensions::benchmark_similarity(ctx).render(),
         "ext6" => extensions::dynamic_release(ctx).render(),
         "ext7" => extensions::thread_sensitivity(ctx).render(),
+        "ext8" => extensions::fleet_capacity().render(),
         "summary" => summary(ctx),
         other => return Err(format!("unknown artifact `{other}`")),
     })
@@ -329,6 +340,7 @@ fn run_bench(args: &[String]) -> ! {
     let mut json_stdout = false;
     let mut out_path = std::path::PathBuf::from("BENCH_pipeline.json");
     let mut baseline: Option<std::path::PathBuf> = None;
+    let mut fleet: Option<std::path::PathBuf> = None;
     let mut max_ratio = 2.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -349,6 +361,13 @@ fn run_bench(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--fleet" => match it.next() {
+                Some(path) => fleet = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --fleet needs a fleet report file");
+                    std::process::exit(2);
+                }
+            },
             "--max-regression" => match it.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(ratio)) if ratio >= 1.0 => max_ratio = ratio,
                 _ => {
@@ -360,7 +379,7 @@ fn run_bench(args: &[String]) -> ! {
                 eprintln!("error: unknown bench flag `{flag}`");
                 eprintln!(
                     "usage: repro bench [--smoke] [--json] [--out FILE] \
-                     [--baseline FILE] [--max-regression X]"
+                     [--baseline FILE] [--max-regression X] [--fleet FILE]"
                 );
                 std::process::exit(2);
             }
@@ -374,14 +393,39 @@ fn run_bench(args: &[String]) -> ! {
     );
     let report = bench::run(&options);
     let json = report.to_json();
+    // The written file stays pipeline-only: the committed regression
+    // baseline must never absorb fleet keys. The merge only affects the
+    // combined `--json` view below.
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {}: {e}", out_path.display());
         std::process::exit(2);
     }
     if json_stdout {
-        print!("{json}");
+        let combined = match &fleet {
+            Some(fleet_path) => {
+                let fleet_json = match std::fs::read_to_string(fleet_path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("error: cannot read {}: {e}", fleet_path.display());
+                        std::process::exit(2);
+                    }
+                };
+                match bench::merge_fleet(&json, &fleet_json) {
+                    Ok(merged) => merged,
+                    Err(e) => {
+                        eprintln!("error: cannot merge {}: {e}", fleet_path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => json.clone(),
+        };
+        print!("{combined}");
     } else {
         print!("{}", report.render());
+        if fleet.is_some() {
+            eprintln!("note: --fleet only affects --json output");
+        }
     }
     eprintln!("report written to {}", out_path.display());
 
@@ -411,6 +455,145 @@ fn run_bench(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro fleet`: replay a synthetic diurnal trace through the admission
+/// stack across policies and fleet sizes, write `BENCH_fleet.json`, and
+/// print the capacity-planning report.
+fn run_fleet(args: &[String]) -> ! {
+    let usage = "usage: repro fleet [--policy ffd|solo|all] [--gpus K,K,...] \
+                 [--duration S] [--rate R] [--amplitude A] [--period S] \
+                 [--patience S] [--budget S] [--seed N] [--window N] \
+                 [--gap-instances N] [--gap-slack X] [--no-gap] [--smoke] \
+                 [--json] [--out FILE]";
+    let mut cfg = bagpred_fleet::FleetConfig::default();
+    let mut smoke = false;
+    let mut json_stdout = false;
+    let mut out_path = std::path::PathBuf::from("BENCH_fleet.json");
+
+    fn parsed<T: std::str::FromStr>(flag: &str, value: Option<&String>, usage: &str) -> T {
+        match value.map(|v| v.parse::<T>()) {
+            Some(Ok(parsed)) => parsed,
+            _ => {
+                eprintln!("error: {flag} needs a valid value");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--policy" => match it.next().map(String::as_str) {
+                Some("all") => {
+                    cfg.policies = vec!["ffd".into(), "solo".into()];
+                }
+                Some(name) if bagpred_fleet::by_name(name).is_some() => {
+                    cfg.policies = vec![name.to_string()];
+                }
+                _ => {
+                    eprintln!("error: --policy needs ffd, solo, optimal, or all");
+                    std::process::exit(2);
+                }
+            },
+            "--gpus" => {
+                let spec: String = parsed("--gpus", it.next(), usage);
+                let sweep: Result<Vec<usize>, _> =
+                    spec.split(',').map(|k| k.trim().parse::<usize>()).collect();
+                match sweep {
+                    Ok(sweep) if !sweep.is_empty() && sweep.iter().all(|&k| k >= 1) => {
+                        cfg.gpu_sweep = sweep;
+                    }
+                    _ => {
+                        eprintln!("error: --gpus needs a comma list of positive integers");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--duration" => cfg.arrivals.duration_s = parsed("--duration", it.next(), usage),
+            "--rate" => cfg.arrivals.base_rate_per_s = parsed("--rate", it.next(), usage),
+            "--amplitude" => {
+                cfg.arrivals.diurnal_amplitude = parsed("--amplitude", it.next(), usage)
+            }
+            "--period" => cfg.arrivals.day_period_s = parsed("--period", it.next(), usage),
+            "--patience" => cfg.arrivals.patience_s = parsed("--patience", it.next(), usage),
+            "--budget" => cfg.budget_s = parsed("--budget", it.next(), usage),
+            "--seed" => cfg.arrivals.seed = parsed("--seed", it.next(), usage),
+            "--window" => cfg.window = parsed("--window", it.next(), usage),
+            "--gap-instances" => {
+                let instances: usize = parsed("--gap-instances", it.next(), usage);
+                let mut gap = cfg.gap.unwrap_or_default();
+                gap.instances = instances;
+                cfg.gap = Some(gap);
+            }
+            "--gap-slack" => {
+                let slack: f64 = parsed("--gap-slack", it.next(), usage);
+                let mut gap = cfg.gap.unwrap_or_default();
+                gap.budget_slack = slack;
+                cfg.gap = Some(gap);
+            }
+            "--no-gap" => cfg.gap = None,
+            "--smoke" => smoke = true,
+            "--json" => json_stdout = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = std::path::PathBuf::from(path),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            flag => {
+                eprintln!("error: unknown fleet flag `{flag}`");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        // Smoke shrinks the trace and sweep but keeps explicit flag
+        // overrides: apply the smoke shape only where the user said
+        // nothing (flags above already mutated cfg, so just shrink).
+        let defaults = bagpred_fleet::FleetConfig::default();
+        if cfg.arrivals.duration_s == defaults.arrivals.duration_s {
+            cfg.arrivals.duration_s = 10.0;
+        }
+        if cfg.gpu_sweep == defaults.gpu_sweep {
+            cfg.gpu_sweep = vec![1, 2];
+        }
+        if let Some(gap) = &mut cfg.gap {
+            if gap.instances == bagpred_fleet::GapConfig::default().instances {
+                gap.instances = 3;
+            }
+        }
+        cfg.smoke = true;
+    }
+
+    eprintln!(
+        "simulating {} policies × {:?} GPUs over {:.0}s of arrivals (training models first)...",
+        cfg.policies.len(),
+        cfg.gpu_sweep,
+        cfg.arrivals.duration_s
+    );
+    let report = match bagpred_fleet::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        std::process::exit(2);
+    }
+    if json_stdout {
+        print!("{json}");
+    } else {
+        print!("{}", report.render());
+    }
+    eprintln!("report written to {}", out_path.display());
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -418,7 +601,8 @@ fn main() {
             "usage: repro <artifact>... | all | --list | \
              serve [ADDR] [--models DIR] [--admin] [--metrics-addr ADDR] \
              [--slow-threshold-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS] | \
-             bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X]"
+             bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X] [--fleet FILE] | \
+             fleet [--policy P] [--gpus K,...] [--duration S] [--seed N] [--smoke] [--json] [--out FILE]"
         );
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -438,6 +622,9 @@ fn main() {
     }
     if args[0] == "bench" {
         run_bench(&args[1..]);
+    }
+    if args[0] == "fleet" {
+        run_fleet(&args[1..]);
     }
 
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {

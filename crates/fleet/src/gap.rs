@@ -1,0 +1,288 @@
+//! Measured optimality gaps on exhaustively solvable instances.
+//!
+//! Online policies can only be judged against the true optimum where the
+//! optimum is computable: small static instances (all jobs present at
+//! t=0, no deadlines). For each instance this module computes the global
+//! minimum makespan by enumerating every set partition of the jobs into
+//! feasible co-run blocks (≤ model capacity, predicted ≤ budget) and, for
+//! each partition, the best assignment of blocks onto the k GPUs. Any
+//! schedule the simulator can produce executes some such blocks
+//! sequentially per GPU, so this is a true lower bound — the measured
+//! gap `(policy − optimum) / optimum` is honest.
+
+use crate::arrivals::{sample_workload, Job};
+use crate::policy::{Policy, PolicyCtx};
+use crate::sim::{simulate, SimConfig};
+use bagpred_serve::error::ServeError;
+use bagpred_trace::SplitMix64;
+use bagpred_workloads::Workload;
+
+/// Shape of the gap study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapConfig {
+    /// Number of random instances.
+    pub instances: usize,
+    /// Jobs per instance (keep ≤ 7: the partition count is a Bell
+    /// number).
+    pub jobs: usize,
+    /// GPUs per instance.
+    pub gpus: usize,
+    /// Seed for the instance sampler.
+    pub seed: u64,
+    /// Budget per instance = slack × the largest solo time, so every job
+    /// is at least solo-schedulable (keep ≥ 1).
+    pub budget_slack: f64,
+}
+
+impl Default for GapConfig {
+    fn default() -> Self {
+        Self {
+            instances: 5,
+            jobs: 6,
+            gpus: 2,
+            seed: 7,
+            budget_slack: 1.15,
+        }
+    }
+}
+
+/// One policy's measured gap across all instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapRow {
+    /// Policy name ([`Policy::name`]).
+    pub policy: &'static str,
+    /// Mean of per-instance gap percentages.
+    pub mean_percent: f64,
+    /// Worst per-instance gap percentage.
+    pub max_percent: f64,
+}
+
+/// Minimum makespan over every feasible (partition, GPU-assignment) of
+/// `jobs` — the exhaustive global optimum.
+fn optimal_makespan(ctx: &PolicyCtx, gpus: usize, jobs: &[Workload]) -> Result<f64, ServeError> {
+    let capacity = ctx.capacity();
+
+    // Enumerate set partitions: job i joins an existing block or opens a
+    // new one. Blocks are pruned on capacity here and on budget when
+    // priced.
+    fn partitions(
+        ctx: &PolicyCtx,
+        capacity: usize,
+        gpus: usize,
+        jobs: &[Workload],
+        idx: usize,
+        blocks: &mut Vec<Vec<Workload>>,
+        best: &mut f64,
+    ) -> Result<(), ServeError> {
+        if idx == jobs.len() {
+            let mut times = Vec::with_capacity(blocks.len());
+            for block in blocks.iter() {
+                let t = ctx.predict(block)?;
+                if t > ctx.budget_s {
+                    return Ok(()); // infeasible partition
+                }
+                times.push(t);
+            }
+            let makespan = min_makespan_assignment(&times, gpus);
+            if makespan < *best {
+                *best = makespan;
+            }
+            return Ok(());
+        }
+        for b in 0..blocks.len() {
+            if blocks[b].len() >= capacity {
+                continue;
+            }
+            blocks[b].push(jobs[idx]);
+            partitions(ctx, capacity, gpus, jobs, idx + 1, blocks, best)?;
+            blocks[b].pop();
+        }
+        blocks.push(vec![jobs[idx]]);
+        partitions(ctx, capacity, gpus, jobs, idx + 1, blocks, best)?;
+        blocks.pop();
+        Ok(())
+    }
+
+    let mut best = f64::INFINITY;
+    partitions(ctx, capacity, gpus, jobs, 0, &mut Vec::new(), &mut best)?;
+    Ok(best)
+}
+
+/// Exact minimum of (max per-GPU sum) over assignments of `times` onto
+/// `gpus` machines — branch-and-bound with first-empty symmetry break.
+fn min_makespan_assignment(times: &[f64], gpus: usize) -> f64 {
+    fn go(times: &[f64], idx: usize, loads: &mut Vec<f64>, used: usize, best: &mut f64) {
+        if idx == times.len() {
+            let makespan = loads.iter().cloned().fold(0.0f64, f64::max);
+            if makespan < *best {
+                *best = makespan;
+            }
+            return;
+        }
+        let limit = (used + 1).min(loads.len());
+        for g in 0..limit {
+            if loads[g] + times[idx] >= *best {
+                continue; // bound: already no better than the incumbent
+            }
+            loads[g] += times[idx];
+            go(times, idx + 1, loads, used.max(g + 1), best);
+            loads[g] -= times[idx];
+        }
+    }
+    let mut best = times.iter().sum::<f64>() + 1.0; // trivial upper bound
+    go(times, 0, &mut vec![0.0; gpus], 0, &mut best);
+    best
+}
+
+/// Runs every policy over `cfg.instances` random static instances and
+/// reports its makespan gap against the exhaustive optimum.
+///
+/// The caller's `ctx.budget_s` is ignored; each instance derives its own
+/// budget from `cfg.budget_slack`.
+pub fn optimality_gaps(
+    ctx: &PolicyCtx,
+    policies: &[&dyn Policy],
+    cfg: &GapConfig,
+) -> Result<Vec<GapRow>, ServeError> {
+    assert!(cfg.instances > 0, "need at least one instance");
+    assert!(
+        (2..=7).contains(&cfg.jobs),
+        "instance size must be 2..=7 jobs (Bell-number blowup beyond)"
+    );
+    assert!(cfg.gpus > 0, "need at least one GPU");
+    assert!(
+        cfg.budget_slack >= 1.0,
+        "slack < 1 would make some jobs unschedulable even solo"
+    );
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+
+    for _ in 0..cfg.instances {
+        let workloads: Vec<Workload> = (0..cfg.jobs).map(|_| sample_workload(&mut rng)).collect();
+        let max_solo = workloads
+            .iter()
+            .map(|&w| ctx.cache.app_features(w, ctx.platforms).gpu_time_s)
+            .fold(0.0f64, f64::max);
+        let instance_ctx = PolicyCtx {
+            model: ctx.model,
+            cache: ctx.cache,
+            platforms: ctx.platforms,
+            budget_s: cfg.budget_slack * max_solo,
+        };
+
+        let optimum = optimal_makespan(&instance_ctx, cfg.gpus, &workloads)?;
+        assert!(
+            optimum.is_finite() && optimum > 0.0,
+            "slack ≥ 1 guarantees the all-singletons partition is feasible"
+        );
+
+        let jobs: Vec<Job> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, &workload)| Job {
+                id: i as u64,
+                arrival_us: 0,
+                deadline_us: u64::MAX,
+                workload,
+            })
+            .collect();
+        let sim_cfg = SimConfig {
+            gpus: cfg.gpus,
+            window: cfg.jobs,
+        };
+        for (p, policy) in policies.iter().enumerate() {
+            let outcome = simulate(*policy, &instance_ctx, &sim_cfg, &jobs)?;
+            assert_eq!(
+                outcome.shed, 0,
+                "static instances have no deadlines and solo-feasible jobs"
+            );
+            // Guard against float noise: the sim cannot genuinely beat
+            // the lower bound.
+            let gap = ((outcome.makespan_s - optimum) / optimum * 100.0).max(0.0);
+            gaps[p].push(gap);
+        }
+    }
+
+    Ok(policies
+        .iter()
+        .zip(gaps)
+        .map(|(policy, gs)| GapRow {
+            policy: policy.name(),
+            mean_percent: gs.iter().sum::<f64>() / gs.len() as f64,
+            max_percent: gs.iter().cloned().fold(0.0f64, f64::max),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Exhaustive, FfdPolicy, SoloFallbackPolicy};
+    use crate::testutil;
+    use bagpred_core::Platforms;
+
+    fn small_cfg() -> GapConfig {
+        GapConfig {
+            instances: 2,
+            jobs: 4,
+            ..GapConfig::default()
+        }
+    }
+
+    #[test]
+    fn covers_every_policy_with_finite_nonnegative_gaps() {
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let ctx = PolicyCtx {
+            model: &model,
+            cache,
+            platforms: &platforms,
+            budget_s: 0.5, // ignored: gap derives per-instance budgets
+        };
+        let ffd = FfdPolicy;
+        let solo = SoloFallbackPolicy;
+        let optimal = Exhaustive::default();
+        let policies: [&dyn crate::policy::Policy; 3] = [&ffd, &solo, &optimal];
+        let rows = optimality_gaps(&ctx, &policies, &small_cfg()).expect("runs");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.policy).collect::<Vec<_>>(),
+            vec!["ffd", "solo", "optimal"]
+        );
+        for row in &rows {
+            assert!(
+                row.mean_percent.is_finite() && row.mean_percent >= 0.0,
+                "{row:?}"
+            );
+            assert!(row.max_percent >= row.mean_percent - 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn gap_study_is_deterministic() {
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let ctx = PolicyCtx {
+            model: &model,
+            cache,
+            platforms: &platforms,
+            budget_s: 0.5,
+        };
+        let ffd = FfdPolicy;
+        let policies: [&dyn crate::policy::Policy; 1] = [&ffd];
+        let a = optimality_gaps(&ctx, &policies, &small_cfg()).expect("runs");
+        let b = optimality_gaps(&ctx, &policies, &small_cfg()).expect("runs");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn balanced_assignment_is_exact() {
+        // 3 blocks on 2 machines: optimal is max(3, 2+2) = 4.
+        assert_eq!(min_makespan_assignment(&[3.0, 2.0, 2.0], 2), 4.0);
+        assert_eq!(min_makespan_assignment(&[5.0, 4.0, 3.0, 2.0], 2), 7.0);
+        assert_eq!(min_makespan_assignment(&[1.0], 4), 1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Trace-driven fleet scheduling simulator.
+//!
+//! The paper's predictor answers "how slow would these apps be
+//! *together*?" without running the co-run; the serving layer turns that
+//! into per-request admission. This crate closes the loop at fleet
+//! scale: it replays a synthetic diurnal arrival trace ([`arrivals`])
+//! through the real prediction stack on `k` simulated GPUs ([`sim`]),
+//! with the scheduling decision pluggable behind a [`Policy`] trait
+//! ([`policy`]) — today's FFD admission, the solo-fallback variant, and
+//! an exhaustive comparator — and measures what each policy costs:
+//! shed rate, p50/p99 completion latency, packing efficiency, and the
+//! optimality gap against a true exhaustive lower bound on small
+//! instances ([`gap`]). Results render as the `bagpred-fleet-v1` report
+//! ([`report`]), the capacity-planning artifact behind `repro fleet`.
+
+pub mod arrivals;
+pub mod gap;
+pub mod policy;
+pub mod report;
+pub mod sim;
+
+pub use arrivals::{generate, ArrivalConfig, Job};
+pub use gap::{optimality_gaps, GapConfig, GapRow};
+pub use policy::{by_name, standard, Exhaustive, FfdPolicy, Policy, PolicyCtx, SoloFallbackPolicy};
+pub use report::{json_number, FleetReport, PolicyCell, SCHEMA};
+pub use sim::{simulate, SimConfig, SimOutcome};
+
+use bagpred_core::Platforms;
+use bagpred_serve::bootstrap;
+use bagpred_serve::cache::FeatureCache;
+use bagpred_serve::error::ServeError;
+use bagpred_serve::snapshot::ServableModel;
+
+/// Everything one `repro fleet` run needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// The arrival process to replay.
+    pub arrivals: ArrivalConfig,
+    /// Per-GPU predicted-latency budget, seconds.
+    pub budget_s: f64,
+    /// Scheduling window (queued jobs visible per round).
+    pub window: usize,
+    /// Fleet sizes to sweep.
+    pub gpu_sweep: Vec<usize>,
+    /// Policy names to sweep (resolved via [`policy::by_name`]).
+    pub policies: Vec<String>,
+    /// The gap study; `None` skips it.
+    pub gap: Option<GapConfig>,
+    /// Marks the report as a smoke run.
+    pub smoke: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            arrivals: ArrivalConfig::default(),
+            budget_s: 0.5,
+            window: 6,
+            gpu_sweep: vec![1, 2, 4],
+            policies: vec!["ffd".into(), "solo".into()],
+            gap: Some(GapConfig::default()),
+            smoke: false,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The short configuration `scripts/verify.sh` runs: a few seconds
+    /// of trace, two fleet sizes, three gap instances.
+    pub fn smoke() -> Self {
+        Self {
+            arrivals: ArrivalConfig {
+                duration_s: 10.0,
+                ..ArrivalConfig::default()
+            },
+            gpu_sweep: vec![1, 2],
+            gap: Some(GapConfig {
+                instances: 3,
+                ..GapConfig::default()
+            }),
+            smoke: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the full sweep against an already-trained model.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] for unknown policy names or degenerate
+/// configs; prediction errors propagate.
+pub fn run_with(
+    model: &ServableModel,
+    cache: &FeatureCache,
+    platforms: &Platforms,
+    cfg: &FleetConfig,
+) -> Result<FleetReport, ServeError> {
+    let policies: Vec<Box<dyn Policy>> = cfg
+        .policies
+        .iter()
+        .map(|name| {
+            by_name(name).ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "unknown policy `{name}` (expected ffd, solo, or optimal)"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let ctx = PolicyCtx {
+        model,
+        cache,
+        platforms,
+        budget_s: cfg.budget_s,
+    };
+    let jobs = generate(&cfg.arrivals);
+
+    let mut cells = Vec::new();
+    for policy in &policies {
+        for &k in &cfg.gpu_sweep {
+            let sim_cfg = SimConfig {
+                gpus: k,
+                window: cfg.window,
+            };
+            let outcome = simulate(policy.as_ref(), &ctx, &sim_cfg, &jobs)?;
+            let snapshot = outcome.latency.snapshot();
+            cells.push(PolicyCell {
+                policy: policy.name(),
+                gpus: k,
+                completed: outcome.completed,
+                shed: outcome.shed,
+                shed_rate: outcome.shed_rate(),
+                p50_ms: snapshot.quantile(0.50) as f64 / 1e3,
+                p99_ms: snapshot.quantile(0.99) as f64 / 1e3,
+                mean_ms: snapshot.mean() / 1e3,
+                makespan_s: outcome.makespan_s,
+                packing_efficiency: outcome.packing_efficiency(),
+                utilization: outcome.utilization(k),
+                corun_sets: outcome.corun_sets,
+            });
+        }
+    }
+
+    let gaps = match &cfg.gap {
+        Some(gap_cfg) => {
+            // The gap table always covers the two production policies
+            // plus the exhaustive comparator, whatever the sweep ran.
+            let ffd = FfdPolicy;
+            let solo = SoloFallbackPolicy;
+            let optimal = Exhaustive::default();
+            let contenders: [&dyn Policy; 3] = [&ffd, &solo, &optimal];
+            optimality_gaps(&ctx, &contenders, gap_cfg)?
+        }
+        None => Vec::new(),
+    };
+
+    Ok(FleetReport {
+        smoke: cfg.smoke,
+        arrivals_cfg: cfg.arrivals,
+        budget_s: cfg.budget_s,
+        window: cfg.window,
+        gpu_sweep: cfg.gpu_sweep.clone(),
+        arrivals: jobs.len() as u64,
+        cells,
+        gap_cfg: cfg.gap,
+        gaps,
+    })
+}
+
+/// [`run_with`], but bootstraps the default registry first (trains the
+/// pair and n-bag models — the slow part).
+pub fn run(cfg: &FleetConfig) -> Result<FleetReport, ServeError> {
+    let platforms = Platforms::paper();
+    let registry = bootstrap::default_registry(&platforms);
+    let model = registry
+        .get(bootstrap::NBAG_MODEL)
+        .expect("default registry always holds the n-bag model");
+    let cache = FeatureCache::new();
+    run_with(&model, &cache, &platforms, cfg)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures: model training dominates every fleet test, so
+    //! the registry is trained once per test binary.
+
+    use bagpred_core::Platforms;
+    use bagpred_serve::bootstrap;
+    use bagpred_serve::cache::FeatureCache;
+    use bagpred_serve::snapshot::{ModelRegistry, ServableModel};
+    use std::sync::{Arc, OnceLock};
+
+    pub fn registry() -> Arc<ModelRegistry> {
+        static REGISTRY: OnceLock<Arc<ModelRegistry>> = OnceLock::new();
+        Arc::clone(REGISTRY.get_or_init(|| bootstrap::default_registry(&Platforms::paper())))
+    }
+
+    pub fn nbag_model() -> Arc<ServableModel> {
+        registry().get(bootstrap::NBAG_MODEL).expect("bootstrapped")
+    }
+
+    pub fn shared_cache() -> &'static FeatureCache {
+        static CACHE: OnceLock<FeatureCache> = OnceLock::new();
+        CACHE.get_or_init(FeatureCache::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use bagpred_workloads::{Benchmark, Workload};
+
+    fn ctx<'a>(
+        model: &'a ServableModel,
+        cache: &'a FeatureCache,
+        platforms: &'a Platforms,
+        budget_s: f64,
+    ) -> PolicyCtx<'a> {
+        PolicyCtx {
+            model,
+            cache,
+            platforms,
+            budget_s,
+        }
+    }
+
+    #[test]
+    fn run_with_produces_cells_for_every_policy_and_k() {
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let cfg = FleetConfig {
+            arrivals: ArrivalConfig {
+                duration_s: 5.0,
+                ..ArrivalConfig::default()
+            },
+            gpu_sweep: vec![1, 2],
+            gap: None,
+            ..FleetConfig::default()
+        };
+        let report = run_with(&model, cache, &platforms, &cfg).expect("runs");
+        assert_eq!(report.cells.len(), 4, "2 policies × 2 fleet sizes");
+        assert!(report.arrivals > 0);
+        for cell in &report.cells {
+            assert_eq!(
+                cell.completed + cell.shed,
+                report.arrivals,
+                "{}_k{}: every arrival completes or sheds",
+                cell.policy,
+                cell.gpus
+            );
+        }
+    }
+
+    #[test]
+    fn more_gpus_never_hurt_throughput() {
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let cfg = FleetConfig {
+            arrivals: ArrivalConfig {
+                duration_s: 5.0,
+                ..ArrivalConfig::default()
+            },
+            gpu_sweep: vec![1, 4],
+            policies: vec!["ffd".into()],
+            gap: None,
+            ..FleetConfig::default()
+        };
+        let report = run_with(&model, cache, &platforms, &cfg).expect("runs");
+        let k1 = &report.cells[0];
+        let k4 = &report.cells[1];
+        assert!(
+            k4.completed >= k1.completed,
+            "k=4 completed {} < k=1 completed {}",
+            k4.completed,
+            k1.completed
+        );
+        assert!(k4.shed <= k1.shed);
+    }
+
+    #[test]
+    fn unknown_policy_is_a_bad_request() {
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let cfg = FleetConfig {
+            policies: vec!["magic".into()],
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            run_with(&model, cache, &platforms, &cfg),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn exhaustive_policy_clears_tiny_static_instances() {
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let workloads = [
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 20),
+            Workload::new(Benchmark::Fast, 20),
+            Workload::new(Benchmark::Svm, 20),
+        ];
+        let max_solo = workloads
+            .iter()
+            .map(|&w| cache.app_features(w, &platforms).gpu_time_s)
+            .fold(0.0f64, f64::max);
+        let c = ctx(&model, cache, &platforms, 2.0 * max_solo);
+        let jobs: Vec<Job> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, &workload)| Job {
+                id: i as u64,
+                arrival_us: 0,
+                deadline_us: u64::MAX,
+                workload,
+            })
+            .collect();
+        let sim_cfg = SimConfig { gpus: 2, window: 4 };
+        let outcome = simulate(&Exhaustive::default(), &c, &sim_cfg, &jobs).expect("runs");
+        assert_eq!(outcome.completed, 4);
+        assert_eq!(outcome.shed, 0);
+        assert!(
+            outcome.makespan_s >= max_solo,
+            "makespan {} cannot beat the longest solo {}",
+            outcome.makespan_s,
+            max_solo
+        );
+        // Work-minimizing search never admits a co-run that loses to
+        // serializing its members, so occupancy is bounded by Σ solos.
+        assert!(outcome.busy_gpu_s <= outcome.solo_completed_s * (1.0 + 1e-9));
+    }
+}

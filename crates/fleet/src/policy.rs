@@ -1,0 +1,312 @@
+//! Pluggable scheduling policies for the fleet simulator.
+//!
+//! A [`Policy`] answers one question per scheduling round: given `m` idle
+//! GPUs and a FIFO window of queued workloads, which co-run sets go where?
+//! Answers reuse the serving layer's [`Placement`] shape, so the two
+//! production policies are thin delegations to `serve::admission::place`,
+//! and the [`Exhaustive`] comparator brute-forces the same decision for
+//! small windows to expose how much the greedy heuristics leave on the
+//! table.
+
+use bagpred_core::nbag::MAX_BAG;
+use bagpred_core::Platforms;
+use bagpred_serve::admission::{place, predict_corun, AdmissionPolicy};
+use bagpred_serve::cache::FeatureCache;
+use bagpred_serve::error::ServeError;
+use bagpred_serve::snapshot::ServableModel;
+use bagpred_serve::Placement;
+use bagpred_workloads::Workload;
+
+/// Everything a policy needs to price a candidate co-run.
+pub struct PolicyCtx<'a> {
+    /// The servable predictor (pair or n-bag).
+    pub model: &'a ServableModel,
+    /// Shared feature/profile/measurement cache.
+    pub cache: &'a FeatureCache,
+    /// Simulated CPU + GPU platforms.
+    pub platforms: &'a Platforms,
+    /// Per-GPU predicted-latency budget, seconds.
+    pub budget_s: f64,
+}
+
+impl PolicyCtx<'_> {
+    /// Predicted time of one co-run set under this context's model.
+    pub fn predict(&self, apps: &[Workload]) -> Result<f64, ServeError> {
+        predict_corun(self.model, self.cache, self.platforms, apps)
+    }
+
+    /// Bag capacity of the context's model (2 for pair, [`MAX_BAG`] for
+    /// n-bag).
+    pub fn capacity(&self) -> usize {
+        match self.model {
+            ServableModel::Pair(_) => 2,
+            ServableModel::NBag(_) => MAX_BAG,
+        }
+    }
+}
+
+/// One scheduling decision per round of the simulator.
+pub trait Policy {
+    /// Stable lowercase name used in reports and CLI flags.
+    fn name(&self) -> &'static str;
+
+    /// Assigns workloads from `window` onto `gpus` idle GPUs.
+    ///
+    /// Returned assignments must respect the model's bag capacity and
+    /// `ctx.budget_s`; workloads in `rejected` stay queued (the simulator
+    /// retries them next round — rejection is *waiting*, not loss).
+    fn place(
+        &self,
+        ctx: &PolicyCtx,
+        gpus: usize,
+        window: &[Workload],
+    ) -> Result<Placement, ServeError>;
+}
+
+/// Today's production policy: first-fit-decreasing under the budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FfdPolicy;
+
+impl Policy for FfdPolicy {
+    fn name(&self) -> &'static str {
+        "ffd"
+    }
+
+    fn place(
+        &self,
+        ctx: &PolicyCtx,
+        gpus: usize,
+        window: &[Workload],
+    ) -> Result<Placement, ServeError> {
+        place(
+            ctx.model,
+            ctx.cache,
+            ctx.platforms,
+            gpus,
+            ctx.budget_s,
+            window,
+            AdmissionPolicy::Ffd,
+        )
+    }
+}
+
+/// FFD that refuses co-runs predicted slower than serialization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoloFallbackPolicy;
+
+impl Policy for SoloFallbackPolicy {
+    fn name(&self) -> &'static str {
+        "solo"
+    }
+
+    fn place(
+        &self,
+        ctx: &PolicyCtx,
+        gpus: usize,
+        window: &[Workload],
+    ) -> Result<Placement, ServeError> {
+        place(
+            ctx.model,
+            ctx.cache,
+            ctx.platforms,
+            gpus,
+            ctx.budget_s,
+            window,
+            AdmissionPolicy::SoloFallback,
+        )
+    }
+}
+
+/// Brute-force comparator: enumerates every assignment of the window
+/// (capped at [`Exhaustive::max_window`] jobs) onto the idle GPUs —
+/// including leaving jobs queued — and keeps the assignment minimizing
+/// the classic clear-time lower bound `max(longest block, total work /
+/// m)`, where total work is Σ predicted block times plus Σ solo times of
+/// jobs left queued (they run eventually either way). Ties prefer less
+/// total work, then more jobs placed, then the *larger* round makespan —
+/// the longest-processing-time rule: drain the heavy jobs first and the
+/// tail stays short. A co-run is only ever chosen when it beats
+/// serializing its members. Exponential in the window, so only sane for
+/// small instances; it is the optimality yardstick, not a production
+/// policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Exhaustive {
+    /// Largest window the search will consider (tail stays queued).
+    pub max_window: usize,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Self { max_window: 6 }
+    }
+}
+
+/// Sentinel for "left in the queue" in the search's assignment vector.
+const UNPLACED: usize = usize::MAX;
+
+struct Search<'a, 'b> {
+    ctx: &'a PolicyCtx<'b>,
+    capacity: usize,
+    gpus: usize,
+    jobs: &'a [Workload],
+    assign: Vec<usize>,
+    counts: Vec<usize>,
+    best: Option<Best>,
+}
+
+struct Best {
+    score_s: f64,
+    work_s: f64,
+    placed: usize,
+    makespan_s: f64,
+    assign: Vec<usize>,
+}
+
+impl Search<'_, '_> {
+    fn go(&mut self, idx: usize, used: usize) -> Result<(), ServeError> {
+        if idx == self.jobs.len() {
+            return self.evaluate();
+        }
+        // GPUs are identical, so only the first empty one is worth
+        // opening — classic symmetry break.
+        let limit = (used + 1).min(self.gpus);
+        for g in 0..limit {
+            if self.counts[g] >= self.capacity {
+                continue;
+            }
+            self.assign[idx] = g;
+            self.counts[g] += 1;
+            self.go(idx + 1, used.max(g + 1))?;
+            self.counts[g] -= 1;
+        }
+        self.assign[idx] = UNPLACED;
+        self.go(idx + 1, used)
+    }
+
+    fn evaluate(&mut self) -> Result<(), ServeError> {
+        let mut sets: Vec<Vec<Workload>> = vec![Vec::new(); self.gpus];
+        for (i, &g) in self.assign.iter().enumerate() {
+            if g != UNPLACED {
+                sets[g].push(self.jobs[i]);
+            }
+        }
+        let mut placed = 0usize;
+        let mut makespan_s = 0.0f64;
+        let mut work_s = 0.0f64;
+        for set in sets.iter().filter(|s| !s.is_empty()) {
+            let predicted = self.ctx.predict(set)?;
+            if predicted > self.ctx.budget_s {
+                return Ok(()); // infeasible leaf
+            }
+            placed += set.len();
+            makespan_s = makespan_s.max(predicted);
+            work_s += predicted;
+        }
+        // Unplaced jobs will run eventually; charge them at solo cost,
+        // and no schedule clears the window before the longest of them.
+        let mut tail_s = 0.0f64;
+        for (i, &g) in self.assign.iter().enumerate() {
+            if g == UNPLACED {
+                let solo = self.ctx.predict(&self.jobs[i..=i])?;
+                work_s += solo;
+                tail_s = tail_s.max(solo);
+            }
+        }
+        // Clear-time lower bound for this round's choice: no schedule of
+        // this work on m GPUs finishes before the longest block, the
+        // longest deferred job, or the perfectly balanced share.
+        let score_s = makespan_s.max(tail_s).max(work_s / self.gpus as f64);
+        let better = match &self.best {
+            None => true,
+            Some(b) => {
+                score_s < b.score_s
+                    || (score_s == b.score_s
+                        && (work_s < b.work_s
+                            || (work_s == b.work_s
+                                && (placed > b.placed
+                                    || (placed == b.placed && makespan_s > b.makespan_s)))))
+            }
+        };
+        if better {
+            self.best = Some(Best {
+                score_s,
+                work_s,
+                placed,
+                makespan_s,
+                assign: self.assign.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Policy for Exhaustive {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn place(
+        &self,
+        ctx: &PolicyCtx,
+        gpus: usize,
+        window: &[Workload],
+    ) -> Result<Placement, ServeError> {
+        if gpus == 0 {
+            return Err(ServeError::BadRequest(
+                "need at least one GPU (k>=1)".into(),
+            ));
+        }
+        let take = window.len().min(self.max_window);
+        let (head, tail) = window.split_at(take);
+        let mut search = Search {
+            ctx,
+            capacity: ctx.capacity(),
+            gpus,
+            jobs: head,
+            assign: vec![UNPLACED; head.len()],
+            counts: vec![0; gpus],
+            best: None,
+        };
+        search.go(0, 0)?;
+        // The all-unplaced leaf is always feasible, so a best exists.
+        let best = search.best.expect("search visits the empty assignment");
+
+        let mut assignments: Vec<bagpred_serve::GpuAssignment> = (0..gpus)
+            .map(|_| bagpred_serve::GpuAssignment {
+                apps: Vec::new(),
+                predicted_s: 0.0,
+            })
+            .collect();
+        let mut rejected = Vec::new();
+        for (i, &g) in best.assign.iter().enumerate() {
+            if g == UNPLACED {
+                rejected.push(head[i]);
+            } else {
+                assignments[g].apps.push(head[i]);
+            }
+        }
+        for assignment in assignments.iter_mut().filter(|a| !a.apps.is_empty()) {
+            assignment.predicted_s = ctx.predict(&assignment.apps)?;
+        }
+        rejected.extend_from_slice(tail);
+        Ok(Placement {
+            gpus: assignments,
+            rejected,
+        })
+    }
+}
+
+/// Looks a policy up by its stable name (`ffd`, `solo`, `optimal`).
+pub fn by_name(name: &str) -> Option<Box<dyn Policy>> {
+    match name {
+        "ffd" => Some(Box::new(FfdPolicy)),
+        "solo" => Some(Box::new(SoloFallbackPolicy)),
+        "optimal" => Some(Box::new(Exhaustive::default())),
+        _ => None,
+    }
+}
+
+/// The production policies every report sweeps.
+pub fn standard() -> Vec<Box<dyn Policy>> {
+    vec![Box::new(FfdPolicy), Box::new(SoloFallbackPolicy)]
+}

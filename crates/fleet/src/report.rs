@@ -1,0 +1,231 @@
+//! Capacity-planning report: JSON (`bagpred-fleet-v1`) and a
+//! human-readable rendering.
+//!
+//! The JSON is hand-formatted with fixed key order and fixed decimal
+//! widths — the offline build has no JSON dependency, and the fleet
+//! determinism test compares reports *byte for byte*.
+
+use crate::arrivals::ArrivalConfig;
+use crate::gap::{GapConfig, GapRow};
+
+/// Schema tag embedded in (and required of) every fleet report.
+pub const SCHEMA: &str = "bagpred-fleet-v1";
+
+/// One (policy, fleet size) cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCell {
+    /// Policy name (`ffd`, `solo`, …).
+    pub policy: &'static str,
+    /// Fleet size k for this cell.
+    pub gpus: usize,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs lost to deadlines or unschedulability.
+    pub shed: u64,
+    /// `shed / arrivals`.
+    pub shed_rate: f64,
+    /// Median completion latency (queue wait + predicted run), ms.
+    pub p50_ms: f64,
+    /// Tail completion latency, ms.
+    pub p99_ms: f64,
+    /// Mean completion latency, ms.
+    pub mean_ms: f64,
+    /// Virtual time of the last completion, seconds.
+    pub makespan_s: f64,
+    /// Delivered solo-work per GPU-second of occupancy.
+    pub packing_efficiency: f64,
+    /// Busy GPU-seconds over k × makespan.
+    pub utilization: f64,
+    /// Dispatched sets with ≥ 2 members.
+    pub corun_sets: u64,
+}
+
+/// The full capacity-planning report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// True when produced with `--smoke` (short trace, tiny sweep).
+    pub smoke: bool,
+    /// The arrival process that was replayed.
+    pub arrivals_cfg: ArrivalConfig,
+    /// Per-GPU predicted-latency budget, seconds.
+    pub budget_s: f64,
+    /// Scheduling window the policies saw.
+    pub window: usize,
+    /// Fleet sizes swept.
+    pub gpu_sweep: Vec<usize>,
+    /// Jobs in the generated trace.
+    pub arrivals: u64,
+    /// One cell per (policy, k).
+    pub cells: Vec<PolicyCell>,
+    /// Shape of the gap study (`None` when skipped).
+    pub gap_cfg: Option<GapConfig>,
+    /// Per-policy optimality gaps (empty when skipped).
+    pub gaps: Vec<GapRow>,
+}
+
+impl FleetReport {
+    /// Hand-formatted JSON with a fixed key order; byte-stable for a
+    /// fixed config and seed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str(&format!("  \"seed\": {},\n", self.arrivals_cfg.seed));
+        out.push_str(&format!(
+            "  \"duration_s\": {:.3},\n",
+            self.arrivals_cfg.duration_s
+        ));
+        out.push_str(&format!(
+            "  \"base_rate_per_s\": {:.3},\n",
+            self.arrivals_cfg.base_rate_per_s
+        ));
+        out.push_str(&format!(
+            "  \"diurnal_amplitude\": {:.3},\n",
+            self.arrivals_cfg.diurnal_amplitude
+        ));
+        out.push_str(&format!(
+            "  \"day_period_s\": {:.3},\n",
+            self.arrivals_cfg.day_period_s
+        ));
+        out.push_str(&format!(
+            "  \"patience_s\": {:.3},\n",
+            self.arrivals_cfg.patience_s
+        ));
+        out.push_str(&format!("  \"budget_s\": {:.6},\n", self.budget_s));
+        out.push_str(&format!("  \"window\": {},\n", self.window));
+        let sweep: Vec<String> = self.gpu_sweep.iter().map(|k| k.to_string()).collect();
+        out.push_str(&format!("  \"gpu_sweep\": [{}],\n", sweep.join(", ")));
+        out.push_str(&format!("  \"arrivals\": {},\n", self.arrivals));
+        for cell in &self.cells {
+            let tag = format!("{}_k{}", cell.policy, cell.gpus);
+            out.push_str(&format!("  \"{tag}_completed\": {},\n", cell.completed));
+            out.push_str(&format!("  \"{tag}_shed\": {},\n", cell.shed));
+            out.push_str(&format!("  \"{tag}_shed_rate\": {:.6},\n", cell.shed_rate));
+            out.push_str(&format!("  \"{tag}_p50_ms\": {:.3},\n", cell.p50_ms));
+            out.push_str(&format!("  \"{tag}_p99_ms\": {:.3},\n", cell.p99_ms));
+            out.push_str(&format!("  \"{tag}_mean_ms\": {:.3},\n", cell.mean_ms));
+            out.push_str(&format!(
+                "  \"{tag}_makespan_s\": {:.6},\n",
+                cell.makespan_s
+            ));
+            out.push_str(&format!(
+                "  \"{tag}_packing_efficiency\": {:.6},\n",
+                cell.packing_efficiency
+            ));
+            out.push_str(&format!(
+                "  \"{tag}_utilization\": {:.6},\n",
+                cell.utilization
+            ));
+            out.push_str(&format!("  \"{tag}_corun_sets\": {},\n", cell.corun_sets));
+        }
+        match &self.gap_cfg {
+            Some(cfg) => {
+                out.push_str(&format!("  \"gap_instances\": {},\n", cfg.instances));
+                out.push_str(&format!("  \"gap_jobs\": {},\n", cfg.jobs));
+                out.push_str(&format!("  \"gap_gpus\": {},\n", cfg.gpus));
+                out.push_str(&format!(
+                    "  \"gap_budget_slack\": {:.3},\n",
+                    cfg.budget_slack
+                ));
+            }
+            None => out.push_str("  \"gap_instances\": 0,\n"),
+        }
+        for (i, row) in self.gaps.iter().enumerate() {
+            let sep = if i + 1 == self.gaps.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  \"{p}_gap_mean_percent\": {:.3},\n  \"{p}_gap_max_percent\": {:.3}{sep}\n",
+                row.mean_percent,
+                row.max_percent,
+                p = row.policy,
+            ));
+        }
+        if self.gaps.is_empty() {
+            // Close the object after the trailing comma of the last
+            // non-gap key.
+            let trimmed = out.trim_end_matches(['\n', ',']).to_string();
+            out = trimmed;
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable summary tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet simulation: {} arrivals over {:.0}s (rate {:.1}/s, amplitude {:.1}, \
+             patience {:.1}s, budget {:.3}s, seed {})\n\n",
+            self.arrivals,
+            self.arrivals_cfg.duration_s,
+            self.arrivals_cfg.base_rate_per_s,
+            self.arrivals_cfg.diurnal_amplitude,
+            self.arrivals_cfg.patience_s,
+            self.budget_s,
+            self.arrivals_cfg.seed,
+        ));
+        out.push_str(&format!(
+            "{:<8} {:>3} {:>9} {:>6} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7}\n",
+            "policy",
+            "k",
+            "completed",
+            "shed",
+            "shed_rate",
+            "p50_ms",
+            "p99_ms",
+            "makespan_s",
+            "packing",
+            "util",
+            "coruns",
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<8} {:>3} {:>9} {:>6} {:>9.4} {:>9.2} {:>9.2} {:>10.3} {:>8.3} {:>7.3} {:>7}\n",
+                c.policy,
+                c.gpus,
+                c.completed,
+                c.shed,
+                c.shed_rate,
+                c.p50_ms,
+                c.p99_ms,
+                c.makespan_s,
+                c.packing_efficiency,
+                c.utilization,
+                c.corun_sets,
+            ));
+        }
+        if let Some(cfg) = &self.gap_cfg {
+            out.push_str(&format!(
+                "\noptimality gap vs exhaustive optimum ({} instances of {} jobs on {} GPUs, \
+                 slack {:.2}):\n",
+                cfg.instances, cfg.jobs, cfg.gpus, cfg.budget_slack
+            ));
+            out.push_str(&format!(
+                "{:<8} {:>10} {:>10}\n",
+                "policy", "mean gap %", "max gap %"
+            ));
+            for row in &self.gaps {
+                out.push_str(&format!(
+                    "{:<8} {:>10.2} {:>10.2}\n",
+                    row.policy, row.mean_percent, row.max_percent
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Extracts a numeric value from a hand-formatted report.
+///
+/// Same contract as the bench harness's extractor: the key must be
+/// present with a numeric value.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    value.parse().ok()
+}

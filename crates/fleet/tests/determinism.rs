@@ -1,0 +1,91 @@
+//! Same seed + config ⇒ byte-identical report.
+//!
+//! This is the contract `repro fleet --json` advertises and the one the
+//! capacity-planning trajectory in `BENCH_fleet.json` depends on: any
+//! accidental HashMap iteration, wall-clock read, or float
+//! non-determinism in the simulator shows up here as a byte diff.
+
+use bagpred_core::Platforms;
+use bagpred_fleet::{ArrivalConfig, FleetConfig, GapConfig};
+use bagpred_serve::bootstrap;
+use bagpred_serve::cache::FeatureCache;
+use bagpred_serve::snapshot::ServableModel;
+use std::sync::{Arc, OnceLock};
+
+/// Training dominates this binary; do it once for both tests.
+fn nbag_model() -> Arc<ServableModel> {
+    static MODEL: OnceLock<Arc<ServableModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        bootstrap::default_registry(&Platforms::paper())
+            .get(bootstrap::NBAG_MODEL)
+            .expect("bootstrapped")
+    }))
+}
+
+fn smoke_config(seed: u64) -> FleetConfig {
+    FleetConfig {
+        arrivals: ArrivalConfig {
+            duration_s: 5.0,
+            seed,
+            ..ArrivalConfig::default()
+        },
+        gpu_sweep: vec![1, 2],
+        gap: Some(GapConfig {
+            instances: 2,
+            jobs: 4,
+            ..GapConfig::default()
+        }),
+        smoke: true,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_same_bytes() {
+    let platforms = Platforms::paper();
+    let model = nbag_model();
+    let cfg = smoke_config(42);
+
+    // Fresh cache per run: the report must not depend on cache warmth.
+    let first = bagpred_fleet::run_with(&model, &FeatureCache::new(), &platforms, &cfg)
+        .expect("first run")
+        .to_json();
+    let second = bagpred_fleet::run_with(&model, &FeatureCache::new(), &platforms, &cfg)
+        .expect("second run")
+        .to_json();
+    assert_eq!(first, second, "same seed + config must be byte-identical");
+
+    assert!(first.contains("\"schema\": \"bagpred-fleet-v1\""));
+    for key in [
+        "\"arrivals\":",
+        "\"ffd_k1_shed_rate\":",
+        "\"ffd_k2_p50_ms\":",
+        "\"ffd_k2_p99_ms\":",
+        "\"solo_k2_packing_efficiency\":",
+        "\"gap_instances\":",
+        "\"ffd_gap_max_percent\":",
+        "\"solo_gap_mean_percent\":",
+        "\"optimal_gap_mean_percent\":",
+    ] {
+        assert!(first.contains(key), "report is missing {key}:\n{first}");
+    }
+}
+
+#[test]
+fn different_seed_different_bytes() {
+    let platforms = Platforms::paper();
+    let model = nbag_model();
+
+    let a = bagpred_fleet::run_with(&model, &FeatureCache::new(), &platforms, &smoke_config(42))
+        .expect("seed 42")
+        .to_json();
+    let b = bagpred_fleet::run_with(
+        &model,
+        &FeatureCache::new(),
+        &platforms,
+        &smoke_config(1042),
+    )
+    .expect("seed 1042")
+    .to_json();
+    assert_ne!(a, b, "different seeds must produce different traces");
+}

@@ -47,8 +47,44 @@ impl Placement {
     }
 }
 
+/// How the admission controller decides whether an app may join a co-run.
+///
+/// Both policies share the same first-fit-decreasing skeleton; they differ
+/// only in which candidate co-runs are acceptable:
+///
+/// * [`Ffd`](AdmissionPolicy::Ffd) — today's default: any candidate whose
+///   predicted time fits the budget.
+/// * [`SoloFallback`](AdmissionPolicy::SoloFallback) — promoted from the
+///   `edge_scheduler` example: additionally require that the co-run is
+///   predicted *faster than serializing its members* (predicted bag time
+///   < Σ solo times). With MPS's destructive interference this frequently
+///   refuses pairings that FFD would happily admit; rejected apps are
+///   returned to the caller, who may queue them for a solo slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// First-fit-decreasing under the latency budget only.
+    #[default]
+    Ffd,
+    /// FFD, but co-run only when predicted faster than serialization.
+    SoloFallback,
+}
+
+impl AdmissionPolicy {
+    /// Stable lowercase name, used by CLIs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Ffd => "ffd",
+            AdmissionPolicy::SoloFallback => "solo",
+        }
+    }
+}
+
 /// Predicted GPU time for a candidate co-run set (1..=capacity apps).
-fn predict_set(
+///
+/// Public so schedulers built on top of admission (the fleet simulator,
+/// the `edge_scheduler` example) can price candidate co-runs without
+/// duplicating the pair/n-bag model dispatch.
+pub fn predict_corun(
     model: &ServableModel,
     cache: &FeatureCache,
     platforms: &Platforms,
@@ -89,6 +125,38 @@ pub fn admit(
     budget_s: f64,
     apps: &[Workload],
 ) -> Result<Placement, ServeError> {
+    place(
+        model,
+        cache,
+        platforms,
+        gpus,
+        budget_s,
+        apps,
+        AdmissionPolicy::Ffd,
+    )
+}
+
+/// [`admit`] generalized over an [`AdmissionPolicy`].
+///
+/// Apps are placed in first-fit-decreasing order (longest predicted solo
+/// GPU time first, canonical workload order as tie-break) onto the GPU
+/// that minimizes the resulting predicted bag time among the candidates
+/// the policy accepts. Placement is fully deterministic for a fixed
+/// input.
+///
+/// # Errors
+///
+/// Same contract as [`admit`].
+#[allow(clippy::too_many_arguments)]
+pub fn place(
+    model: &ServableModel,
+    cache: &FeatureCache,
+    platforms: &Platforms,
+    gpus: usize,
+    budget_s: f64,
+    apps: &[Workload],
+    policy: AdmissionPolicy,
+) -> Result<Placement, ServeError> {
     if gpus == 0 {
         return Err(ServeError::BadRequest(
             "need at least one GPU (k>=1)".into(),
@@ -125,9 +193,12 @@ pub fn admit(
             predicted_s: 0.0,
         })
         .collect();
+    // Per-GPU sum of members' solo times, maintained for SoloFallback's
+    // "is co-running faster than serializing?" test.
+    let mut solo_sums = vec![0.0f64; gpus];
     let mut rejected = Vec::new();
 
-    for (workload, _solo) in ordered {
+    for (workload, solo) in ordered {
         let mut best: Option<(usize, f64)> = None;
         for (idx, gpu) in assignments.iter().enumerate() {
             if gpu.apps.len() >= capacity {
@@ -135,8 +206,19 @@ pub fn admit(
             }
             let mut candidate = gpu.apps.clone();
             candidate.push(workload);
-            let predicted = predict_set(model, cache, platforms, &candidate)?;
-            if predicted <= budget_s && best.is_none_or(|(_, t)| predicted < t) {
+            let predicted = predict_corun(model, cache, platforms, &candidate)?;
+            if predicted > budget_s {
+                continue;
+            }
+            let acceptable = match policy {
+                AdmissionPolicy::Ffd => true,
+                // Joining an empty GPU is solo execution — always fine.
+                // Joining an occupied one must beat back-to-back runs.
+                AdmissionPolicy::SoloFallback => {
+                    gpu.apps.is_empty() || predicted < solo_sums[idx] + solo
+                }
+            };
+            if acceptable && best.is_none_or(|(_, t)| predicted < t) {
                 best = Some((idx, predicted));
             }
         }
@@ -144,6 +226,7 @@ pub fn admit(
             Some((idx, predicted)) => {
                 assignments[idx].apps.push(workload);
                 assignments[idx].predicted_s = predicted;
+                solo_sums[idx] += solo;
             }
             None => rejected.push(workload),
         }
@@ -249,6 +332,90 @@ mod tests {
     }
 
     #[test]
+    fn admit_is_place_with_ffd_policy() {
+        let registry = testutil::registry();
+        let model = registry.get(NBAG_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        let via_admit = admit(&model, &cache, &platforms, 3, 0.5, &apps4()).expect("runs");
+        let via_place = place(
+            &model,
+            &cache,
+            &platforms,
+            3,
+            0.5,
+            &apps4(),
+            AdmissionPolicy::Ffd,
+        )
+        .expect("runs");
+        assert_eq!(via_admit, via_place);
+    }
+
+    #[test]
+    fn solo_fallback_corun_beats_serialization_on_every_gpu() {
+        let registry = testutil::registry();
+        let model = registry.get(NBAG_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        let placement = place(
+            &model,
+            &cache,
+            &platforms,
+            2,
+            1e9,
+            &apps4(),
+            AdmissionPolicy::SoloFallback,
+        )
+        .expect("runs");
+        assert_eq!(placement.admitted() + placement.rejected.len(), 4);
+        for gpu in &placement.gpus {
+            if gpu.apps.len() >= 2 {
+                let serialize: f64 = gpu
+                    .apps
+                    .iter()
+                    .map(|&w| cache.app_features(w, &platforms).gpu_time_s)
+                    .sum();
+                assert!(
+                    gpu.predicted_s < serialize,
+                    "co-run {:?} predicted {} not faster than serialization {}",
+                    gpu.apps,
+                    gpu.predicted_s,
+                    serialize
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solo_fallback_with_enough_gpus_prefers_solo_slots() {
+        let registry = testutil::registry();
+        let model = registry.get(NBAG_MODEL).expect("registered");
+        let cache = FeatureCache::new();
+        let platforms = Platforms::paper();
+        // One GPU per app: solo slots are always available, so nothing is
+        // ever rejected even if every co-run is destructive.
+        let placement = place(
+            &model,
+            &cache,
+            &platforms,
+            4,
+            1e9,
+            &apps4(),
+            AdmissionPolicy::SoloFallback,
+        )
+        .expect("runs");
+        assert_eq!(placement.admitted(), 4);
+        assert!(placement.rejected.is_empty());
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(AdmissionPolicy::Ffd.name(), "ffd");
+        assert_eq!(AdmissionPolicy::SoloFallback.name(), "solo");
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Ffd);
+    }
+
+    #[test]
     fn budget_is_respected_by_every_assignment() {
         let registry = testutil::registry();
         let model = registry.get(PAIR_MODEL).expect("registered");
@@ -266,5 +433,91 @@ mod tests {
             );
         }
         assert_eq!(placement.admitted() + placement.rejected.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::bootstrap::NBAG_MODEL;
+    use crate::testutil;
+    use bagpred_workloads::Benchmark;
+    use proptest::prelude::*;
+
+    /// The draw pool: a spread of benchmarks and batch sizes.
+    fn pool() -> Vec<Workload> {
+        vec![
+            Workload::new(Benchmark::Sift, 20),
+            Workload::new(Benchmark::Knn, 40),
+            Workload::new(Benchmark::Orb, 10),
+            Workload::new(Benchmark::Hog, 20),
+            Workload::new(Benchmark::Fast, 80),
+            Workload::new(Benchmark::Svm, 20),
+        ]
+    }
+
+    /// One feature cache shared across all generated cases so each pool
+    /// workload is profiled at most once for the whole property run.
+    fn shared_cache() -> &'static FeatureCache {
+        static CACHE: std::sync::OnceLock<FeatureCache> = std::sync::OnceLock::new();
+        CACHE.get_or_init(FeatureCache::new)
+    }
+
+    fn sort_key(w: &Workload) -> (&'static str, usize) {
+        (w.benchmark().name(), w.batch_size())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// `place` invariants for both policies: capacity and budget are
+        /// never exceeded, every input app is either admitted or rejected
+        /// (multiset conservation), and output is deterministic for a
+        /// fixed input order.
+        #[test]
+        fn place_invariants_hold(
+            picks in proptest::collection::vec(0usize..6, 1..9),
+            gpus in 1usize..4,
+            budget_tenths in 1u64..40,
+        ) {
+            let registry = testutil::registry();
+            let model = registry.get(NBAG_MODEL).expect("registered");
+            let cache = shared_cache();
+            let platforms = Platforms::paper();
+            let pool = pool();
+            let apps: Vec<Workload> = picks.iter().map(|&i| pool[i]).collect();
+            let budget_s = budget_tenths as f64 * 0.1;
+
+            for policy in [AdmissionPolicy::Ffd, AdmissionPolicy::SoloFallback] {
+                let a = place(&model, cache, &platforms, gpus, budget_s, &apps, policy)
+                    .expect("place runs");
+                let b = place(&model, cache, &platforms, gpus, budget_s, &apps, policy)
+                    .expect("place runs");
+                prop_assert_eq!(&a, &b);
+
+                prop_assert_eq!(a.gpus.len(), gpus);
+                for gpu in &a.gpus {
+                    prop_assert!(gpu.apps.len() <= MAX_BAG, "capacity exceeded");
+                    if !gpu.apps.is_empty() {
+                        prop_assert!(
+                            gpu.predicted_s <= budget_s,
+                            "budget exceeded: {} > {}", gpu.predicted_s, budget_s
+                        );
+                    }
+                }
+                prop_assert_eq!(a.admitted() + a.rejected.len(), apps.len());
+
+                let mut seen: Vec<Workload> = a
+                    .gpus
+                    .iter()
+                    .flat_map(|g| g.apps.iter().copied())
+                    .chain(a.rejected.iter().copied())
+                    .collect();
+                let mut input = apps.clone();
+                seen.sort_by(|x, y| sort_key(x).cmp(&sort_key(y)));
+                input.sort_by(|x, y| sort_key(x).cmp(&sort_key(y)));
+                prop_assert_eq!(seen, input);
+            }
+        }
     }
 }

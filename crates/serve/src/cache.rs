@@ -20,6 +20,8 @@
 
 use bagpred_core::nbag::{NBag, NBagMeasurement};
 use bagpred_core::{AppFeatures, Bag, Measurement, Platforms};
+use bagpred_cpusim::fairness;
+use bagpred_trace::KernelProfile;
 use bagpred_workloads::Workload;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -129,7 +131,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
 /// Point-in-time counters for one of the cache's three maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheMapStats {
-    /// Stable map name: `apps`, `fairness` or `nbags`.
+    /// Stable map name: `apps`, `fairness`, `nbags` or `profiles`.
     pub name: &'static str,
     /// Lookups answered from this map.
     pub hits: u64,
@@ -143,11 +145,16 @@ pub struct CacheMapStats {
 
 /// Thread-safe, LRU-bounded cache of collected features.
 ///
-/// Three maps, one per cacheable quantity:
+/// Four maps, one per cacheable quantity:
 ///
 /// * per-app features, keyed by [`Workload`] (benchmark + batch size);
 /// * pair-bag fairness, keyed by [`Bag`];
-/// * n-bag aggregate measurements, keyed by [`NBag`].
+/// * n-bag aggregate measurements, keyed by [`NBag`];
+/// * kernel profiles, keyed by [`Workload`] — profiling runs the real
+///   vision kernel, so it is the dominant cost of a *fresh* n-bag
+///   measurement; caching it means a new candidate bag over known
+///   workloads costs aggregation plus one fairness simulation, never a
+///   re-profile.
 ///
 /// Each map holds at most [`capacity`](Self::capacity) entries (0 =
 /// unbounded) and evicts least-recently-used on overflow. Hit, miss and
@@ -158,6 +165,7 @@ pub struct FeatureCache {
     apps: LruMap<Workload, Arc<AppFeatures>>,
     fairness: LruMap<Bag, f64>,
     nbags: LruMap<NBag, Arc<NBagMeasurement>>,
+    profiles: LruMap<Workload, Arc<KernelProfile>>,
     capacity: usize,
 }
 
@@ -180,6 +188,7 @@ impl FeatureCache {
             apps: LruMap::new(capacity),
             fairness: LruMap::new(capacity),
             nbags: LruMap::new(capacity),
+            profiles: LruMap::new(capacity),
             capacity,
         }
     }
@@ -221,21 +230,56 @@ impl FeatureCache {
         Measurement::from_parts(bag, apps, fairness, f64::NAN)
     }
 
+    /// The kernel profile of `workload`, computed on first use.
+    /// Profiling executes the real vision kernel, so this is the single
+    /// most expensive cacheable quantity.
+    pub fn kernel_profile(&self, workload: Workload) -> Arc<KernelProfile> {
+        if let Some(hit) = self.profiles.get(&workload) {
+            return hit;
+        }
+        let computed = Arc::new(workload.profile());
+        self.profiles.insert(workload, computed)
+    }
+
     /// A ground-truth-free [`NBagMeasurement`], computed on first use.
+    ///
+    /// A miss is assembled from the cached per-member parts
+    /// ([`NBagMeasurement::from_apps_unlabeled`]): per-app features and
+    /// kernel profiles are shared across every bag a member appears in,
+    /// so only the Eq. 2 fairness simulation and the order-statistic
+    /// aggregation run per fresh bag — bit-identical to a from-scratch
+    /// [`NBagMeasurement::collect_unlabeled`].
     pub fn nbag_measurement(&self, bag: &NBag, platforms: &Platforms) -> Arc<NBagMeasurement> {
         if let Some(hit) = self.nbags.get(bag) {
             return hit;
         }
-        let computed = Arc::new(NBagMeasurement::collect_unlabeled(bag.clone(), platforms));
+        let apps: Vec<AppFeatures> = bag
+            .members()
+            .iter()
+            .map(|&w| (*self.app_features(w, platforms)).clone())
+            .collect();
+        let profiles: Vec<KernelProfile> = bag
+            .members()
+            .iter()
+            .map(|&w| (*self.kernel_profile(w)).clone())
+            .collect();
+        let fair = fairness(platforms.cpu(), &profiles);
+        let computed = Arc::new(NBagMeasurement::from_apps_unlabeled(
+            bag.clone(),
+            &apps,
+            fair,
+        ));
         self.nbags.insert(bag.clone(), computed)
     }
 
-    /// Per-map counters, in stable order: `apps`, `fairness`, `nbags`.
-    pub fn map_stats(&self) -> [CacheMapStats; 3] {
+    /// Per-map counters, in stable order: `apps`, `fairness`, `nbags`,
+    /// `profiles`.
+    pub fn map_stats(&self) -> [CacheMapStats; 4] {
         [
             self.apps.stats("apps"),
             self.fairness.stats("fairness"),
             self.nbags.stats("nbags"),
+            self.profiles.stats("profiles"),
         ]
     }
 
@@ -353,7 +397,7 @@ mod tests {
         );
         cache.pair_measurement(bag, &platforms);
         cache.pair_measurement(bag, &platforms);
-        let [apps, fairness, nbags] = cache.map_stats();
+        let [apps, fairness, nbags, profiles] = cache.map_stats();
         assert_eq!(apps.name, "apps");
         assert_eq!((apps.hits, apps.misses, apps.entries), (2, 2, 2));
         assert_eq!(fairness.name, "fairness");
@@ -363,6 +407,12 @@ mod tests {
         );
         assert_eq!(nbags.name, "nbags");
         assert_eq!((nbags.hits, nbags.misses, nbags.entries), (0, 0, 0));
+        assert_eq!(profiles.name, "profiles");
+        assert_eq!(
+            (profiles.hits, profiles.misses, profiles.entries),
+            (0, 0, 0),
+            "the pair path never profiles"
+        );
         assert_eq!(cache.hits(), 3, "aggregate is the sum of the maps");
         assert_eq!(cache.misses(), 3);
     }
@@ -405,6 +455,29 @@ mod tests {
     }
 
     #[test]
+    fn nbag_bags_share_member_profiles_and_app_features() {
+        let platforms = Platforms::paper();
+        let cache = FeatureCache::new();
+        let sift = Workload::new(Benchmark::Sift, 20);
+        let knn = Workload::new(Benchmark::Knn, 40);
+        cache.nbag_measurement(
+            &NBag::new(vec![sift, knn, Workload::new(Benchmark::Orb, 10)]),
+            &platforms,
+        );
+        let [_, _, _, cold] = cache.map_stats();
+        assert_eq!((cold.hits, cold.misses), (0, 3), "three members profiled");
+        // A second bag sharing two members re-profiles only the new one.
+        cache.nbag_measurement(
+            &NBag::new(vec![sift, knn, Workload::new(Benchmark::Hog, 20)]),
+            &platforms,
+        );
+        let [apps, _, nbags, warm] = cache.map_stats();
+        assert_eq!((warm.hits, warm.misses), (2, 4));
+        assert_eq!((apps.hits, apps.misses), (2, 4));
+        assert_eq!(nbags.misses, 2, "each distinct bag assembled once");
+    }
+
+    #[test]
     fn unbounded_cache_never_evicts() {
         let platforms = Platforms::paper();
         let cache = FeatureCache::new();
@@ -427,7 +500,7 @@ mod tests {
         }
         assert!(cache.len() <= 3, "len {} exceeds capacity", cache.len());
         assert_eq!(cache.evictions(), 6);
-        let [apps, fairness, _] = cache.map_stats();
+        let [apps, fairness, _, _] = cache.map_stats();
         assert_eq!(apps.evictions, 6, "evictions attributed to the apps map");
         assert_eq!(fairness.evictions, 0);
     }

@@ -264,8 +264,8 @@ pub struct StatsReport {
     pub cache_entries: usize,
     /// Entries evicted to respect the cache capacity bound.
     pub cache_evictions: u64,
-    /// Per-map cache counters, in stable order: apps, fairness, nbags.
-    pub cache_maps: [CacheMapStats; 3],
+    /// Per-map cache counters, in stable order: apps, fairness, nbags, profiles.
+    pub cache_maps: [CacheMapStats; 4],
     /// Registered models.
     pub models: usize,
     /// Requests queued but not yet picked up at snapshot time.

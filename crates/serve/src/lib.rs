@@ -79,7 +79,7 @@ pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
-pub use admission::{GpuAssignment, Placement};
+pub use admission::{AdmissionPolicy, GpuAssignment, Placement};
 pub use cache::{CacheMapStats, FeatureCache};
 pub use client::{Client, ClientConfig, ClientError};
 pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};

@@ -1,101 +1,101 @@
 //! Edge-server admission control driven by the predictor.
 //!
 //! The paper's motivation: an edge/cloud GPU server receives offloaded
-//! vision jobs and must decide how to co-schedule them. This example builds
-//! a small scheduler that, for every pair of queued jobs, predicts the
-//! co-run makespan and compares it against running the jobs back-to-back —
-//! admitting the pairing only when concurrency actually pays off.
+//! vision jobs and must decide how to co-schedule them. The solo-fallback
+//! logic this example originally sketched — co-run two jobs only when the
+//! predicted co-run beats running them back-to-back — is now a first-class
+//! serving policy (`AdmissionPolicy::SoloFallback`), so the example
+//! delegates to `serve::admission::place` and contrasts both policies on
+//! the same queue.
 //!
 //! ```text
 //! cargo run --example edge_scheduler
 //! ```
 
-use bagpred::core::{Bag, Corpus, FeatureSet, Measurement, Platforms, Predictor};
+use bagpred::core::Platforms;
+use bagpred::serve::admission::{place, predict_corun, AdmissionPolicy};
+use bagpred::serve::{bootstrap, FeatureCache};
 use bagpred::workloads::{Benchmark, Workload};
 
-/// A queued inference job.
-struct Job {
-    name: &'static str,
-    workload: Workload,
-}
-
 fn main() {
-    println!("training the co-run predictor...");
+    println!("training the co-run predictors (pair + n-bag)...");
     let platforms = Platforms::paper();
-    let records = Corpus::paper().measure_on(&platforms);
-    let mut predictor = Predictor::new(FeatureSet::full());
-    predictor.train(&records);
+    let registry = bootstrap::default_registry(&platforms);
+    let model = registry.get(bootstrap::NBAG_MODEL).expect("bootstrapped");
+    let cache = FeatureCache::new();
 
     // The incoming job queue: a mix of offloaded vision pipelines.
     let queue = [
-        Job {
-            name: "feature extraction (SIFT)",
-            workload: Workload::new(Benchmark::Sift, 40),
-        },
-        Job {
-            name: "face detection",
-            workload: Workload::new(Benchmark::FaceDet, 40),
-        },
-        Job {
-            name: "classification (KNN)",
-            workload: Workload::new(Benchmark::Knn, 40),
-        },
-        Job {
-            name: "model training (SVM)",
-            workload: Workload::new(Benchmark::Svm, 40),
-        },
+        (
+            "feature extraction (SIFT)",
+            Workload::new(Benchmark::Sift, 40),
+        ),
+        ("face detection", Workload::new(Benchmark::FaceDet, 40)),
+        ("classification (KNN)", Workload::new(Benchmark::Knn, 40)),
+        ("model training (SVM)", Workload::new(Benchmark::Svm, 40)),
     ];
+    let apps: Vec<Workload> = queue.iter().map(|&(_, w)| w).collect();
+    let name_of = |w: &Workload| {
+        queue
+            .iter()
+            .find(|(_, q)| q == w)
+            .map(|&(n, _)| n)
+            .unwrap_or("?")
+    };
 
-    println!("\npairing decisions (predicted co-run vs. sequential):\n");
+    println!("\npairing economics (predicted co-run vs. sequential):\n");
     println!(
         "{:<28} {:<28} {:>10} {:>10} {:>9}",
-        "job A", "job B", "co-run", "sequential", "decision"
+        "job A", "job B", "co-run", "sequential", "verdict"
     );
-
-    let gpu = platforms.gpu();
-    let mut best: Option<(usize, usize, f64)> = None;
-    for i in 0..queue.len() {
-        for j in i + 1..queue.len() {
-            let bag = Bag::pair(queue[i].workload, queue[j].workload);
-            let measured = Measurement::collect(bag, &platforms);
-            let corun = predictor.predict(&measured);
-
-            // Sequential alternative: one after the other, each alone.
-            let solo_a = gpu.simulate(&queue[i].workload.profile()).time_s;
-            let solo_b = gpu.simulate(&queue[j].workload.profile()).time_s;
-            let sequential = solo_a + solo_b;
-
-            let admit = corun < sequential;
+    for i in 0..apps.len() {
+        for j in i + 1..apps.len() {
+            let pair = [apps[i], apps[j]];
+            let corun = predict_corun(&model, &cache, &platforms, &pair).expect("predicts");
+            let sequential: f64 = pair
+                .iter()
+                .map(|&w| cache.app_features(w, &platforms).gpu_time_s)
+                .sum();
             println!(
                 "{:<28} {:<28} {:>8.2}ms {:>8.2}ms {:>9}",
-                queue[i].name,
-                queue[j].name,
+                queue[i].0,
+                queue[j].0,
                 corun * 1e3,
                 sequential * 1e3,
-                if admit { "co-run" } else { "serialize" }
-            );
-            if admit {
-                let saving = sequential - corun;
-                if best.is_none_or(|(_, _, s)| saving > s) {
-                    best = Some((i, j, saving));
+                if corun < sequential {
+                    "co-run"
+                } else {
+                    "serialize"
                 }
-            }
+            );
         }
     }
 
-    match best {
-        Some((i, j, saving)) => println!(
-            "\nscheduler picks: co-run \"{}\" with \"{}\" (predicted saving {:.2} ms)",
-            queue[i].name,
-            queue[j].name,
-            saving * 1e3
-        ),
-        None => println!(
-            "\nscheduler picks: run everything sequentially.\n\
-             (This is the paper's own conclusion: with MPS on current GPUs, \
-             destructive interference makes two-way co-runs slower than \
-             back-to-back execution — which is exactly why predicting the \
-             loss *before* admitting a bag matters.)"
-        ),
+    // Two GPUs, generous latency budget: let the policies speak.
+    for policy in [AdmissionPolicy::Ffd, AdmissionPolicy::SoloFallback] {
+        let placement = place(&model, &cache, &platforms, 2, 10.0, &apps, policy).expect("places");
+        println!("\npolicy `{}` on 2 GPUs:", policy.name());
+        for (idx, gpu) in placement.gpus.iter().enumerate() {
+            if gpu.apps.is_empty() {
+                println!("  gpu{idx}: idle");
+            } else {
+                let names: Vec<&str> = gpu.apps.iter().map(&name_of).collect();
+                println!(
+                    "  gpu{idx}: {} (predicted {:.2} ms)",
+                    names.join(" + "),
+                    gpu.predicted_s * 1e3
+                );
+            }
+        }
+        for w in &placement.rejected {
+            println!("  queued for a later solo slot: {}", name_of(w));
+        }
     }
+
+    println!(
+        "\nThe solo-fallback policy is the paper's own conclusion: with MPS on \
+         current GPUs, destructive interference often makes co-runs slower than \
+         back-to-back execution — which is exactly why predicting the loss \
+         *before* admitting a bag matters."
+    );
 }

@@ -89,7 +89,7 @@ echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any
 # *_ns_per_record rate regresses past 2x the committed baseline.
 smoke_json="$(mktemp /tmp/bagpred_bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_json"' EXIT
+trap 'rm -f "$smoke_json" "${fleet_json:-}" "${fleet_json2:-}"' EXIT
 ./target/release/repro bench --smoke --out "$smoke_json" \
   --baseline BENCH_pipeline.json --max-regression 2.0
 for key in schema smoke threads corpus_bags batch_records \
@@ -120,5 +120,55 @@ awk -v o="$overhead" 'BEGIN { exit !(o < 5.0) }' || {
   exit 1
 }
 echo "histogram overhead on predict_batch: ${overhead}% (< 5%)"
+
+echo "== fleet smoke + determinism + FFD optimality-gap gate (bounded at 300s) =="
+# Fixed-seed capacity-planning smoke: the report must carry the full
+# contract (shed rates, tail latency, packing efficiency, gap table),
+# two runs of the same seed must be byte-identical, and first-fit-
+# decreasing must land within 15% of the exhaustive optimum on the
+# gap instances — the measured cost of ignoring co-run interference.
+fleet_json="$(mktemp /tmp/bagpred_fleet_smoke.XXXXXX.json)"
+fleet_json2="$(mktemp /tmp/bagpred_fleet_smoke.XXXXXX.json)"
+timeout 300 ./target/release/repro fleet --smoke --seed 42 --json \
+  --out "$fleet_json" > /dev/null
+for key in schema smoke seed duration_s base_rate_per_s patience_s \
+  budget_s window gpu_sweep arrivals \
+  ffd_k1_shed_rate ffd_k1_packing_efficiency ffd_k1_corun_sets \
+  ffd_k2_p50_ms ffd_k2_p99_ms ffd_k2_utilization \
+  solo_k1_shed_rate solo_k1_packing_efficiency solo_k2_p99_ms \
+  gap_instances gap_jobs gap_gpus gap_budget_slack \
+  ffd_gap_mean_percent ffd_gap_max_percent \
+  solo_gap_max_percent optimal_gap_max_percent; do
+  grep -q "\"$key\"" "$fleet_json" || {
+    echo "fleet report is missing key: $key" >&2
+    exit 1
+  }
+done
+grep -q '"schema": "bagpred-fleet-v1"' "$fleet_json" || {
+  echo "fleet report has the wrong schema tag" >&2
+  exit 1
+}
+timeout 300 ./target/release/repro fleet --smoke --seed 42 --json \
+  --out "$fleet_json2" > /dev/null
+cmp -s "$fleet_json" "$fleet_json2" || {
+  echo "fleet report is not deterministic for a fixed seed" >&2
+  exit 1
+}
+ffd_gap="$(sed -n 's/.*"ffd_gap_max_percent": \([0-9.]*\).*/\1/p' "$fleet_json")"
+awk -v g="$ffd_gap" 'BEGIN { exit !(g <= 15.0) }' || {
+  echo "FFD worst-case optimality gap is ${ffd_gap}% (gate: <= 15%)" >&2
+  exit 1
+}
+echo "FFD worst-case optimality gap: ${ffd_gap}% (<= 15%)"
+
+# The simulator's own invariants, run by name so a filter change can
+# never silently skip them: byte-identical reports for a fixed seed,
+# and the admission property test (capacity, budget, conservation,
+# determinism across both policies).
+timeout 300 cargo test -q -p bagpred-fleet --test determinism -- --exact \
+  same_seed_same_bytes \
+  different_seed_different_bytes
+timeout 300 cargo test -q -p bagpred-serve --lib -- --exact \
+  admission::prop_tests::place_invariants_hold
 
 echo "verify: OK"

@@ -23,6 +23,9 @@
 //! * [`experiments`] — regeneration of every table and figure.
 //! * [`serve`] — online serving: model snapshots, a concurrent prediction
 //!   engine with a feature cache, admission control, and a TCP front-end.
+//! * [`fleet`] — trace-driven fleet scheduling simulator: diurnal arrivals
+//!   replayed through the admission stack, pluggable policies, and
+//!   optimality-gap / capacity-planning reports.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@
 pub use bagpred_core as core;
 pub use bagpred_cpusim as cpusim;
 pub use bagpred_experiments as experiments;
+pub use bagpred_fleet as fleet;
 pub use bagpred_gpusim as gpusim;
 pub use bagpred_ml as ml;
 pub use bagpred_obs as obs;

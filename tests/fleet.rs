@@ -1,0 +1,69 @@
+//! Integration test for the fleet simulator through the facade crate:
+//! the full `run_with` sweep plus the report contract `repro fleet`
+//! exposes.
+
+use bagpred::core::Platforms;
+use bagpred::fleet::{ArrivalConfig, FleetConfig, GapConfig};
+use bagpred::serve::bootstrap;
+use bagpred::serve::cache::FeatureCache;
+
+#[test]
+fn fleet_sweep_reports_the_capacity_planning_contract() {
+    let platforms = Platforms::paper();
+    let registry = bootstrap::default_registry(&platforms);
+    let model = registry.get(bootstrap::NBAG_MODEL).expect("bootstrapped");
+    let cache = FeatureCache::new();
+
+    let cfg = FleetConfig {
+        arrivals: ArrivalConfig {
+            duration_s: 8.0,
+            ..ArrivalConfig::default()
+        },
+        gpu_sweep: vec![1, 2],
+        gap: Some(GapConfig {
+            instances: 2,
+            jobs: 4,
+            ..GapConfig::default()
+        }),
+        smoke: true,
+        ..FleetConfig::default()
+    };
+    let report = bagpred::fleet::run_with(&model, &cache, &platforms, &cfg).expect("runs");
+
+    // Cells: 2 policies × 2 fleet sizes, each accounting for every
+    // arrival and keeping its metrics in range.
+    assert_eq!(report.cells.len(), 4);
+    assert!(report.arrivals > 0);
+    for cell in &report.cells {
+        assert_eq!(cell.completed + cell.shed, report.arrivals);
+        assert!((0.0..=1.0).contains(&cell.shed_rate));
+        assert!((0.0..=1.0 + 1e-9).contains(&cell.utilization));
+        assert!(cell.p50_ms <= cell.p99_ms);
+        assert!(cell.packing_efficiency > 0.0);
+    }
+
+    // Gap table: the two production policies plus the exhaustive
+    // comparator, gaps finite and non-negative.
+    let policies: Vec<&str> = report.gaps.iter().map(|r| r.policy).collect();
+    assert_eq!(policies, vec!["ffd", "solo", "optimal"]);
+    for row in &report.gaps {
+        assert!(row.mean_percent >= 0.0 && row.mean_percent.is_finite());
+        assert!(row.max_percent >= 0.0 && row.max_percent.is_finite());
+    }
+
+    // The JSON carries the keys verify.sh greps for.
+    let json = report.to_json();
+    for key in [
+        "\"schema\": \"bagpred-fleet-v1\"",
+        "\"ffd_k1_shed_rate\":",
+        "\"ffd_k2_p99_ms\":",
+        "\"solo_k2_packing_efficiency\":",
+        "\"ffd_gap_max_percent\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert_eq!(
+        bagpred::fleet::json_number(&json, "arrivals"),
+        Some(report.arrivals as f64)
+    );
+}
