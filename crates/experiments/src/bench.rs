@@ -36,11 +36,16 @@ pub const SCHEMA: &str = "bagpred-bench-v1";
 
 /// The report keys compared against a baseline. Wall-clock stage times
 /// vary with corpus size and thread count; these per-record rates do not.
-pub const RATE_KEYS: [&str; 4] = [
+/// The two `serve_*_protocol_*` keys are the serving front-end's codec
+/// cost per request (no sockets in the loop), so they are as stable as
+/// the predict rates.
+pub const RATE_KEYS: [&str; 6] = [
     "tree_single_ns_per_record",
     "tree_batch_ns_per_record",
     "forest_single_ns_per_record",
     "forest_batch_ns_per_record",
+    "serve_text_protocol_ns_per_request",
+    "serve_binary_protocol_ns_per_request",
 ];
 
 /// Harness knobs.
@@ -100,6 +105,12 @@ pub struct BenchReport {
     /// (clamped at 0 — noise can make the instrumented loop *faster*).
     /// `scripts/verify.sh` gates this below 5%.
     pub obs_batch_overhead_percent: f64,
+    /// The serving layer's protocol and isolation measurements
+    /// ([`crate::servebench`]): binary-vs-text codec cost (gated at
+    /// 1.5x by `scripts/verify.sh`), end-to-end loopback latency, and
+    /// the fast model's p99 next to a deliberately slowed peer with and
+    /// without per-model sharding.
+    pub serve: crate::servebench::ServeBench,
 }
 
 /// One row of the per-phase breakdown: nearest-rank quantiles (see
@@ -272,6 +283,7 @@ pub fn run(options: &BenchOptions) -> BenchReport {
     });
 
     let obs_batch_overhead_percent = obs_overhead(&tree, &batch, 400);
+    let serve = crate::servebench::run(smoke);
 
     let tree_single_ns = ns_per_record(tree_single, batch_records);
     let tree_batch_ns = ns_per_record(tree_batch, batch_records);
@@ -306,6 +318,7 @@ pub fn run(options: &BenchOptions) -> BenchReport {
             StageStat::of("predict_batch", &predict_batch_hist),
         ],
         obs_batch_overhead_percent,
+        serve,
     }
 }
 
@@ -421,6 +434,37 @@ impl BenchReport {
                 stage.samples, stage.p50_us, stage.p95_us, stage.max_us,
             ));
         }
+        let serve_keys: [(&str, f64); 8] = [
+            (
+                "serve_text_protocol_ns_per_request",
+                self.serve.text_protocol_ns_per_request,
+            ),
+            (
+                "serve_binary_protocol_ns_per_request",
+                self.serve.binary_protocol_ns_per_request,
+            ),
+            ("serve_protocol_speedup", self.serve.protocol_speedup),
+            ("serve_text_ns_per_request", self.serve.text_ns_per_request),
+            (
+                "serve_binary_ns_per_request",
+                self.serve.binary_ns_per_request,
+            ),
+            (
+                "serve_isolation_baseline_p99_us",
+                self.serve.isolation_baseline_p99_us,
+            ),
+            (
+                "serve_isolation_sharded_p99_us",
+                self.serve.isolation_sharded_p99_us,
+            ),
+            (
+                "serve_isolation_unsharded_p99_us",
+                self.serve.isolation_unsharded_p99_us,
+            ),
+        ];
+        for (key, value) in serve_keys.iter() {
+            out.push_str(&format!("  \"{key}\": {value:.3},\n"));
+        }
         out.push_str(&format!(
             "  \"obs_batch_overhead_percent\": {:.3}\n",
             self.obs_batch_overhead_percent
@@ -471,6 +515,23 @@ impl BenchReport {
         out.push_str(&format!(
             "  histogram overhead on predict_batch: {:.2}%\n",
             self.obs_batch_overhead_percent
+        ));
+        out.push_str(&format!(
+            "  serve protocol    text   {:>9.1} ns/req  binary {:>8.1} ns/req  speedup {:>5.2}x\n",
+            self.serve.text_protocol_ns_per_request,
+            self.serve.binary_protocol_ns_per_request,
+            self.serve.protocol_speedup,
+        ));
+        out.push_str(&format!(
+            "  serve end-to-end  text   {:>9.1} ns/req  binary {:>8.1} ns/req (loopback TCP)\n",
+            self.serve.text_ns_per_request, self.serve.binary_ns_per_request,
+        ));
+        out.push_str(&format!(
+            "  serve isolation   fast-model p99: baseline {} us, sharded+slow-peer {} us, \
+             unsharded+slow-peer {} us\n",
+            self.serve.isolation_baseline_p99_us,
+            self.serve.isolation_sharded_p99_us,
+            self.serve.isolation_unsharded_p99_us,
         ));
         out
     }
@@ -593,6 +654,16 @@ mod tests {
                 max_us: 1800,
             }],
             obs_batch_overhead_percent: 0.4,
+            serve: crate::servebench::ServeBench {
+                text_protocol_ns_per_request: 900.0,
+                binary_protocol_ns_per_request: 300.0,
+                protocol_speedup: 3.0,
+                text_ns_per_request: 60_000.0,
+                binary_ns_per_request: 55_000.0,
+                isolation_baseline_p99_us: 250.0,
+                isolation_sharded_p99_us: 400.0,
+                isolation_unsharded_p99_us: 6000.0,
+            },
         }
     }
 
@@ -611,6 +682,19 @@ mod tests {
         assert_eq!(json_number(&json, "stage_loocv_fold_samples"), Some(9.0));
         assert_eq!(json_number(&json, "stage_loocv_fold_p95_us"), Some(2047.0));
         assert_eq!(json_number(&json, "obs_batch_overhead_percent"), Some(0.4));
+        assert_eq!(
+            json_number(&json, "serve_text_protocol_ns_per_request"),
+            Some(900.0)
+        );
+        assert_eq!(
+            json_number(&json, "serve_binary_protocol_ns_per_request"),
+            Some(300.0)
+        );
+        assert_eq!(json_number(&json, "serve_protocol_speedup"), Some(3.0));
+        assert_eq!(
+            json_number(&json, "serve_isolation_unsharded_p99_us"),
+            Some(6000.0)
+        );
         assert_eq!(json_number(&json, "no_such_key"), None);
     }
 
@@ -629,6 +713,13 @@ mod tests {
         let mut slightly_slower = fake_report();
         slightly_slower.tree_batch_ns_per_record = 120.0; // < 2x
         assert!(regressions(&slightly_slower, &baseline, 2.0).is_empty());
+
+        // The serve codec rates are gated like the predict rates.
+        let mut slower_codec = fake_report();
+        slower_codec.serve.binary_protocol_ns_per_request = 1200.0; // > 2x of 300
+        let complaints = regressions(&slower_codec, &baseline, 2.0);
+        assert_eq!(complaints.len(), 1);
+        assert!(complaints[0].contains("serve_binary_protocol_ns_per_request"));
     }
 
     #[test]

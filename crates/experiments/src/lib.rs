@@ -38,6 +38,7 @@ pub mod paths;
 mod render;
 pub mod scaling;
 pub mod sensitivity;
+pub mod servebench;
 pub mod tables;
 
 pub use context::Context;

@@ -76,6 +76,10 @@ pub struct Trace {
     start: Instant,
     last: Instant,
     marks: Vec<(Stage, Duration)>,
+    /// Caller-supplied correlation context (e.g. the `traceparent`-style
+    /// field of a binary wire frame). Opaque to the pipeline; surfaces in
+    /// slow-request captures so cross-service traces can be stitched.
+    context: Option<String>,
 }
 
 impl Default for Trace {
@@ -92,7 +96,22 @@ impl Trace {
             start: now,
             last: now,
             marks: Vec::with_capacity(Stage::ALL.len()),
+            context: None,
         }
+    }
+
+    /// Start a trace now, carrying an opaque upstream trace context (the
+    /// binary wire protocol threads its per-frame trace-context field in
+    /// through here).
+    pub fn with_context(context: impl Into<String>) -> Self {
+        let mut trace = Self::new();
+        trace.context = Some(context.into());
+        trace
+    }
+
+    /// The upstream trace context, if the request carried one.
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
     }
 
     /// Attribute the time since the previous mark to `stage`.

@@ -15,10 +15,30 @@
 //! first attempt — retrying a quarantined model or a malformed line
 //! only adds load.
 //!
-//! The client speaks single-line replies only; multi-line commands
-//! (`metrics`, `trace`) need a raw socket.
+//! # Protocol negotiation
+//!
+//! By default the client offers the binary framing on every fresh
+//! connection: it sends the [`frame::HELLO_BINARY`] line and, if the
+//! server acknowledges with [`frame::HELLO_BINARY_OK`], switches the
+//! connection to length-prefixed frames ([`crate::frame`]) — requests
+//! still go in as text lines (wrapped in a `Line` frame), but replies
+//! skip a decimal round-trip: predictions come back as raw `f64` bits
+//! and are re-rendered with the same shortest-roundtrip formatter the
+//! server's text path uses, so the reply string is byte-identical
+//! either way. A server that answers anything else (an old text-only
+//! build replies `err ...`) leaves the connection on the line
+//! protocol; [`ClientConfig::prefer_binary`] turns the offer off
+//! entirely. Every attempt carries a client-assigned request id —
+//! surfaced in [`ClientError::Exhausted`] so a hedging caller can
+//! correlate giving-up with server-side traces.
+//!
+//! On the line protocol the client speaks single-line replies only;
+//! multi-line commands (`metrics`, `trace`) need a raw socket or the
+//! binary framing, whose length prefix carries them intact.
 
-use std::io::{BufRead, BufReader, Write};
+use crate::frame::{self, Frame, Payload};
+use bagpred_ml::codec::fmt_f64;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -36,6 +56,11 @@ pub struct ClientConfig {
     /// Seed for the deterministic jitter; two clients with the same seed
     /// sleep the same schedule. Zero falls back to a fixed default.
     pub jitter_seed: u64,
+    /// Offer the binary framing on every fresh connection (one
+    /// `hello proto=binary` line). A server that does not acknowledge
+    /// leaves the connection on the text protocol, so this is safe
+    /// against old servers; turn it off to force text.
+    pub prefer_binary: bool,
 }
 
 impl Default for ClientConfig {
@@ -46,6 +71,7 @@ impl Default for ClientConfig {
             max_backoff: Duration::from_millis(500),
             io_timeout: Duration::from_secs(5),
             jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            prefer_binary: true,
         }
     }
 }
@@ -62,6 +88,10 @@ pub enum ClientError {
         attempts: u32,
         /// The final reply line received.
         last_reply: String,
+        /// The client-assigned request id of every attempt, in order —
+        /// on a binary connection these rode the wire, so a hedging
+        /// caller can match this failure against server-side traces.
+        request_ids: Vec<u64>,
     },
 }
 
@@ -72,9 +102,11 @@ impl std::fmt::Display for ClientError {
             ClientError::Exhausted {
                 attempts,
                 last_reply,
+                request_ids,
             } => write!(
                 f,
-                "gave up after {attempts} attempts; last reply: {last_reply}"
+                "gave up after {attempts} attempts (request ids {request_ids:?}); \
+                 last reply: {last_reply}"
             ),
         }
     }
@@ -121,6 +153,8 @@ pub fn backoff_delay(attempt: u32, config: &ClientConfig, rng: &mut u64) -> Dura
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Whether this connection negotiated the binary framing.
+    binary: bool,
 }
 
 /// A reconnecting line-protocol client with retry/backoff.
@@ -134,6 +168,7 @@ pub struct Client {
     conn: Option<Conn>,
     rng: u64,
     retries: u64,
+    next_request_id: u64,
 }
 
 impl Client {
@@ -155,6 +190,7 @@ impl Client {
             conn: None,
             rng: seed,
             retries: 0,
+            next_request_id: 1,
         }
     }
 
@@ -164,24 +200,56 @@ impl Client {
         self.retries
     }
 
+    /// Whether the current connection negotiated the binary framing:
+    /// `None` before the first connection is opened.
+    pub fn is_binary(&self) -> Option<bool> {
+        self.conn.as_ref().map(|conn| conn.binary)
+    }
+
     fn connect(&mut self) -> std::io::Result<&mut Conn> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             stream.set_read_timeout(Some(self.config.io_timeout))?;
             stream.set_write_timeout(Some(self.config.io_timeout))?;
             let writer = stream.try_clone()?;
-            self.conn = Some(Conn {
+            let mut conn = Conn {
                 reader: BufReader::new(stream),
                 writer,
-            });
+                binary: false,
+            };
+            if self.config.prefer_binary {
+                // Feature negotiation in the text dialect both sides
+                // are guaranteed to share. An old server answers
+                // `err ...`; that reply is consumed here, so the
+                // connection is clean for the first request either way.
+                conn.writer
+                    .write_all(format!("{}\n", frame::HELLO_BINARY).as_bytes())?;
+                conn.writer.flush()?;
+                let mut ack = String::new();
+                let n = conn.reader.read_line(&mut ack)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection during negotiation",
+                    ));
+                }
+                conn.binary = ack.trim_end() == frame::HELLO_BINARY_OK;
+            }
+            self.conn = Some(conn);
         }
         Ok(self.conn.as_mut().expect("connection just installed"))
     }
 
-    fn attempt(&mut self, line: &str) -> std::io::Result<String> {
+    fn attempt(&mut self, line: &str, request_id: u64) -> std::io::Result<String> {
         let conn = self.connect()?;
-        conn.writer.write_all(line.as_bytes())?;
-        conn.writer.write_all(b"\n")?;
+        if conn.binary {
+            return Self::attempt_binary(conn, line, request_id);
+        }
+        // One write syscall for line + newline: the writer is a raw
+        // `TcpStream`, and two small writes become two TCP segments —
+        // Nagle then parks the second behind the first's (possibly
+        // delayed) ACK, costing tens of milliseconds per request.
+        conn.writer.write_all(format!("{line}\n").as_bytes())?;
         conn.writer.flush()?;
         let mut reply = String::new();
         let n = conn.reader.read_line(&mut reply)?;
@@ -194,6 +262,35 @@ impl Client {
         Ok(reply.trim_end().to_string())
     }
 
+    /// One request over the binary framing: the line rides in a `Line`
+    /// frame tagged with `request_id`, and the reply frame is rendered
+    /// back to the exact string the text protocol would have sent.
+    fn attempt_binary(conn: &mut Conn, line: &str, request_id: u64) -> std::io::Result<String> {
+        let request = Frame::new(request_id, Payload::Line(line.to_string()));
+        conn.writer.write_all(&frame::encode(&request))?;
+        conn.writer.flush()?;
+        loop {
+            let reply = Self::read_frame(&mut conn.reader)?;
+            // One request in flight per `Client`, but replies to
+            // earlier attempts may straggle after an I/O-timeout retry
+            // on the same connection; skip any id that is not ours.
+            if reply.request_id == request_id {
+                return Ok(render_reply(reply.payload));
+            }
+        }
+    }
+
+    fn read_frame(reader: &mut BufReader<TcpStream>) -> std::io::Result<Frame> {
+        let mut prelude = [0u8; frame::PRELUDE_LEN];
+        reader.read_exact(&mut prelude)?;
+        let len = frame::decode_prelude(&prelude)
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        frame::decode_body(&body)
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))
+    }
+
     /// Send one request line and return the reply line, retrying
     /// transient failures (see [`is_retryable`]) and I/O errors with
     /// jittered exponential backoff. Non-transient `err` replies are
@@ -203,13 +300,19 @@ impl Client {
         let attempts = self.config.max_attempts.max(1);
         let mut last_io: Option<std::io::Error> = None;
         let mut last_reply: Option<String> = None;
+        let mut request_ids = Vec::new();
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.retries += 1;
                 let config = self.config.clone();
                 std::thread::sleep(backoff_delay(attempt - 1, &config, &mut self.rng));
             }
-            match self.attempt(line) {
+            // Every attempt gets a fresh id — a retry is a new request
+            // on the wire, so a hedging caller can tell them apart.
+            let request_id = self.next_request_id;
+            self.next_request_id += 1;
+            request_ids.push(request_id);
+            match self.attempt(line, request_id) {
                 Ok(reply) if is_retryable(&reply) => last_reply = Some(reply),
                 Ok(reply) => return Ok(reply),
                 Err(err) => {
@@ -223,9 +326,30 @@ impl Client {
             (Some(last_reply), _) => Err(ClientError::Exhausted {
                 attempts,
                 last_reply,
+                request_ids,
             }),
             (None, Some(err)) => Err(ClientError::Io(err)),
             (None, None) => unreachable!("at least one attempt always runs"),
+        }
+    }
+}
+
+/// Renders a binary reply frame to the exact string the text protocol
+/// would have written for the same outcome: predictions re-render their
+/// raw `f64` bits with the server's shortest-roundtrip formatter,
+/// framed text replies pass through verbatim, and errors regain their
+/// `err ` prefix.
+fn render_reply(payload: Payload) -> String {
+    match payload {
+        Payload::Prediction { model, predicted_s } => {
+            format!("ok model={model} predicted_s={}", fmt_f64(predicted_s))
+        }
+        Payload::LineReply(text) => text,
+        Payload::Error { message, .. } => format!("err {message}"),
+        // Request opcodes are never valid replies; surface them as a
+        // reply the retry classifier treats as non-transient.
+        Payload::Predict { .. } | Payload::Line(_) => {
+            "err bad request: request opcode in a reply frame".to_string()
         }
     }
 }
@@ -312,6 +436,7 @@ mod tests {
                 max_attempts: 3,
                 base_backoff: Duration::from_millis(1),
                 max_backoff: Duration::from_millis(2),
+                prefer_binary: false, // pure text path
                 ..ClientConfig::default()
             },
         );
@@ -322,14 +447,98 @@ mod tests {
             ClientError::Exhausted {
                 attempts,
                 last_reply,
+                request_ids,
             } => {
                 assert_eq!(attempts, 3);
                 assert!(last_reply.starts_with("err overloaded"), "{last_reply}");
+                // One id per attempt, in order — the caller can match
+                // them against server-side traces when hedging.
+                assert_eq!(request_ids, vec![1, 2, 3]);
             }
             other => panic!("expected Exhausted, got {other:?}"),
         }
         assert_eq!(client.retries(), 2);
+        assert_eq!(client.is_binary(), Some(false));
         drop(client);
         assert_eq!(server.join().expect("server thread"), 3);
+    }
+
+    #[test]
+    fn client_falls_back_to_text_when_the_server_declines_binary() {
+        // A text-only server: it answers the hello line with an error
+        // (as any build predating the binary framing would) and then
+        // echoes canned replies. The client must stay on text and the
+        // request must still succeed.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accepts");
+            let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+            let mut writer = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reads hello");
+            assert_eq!(line.trim_end(), frame::HELLO_BINARY);
+            writer
+                .write_all(b"err bad request: unknown verb `hello`\n")
+                .expect("declines");
+            line.clear();
+            reader.read_line(&mut line).expect("reads request");
+            writer
+                .write_all(b"ok model=pair-tree predicted_s=1.5\n")
+                .expect("answers");
+            line.trim_end().to_string()
+        });
+        let mut client = Client::new(addr);
+        let reply = client.request("predict SIFT@20+KNN@40").expect("succeeds");
+        assert_eq!(reply, "ok model=pair-tree predicted_s=1.5");
+        assert_eq!(client.is_binary(), Some(false));
+        assert_eq!(
+            server.join().expect("server thread"),
+            "predict SIFT@20+KNN@40",
+            "the request must arrive as a plain text line"
+        );
+    }
+
+    #[test]
+    fn client_negotiates_binary_and_renders_identical_reply_lines() {
+        use crate::engine::{PredictionService, ServiceConfig};
+        use crate::server::Server;
+        use bagpred_core::Platforms;
+        use std::sync::Arc;
+
+        let service = PredictionService::start(
+            crate::testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+
+        let mut text = Client::with_config(
+            server.local_addr(),
+            ClientConfig {
+                prefer_binary: false,
+                ..ClientConfig::default()
+            },
+        );
+        let mut binary = Client::new(server.local_addr());
+
+        for line in [
+            "predict SIFT@20+KNN@40",
+            "predict model=nbag-tree HOG@20+FAST@80+ORB@40",
+            "models",
+            "health",
+            "bogus nonsense", // error replies must match too
+        ] {
+            let from_text = text.request(line).expect("text reply");
+            let from_binary = binary.request(line).expect("binary reply");
+            assert_eq!(
+                from_binary, from_text,
+                "binary and text replies must be byte-identical for `{line}`"
+            );
+        }
+        assert_eq!(text.is_binary(), Some(false));
+        assert_eq!(binary.is_binary(), Some(true));
+        server.shutdown();
+        service.shutdown();
     }
 }

@@ -1,13 +1,23 @@
-//! The concurrent request engine: a bounded queue feeding a worker pool.
+//! The concurrent request engine: per-model shards, each a bounded
+//! queue feeding its own worker set.
 //!
 //! Requests enter through [`PredictionService::submit`] (async, returns a
-//! channel) or [`PredictionService::call`] (blocking convenience). A
-//! bounded `Mutex<VecDeque>` + `Condvar` queue decouples producers from
-//! the fixed worker pool; when the queue is full the service **sheds
-//! load** — [`ServeError::Overloaded`] immediately, never unbounded
-//! buffering — so a burst degrades into fast rejections instead of
-//! collapsing latency for everyone. Workers drain requests in small
-//! batches per lock acquisition to cut contention under load.
+//! channel) or [`PredictionService::call`] (blocking convenience). Each
+//! registered model owns a [`Shard`]: a bounded queue + condvar with
+//! [`ServiceConfig::workers`] dedicated workers, so a slow or
+//! quarantined model fills *its* queue and sheds *its* traffic while
+//! every other model keeps answering at full speed — the serve-side
+//! mirror of the cross-application interference the paper models on the
+//! GPU. Non-predict commands (and predicts whose model cannot be
+//! resolved) ride a control shard. The shard map is immutable and
+//! swapped atomically when an admin `load` registers a new model;
+//! [`ServiceConfig::sharded`]` = false` collapses everything onto the
+//! control shard — the legacy single-queue engine, kept for A/B
+//! benchmarks. When any queue is full the service **sheds load** —
+//! [`ServeError::Overloaded`] immediately, never unbounded buffering —
+//! so a burst degrades into fast rejections instead of collapsing
+//! latency for everyone. Workers drain requests in small batches per
+//! lock acquisition to cut contention under load.
 //!
 //! Every job carries a [`Trace`] recording how long each pipeline stage
 //! took (parse, queue wait, admission, cache lookup, batch assembly,
@@ -36,27 +46,30 @@ use crate::admission::{self, Placement};
 use crate::cache::{CacheMapStats, FeatureCache};
 use crate::error::ServeError;
 use crate::fault::{panic_message, FaultPlan, FaultSite, HealthReport, ModelHealth};
-use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics, RobustnessCounters};
+use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics, RobustnessCounters, ShardSnapshot};
 use crate::observe;
+use crate::shard::{Shard, CONTROL_SHARD};
 use crate::snapshot::{self, ModelRegistry, ServableModel};
 use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
 use bagpred_core::{Bag, Measurement, Platforms};
 use bagpred_obs::{EventLog, SlowEvent, Stage, StageSet, Trace};
 use bagpred_workloads::Workload;
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError, RwLock, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the engine.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads draining the queue.
+    /// Worker threads draining each shard's queue (the control shard
+    /// and every per-model shard get this many workers of their own).
     pub workers: usize,
-    /// Maximum queued (not yet picked up) requests before shedding.
+    /// Maximum queued (not yet picked up) requests per shard before
+    /// shedding.
     pub queue_capacity: usize,
     /// Maximum requests one worker takes per lock acquisition — also the
     /// upper bound on one semantic `predict_batch` call.
@@ -84,6 +97,11 @@ pub struct ServiceConfig {
     /// which injects nothing and costs one `Vec::is_empty` per site
     /// check; the `serve` binary arms it from `BAGPRED_FAULTS`.
     pub faults: Arc<FaultPlan>,
+    /// Per-model shard isolation (the default). `false` routes every
+    /// request to the single control shard — the legacy shared-queue
+    /// engine where a slow model head-of-line-blocks all others; kept
+    /// so benchmarks can measure exactly what sharding buys.
+    pub sharded: bool,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +125,7 @@ impl Default for ServiceConfig {
             // success in between means the model itself is broken.
             quarantine_threshold: 3,
             faults: Arc::new(FaultPlan::none()),
+            sharded: true,
         }
     }
 }
@@ -212,7 +231,15 @@ pub enum Reply {
         /// The model the counters belong to.
         model: String,
         /// Its counters; all-zero when the model has seen no traffic.
-        metrics: MetricsSnapshot,
+        /// Boxed for the same reason as [`Reply::Stats`]: snapshots are
+        /// the largest reply payloads, and predictions should not pay
+        /// their size inline.
+        metrics: Box<MetricsSnapshot>,
+        /// The shard this model's jobs wait in: its own shard when the
+        /// engine is sharded, the control shard in legacy single-queue
+        /// mode — so queue-wait attribution names the queue the job
+        /// actually sat in, never a queue it shared only notionally.
+        shard: Option<Box<ShardSnapshot>>,
     },
     /// Registered models as `(name, description)` pairs, sorted.
     Models(Vec<(String, String)>),
@@ -287,15 +314,38 @@ pub struct StatsReport {
     pub quarantined_models: usize,
     /// Faults injected by the armed [`FaultPlan`] (0 in production).
     pub faults_injected: u64,
+    /// Per-shard queue accounting: the control shard first, then every
+    /// model shard sorted by name. One entry (the control shard) when
+    /// the engine runs unsharded.
+    pub shards: Vec<ShardSnapshot>,
 }
 
 /// The outcome a submitter receives on its channel.
 pub type Outcome = Result<Reply, ServeError>;
 
+/// Where a job's outcome goes. `Direct` is the classic one-channel-per-
+/// request path; `Tagged` carries the binary protocol's client-assigned
+/// request id, so one connection's writer can multiplex many in-flight
+/// requests and forward replies in completion order.
+pub(crate) enum ReplySink {
+    Direct(mpsc::Sender<Outcome>),
+    Tagged(u64, mpsc::Sender<(u64, Outcome)>),
+}
+
+impl ReplySink {
+    fn send(&self, outcome: Outcome) {
+        // A submitter that dropped its receiver no longer cares.
+        match self {
+            ReplySink::Direct(tx) => drop(tx.send(outcome)),
+            ReplySink::Tagged(id, tx) => drop(tx.send((*id, outcome))),
+        }
+    }
+}
+
 struct Job {
     request: Request,
     trace: Trace,
-    tx: mpsc::Sender<Outcome>,
+    tx: ReplySink,
     /// Absolute expiry; a worker sheds the job at dequeue when the
     /// deadline has already passed.
     deadline: Option<Instant>,
@@ -308,8 +358,22 @@ pub(crate) struct Inner {
     pub(crate) metrics: Metrics,
     pub(crate) model_metrics: ModelMetrics,
     pub(crate) config: ServiceConfig,
-    queue: Mutex<VecDeque<Job>>,
-    nonempty: Condvar,
+    /// The shard serving non-predict commands and predicts whose model
+    /// cannot be resolved at submit time; in unsharded mode, every job.
+    control: Arc<Shard<Job>>,
+    /// The per-model shard map. The inner `Arc<HashMap>` is immutable:
+    /// routing clones it under a brief read lock and looks up lock-free;
+    /// an admin `load` builds a new map and swaps the `Arc` in one
+    /// store, so readers always see a complete, consistent map.
+    shards: RwLock<Arc<HashMap<String, Arc<Shard<Job>>>>>,
+    /// Worker join handles, control and model shards alike. On `Inner`
+    /// (not the service) because `do_load` — which runs on a worker
+    /// thread holding only `&Inner` — spawns workers for new shards.
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Weak self-reference so `do_load` can hand new worker threads the
+    /// `Arc<Inner>` they run under. Weak, or the engine would own
+    /// itself and never drop.
+    self_ref: OnceLock<Weak<Inner>>,
     shutdown: AtomicBool,
     pub(crate) stages: StageSet,
     pub(crate) events: EventLog,
@@ -318,15 +382,76 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
+    /// The current shard map (lock held only for the `Arc` clone).
+    fn shard_map(&self) -> Arc<HashMap<String, Arc<Shard<Job>>>> {
+        Arc::clone(&self.shards.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The shard `request` waits in: the resolved model's shard for
+    /// predicts (sharded mode), the control shard for everything else —
+    /// commands, unsharded mode, and predicts that will fail model
+    /// resolution (the worker produces their error reply).
+    fn route(&self, request: &Request) -> Arc<Shard<Job>> {
+        if self.config.sharded {
+            if let Request::Predict { model, apps } = request {
+                if let Ok((name, _)) = resolve_model(&self.registry, model, apps.len()) {
+                    if let Some(shard) = self.shard_map().get(&name) {
+                        return Arc::clone(shard);
+                    }
+                }
+            }
+        }
+        Arc::clone(&self.control)
+    }
+
+    /// Jobs queued across the control shard and every model shard.
     pub(crate) fn queue_depth(&self) -> usize {
-        // `into_inner` rather than panic on poison: the queue holds
-        // plain jobs and is structurally valid whatever thread died
-        // while holding it; cascading the panic would turn one isolated
-        // failure into a whole-service outage.
-        self.queue
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        let shards = self.shard_map();
+        self.control.depth() + shards.values().map(|s| s.depth()).sum::<usize>()
+    }
+
+    /// Per-shard snapshots: control first, then model shards by name.
+    pub(crate) fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        let map = self.shard_map();
+        let mut snapshots = vec![self.control.snapshot()];
+        let mut models: Vec<_> = map.values().collect();
+        models.sort_by(|a, b| a.name().cmp(b.name()));
+        snapshots.extend(models.into_iter().map(|s| s.snapshot()));
+        snapshots
+    }
+
+    /// The shard reported by `stats model=<name>`: the model's own in
+    /// sharded mode, the control shard (where its jobs actually wait)
+    /// otherwise.
+    fn shard_snapshot_for(&self, name: &str) -> Option<ShardSnapshot> {
+        if self.config.sharded {
+            self.shard_map().get(name).map(|s| s.snapshot())
+        } else {
+            Some(self.control.snapshot())
+        }
+    }
+
+    /// Guarantees a shard (with running workers) for `name`, swapping in
+    /// an extended map. Called at `load` time for newly registered
+    /// models; a no-op when the shard exists or the engine is unsharded.
+    /// Shards are never removed — a model name, once served, keeps its
+    /// queue accounting for the life of the engine.
+    fn ensure_shard(&self, name: &str) {
+        if !self.config.sharded {
+            return;
+        }
+        let mut shards = self.shards.write().unwrap_or_else(PoisonError::into_inner);
+        if shards.contains_key(name) || self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(inner) = self.self_ref.get().and_then(Weak::upgrade) else {
+            return; // tearing down: no new workers
+        };
+        let shard = Arc::new(Shard::new(name, self.config.queue_capacity));
+        spawn_shard_workers(&inner, &shard);
+        let mut next = HashMap::clone(&shards);
+        next.insert(name.to_string(), shard);
+        *shards = Arc::new(next);
     }
 }
 
@@ -334,7 +459,6 @@ impl Inner {
 /// [`crate::server`] is a thin line-protocol adapter over this type.
 pub struct PredictionService {
     inner: Arc<Inner>,
-    handles: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for PredictionService {
@@ -360,34 +484,44 @@ impl PredictionService {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.batch_size > 0, "batch size must be positive");
+        let shards: HashMap<String, Arc<Shard<Job>>> = if config.sharded {
+            registry
+                .list()
+                .into_iter()
+                .map(|(name, _)| {
+                    let shard = Arc::new(Shard::new(&name, config.queue_capacity));
+                    (name, shard)
+                })
+                .collect()
+        } else {
+            HashMap::new()
+        };
         let inner = Arc::new(Inner {
             registry,
             platforms,
             cache: FeatureCache::with_capacity(config.cache_capacity),
             metrics: Metrics::new(),
             model_metrics: ModelMetrics::new(),
-            queue: Mutex::new(VecDeque::new()),
-            nonempty: Condvar::new(),
+            control: Arc::new(Shard::new(CONTROL_SHARD, config.queue_capacity)),
+            shards: RwLock::new(Arc::new(shards)),
+            handles: Mutex::new(Vec::new()),
+            self_ref: OnceLock::new(),
             shutdown: AtomicBool::new(false),
             stages: StageSet::new(),
             events: EventLog::new(config.event_log_capacity),
             robust: RobustnessCounters::new(),
             health: ModelHealth::new(),
-            config: config.clone(),
+            config,
         });
-        let handles = (0..config.workers)
-            .map(|index| {
-                let inner = Arc::clone(&inner);
-                thread::Builder::new()
-                    .name(format!("bagpred-worker-{index}"))
-                    .spawn(move || supervise_worker(&inner))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Arc::new(Self {
-            inner,
-            handles: Mutex::new(handles),
-        })
+        inner
+            .self_ref
+            .set(Arc::downgrade(&inner))
+            .expect("self_ref set once");
+        spawn_shard_workers(&inner, &inner.control.clone());
+        for shard in inner.shard_map().values() {
+            spawn_shard_workers(&inner, shard);
+        }
+        Arc::new(Self { inner })
     }
 
     /// Enqueues a request; the reply arrives on the returned channel.
@@ -431,33 +565,59 @@ impl PredictionService {
         trace: Trace,
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<Outcome>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(request, trace, deadline, ReplySink::Direct(tx))?;
+        Ok(rx)
+    }
+
+    /// Enqueues a request whose outcome is delivered tagged with a
+    /// client-assigned request id on a shared reply channel — the
+    /// binary protocol's multiplexed path: one connection, many
+    /// in-flight requests, replies forwarded in completion order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the target shard's queue is full
+    /// and [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub(crate) fn submit_tagged(
+        &self,
+        request: Request,
+        trace: Trace,
+        deadline: Option<Duration>,
+        request_id: u64,
+        tx: mpsc::Sender<(u64, Outcome)>,
+    ) -> Result<(), ServeError> {
+        self.enqueue(request, trace, deadline, ReplySink::Tagged(request_id, tx))
+    }
+
+    fn enqueue(
+        &self,
+        request: Request,
+        trace: Trace,
+        deadline: Option<Duration>,
+        tx: ReplySink,
+    ) -> Result<(), ServeError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
         let deadline = deadline.map(|budget| Instant::now() + budget);
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = self
-                .inner
-                .queue
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            if queue.len() >= self.inner.config.queue_capacity {
+        let shard = self.inner.route(&request);
+        let job = Job {
+            request,
+            trace,
+            tx,
+            deadline,
+        };
+        // Count inside the shard's queue lock: a worker can pick the
+        // job up the moment the lock drops, and `stats` must already
+        // see it.
+        match shard.try_push(job, || self.inner.metrics.on_received()) {
+            Ok(()) => Ok(()),
+            Err(_job) => {
                 self.inner.metrics.on_shed();
-                return Err(ServeError::Overloaded);
+                Err(ServeError::Overloaded)
             }
-            queue.push_back(Job {
-                request,
-                trace,
-                tx,
-                deadline,
-            });
-            // Count inside the lock: a worker can pick the job up the
-            // moment the lock drops, and `stats` must already see it.
-            self.inner.metrics.on_received();
         }
-        self.inner.nonempty.notify_one();
-        Ok(rx)
     }
 
     /// Blocking convenience: submit and wait for the reply.
@@ -555,8 +715,15 @@ impl PredictionService {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.nonempty.notify_all();
-        let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        self.inner.control.notify_all();
+        for shard in self.inner.shard_map().values() {
+            shard.notify_all();
+        }
+        let mut handles = self
+            .inner
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for handle in handles.drain(..) {
             // Workers run under `supervise_worker`, which catches every
             // panic and respawns the loop in place, so the join result
@@ -573,13 +740,28 @@ impl Drop for PredictionService {
     }
 }
 
+/// Spawns [`ServiceConfig::workers`] threads draining one shard,
+/// registering their handles on `inner` for the shutdown join.
+fn spawn_shard_workers(inner: &Arc<Inner>, shard: &Arc<Shard<Job>>) {
+    let mut handles = inner.handles.lock().unwrap_or_else(PoisonError::into_inner);
+    for index in 0..inner.config.workers {
+        let inner = Arc::clone(inner);
+        let shard = Arc::clone(shard);
+        let handle = thread::Builder::new()
+            .name(format!("bagpred-worker-{}-{index}", shard.name()))
+            .spawn(move || supervise_worker(&inner, &shard))
+            .expect("spawn worker thread");
+        handles.push(handle);
+    }
+}
+
 /// Runs the worker loop, respawning it in place after any panic that
 /// escapes batch isolation. Restarting *inside* the thread (instead of
-/// spawning a replacement) keeps the join handles in
-/// [`PredictionService`] valid for the lifetime of the service.
-fn supervise_worker(inner: &Inner) {
+/// spawning a replacement) keeps the join handles on [`Inner`] valid
+/// for the lifetime of the service.
+fn supervise_worker(inner: &Inner, shard: &Shard<Job>) {
     loop {
-        match catch_unwind(AssertUnwindSafe(|| worker_loop(inner))) {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(inner, shard))) {
             // A clean return is the shutdown path.
             Ok(()) => return,
             Err(_) => {
@@ -593,31 +775,17 @@ fn supervise_worker(inner: &Inner) {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, shard: &Shard<Job>) {
     loop {
         // Deterministic crash site for the respawn path. Firing before
         // the queue lock is taken means no job is ever lost to it.
         if inner.config.faults.fire(FaultSite::WorkerAbort, None) {
             panic!("injected fault: worker abort");
         }
-        let batch = {
-            let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
-            loop {
-                if !queue.is_empty() {
-                    break;
-                }
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                queue = inner
-                    .nonempty
-                    .wait(queue)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-            let take = queue.len().min(inner.config.batch_size);
-            queue.drain(..take).collect::<Vec<Job>>()
+        let Some(batch) = shard.pop_batch(inner.config.batch_size, &inner.shutdown) else {
+            return;
         };
-        process_batch(inner, batch);
+        process_batch(inner, shard, batch);
     }
 }
 
@@ -640,12 +808,15 @@ fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
     }
     inner.stages.observe(&job.trace);
     if total >= inner.config.slow_request_threshold {
-        inner
-            .events
-            .record(summarize(&job.request), &job.trace, total);
+        let mut summary = summarize(&job.request);
+        // Surface the upstream trace context so a slow capture can be
+        // stitched to the caller's own distributed trace.
+        if let Some(context) = job.trace.context() {
+            summary.push_str(&format!(" tc={context}"));
+        }
+        inner.events.record(summary, &job.trace, total);
     }
-    // A submitter that dropped its receiver no longer cares.
-    let _ = job.tx.send(outcome);
+    job.tx.send(outcome);
 }
 
 /// One-line request description for slow-request captures.
@@ -686,7 +857,7 @@ fn summarize(request: &Request) -> String {
 /// tree-walk loop per group instead of one full dispatch per request.
 /// Non-predict requests and failed preparations complete individually.
 /// Predictions are bit-identical to the per-request path.
-fn process_batch(inner: &Inner, jobs: Vec<Job>) {
+fn process_batch(inner: &Inner, shard: &Shard<Job>, jobs: Vec<Job>) {
     let mut pair_groups: Vec<ModelGroup<Measurement>> = Vec::new();
     let mut nbag_groups: Vec<ModelGroup<NBagMeasurement>> = Vec::new();
 
@@ -699,9 +870,15 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>) {
         // only burns predict time other requests are queued behind.
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
             inner.robust.on_deadline_expired();
+            shard.counters().on_shed();
             finish(inner, None, job, Err(ServeError::DeadlineExceeded));
             continue;
         }
+        // Attribute the wait to the queue the job actually sat in —
+        // this shard's — not to a notional shared queue.
+        shard
+            .counters()
+            .on_served(job.trace.duration_of(Stage::QueueWait).unwrap_or_default());
         let Request::Predict { model, apps } = &job.request else {
             let result = catch_unwind(AssertUnwindSafe(|| {
                 process(inner, &job.request, &mut job.trace)
@@ -1031,6 +1208,7 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
                     quarantines: inner.robust.quarantines(),
                     quarantined_models: inner.health.quarantined_count(),
                     faults_injected: inner.config.faults.injected(),
+                    shards: inner.shard_snapshots(),
                 }))),
             )
         }
@@ -1065,7 +1243,8 @@ fn model_stats(inner: &Inner, name: &str) -> Outcome {
     };
     Ok(Reply::ModelStats {
         model: name.into(),
-        metrics,
+        metrics: Box::new(metrics),
+        shard: inner.shard_snapshot_for(name).map(Box::new),
     })
 }
 
@@ -1135,6 +1314,10 @@ fn do_load(inner: &Inner, name: &str, path: &str) -> Outcome {
     // A fresh copy starts with a clean bill of health: installing it is
     // the documented way out of quarantine.
     inner.health.clear(name);
+    // A newly registered model gets its own shard (queue + workers),
+    // installed by atomically swapping the shard map — in-flight
+    // routing sees either the old complete map or the new one.
+    inner.ensure_shard(name);
     Ok(Reply::Loaded {
         model: name.into(),
         desc,
@@ -1205,6 +1388,9 @@ fn do_reload(inner: &Inner, name: &str, path: Option<&str>) -> Outcome {
     // Reload is the documented way out of quarantine: the fresh decode
     // starts healthy.
     inner.health.clear(name);
+    // Normally a no-op (the shard was created at start or load time);
+    // covers models inserted into the registry behind the engine's back.
+    inner.ensure_shard(name);
     Ok(Reply::Reloaded {
         model: name.into(),
         desc,
@@ -1436,9 +1622,14 @@ mod tests {
             })
             .expect_err("pair model refuses a 3-bag");
 
-        let Ok(Reply::ModelStats { model, metrics }) = service.call(Request::Stats {
+        let Ok(Reply::ModelStats {
+            model,
+            metrics,
+            shard,
+        }) = service.call(Request::Stats {
             model: Some(PAIR_MODEL.into()),
-        }) else {
+        })
+        else {
             panic!("model stats failed")
         };
         assert_eq!(model, PAIR_MODEL);
@@ -1451,6 +1642,12 @@ mod tests {
             "queue wait is reported separately per model"
         );
         assert_eq!(metrics.service.samples, 4);
+        // The sharded engine attributes queue wait to the model's own
+        // shard — the queue these jobs actually sat in.
+        let shard = shard.expect("sharded engine reports a shard");
+        assert_eq!(shard.name, PAIR_MODEL);
+        assert_eq!(shard.served, 4);
+        assert_eq!(shard.queue_wait.samples, 4);
 
         // A registered but untouched model reports zeros; an unknown
         // name errors.

@@ -42,6 +42,12 @@ pub enum ServeError {
     /// uncreatable, or unreadable) — distinct from a single corrupt
     /// snapshot, which is quarantined without failing the boot.
     SnapshotDir(String),
+    /// A binary wire frame failed to decode (bad opcode, truncated
+    /// payload, oversized length, ...). The payload says what was wrong
+    /// with the bytes. Recoverable per frame: when the frame's length
+    /// prefix was intact the connection answers `err malformed` and
+    /// keeps serving; only an unparseable prelude closes it.
+    Malformed(String),
 }
 
 impl fmt::Display for ServeError {
@@ -67,6 +73,7 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline: request expired before a worker picked it up")
             }
             ServeError::SnapshotDir(why) => write!(f, "snapshot dir: {why}"),
+            ServeError::Malformed(why) => write!(f, "malformed: {why}"),
         }
     }
 }

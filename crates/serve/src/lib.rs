@@ -73,10 +73,12 @@ pub mod client;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod frame;
 pub mod metrics;
 pub(crate) mod observe;
 pub mod protocol;
 pub mod server;
+pub(crate) mod shard;
 pub mod snapshot;
 
 pub use admission::{AdmissionPolicy, GpuAssignment, Placement};

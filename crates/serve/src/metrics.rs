@@ -156,6 +156,83 @@ impl ModelMetrics {
     }
 }
 
+/// Lock-free accounting for one engine shard (per-model queue + worker
+/// set). Distinct from the per-model [`Metrics`] entry: that one tracks
+/// request outcomes by model *name* across reloads, while these track
+/// the queue the job actually waited in — under sharding the two agree,
+/// and in legacy single-queue mode every model's stats point at the one
+/// control shard, making the old shared-queue attribution explicit
+/// instead of silently wrong.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    enqueued: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    queue_wait: LogHistogram,
+}
+
+impl ShardCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a job accepted into this shard's queue.
+    pub fn on_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job drained and answered by this shard's workers, and
+    /// records how long it sat in *this* shard's queue.
+    pub fn on_served(&self, queue_wait: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record_duration(queue_wait);
+    }
+
+    /// Counts a job this shard refused (queue full) or dropped at
+    /// dequeue (deadline already passed).
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs accepted so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary; `name` and `queue_depth` come from the
+    /// shard itself (depth needs its queue lock, not held here).
+    pub fn snapshot(&self, name: &str, queue_depth: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            name: name.to_string(),
+            queue_depth,
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_wait: LatencySummary::of(&self.queue_wait.snapshot()),
+        }
+    }
+}
+
+/// Point-in-time view of one shard, reported by `stats`
+/// (and per model by `stats model=<name>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Shard name: the model name, or `_control` for the shard serving
+    /// non-predict commands and unresolvable requests.
+    pub name: String,
+    /// Jobs waiting in the shard queue right now.
+    pub queue_depth: usize,
+    /// Jobs accepted into the queue since start.
+    pub enqueued: u64,
+    /// Jobs drained and answered since start.
+    pub served: u64,
+    /// Jobs refused (queue full) or expired at dequeue since start.
+    pub shed: u64,
+    /// Time jobs sat in this shard's queue before pickup.
+    pub queue_wait: LatencySummary,
+}
+
 /// Summary of one latency histogram, as reported by `stats`.
 ///
 /// Percentiles are nearest-rank (see [`HistogramSnapshot::quantile`]),

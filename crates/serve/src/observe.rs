@@ -52,7 +52,7 @@ pub(crate) fn render(inner: &Inner) -> String {
         "Requests queued but not yet picked up.",
     );
     expo.sample("bagpred_queue_depth", &[], inner.queue_depth() as f64);
-    expo.header("bagpred_workers", "gauge", "Worker threads.");
+    expo.header("bagpred_workers", "gauge", "Worker threads per shard.");
     expo.sample("bagpred_workers", &[], inner.config.workers as f64);
     expo.header("bagpred_models", "gauge", "Registered models.");
     expo.sample("bagpred_models", &[], inner.registry.len() as f64);
@@ -313,6 +313,59 @@ pub(crate) fn render(inner: &Inner) -> String {
             &labels,
             &model.service().snapshot(),
         );
+    }
+
+    expo.header(
+        "bagpred_shard_queue_depth",
+        "gauge",
+        "Jobs waiting in the shard's queue right now, per shard.",
+    );
+    expo.header(
+        "bagpred_shard_enqueued_total",
+        "counter",
+        "Jobs accepted into the shard's queue, per shard.",
+    );
+    expo.header(
+        "bagpred_shard_served_total",
+        "counter",
+        "Jobs drained and answered by the shard's workers, per shard.",
+    );
+    expo.header(
+        "bagpred_shard_shed_total",
+        "counter",
+        "Jobs the shard refused (queue full) or expired at dequeue, per shard.",
+    );
+    expo.header(
+        "bagpred_shard_queue_wait_us",
+        "gauge",
+        "Time jobs sat in the shard's queue before pickup, microseconds, per shard and quantile.",
+    );
+    for shard in inner.shard_snapshots() {
+        let labels = [("shard", shard.name.as_str())];
+        expo.sample(
+            "bagpred_shard_queue_depth",
+            &labels,
+            shard.queue_depth as f64,
+        );
+        expo.sample(
+            "bagpred_shard_enqueued_total",
+            &labels,
+            shard.enqueued as f64,
+        );
+        expo.sample("bagpred_shard_served_total", &labels, shard.served as f64);
+        expo.sample("bagpred_shard_shed_total", &labels, shard.shed as f64);
+        for (quantile, value) in [
+            ("0.5", shard.queue_wait.p50_us),
+            ("0.95", shard.queue_wait.p95_us),
+            ("0.99", shard.queue_wait.p99_us),
+            ("1", shard.queue_wait.max_us),
+        ] {
+            expo.sample(
+                "bagpred_shard_queue_wait_us",
+                &[("shard", shard.name.as_str()), ("quantile", quantile)],
+                value as f64,
+            );
+        }
     }
 
     expo.render()

@@ -323,6 +323,19 @@ fn format_stats(s: &StatsReport) -> String {
     out.push_str(&format_summary("queue_wait", &m.queue_wait));
     out.push(' ');
     out.push_str(&format_summary("service", &m.service));
+    out.push_str(&format!(" shards={}", s.shards.len()));
+    for shard in &s.shards {
+        out.push_str(&format!(
+            " shard_{0}_depth={1} shard_{0}_enqueued={2} shard_{0}_served={3} \
+             shard_{0}_shed={4} shard_{0}_wait_p99_us={5}",
+            shard.name,
+            shard.queue_depth,
+            shard.enqueued,
+            shard.served,
+            shard.shed,
+            shard.queue_wait.p99_us,
+        ));
+    }
     out
 }
 
@@ -364,15 +377,38 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
             out
         }
         Ok(Reply::Stats(stats)) => format!("ok {}", format_stats(stats)),
-        Ok(Reply::ModelStats { model, metrics: m }) => format!(
-            "ok model={model} requests={} ok={} err={} {} {} {}",
-            m.received,
-            m.succeeded,
-            m.failed,
-            format_summary("latency", &m.latency),
-            format_summary("queue_wait", &m.queue_wait),
-            format_summary("service", &m.service),
-        ),
+        Ok(Reply::ModelStats {
+            model,
+            metrics: m,
+            shard,
+        }) => {
+            let mut out = format!(
+                "ok model={model} requests={} ok={} err={} {} {} {}",
+                m.received,
+                m.succeeded,
+                m.failed,
+                format_summary("latency", &m.latency),
+                format_summary("queue_wait", &m.queue_wait),
+                format_summary("service", &m.service),
+            );
+            // The queue this model's jobs actually waited in: its own
+            // shard when the engine is sharded, the shared control shard
+            // otherwise — so `shard_wait` percentiles are attributable,
+            // unlike the old shared-queue `queue_wait` which mixed every
+            // model's waits together.
+            if let Some(s) = shard {
+                out.push_str(&format!(
+                    " shard={} shard_depth={} shard_enqueued={} shard_served={} shard_shed={} {}",
+                    s.name,
+                    s.queue_depth,
+                    s.enqueued,
+                    s.served,
+                    s.shed,
+                    format_summary("shard_wait", &s.queue_wait),
+                ));
+            }
+            out
+        }
         Ok(Reply::Loaded {
             model,
             desc,
@@ -686,13 +722,28 @@ mod tests {
 
         let line = format_outcome(&Ok(Reply::ModelStats {
             model: "pair-tree".into(),
-            metrics: crate::Metrics::new().snapshot(),
+            metrics: Box::new(crate::Metrics::new().snapshot()),
+            shard: None,
         }));
         assert!(
             line.starts_with("ok model=pair-tree requests=0 ok=0 err=0"),
             "{line}"
         );
         assert!(line.contains("latency_us_p95=0"), "{line}");
+        assert!(!line.contains("shard="), "{line}");
+
+        let line = format_outcome(&Ok(Reply::ModelStats {
+            model: "pair-tree".into(),
+            metrics: Box::new(crate::Metrics::new().snapshot()),
+            shard: Some(Box::new(
+                crate::metrics::ShardCounters::new().snapshot("pair-tree", 3),
+            )),
+        }));
+        assert!(
+            line.contains("shard=pair-tree shard_depth=3 shard_enqueued=0"),
+            "{line}"
+        );
+        assert!(line.contains("shard_wait_us_p99=0"), "{line}");
     }
 
     #[test]

@@ -1,13 +1,22 @@
-//! TCP front-end: a line-delimited protocol adapter over
-//! [`PredictionService`].
+//! TCP front-end: the line-delimited text protocol and the
+//! length-prefixed binary framing ([`crate::frame`]), auto-detected per
+//! connection, over [`PredictionService`].
 //!
 //! Pure `std::net`: an accept-loop thread plus one thread per
-//! connection. Each connection reads newline-terminated requests,
-//! forwards them to the engine, and writes exactly one `ok ...` or
-//! `err ...` line per request. Concurrency control lives in the engine
-//! (bounded queue + worker pool), so a slow or malicious client can at
-//! worst occupy its own connection thread — it cannot starve other
-//! clients of prediction workers. The filesystem-touching admin commands
+//! connection. The dialect is decided by the first byte the client
+//! sends — the binary magic's first byte is not printable ASCII, and
+//! every text verb starts with an ASCII letter — and a text connection
+//! can also upgrade mid-stream by sending the
+//! [`frame::HELLO_BINARY`] line. A text connection reads
+//! newline-terminated requests, forwards them to the engine, and writes
+//! exactly one `ok ...` or `err ...` line per request, in order. A
+//! binary connection is multiplexed: requests carry client-assigned ids,
+//! a dedicated writer thread forwards replies in *completion* order, and
+//! a slow request does not head-of-line-block the replies behind it.
+//! Concurrency control lives in the engine (bounded per-shard queues +
+//! worker pools), so a slow or malicious client can at worst occupy its
+//! own connection thread — it cannot starve other clients of prediction
+//! workers. The filesystem-touching admin commands
 //! (`load`/`save`/`reload`) are refused with `err admin disabled` unless
 //! the listener was started with [`ServerConfig::admin`]; even then the
 //! engine confines their paths to the configured snapshot directory, so
@@ -31,15 +40,16 @@
 //! thread is leaked: when `shutdown` returns,
 //! [`Server::active_connections`] is zero.
 
-use crate::engine::PredictionService;
+use crate::engine::{Outcome, PredictionService, Reply, Request};
 use crate::error::ServeError;
+use crate::frame::{self, Frame, Payload};
 use crate::protocol::{format_outcome, parse_request_options};
 use bagpred_obs::{Stage, Trace};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -449,6 +459,16 @@ fn handle_connection(
     stream.set_write_timeout(Some(config.write_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Auto-detect the dialect from the first byte: the binary magic
+    // starts with a non-ASCII byte, every text verb with an ASCII
+    // letter, so one peeked byte decides without consuming anything.
+    match first_byte(&mut reader, stop)? {
+        None => return Ok(()), // EOF or stop before any byte arrived
+        Some(byte) if byte == frame::MAGIC[0] => {
+            return handle_binary(reader, writer, service, stop, config);
+        }
+        Some(_) => {}
+    }
     // Bytes, not a String: `BufRead::read_line` drops a trailing
     // incomplete UTF-8 sequence when a read times out mid-character,
     // silently corrupting the request. `read_until` keeps every byte
@@ -465,6 +485,7 @@ fn handle_connection(
             Ok(0) => break, // EOF: client hung up.
             Ok(_) => {
                 let ended_with_newline = line.last() == Some(&b'\n');
+                let mut upgrade = false;
                 let outcome = match std::str::from_utf8(&line) {
                     Err(_) => Some(Err(ServeError::BadRequest(
                         "request is not valid UTF-8".into(),
@@ -474,7 +495,15 @@ fn handle_connection(
                         if request == "quit" || request == "exit" {
                             break;
                         }
-                        if request.is_empty() {
+                        if request == frame::HELLO_BINARY {
+                            // Feature negotiation: acknowledge in text,
+                            // then switch this same connection to the
+                            // binary framing. A server without binary
+                            // support would answer `err ...`, which the
+                            // client takes as "stay on text".
+                            upgrade = true;
+                            None
+                        } else if request.is_empty() {
                             None
                         } else {
                             // The trace starts when a complete line is in
@@ -514,8 +543,14 @@ fn handle_connection(
                     {
                         thread::sleep(delay);
                     }
-                    writer.write_all(format_outcome(&outcome).as_bytes())?;
-                    writer.write_all(b"\n")?;
+                    // Reply + newline in one write: the writer is a raw
+                    // `TcpStream`, and a separate `\n` write becomes its
+                    // own TCP segment that Nagle parks behind the reply
+                    // segment's (possibly delayed) ACK — tens of
+                    // milliseconds added to every text request.
+                    let mut reply = format_outcome(&outcome);
+                    reply.push('\n');
+                    writer.write_all(reply.as_bytes())?;
                     writer.flush()?;
                     // The engine consumed the per-request trace when it
                     // finished the job, so the write span lands in the
@@ -523,6 +558,11 @@ fn handle_connection(
                     service.record_stage(Stage::ReplyWrite, write_started.elapsed());
                 }
                 line.clear();
+                if upgrade {
+                    writer.write_all(format!("{}\n", frame::HELLO_BINARY_OK).as_bytes())?;
+                    writer.flush()?;
+                    return handle_binary(reader, writer, service, stop, config);
+                }
                 if !ended_with_newline {
                     break; // EOF after an unterminated final line.
                 }
@@ -539,6 +579,277 @@ fn handle_connection(
         }
     }
     Ok(())
+}
+
+/// Peeks the connection's first byte without consuming it, waiting
+/// across read timeouts (re-checking the stop flag) until the client
+/// sends something or hangs up.
+fn first_byte(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> io::Result<Option<u8>> {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match reader.fill_buf() {
+            Ok(buf) => return Ok(buf.first().copied()), // empty => EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one connection speaking the length-prefixed binary framing
+/// ([`crate::frame`]).
+///
+/// Requests are decoded on this thread and submitted to the engine
+/// tagged with their client-assigned request id; a dedicated writer
+/// thread forwards replies in *completion* order, so a slow request
+/// does not head-of-line-block the replies queued behind it — the
+/// wire-level half of what per-model sharding does inside the engine.
+/// A malformed body inside a valid prelude is answered with an error
+/// frame (naming the request id, which survives even in garbage) and
+/// the connection continues; an unusable prelude — wrong magic or
+/// version, oversized length — has no recoverable frame boundary, so
+/// the connection closes after one final error frame.
+fn handle_binary(
+    mut reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    service: &PredictionService,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<(u64, Outcome)>();
+    thread::scope(|scope| {
+        let writer_handle = scope.spawn(|| write_reply_frames(writer, rx, service));
+        let result = read_request_frames(&mut reader, service, stop, config, &tx);
+        // Dropping the reader's sender lets the writer drain: the
+        // engine-held clones drop as in-flight jobs finish, the channel
+        // closes, and the writer exits after forwarding every reply.
+        drop(tx);
+        let _ = writer_handle.join();
+        result
+    })
+}
+
+/// The binary connection's read half: frames in, engine submissions out.
+fn read_request_frames(
+    reader: &mut BufReader<TcpStream>,
+    service: &PredictionService,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+    tx: &mpsc::Sender<(u64, Outcome)>,
+) -> io::Result<()> {
+    let mut prelude = [0u8; frame::PRELUDE_LEN];
+    loop {
+        match read_full(reader, &mut prelude, stop)? {
+            ReadFull::Full => {}
+            ReadFull::Eof | ReadFull::Stopped => return Ok(()),
+        }
+        let body_len = match frame::decode_prelude(&prelude) {
+            Ok(len) => len,
+            Err(err @ frame::FrameError::Malformed(_)) => {
+                // The declared length is in bounds but too short for a
+                // frame header: the boundary is still known, so skip the
+                // body and keep the connection. No request id is
+                // readable — answer with id 0.
+                let len =
+                    u32::from_le_bytes([prelude[3], prelude[4], prelude[5], prelude[6]]) as usize;
+                let mut skipped = vec![0u8; len];
+                match read_full(reader, &mut skipped, stop)? {
+                    ReadFull::Full => {}
+                    ReadFull::Eof | ReadFull::Stopped => return Ok(()),
+                }
+                let _ = tx.send((0, Err(err.to_serve_error())));
+                continue;
+            }
+            Err(err) => {
+                // Wrong magic/version or oversized length: no resync
+                // possible. One final error frame, then close.
+                let _ = tx.send((0, Err(err.to_serve_error())));
+                return Ok(());
+            }
+        };
+        let mut body = vec![0u8; body_len];
+        match read_full(reader, &mut body, stop)? {
+            ReadFull::Full => {}
+            ReadFull::Eof | ReadFull::Stopped => return Ok(()),
+        }
+        match frame::decode_body(&body) {
+            Ok(request_frame) => {
+                if !dispatch_frame(request_frame, service, config, tx) {
+                    return Ok(()); // client said quit/exit
+                }
+            }
+            Err(err) => {
+                // Garbage body inside a known boundary: answer the
+                // request — its id is readable even in garbage — and
+                // keep the connection.
+                let id = frame::peek_request_id(&body).unwrap_or(0);
+                let _ = tx.send((id, Err(err.to_serve_error())));
+            }
+        }
+    }
+}
+
+/// Decodes one request frame into an engine submission (or an inline
+/// error reply). Returns `false` when the client asked to close the
+/// connection (`quit`/`exit` sent as a line frame).
+fn dispatch_frame(
+    request_frame: Frame,
+    service: &PredictionService,
+    config: &ServerConfig,
+    tx: &mpsc::Sender<(u64, Outcome)>,
+) -> bool {
+    let Frame {
+        request_id,
+        trace_context,
+        payload,
+    } = request_frame;
+    // The upstream trace context rides into the engine's per-request
+    // trace, so a slow-request summary can name the caller's span.
+    let make_trace = || match &trace_context {
+        Some(context) => Trace::with_context(context.clone()),
+        None => Trace::new(),
+    };
+    match payload {
+        Payload::Predict {
+            model,
+            apps,
+            deadline,
+        } => {
+            let mut trace = make_trace();
+            trace.mark(Stage::Parse); // frame decode is the parse work
+            let request = Request::Predict { model, apps };
+            if let Err(err) =
+                service.submit_tagged(request, trace, deadline, request_id, tx.clone())
+            {
+                let _ = tx.send((request_id, Err(err)));
+            }
+            true
+        }
+        Payload::Line(text) => {
+            let request = text.trim();
+            if request == "quit" || request == "exit" {
+                return false;
+            }
+            if request.is_empty() {
+                let _ = tx.send((
+                    request_id,
+                    Err(ServeError::BadRequest("empty request".into())),
+                ));
+                return true;
+            }
+            let mut trace = make_trace();
+            let parsed = parse_request_options(request);
+            trace.mark(Stage::Parse);
+            let submitted = match parsed {
+                // Parse errors and refused admin commands never reach
+                // the queue — answered inline, same as the text loop.
+                Err(err) => Err(err),
+                Ok((request, _)) if request.is_admin() && !config.admin => {
+                    Err(ServeError::AdminDisabled)
+                }
+                Ok((request, options)) => {
+                    service.submit_tagged(request, trace, options.deadline, request_id, tx.clone())
+                }
+            };
+            if let Err(err) = submitted {
+                let _ = tx.send((request_id, Err(err)));
+            }
+            true
+        }
+        Payload::Prediction { .. } | Payload::LineReply(_) | Payload::Error { .. } => {
+            let _ = tx.send((
+                request_id,
+                Err(ServeError::Malformed(
+                    "reply opcode in a request frame".into(),
+                )),
+            ));
+            true
+        }
+    }
+}
+
+/// The binary connection's write half, on its own thread: forwards
+/// engine outcomes as reply frames in completion order. Predictions
+/// ride the compact fixed layout (raw `f64` bits); every other success
+/// is the text protocol's reply line framed verbatim; errors carry a
+/// stable numeric code next to the message the text protocol would
+/// have sent after `err `.
+fn write_reply_frames(
+    mut writer: TcpStream,
+    rx: mpsc::Receiver<(u64, Outcome)>,
+    service: &PredictionService,
+) {
+    for (request_id, outcome) in rx {
+        // Fault site `stall_reply_write`: the pause sits inside the
+        // reply-write span, exactly like the text loop's.
+        let write_started = Instant::now();
+        if let Some(delay) = service
+            .faults()
+            .fire_delay(crate::fault::FaultSite::StallReplyWrite, None)
+        {
+            thread::sleep(delay);
+        }
+        let reply = reply_frame(request_id, outcome);
+        // A failed or timed-out write is fatal to the connection (the
+        // frame would be torn anyway): stop forwarding and let the
+        // remaining replies drain into the closed channel.
+        if writer.write_all(&frame::encode(&reply)).is_err() || writer.flush().is_err() {
+            return;
+        }
+        service.record_stage(Stage::ReplyWrite, write_started.elapsed());
+    }
+}
+
+/// Maps an engine outcome to its binary reply frame.
+fn reply_frame(request_id: u64, outcome: Outcome) -> Frame {
+    let payload = match outcome {
+        Ok(Reply::Prediction { model, predicted_s }) => Payload::Prediction { model, predicted_s },
+        Ok(reply) => Payload::LineReply(format_outcome(&Ok(reply))),
+        Err(err) => Payload::Error {
+            code: frame::code_of(&err),
+            message: err.to_string(),
+        },
+    };
+    Frame::new(request_id, payload)
+}
+
+/// How a bounded-buffer read ended.
+enum ReadFull {
+    /// The buffer was filled completely.
+    Full,
+    /// The peer hung up first (clean at offset zero, torn mid-frame —
+    /// either way the connection is done).
+    Eof,
+    /// The stop flag was raised between reads.
+    Stopped,
+}
+
+/// Fills `buf` across read timeouts, re-checking the stop flag before
+/// every read — a binary client that dribbles a frame byte-by-byte
+/// cannot corrupt it, and a silent one cannot block shutdown's drain.
+fn read_full(reader: &mut impl Read, buf: &mut [u8], stop: &AtomicBool) -> io::Result<ReadFull> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Acquire) {
+            return Ok(ReadFull::Stopped);
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(ReadFull::Eof),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadFull::Full)
 }
 
 #[cfg(test)]
@@ -936,6 +1247,237 @@ mod tests {
             "drain must not hang on a non-reading client"
         );
         drop(flooder.join());
+        service.shutdown();
+    }
+
+    // --- binary framing over the same listener ---
+
+    fn send_frame(writer: &mut impl Write, f: &Frame) {
+        writer.write_all(&frame::encode(f)).expect("writes frame");
+        writer.flush().expect("flushes frame");
+    }
+
+    fn read_frame(reader: &mut impl Read) -> Frame {
+        let mut prelude = [0u8; frame::PRELUDE_LEN];
+        reader.read_exact(&mut prelude).expect("reads prelude");
+        let len = frame::decode_prelude(&prelude).expect("valid reply prelude");
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("reads body");
+        frame::decode_body(&body).expect("valid reply body")
+    }
+
+    fn pair_apps() -> Vec<bagpred_workloads::Workload> {
+        vec![
+            bagpred_workloads::Workload::new(bagpred_workloads::Benchmark::Sift, 20),
+            bagpred_workloads::Workload::new(bagpred_workloads::Benchmark::Knn, 40),
+        ]
+    }
+
+    #[test]
+    fn binary_connections_are_detected_from_the_first_byte() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        send_frame(
+            &mut writer,
+            &Frame::new(
+                7,
+                Payload::Predict {
+                    model: None,
+                    apps: pair_apps(),
+                    deadline: None,
+                },
+            ),
+        );
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 7);
+        let Payload::Prediction { model, predicted_s } = reply.payload else {
+            panic!("expected a prediction frame, got {:?}", reply.payload);
+        };
+        // Bit-identical to the in-process call: the wire carries raw
+        // f64 bits, not a decimal rendering.
+        let Ok(Reply::Prediction {
+            model: direct_model,
+            predicted_s: direct_s,
+        }) = service.call(Request::Predict {
+            model: None,
+            apps: pair_apps(),
+        })
+        else {
+            panic!("direct call must predict");
+        };
+        assert_eq!(model, direct_model);
+        assert_eq!(predicted_s.to_bits(), direct_s.to_bits());
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn hello_line_upgrades_a_text_connection_to_binary() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        // Plain text first: this connection started on the line protocol.
+        writer
+            .write_all(b"predict SIFT@20+KNN@40\n")
+            .expect("writes");
+        writer.flush().expect("flushes");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.starts_with("ok model="), "{line}");
+        // Negotiate, then speak frames on the very same connection.
+        writer
+            .write_all(format!("{}\n", frame::HELLO_BINARY).as_bytes())
+            .expect("writes hello");
+        writer.flush().expect("flushes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads ack");
+        assert_eq!(line.trim_end(), frame::HELLO_BINARY_OK);
+        send_frame(&mut writer, &Frame::new(3, Payload::Line("stats".into())));
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 3);
+        let Payload::LineReply(text) = reply.payload else {
+            panic!("expected a line reply, got {:?}", reply.payload);
+        };
+        assert!(text.starts_with("ok requests="), "{text}");
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn binary_replies_come_back_in_completion_order_not_submission_order() {
+        // Model A (pair-tree) is slowed by an injected fault; model B
+        // (nbag-tree) is fast. Submitted A-then-B on one connection,
+        // the replies must arrive B-then-A: per-model shards keep B's
+        // queue moving and the tagged reply channel lets the fast reply
+        // overtake instead of head-of-line-blocking behind A.
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                faults: Arc::new(
+                    crate::fault::FaultPlan::parse("slow_predict:model=pair-tree:count=1:ms=400")
+                        .expect("parses"),
+                ),
+                ..ServiceConfig::default()
+            },
+        );
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        for (id, model) in [(1u64, "pair-tree"), (2u64, "nbag-tree")] {
+            send_frame(
+                &mut writer,
+                &Frame::new(
+                    id,
+                    Payload::Predict {
+                        model: Some(model.into()),
+                        apps: pair_apps(),
+                        deadline: None,
+                    },
+                ),
+            );
+        }
+        let first = read_frame(&mut reader);
+        let second = read_frame(&mut reader);
+        assert_eq!(
+            (first.request_id, second.request_id),
+            (2, 1),
+            "the fast model's reply must overtake the slowed one"
+        );
+        assert!(matches!(first.payload, Payload::Prediction { .. }));
+        assert!(matches!(second.payload, Payload::Prediction { .. }));
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_binary_bodies_get_an_error_frame_and_the_connection_survives() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        // Hand-rolled garbage: valid prelude, unknown opcode 0xFF, but a
+        // readable request id — the error frame must name it.
+        let mut body = vec![0xFFu8];
+        body.extend_from_slice(&99u64.to_le_bytes());
+        body.extend_from_slice(&[0u8; 11]);
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&frame::MAGIC);
+        msg.push(frame::VERSION);
+        msg.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        msg.extend_from_slice(&body);
+        writer.write_all(&msg).expect("writes garbage");
+        writer.flush().expect("flushes");
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 99);
+        let Payload::Error { code, message } = reply.payload else {
+            panic!("expected an error frame, got {:?}", reply.payload);
+        };
+        assert_eq!(code, frame::error_code::MALFORMED);
+        assert!(message.contains("unknown opcode"), "{message}");
+        // The connection survives: a well-formed request still answers.
+        send_frame(
+            &mut writer,
+            &Frame::new(
+                5,
+                Payload::Predict {
+                    model: None,
+                    apps: pair_apps(),
+                    deadline: None,
+                },
+            ),
+        );
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 5);
+        assert!(matches!(reply.payload, Payload::Prediction { .. }));
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_bad_binary_prelude_gets_one_error_frame_then_eof() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        // First byte matches the magic (routing the connection to the
+        // binary loop), second does not: no frame boundary can be
+        // recovered, so the server answers once and closes.
+        writer
+            .write_all(&[frame::MAGIC[0], 0x00, frame::VERSION, 0, 0, 0, 0])
+            .expect("writes");
+        writer.flush().expect("flushes");
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 0);
+        let Payload::Error { code, message } = reply.payload else {
+            panic!("expected an error frame, got {:?}", reply.payload);
+        };
+        assert_eq!(code, frame::error_code::MALFORMED);
+        assert!(message.contains("bad magic"), "{message}");
+        let mut byte = [0u8; 1];
+        assert_eq!(reader.read(&mut byte).expect("clean EOF"), 0);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn binary_admin_commands_are_refused_unless_the_listener_opted_in() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        send_frame(&mut writer, &Frame::new(11, Payload::Line("save".into())));
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 11);
+        let Payload::Error { code, .. } = reply.payload else {
+            panic!("expected an error frame, got {:?}", reply.payload);
+        };
+        assert_eq!(code, frame::error_code::ADMIN_DISABLED);
+        server.shutdown();
         service.shutdown();
     }
 }

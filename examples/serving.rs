@@ -139,12 +139,16 @@ fn main() {
     // Per-model accounting: every registered model has its own counters
     // and queue-wait/service-time histograms.
     for (name, _) in service.registry().list() {
-        if let Ok(Reply::ModelStats { model, metrics }) =
-            service.call(Request::Stats { model: Some(name) })
+        if let Ok(Reply::ModelStats {
+            model,
+            metrics,
+            shard,
+        }) = service.call(Request::Stats { model: Some(name) })
         {
+            let shard_wait = shard.map_or(0, |s| s.queue_wait.p95_us);
             println!(
-                "  {model:<12} {} requests, {} ok, {} err, queue wait p95 {}us",
-                metrics.received, metrics.succeeded, metrics.failed, metrics.queue_wait.p95_us
+                "  {model:<12} {} requests, {} ok, {} err, shard queue wait p95 {}us",
+                metrics.received, metrics.succeeded, metrics.failed, shard_wait
             );
         }
     }

@@ -45,6 +45,25 @@ timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
   server::tests::multibyte_utf8_split_across_a_read_timeout_survives_intact \
   engine::tests::admin_paths_and_model_names_cannot_escape_the_snapshot_dir
 
+echo "== wire protocol: frame codec + sharding isolation (bounded at 300s) =="
+# The binary-framing and per-model-sharding invariants, run by name so
+# they can never be silently filtered out: the frame codec must
+# round-trip every opcode and fail typed (never panic) on mutated
+# bytes, a malformed body must get an error frame without killing the
+# connection, the negotiated binary client must render replies
+# byte-identical to the text dialect, predictions over the binary wire
+# must be bit-identical to the offline predictor, and a slowed model
+# must not drag a fast peer's p99 when sharding is on.
+timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
+  frame::prop_tests::round_trip_is_identity \
+  frame::prop_tests::mutated_frames_fail_typed_never_panic \
+  server::tests::malformed_binary_bodies_get_an_error_frame_and_the_connection_survives \
+  server::tests::binary_replies_come_back_in_completion_order_not_submission_order \
+  client::tests::client_negotiates_binary_and_renders_identical_reply_lines
+timeout 300 cargo test -q --test serving -- --exact \
+  binary_wire_predictions_are_bit_identical_to_the_offline_predictor \
+  shard_isolation_keeps_fast_model_p99_near_baseline_while_unsharded_degrades
+
 echo "== observability: histograms, traces, exposition (bounded at 180s) =="
 # The observability invariants, run by name so they can never be
 # silently filtered out: lock-free histograms must not lose samples
@@ -101,6 +120,10 @@ for key in schema smoke threads corpus_bags batch_records \
   stage_measure_corpus_p95_us stage_train_tree_p95_us stage_train_forest_p95_us \
   stage_loocv_p95_us stage_loocv_fold_samples stage_loocv_fold_p50_us \
   stage_predict_single_p95_us stage_predict_batch_p95_us \
+  serve_text_protocol_ns_per_request serve_binary_protocol_ns_per_request \
+  serve_protocol_speedup serve_text_ns_per_request serve_binary_ns_per_request \
+  serve_isolation_baseline_p99_us serve_isolation_sharded_p99_us \
+  serve_isolation_unsharded_p99_us \
   obs_batch_overhead_percent; do
   grep -q "\"$key\"" "$smoke_json" || {
     echo "bench report is missing key: $key" >&2
@@ -120,6 +143,17 @@ awk -v o="$overhead" 'BEGIN { exit !(o < 5.0) }' || {
   exit 1
 }
 echo "histogram overhead on predict_batch: ${overhead}% (< 5%)"
+
+# The binary framing must actually be cheaper than the text dialect on
+# pure protocol work (parse/decode a predict + format/encode its
+# reply): gate at 1.5x. This is the per-request overhead the framing
+# change exists to remove.
+speedup="$(sed -n 's/.*"serve_protocol_speedup": \([0-9.]*\).*/\1/p' "$smoke_json")"
+awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' || {
+  echo "binary protocol is only ${speedup}x faster than text (gate: >= 1.5x)" >&2
+  exit 1
+}
+echo "binary protocol codec speedup over text: ${speedup}x (>= 1.5x)"
 
 echo "== fleet smoke + determinism + FFD optimality-gap gate (bounded at 300s) =="
 # Fixed-seed capacity-planning smoke: the report must carry the full

@@ -8,8 +8,8 @@ use bagpred::core::nbag::NBagMeasurement;
 use bagpred::core::{Bag, Measurement, Platforms};
 use bagpred::ml::codec::fmt_f64;
 use bagpred::serve::{
-    bootstrap, Client, ClientConfig, FaultPlan, ModelRegistry, PredictionService, Reply, Request,
-    ServableModel, Server, ServerConfig, ServiceConfig,
+    bootstrap, frame, Client, ClientConfig, FaultPlan, ModelRegistry, PredictionService, Reply,
+    Request, ServableModel, Server, ServerConfig, ServiceConfig,
 };
 use bagpred::workloads::{Benchmark, Workload};
 use std::io::{BufRead, BufReader, Write};
@@ -1270,6 +1270,195 @@ fn stalled_reply_writes_delay_but_never_drop_replies() {
     let reply = client_roundtrip(addr, &["models".to_string()]).remove(0);
     assert!(reply.starts_with("ok models="), "{reply}");
     assert!(started.elapsed() < Duration::from_millis(150));
+    drop(server);
+    service.shutdown();
+}
+
+/// Measures the fast model's p99 latency under mixed-model concurrency:
+/// four clients hammer `pair-tree` (optionally slowed through the
+/// `slow_predict` fault site), four clients hammer `nbag-tree`, and only
+/// the nbag half's latencies are kept. Exact nearest-rank p99 over the
+/// raw samples (no histogram bucketing).
+fn fast_model_p99(sharded: bool, slow_ms: Option<u64>, requests_per_client: usize) -> Duration {
+    let faults = match slow_ms {
+        Some(ms) => Arc::new(
+            FaultPlan::parse(&format!(
+                "slow_predict:model=pair-tree:count=1000000:ms={ms}"
+            ))
+            .expect("fault spec parses"),
+        ),
+        None => Arc::new(FaultPlan::none()),
+    };
+    let service = PredictionService::start(
+        registry(),
+        Platforms::paper(),
+        ServiceConfig {
+            sharded,
+            faults,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let addr = server.local_addr();
+
+    let mut fast_samples: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut fast_handles = Vec::new();
+        for i in 0..8 {
+            let is_fast = i % 2 == 1;
+            let handle = scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let line = if is_fast {
+                    "predict model=nbag-tree SIFT@20+KNN@40"
+                } else {
+                    "predict model=pair-tree SIFT@20+KNN@40"
+                };
+                let mut samples = Vec::new();
+                for _ in 0..requests_per_client {
+                    let start = Instant::now();
+                    let reply = client.request(line).expect("isolation request");
+                    assert!(reply.starts_with("ok "), "{reply}");
+                    samples.push(start.elapsed());
+                }
+                samples
+            });
+            if is_fast {
+                fast_handles.push(handle);
+            }
+        }
+        for handle in fast_handles {
+            fast_samples.extend(handle.join().expect("fast client finishes"));
+        }
+    });
+    drop(server);
+    service.shutdown();
+
+    fast_samples.sort();
+    let rank = ((fast_samples.len() as f64 * 0.99).ceil() as usize).clamp(1, fast_samples.len());
+    fast_samples[rank - 1]
+}
+
+#[test]
+fn shard_isolation_keeps_fast_model_p99_near_baseline_while_unsharded_degrades() {
+    // Every pair-tree predict sleeps 80ms. Sharded, nbag-tree has its
+    // own queue and workers and never sees the sleeps; unsharded, the
+    // four shared workers spend most of their time inside them and the
+    // fast model's requests queue behind.
+    let slow = Duration::from_millis(80);
+    let baseline = fast_model_p99(true, None, 30);
+    let sharded = fast_model_p99(true, Some(slow.as_millis() as u64), 30);
+    let unsharded = fast_model_p99(false, Some(slow.as_millis() as u64), 30);
+
+    // The isolation contract: a slowed peer moves the fast model's p99
+    // by at most 2x (with an absolute floor absorbing scheduler noise
+    // on loaded CI machines -- still a quarter of one injected sleep).
+    let allowed = (baseline * 2).max(slow / 4);
+    assert!(
+        sharded <= allowed,
+        "sharded fast-model p99 {sharded:?} exceeds {allowed:?} \
+         (baseline {baseline:?}) -- shard isolation is broken"
+    );
+    // The single shared queue must visibly degrade: the fast model's
+    // p99 lands at least half an injected sleep out, and well past the
+    // sharded run. This is the regression sharding exists to prevent.
+    assert!(
+        unsharded >= slow / 2,
+        "unsharded fast-model p99 {unsharded:?} never stalled behind the \
+         {slow:?} sleeps -- the degradation control lost its signal"
+    );
+    assert!(
+        unsharded > sharded * 2,
+        "unsharded p99 {unsharded:?} is not measurably worse than sharded \
+         {sharded:?}"
+    );
+}
+
+/// Reads one length-prefixed frame off a raw socket: prelude, declared
+/// body, then a full decode.
+fn read_wire_frame(reader: &mut BufReader<TcpStream>) -> frame::Frame {
+    use std::io::Read;
+    let mut prelude = [0u8; frame::PRELUDE_LEN];
+    reader.read_exact(&mut prelude).expect("reads prelude");
+    let body_len = frame::decode_prelude(&prelude).expect("prelude decodes");
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body).expect("reads body");
+    frame::decode_body(&body).expect("body decodes")
+}
+
+#[test]
+fn binary_wire_predictions_are_bit_identical_to_the_offline_predictor() {
+    let (server, service) = start_server();
+    let addr = server.local_addr();
+    let platforms = Platforms::paper();
+    let registry = registry();
+    let ServableModel::Pair(predictor) = &*registry.get(bootstrap::PAIR_MODEL).expect("registered")
+    else {
+        panic!("pair-tree must be a pair model");
+    };
+
+    let bags = [
+        (Benchmark::Sift, 20, Benchmark::Knn, 40),
+        (Benchmark::Hog, 20, Benchmark::Fast, 80),
+        (Benchmark::Orb, 40, Benchmark::Surf, 40),
+    ];
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones stream");
+    let mut reader = BufReader::new(stream);
+
+    // Pipeline all three Predict frames before reading a single reply:
+    // the binary dialect multiplexes on request ids, so the client need
+    // not alternate write/read like the text protocol does.
+    for (id, &(ba, na, bb, nb)) in bags.iter().enumerate() {
+        let request = frame::Frame::new(
+            id as u64 + 1,
+            frame::Payload::Predict {
+                model: Some(bootstrap::PAIR_MODEL.to_string()),
+                apps: vec![Workload::new(ba, na), Workload::new(bb, nb)],
+                deadline: None,
+            },
+        );
+        writer
+            .write_all(&frame::encode(&request))
+            .expect("writes frame");
+    }
+    writer.flush().expect("flushes");
+
+    let mut replies: Vec<frame::Frame> = (0..bags.len())
+        .map(|_| read_wire_frame(&mut reader))
+        .collect();
+    replies.sort_by_key(|f| f.request_id);
+
+    for (reply, &(ba, na, bb, nb)) in replies.iter().zip(&bags) {
+        let bag = Bag::pair(Workload::new(ba, na), Workload::new(bb, nb));
+        let expected = predictor.predict(&Measurement::collect(bag, &platforms));
+        let frame::Payload::Prediction { model, predicted_s } = &reply.payload else {
+            panic!("expected a Prediction frame, got {:?}", reply.payload);
+        };
+        assert_eq!(model, bootstrap::PAIR_MODEL);
+        assert_eq!(
+            predicted_s.to_bits(),
+            expected.to_bits(),
+            "binary wire prediction must be bit-identical to the offline \
+             predictor ({predicted_s} vs {expected})"
+        );
+    }
+
+    // A Line frame rides the same connection: admin-free verbs answer
+    // as LineReply text, exactly like the text dialect renders them.
+    let request = frame::Frame::new(9, frame::Payload::Line("models".to_string()));
+    writer
+        .write_all(&frame::encode(&request))
+        .expect("writes frame");
+    writer.flush().expect("flushes");
+    let reply = read_wire_frame(&mut reader);
+    assert_eq!(reply.request_id, 9);
+    let frame::Payload::LineReply(text) = &reply.payload else {
+        panic!("expected a LineReply frame, got {:?}", reply.payload);
+    };
+    assert!(text.starts_with("ok models="), "{text}");
+
+    drop(writer);
+    drop(reader);
     drop(server);
     service.shutdown();
 }
