@@ -61,7 +61,7 @@ pub mod validation;
 pub use codec::CodecError;
 pub use dataset::{Dataset, Sample};
 pub use error::{DatasetError, FitError};
-pub use flat::{FlatForest, FlatTree};
+pub use flat::{FlatForest, FlatTree, LANES};
 pub use forest::RandomForestRegressor;
 pub use linear::LinearRegression;
 pub use svr::{SvrKernel, SvrRegressor};

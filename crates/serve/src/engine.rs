@@ -853,8 +853,9 @@ fn summarize(request: &Request) -> String {
 /// Processes one drained batch with **semantic** batching: every predict
 /// job resolves its model and collects features up front, the jobs are
 /// grouped by the model that will serve them, and each group is answered
-/// by a single `predict_batch` call over the compiled flat model — one
-/// tree-walk loop per group instead of one full dispatch per request.
+/// by a single `predict_batch` call over the compiled flat model — the
+/// chunked level-order walk with `bagpred_ml::LANES` records in flight
+/// per loop iteration instead of one full dispatch per request.
 /// Non-predict requests and failed preparations complete individually.
 /// Predictions are bit-identical to the per-request path.
 fn process_batch(inner: &Inner, shard: &Shard<Job>, jobs: Vec<Job>) {

@@ -26,6 +26,7 @@ cargo fmt --all --check
 echo "== lint: cargo clippy --all-targets -D warnings =="
 cargo clippy -q --all-targets -- -D warnings
 cargo clippy -q -p bagpred-obs --all-targets -- -D warnings
+cargo clippy -q -p bagpred-ml --all-targets -- -D warnings
 
 echo "== serving integration (bounded at 300s) =="
 timeout 300 cargo test -q --test serving
@@ -104,6 +105,31 @@ timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
   engine::tests::aborted_workers_are_respawned_and_keep_serving \
   snapshot::tests::truncated_and_bitflipped_snapshots_are_quarantined_then_resave_round_trips
 
+echo "== flat traversal: level-order bit-identity + edge cases (bounded at 300s) =="
+# The lane-parallel traversal invariants, run by name so they can never
+# be silently filtered out: the chunked level-order walk (and its
+# bounds-check-free small-tree fast form) must be bit-identical to the
+# pre-order and boxed walks on random datasets, chunking must not
+# change results for any remainder size 0..16, the f32-quantized lane
+# must stay within its documented epsilon, and the hot-path edge cases
+# (zero-width rows, short or out-of-range remap maps) must fail with
+# their messaged asserts instead of raw index panics.
+timeout 300 cargo test -q -p bagpred-ml --lib -- --exact \
+  flat::tests::level_order_walk_is_bit_identical_to_preorder_and_boxed \
+  flat::tests::forest_level_order_walk_is_bit_identical_to_preorder_and_boxed \
+  flat::tests::chunked_walk_equals_one_at_a_time_for_every_remainder \
+  flat::tests::quantized_walk_matches_exact_within_documented_epsilon \
+  flat::tests::forest_quantized_walk_matches_exact_within_documented_epsilon \
+  flat::tests::flat_tree_is_bit_identical_on_random_data \
+  flat::tests::flat_forest_is_bit_identical_on_random_data \
+  flat::tests::zero_width_strided_rows_are_rejected \
+  flat::tests::zero_width_preorder_strided_rows_are_rejected \
+  flat::tests::zero_width_forest_strided_rows_are_rejected \
+  flat::tests::remap_rejects_a_short_map \
+  flat::tests::remap_rejects_targets_beyond_the_width \
+  flat::tests::forest_remap_rejects_a_short_map \
+  flat::tests::forest_remap_rejects_targets_beyond_the_width
+
 echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any
 # *_ns_per_record rate regresses past 2x the committed baseline.
@@ -124,6 +150,10 @@ for key in schema smoke threads corpus_bags batch_records \
   serve_protocol_speedup serve_text_ns_per_request serve_binary_ns_per_request \
   serve_isolation_baseline_p99_us serve_isolation_sharded_p99_us \
   serve_isolation_unsharded_p99_us \
+  flat_simd_tree_preorder_ns_per_record flat_simd_tree_ns_per_record \
+  flat_simd_tree_speedup flat_simd_forest_preorder_ns_per_record \
+  flat_simd_forest_ns_per_record flat_simd_forest_speedup \
+  flat_simd_forest_quantized_ns_per_record \
   obs_batch_overhead_percent; do
   grep -q "\"$key\"" "$smoke_json" || {
     echo "bench report is missing key: $key" >&2
@@ -154,6 +184,24 @@ awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' || {
   exit 1
 }
 echo "binary protocol codec speedup over text: ${speedup}x (>= 1.5x)"
+
+# The chunked level-order forest walk must be >=2x the scalar pre-order
+# baseline on the committed full-corpus run (both sides measured in the
+# same run on the same jittered batch), and clearly ahead even on the
+# fast-to-train smoke corpus, whose shallower trees flatter the branchy
+# baseline.
+committed_flat="$(sed -n 's/.*"flat_simd_forest_speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)"
+awk -v s="$committed_flat" 'BEGIN { exit !(s >= 2.0) }' || {
+  echo "committed flat_simd_forest_speedup is ${committed_flat}x (gate: >= 2.0x)" >&2
+  exit 1
+}
+echo "committed chunked level-order forest speedup: ${committed_flat}x (>= 2.0x)"
+smoke_flat="$(sed -n 's/.*"flat_simd_forest_speedup": \([0-9.]*\).*/\1/p' "$smoke_json")"
+awk -v s="$smoke_flat" 'BEGIN { exit !(s >= 1.2) }' || {
+  echo "smoke flat_simd_forest_speedup is ${smoke_flat}x (floor: >= 1.2x)" >&2
+  exit 1
+}
+echo "smoke chunked level-order forest speedup: ${smoke_flat}x (>= 1.2x floor)"
 
 echo "== fleet smoke + determinism + FFD optimality-gap gate (bounded at 300s) =="
 # Fixed-seed capacity-planning smoke: the report must carry the full
