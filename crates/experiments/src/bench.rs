@@ -27,7 +27,7 @@ use bagpred_core::{
     parallel, Bag, Corpus, FeatureSet, Measurement, ModelKind, Platforms, Predictor,
 };
 use bagpred_ml::{FlatForest, FlatTree};
-use bagpred_obs::LogHistogram;
+use bagpred_obs::{LogHistogram, ResidualWindow};
 use bagpred_workloads::{Benchmark, Workload};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -131,6 +131,10 @@ pub struct BenchReport {
     /// (clamped at 0 — noise can make the instrumented loop *faster*).
     /// `scripts/verify.sh` gates this below 5%.
     pub obs_batch_overhead_percent: f64,
+    /// Per-sample cost of [`ResidualWindow::observe`] — the work the
+    /// engine adds to every matched outcome report: APE arithmetic plus
+    /// a handful of relaxed atomic updates and two histogram records.
+    pub obs_outcome_record_ns: f64,
     /// The serving layer's protocol and isolation measurements
     /// ([`crate::servebench`]): binary-vs-text codec cost (gated at
     /// 1.5x by `scripts/verify.sh`), end-to-end loopback latency, and
@@ -380,6 +384,7 @@ pub fn run(options: &BenchOptions) -> BenchReport {
     });
 
     let obs_batch_overhead_percent = obs_overhead(&tree, &batch, 400);
+    let obs_outcome_record = obs_outcome_record_ns(if smoke { 200_000 } else { 1_000_000 });
     let serve = crate::servebench::run(smoke);
 
     let tree_single_ns = ns_per_record(tree_single, batch_records);
@@ -430,8 +435,28 @@ pub fn run(options: &BenchOptions) -> BenchReport {
             StageStat::of("predict_batch", &predict_batch_hist),
         ],
         obs_batch_overhead_percent,
+        obs_outcome_record_ns: obs_outcome_record,
         serve,
     }
+}
+
+/// Per-sample cost of the outcome tracker's hot path: one
+/// [`ResidualWindow::observe`] with varying predicted/actual pairs (so
+/// the APE arithmetic, EWMA CAS loop and both histogram records all see
+/// realistic, branch-unfriendly inputs). Best-of-5 over `rounds`.
+fn obs_outcome_record_ns(rounds: usize) -> f64 {
+    let window = ResidualWindow::new();
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for i in 0..rounds {
+            let predicted = 1_000 + ((i as u64).wrapping_mul(0x9e37_79b9) >> 16) % 100_000;
+            let actual = 1_000 + ((i as u64).wrapping_mul(0x85eb_ca6b) >> 16) % 100_000;
+            black_box(window.observe(black_box(predicted), black_box(actual)));
+        }
+        best = best.min(start.elapsed());
+    }
+    best.as_nanos() as f64 / rounds.max(1) as f64
 }
 
 /// Measures what one histogram sample per `predict_batch` call costs.
@@ -568,7 +593,7 @@ impl BenchReport {
                 stage.samples, stage.p50_us, stage.p95_us, stage.max_us,
             ));
         }
-        let serve_keys: [(&str, f64); 8] = [
+        let serve_keys: [(&str, f64); 9] = [
             (
                 "serve_text_protocol_ns_per_request",
                 self.serve.text_protocol_ns_per_request,
@@ -595,10 +620,18 @@ impl BenchReport {
                 "serve_isolation_unsharded_p99_us",
                 self.serve.isolation_unsharded_p99_us,
             ),
+            (
+                "serve_obs_outcome_roundtrip_us",
+                self.serve.obs_outcome_roundtrip_us,
+            ),
         ];
         for (key, value) in serve_keys.iter() {
             out.push_str(&format!("  \"{key}\": {value:.3},\n"));
         }
+        out.push_str(&format!(
+            "  \"obs_outcome_record_ns\": {:.3},\n",
+            self.obs_outcome_record_ns
+        ));
         out.push_str(&format!(
             "  \"obs_batch_overhead_percent\": {:.3}\n",
             self.obs_batch_overhead_percent
@@ -662,6 +695,10 @@ impl BenchReport {
         out.push_str(&format!(
             "  histogram overhead on predict_batch: {:.2}%\n",
             self.obs_batch_overhead_percent
+        ));
+        out.push_str(&format!(
+            "  outcome tracker   record {:>9.1} ns/sample  report roundtrip {:>7.1} us (loopback TCP)\n",
+            self.obs_outcome_record_ns, self.serve.obs_outcome_roundtrip_us,
         ));
         out.push_str(&format!(
             "  serve protocol    text   {:>9.1} ns/req  binary {:>8.1} ns/req  speedup {:>5.2}x\n",
@@ -808,6 +845,7 @@ mod tests {
                 max_us: 1800,
             }],
             obs_batch_overhead_percent: 0.4,
+            obs_outcome_record_ns: 45.0,
             serve: crate::servebench::ServeBench {
                 text_protocol_ns_per_request: 900.0,
                 binary_protocol_ns_per_request: 300.0,
@@ -817,6 +855,7 @@ mod tests {
                 isolation_baseline_p99_us: 250.0,
                 isolation_sharded_p99_us: 400.0,
                 isolation_unsharded_p99_us: 6000.0,
+                obs_outcome_roundtrip_us: 70.0,
             },
         }
     }
@@ -858,6 +897,11 @@ mod tests {
             json_number(&json, "serve_isolation_unsharded_p99_us"),
             Some(6000.0)
         );
+        assert_eq!(
+            json_number(&json, "serve_obs_outcome_roundtrip_us"),
+            Some(70.0)
+        );
+        assert_eq!(json_number(&json, "obs_outcome_record_ns"), Some(45.0));
         assert_eq!(json_number(&json, "no_such_key"), None);
     }
 
@@ -947,11 +991,21 @@ mod tests {
                 && report.obs_batch_overhead_percent >= 0.0,
             "{report:?}"
         );
+        assert!(
+            report.obs_outcome_record_ns > 0.0 && report.obs_outcome_record_ns.is_finite(),
+            "{report:?}"
+        );
+        assert!(
+            report.serve.obs_outcome_roundtrip_us > 0.0
+                && report.serve.obs_outcome_roundtrip_us.is_finite(),
+            "{report:?}"
+        );
 
         let rendered = report.render();
         assert!(rendered.contains("LOOCV"));
         assert!(rendered.contains("loocv_fold"));
         assert!(rendered.contains("histogram overhead"));
+        assert!(rendered.contains("outcome tracker"));
     }
 
     fn fake_fleet_json() -> String {

@@ -19,13 +19,20 @@
 //! * [`thread_sensitivity`] — execution time across a CPU thread ladder.
 //! * [`fleet_capacity`] — the fleet simulator's capacity-planning sweep
 //!   with the optimality-gap table (see `bagpred_fleet`).
+//! * [`online_observability`] — the closed loop: the LOOCV stream
+//!   replayed through the serving stack's online residual tracker, a
+//!   deterministic drift drill against perturbed ground truth, and a
+//!   live server/client loop that flips the `bagpred_model_drifting`
+//!   exposition gauge.
 
 use crate::context::Context;
 use crate::render::TextTable;
 use bagpred_core::nbag::{nbag_corpus, NBagMeasurement, NBagPredictor};
 use bagpred_core::{FeatureSet, ModelKind, Platforms, Predictor};
+use bagpred_obs::{PageHinkley, ResidualWindow};
 use bagpred_workloads::{Benchmark, Workload, STANDARD_BATCH};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One benchmark's spatial-vs-temporal comparison (2-way homogeneous bag).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -503,6 +510,321 @@ pub fn fleet_capacity() -> FleetCapacity {
     FleetCapacity { report }
 }
 
+/// Extension 9, live half: what the serving stack reported when a real
+/// client closed the loop over the wire with regressed outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveDrift {
+    /// Whether `bagpred_model_drifting` flipped to 1 in the exposition.
+    pub drift_flagged: bool,
+    /// Outcome reports the client sent before the flag flipped.
+    pub outcomes: u64,
+    /// The model the drill regressed (and the alarm named).
+    pub model: String,
+}
+
+/// Extension 9: closed-loop accuracy observability.
+///
+/// The offline half replays the pooled LOOCV prediction stream through
+/// a [`ResidualWindow`] — the same tracker the server feeds from
+/// `observe` outcome reports — so the online MAPE can be compared
+/// against the exact offline computation. The drift drill then extends
+/// the stream with ground truth perturbed by a fixed factor and records
+/// the exact sample at which the Page-Hinkley detector (at the serving
+/// defaults) fires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineObservability {
+    /// Held-out points in the pooled LOOCV stream (folds overlap on
+    /// heterogeneous bags, so this exceeds the 91-run corpus).
+    pub points: usize,
+    /// Pooled per-point MAPE computed offline in exact `f64` arithmetic.
+    pub offline_mape_percent: f64,
+    /// The same stream through the tracker's microsecond + milli-percent
+    /// quantization.
+    pub online_mape_percent: f64,
+    /// The tracker's EWMA MAPE after the clean replay.
+    pub ewma_mape_percent: f64,
+    /// The tracker's signed bias after the clean replay, µs.
+    pub bias_us: f64,
+    /// Fig. 4's macro mean (mean of per-benchmark means), for context.
+    pub macro_mean_percent: f64,
+    /// The paper's reported Fig. 4 mean.
+    pub paper_mean_percent: f64,
+    /// 1-based index of the first perturbed sample in the drift drill.
+    pub drill_onset: usize,
+    /// Factor applied to ground truth from `drill_onset` onward.
+    pub drill_factor: f64,
+    /// 1-based sample at which the detector fired, `None` if it never
+    /// did (the reproduction test asserts it fires past the onset).
+    pub drill_fire_index: Option<usize>,
+    /// Serving-default Page-Hinkley tolerance fed to the drill.
+    pub drift_delta: f64,
+    /// Serving-default Page-Hinkley threshold fed to the drill.
+    pub drift_lambda: f64,
+    /// The live server/client drill; `None` when only the deterministic
+    /// offline half ran.
+    pub live: Option<LiveDrift>,
+}
+
+impl OnlineObservability {
+    /// Renders as a text table plus the drill narratives.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec!["metric".into(), "value".into()]);
+        table.row(vec![
+            "LOOCV points replayed".into(),
+            self.points.to_string(),
+        ]);
+        table.row(vec![
+            "offline pooled MAPE".into(),
+            format!("{:.3}%", self.offline_mape_percent),
+        ]);
+        table.row(vec![
+            "online MAPE (ResidualWindow)".into(),
+            format!("{:.3}%", self.online_mape_percent),
+        ]);
+        table.row(vec![
+            "online EWMA MAPE".into(),
+            format!("{:.3}%", self.ewma_mape_percent),
+        ]);
+        table.row(vec![
+            "online bias".into(),
+            format!("{:+.0} us", self.bias_us),
+        ]);
+        table.row(vec![
+            "Fig. 4 macro mean".into(),
+            format!(
+                "{:.2}%  (paper: {:.0}%)",
+                self.macro_mean_percent, self.paper_mean_percent
+            ),
+        ]);
+        let mut out = format!(
+            "Extension 9: closed-loop accuracy observability (online residual \
+             tracking)\n{}",
+            table.render()
+        );
+        match self.drill_fire_index {
+            Some(fired) => out.push_str(&format!(
+                "\ndrift drill: ground truth x{:.1} from sample {}; Page-Hinkley \
+                 (delta={}, lambda={}) fired at sample {} — {} perturbed outcome(s)\n",
+                self.drill_factor,
+                self.drill_onset,
+                self.drift_delta,
+                self.drift_lambda,
+                fired,
+                fired.saturating_sub(self.drill_onset - 1),
+            )),
+            None => out.push_str(&format!(
+                "\ndrift drill: ground truth x{:.1} from sample {}; detector never \
+                 fired\n",
+                self.drill_factor, self.drill_onset
+            )),
+        }
+        if let Some(live) = &self.live {
+            out.push_str(&format!(
+                "live loop: binary client reported {} outcome(s); \
+                 bagpred_model_drifting{{model=\"{}\"}} {} in the exposition\n",
+                live.outcomes,
+                live.model,
+                if live.drift_flagged {
+                    "flipped to 1"
+                } else {
+                    "stayed 0"
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Mirrors the engine's prediction-recording quantization
+/// (`predicted_micros`): whole microseconds, clamped to at least 1.
+fn micros(seconds: f64) -> u64 {
+    let us = (seconds * 1e6).round();
+    if us.is_finite() && us >= 1.0 {
+        us.min(u64::MAX as f64) as u64
+    } else {
+        1
+    }
+}
+
+/// The pooled LOOCV prediction stream: `(predicted_s, truth_s)` per
+/// held-out point. Folds are interleaved round-robin — served traffic
+/// arrives mixed across benchmarks, not sorted by fold, and a
+/// fold-sorted replay would hand the change detector artificial regime
+/// shifts at every fold boundary. Fully deterministic.
+fn loocv_stream(ctx: &Context) -> Vec<(f64, f64)> {
+    let mut folds: Vec<Vec<(f64, f64)>> = Vec::new();
+    for &bench in Benchmark::ALL.iter() {
+        let (test, train): (Vec<_>, Vec<_>) = ctx
+            .records()
+            .iter()
+            .cloned()
+            .partition(|m| m.bag().involves(bench));
+        if test.is_empty() || train.is_empty() {
+            continue;
+        }
+        let mut fold = Predictor::new(FeatureSet::full());
+        fold.train(&train);
+        folds.push(
+            test.iter()
+                .zip(fold.predict_batch(&test))
+                .map(|(m, predicted)| (predicted, m.bag_gpu_time_s()))
+                .collect(),
+        );
+    }
+    let mut stream = Vec::new();
+    let longest = folds.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for fold in &folds {
+            if let Some(&pair) = fold.get(i) {
+                stream.push(pair);
+            }
+        }
+    }
+    stream
+}
+
+/// How many perturbed samples the drift drill appends.
+const DRILL_SAMPLES: usize = 30;
+/// Ground-truth perturbation factor: co-runs suddenly take twice as
+/// long as the regime the model was trained on.
+const DRILL_FACTOR: f64 = 2.0;
+
+/// Runs extension 9's deterministic offline half: clean replay, then
+/// the perturbed-truth drift drill. No sockets, no wall clock.
+pub fn online_observability(ctx: &Context) -> OnlineObservability {
+    let stream = loocv_stream(ctx);
+
+    // Clean replay: online tracker vs exact offline arithmetic.
+    let window = ResidualWindow::new();
+    let mut offline_sum = 0.0;
+    for &(predicted, truth) in &stream {
+        offline_sum += ((predicted - truth) / truth).abs() * 100.0;
+        window.observe(micros(predicted), micros(truth));
+    }
+
+    // Drift drill: same stream (the detector learns the healthy error
+    // regime), then ground truth shifts by DRILL_FACTOR — the kind of
+    // silent regression outcome feedback exists to catch.
+    let defaults = bagpred_serve::ServiceConfig::default();
+    let mut detector = PageHinkley::new(defaults.drift_delta, defaults.drift_lambda);
+    let drill = ResidualWindow::new();
+    let mut fire_index = None;
+    let mut sample = 0usize;
+    for &(predicted, truth) in &stream {
+        sample += 1;
+        let ape = drill.observe(micros(predicted), micros(truth));
+        if detector.observe(ape) && fire_index.is_none() {
+            fire_index = Some(sample);
+        }
+    }
+    let onset = sample + 1;
+    for &(predicted, truth) in stream.iter().take(DRILL_SAMPLES) {
+        sample += 1;
+        let ape = drill.observe(micros(predicted), micros(truth * DRILL_FACTOR));
+        if detector.observe(ape) && fire_index.is_none() {
+            fire_index = Some(sample);
+        }
+    }
+
+    let snapshot = window.snapshot();
+    let fig4 = crate::accuracy::figure4(ctx);
+    OnlineObservability {
+        points: stream.len(),
+        offline_mape_percent: offline_sum / stream.len().max(1) as f64,
+        online_mape_percent: snapshot.online_mape_percent,
+        ewma_mape_percent: snapshot.ewma_mape_percent,
+        bias_us: snapshot.bias_us,
+        macro_mean_percent: fig4.mean_error_percent,
+        paper_mean_percent: fig4.paper_mean_error_percent,
+        drill_onset: onset,
+        drill_factor: DRILL_FACTOR,
+        drill_fire_index: fire_index,
+        drift_delta: defaults.drift_delta,
+        drift_lambda: defaults.drift_lambda,
+        live: None,
+    }
+}
+
+/// Runs extension 9's live half: a real server on an ephemeral port, a
+/// binary client predicting and reporting outcomes that come back 2x
+/// slower than predicted, until the advisory drift gauge flips in the
+/// Prometheus exposition.
+pub fn live_drift() -> LiveDrift {
+    use bagpred_serve::{bootstrap, Client, PredictionService, Reply, Request, Server};
+
+    let platforms = Platforms::paper();
+    let registry = bootstrap::default_registry(&platforms);
+    let service =
+        PredictionService::start(registry, platforms, bagpred_serve::ServiceConfig::default());
+    let mut server =
+        Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds an ephemeral port");
+    let mut client = Client::new(server.local_addr());
+
+    let model = "pair-tree".to_string();
+    let predict = |client: &mut Client| -> (u64, u64) {
+        let reply = client
+            .request("predict SIFT@20+KNN@40")
+            .expect("server is up");
+        let predicted_s: f64 = reply
+            .split("predicted_s=")
+            .nth(1)
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .expect("prediction reply carries predicted_s");
+        let id = client.last_request_id().expect("a request just ran");
+        (id, micros(predicted_s))
+    };
+    let drifting = |service: &PredictionService| -> bool {
+        let Ok(Reply::Metrics(expo)) = service.call(Request::Metrics) else {
+            panic!("metrics always renders");
+        };
+        expo.lines().any(|line| {
+            line.starts_with("bagpred_model_drifting{")
+                && line.contains(&model)
+                && line.trim_end().ends_with(" 1")
+        })
+    };
+
+    // Healthy phase: actuals equal the prediction, teaching the
+    // detector the zero-error regime.
+    let mut outcomes = 0u64;
+    for _ in 0..8 {
+        let (id, predicted_us) = predict(&mut client);
+        client.report_outcome(id, predicted_us).expect("reports");
+        outcomes += 1;
+    }
+    // Regression phase: co-runs now take twice as long as predicted
+    // (100% APE per outcome); the alarm should latch within a few.
+    let mut drift_flagged = false;
+    for _ in 0..32 {
+        let (id, predicted_us) = predict(&mut client);
+        client
+            .report_outcome(id, predicted_us.saturating_mul(2))
+            .expect("reports");
+        outcomes += 1;
+        if drifting(&service) {
+            drift_flagged = true;
+            break;
+        }
+    }
+
+    server.shutdown();
+    service.shutdown();
+    LiveDrift {
+        drift_flagged,
+        outcomes,
+        model,
+    }
+}
+
+/// Runs the full extension 9 artifact: offline replay + drift drill,
+/// then the live server loop.
+pub fn online_observability_live(ctx: &Context) -> OnlineObservability {
+    let mut ext = online_observability(ctx);
+    ext.live = Some(live_drift());
+    ext
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,5 +974,66 @@ mod tests {
         let linear = cmp.error_of("linear regression").unwrap();
         assert!(svr > 2.0 * tree, "SVR {svr:.1} vs tree {tree:.1}");
         assert!(linear > tree, "linear {linear:.1} vs tree {tree:.1}");
+    }
+
+    #[test]
+    fn online_mape_matches_offline_loocv_within_quantization() {
+        let ext = online_observability(Context::shared());
+        // Folds overlap on heterogeneous bags, so the pooled stream
+        // exceeds the 91-run corpus.
+        assert!(ext.points > 91, "pooled {} points", ext.points);
+        // The tracker quantizes predictions to whole microseconds and
+        // each sample's percent error to milli-percent; on the corpus's
+        // millisecond-scale GPU times that bounds the pooled divergence
+        // far below 0.05 percentage points (the documented tolerance).
+        assert!(
+            (ext.online_mape_percent - ext.offline_mape_percent).abs() < 0.05,
+            "online {:.4}% vs offline {:.4}%",
+            ext.online_mape_percent,
+            ext.offline_mape_percent
+        );
+        assert!(ext.ewma_mape_percent.is_finite() && ext.ewma_mape_percent >= 0.0);
+        // The clean replay's macro mean is the Fig. 4 headline.
+        let fig4 = crate::accuracy::figure4(Context::shared());
+        assert!((ext.macro_mean_percent - fig4.mean_error_percent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_drill_fires_deterministically_after_the_perturbation() {
+        let a = online_observability(Context::shared());
+        let b = online_observability(Context::shared());
+        // Pure replay: the fire point is exact and identical run to run.
+        assert_eq!(a.drill_fire_index, b.drill_fire_index);
+        assert_eq!(
+            a.online_mape_percent.to_bits(),
+            b.online_mape_percent.to_bits()
+        );
+        let fired = a
+            .drill_fire_index
+            .expect("a 2x ground-truth shift must fire the detector");
+        assert!(
+            fired >= a.drill_onset,
+            "detector fired at {fired}, inside the clean stream (onset {})",
+            a.drill_onset
+        );
+        assert!(
+            fired < a.drill_onset + DRILL_SAMPLES,
+            "detector too slow: fired at {fired}, onset {}",
+            a.drill_onset
+        );
+        assert!(a.render().contains("fired at sample"));
+    }
+
+    #[test]
+    fn live_loop_flips_the_drifting_gauge_in_the_exposition() {
+        let live = live_drift();
+        assert!(
+            live.drift_flagged,
+            "gauge never flipped after {} outcomes",
+            live.outcomes
+        );
+        // The healthy phase alone (8 accurate outcomes) must not trip
+        // the alarm; at least one regressed outcome has to land first.
+        assert!(live.outcomes > 8, "flagged after only {}", live.outcomes);
     }
 }

@@ -16,7 +16,7 @@
 //! ```
 //!
 //! Artifacts: `fig1` … `fig12`, `table2`, `table3`, `table4`,
-//! `ext1` … `ext8`, `summary`, `all`. `--list` prints the machine-readable
+//! `ext1` … `ext9`, `summary`, `all`. `--list` prints the machine-readable
 //! artifact list (one per line) without measuring anything. `serve` trains
 //! the pair + n-bag models (or loads snapshots from `--models DIR`) and
 //! answers the line protocol documented in `bagpred_serve::protocol` on
@@ -45,10 +45,10 @@ use bagpred_serve::{
 };
 use std::sync::Arc;
 
-const ARTIFACTS: [&str; 24] = [
+const ARTIFACTS: [&str; 25] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "table2", "table3", "table4", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
-    "ext8", "summary",
+    "ext8", "ext9", "summary",
 ];
 
 fn run(artifact: &str, ctx: &Context) -> Result<String, String> {
@@ -76,6 +76,7 @@ fn run(artifact: &str, ctx: &Context) -> Result<String, String> {
         "ext6" => extensions::dynamic_release(ctx).render(),
         "ext7" => extensions::thread_sensitivity(ctx).render(),
         "ext8" => extensions::fleet_capacity().render(),
+        "ext9" => extensions::online_observability_live(ctx).render(),
         "summary" => summary(ctx),
         other => return Err(format!("unknown artifact `{other}`")),
     })
@@ -298,9 +299,9 @@ fn serve(args: &[String]) -> ! {
     if admin {
         println!(
             "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-             stats [model=NAME] | models | health | metrics | trace | \
-             load model=NAME path=FILE | save [model=NAME] [path=DEST] | \
-             reload model=NAME [path=FILE] | quit \
+             observe id=I actual_us=N | stats [model=NAME] | models | health | \
+             metrics | trace | load model=NAME path=FILE | \
+             save [model=NAME] [path=DEST] | reload model=NAME [path=FILE] | quit \
              (any request also takes deadline_ms=N)"
         );
         println!(
@@ -313,8 +314,8 @@ fn serve(args: &[String]) -> ! {
     } else {
         println!(
             "commands: predict A@N+B@M | schedule k=K budget=S A@N ... | \
-             stats [model=NAME] | models | health | metrics | quit \
-             (any request also takes deadline_ms=N; \
+             observe id=I actual_us=N | stats [model=NAME] | models | health | \
+             metrics | quit (any request also takes deadline_ms=N; \
              load/save/reload/trace need --admin)"
         );
     }

@@ -1,7 +1,7 @@
-//! Serving-layer benchmark: binary-vs-text protocol overhead and
-//! shard-isolation tail latency.
+//! Serving-layer benchmark: binary-vs-text protocol overhead,
+//! shard-isolation tail latency, and the outcome-report roundtrip.
 //!
-//! Three measurements, all feeding `BENCH_pipeline.json` through
+//! Four measurements, all feeding `BENCH_pipeline.json` through
 //! [`crate::bench`]:
 //!
 //! * **Protocol codec cost** — the per-request work that is purely
@@ -23,6 +23,9 @@
 //!   workers absorb the interference), and unsharded next to the slow
 //!   peer (the shared FIFO queue lets the slow model's jobs stall
 //!   everyone — the regression the sharded engine exists to prevent).
+//! * **Outcome-report roundtrip** — what closing the loop costs a
+//!   binary client per prediction: one `Outcome` frame out, one
+//!   matched/orphaned reply back, over the same loopback TCP path.
 
 use bagpred_core::Platforms;
 use bagpred_obs::LogHistogram;
@@ -57,6 +60,10 @@ pub struct ServeBench {
     /// Fast-model p99 on the shared single queue next to the same
     /// slowed peer, us.
     pub isolation_unsharded_p99_us: f64,
+    /// Mean latency of closing the loop on one prediction — a binary
+    /// client's `Outcome` frame and its matched/orphaned reply over
+    /// loopback TCP, us.
+    pub obs_outcome_roundtrip_us: f64,
 }
 
 /// Runs all three serve measurements. Training happens once (the same
@@ -78,6 +85,9 @@ pub fn run(smoke: bool) -> ServeBench {
     let sharded = isolation_p99_us(&registry, true, true, isolation_requests);
     let unsharded = isolation_p99_us(&registry, false, true, isolation_requests);
 
+    let outcome_reports = if smoke { 200 } else { 1_000 };
+    let outcome_roundtrip = outcome_roundtrip_us(&registry, outcome_reports);
+
     ServeBench {
         text_protocol_ns_per_request: text_protocol_ns,
         binary_protocol_ns_per_request: binary_protocol_ns,
@@ -87,6 +97,7 @@ pub fn run(smoke: bool) -> ServeBench {
         isolation_baseline_p99_us: baseline,
         isolation_sharded_p99_us: sharded,
         isolation_unsharded_p99_us: unsharded,
+        obs_outcome_roundtrip_us: outcome_roundtrip,
     }
 }
 
@@ -178,6 +189,45 @@ fn end_to_end_ns(registry: &Arc<ModelRegistry>, binary: bool, requests: usize) -
     server.shutdown();
     service.shutdown();
     per_request
+}
+
+/// Mean latency of closing the loop on one prediction: a binary client
+/// sends an `Outcome` frame (8 payload bytes, joined by its own request
+/// id) and waits for the matched/orphaned reply. The prediction that
+/// creates the join key runs outside the timed region, so this measures
+/// exactly what outcome feedback adds per request.
+fn outcome_roundtrip_us(registry: &Arc<ModelRegistry>, reports: usize) -> f64 {
+    let service = PredictionService::start(
+        Arc::clone(registry),
+        Platforms::paper(),
+        ServiceConfig::default(),
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("bench server binds");
+    let mut client = Client::new(server.local_addr());
+    let line = "predict SIFT@20+KNN@40";
+    for _ in 0..20 {
+        client.request(line).expect("warmup request");
+        let id = client.last_request_id().expect("warmup request ran");
+        client.report_outcome(id, 1_000).expect("warmup report");
+    }
+    assert_eq!(
+        client.is_binary(),
+        Some(true),
+        "outcome frames need the binary dialect"
+    );
+    let mut total = Duration::ZERO;
+    for _ in 0..reports.max(1) {
+        client.request(line).expect("bench request");
+        let id = client.last_request_id().expect("a request just ran");
+        let start = Instant::now();
+        let reply = client.report_outcome(id, 1_000).expect("bench report");
+        total += start.elapsed();
+        assert!(reply.starts_with("ok outcome="), "{reply}");
+    }
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+    total.as_nanos() as f64 / 1e3 / reports.max(1) as f64
 }
 
 /// Fast-model p99 under mixed-model concurrency: eight clients, half

@@ -138,6 +138,7 @@ pub fn run_with(
                 packing_efficiency: outcome.packing_efficiency(),
                 utilization: outcome.utilization(k),
                 corun_sets: outcome.corun_sets,
+                online_mape_percent: outcome.online_mape_percent(),
             });
         }
     }

@@ -38,6 +38,10 @@ pub struct PolicyCell {
     pub utilization: f64,
     /// Dispatched sets with ≥ 2 members.
     pub corun_sets: u64,
+    /// Online MAPE of dispatched predictions vs the ground-truth co-run
+    /// simulation — the closed-loop accuracy a reporting client fleet
+    /// would observe.
+    pub online_mape_percent: f64,
 }
 
 /// The full capacity-planning report.
@@ -117,6 +121,10 @@ impl FleetReport {
                 cell.utilization
             ));
             out.push_str(&format!("  \"{tag}_corun_sets\": {},\n", cell.corun_sets));
+            out.push_str(&format!(
+                "  \"{tag}_online_mape_percent\": {:.3},\n",
+                cell.online_mape_percent
+            ));
         }
         match &self.gap_cfg {
             Some(cfg) => {
@@ -165,7 +173,7 @@ impl FleetReport {
             self.arrivals_cfg.seed,
         ));
         out.push_str(&format!(
-            "{:<8} {:>3} {:>9} {:>6} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7}\n",
+            "{:<8} {:>3} {:>9} {:>6} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7} {:>8}\n",
             "policy",
             "k",
             "completed",
@@ -177,10 +185,12 @@ impl FleetReport {
             "packing",
             "util",
             "coruns",
+            "mape%",
         ));
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<8} {:>3} {:>9} {:>6} {:>9.4} {:>9.2} {:>9.2} {:>10.3} {:>8.3} {:>7.3} {:>7}\n",
+                "{:<8} {:>3} {:>9} {:>6} {:>9.4} {:>9.2} {:>9.2} {:>10.3} {:>8.3} {:>7.3} {:>7} \
+                 {:>8.2}\n",
                 c.policy,
                 c.gpus,
                 c.completed,
@@ -192,6 +202,7 @@ impl FleetReport {
                 c.packing_efficiency,
                 c.utilization,
                 c.corun_sets,
+                c.online_mape_percent,
             ));
         }
         if let Some(cfg) = &self.gap_cfg {

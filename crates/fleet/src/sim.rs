@@ -17,10 +17,11 @@
 
 use crate::arrivals::Job;
 use crate::policy::{Policy, PolicyCtx};
-use bagpred_obs::LogHistogram;
+use bagpred_obs::{LogHistogram, ResidualWindow};
 use bagpred_serve::error::ServeError;
+use bagpred_workloads::Workload;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Knobs of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +60,11 @@ pub struct SimOutcome {
     pub corun_sets: u64,
     /// Per-job completion latency (queue wait + predicted run), µs.
     pub latency: LogHistogram,
+    /// The closed loop: every dispatched set's predicted time joined
+    /// against the ground-truth co-run simulation of the same set — the
+    /// outcome a real client would report back after running it. One
+    /// observation per dispatched set.
+    pub residuals: ResidualWindow,
 }
 
 impl SimOutcome {
@@ -91,6 +97,36 @@ impl SimOutcome {
             self.busy_gpu_s / capacity
         }
     }
+
+    /// Online MAPE of the dispatched predictions against ground truth —
+    /// the fleet-level number the serving layer's per-model
+    /// `bagpred_model_online_mape_percent` gauge would converge to if
+    /// every client reported its outcome.
+    pub fn online_mape_percent(&self) -> f64 {
+        self.residuals.online_mape_percent()
+    }
+}
+
+/// Ground-truth runtime of one dispatched set, whole microseconds: the
+/// co-run GPU simulation the predictor exists to avoid — exactly what a
+/// client would measure and report after acting on the prediction.
+/// Memoized per sorted set (dispatch repeats the same combinations), so
+/// a policy's truth cost is one simulation per distinct set.
+fn true_run_us(
+    truths: &mut HashMap<Vec<Workload>, u64>,
+    platforms: &bagpred_core::Platforms,
+    apps: &[Workload],
+) -> u64 {
+    let mut key: Vec<Workload> = apps.to_vec();
+    key.sort_by_key(|w| (w.benchmark().name(), w.batch_size()));
+    if let Some(&us) = truths.get(&key) {
+        return us;
+    }
+    let profiles: Vec<_> = key.iter().map(Workload::profile).collect();
+    let truth_s = platforms.gpu().simulate_bag(&profiles).makespan_s();
+    let us = ((truth_s * 1e6).ceil() as u64).max(1);
+    truths.insert(key, us);
+    us
 }
 
 /// Replays `jobs` (sorted by arrival) through `policy` on `cfg.gpus`
@@ -131,6 +167,8 @@ pub fn simulate(
     let mut corun_sets = 0u64;
     let mut last_finish_us = 0u64;
     let latency = LogHistogram::new();
+    let residuals = ResidualWindow::new();
+    let mut truths: HashMap<Vec<Workload>, u64> = HashMap::new();
 
     loop {
         let next_arrival_us = jobs.get(next_arrival).map(|j| j.arrival_us);
@@ -197,6 +235,13 @@ pub fn simulate(
             {
                 let gpu = idle[slot];
                 let run_us = ((assignment.predicted_s * 1e6).ceil() as u64).max(1);
+                // Close the loop on this dispatch: join the predicted
+                // time against the ground-truth co-run simulation, as a
+                // client reporting its observed runtime would.
+                residuals.observe(
+                    run_us,
+                    true_run_us(&mut truths, ctx.platforms, &assignment.apps),
+                );
                 let finish = now + run_us;
                 gpu_busy[gpu] = true;
                 completions.push(Reverse((finish, seq, gpu)));
@@ -229,6 +274,7 @@ pub fn simulate(
         solo_completed_s,
         corun_sets,
         latency,
+        residuals,
     })
 }
 
@@ -287,6 +333,12 @@ mod tests {
         assert_eq!(outcome.completed + outcome.shed, outcome.arrivals);
         assert_eq!(outcome.latency.count(), outcome.completed);
         assert!(outcome.makespan_s > 0.0);
+        // Every dispatched set fed the closed loop with a ground-truth
+        // outcome; the predictor is good, so the online MAPE is sane.
+        assert!(outcome.residuals.matched() > 0);
+        assert!(outcome.residuals.matched() <= outcome.completed);
+        let mape = outcome.online_mape_percent();
+        assert!(mape.is_finite() && mape >= 0.0, "mape={mape}");
     }
 
     #[test]
@@ -350,5 +402,11 @@ mod tests {
         assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
         assert_eq!(a.busy_gpu_s.to_bits(), b.busy_gpu_s.to_bits());
         assert_eq!(a.latency.snapshot(), b.latency.snapshot());
+        assert_eq!(
+            a.online_mape_percent().to_bits(),
+            b.online_mape_percent().to_bits(),
+            "the closed loop is part of the determinism contract"
+        );
+        assert_eq!(a.residuals.snapshot(), b.residuals.snapshot());
     }
 }

@@ -1,0 +1,193 @@
+//! Deterministic change detection for error streams.
+//!
+//! [`PageHinkley`] implements the Page-Hinkley test, the sequential
+//! CUSUM-style detector for an *increase* in the mean of a stream.
+//! Fed the absolute-percent-error stream of a model's matched
+//! outcomes, it fires when the errors have drifted persistently above
+//! their historical mean — the signal a once-accurate predictor is
+//! going stale.
+//!
+//! The math, per sample `x_t`:
+//!
+//! ```text
+//! n      += 1
+//! mean   += (x_t - mean) / n                 (running mean)
+//! m_t    += x_t - mean - delta               (cumulative deviation)
+//! M_t     = min(M_t, m_t)                    (historical minimum)
+//! fire when  m_t - M_t > lambda
+//! ```
+//!
+//! `delta` is the per-sample slack (magnitude of mean change to
+//! ignore) and `lambda` the detection threshold: larger values make
+//! the detector less sensitive but slower to false-alarm. The state is
+//! a handful of `f64`s updated sequentially, so identical input
+//! sequences fire at exactly the same sample — the fire point is
+//! unit-testable and replayable.
+
+/// Sequential Page-Hinkley detector for an upward mean shift.
+///
+/// Not internally synchronized: updates are order-dependent by
+/// definition, so wrap it in a `Mutex` when shared. Once fired the
+/// alarm is sticky until [`PageHinkley::reset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    samples: u64,
+    mean: f64,
+    cumulative: f64,
+    minimum: f64,
+    fired: bool,
+}
+
+impl PageHinkley {
+    /// A fresh detector with per-sample slack `delta` and detection
+    /// threshold `lambda` (both in the units of the observed stream —
+    /// percent error, for outcome tracking).
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        Self {
+            delta,
+            lambda,
+            samples: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            minimum: 0.0,
+            fired: false,
+        }
+    }
+
+    /// Feed one sample. Returns `true` exactly once: on the sample
+    /// that first crosses the threshold. After that the alarm stays
+    /// latched (see [`PageHinkley::fired`]) but `observe` returns
+    /// `false` again, so callers can treat `true` as an edge trigger.
+    pub fn observe(&mut self, value: f64) -> bool {
+        self.samples += 1;
+        self.mean += (value - self.mean) / self.samples as f64;
+        self.cumulative += value - self.mean - self.delta;
+        self.minimum = self.minimum.min(self.cumulative);
+        if !self.fired && self.score() > self.lambda {
+            self.fired = true;
+            return true;
+        }
+        false
+    }
+
+    /// Current test statistic `m_t - M_t` (0.0 before any samples).
+    pub fn score(&self) -> f64 {
+        self.cumulative - self.minimum
+    }
+
+    /// True once the alarm has fired (sticky until reset).
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Samples observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Drop all state (mean, cumulative statistics, alarm), keeping
+    /// the configured `delta`/`lambda`.
+    pub fn reset(&mut self) {
+        self.samples = 0;
+        self.mean = 0.0;
+        self.cumulative = 0.0;
+        self.minimum = 0.0;
+        self.fired = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 20 samples at one level, then a step up.
+    fn step_stream() -> Vec<f64> {
+        let mut xs = vec![10.0; 20];
+        xs.extend(std::iter::repeat_n(30.0, 20));
+        xs
+    }
+
+    #[test]
+    fn constant_stream_never_fires() {
+        let mut d = PageHinkley::new(0.5, 30.0);
+        for _ in 0..10_000 {
+            assert!(!d.observe(10.0));
+        }
+        assert!(!d.fired());
+        assert_eq!(d.score(), 0.0);
+        assert_eq!(d.samples(), 10_000);
+    }
+
+    #[test]
+    fn step_change_fires_at_a_deterministic_sample() {
+        // With delta=0.5, lambda=30 the 2x step at sample 21 crosses
+        // the threshold on sample 22 — pinned, not approximate.
+        let mut d = PageHinkley::new(0.5, 30.0);
+        let mut fire_point = None;
+        for (i, &x) in step_stream().iter().enumerate() {
+            if d.observe(x) {
+                assert!(fire_point.is_none(), "observe() is an edge trigger");
+                fire_point = Some(i + 1);
+            }
+        }
+        assert_eq!(fire_point, Some(22));
+        assert!(d.fired(), "alarm is sticky after the edge");
+    }
+
+    #[test]
+    fn identical_sequences_fire_identically() {
+        let mut a = PageHinkley::new(1.0, 50.0);
+        let mut b = PageHinkley::new(1.0, 50.0);
+        // A deterministic pseudo-noisy stream with a late level shift.
+        let stream: Vec<f64> = (0..200)
+            .map(|i| {
+                let base = if i < 120 { 8.0 } else { 24.0 };
+                base + (i % 7) as f64 * 0.25
+            })
+            .collect();
+        let fires_a: Vec<usize> = stream
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| a.observe(x))
+            .map(|(i, _)| i)
+            .collect();
+        let fires_b: Vec<usize> = stream
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| b.observe(x))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(fires_a, fires_b);
+        assert_eq!(fires_a.len(), 1, "exactly one edge");
+        assert_eq!(a, b, "full detector state matches");
+    }
+
+    #[test]
+    fn reset_rearms_the_detector() {
+        let mut d = PageHinkley::new(0.5, 30.0);
+        for &x in &step_stream() {
+            d.observe(x);
+        }
+        assert!(d.fired());
+        d.reset();
+        assert!(!d.fired());
+        assert_eq!(d.samples(), 0);
+        assert_eq!(d.score(), 0.0);
+        // It can fire again on a fresh drifting stream.
+        let refired = step_stream().iter().any(|&x| d.observe(x));
+        assert!(refired);
+    }
+
+    #[test]
+    fn downward_shift_does_not_fire() {
+        let mut d = PageHinkley::new(0.5, 30.0);
+        let mut xs = vec![30.0; 20];
+        xs.extend(std::iter::repeat_n(10.0, 100));
+        for x in xs {
+            assert!(!d.observe(x));
+        }
+        assert!(!d.fired());
+    }
+}

@@ -17,6 +17,13 @@
 //! - [`EventLog`] / [`SlowEvent`] — a bounded ring of slow-request
 //!   captures: requests whose end-to-end latency exceeds a threshold
 //!   keep their full span breakdown for later dumping.
+//! - [`ResidualWindow`] — online prediction-quality tracking: joins a
+//!   served prediction with the actual runtime later reported for it
+//!   and maintains cumulative/EWMA MAPE, signed bias, and log2-bucketed
+//!   residual and calibration-ratio histograms.
+//! - [`PageHinkley`] — a deterministic sequential change detector for
+//!   an upward mean shift in an error stream; its fire point is exact
+//!   and replayable, so drift alarms are unit-testable.
 //! - [`Exposition`] — a Prometheus-text builder (`# HELP`/`# TYPE`
 //!   headers, `name{label="v"} value` samples, cumulative `_bucket`
 //!   series for histograms) plus [`expo::line_is_valid`] for tests that
@@ -25,12 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod expo;
 pub mod hist;
 pub mod ring;
+pub mod rolling;
 pub mod span;
 
+pub use drift::PageHinkley;
 pub use expo::Exposition;
 pub use hist::{HistogramSnapshot, LogHistogram, BUCKETS};
 pub use ring::{EventLog, SlowEvent};
+pub use rolling::{ResidualSnapshot, ResidualWindow, CALIBRATION_SCALE};
 pub use span::{Stage, StageSet, Trace};

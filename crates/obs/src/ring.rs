@@ -33,6 +33,7 @@ pub struct SlowEvent {
 pub struct EventLog {
     capacity: usize,
     seq: AtomicU64,
+    dropped: AtomicU64,
     events: Mutex<VecDeque<SlowEvent>>,
 }
 
@@ -43,6 +44,7 @@ impl EventLog {
         Self {
             capacity,
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
         }
     }
@@ -55,6 +57,13 @@ impl EventLog {
     /// Total events ever recorded (including ones since evicted).
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring saturation: captures overwritten by a newer
+    /// event plus captures refused outright because capacity is 0. A
+    /// non-zero value means `dump` is showing a truncated history.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Number of events currently retained.
@@ -71,6 +80,7 @@ impl EventLog {
     /// or `None` when capture is disabled (capacity 0).
     pub fn record(&self, summary: String, trace: &Trace, total: Duration) -> Option<u64> {
         if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
@@ -83,6 +93,7 @@ impl EventLog {
         let mut events = self.events.lock().expect("event log poisoned");
         if events.len() == self.capacity {
             events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         events.push_back(event);
         Some(seq)
@@ -121,6 +132,7 @@ mod tests {
         }
         assert_eq!(log.recorded(), 4);
         assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 2, "two oldest captures were overwritten");
         let dump = log.dump();
         assert_eq!(dump[0].seq, 3);
         assert_eq!(dump[0].summary, "req 2");
@@ -138,6 +150,7 @@ mod tests {
         let t = trace_with(Stage::Parse, 1);
         assert_eq!(log.record("x".into(), &t, Duration::ZERO), None);
         assert_eq!(log.recorded(), 0);
+        assert_eq!(log.dropped(), 1, "refused captures count as dropped");
         assert!(log.is_empty());
     }
 }

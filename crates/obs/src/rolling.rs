@@ -1,0 +1,371 @@
+//! Online prediction-quality tracking: rolling residual statistics.
+//!
+//! A [`ResidualWindow`] joins a served prediction with the *actual*
+//! runtime later reported for it and maintains, without locks on the
+//! record path:
+//!
+//! - a cumulative **online MAPE** (mean absolute percent error, exact
+//!   up to milli-percent quantization of each sample),
+//! - an **EWMA MAPE** — an exponentially-weighted window over the same
+//!   percent-error stream, so recent accuracy dominates,
+//! - a **signed bias** (mean of `predicted - actual` in microseconds:
+//!   positive means the model over-predicts),
+//! - a log2-bucketed **residual histogram** (`|predicted - actual|` µs),
+//! - a log2-bucketed **calibration histogram** of the ratio
+//!   `predicted / actual`, scaled by [`CALIBRATION_SCALE`] so a
+//!   perfectly calibrated prediction lands exactly on
+//!   `CALIBRATION_SCALE` — buckets below it are under-predictions,
+//!   buckets above it over-predictions.
+//!
+//! Everything except the EWMA is a relaxed atomic add, so concurrent
+//! writers never lose samples and the aggregate statistics are
+//! order-independent (the property test below pins this against a
+//! serial reference). The EWMA uses a small CAS loop over `f64` bits;
+//! its value is order-*dependent* by definition but always a convex
+//! combination of observed errors.
+
+use crate::hist::{HistogramSnapshot, LogHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-point scale of the calibration ratio: `predicted / actual`
+/// is recorded as `predicted * CALIBRATION_SCALE / actual`, so a value
+/// of exactly `CALIBRATION_SCALE` means a perfectly calibrated
+/// prediction.
+pub const CALIBRATION_SCALE: u64 = 1024;
+
+/// Default EWMA smoothing factor: each new sample contributes 10%.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.1;
+
+/// Bit pattern marking the EWMA cell as "no samples yet". This is a
+/// quiet-NaN payload no finite IEEE-754 computation can produce, so it
+/// can never collide with a real EWMA value.
+const EWMA_UNSET: u64 = u64::MAX;
+
+/// Lock-friendly rolling tracker of prediction residuals.
+///
+/// All methods take `&self`; share it via `Arc` and record matched
+/// (prediction, outcome) pairs from any thread.
+#[derive(Debug)]
+pub struct ResidualWindow {
+    alpha: f64,
+    matched: AtomicU64,
+    /// Sum of absolute percent errors in milli-percent (1 unit =
+    /// 0.001%), so the cumulative MAPE is exact integer arithmetic.
+    ape_milli_sum: AtomicU64,
+    /// Sum of `predicted - actual` over samples where predicted ≥ actual.
+    over_us: AtomicU64,
+    /// Sum of `actual - predicted` over samples where actual > predicted.
+    under_us: AtomicU64,
+    /// EWMA of the percent-error stream, stored as `f64` bits.
+    ewma_bits: AtomicU64,
+    residual: LogHistogram,
+    calibration: LogHistogram,
+}
+
+impl Default for ResidualWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResidualWindow {
+    /// An empty tracker with [`DEFAULT_EWMA_ALPHA`].
+    pub fn new() -> Self {
+        Self::with_alpha(DEFAULT_EWMA_ALPHA)
+    }
+
+    /// An empty tracker with an explicit EWMA smoothing factor in
+    /// `(0, 1]` (clamped).
+    pub fn with_alpha(alpha: f64) -> Self {
+        Self {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            matched: AtomicU64::new(0),
+            ape_milli_sum: AtomicU64::new(0),
+            over_us: AtomicU64::new(0),
+            under_us: AtomicU64::new(0),
+            ewma_bits: AtomicU64::new(EWMA_UNSET),
+            residual: LogHistogram::new(),
+            calibration: LogHistogram::new(),
+        }
+    }
+
+    /// Record one joined (prediction, outcome) pair, both in whole
+    /// microseconds, and return the sample's absolute percent error —
+    /// the value a change detector should be fed.
+    ///
+    /// An actual of 0 µs is clamped to 1 µs so the percent error stays
+    /// finite; sub-microsecond work is below this tracker's resolution
+    /// anyway.
+    pub fn observe(&self, predicted_us: u64, actual_us: u64) -> f64 {
+        let actual = actual_us.max(1);
+        let residual = predicted_us.abs_diff(actual);
+        let ape_percent = residual as f64 / actual as f64 * 100.0;
+
+        self.matched.fetch_add(1, Ordering::Relaxed);
+        let milli = (ape_percent * 1000.0).round().min(u64::MAX as f64) as u64;
+        self.ape_milli_sum.fetch_add(milli, Ordering::Relaxed);
+        if predicted_us >= actual {
+            self.over_us.fetch_add(residual, Ordering::Relaxed);
+        } else {
+            self.under_us.fetch_add(residual, Ordering::Relaxed);
+        }
+        self.residual.record(residual);
+        let ratio = (u128::from(predicted_us) * u128::from(CALIBRATION_SCALE) / u128::from(actual))
+            .min(u128::from(u64::MAX)) as u64;
+        self.calibration.record(ratio);
+
+        let mut current = self.ewma_bits.load(Ordering::Relaxed);
+        loop {
+            let next = if current == EWMA_UNSET {
+                ape_percent
+            } else {
+                self.alpha * ape_percent + (1.0 - self.alpha) * f64::from_bits(current)
+            };
+            match self.ewma_bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual_bits) => current = actual_bits,
+            }
+        }
+        ape_percent
+    }
+
+    /// Number of matched outcomes recorded so far.
+    pub fn matched(&self) -> u64 {
+        self.matched.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative online MAPE in percent (0.0 when empty).
+    pub fn online_mape_percent(&self) -> f64 {
+        let n = self.matched.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        self.ape_milli_sum.load(Ordering::Relaxed) as f64 / 1000.0 / n as f64
+    }
+
+    /// EWMA of the percent-error stream (0.0 when empty).
+    pub fn ewma_mape_percent(&self) -> f64 {
+        match self.ewma_bits.load(Ordering::Relaxed) {
+            EWMA_UNSET => 0.0,
+            bits => f64::from_bits(bits),
+        }
+    }
+
+    /// Signed mean residual in µs: positive = over-prediction.
+    pub fn bias_us(&self) -> f64 {
+        let n = self.matched.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        let over = self.over_us.load(Ordering::Relaxed) as f64;
+        let under = self.under_us.load(Ordering::Relaxed) as f64;
+        (over - under) / n as f64
+    }
+
+    /// Point-in-time copy of every statistic. Like
+    /// [`LogHistogram::snapshot`], a snapshot taken while writers are
+    /// active may be slightly torn; it is exact once writers stop.
+    pub fn snapshot(&self) -> ResidualSnapshot {
+        ResidualSnapshot {
+            matched: self.matched(),
+            online_mape_percent: self.online_mape_percent(),
+            ewma_mape_percent: self.ewma_mape_percent(),
+            bias_us: self.bias_us(),
+            residual: self.residual.snapshot(),
+            calibration: self.calibration.snapshot(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`ResidualWindow`] at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSnapshot {
+    /// Matched outcomes recorded.
+    pub matched: u64,
+    /// Cumulative online MAPE in percent.
+    pub online_mape_percent: f64,
+    /// EWMA MAPE in percent.
+    pub ewma_mape_percent: f64,
+    /// Signed mean residual in µs (positive = over-prediction).
+    pub bias_us: f64,
+    /// Histogram of `|predicted - actual|` in µs.
+    pub residual: HistogramSnapshot,
+    /// Histogram of `predicted * CALIBRATION_SCALE / actual`.
+    pub calibration: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{bucket_index, BUCKETS};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_window_reports_zeros() {
+        let w = ResidualWindow::new();
+        assert_eq!(w.matched(), 0);
+        assert_eq!(w.online_mape_percent(), 0.0);
+        assert_eq!(w.ewma_mape_percent(), 0.0);
+        assert_eq!(w.bias_us(), 0.0);
+        assert!(w.snapshot().residual.is_empty());
+    }
+
+    #[test]
+    fn perfect_predictions_are_zero_error_and_centered_calibration() {
+        let w = ResidualWindow::new();
+        for v in [1u64, 10, 1_000, 123_456] {
+            assert_eq!(w.observe(v, v), 0.0);
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.matched, 4);
+        assert_eq!(snap.online_mape_percent, 0.0);
+        assert_eq!(snap.ewma_mape_percent, 0.0);
+        assert_eq!(snap.bias_us, 0.0);
+        // Every calibration sample is exactly CALIBRATION_SCALE.
+        assert_eq!(snap.calibration.min, CALIBRATION_SCALE);
+        assert_eq!(snap.calibration.max, CALIBRATION_SCALE);
+    }
+
+    #[test]
+    fn signed_bias_distinguishes_over_and_under_prediction() {
+        let over = ResidualWindow::new();
+        over.observe(150, 100);
+        over.observe(130, 100);
+        assert_eq!(over.bias_us(), 40.0);
+        assert_eq!(over.online_mape_percent(), 40.0);
+
+        let under = ResidualWindow::new();
+        under.observe(50, 100);
+        assert_eq!(under.bias_us(), -50.0);
+        assert_eq!(under.online_mape_percent(), 50.0);
+        // 50/100 scaled: half of CALIBRATION_SCALE.
+        assert_eq!(under.snapshot().calibration.min, CALIBRATION_SCALE / 2);
+    }
+
+    #[test]
+    fn zero_actual_is_clamped_to_one_microsecond() {
+        let w = ResidualWindow::new();
+        let ape = w.observe(2, 0);
+        assert_eq!(ape, 100.0);
+        assert_eq!(w.online_mape_percent(), 100.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_a_constant_error_stream() {
+        let w = ResidualWindow::with_alpha(0.5);
+        // First sample initializes the EWMA directly.
+        w.observe(120, 100);
+        assert_eq!(w.ewma_mape_percent(), 20.0);
+        // A long constant stream keeps it there.
+        for _ in 0..50 {
+            w.observe(120, 100);
+        }
+        assert!((w.ewma_mape_percent() - 20.0).abs() < 1e-9);
+        // A shift moves the EWMA toward the new level while the
+        // cumulative MAPE lags.
+        for _ in 0..50 {
+            w.observe(200, 100);
+        }
+        assert!(w.ewma_mape_percent() > 99.0);
+        assert!(w.online_mape_percent() < 60.1);
+    }
+
+    /// Serial reference for the order-independent statistics.
+    struct Reference {
+        matched: u64,
+        ape_milli_sum: u64,
+        over_us: u64,
+        under_us: u64,
+        residual_buckets: [u64; BUCKETS],
+        calibration_buckets: [u64; BUCKETS],
+    }
+
+    impl Reference {
+        fn new() -> Self {
+            Self {
+                matched: 0,
+                ape_milli_sum: 0,
+                over_us: 0,
+                under_us: 0,
+                residual_buckets: [0; BUCKETS],
+                calibration_buckets: [0; BUCKETS],
+            }
+        }
+
+        fn observe(&mut self, predicted: u64, actual_raw: u64) {
+            let actual = actual_raw.max(1);
+            let residual = predicted.abs_diff(actual);
+            let ape = residual as f64 / actual as f64 * 100.0;
+            self.matched += 1;
+            self.ape_milli_sum += (ape * 1000.0).round().min(u64::MAX as f64) as u64;
+            if predicted >= actual {
+                self.over_us += residual;
+            } else {
+                self.under_us += residual;
+            }
+            self.residual_buckets[bucket_index(residual)] += 1;
+            let ratio = (u128::from(predicted) * u128::from(CALIBRATION_SCALE) / u128::from(actual))
+                .min(u128::from(u64::MAX)) as u64;
+            self.calibration_buckets[bucket_index(ratio)] += 1;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Concurrent writers produce exactly the counts, sums, and
+        /// bucket contents of a serial reference fed the same pairs;
+        /// the (order-dependent) EWMA stays a convex combination of
+        /// the observed errors.
+        #[test]
+        fn concurrent_writers_match_serial_reference(
+            values in proptest::collection::vec(any::<u64>(), 1..512),
+            threads in 2usize..8,
+        ) {
+            // Split each raw u64 into a (predicted, actual) pair; 32
+            // bits each keeps the milli-percent sum far from overflow.
+            let pairs: Vec<(u64, u64)> =
+                values.iter().map(|&v| (v & 0xFFFF_FFFF, v >> 32)).collect();
+            let window = Arc::new(ResidualWindow::new());
+            std::thread::scope(|scope| {
+                for chunk in pairs.chunks(pairs.len().div_ceil(threads)) {
+                    let window = Arc::clone(&window);
+                    scope.spawn(move || {
+                        for &(p, a) in chunk {
+                            window.observe(p, a);
+                        }
+                    });
+                }
+            });
+
+            let mut reference = Reference::new();
+            let mut min_ape = f64::INFINITY;
+            let mut max_ape = f64::NEG_INFINITY;
+            for &(p, a) in &pairs {
+                reference.observe(p, a);
+                let ape = p.abs_diff(a.max(1)) as f64 / a.max(1) as f64 * 100.0;
+                min_ape = min_ape.min(ape);
+                max_ape = max_ape.max(ape);
+            }
+
+            let snap = window.snapshot();
+            prop_assert_eq!(snap.matched, reference.matched);
+            let milli = window.ape_milli_sum.load(std::sync::atomic::Ordering::Relaxed);
+            prop_assert_eq!(milli, reference.ape_milli_sum);
+            let over = window.over_us.load(std::sync::atomic::Ordering::Relaxed);
+            let under = window.under_us.load(std::sync::atomic::Ordering::Relaxed);
+            prop_assert_eq!(over, reference.over_us);
+            prop_assert_eq!(under, reference.under_us);
+            prop_assert_eq!(&snap.residual.buckets[..], &reference.residual_buckets[..]);
+            prop_assert_eq!(&snap.calibration.buckets[..], &reference.calibration_buckets[..]);
+            prop_assert!(snap.ewma_mape_percent >= min_ape - 1e-9);
+            prop_assert!(snap.ewma_mape_percent <= max_ape + 1e-9);
+        }
+    }
+}

@@ -332,6 +332,70 @@ impl Client {
             (None, None) => unreachable!("at least one attempt always runs"),
         }
     }
+
+    /// The id the most recent attempt rode the wire with, or `None`
+    /// before the first request. This is the id to hand back to
+    /// [`report_outcome`](Self::report_outcome) after acting on a
+    /// prediction: the server joins the outcome to the prediction it
+    /// recorded under that id.
+    pub fn last_request_id(&self) -> Option<u64> {
+        (self.next_request_id > 1).then(|| self.next_request_id - 1)
+    }
+
+    /// Closes the loop on an earlier prediction: reports the runtime
+    /// actually observed after acting on it, named by the request id the
+    /// prediction was served under (see
+    /// [`last_request_id`](Self::last_request_id)). On a binary
+    /// connection the report rides a compact `Outcome` frame whose own
+    /// request id *is* the join key; on a text connection it falls back
+    /// to the `observe` line (where joining requires the server to have
+    /// seen the id on the wire, so text-only reports come back
+    /// `orphaned`). Returns the reply line: `ok outcome=matched` or
+    /// `ok outcome=orphaned`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket fails. The binary path is a
+    /// single attempt — retrying an outcome report is pointless, since
+    /// the first delivery already consumed (or orphaned) the join key;
+    /// the text fallback goes through [`request`](Self::request) and
+    /// inherits its retry loop, which is harmless for the same reason:
+    /// a replayed report is counted as orphaned, never double-joined.
+    pub fn report_outcome(&mut self, id: u64, actual_us: u64) -> Result<String, ClientError> {
+        // The text rendering is also the binary fallback: on a binary
+        // connection `attempt` wraps it in a Line frame tagged with a
+        // fresh id, and the engine reads the join key out of the parsed
+        // `observe` verb, so both framings reach the same code path.
+        if self.conn.as_ref().is_some_and(|conn| conn.binary) {
+            return self.report_outcome_binary(id, actual_us);
+        }
+        self.request(&format!("observe id={id} actual_us={actual_us}"))
+    }
+
+    /// The binary-framed outcome report: 8 payload bytes, joined by the
+    /// frame's own request id.
+    fn report_outcome_binary(&mut self, id: u64, actual_us: u64) -> Result<String, ClientError> {
+        let conn = match self.connect() {
+            Ok(conn) => conn,
+            Err(err) => return Err(ClientError::Io(err)),
+        };
+        let request = Frame::new(id, Payload::Outcome { actual_us });
+        let send = (|| -> std::io::Result<String> {
+            conn.writer.write_all(&frame::encode(&request))?;
+            conn.writer.flush()?;
+            loop {
+                let reply = Self::read_frame(&mut conn.reader)?;
+                if reply.request_id == id {
+                    return Ok(render_reply(reply.payload));
+                }
+            }
+        })();
+        send.map_err(|err| {
+            // A dead socket cannot be reused; the next request reconnects.
+            self.conn = None;
+            ClientError::Io(err)
+        })
+    }
 }
 
 /// Renders a binary reply frame to the exact string the text protocol
@@ -348,7 +412,7 @@ fn render_reply(payload: Payload) -> String {
         Payload::Error { message, .. } => format!("err {message}"),
         // Request opcodes are never valid replies; surface them as a
         // reply the retry classifier treats as non-transient.
-        Payload::Predict { .. } | Payload::Line(_) => {
+        Payload::Predict { .. } | Payload::Line(_) | Payload::Outcome { .. } => {
             "err bad request: request opcode in a reply frame".to_string()
         }
     }
@@ -538,6 +602,66 @@ mod tests {
         }
         assert_eq!(text.is_binary(), Some(false));
         assert_eq!(binary.is_binary(), Some(true));
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn report_outcome_closes_the_loop_on_binary_and_orphans_on_text() {
+        use crate::engine::{PredictionService, ServiceConfig};
+        use crate::server::Server;
+        use bagpred_core::Platforms;
+        use std::sync::Arc;
+
+        let service = PredictionService::start(
+            crate::testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig::default(),
+        );
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+
+        // Binary connection: the predict rode the wire with a client-
+        // assigned id, so the outcome report joins it — exactly once.
+        let mut binary = Client::new(server.local_addr());
+        assert_eq!(binary.last_request_id(), None, "no request yet");
+        let reply = binary.request("predict SIFT@20+KNN@40").expect("predicts");
+        let predicted_s: f64 = reply
+            .rsplit_once("predicted_s=")
+            .expect("has field")
+            .1
+            .parse()
+            .expect("parses");
+        let actual_us = (predicted_s * 1e6).round() as u64;
+        let id = binary.last_request_id().expect("a request was made");
+        assert_eq!(
+            binary.report_outcome(id, actual_us).expect("reports"),
+            "ok outcome=matched"
+        );
+        assert_eq!(
+            binary.report_outcome(id, actual_us).expect("reports"),
+            "ok outcome=orphaned",
+            "the join key is consumed by the first report"
+        );
+
+        // Text connection: predictions are never recorded (no wire id),
+        // so the loop cannot close — the report is counted as orphaned.
+        let mut text = Client::with_config(
+            server.local_addr(),
+            ClientConfig {
+                prefer_binary: false,
+                ..ClientConfig::default()
+            },
+        );
+        text.request("predict SIFT@20+KNN@40").expect("predicts");
+        let id = text.last_request_id().expect("a request was made");
+        assert_eq!(
+            text.report_outcome(id, actual_us).expect("reports"),
+            "ok outcome=orphaned"
+        );
+
+        // The server-side accounting saw exactly one join.
+        assert_eq!(service.outcomes().matched(), 1);
+        assert_eq!(service.outcomes().orphaned(), 2);
         server.shutdown();
         service.shutdown();
     }

@@ -46,7 +46,10 @@ use crate::admission::{self, Placement};
 use crate::cache::{CacheMapStats, FeatureCache};
 use crate::error::ServeError;
 use crate::fault::{panic_message, FaultPlan, FaultSite, HealthReport, ModelHealth};
-use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics, RobustnessCounters, ShardSnapshot};
+use crate::metrics::{
+    Metrics, MetricsSnapshot, ModelMetrics, OutcomeCounters, OutcomeTrackers, RobustnessCounters,
+    ShardSnapshot,
+};
 use crate::observe;
 use crate::shard::{Shard, CONTROL_SHARD};
 use crate::snapshot::{self, ModelRegistry, ServableModel};
@@ -54,7 +57,7 @@ use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
 use bagpred_core::{Bag, Measurement, Platforms};
 use bagpred_obs::{EventLog, SlowEvent, Stage, StageSet, Trace};
 use bagpred_workloads::Workload;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -102,6 +105,19 @@ pub struct ServiceConfig {
     /// engine where a slow model head-of-line-blocks all others; kept
     /// so benchmarks can measure exactly what sharding buys.
     pub sharded: bool,
+    /// Bound of the pending-prediction ring that outcome reports join
+    /// against (oldest evicted first, counted as expired); `0` disables
+    /// outcome tracking entirely.
+    pub outcome_capacity: usize,
+    /// How long a recorded prediction waits for its outcome before it
+    /// is evicted (and counted as expired).
+    pub outcome_ttl: Duration,
+    /// Page-Hinkley per-sample slack, in percent error: mean shifts
+    /// smaller than this never accumulate toward a drift alarm.
+    pub drift_delta: f64,
+    /// Page-Hinkley detection threshold, in accumulated percent error:
+    /// the drift alarm latches when the test statistic exceeds it.
+    pub drift_lambda: f64,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +142,21 @@ impl Default for ServiceConfig {
             quarantine_threshold: 3,
             faults: Arc::new(FaultPlan::none()),
             sharded: true,
+            // Room for one queue's worth of in-flight predictions per
+            // model times a healthy margin; a minute covers any client
+            // that acts on the prediction before reporting back.
+            outcome_capacity: 1024,
+            outcome_ttl: Duration::from_secs(60),
+            // Percent-error stream: ignore mean shifts under 1 point;
+            // alarm once the accumulated excess tops 500 points (e.g.
+            // a sustained +25-point error shift for ~20 outcomes).
+            // Calibrated against the paper corpus's own LOOCV residual
+            // stream, whose natural excursions reach ~340 points
+            // (repro ext9): the detector stays calm on in-regime
+            // accuracy but fires within ~20 outcomes of a 2x
+            // ground-truth shift.
+            drift_delta: 1.0,
+            drift_lambda: 500.0,
         }
     }
 }
@@ -168,6 +199,15 @@ pub enum Request {
     /// Dump the slow-request ring (admin-gated like `load`/`save`:
     /// span breakdowns leak request contents and timing).
     Trace,
+    /// Report the actual runtime observed after acting on an earlier
+    /// prediction, joining it back to the recorded prediction by
+    /// request id (not admin: closing the loop is for every client).
+    Observe {
+        /// The request id of the prediction being reported on.
+        id: u64,
+        /// Observed actual runtime, whole microseconds.
+        actual_us: u64,
+    },
     /// Register (or replace) a model from a snapshot file.
     Load {
         /// Name to register the model under.
@@ -274,6 +314,13 @@ pub enum Reply {
         /// Short kind description of the freshly decoded model.
         desc: String,
     },
+    /// An `observe` report was accepted. Never an error: an outcome
+    /// that arrives too late (or twice) is counted, not punished.
+    Observed {
+        /// True when the outcome joined a recorded prediction; false
+        /// when the id was unknown, already consumed, or evicted.
+        matched: bool,
+    },
 }
 
 /// Everything the `stats` command reports.
@@ -318,6 +365,18 @@ pub struct StatsReport {
     /// model shard sorted by name. One entry (the control shard) when
     /// the engine runs unsharded.
     pub shards: Vec<ShardSnapshot>,
+    /// Outcome reports joined to their recorded prediction.
+    pub outcomes_matched: u64,
+    /// Outcome reports whose id had no pending prediction.
+    pub outcomes_orphaned: u64,
+    /// Recorded predictions evicted unmatched (TTL or ring capacity).
+    pub outcomes_expired: u64,
+    /// Predictions currently awaiting their outcome.
+    pub outcomes_pending: usize,
+    /// Drift alarm edges (models newly flagged as drifting).
+    pub drift_alarms: u64,
+    /// Models whose drift alarm is currently latched.
+    pub drifting_models: usize,
 }
 
 /// The outcome a submitter receives on its channel.
@@ -339,6 +398,107 @@ impl ReplySink {
             ReplySink::Direct(tx) => drop(tx.send(outcome)),
             ReplySink::Tagged(id, tx) => drop(tx.send((*id, outcome))),
         }
+    }
+
+    /// The client-assigned request id, when this sink has one. Only
+    /// tagged (multiplexed) requests can be joined by a later `observe`.
+    fn tag(&self) -> Option<u64> {
+        match self {
+            ReplySink::Direct(_) => None,
+            ReplySink::Tagged(id, _) => Some(*id),
+        }
+    }
+}
+
+/// One served prediction awaiting the client's outcome report.
+struct PendingPrediction {
+    id: u64,
+    model: String,
+    predicted_us: u64,
+    at: Instant,
+}
+
+/// Bounded, TTL-evicted ring of served predictions keyed by the binary
+/// protocol's client-assigned request id. `observe` reports join here.
+/// Insertion order is arrival order, so both eviction policies pop from
+/// the front: expired entries first, then the oldest entry when the
+/// ring is full. Every unmatched eviction is counted by the caller —
+/// the ring never errors and never blocks the serving path beyond one
+/// short mutex hold.
+struct PendingOutcomes {
+    capacity: usize,
+    ttl: Duration,
+    entries: Mutex<VecDeque<PendingPrediction>>,
+}
+
+impl PendingOutcomes {
+    fn new(capacity: usize, ttl: Duration) -> Self {
+        Self {
+            capacity,
+            ttl,
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Drops entries older than the TTL off the front; returns how many.
+    fn sweep(&self, entries: &mut VecDeque<PendingPrediction>, now: Instant) -> u64 {
+        let mut evicted = 0;
+        while let Some(front) = entries.front() {
+            if now.duration_since(front.at) <= self.ttl {
+                break;
+            }
+            entries.pop_front();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Records a served prediction. Returns the number of entries
+    /// evicted unmatched (TTL expiry plus capacity overflow) so the
+    /// caller can count them. With capacity 0 tracking is disabled and
+    /// the prediction itself counts as immediately expired.
+    fn record(&self, id: u64, model: &str, predicted_us: u64) -> u64 {
+        if self.capacity == 0 {
+            return 1;
+        }
+        let now = Instant::now();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut evicted = self.sweep(&mut entries, now);
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+            evicted += 1;
+        }
+        entries.push_back(PendingPrediction {
+            id,
+            model: model.to_string(),
+            predicted_us,
+            at: now,
+        });
+        evicted
+    }
+
+    /// Consumes the oldest pending prediction with this id. Returns the
+    /// entry (if any) and the number of entries TTL-evicted during the
+    /// lookup. A second `observe` for the same id finds nothing and is
+    /// counted as orphaned by the caller.
+    fn take(&self, id: u64) -> (Option<PendingPrediction>, u64) {
+        let now = Instant::now();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let evicted = self.sweep(&mut entries, now);
+        let entry = entries
+            .iter()
+            .position(|p| p.id == id)
+            .and_then(|at| entries.remove(at));
+        (entry, evicted)
+    }
+
+    /// Predictions currently awaiting an outcome (expired ones still in
+    /// the ring are swept lazily, so this is an upper bound).
+    fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -379,6 +539,12 @@ pub(crate) struct Inner {
     pub(crate) events: EventLog,
     pub(crate) robust: RobustnessCounters,
     pub(crate) health: ModelHealth,
+    /// Served predictions awaiting the client's `observe` report.
+    pending: PendingOutcomes,
+    /// Outcome-join accounting (matched / orphaned / expired / alarms).
+    pub(crate) outcomes: OutcomeCounters,
+    /// Per-model online residual windows and drift detectors.
+    pub(crate) trackers: OutcomeTrackers,
 }
 
 impl Inner {
@@ -402,6 +568,11 @@ impl Inner {
             }
         }
         Arc::clone(&self.control)
+    }
+
+    /// Predictions currently awaiting their outcome report.
+    pub(crate) fn pending_outcomes(&self) -> usize {
+        self.pending.len()
     }
 
     /// Jobs queued across the control shard and every model shard.
@@ -511,6 +682,9 @@ impl PredictionService {
             events: EventLog::new(config.event_log_capacity),
             robust: RobustnessCounters::new(),
             health: ModelHealth::new(),
+            pending: PendingOutcomes::new(config.outcome_capacity, config.outcome_ttl),
+            outcomes: OutcomeCounters::new(),
+            trackers: OutcomeTrackers::new(config.drift_delta, config.drift_lambda),
             config,
         });
         inner
@@ -705,6 +879,18 @@ impl PredictionService {
         self.inner.events.dump()
     }
 
+    /// Outcome-join accounting: matched / orphaned / expired reports
+    /// and drift alarm edges.
+    pub fn outcomes(&self) -> &OutcomeCounters {
+        &self.inner.outcomes
+    }
+
+    /// Per-model online residual windows and drift detectors, fed by
+    /// `observe` reports joined to their recorded predictions.
+    pub fn outcome_trackers(&self) -> &OutcomeTrackers {
+        &self.inner.trackers
+    }
+
     /// Renders every counter and histogram as Prometheus text (the
     /// `metrics` command).
     pub fn exposition(&self) -> String {
@@ -816,7 +1002,28 @@ fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
         }
         inner.events.record(summary, &job.trace, total);
     }
+    // Register successful tagged predictions for outcome joining: the
+    // client-assigned request id is the key a later `observe` uses.
+    // Direct (in-process) submitters have no id the engine could join
+    // on, so only the wire paths participate.
+    if let (Some(id), Ok(Reply::Prediction { model, predicted_s })) = (job.tx.tag(), &outcome) {
+        let expired = inner
+            .pending
+            .record(id, model, predicted_micros(*predicted_s));
+        inner.outcomes.on_expired(expired);
+    }
     job.tx.send(outcome);
+}
+
+/// A prediction in seconds as whole microseconds, clamped to ≥ 1 so the
+/// residual math never sees a zero from rounding.
+fn predicted_micros(predicted_s: f64) -> u64 {
+    let us = (predicted_s * 1e6).round();
+    if us.is_finite() && us >= 1.0 {
+        us.min(u64::MAX as f64) as u64
+    } else {
+        1
+    }
 }
 
 /// One-line request description for slow-request captures.
@@ -847,6 +1054,7 @@ fn summarize(request: &Request) -> String {
         Request::Load { model, .. } => format!("load model={model}"),
         Request::Save { .. } => "save".into(),
         Request::Reload { model, .. } => format!("reload model={model}"),
+        Request::Observe { id, .. } => format!("observe id={id}"),
     }
 }
 
@@ -1210,6 +1418,12 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
                     quarantined_models: inner.health.quarantined_count(),
                     faults_injected: inner.config.faults.injected(),
                     shards: inner.shard_snapshots(),
+                    outcomes_matched: inner.outcomes.matched(),
+                    outcomes_orphaned: inner.outcomes.orphaned(),
+                    outcomes_expired: inner.outcomes.expired(),
+                    outcomes_pending: inner.pending.len(),
+                    drift_alarms: inner.outcomes.drift_alarms(),
+                    drifting_models: inner.health.drifting_count(),
                 }))),
             )
         }
@@ -1226,6 +1440,38 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
             (None, Ok(Reply::Health(reports)))
         }
         Request::Trace => (None, Ok(Reply::Traces(inner.events.dump()))),
+        Request::Observe { id, actual_us } => {
+            let (entry, expired) = inner.pending.take(*id);
+            inner.outcomes.on_expired(expired);
+            let Some(pending) = entry else {
+                inner.outcomes.on_orphaned();
+                return (None, Ok(Reply::Observed { matched: false }));
+            };
+            inner.outcomes.on_matched();
+            let tracker = inner.trackers.for_model(&pending.model);
+            let fired = tracker.observe(pending.predicted_us, (*actual_us).max(1));
+            // `fired` is an edge (the detector latches until an admin
+            // load/reload re-arms it), so the alarm counter, the sticky
+            // advisory health flag, and the event capture fire once per
+            // episode. Advisory only: drift never sheds traffic.
+            if fired && inner.health.mark_drifting(&pending.model) {
+                inner.outcomes.on_drift_alarm();
+                let window = tracker.window();
+                inner.events.record(
+                    format!(
+                        "drift model={} online_mape={:.1}% ewma_mape={:.1}%",
+                        pending.model,
+                        window.online_mape_percent(),
+                        window.ewma_mape_percent()
+                    ),
+                    trace,
+                    trace.total(),
+                );
+            }
+            // Attribution: the observe itself was served by the control
+            // shard, not the model — per-model serve metrics stay pure.
+            (None, Ok(Reply::Observed { matched: true }))
+        }
         Request::Load { model, path } => (None, do_load(inner, model, path)),
         Request::Save { model, dest } => (None, do_save(inner, model.as_deref(), dest.as_deref())),
         Request::Reload { model, path } => (None, do_reload(inner, model, path.as_deref())),
@@ -1313,8 +1559,12 @@ fn do_load(inner: &Inner, name: &str, path: &str) -> Outcome {
     let replaced = inner.registry.get(name).is_some();
     inner.registry.insert(name, model);
     // A fresh copy starts with a clean bill of health: installing it is
-    // the documented way out of quarantine.
+    // the documented way out of quarantine — and re-arms the drift
+    // detector so the new copy gets a fresh change-point baseline.
     inner.health.clear(name);
+    if let Some(tracker) = inner.trackers.get(name) {
+        tracker.reset_detector();
+    }
     // A newly registered model gets its own shard (queue + workers),
     // installed by atomically swapping the shard map — in-flight
     // routing sees either the old complete map or the new one.
@@ -1387,8 +1637,11 @@ fn do_reload(inner: &Inner, name: &str, path: Option<&str>) -> Outcome {
     let desc = model.describe();
     inner.registry.insert(name, model);
     // Reload is the documented way out of quarantine: the fresh decode
-    // starts healthy.
+    // starts healthy, with a re-armed drift detector.
     inner.health.clear(name);
+    if let Some(tracker) = inner.trackers.get(name) {
+        tracker.reset_detector();
+    }
     // Normally a no-op (the shard was created at start or load time);
     // covers models inserted into the registry behind the engine's back.
     inner.ensure_shard(name);
@@ -1997,6 +2250,14 @@ mod tests {
             "bagpred_quarantined_models 0",
             "bagpred_faults_injected_total 0",
             "bagpred_model_quarantined{model=\"pair-tree\"} 0",
+            "bagpred_model_drifting{model=\"pair-tree\"} 0",
+            "bagpred_trace_ring_dropped_total 0",
+            "bagpred_outcomes_matched_total 0",
+            "bagpred_outcomes_orphaned_total 0",
+            "bagpred_outcomes_expired_total 0",
+            "bagpred_outcomes_pending 0",
+            "bagpred_drift_alarms_total 0",
+            "bagpred_drifting_models 0",
             "# EOF",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
@@ -2158,6 +2419,271 @@ mod tests {
             panic!("stats failed")
         };
         assert_eq!(stats.deadline_expired, 1);
+        service.shutdown();
+    }
+
+    /// One tagged round trip (the binary protocol's path): submit with a
+    /// client-assigned id, wait for the tagged reply.
+    fn tagged(service: &PredictionService, id: u64, request: Request) -> Outcome {
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit_tagged(request, Trace::new(), None, id, tx)
+            .expect("enqueues");
+        let (got, outcome) = rx.recv().expect("reply arrives");
+        assert_eq!(got, id, "reply must carry the request's own id");
+        outcome
+    }
+
+    /// A tagged predict, returning the prediction in whole microseconds
+    /// (the unit `observe` reports in).
+    fn tagged_predict_us(service: &PredictionService, id: u64) -> u64 {
+        let Ok(Reply::Prediction { predicted_s, .. }) = tagged(
+            service,
+            id,
+            Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            },
+        ) else {
+            panic!("tagged predict failed")
+        };
+        (predicted_s * 1e6).round() as u64
+    }
+
+    fn observe(service: &PredictionService, id: u64, actual_us: u64) -> bool {
+        let Ok(Reply::Observed { matched }) = service.call(Request::Observe { id, actual_us })
+        else {
+            panic!("observe failed")
+        };
+        matched
+    }
+
+    #[test]
+    fn observe_joins_tagged_predictions_once_and_orphans_the_rest() {
+        let service = service();
+        let predicted_us = tagged_predict_us(&service, 7);
+
+        // A perfect outcome joins the recorded prediction.
+        assert!(observe(&service, 7, predicted_us), "first report joins");
+        // The join key is consumed: a duplicate report is orphaned, not
+        // double-counted into the residual window.
+        assert!(!observe(&service, 7, predicted_us), "duplicate orphaned");
+        // An id the server never saw is orphaned too.
+        assert!(!observe(&service, 999, predicted_us));
+        // Direct (in-process) predicts carry no wire id, so they are
+        // never recorded — reporting on them is orphaned by design.
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("direct predict");
+        assert!(!observe(&service, 1, predicted_us));
+
+        assert_eq!(service.outcomes().matched(), 1);
+        assert_eq!(service.outcomes().orphaned(), 3);
+        assert_eq!(service.outcomes().expired(), 0);
+        let tracker = service
+            .outcome_trackers()
+            .get(PAIR_MODEL)
+            .expect("tracker exists after a matched outcome");
+        assert_eq!(tracker.window().matched(), 1);
+        assert_eq!(tracker.window().online_mape_percent(), 0.0);
+
+        let Ok(Reply::Stats(stats)) = service.call(Request::Stats { model: None }) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats.outcomes_matched, 1);
+        assert_eq!(stats.outcomes_orphaned, 3);
+        assert_eq!(stats.outcomes_pending, 0);
+        assert_eq!(stats.drifting_models, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn outcome_ring_evicts_by_capacity_and_ttl_as_expired() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                outcome_capacity: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let us1 = tagged_predict_us(&service, 1);
+        let _us2 = tagged_predict_us(&service, 2);
+        let _us3 = tagged_predict_us(&service, 3);
+        // Capacity 2: recording id 3 evicted the oldest entry (id 1).
+        assert_eq!(service.outcomes().expired(), 1);
+        assert!(!observe(&service, 1, us1), "evicted id is orphaned");
+        assert!(observe(&service, 2, us1));
+        assert!(observe(&service, 3, us1));
+        service.shutdown();
+
+        // A (near-)zero TTL expires the entry before the report lands.
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                outcome_ttl: Duration::from_nanos(1),
+                ..ServiceConfig::default()
+            },
+        );
+        let us = tagged_predict_us(&service, 4);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!observe(&service, 4, us), "expired id is orphaned");
+        assert_eq!(service.outcomes().expired(), 1);
+        assert_eq!(service.outcomes().orphaned(), 1);
+        service.shutdown();
+
+        // Capacity 0 disables tracking: every prediction immediately
+        // counts as expired and every report is orphaned.
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                outcome_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let us = tagged_predict_us(&service, 5);
+        assert_eq!(service.outcomes().expired(), 1);
+        assert!(!observe(&service, 5, us));
+        service.shutdown();
+    }
+
+    #[test]
+    fn drift_alarm_latches_flags_health_and_reload_rearms_the_detector() {
+        let dir = testutil::scratch_dir("engine-drift");
+        let service = PredictionService::start(
+            testutil::fresh_registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                snapshot_dir: Some(dir),
+                // A hair-trigger detector: no slack, alarm at one unit
+                // of accumulated excess error.
+                drift_delta: 0.0,
+                drift_lambda: 1.0,
+                ..ServiceConfig::default()
+            },
+        );
+        // First outcome is perfect (APE 0): Page-Hinkley can never fire
+        // on its first sample, and this pins the baseline at zero.
+        let us = tagged_predict_us(&service, 1);
+        assert!(observe(&service, 1, us));
+        assert_eq!(service.outcomes().drift_alarms(), 0);
+
+        // Second outcome is off by 2x (APE 100%): the test statistic
+        // jumps to 50, over lambda=1 — the alarm fires deterministically.
+        let us = tagged_predict_us(&service, 2);
+        assert!(observe(&service, 2, (us / 2).max(1)));
+        assert_eq!(service.outcomes().drift_alarms(), 1);
+
+        // The flag is advisory and sticky: health reports it, the
+        // exposition flips, but the model keeps serving.
+        let Ok(Reply::Health(reports)) = service.call(Request::Health) else {
+            panic!("health failed")
+        };
+        let report = reports
+            .iter()
+            .find(|r| r.model == PAIR_MODEL)
+            .expect("listed");
+        assert!(report.drifting, "drift flag latched");
+        assert!(!report.quarantined, "drift never quarantines");
+        let Ok(Reply::Metrics(text)) = service.call(Request::Metrics) else {
+            panic!("metrics failed")
+        };
+        assert!(
+            text.contains("bagpred_model_drifting{model=\"pair-tree\"} 1"),
+            "exposition must flip the drift gauge:\n{text}"
+        );
+        service
+            .call(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("a drifting model still serves");
+        // The alarm edge was captured in the event ring.
+        assert!(
+            service
+                .slow_events()
+                .iter()
+                .any(|e| e.summary.starts_with("drift model=pair-tree")),
+            "drift edge recorded as an event"
+        );
+
+        // Latched means latched: further bad outcomes do not re-alarm.
+        let us = tagged_predict_us(&service, 3);
+        assert!(observe(&service, 3, (us / 2).max(1)));
+        assert_eq!(service.outcomes().drift_alarms(), 1);
+
+        // Reload clears the advisory flag and re-arms the detector.
+        service
+            .call(Request::Save {
+                model: Some(PAIR_MODEL.into()),
+                dest: None,
+            })
+            .expect("saves");
+        service
+            .call(Request::Reload {
+                model: PAIR_MODEL.into(),
+                path: None,
+            })
+            .expect("reloads");
+        let Ok(Reply::Health(reports)) = service.call(Request::Health) else {
+            panic!("health failed")
+        };
+        let report = reports
+            .iter()
+            .find(|r| r.model == PAIR_MODEL)
+            .expect("listed");
+        assert!(!report.drifting, "reload clears the drift flag");
+
+        // The re-armed detector can fire a second episode.
+        let us = tagged_predict_us(&service, 4);
+        assert!(observe(&service, 4, us));
+        let us = tagged_predict_us(&service, 5);
+        assert!(observe(&service, 5, (us / 2).max(1)));
+        assert_eq!(service.outcomes().drift_alarms(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn slow_captures_carry_the_upstream_trace_context() {
+        let service = PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                slow_request_threshold: Duration::ZERO,
+                ..ServiceConfig::default()
+            },
+        );
+        service
+            .call_traced(
+                Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                },
+                Trace::with_context("00-abc123-span7-01"),
+            )
+            .expect("predicts");
+        let event = service
+            .slow_events()
+            .into_iter()
+            .find(|e| e.summary.starts_with("predict"))
+            .expect("captured");
+        assert!(
+            event.summary.ends_with(" tc=00-abc123-span7-01"),
+            "the capture must name the caller's trace context: {}",
+            event.summary
+        );
+        // And the `trace` dump line carries it too (the summary is the
+        // trailing req= field).
+        let Ok(Reply::Traces(events)) = service.call(Request::Trace) else {
+            panic!("trace failed")
+        };
+        let line = crate::protocol::format_outcome(&Ok(Reply::Traces(events)));
+        assert!(line.contains("tc=00-abc123-span7-01"), "{line}");
         service.shutdown();
     }
 }

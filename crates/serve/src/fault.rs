@@ -242,6 +242,7 @@ struct ModelState {
     consecutive: AtomicU32,
     total: AtomicU64,
     quarantined: AtomicBool,
+    drifting: AtomicBool,
 }
 
 /// Per-model panic accounting and sticky quarantine bits.
@@ -269,6 +270,10 @@ pub struct HealthReport {
     pub consecutive_panics: u32,
     /// Panics over the model's lifetime in this process.
     pub total_panics: u64,
+    /// Whether the drift detector has flagged the model's online
+    /// accuracy as drifting. Advisory only: a drifting model keeps
+    /// serving; the flag clears on admin `load`/`reload`.
+    pub drifting: bool,
 }
 
 impl ModelHealth {
@@ -319,12 +324,27 @@ impl ModelHealth {
             .is_some_and(|state| state.quarantined.load(Ordering::Relaxed))
     }
 
-    /// Lift a quarantine and zero the consecutive count — called when an
-    /// admin `load`/`reload` installs a fresh copy of the model.
+    /// Latch the advisory drift flag for a model. Returns `true` when
+    /// this call flipped the flag (it was not already set), so the
+    /// caller can count distinct alarm edges.
+    pub fn mark_drifting(&self, model: &str) -> bool {
+        !self.state(model).drifting.swap(true, Ordering::Relaxed)
+    }
+
+    /// Whether the model's drift alarm is currently latched.
+    pub fn is_drifting(&self, model: &str) -> bool {
+        self.existing(model)
+            .is_some_and(|state| state.drifting.load(Ordering::Relaxed))
+    }
+
+    /// Lift a quarantine (and any drift alarm) and zero the consecutive
+    /// count — called when an admin `load`/`reload` installs a fresh
+    /// copy of the model.
     pub fn clear(&self, model: &str) {
         if let Some(state) = self.existing(model) {
             state.consecutive.store(0, Ordering::Relaxed);
             state.quarantined.store(false, Ordering::Relaxed);
+            state.drifting.store(false, Ordering::Relaxed);
         }
     }
 
@@ -337,12 +357,14 @@ impl ModelHealth {
                 quarantined: state.quarantined.load(Ordering::Relaxed),
                 consecutive_panics: state.consecutive.load(Ordering::Relaxed),
                 total_panics: state.total.load(Ordering::Relaxed),
+                drifting: state.drifting.load(Ordering::Relaxed),
             },
             None => HealthReport {
                 model: model.to_string(),
                 quarantined: false,
                 consecutive_panics: 0,
                 total_panics: 0,
+                drifting: false,
             },
         }
     }
@@ -354,6 +376,16 @@ impl ModelHealth {
             .unwrap_or_else(PoisonError::into_inner)
             .values()
             .filter(|state| state.quarantined.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// How many models currently have the drift alarm latched.
+    pub fn drifting_count(&self) -> usize {
+        self.states
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter(|state| state.drifting.load(Ordering::Relaxed))
             .count()
     }
 }
@@ -489,6 +521,32 @@ mod tests {
         let report = health.report_for("pair-tree");
         assert_eq!(report.total_panics, 5);
         assert_eq!(report.consecutive_panics, 0);
+    }
+
+    #[test]
+    fn drift_flag_latches_once_and_clears_with_quarantine() {
+        let health = ModelHealth::new();
+        assert!(!health.is_drifting("pair-tree"));
+        assert_eq!(health.drifting_count(), 0);
+        // First mark flips the flag; later marks are no-ops.
+        assert!(health.mark_drifting("pair-tree"));
+        assert!(!health.mark_drifting("pair-tree"));
+        assert!(health.is_drifting("pair-tree"));
+        assert_eq!(health.drifting_count(), 1);
+        let report = health.report_for("pair-tree");
+        assert!(report.drifting);
+        // Advisory: drifting does NOT imply quarantined.
+        assert!(!report.quarantined);
+        assert!(!health.is_quarantined("pair-tree"));
+        // Successful predicts never lift the alarm...
+        health.on_success("pair-tree");
+        assert!(health.is_drifting("pair-tree"));
+        // ...only the admin clear (load/reload) does.
+        health.clear("pair-tree");
+        assert!(!health.is_drifting("pair-tree"));
+        assert_eq!(health.drifting_count(), 0);
+        // And it can latch again afterwards.
+        assert!(health.mark_drifting("pair-tree"));
     }
 
     #[test]

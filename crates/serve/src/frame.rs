@@ -93,6 +93,11 @@ pub enum Opcode {
     /// whole command surface (stats/schedule/admin/...) available to
     /// binary clients without duplicating every encoding.
     Line = 0x02,
+    /// Request: the actual runtime observed after acting on the
+    /// prediction that carried this frame's request id — the frame id
+    /// *is* the join key back to the recorded prediction, so closing
+    /// the loop costs eight payload bytes.
+    Outcome = 0x03,
     /// Reply: a prediction, with the f64 carried as raw bits — no float
     /// formatting on the server, no parsing on the client, and exact
     /// bit-identity with the in-process engine for free.
@@ -110,6 +115,7 @@ impl Opcode {
         match byte {
             0x01 => Some(Opcode::Predict),
             0x02 => Some(Opcode::Line),
+            0x03 => Some(Opcode::Outcome),
             0x81 => Some(Opcode::Prediction),
             0x82 => Some(Opcode::LineReply),
             0xEE => Some(Opcode::Error),
@@ -180,6 +186,13 @@ pub enum Payload {
     },
     /// [`Opcode::Line`]: a text-protocol request line.
     Line(String),
+    /// [`Opcode::Outcome`]: the observed actual runtime, in whole
+    /// microseconds, for the prediction whose request id this frame
+    /// carries.
+    Outcome {
+        /// Observed actual runtime in microseconds.
+        actual_us: u64,
+    },
     /// [`Opcode::Prediction`].
     Prediction {
         /// Name of the model that produced the prediction.
@@ -205,6 +218,7 @@ impl Payload {
         match self {
             Payload::Predict { .. } => Opcode::Predict,
             Payload::Line(_) => Opcode::Line,
+            Payload::Outcome { .. } => Opcode::Outcome,
             Payload::Prediction { .. } => Opcode::Prediction,
             Payload::LineReply(_) => Opcode::LineReply,
             Payload::Error { .. } => Opcode::Error,
@@ -315,6 +329,9 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         }
         Payload::Line(text) | Payload::LineReply(text) => {
             body.extend_from_slice(text.as_bytes());
+        }
+        Payload::Outcome { actual_us } => {
+            body.extend_from_slice(&actual_us.to_le_bytes());
         }
         Payload::Prediction { model, predicted_s } => {
             debug_assert!(model.len() <= u8::MAX as usize);
@@ -438,6 +455,9 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             }
         }
         Opcode::Line => Payload::Line(r.rest_str("request line")?.to_string()),
+        Opcode::Outcome => Payload::Outcome {
+            actual_us: r.u64("actual_us")?,
+        },
         Opcode::Prediction => {
             let name_len = r.u8("model-name length")? as usize;
             let model = r.str(name_len, "model name")?.to_string();
@@ -586,6 +606,12 @@ mod tests {
             },
             Frame::new(7, Payload::Line("stats model=pair-tree".into())),
             Frame::new(
+                7,
+                Payload::Outcome {
+                    actual_us: 1_234_567,
+                },
+            ),
+            Frame::new(
                 8,
                 Payload::Prediction {
                     model: "pair-tree".into(),
@@ -635,8 +661,8 @@ mod tests {
     fn first_byte_distinguishes_binary_from_every_text_verb() {
         assert!(!MAGIC[0].is_ascii());
         for verb in [
-            "predict", "schedule", "stats", "models", "metrics", "health", "trace", "load", "save",
-            "reload", "quit", "exit", "hello",
+            "predict", "schedule", "stats", "models", "metrics", "health", "trace", "observe",
+            "load", "save", "reload", "quit", "exit", "hello",
         ] {
             assert!(verb.as_bytes()[0].is_ascii_alphabetic());
             assert_ne!(verb.as_bytes()[0], MAGIC[0]);
@@ -775,7 +801,7 @@ mod prop_tests {
                 )
             })
             .collect();
-        let payload = match kind % 5 {
+        let payload = match kind % 6 {
             0 => Payload::Predict {
                 model: (!text.is_empty()).then(|| text.chars().take(64).collect()),
                 apps,
@@ -787,6 +813,7 @@ mod prop_tests {
                 predicted_s: f64::from_bits(bits),
             },
             3 => Payload::LineReply(text.into()),
+            4 => Payload::Outcome { actual_us: bits },
             _ => Payload::Error {
                 code,
                 message: text.into(),
@@ -809,7 +836,7 @@ mod prop_tests {
         /// the dedicated unit test above).
         #[test]
         fn round_trip_is_identity(
-            kind in 0usize..5,
+            kind in 0usize..6,
             id in any::<u64>(),
             ctx_bytes in proptest::collection::vec(97u8..123, 0..41),
             text_bytes in proptest::collection::vec(32u8..127, 0..201),
@@ -839,7 +866,7 @@ mod prop_tests {
         /// typed `FrameError` or a structurally valid frame.
         #[test]
         fn mutated_frames_fail_typed_never_panic(
-            kind in 0usize..5,
+            kind in 0usize..6,
             id in any::<u64>(),
             text_bytes in proptest::collection::vec(32u8..127, 0..81),
             cut in 0usize..400,

@@ -87,7 +87,10 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};
 pub use error::ServeError;
 pub use fault::{FaultPlan, FaultSite, HealthReport, ModelHealth};
-pub use metrics::{LatencySummary, Metrics, MetricsSnapshot, ModelMetrics};
+pub use metrics::{
+    LatencySummary, Metrics, MetricsSnapshot, ModelMetrics, ModelOutcome, OutcomeCounters,
+    OutcomeTrackers,
+};
 pub use server::{MetricsServer, Server, ServerConfig};
 pub use snapshot::{DirLoad, ModelRegistry, ServableModel};
 

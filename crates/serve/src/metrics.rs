@@ -12,10 +12,10 @@
 //! nearest-rank semantics used across the repo (values are quantized to
 //! log-bucket upper bounds, clamped to the observed min/max).
 
-use bagpred_obs::{HistogramSnapshot, LogHistogram};
+use bagpred_obs::{HistogramSnapshot, LogHistogram, PageHinkley, ResidualWindow};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 /// Lock-free counters plus per-phase latency histograms.
@@ -327,6 +327,192 @@ impl RobustnessCounters {
     /// Quarantine entries so far.
     pub fn quarantines(&self) -> u64 {
         self.quarantines.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free counters for the outcome-feedback loop: how many reported
+/// outcomes joined a recorded prediction, how many referenced an id the
+/// engine never recorded (or already consumed), and how many recorded
+/// predictions aged out of the pending ring before their outcome
+/// arrived. Surfaced by `stats` and the Prometheus exposition.
+#[derive(Debug, Default)]
+pub struct OutcomeCounters {
+    matched: AtomicU64,
+    orphaned: AtomicU64,
+    expired: AtomicU64,
+    drift_alarms: AtomicU64,
+}
+
+impl OutcomeCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts an outcome joined to its recorded prediction.
+    pub fn on_matched(&self) {
+        self.matched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an outcome whose id had no pending prediction (unknown,
+    /// duplicate, or already evicted).
+    pub fn on_orphaned(&self) {
+        self.orphaned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts pending predictions evicted unmatched (TTL or capacity).
+    pub fn on_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a drift alarm edge (a model newly flagged as drifting).
+    pub fn on_drift_alarm(&self) {
+        self.drift_alarms.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Outcomes joined so far.
+    pub fn matched(&self) -> u64 {
+        self.matched.load(Ordering::Relaxed)
+    }
+
+    /// Outcomes that found no pending prediction so far.
+    pub fn orphaned(&self) -> u64 {
+        self.orphaned.load(Ordering::Relaxed)
+    }
+
+    /// Pending predictions evicted unmatched so far.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Drift alarm edges so far.
+    pub fn drift_alarms(&self) -> u64 {
+        self.drift_alarms.load(Ordering::Relaxed)
+    }
+}
+
+/// One model's online accuracy state: the rolling residual window plus
+/// its drift detector. The window records lock-free; the detector is
+/// sequential by nature (Page-Hinkley state is order-dependent) and
+/// sits behind a mutex taken only on the outcome path — never on the
+/// predict path.
+#[derive(Debug)]
+pub struct ModelOutcome {
+    window: ResidualWindow,
+    detector: Mutex<PageHinkley>,
+}
+
+impl ModelOutcome {
+    fn new(delta: f64, lambda: f64) -> Self {
+        Self {
+            window: ResidualWindow::new(),
+            detector: Mutex::new(PageHinkley::new(delta, lambda)),
+        }
+    }
+
+    /// Record one joined (prediction, outcome) pair and feed its
+    /// percent error to the drift detector. Returns `true` exactly when
+    /// the detector fires (its one edge per latch).
+    pub fn observe(&self, predicted_us: u64, actual_us: u64) -> bool {
+        let ape = self.window.observe(predicted_us, actual_us);
+        self.detector
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe(ape)
+    }
+
+    /// The rolling residual statistics.
+    pub fn window(&self) -> &ResidualWindow {
+        &self.window
+    }
+
+    /// Current Page-Hinkley test statistic.
+    pub fn drift_score(&self) -> f64 {
+        self.detector
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .score()
+    }
+
+    /// Whether the detector has fired (sticky until reset).
+    pub fn drift_fired(&self) -> bool {
+        self.detector
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .fired()
+    }
+
+    /// Re-arm the detector (used when an admin load/reload installs a
+    /// fresh model: its accuracy history starts over).
+    pub fn reset_detector(&self) {
+        self.detector
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .reset();
+    }
+}
+
+/// Per-model outcome trackers, keyed by model name and created on the
+/// first matched outcome — the same read-probe-then-write-entry map as
+/// [`ModelMetrics`], with the detector parameters fixed at service
+/// construction.
+#[derive(Debug)]
+pub struct OutcomeTrackers {
+    delta: f64,
+    lambda: f64,
+    models: RwLock<HashMap<String, Arc<ModelOutcome>>>,
+}
+
+impl OutcomeTrackers {
+    /// An empty map; every tracker it creates uses the given
+    /// Page-Hinkley slack `delta` and threshold `lambda`.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        Self {
+            delta,
+            lambda,
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The tracker for `name`, created fresh on first use (see
+    /// [`ModelMetrics::for_model`] for the race-safety argument).
+    pub fn for_model(&self, name: &str) -> Arc<ModelOutcome> {
+        if let Some(entry) = self
+            .models
+            .read()
+            .expect("outcome trackers lock poisoned")
+            .get(name)
+        {
+            return Arc::clone(entry);
+        }
+        let mut models = self.models.write().expect("outcome trackers lock poisoned");
+        Arc::clone(
+            models
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(ModelOutcome::new(self.delta, self.lambda))),
+        )
+    }
+
+    /// The tracker for `name`, if the model has any matched outcomes.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelOutcome>> {
+        self.models
+            .read()
+            .expect("outcome trackers lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Names with at least one tracker, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("outcome trackers lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
     }
 }
 

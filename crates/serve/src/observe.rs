@@ -149,6 +149,16 @@ pub(crate) fn render(inner: &Inner) -> String {
         &[],
         inner.events.recorded() as f64,
     );
+    expo.header(
+        "bagpred_trace_ring_dropped_total",
+        "counter",
+        "Slow-request captures overwritten (or refused) by the bounded trace ring.",
+    );
+    expo.sample(
+        "bagpred_trace_ring_dropped_total",
+        &[],
+        inner.events.dropped() as f64,
+    );
 
     expo.header(
         "bagpred_worker_panics_total",
@@ -211,6 +221,67 @@ pub(crate) fn render(inner: &Inner) -> String {
         inner.config.faults.injected() as f64,
     );
 
+    expo.header(
+        "bagpred_outcomes_matched_total",
+        "counter",
+        "Outcome reports joined to the prediction they were acting on.",
+    );
+    expo.sample(
+        "bagpred_outcomes_matched_total",
+        &[],
+        inner.outcomes.matched() as f64,
+    );
+    expo.header(
+        "bagpred_outcomes_orphaned_total",
+        "counter",
+        "Outcome reports whose request id had no pending prediction.",
+    );
+    expo.sample(
+        "bagpred_outcomes_orphaned_total",
+        &[],
+        inner.outcomes.orphaned() as f64,
+    );
+    expo.header(
+        "bagpred_outcomes_expired_total",
+        "counter",
+        "Recorded predictions evicted unmatched (TTL or ring capacity).",
+    );
+    expo.sample(
+        "bagpred_outcomes_expired_total",
+        &[],
+        inner.outcomes.expired() as f64,
+    );
+    expo.header(
+        "bagpred_outcomes_pending",
+        "gauge",
+        "Served predictions currently awaiting their outcome report.",
+    );
+    expo.sample(
+        "bagpred_outcomes_pending",
+        &[],
+        inner.pending_outcomes() as f64,
+    );
+    expo.header(
+        "bagpred_drift_alarms_total",
+        "counter",
+        "Drift alarm edges: times a model was newly flagged as drifting.",
+    );
+    expo.sample(
+        "bagpred_drift_alarms_total",
+        &[],
+        inner.outcomes.drift_alarms() as f64,
+    );
+    expo.header(
+        "bagpred_drifting_models",
+        "gauge",
+        "Models whose advisory drift alarm is currently latched.",
+    );
+    expo.sample(
+        "bagpred_drifting_models",
+        &[],
+        inner.health.drifting_count() as f64,
+    );
+
     let boot = crate::metrics::boot_stats();
     expo.header(
         "bagpred_boot_snapshot_dir_errors_total",
@@ -238,16 +309,88 @@ pub(crate) fn render(inner: &Inner) -> String {
         "gauge",
         "Whether the model is quarantined (1) or serving (0), per model.",
     );
+    expo.header(
+        "bagpred_model_drifting",
+        "gauge",
+        "Whether the model's advisory drift alarm is latched (1) or clear (0), per model.",
+    );
     for report in inner
         .registry
         .list()
         .into_iter()
         .map(|(name, _)| inner.health.report_for(&name))
     {
+        let labels = [("model", report.model.as_str())];
         expo.sample(
             "bagpred_model_quarantined",
-            &[("model", report.model.as_str())],
+            &labels,
             if report.quarantined { 1.0 } else { 0.0 },
+        );
+        expo.sample(
+            "bagpred_model_drifting",
+            &labels,
+            if report.drifting { 1.0 } else { 0.0 },
+        );
+    }
+
+    expo.header(
+        "bagpred_model_outcomes_total",
+        "counter",
+        "Outcome reports joined to predictions served by the model.",
+    );
+    expo.header(
+        "bagpred_model_online_mape_percent",
+        "gauge",
+        "Mean absolute percentage error over every joined outcome, per model.",
+    );
+    expo.header(
+        "bagpred_model_ewma_mape_percent",
+        "gauge",
+        "Exponentially weighted recent absolute percentage error, per model.",
+    );
+    expo.header(
+        "bagpred_model_bias_us",
+        "gauge",
+        "Mean signed residual (positive = over-prediction), microseconds, per model.",
+    );
+    expo.header(
+        "bagpred_model_residual_us",
+        "histogram",
+        "Absolute prediction residual |predicted - actual|, microseconds, per model.",
+    );
+    expo.header(
+        "bagpred_model_calibration_ratio",
+        "histogram",
+        "Predicted/actual ratio scaled by 1024 (1024 = perfectly calibrated), per model.",
+    );
+    for name in inner.trackers.names() {
+        let Some(tracker) = inner.trackers.get(&name) else {
+            continue;
+        };
+        let labels = [("model", name.as_str())];
+        let window = tracker.window();
+        expo.sample(
+            "bagpred_model_outcomes_total",
+            &labels,
+            window.matched() as f64,
+        );
+        expo.sample(
+            "bagpred_model_online_mape_percent",
+            &labels,
+            window.online_mape_percent(),
+        );
+        expo.sample(
+            "bagpred_model_ewma_mape_percent",
+            &labels,
+            window.ewma_mape_percent(),
+        );
+        expo.sample("bagpred_model_bias_us", &labels, window.bias_us());
+        let snap = window.snapshot();
+        expo.histogram("bagpred_model_residual_us", &labels, &snap.residual);
+        expo.histogram(
+            "bagpred_model_calibration_ratio",
+            &labels,
+            &snap.calibration,
         );
     }
 

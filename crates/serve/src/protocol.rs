@@ -6,6 +6,7 @@
 //! predict [model=NAME] APP@BATCH+APP@BATCH[+APP@BATCH[+APP@BATCH]]
 //! schedule [model=NAME] k=GPUS budget=SECONDS APP@BATCH [APP@BATCH ...]
 //! stats [model=NAME]
+//! observe id=REQUEST_ID actual_us=MICROS
 //! models
 //! health
 //! metrics
@@ -22,9 +23,21 @@
 //! before verb dispatch, so it composes with every verb).
 //!
 //! `health` reports per-model panic/quarantine state — one
-//! `<name>=<ok|quarantined>:<consecutive>/<total>` token per registered
-//! model (see [`crate::fault::ModelHealth`]). It is deliberately *not*
-//! admin-gated: a load balancer must be able to probe it.
+//! `<name>=<ok|quarantined|drifting>:<consecutive>/<total>` token per
+//! registered model (see [`crate::fault::ModelHealth`]). `drifting` is
+//! the advisory accuracy alarm set when the online residual stream
+//! shifts (quarantine wins when both are latched). It is deliberately
+//! *not* admin-gated: a load balancer must be able to probe it.
+//!
+//! `observe` closes the prediction loop: after acting on a prediction
+//! the client reports the runtime it actually measured, naming the
+//! prediction by the binary protocol's request id. The reply is `ok
+//! outcome=matched` when the report joined a recorded prediction and
+//! `ok outcome=orphaned` when the id was unknown, already consumed, or
+//! evicted — late feedback is counted, never an error. Not admin-gated:
+//! closing the loop is for every client. Only predictions served over
+//! the binary protocol carry an id the engine can join on, so text-only
+//! clients' reports always come back orphaned.
 //!
 //! `load` registers (or replaces) a model from a checksummed snapshot
 //! file; `save` writes one model to a file or, without `model=`, every
@@ -212,6 +225,28 @@ pub fn parse_request_options(line: &str) -> Result<(Request, RequestOptions), Se
             }
             Ok(Request::Stats { model })
         }
+        "observe" => {
+            let id: u64 = take_kv(&mut tokens, "id")
+                .ok_or_else(|| ServeError::BadRequest("observe needs id=<request id>".into()))?
+                .parse()
+                .map_err(|_| ServeError::BadRequest("id must be a non-negative integer".into()))?;
+            let actual_us: u64 = take_kv(&mut tokens, "actual_us")
+                .ok_or_else(|| {
+                    ServeError::BadRequest("observe needs actual_us=<microseconds>".into())
+                })?
+                .parse()
+                .map_err(|_| {
+                    ServeError::BadRequest(
+                        "actual_us must be a non-negative integer of microseconds".into(),
+                    )
+                })?;
+            if !tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "observe takes id=N actual_us=N and nothing else".into(),
+                ));
+            }
+            Ok(Request::Observe { id, actual_us })
+        }
         "models" if tokens.is_empty() => Ok(Request::Models),
         "models" => Err(ServeError::BadRequest("models takes no arguments".into())),
         "health" if tokens.is_empty() => Ok(Request::Health),
@@ -258,7 +293,8 @@ pub fn parse_request_options(line: &str) -> Result<(Request, RequestOptions), Se
         }
         other => Err(ServeError::BadRequest(format!(
             "unknown command `{other}` \
-             (try: predict, schedule, stats, models, health, metrics, trace, load, save, reload)"
+             (try: predict, schedule, stats, observe, models, health, metrics, trace, \
+             load, save, reload)"
         ))),
     }?;
     Ok((request, options))
@@ -309,6 +345,16 @@ fn format_stats(s: &StatsReport) -> String {
         s.quarantines,
         s.quarantined_models,
         s.faults_injected,
+    ));
+    out.push_str(&format!(
+        " outcomes_matched={} outcomes_orphaned={} outcomes_expired={} outcomes_pending={} \
+         drift_alarms={} drifting_models={}",
+        s.outcomes_matched,
+        s.outcomes_orphaned,
+        s.outcomes_expired,
+        s.outcomes_pending,
+        s.drift_alarms,
+        s.drifting_models,
     ));
     for map in &s.cache_maps {
         out.push_str(&format!(
@@ -421,6 +467,10 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
         Ok(Reply::Reloaded { model, desc }) => {
             format!("ok reloaded model={model} kind={desc}")
         }
+        Ok(Reply::Observed { matched }) => {
+            let joined = if *matched { "matched" } else { "orphaned" };
+            format!("ok outcome={joined}")
+        }
         Ok(Reply::Models(models)) => {
             let mut out = format!("ok models={}", models.len());
             for (name, desc) in models {
@@ -431,7 +481,15 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
         Ok(Reply::Health(reports)) => {
             let mut out = format!("ok models={}", reports.len());
             for r in reports {
-                let state = if r.quarantined { "quarantined" } else { "ok" };
+                // Quarantine (serving suspended) outranks drift (advisory
+                // accuracy alarm) when both are latched.
+                let state = if r.quarantined {
+                    "quarantined"
+                } else if r.drifting {
+                    "drifting"
+                } else {
+                    "ok"
+                };
                 out.push_str(&format!(
                     " {}={state}:{}/{}",
                     r.model, r.consecutive_panics, r.total_panics
@@ -596,19 +654,74 @@ mod tests {
             HealthReport {
                 model: "nbag-tree".into(),
                 quarantined: false,
+                drifting: false,
                 consecutive_panics: 0,
                 total_panics: 0,
             },
             HealthReport {
                 model: "pair-tree".into(),
                 quarantined: true,
+                // Quarantine outranks drift in the rendered state.
+                drifting: true,
                 consecutive_panics: 3,
                 total_panics: 5,
+            },
+            HealthReport {
+                model: "stale-tree".into(),
+                quarantined: false,
+                drifting: true,
+                consecutive_panics: 0,
+                total_panics: 1,
             },
         ])));
         assert_eq!(
             line,
-            "ok models=2 nbag-tree=ok:0/0 pair-tree=quarantined:3/5"
+            "ok models=3 nbag-tree=ok:0/0 pair-tree=quarantined:3/5 stale-tree=drifting:0/1"
+        );
+    }
+
+    #[test]
+    fn parses_observe_and_formats_its_reply() {
+        assert_eq!(
+            parse_request("observe id=7 actual_us=1500").expect("parses"),
+            Request::Observe {
+                id: 7,
+                actual_us: 1500
+            }
+        );
+        // Key-value tokens, so order is irrelevant.
+        assert_eq!(
+            parse_request("observe actual_us=1500 id=7").expect("parses"),
+            Request::Observe {
+                id: 7,
+                actual_us: 1500
+            }
+        );
+        assert!(
+            !Request::Observe {
+                id: 7,
+                actual_us: 1500
+            }
+            .is_admin(),
+            "closing the loop is for every client"
+        );
+        for (line, needle) in [
+            ("observe actual_us=1500", "id="),
+            ("observe id=7", "actual_us="),
+            ("observe id=soon actual_us=1", "integer"),
+            ("observe id=7 actual_us=fast", "integer"),
+            ("observe id=7 actual_us=1 junk", "nothing else"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.to_string().contains(needle), "`{line}` -> `{err}`");
+        }
+        assert_eq!(
+            format_outcome(&Ok(Reply::Observed { matched: true })),
+            "ok outcome=matched"
+        );
+        assert_eq!(
+            format_outcome(&Ok(Reply::Observed { matched: false })),
+            "ok outcome=orphaned"
         );
     }
 

@@ -761,6 +761,22 @@ fn dispatch_frame(
             }
             true
         }
+        Payload::Outcome { actual_us } => {
+            // The frame's own request id names the prediction being
+            // reported on — the engine joins it against the pending
+            // ring. Never fatal: an unmatched report is counted, and
+            // the client gets an `ok outcome=orphaned` line back.
+            let mut trace = make_trace();
+            trace.mark(Stage::Parse);
+            let request = Request::Observe {
+                id: request_id,
+                actual_us,
+            };
+            if let Err(err) = service.submit_tagged(request, trace, None, request_id, tx.clone()) {
+                let _ = tx.send((request_id, Err(err)));
+            }
+            true
+        }
         Payload::Prediction { .. } | Payload::LineReply(_) | Payload::Error { .. } => {
             let _ = tx.send((
                 request_id,

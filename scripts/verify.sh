@@ -87,6 +87,35 @@ timeout 180 cargo test -q --test serving -- --exact \
   per_model_latency_histograms_sum_to_the_global_one_under_concurrent_clients \
   trace_dump_is_admin_gated_and_reports_slow_requests
 
+echo "== outcome feedback: residual tracking + drift detection (bounded at 300s) =="
+# The closed-loop accuracy invariants, run by name so they can never be
+# silently filtered out: the rolling residual window must match a
+# serial reference under concurrent writers, the Page-Hinkley detector
+# must fire at a deterministic sample (and only on upward shifts), the
+# engine must join each outcome to its recorded prediction exactly once
+# (orphaning duplicates and evicting by capacity/TTL), a drift alarm
+# must latch advisory-only and re-arm on reload, the wire must parse
+# `observe` on both dialects, and the ext9 drill must fire at the same
+# sample on every run while the live loop flips the exposition gauge.
+timeout 120 cargo test -q -p bagpred-obs --lib -- --exact \
+  rolling::tests::concurrent_writers_match_serial_reference \
+  rolling::tests::signed_bias_distinguishes_over_and_under_prediction \
+  drift::tests::step_change_fires_at_a_deterministic_sample \
+  drift::tests::identical_sequences_fire_identically \
+  drift::tests::constant_stream_never_fires \
+  drift::tests::reset_rearms_the_detector
+timeout 300 cargo test -q -p bagpred-serve --lib -- --exact \
+  engine::tests::observe_joins_tagged_predictions_once_and_orphans_the_rest \
+  engine::tests::outcome_ring_evicts_by_capacity_and_ttl_as_expired \
+  engine::tests::drift_alarm_latches_flags_health_and_reload_rearms_the_detector \
+  engine::tests::slow_captures_carry_the_upstream_trace_context \
+  protocol::tests::parses_observe_and_formats_its_reply \
+  client::tests::report_outcome_closes_the_loop_on_binary_and_orphans_on_text
+timeout 300 cargo test -q -p bagpred-experiments --lib -- --exact \
+  extensions::tests::online_mape_matches_offline_loocv_within_quantization \
+  extensions::tests::drift_drill_fires_deterministically_after_the_perturbation \
+  extensions::tests::live_loop_flips_the_drifting_gauge_in_the_exposition
+
 echo "== fault tolerance: panic isolation + torn writes + deadlines (bounded at 300s) =="
 # The robustness drills, run by name so they can never be silently
 # filtered out: an injected worker panic must answer every one of 8
@@ -150,6 +179,7 @@ for key in schema smoke threads corpus_bags batch_records \
   serve_protocol_speedup serve_text_ns_per_request serve_binary_ns_per_request \
   serve_isolation_baseline_p99_us serve_isolation_sharded_p99_us \
   serve_isolation_unsharded_p99_us \
+  serve_obs_outcome_roundtrip_us obs_outcome_record_ns \
   flat_simd_tree_preorder_ns_per_record flat_simd_tree_ns_per_record \
   flat_simd_tree_speedup flat_simd_forest_preorder_ns_per_record \
   flat_simd_forest_ns_per_record flat_simd_forest_speedup \
@@ -216,6 +246,7 @@ timeout 300 ./target/release/repro fleet --smoke --seed 42 --json \
 for key in schema smoke seed duration_s base_rate_per_s patience_s \
   budget_s window gpu_sweep arrivals \
   ffd_k1_shed_rate ffd_k1_packing_efficiency ffd_k1_corun_sets \
+  ffd_k1_online_mape_percent solo_k1_online_mape_percent \
   ffd_k2_p50_ms ffd_k2_p99_ms ffd_k2_utilization \
   solo_k1_shed_rate solo_k1_packing_efficiency solo_k2_p99_ms \
   gap_instances gap_jobs gap_gpus gap_budget_slack \
