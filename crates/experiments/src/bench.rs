@@ -593,7 +593,7 @@ impl BenchReport {
                 stage.samples, stage.p50_us, stage.p95_us, stage.max_us,
             ));
         }
-        let serve_keys: [(&str, f64); 9] = [
+        let serve_keys: [(&str, f64); 13] = [
             (
                 "serve_text_protocol_ns_per_request",
                 self.serve.text_protocol_ns_per_request,
@@ -624,6 +624,16 @@ impl BenchReport {
                 "serve_obs_outcome_roundtrip_us",
                 self.serve.obs_outcome_roundtrip_us,
             ),
+            (
+                "serve_hedge_unhedged_p99_us",
+                self.serve.hedge_unhedged_p99_us,
+            ),
+            ("serve_hedge_hedged_p99_us", self.serve.hedge_hedged_p99_us),
+            (
+                "serve_hedge_p99_improvement",
+                self.serve.hedge_p99_improvement,
+            ),
+            ("serve_cancel_roundtrip_us", self.serve.cancel_roundtrip_us),
         ];
         for (key, value) in serve_keys.iter() {
             out.push_str(&format!("  \"{key}\": {value:.3},\n"));
@@ -716,6 +726,14 @@ impl BenchReport {
             self.serve.isolation_baseline_p99_us,
             self.serve.isolation_sharded_p99_us,
             self.serve.isolation_unsharded_p99_us,
+        ));
+        out.push_str(&format!(
+            "  serve hedging     stalled-model p99: unhedged {} us, hedged {} us \
+             (improvement {:.2}x); cancel roundtrip {:.1} us\n",
+            self.serve.hedge_unhedged_p99_us,
+            self.serve.hedge_hedged_p99_us,
+            self.serve.hedge_p99_improvement,
+            self.serve.cancel_roundtrip_us,
         ));
         out
     }
@@ -856,6 +874,10 @@ mod tests {
                 isolation_sharded_p99_us: 400.0,
                 isolation_unsharded_p99_us: 6000.0,
                 obs_outcome_roundtrip_us: 70.0,
+                hedge_unhedged_p99_us: 50_000.0,
+                hedge_hedged_p99_us: 10_000.0,
+                hedge_p99_improvement: 5.0,
+                cancel_roundtrip_us: 65.0,
             },
         }
     }
@@ -901,6 +923,16 @@ mod tests {
             json_number(&json, "serve_obs_outcome_roundtrip_us"),
             Some(70.0)
         );
+        assert_eq!(
+            json_number(&json, "serve_hedge_unhedged_p99_us"),
+            Some(50_000.0)
+        );
+        assert_eq!(
+            json_number(&json, "serve_hedge_hedged_p99_us"),
+            Some(10_000.0)
+        );
+        assert_eq!(json_number(&json, "serve_hedge_p99_improvement"), Some(5.0));
+        assert_eq!(json_number(&json, "serve_cancel_roundtrip_us"), Some(65.0));
         assert_eq!(json_number(&json, "obs_outcome_record_ns"), Some(45.0));
         assert_eq!(json_number(&json, "no_such_key"), None);
     }

@@ -15,6 +15,7 @@
 //! | [`tables`] | Tables II-IV: benchmarks, machine configuration, features |
 //! | [`extensions`] | Studies beyond the paper: temporal vs spatial multiplexing, n-application bags, model comparison |
 //! | [`bench`] | `repro bench`: pipeline throughput harness (training, LOOCV, batch inference) |
+//! | [`soak`] | `repro soak`: deterministic chaos soak of the serving stack (fault storm + hedging clients + conservation invariants) |
 //!
 //! # Example
 //!
@@ -39,6 +40,7 @@ mod render;
 pub mod scaling;
 pub mod sensitivity;
 pub mod servebench;
+pub mod soak;
 pub mod tables;
 
 pub use context::Context;

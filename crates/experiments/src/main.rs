@@ -13,6 +13,7 @@
 //!             [--amplitude A] [--period S] [--patience S] [--budget S] [--seed N]
 //!             [--window N] [--gap-instances N] [--gap-slack X] [--no-gap] [--smoke]
 //!             [--json] [--out FILE]
+//! repro soak [--smoke] [--seed N] [--clients N] [--requests N] [--digest]
 //! ```
 //!
 //! Artifacts: `fig1` … `fig12`, `table2`, `table3`, `table4`,
@@ -36,6 +37,11 @@
 //! regression baseline is never clobbered). `fleet` replays a synthetic
 //! diurnal arrival trace through the admission stack across policies and
 //! fleet sizes and writes `BENCH_fleet.json` (see `bagpred_fleet`).
+//! `soak` runs the deterministic chaos soak (multi-site fault storm,
+//! hedging clients, conservation invariants — see
+//! `bagpred_experiments::soak`); `--digest` prints only the bit-stable
+//! digest line for two-run determinism comparison, and the exit code is
+//! 1 when an invariant fails.
 
 use bagpred_experiments::{
     accuracy, bench, extensions, paths, scaling, sensitivity, tables, Context,
@@ -462,6 +468,61 @@ fn run_bench(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro soak`: run the deterministic chaos soak — a live server under
+/// a multi-site fault storm, hedging clients, post-storm conservation
+/// invariants — and print the report (digest line last). `--digest`
+/// prints only the bit-stable digest line, which `scripts/verify.sh`
+/// compares across two same-seed runs. Exits 1 when an invariant fails.
+fn run_soak(args: &[String]) -> ! {
+    let usage = "usage: repro soak [--smoke] [--seed N] [--clients N] [--requests N] [--digest]";
+
+    fn parsed<T: std::str::FromStr>(flag: &str, value: Option<&String>, usage: &str) -> T {
+        match value.map(|v| v.parse::<T>()) {
+            Some(Ok(parsed)) => parsed,
+            _ => {
+                eprintln!("error: {flag} needs a valid value");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = bagpred_experiments::soak::SoakConfig::default();
+    let mut digest_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                let smoke = bagpred_experiments::soak::SoakConfig::smoke();
+                cfg.clients = smoke.clients;
+                cfg.requests_per_client = smoke.requests_per_client;
+                cfg.smoke = true;
+            }
+            "--seed" => cfg.seed = parsed("--seed", it.next(), usage),
+            "--clients" => cfg.clients = parsed("--clients", it.next(), usage),
+            "--requests" => cfg.requests_per_client = parsed("--requests", it.next(), usage),
+            "--digest" => digest_only = true,
+            other => {
+                eprintln!("error: unknown soak flag `{other}`");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.clients == 0 || cfg.requests_per_client == 0 {
+        eprintln!("error: --clients and --requests must be positive");
+        std::process::exit(2);
+    }
+
+    let report = bagpred_experiments::soak::run(&cfg);
+    if digest_only {
+        println!("{}", report.digest());
+    } else {
+        print!("{}", report.render());
+    }
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
 /// `repro fleet`: replay a synthetic diurnal trace through the admission
 /// stack across policies and fleet sizes, write `BENCH_fleet.json`, and
 /// print the capacity-planning report.
@@ -609,7 +670,8 @@ fn main() {
              serve [ADDR] [--models DIR] [--admin] [--unsharded] [--metrics-addr ADDR] \
              [--slow-threshold-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS] | \
              bench [--smoke] [--json] [--out FILE] [--baseline FILE] [--max-regression X] [--fleet FILE] | \
-             fleet [--policy P] [--gpus K,...] [--duration S] [--seed N] [--smoke] [--json] [--out FILE]"
+             fleet [--policy P] [--gpus K,...] [--duration S] [--seed N] [--smoke] [--json] [--out FILE] | \
+             soak [--smoke] [--seed N] [--clients N] [--requests N] [--digest]"
         );
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -632,6 +694,9 @@ fn main() {
     }
     if args[0] == "fleet" {
         run_fleet(&args[1..]);
+    }
+    if args[0] == "soak" {
+        run_soak(&args[1..]);
     }
 
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {

@@ -7,6 +7,7 @@
 //! probability `λ(t)/λ_max` — driven entirely by the seeded
 //! [`SplitMix64`], so a trace is a pure function of its config.
 
+use bagpred_serve::Priority;
 use bagpred_trace::SplitMix64;
 use bagpred_workloads::{Benchmark, Workload};
 
@@ -61,6 +62,9 @@ pub struct Job {
     pub deadline_us: u64,
     /// What the job wants to run.
     pub workload: Workload,
+    /// Brownout class: which queue-pressure watermark sheds this job
+    /// first (mirrors the serving layer's `prio=` option).
+    pub priority: Priority,
 }
 
 /// Draws one workload uniformly over `Benchmark::ALL` × [`TRACE_BATCHES`].
@@ -71,6 +75,17 @@ pub fn sample_workload(rng: &mut SplitMix64) -> Workload {
     let bench = Benchmark::ALL[rng.next_below(Benchmark::ALL.len() as u64) as usize];
     let batch = TRACE_BATCHES[rng.next_below(TRACE_BATCHES.len() as u64) as usize];
     Workload::new(bench, batch)
+}
+
+/// Draws a brownout class with the fixed fleet mix: 20% high, 60%
+/// normal, 20% low — enough of every class that a watermark sweep sees
+/// all three shed curves.
+pub fn sample_priority(rng: &mut SplitMix64) -> Priority {
+    match rng.next_below(10) {
+        0 | 1 => Priority::High,
+        8 | 9 => Priority::Low,
+        _ => Priority::Normal,
+    }
 }
 
 /// Generates the full arrival trace for `cfg`, sorted by arrival time.
@@ -127,6 +142,7 @@ pub fn generate(cfg: &ArrivalConfig) -> Vec<Job> {
             arrival_us,
             deadline_us: arrival_us.saturating_add(patience_us),
             workload: sample_workload(&mut work_rng),
+            priority: sample_priority(&mut work_rng),
         });
     }
     jobs

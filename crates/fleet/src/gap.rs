@@ -185,11 +185,13 @@ pub fn optimality_gaps(
                 arrival_us: 0,
                 deadline_us: u64::MAX,
                 workload,
+                priority: bagpred_serve::Priority::Normal,
             })
             .collect();
         let sim_cfg = SimConfig {
             gpus: cfg.gpus,
             window: cfg.jobs,
+            ..SimConfig::default()
         };
         for (p, policy) in policies.iter().enumerate() {
             let outcome = simulate(*policy, &instance_ctx, &sim_cfg, &jobs)?;

@@ -40,6 +40,9 @@ pub struct FleetConfig {
     pub budget_s: f64,
     /// Scheduling window (queued jobs visible per round).
     pub window: usize,
+    /// Admission queue bound for the priority brownout; `0` disables
+    /// brownout (unbounded queue).
+    pub queue_capacity: usize,
     /// Fleet sizes to sweep.
     pub gpu_sweep: Vec<usize>,
     /// Policy names to sweep (resolved via [`policy::by_name`]).
@@ -56,6 +59,10 @@ impl Default for FleetConfig {
             arrivals: ArrivalConfig::default(),
             budget_s: 0.5,
             window: 6,
+            // Deep enough that undersubscribed fleets never brown out,
+            // shallow enough that the k=1 cell's shedding is SLO-
+            // differentiated rather than blind deadline lapses.
+            queue_capacity: 64,
             gpu_sweep: vec![1, 2, 4],
             policies: vec!["ffd".into(), "solo".into()],
             gap: Some(GapConfig::default()),
@@ -122,6 +129,8 @@ pub fn run_with(
             let sim_cfg = SimConfig {
                 gpus: k,
                 window: cfg.window,
+                queue_capacity: cfg.queue_capacity,
+                ..SimConfig::default()
             };
             let outcome = simulate(policy.as_ref(), &ctx, &sim_cfg, &jobs)?;
             let snapshot = outcome.latency.snapshot();
@@ -131,6 +140,7 @@ pub fn run_with(
                 completed: outcome.completed,
                 shed: outcome.shed,
                 shed_rate: outcome.shed_rate(),
+                brownout_shed: outcome.brownout_shed,
                 p50_ms: snapshot.quantile(0.50) as f64 / 1e3,
                 p99_ms: snapshot.quantile(0.99) as f64 / 1e3,
                 mean_ms: snapshot.mean() / 1e3,
@@ -161,6 +171,7 @@ pub fn run_with(
         arrivals_cfg: cfg.arrivals,
         budget_s: cfg.budget_s,
         window: cfg.window,
+        queue_capacity: cfg.queue_capacity,
         gpu_sweep: cfg.gpu_sweep.clone(),
         arrivals: jobs.len() as u64,
         cells,
@@ -321,9 +332,14 @@ mod tests {
                 arrival_us: 0,
                 deadline_us: u64::MAX,
                 workload,
+                priority: bagpred_serve::Priority::Normal,
             })
             .collect();
-        let sim_cfg = SimConfig { gpus: 2, window: 4 };
+        let sim_cfg = SimConfig {
+            gpus: 2,
+            window: 4,
+            ..SimConfig::default()
+        };
         let outcome = simulate(&Exhaustive::default(), &c, &sim_cfg, &jobs).expect("runs");
         assert_eq!(outcome.completed, 4);
         assert_eq!(outcome.shed, 0);

@@ -20,10 +20,12 @@ pub struct PolicyCell {
     pub gpus: usize,
     /// Jobs that ran to completion.
     pub completed: u64,
-    /// Jobs lost to deadlines or unschedulability.
+    /// Jobs lost to deadlines, brownout, or unschedulability.
     pub shed: u64,
     /// `shed / arrivals`.
     pub shed_rate: f64,
+    /// The brownout slice of `shed`, by class (high, normal, low).
+    pub brownout_shed: [u64; 3],
     /// Median completion latency (queue wait + predicted run), ms.
     pub p50_ms: f64,
     /// Tail completion latency, ms.
@@ -55,6 +57,8 @@ pub struct FleetReport {
     pub budget_s: f64,
     /// Scheduling window the policies saw.
     pub window: usize,
+    /// Brownout admission bound (0 = brownout disabled).
+    pub queue_capacity: usize,
     /// Fleet sizes swept.
     pub gpu_sweep: Vec<usize>,
     /// Jobs in the generated trace.
@@ -97,6 +101,7 @@ impl FleetReport {
         ));
         out.push_str(&format!("  \"budget_s\": {:.6},\n", self.budget_s));
         out.push_str(&format!("  \"window\": {},\n", self.window));
+        out.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
         let sweep: Vec<String> = self.gpu_sweep.iter().map(|k| k.to_string()).collect();
         out.push_str(&format!("  \"gpu_sweep\": [{}],\n", sweep.join(", ")));
         out.push_str(&format!("  \"arrivals\": {},\n", self.arrivals));
@@ -105,6 +110,18 @@ impl FleetReport {
             out.push_str(&format!("  \"{tag}_completed\": {},\n", cell.completed));
             out.push_str(&format!("  \"{tag}_shed\": {},\n", cell.shed));
             out.push_str(&format!("  \"{tag}_shed_rate\": {:.6},\n", cell.shed_rate));
+            out.push_str(&format!(
+                "  \"{tag}_brownout_shed_high\": {},\n",
+                cell.brownout_shed[0]
+            ));
+            out.push_str(&format!(
+                "  \"{tag}_brownout_shed_normal\": {},\n",
+                cell.brownout_shed[1]
+            ));
+            out.push_str(&format!(
+                "  \"{tag}_brownout_shed_low\": {},\n",
+                cell.brownout_shed[2]
+            ));
             out.push_str(&format!("  \"{tag}_p50_ms\": {:.3},\n", cell.p50_ms));
             out.push_str(&format!("  \"{tag}_p99_ms\": {:.3},\n", cell.p99_ms));
             out.push_str(&format!("  \"{tag}_mean_ms\": {:.3},\n", cell.mean_ms));
@@ -173,12 +190,13 @@ impl FleetReport {
             self.arrivals_cfg.seed,
         ));
         out.push_str(&format!(
-            "{:<8} {:>3} {:>9} {:>6} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7} {:>8}\n",
+            "{:<8} {:>3} {:>9} {:>6} {:>9} {:>12} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7} {:>8}\n",
             "policy",
             "k",
             "completed",
             "shed",
             "shed_rate",
+            "bshed h/n/l",
             "p50_ms",
             "p99_ms",
             "makespan_s",
@@ -189,13 +207,17 @@ impl FleetReport {
         ));
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<8} {:>3} {:>9} {:>6} {:>9.4} {:>9.2} {:>9.2} {:>10.3} {:>8.3} {:>7.3} {:>7} \
-                 {:>8.2}\n",
+                "{:<8} {:>3} {:>9} {:>6} {:>9.4} {:>12} {:>9.2} {:>9.2} {:>10.3} {:>8.3} {:>7.3} \
+                 {:>7} {:>8.2}\n",
                 c.policy,
                 c.gpus,
                 c.completed,
                 c.shed,
                 c.shed_rate,
+                format!(
+                    "{}/{}/{}",
+                    c.brownout_shed[0], c.brownout_shed[1], c.brownout_shed[2]
+                ),
                 c.p50_ms,
                 c.p99_ms,
                 c.makespan_s,

@@ -19,6 +19,7 @@ use crate::arrivals::Job;
 use crate::policy::{Policy, PolicyCtx};
 use bagpred_obs::{LogHistogram, ResidualWindow};
 use bagpred_serve::error::ServeError;
+use bagpred_serve::Priority;
 use bagpred_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -30,11 +31,46 @@ pub struct SimConfig {
     pub gpus: usize,
     /// Scheduling window: how many queued jobs the policy sees per round.
     pub window: usize,
+    /// Admission queue bound for the priority brownout (mirrors the
+    /// serving layer's per-shard capacity): `0` disables brownout and
+    /// the queue is unbounded, the pre-brownout behavior.
+    pub queue_capacity: usize,
+    /// Low-class watermark as a fraction of `queue_capacity`: a `low`
+    /// arrival sheds once the queue is this full.
+    pub brownout_low: f64,
+    /// Normal-class watermark as a fraction of `queue_capacity`. `high`
+    /// arrivals shed only at the hard capacity bound.
+    pub brownout_normal: f64,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { gpus: 2, window: 6 }
+        Self {
+            gpus: 2,
+            window: 6,
+            queue_capacity: 0,
+            brownout_low: 0.5,
+            brownout_normal: 0.75,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Queue depth at which an arrival of `prio` sheds, or `None` when
+    /// brownout is disabled. Same watermark ladder as the serving
+    /// engine: low sheds first, then normal, and high holds out until
+    /// the queue is hard-full.
+    fn brownout_limit(&self, prio: Priority) -> Option<usize> {
+        if self.queue_capacity == 0 {
+            return None;
+        }
+        let fraction = match prio {
+            Priority::High => return Some(self.queue_capacity),
+            Priority::Normal => self.brownout_normal,
+            Priority::Low => self.brownout_low,
+        };
+        let limit = (self.queue_capacity as f64 * fraction).ceil() as usize;
+        Some(limit.min(self.queue_capacity).max(1))
     }
 }
 
@@ -45,9 +81,13 @@ pub struct SimOutcome {
     pub arrivals: u64,
     /// Jobs that ran to completion.
     pub completed: u64,
-    /// Jobs lost: deadline lapsed in queue, or unschedulable under the
-    /// budget.
+    /// Jobs lost: deadline lapsed in queue, browned out at admission,
+    /// or unschedulable under the budget.
     pub shed: u64,
+    /// The brownout slice of `shed`, by class ([`Priority::index`]
+    /// order: high, normal, low). All zero when
+    /// [`SimConfig::queue_capacity`] is 0.
+    pub brownout_shed: [u64; 3],
     /// Virtual time of the last completion, seconds.
     pub makespan_s: f64,
     /// Σ over dispatched co-run sets of predicted bag time — GPU-seconds
@@ -161,6 +201,7 @@ pub fn simulate(
     let mut gpu_busy = vec![false; cfg.gpus];
 
     let mut shed = 0u64;
+    let mut brownout_shed = [0u64; 3];
     let mut completed = 0u64;
     let mut busy_gpu_s = 0.0f64;
     let mut solo_completed_s = 0.0f64;
@@ -188,8 +229,19 @@ pub fn simulate(
             gpu_busy[gpu] = false;
         }
         while next_arrival < jobs.len() && jobs[next_arrival].arrival_us <= now {
-            pending.push_back(jobs[next_arrival]);
+            let job = jobs[next_arrival];
             next_arrival += 1;
+            // Priority brownout at admission: under queue pressure a
+            // class sheds once the depth crosses its watermark, exactly
+            // as the serving engine's enqueue path does.
+            if let Some(limit) = cfg.brownout_limit(job.priority) {
+                if pending.len() >= limit {
+                    shed += 1;
+                    brownout_shed[job.priority.index()] += 1;
+                    continue;
+                }
+            }
+            pending.push_back(job);
         }
         pending.retain(|job| {
             let expired = job.deadline_us < now;
@@ -269,6 +321,7 @@ pub fn simulate(
         arrivals: jobs.len() as u64,
         completed,
         shed,
+        brownout_shed,
         makespan_s: last_finish_us as f64 / 1e6,
         busy_gpu_s,
         solo_completed_s,
@@ -306,8 +359,14 @@ mod tests {
         };
         let jobs = trace();
         for bad in [
-            SimConfig { gpus: 0, window: 6 },
-            SimConfig { gpus: 2, window: 0 },
+            SimConfig {
+                gpus: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                window: 0,
+                ..SimConfig::default()
+            },
         ] {
             assert!(matches!(
                 simulate(&FfdPolicy, &ctx, &bad, &jobs),
@@ -377,10 +436,85 @@ mod tests {
             patience_s: 0.005,
             ..ArrivalConfig::default()
         });
-        let outcome =
-            simulate(&FfdPolicy, &ctx, &SimConfig { gpus: 1, window: 6 }, &jobs).expect("runs");
+        let outcome = simulate(
+            &FfdPolicy,
+            &ctx,
+            &SimConfig {
+                gpus: 1,
+                ..SimConfig::default()
+            },
+            &jobs,
+        )
+        .expect("runs");
         assert!(outcome.shed > 0, "millisecond patience must shed");
         assert_eq!(outcome.completed + outcome.shed, outcome.arrivals);
+        assert_eq!(
+            outcome.brownout_shed,
+            [0, 0, 0],
+            "queue_capacity 0 disables brownout entirely"
+        );
+    }
+
+    #[test]
+    fn brownout_sheds_low_before_normal_before_high() {
+        use bagpred_serve::Priority;
+
+        let model = testutil::nbag_model();
+        let cache = testutil::shared_cache();
+        let platforms = Platforms::paper();
+        let ctx = PolicyCtx {
+            model: &model,
+            cache,
+            platforms: &platforms,
+            budget_s: 0.5,
+        };
+        // One GPU against the default (oversubscribed) rate with a tight
+        // admission bound: the queue rides the watermarks for the whole
+        // trace, so every class's shed curve is exercised.
+        let jobs = generate(&ArrivalConfig {
+            duration_s: 10.0,
+            ..ArrivalConfig::default()
+        });
+        let cfg = SimConfig {
+            gpus: 1,
+            queue_capacity: 8,
+            ..SimConfig::default()
+        };
+        let outcome = simulate(&FfdPolicy, &ctx, &cfg, &jobs).expect("runs");
+        assert_eq!(outcome.completed + outcome.shed, outcome.arrivals);
+        let arrivals_by_class = jobs.iter().fold([0u64; 3], |mut acc, job| {
+            acc[job.priority.index()] += 1;
+            acc
+        });
+        // Every class is present in the trace and the brownout bit.
+        for (i, prio) in Priority::ALL.iter().enumerate() {
+            assert!(
+                arrivals_by_class[i] > 0,
+                "{} missing from trace",
+                prio.name()
+            );
+        }
+        let rate = |prio: Priority| {
+            outcome.brownout_shed[prio.index()] as f64 / arrivals_by_class[prio.index()] as f64
+        };
+        // The watermark ladder: a lower class never sheds at a lower
+        // rate than the class above it, and low genuinely sheds.
+        assert!(
+            outcome.brownout_shed[Priority::Low.index()] > 0,
+            "an oversubscribed GPU with capacity 8 must brown out low"
+        );
+        assert!(
+            rate(Priority::Low) >= rate(Priority::Normal),
+            "low {} < normal {}",
+            rate(Priority::Low),
+            rate(Priority::Normal)
+        );
+        assert!(
+            rate(Priority::Normal) >= rate(Priority::High),
+            "normal {} < high {}",
+            rate(Priority::Normal),
+            rate(Priority::High)
+        );
     }
 
     #[test]
@@ -395,10 +529,17 @@ mod tests {
             budget_s: 0.5,
         };
         let jobs = trace();
-        let a = simulate(&FfdPolicy, &ctx, &SimConfig::default(), &jobs).expect("runs");
-        let b = simulate(&FfdPolicy, &ctx, &SimConfig::default(), &jobs).expect("runs");
+        // Brownout on, so the determinism contract covers the priority
+        // admission path too.
+        let cfg = SimConfig {
+            queue_capacity: 16,
+            ..SimConfig::default()
+        };
+        let a = simulate(&FfdPolicy, &ctx, &cfg, &jobs).expect("runs");
+        let b = simulate(&FfdPolicy, &ctx, &cfg, &jobs).expect("runs");
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.shed, b.shed);
+        assert_eq!(a.brownout_shed, b.brownout_shed);
         assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
         assert_eq!(a.busy_gpu_s.to_bits(), b.busy_gpu_s.to_bits());
         assert_eq!(a.latency.snapshot(), b.latency.snapshot());

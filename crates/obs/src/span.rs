@@ -26,11 +26,15 @@ pub enum Stage {
     Predict,
     /// Writing the reply back to the client socket.
     ReplyWrite,
+    /// The server-side cancel fast path (`cancel id=<req>`), recorded
+    /// by the engine like `ReplyWrite`: it runs inline, outside any
+    /// queued job's trace.
+    Cancel,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Parse,
         Stage::QueueWait,
         Stage::Admission,
@@ -38,6 +42,7 @@ impl Stage {
         Stage::BatchAssembly,
         Stage::Predict,
         Stage::ReplyWrite,
+        Stage::Cancel,
     ];
 
     /// Stable snake_case name used in wire replies and metric labels.
@@ -50,6 +55,7 @@ impl Stage {
             Stage::BatchAssembly => "batch_assembly",
             Stage::Predict => "predict",
             Stage::ReplyWrite => "reply_write",
+            Stage::Cancel => "cancel",
         }
     }
 
@@ -62,6 +68,7 @@ impl Stage {
             Stage::BatchAssembly => 4,
             Stage::Predict => 5,
             Stage::ReplyWrite => 6,
+            Stage::Cancel => 7,
         }
     }
 }

@@ -35,12 +35,30 @@
 //! On the line protocol the client speaks single-line replies only;
 //! multi-line commands (`metrics`, `trace`) need a raw socket or the
 //! binary framing, whose length prefix carries them intact.
+//!
+//! # Hedged requests
+//!
+//! With [`ClientConfig::hedge`] on and a binary connection, the client
+//! keeps a rolling latency histogram and arms a timer at its p95
+//! estimate on every send: if the reply has not started arriving by
+//! then, a second copy of the request goes out tagged `hedge_of=` the
+//! first attempt's id — so the engine counts the pair's served attempt
+//! exactly once — and whichever reply lands first wins. The loser is
+//! cancelled server-side (fire-and-forget `Cancel` frame) and its
+//! straggling reply, if any, is drained as a stale id. A hedge inherits
+//! the *remaining* deadline: `deadline_ms=` in the line is rewritten to
+//! the budget left since the first attempt's send, and a hedge whose
+//! budget is already spent is not sent at all. Until
+//! [`ClientConfig::hedge_min_samples`] latencies have been observed the
+//! estimator is untrained and no hedge fires.
 
 use crate::frame::{self, Frame, Payload};
 use bagpred_ml::codec::fmt_f64;
+use bagpred_obs::LogHistogram;
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Client`] retry behavior.
 #[derive(Debug, Clone)]
@@ -61,6 +79,15 @@ pub struct ClientConfig {
     /// leaves the connection on the text protocol, so this is safe
     /// against old servers; turn it off to force text.
     pub prefer_binary: bool,
+    /// Fire a hedge (a second copy of the request) when the reply has
+    /// not started arriving by the client's rolling p95 latency
+    /// estimate. Binary connections only — hedging needs multiplexed
+    /// request ids. Off by default: a hedge is extra server load, and
+    /// only a tail-latency-sensitive caller should opt in.
+    pub hedge: bool,
+    /// Latency samples the p95 estimator needs before any hedge fires;
+    /// below this the estimate is noise and hedging would be random.
+    pub hedge_min_samples: u64,
 }
 
 impl Default for ClientConfig {
@@ -72,6 +99,8 @@ impl Default for ClientConfig {
             io_timeout: Duration::from_secs(5),
             jitter_seed: 0x9E37_79B9_7F4A_7C15,
             prefer_binary: true,
+            hedge: false,
+            hedge_min_samples: 10,
         }
     }
 }
@@ -169,6 +198,15 @@ pub struct Client {
     rng: u64,
     retries: u64,
     next_request_id: u64,
+    /// Rolling end-to-end latency of answered requests; its p95 is the
+    /// hedge trigger.
+    latency: LogHistogram,
+    /// Wire ids whose replies should be discarded on sight: cancelled
+    /// hedge losers, their fire-and-forget cancel acks, and duplicated
+    /// frames a fault-injected server may retransmit.
+    stale_ids: HashSet<u64>,
+    hedges_fired: u64,
+    hedge_wins: u64,
 }
 
 impl Client {
@@ -191,6 +229,10 @@ impl Client {
             rng: seed,
             retries: 0,
             next_request_id: 1,
+            latency: LogHistogram::new(),
+            stale_ids: HashSet::new(),
+            hedges_fired: 0,
+            hedge_wins: 0,
         }
     }
 
@@ -198,6 +240,17 @@ impl Client {
     /// the first, per request).
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Hedges fired across this client's lifetime.
+    pub fn hedges_fired(&self) -> u64 {
+        self.hedges_fired
+    }
+
+    /// Hedges whose reply beat the primary's across this client's
+    /// lifetime.
+    pub fn hedge_wins(&self) -> u64 {
+        self.hedge_wins
     }
 
     /// Whether the current connection negotiated the binary framing:
@@ -209,6 +262,11 @@ impl Client {
     fn connect(&mut self) -> std::io::Result<&mut Conn> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(self.addr)?;
+            // Hedge and cancel frames are small writes racing a reply
+            // that has not arrived yet; with Nagle on, the kernel holds
+            // them until the server's delayed ACK (up to 40ms) — longer
+            // than the tail they exist to cut.
+            stream.set_nodelay(true)?;
             stream.set_read_timeout(Some(self.config.io_timeout))?;
             stream.set_write_timeout(Some(self.config.io_timeout))?;
             let writer = stream.try_clone()?;
@@ -241,9 +299,10 @@ impl Client {
     }
 
     fn attempt(&mut self, line: &str, request_id: u64) -> std::io::Result<String> {
-        let conn = self.connect()?;
+        self.connect()?;
+        let conn = self.conn.as_mut().expect("connection just installed");
         if conn.binary {
-            return Self::attempt_binary(conn, line, request_id);
+            return Self::attempt_binary(conn, &mut self.stale_ids, line, request_id);
         }
         // One write syscall for line + newline: the writer is a raw
         // `TcpStream`, and two small writes become two TCP segments —
@@ -265,7 +324,12 @@ impl Client {
     /// One request over the binary framing: the line rides in a `Line`
     /// frame tagged with `request_id`, and the reply frame is rendered
     /// back to the exact string the text protocol would have sent.
-    fn attempt_binary(conn: &mut Conn, line: &str, request_id: u64) -> std::io::Result<String> {
+    fn attempt_binary(
+        conn: &mut Conn,
+        stale: &mut HashSet<u64>,
+        line: &str,
+        request_id: u64,
+    ) -> std::io::Result<String> {
         let request = Frame::new(request_id, Payload::Line(line.to_string()));
         conn.writer.write_all(&frame::encode(&request))?;
         conn.writer.flush()?;
@@ -273,10 +337,12 @@ impl Client {
             let reply = Self::read_frame(&mut conn.reader)?;
             // One request in flight per `Client`, but replies to
             // earlier attempts may straggle after an I/O-timeout retry
-            // on the same connection; skip any id that is not ours.
+            // (or a cancelled hedge loser) on the same connection; drain
+            // any id that is not ours.
             if reply.request_id == request_id {
                 return Ok(render_reply(reply.payload));
             }
+            stale.remove(&reply.request_id);
         }
     }
 
@@ -289,6 +355,195 @@ impl Client {
         reader.read_exact(&mut body)?;
         frame::decode_body(&body)
             .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))
+    }
+
+    /// One attempt with the hedge timer armed (see the module doc's
+    /// hedging section). Falls back to a plain attempt on a text
+    /// connection or while the p95 estimator is still untrained; either
+    /// way the observed latency feeds the estimator. Hedge ids that
+    /// actually rode the wire are appended to `request_ids` so
+    /// [`ClientError::Exhausted`] can name every attempt.
+    fn attempt_hedged(
+        &mut self,
+        line: &str,
+        primary_id: u64,
+        request_ids: &mut Vec<u64>,
+    ) -> std::io::Result<String> {
+        self.connect()?;
+        let binary = self.conn.as_ref().is_some_and(|conn| conn.binary);
+        let snap = self.latency.snapshot();
+        if !binary || snap.count < self.config.hedge_min_samples {
+            let started = Instant::now();
+            let reply = self.attempt(line, primary_id)?;
+            self.latency.record_duration(started.elapsed());
+            return Ok(reply);
+        }
+        // The p95 estimate, floored so the timer never degenerates into
+        // hedging every request on a microsecond-fast server.
+        let hedge_delay = Duration::from_micros(snap.quantile(0.95).max(100));
+        let send_at = Instant::now();
+        let hedge_at = send_at + hedge_delay;
+        {
+            let conn = self.conn.as_mut().expect("connection just installed");
+            let request = Frame::new(primary_id, Payload::Line(line.to_string()));
+            conn.writer.write_all(&frame::encode(&request))?;
+            conn.writer.flush()?;
+        }
+        // None = timer armed; Some(id) = hedge in flight; Some(primary)
+        // doubles as "declined" (deadline spent), so the loop stops
+        // re-arming either way.
+        let mut hedge_id: Option<u64> = None;
+        loop {
+            // Wait for reply bytes via `fill_buf` (peeks, consumes
+            // nothing) so a timer-driven read timeout cannot tear a
+            // frame mid-read.
+            let ready = {
+                let conn = self.conn.as_mut().expect("connection just installed");
+                let timeout = if hedge_id.is_none() {
+                    hedge_at
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_micros(100))
+                } else {
+                    self.config.io_timeout
+                };
+                conn.reader.get_ref().set_read_timeout(Some(timeout))?;
+                match conn.reader.fill_buf() {
+                    Ok([]) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        ))
+                    }
+                    Ok(_) => true,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        false
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            if ready {
+                let reply = {
+                    let conn = self.conn.as_mut().expect("connection just installed");
+                    conn.reader
+                        .get_ref()
+                        .set_read_timeout(Some(self.config.io_timeout))?;
+                    Self::read_frame(&mut conn.reader)?
+                };
+                let id = reply.request_id;
+                let hedged = hedge_id.filter(|&h| h != primary_id);
+                if id == primary_id || hedged == Some(id) {
+                    // First reply of the pair wins; cancel the loser so
+                    // the server can drop it before predict.
+                    if let Some(hedge) = hedged {
+                        let loser = if id == primary_id { hedge } else { primary_id };
+                        if id != primary_id {
+                            self.hedge_wins += 1;
+                        }
+                        self.cancel_quietly(loser);
+                    }
+                    self.latency.record_duration(send_at.elapsed());
+                    return Ok(render_reply(reply.payload));
+                }
+                self.stale_ids.remove(&id);
+                continue;
+            }
+            if hedge_id.is_none() {
+                if Instant::now() < hedge_at {
+                    continue; // spurious early timeout; keep waiting
+                }
+                match hedged_line(line, send_at.elapsed(), primary_id) {
+                    Some(hline) => {
+                        let id = self.next_request_id;
+                        self.next_request_id += 1;
+                        request_ids.push(id);
+                        let conn = self.conn.as_mut().expect("connection just installed");
+                        let request = Frame::new(id, Payload::Line(hline));
+                        conn.writer.write_all(&frame::encode(&request))?;
+                        conn.writer.flush()?;
+                        hedge_id = Some(id);
+                        self.hedges_fired += 1;
+                    }
+                    // The deadline budget is spent: a hedge would be
+                    // shed on arrival. Wait out the primary alone.
+                    None => hedge_id = Some(primary_id),
+                }
+                continue;
+            }
+            // Hedge already in flight (or declined) and a full
+            // io_timeout passed with no bytes: the server is stalled,
+            // which is exactly what the retry loop's reconnect handles.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no reply within the io timeout",
+            ));
+        }
+    }
+
+    /// Fire-and-forget server-side cancellation of a hedge loser: one
+    /// `Cancel` frame, no waiting. Both the loser's reply (if the
+    /// cancel loses its race) and the cancel's own ack are marked stale
+    /// so the read loops drain them on sight. Write errors are
+    /// swallowed — the winner is already in hand, and a dying socket
+    /// surfaces on the next request anyway.
+    fn cancel_quietly(&mut self, loser: u64) {
+        let cancel_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.stale_ids.insert(loser);
+        self.stale_ids.insert(cancel_id);
+        // Stragglers are skipped by id even when not tracked; the set
+        // only exists to stay tidy, so keep it bounded.
+        if self.stale_ids.len() > 1024 {
+            self.stale_ids.clear();
+        }
+        if let Some(conn) = self.conn.as_mut() {
+            let frame = Frame::new(cancel_id, Payload::Cancel { target: loser });
+            let _ = conn
+                .writer
+                .write_all(&frame::encode(&frame))
+                .and_then(|()| conn.writer.flush());
+        }
+    }
+
+    /// Cancels an earlier request by the wire id it rode with, waiting
+    /// for the server's verdict: `ok cancel=pending` when the target
+    /// was still in flight, `ok cancel=late` when it had already
+    /// completed or was never seen. On a text connection this is the
+    /// `cancel id=N` line with the usual retry loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket fails (single attempt on a
+    /// binary connection — by the time a retry landed, the answer would
+    /// be `late` regardless).
+    pub fn cancel(&mut self, id: u64) -> Result<String, ClientError> {
+        self.connect().map_err(ClientError::Io)?;
+        if !self.conn.as_ref().is_some_and(|conn| conn.binary) {
+            return self.request(&format!("cancel id={id}"));
+        }
+        let cancel_id = self.next_request_id;
+        self.next_request_id += 1;
+        let conn = self.conn.as_mut().expect("connection just installed");
+        let stale = &mut self.stale_ids;
+        let send = (|| -> std::io::Result<String> {
+            let request = Frame::new(cancel_id, Payload::Cancel { target: id });
+            conn.writer.write_all(&frame::encode(&request))?;
+            conn.writer.flush()?;
+            loop {
+                let reply = Self::read_frame(&mut conn.reader)?;
+                if reply.request_id == cancel_id {
+                    return Ok(render_reply(reply.payload));
+                }
+                stale.remove(&reply.request_id);
+            }
+        })();
+        send.map_err(|err| {
+            // A dead socket cannot be reused; the next request reconnects.
+            self.conn = None;
+            ClientError::Io(err)
+        })
     }
 
     /// Send one request line and return the reply line, retrying
@@ -312,7 +567,12 @@ impl Client {
             let request_id = self.next_request_id;
             self.next_request_id += 1;
             request_ids.push(request_id);
-            match self.attempt(line, request_id) {
+            let outcome = if self.config.hedge {
+                self.attempt_hedged(line, request_id, &mut request_ids)
+            } else {
+                self.attempt(line, request_id)
+            };
+            match outcome {
                 Ok(reply) if is_retryable(&reply) => last_reply = Some(reply),
                 Ok(reply) => return Ok(reply),
                 Err(err) => {
@@ -375,10 +635,11 @@ impl Client {
     /// The binary-framed outcome report: 8 payload bytes, joined by the
     /// frame's own request id.
     fn report_outcome_binary(&mut self, id: u64, actual_us: u64) -> Result<String, ClientError> {
-        let conn = match self.connect() {
-            Ok(conn) => conn,
-            Err(err) => return Err(ClientError::Io(err)),
-        };
+        if let Err(err) = self.connect() {
+            return Err(ClientError::Io(err));
+        }
+        let conn = self.conn.as_mut().expect("connection just installed");
+        let stale = &mut self.stale_ids;
         let request = Frame::new(id, Payload::Outcome { actual_us });
         let send = (|| -> std::io::Result<String> {
             conn.writer.write_all(&frame::encode(&request))?;
@@ -388,6 +649,7 @@ impl Client {
                 if reply.request_id == id {
                     return Ok(render_reply(reply.payload));
                 }
+                stale.remove(&reply.request_id);
             }
         })();
         send.map_err(|err| {
@@ -396,6 +658,32 @@ impl Client {
             ClientError::Io(err)
         })
     }
+}
+
+/// The wire line for a hedge attempt. A `deadline_ms=` token is
+/// rewritten to the *remaining* budget measured from the primary's
+/// send — a hedge that inherited the full original budget would happily
+/// wait out a deadline the caller has already half-spent. Returns
+/// `None` when the budget is gone (the hedge would be shed on
+/// arrival). The primary's id rides along as `hedge_of=` so the engine
+/// counts the pair's served attempt exactly once.
+fn hedged_line(line: &str, elapsed: Duration, primary_id: u64) -> Option<String> {
+    let mut tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+    for token in &mut tokens {
+        if let Some(raw) = token.strip_prefix("deadline_ms=") {
+            let Ok(total) = raw.parse::<u64>() else {
+                break; // malformed; the server will reject both copies
+            };
+            let remaining = total.saturating_sub(elapsed.as_millis() as u64);
+            if remaining == 0 {
+                return None;
+            }
+            *token = format!("deadline_ms={remaining}");
+            break;
+        }
+    }
+    tokens.push(format!("hedge_of={primary_id}"));
+    Some(tokens.join(" "))
 }
 
 /// Renders a binary reply frame to the exact string the text protocol
@@ -412,9 +700,10 @@ fn render_reply(payload: Payload) -> String {
         Payload::Error { message, .. } => format!("err {message}"),
         // Request opcodes are never valid replies; surface them as a
         // reply the retry classifier treats as non-transient.
-        Payload::Predict { .. } | Payload::Line(_) | Payload::Outcome { .. } => {
-            "err bad request: request opcode in a reply frame".to_string()
-        }
+        Payload::Predict { .. }
+        | Payload::Line(_)
+        | Payload::Outcome { .. }
+        | Payload::Cancel { .. } => "err bad request: request opcode in a reply frame".to_string(),
     }
 }
 
@@ -664,5 +953,224 @@ mod tests {
         assert_eq!(service.outcomes().orphaned(), 2);
         server.shutdown();
         service.shutdown();
+    }
+
+    #[test]
+    fn hedged_line_inherits_the_remaining_deadline() {
+        // No deadline: the line passes through with only the hedge tag.
+        assert_eq!(
+            hedged_line("predict SIFT@20+KNN@40", Duration::from_millis(5), 7),
+            Some("predict SIFT@20+KNN@40 hedge_of=7".to_string())
+        );
+        // A deadline is rewritten to the budget *remaining* at hedge
+        // time — the hedge must not inherit time the caller already
+        // spent waiting on the primary.
+        assert_eq!(
+            hedged_line(
+                "predict deadline_ms=100 SIFT@20+KNN@40",
+                Duration::from_millis(30),
+                3
+            ),
+            Some("predict deadline_ms=70 SIFT@20+KNN@40 hedge_of=3".to_string())
+        );
+        // Budget spent (or overspent): no hedge at all — it would only
+        // be shed on arrival.
+        assert_eq!(
+            hedged_line(
+                "predict deadline_ms=100 SIFT@20+KNN@40",
+                Duration::from_millis(100),
+                3
+            ),
+            None
+        );
+        assert_eq!(
+            hedged_line(
+                "predict deadline_ms=100 SIFT@20+KNN@40",
+                Duration::from_millis(250),
+                3
+            ),
+            None
+        );
+        // A malformed deadline passes through untouched; the server
+        // rejects both copies identically.
+        assert_eq!(
+            hedged_line("predict deadline_ms=soon X@1", Duration::from_millis(5), 9),
+            Some("predict deadline_ms=soon X@1 hedge_of=9".to_string())
+        );
+    }
+
+    #[test]
+    fn hedge_beats_a_slow_shard_and_the_pair_counts_once() {
+        use crate::engine::{PredictionService, ServiceConfig};
+        use crate::fault::FaultPlan;
+        use crate::server::Server;
+        use bagpred_core::Platforms;
+        use std::sync::Arc;
+
+        // One armed fault: the first pair-tree predict stalls 300ms.
+        // Two workers per shard so the hedge can overtake the stuck
+        // primary instead of queueing behind it.
+        let service = PredictionService::start(
+            crate::testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                workers: 2,
+                faults: Arc::new(
+                    FaultPlan::parse("slow_predict:model=pair-tree:count=1:ms=300")
+                        .expect("parses"),
+                ),
+                ..ServiceConfig::default()
+            },
+        );
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+
+        let mut client = Client::with_config(
+            server.local_addr(),
+            ClientConfig {
+                hedge: true,
+                hedge_min_samples: 5,
+                io_timeout: Duration::from_secs(5),
+                ..ClientConfig::default()
+            },
+        );
+        // Warm the p95 estimator on a model the fault does not target;
+        // below min_samples these ride the plain path (no hedges).
+        for _ in 0..5 {
+            client
+                .request("predict model=nbag-tree HOG@20+FAST@80+ORB@40")
+                .expect("warmup predicts");
+        }
+        assert_eq!(client.hedges_fired(), 0, "warmup must not hedge");
+
+        // The slow request: its hedge fires after ~p95 (sub-ms against
+        // a warm server) and wins by ~300ms.
+        let reply = client
+            .request("predict model=pair-tree SIFT@20+KNN@40")
+            .expect("hedged predict succeeds");
+        assert!(reply.starts_with("ok model=pair-tree"), "{reply}");
+        assert_eq!(client.hedges_fired(), 1);
+        assert_eq!(client.hedge_wins(), 1, "the hedge must beat the stall");
+
+        // The stalled primary finishes eventually and is deduplicated —
+        // the pair's served attempt counts exactly once. Poll `stats`
+        // (text connection, independent of the hedging client) until
+        // the dedup lands.
+        let mut probe = Client::with_config(
+            server.local_addr(),
+            ClientConfig {
+                prefer_binary: false,
+                ..ClientConfig::default()
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let stats = loop {
+            let stats = probe.request("stats").expect("stats reply");
+            if stats.contains("hedge_deduped=1") || Instant::now() > deadline {
+                break stats;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(stats.contains("hedge_deduped=1"), "{stats}");
+        // Conservation on the faulted shard: both attempts of the pair
+        // were enqueued and both served — the dedup suppressed the
+        // loser's accounting, not its execution — and the stall really
+        // came from the armed fault.
+        assert!(stats.contains("shard_pair-tree_enqueued=2"), "{stats}");
+        assert!(stats.contains("shard_pair-tree_served=2"), "{stats}");
+        assert!(stats.contains("faults_injected=1"), "{stats}");
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn exhausted_carries_hedge_attempt_ids() {
+        // A fake binary server that sheds every predict slowly enough
+        // for the hedge timer (100µs floor on an untrained estimator)
+        // to fire first, and acks cancels: every attempt hedges, every
+        // reply is `err overloaded`, and the final Exhausted error must
+        // name the hedge ids alongside the primaries.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accepts");
+            let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+            let mut writer = stream;
+            let mut hello = String::new();
+            reader.read_line(&mut hello).expect("reads hello");
+            assert_eq!(hello.trim_end(), frame::HELLO_BINARY);
+            writer
+                .write_all(format!("{}\n", frame::HELLO_BINARY_OK).as_bytes())
+                .expect("acks binary");
+            loop {
+                let mut prelude = [0u8; frame::PRELUDE_LEN];
+                if reader.read_exact(&mut prelude).is_err() {
+                    break; // client hung up
+                }
+                let len = frame::decode_prelude(&prelude).expect("prelude");
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body).expect("body");
+                let request = frame::decode_body(&body).expect("frame");
+                let reply = match request.payload {
+                    Payload::Cancel { .. } => Frame::new(
+                        request.request_id,
+                        Payload::LineReply("ok cancel=late".to_string()),
+                    ),
+                    _ => {
+                        // Slow enough that the hedge timer always wins
+                        // the race against this reply — comfortably
+                        // past the kernel's read-timeout granularity
+                        // (SO_RCVTIMEO rounds up to a scheduler tick,
+                        // as much as 10ms), which is the real floor on
+                        // the client's 100µs timer.
+                        std::thread::sleep(Duration::from_millis(50));
+                        Frame::new(
+                            request.request_id,
+                            Payload::Error {
+                                code: frame::error_code::OVERLOADED,
+                                message: "overloaded: request queue is full, retry later"
+                                    .to_string(),
+                            },
+                        )
+                    }
+                };
+                if writer.write_all(&frame::encode(&reply)).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut client = Client::with_config(
+            addr,
+            ClientConfig {
+                hedge: true,
+                hedge_min_samples: 0, // hedge from the first request
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                ..ClientConfig::default()
+            },
+        );
+        let err = client
+            .request("predict model=pair-tree SIFT@20+KNN@40")
+            .expect_err("gives up");
+        match err {
+            ClientError::Exhausted {
+                attempts,
+                last_reply,
+                request_ids,
+            } => {
+                assert_eq!(attempts, 2);
+                assert!(last_reply.starts_with("err overloaded"), "{last_reply}");
+                // Ids 1/4 are the primaries, 2/5 their hedges (3 and 6
+                // were burned on the loser cancels, which are not
+                // attempts). Every id that carried this request on the
+                // wire is named.
+                assert_eq!(request_ids, vec![1, 2, 4, 5]);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(client.hedges_fired(), 2);
+        assert_eq!(client.hedge_wins(), 0, "the primary answered first");
+        drop(client);
+        server.join().expect("server thread");
     }
 }

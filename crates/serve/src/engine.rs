@@ -47,8 +47,8 @@ use crate::cache::{CacheMapStats, FeatureCache};
 use crate::error::ServeError;
 use crate::fault::{panic_message, FaultPlan, FaultSite, HealthReport, ModelHealth};
 use crate::metrics::{
-    Metrics, MetricsSnapshot, ModelMetrics, OutcomeCounters, OutcomeTrackers, RobustnessCounters,
-    ShardSnapshot,
+    BrownoutPressure, Metrics, MetricsSnapshot, ModelMetrics, OutcomeCounters, OutcomeTrackers,
+    Priority, RobustnessCounters, ShardSnapshot,
 };
 use crate::observe;
 use crate::shard::{Shard, CONTROL_SHARD};
@@ -57,7 +57,7 @@ use bagpred_core::nbag::{NBag, NBagMeasurement, MAX_BAG};
 use bagpred_core::{Bag, Measurement, Platforms};
 use bagpred_obs::{EventLog, SlowEvent, Stage, StageSet, Trace};
 use bagpred_workloads::Workload;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -118,6 +118,15 @@ pub struct ServiceConfig {
     /// Page-Hinkley detection threshold, in accumulated percent error:
     /// the drift alarm latches when the test statistic exceeds it.
     pub drift_lambda: f64,
+    /// Brownout watermark for `prio=low` predicts, as a fraction of
+    /// [`ServiceConfig::queue_capacity`]: a shard whose queue depth is
+    /// at or above it sheds low-priority work before touching normal
+    /// or high traffic.
+    pub brownout_low: f64,
+    /// Brownout watermark for `prio=normal` predicts (fraction of
+    /// [`ServiceConfig::queue_capacity`]). High-priority work is never
+    /// browned out — it sheds only when the queue is hard-full.
+    pub brownout_normal: f64,
 }
 
 impl Default for ServiceConfig {
@@ -157,6 +166,11 @@ impl Default for ServiceConfig {
             // ground-truth shift.
             drift_delta: 1.0,
             drift_lambda: 500.0,
+            // Watermarks leave headroom between the classes: with the
+            // default 64-slot queue, low sheds from depth 32, normal
+            // from 48, and high rides until the hard bound at 64.
+            brownout_low: 0.5,
+            brownout_normal: 0.75,
         }
     }
 }
@@ -199,6 +213,15 @@ pub enum Request {
     /// Dump the slow-request ring (admin-gated like `load`/`save`:
     /// span breakdowns leak request contents and timing).
     Trace,
+    /// Cancel an earlier tagged request by its client-assigned id (not
+    /// admin: hedging clients cancel their own losers constantly). A
+    /// still-queued target is dropped at dequeue with
+    /// [`ServeError::Cancelled`]; one that already completed — or was
+    /// never seen — answers `late`, never an error.
+    Cancel {
+        /// The client-assigned request id to cancel.
+        id: u64,
+    },
     /// Report the actual runtime observed after acting on an earlier
     /// prediction, joining it back to the recorded prediction by
     /// request id (not admin: closing the loop is for every client).
@@ -285,8 +308,15 @@ pub enum Reply {
     Models(Vec<(String, String)>),
     /// The Prometheus-text exposition document.
     Metrics(String),
-    /// Per-model health, sorted by model name.
-    Health(Vec<HealthReport>),
+    /// Per-model health plus a queue-pressure snapshot, so a load
+    /// balancer polling `health` sees brownout shedding without
+    /// scraping full stats.
+    Health {
+        /// Per-model health, sorted by model name.
+        reports: Vec<HealthReport>,
+        /// Per-priority brownout shed totals and the deepest queue.
+        pressure: BrownoutPressure,
+    },
     /// Slow-request captures, oldest first.
     Traces(Vec<SlowEvent>),
     /// A `load` command registered a model.
@@ -320,6 +350,13 @@ pub enum Reply {
         /// True when the outcome joined a recorded prediction; false
         /// when the id was unknown, already consumed, or evicted.
         matched: bool,
+    },
+    /// A `cancel` command was processed. Never an error: cancelling an
+    /// id the server no longer (or never) tracked answers `late`.
+    Cancelled {
+        /// True when the target was still in flight and will be dropped
+        /// at dequeue; false when it had already completed (late).
+        pending: bool,
     },
 }
 
@@ -377,6 +414,16 @@ pub struct StatsReport {
     pub drift_alarms: u64,
     /// Models whose drift alarm is currently latched.
     pub drifting_models: usize,
+    /// Requests cancelled by id and dropped at dequeue before predict.
+    pub cancelled: u64,
+    /// Cancel commands that arrived after their target completed.
+    pub cancel_late: u64,
+    /// Hedge-pair duplicates whose successful reply was served but
+    /// deduplicated out of per-model stats and the outcome ring.
+    pub hedge_deduped: u64,
+    /// Predicts shed by brownout watermarks, per priority class in
+    /// [`Priority::ALL`] order (high, normal, low).
+    pub brownout_shed: [u64; 3],
 }
 
 /// The outcome a submitter receives on its channel.
@@ -502,6 +549,173 @@ impl PendingOutcomes {
     }
 }
 
+/// In-flight and cancel-requested request ids. Every tagged job
+/// registers at enqueue and completes at finish, so both sets are
+/// self-cleaning: an id lives here exactly as long as its job does.
+#[derive(Default)]
+struct CancelState {
+    inflight: HashSet<u64>,
+    cancelled: HashSet<u64>,
+}
+
+/// The server side of `cancel id=<req>`: a cancel for a registered
+/// (still in-flight) id moves it to the cancelled set and workers drop
+/// it at dequeue; a cancel for anything else is `late`. One short mutex
+/// hold per operation, never on the predict path itself.
+struct CancelRegistry {
+    state: Mutex<CancelState>,
+}
+
+impl CancelRegistry {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CancelState::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CancelState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a tagged job at enqueue time.
+    fn register(&self, id: u64) {
+        self.lock().inflight.insert(id);
+    }
+
+    /// Rolls back a registration whose push was shed.
+    fn unregister(&self, id: u64) {
+        let mut state = self.lock();
+        state.inflight.remove(&id);
+        state.cancelled.remove(&id);
+    }
+
+    /// Requests cancellation. Returns true (`pending`) when the target
+    /// was still in flight — it will be dropped at dequeue, or, if a
+    /// worker already picked it up, complete normally (the cancel
+    /// raced the pickup; the client discards the reply either way).
+    fn request_cancel(&self, id: u64) -> bool {
+        let mut state = self.lock();
+        if state.inflight.remove(&id) {
+            state.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Worker-side check at dequeue: consumes a pending cancellation.
+    fn take_cancelled(&self, id: u64) -> bool {
+        self.lock().cancelled.remove(&id)
+    }
+
+    /// True while the id's job has not finished (queued or running,
+    /// cancel-requested or not).
+    fn is_inflight(&self, id: u64) -> bool {
+        let state = self.lock();
+        state.inflight.contains(&id) || state.cancelled.contains(&id)
+    }
+
+    /// Drops all trace of a finished job's id.
+    fn complete(&self, id: u64) {
+        let mut state = self.lock();
+        state.inflight.remove(&id);
+        state.cancelled.remove(&id);
+    }
+}
+
+/// How a finishing served prediction relates to a hedge pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HedgeRole {
+    /// Not part of any linked pair: full accounting.
+    Unpaired,
+    /// The pair's first successful serve: full accounting.
+    First,
+    /// The pair's second successful serve: the client already took the
+    /// winner, so per-model stats and the outcome ring skip this one.
+    Deduped,
+}
+
+/// One linked hedge pair, keyed by either attempt id.
+struct HedgePair {
+    primary: u64,
+    hedge: u64,
+    /// Id of the first attempt to serve successfully, once one has.
+    served: Option<u64>,
+}
+
+/// Links hedge attempts to their primaries so the engine counts each
+/// logical request's successful serve exactly once. FIFO-bounded:
+/// pairs whose loser never finishes (shed hedges, torn connections)
+/// age out instead of leaking.
+struct HedgeLedger {
+    capacity: usize,
+    pairs: Mutex<VecDeque<HedgePair>>,
+}
+
+impl HedgeLedger {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            pairs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<HedgePair>> {
+        self.pairs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Links a hedge to its primary at hedge enqueue. `primary_done`
+    /// covers the race where the primary's reply was already in flight
+    /// when the client fired the hedge: the pair starts pre-served so
+    /// the hedge's own serve is deduplicated.
+    fn link(&self, primary: u64, hedge: u64, primary_done: bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut pairs = self.lock();
+        if pairs.len() >= self.capacity {
+            pairs.pop_front();
+        }
+        pairs.push_back(HedgePair {
+            primary,
+            hedge,
+            served: primary_done.then_some(primary),
+        });
+    }
+
+    /// Rolls back a link whose hedge push was shed.
+    fn unlink(&self, hedge: u64) {
+        self.lock().retain(|p| p.hedge != hedge);
+    }
+
+    /// Classifies a successful serve. The second serve of a pair
+    /// removes it — both sides are done.
+    fn on_served(&self, id: u64) -> HedgeRole {
+        let mut pairs = self.lock();
+        let Some(at) = pairs.iter().position(|p| p.primary == id || p.hedge == id) else {
+            return HedgeRole::Unpaired;
+        };
+        match pairs[at].served {
+            None => {
+                pairs[at].served = Some(id);
+                HedgeRole::First
+            }
+            Some(winner) if winner == id => HedgeRole::First,
+            Some(_) => {
+                pairs.remove(at);
+                HedgeRole::Deduped
+            }
+        }
+    }
+
+    /// A failed (or cancelled) attempt dissolves its pair: the
+    /// surviving side — if it serves at all — is a genuine serve and
+    /// gets full accounting.
+    fn on_failed(&self, id: u64) {
+        self.lock().retain(|p| p.primary != id && p.hedge != id);
+    }
+}
+
 struct Job {
     request: Request,
     trace: Trace,
@@ -541,6 +755,10 @@ pub(crate) struct Inner {
     pub(crate) health: ModelHealth,
     /// Served predictions awaiting the client's `observe` report.
     pending: PendingOutcomes,
+    /// In-flight ids and pending cancellations (`cancel id=<req>`).
+    cancels: CancelRegistry,
+    /// Hedge pairs awaiting their first successful serve.
+    hedges: HedgeLedger,
     /// Outcome-join accounting (matched / orphaned / expired / alarms).
     pub(crate) outcomes: OutcomeCounters,
     /// Per-model online residual windows and drift detectors.
@@ -683,6 +901,10 @@ impl PredictionService {
             robust: RobustnessCounters::new(),
             health: ModelHealth::new(),
             pending: PendingOutcomes::new(config.outcome_capacity, config.outcome_ttl),
+            cancels: CancelRegistry::new(),
+            // Sized like the outcome ring: one queue's worth of hedge
+            // pairs per model with margin; stale pairs age out FIFO.
+            hedges: HedgeLedger::new(1024),
             outcomes: OutcomeCounters::new(),
             trackers: OutcomeTrackers::new(config.drift_delta, config.drift_lambda),
             config,
@@ -739,8 +961,34 @@ impl PredictionService {
         trace: Trace,
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<Outcome>, ServeError> {
+        self.submit_traced_options(request, trace, deadline, Priority::Normal)
+    }
+
+    /// [`submit_traced_deadline`](Self::submit_traced_deadline) with an
+    /// explicit brownout [`Priority`] (the text protocol's `prio=`
+    /// option rides in through here).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full or a brownout
+    /// watermark shed the priority class, and
+    /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit_traced_options(
+        &self,
+        request: Request,
+        trace: Trace,
+        deadline: Option<Duration>,
+        priority: Priority,
+    ) -> Result<mpsc::Receiver<Outcome>, ServeError> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(request, trace, deadline, ReplySink::Direct(tx))?;
+        self.enqueue(
+            request,
+            trace,
+            deadline,
+            priority,
+            None,
+            ReplySink::Direct(tx),
+        )?;
         Ok(rx)
     }
 
@@ -748,20 +996,33 @@ impl PredictionService {
     /// client-assigned request id on a shared reply channel — the
     /// binary protocol's multiplexed path: one connection, many
     /// in-flight requests, replies forwarded in completion order.
+    /// `priority` picks the brownout class; `hedge_of` links the
+    /// request to an earlier attempt so hedge pairs count once.
     ///
     /// # Errors
     ///
     /// [`ServeError::Overloaded`] when the target shard's queue is full
+    /// (or brownout shed the priority class)
     /// and [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    #[allow(clippy::too_many_arguments)] // crate-internal; mirrors `enqueue`
     pub(crate) fn submit_tagged(
         &self,
         request: Request,
         trace: Trace,
         deadline: Option<Duration>,
+        priority: Priority,
+        hedge_of: Option<u64>,
         request_id: u64,
         tx: mpsc::Sender<(u64, Outcome)>,
     ) -> Result<(), ServeError> {
-        self.enqueue(request, trace, deadline, ReplySink::Tagged(request_id, tx))
+        self.enqueue(
+            request,
+            trace,
+            deadline,
+            priority,
+            hedge_of,
+            ReplySink::Tagged(request_id, tx),
+        )
     }
 
     fn enqueue(
@@ -769,6 +1030,8 @@ impl PredictionService {
         request: Request,
         trace: Trace,
         deadline: Option<Duration>,
+        priority: Priority,
+        hedge_of: Option<u64>,
         tx: ReplySink,
     ) -> Result<(), ServeError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
@@ -776,6 +1039,30 @@ impl PredictionService {
         }
         let deadline = deadline.map(|budget| Instant::now() + budget);
         let shard = self.inner.route(&request);
+        // Brownout: under queue pressure, shed the lower classes before
+        // the hard capacity bound sheds everyone. Commands (stats,
+        // health, cancel, ...) are exempt — pressure is exactly when an
+        // operator needs them to answer.
+        if matches!(request, Request::Predict { .. }) {
+            if let Some(threshold) = brownout_threshold(&self.inner.config, priority) {
+                if shard.depth() >= threshold {
+                    self.inner.metrics.on_shed();
+                    shard.counters().on_shed();
+                    self.inner.robust.on_brownout_shed(priority);
+                    return Err(ServeError::Overloaded);
+                }
+            }
+        }
+        // Register before the push so a cancel can never slip between a
+        // queued job and its registration; shed pushes roll back.
+        if let Some(id) = tx.tag() {
+            self.inner.cancels.register(id);
+            if let Some(primary) = hedge_of {
+                self.inner
+                    .hedges
+                    .link(primary, id, !self.inner.cancels.is_inflight(primary));
+            }
+        }
         let job = Job {
             request,
             trace,
@@ -787,11 +1074,27 @@ impl PredictionService {
         // see it.
         match shard.try_push(job, || self.inner.metrics.on_received()) {
             Ok(()) => Ok(()),
-            Err(_job) => {
+            Err(job) => {
+                if let Some(id) = job.tx.tag() {
+                    self.inner.cancels.unregister(id);
+                    if hedge_of.is_some() {
+                        self.inner.hedges.unlink(id);
+                    }
+                }
                 self.inner.metrics.on_shed();
                 Err(ServeError::Overloaded)
             }
         }
+    }
+
+    /// Server-side cancellation fast path (`cancel id=<req>` and the
+    /// binary `Cancel` opcode): flags a still-in-flight request so the
+    /// worker drops it at dequeue with [`ServeError::Cancelled`].
+    /// Returns true when the target was pending; false (`late`) when it
+    /// had already completed or was never seen. Runs inline — never
+    /// queued behind the very backlog it is trying to trim.
+    pub fn cancel(&self, id: u64) -> bool {
+        do_cancel(&self.inner, id)
     }
 
     /// Blocking convenience: submit and wait for the reply.
@@ -828,6 +1131,24 @@ impl PredictionService {
         deadline: Option<Duration>,
     ) -> Outcome {
         let rx = self.submit_traced_deadline(request, trace, deadline)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// [`call_traced_deadline`](Self::call_traced_deadline) with an
+    /// explicit brownout [`Priority`].
+    ///
+    /// # Errors
+    ///
+    /// Submission errors plus every per-request [`ServeError`],
+    /// including brownout sheds as [`ServeError::Overloaded`].
+    pub fn call_traced_options(
+        &self,
+        request: Request,
+        trace: Trace,
+        deadline: Option<Duration>,
+        priority: Priority,
+    ) -> Outcome {
+        let rx = self.submit_traced_options(request, trace, deadline, priority)?;
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
@@ -961,6 +1282,36 @@ fn supervise_worker(inner: &Inner, shard: &Shard<Job>) {
     }
 }
 
+/// The queue depth at which `priority` predicts are browned out, or
+/// `None` for classes that only shed at the hard capacity bound.
+fn brownout_threshold(config: &ServiceConfig, priority: Priority) -> Option<usize> {
+    let fraction = match priority {
+        Priority::High => return None,
+        Priority::Normal => config.brownout_normal,
+        Priority::Low => config.brownout_low,
+    };
+    let capacity = config.queue_capacity as f64;
+    Some(((capacity * fraction).ceil() as usize).max(1))
+}
+
+/// The cancel fast path shared by [`PredictionService::cancel`] and the
+/// queued [`Request::Cancel`] command.
+fn do_cancel(inner: &Inner, id: u64) -> bool {
+    let started = Instant::now();
+    // `cancel_race` widens the window between a cancel's arrival and
+    // its effect, so the soak harness can chase the cancel-after-reply
+    // race deterministically.
+    if let Some(delay) = inner.config.faults.fire_delay(FaultSite::CancelRace, None) {
+        thread::sleep(delay);
+    }
+    let pending = inner.cancels.request_cancel(id);
+    if !pending {
+        inner.robust.on_cancel_late();
+    }
+    inner.stages.record(Stage::Cancel, started.elapsed());
+    pending
+}
+
 fn worker_loop(inner: &Inner, shard: &Shard<Job>) {
     loop {
         // Deterministic crash site for the respawn path. Firing before
@@ -981,6 +1332,28 @@ fn worker_loop(inner: &Inner, shard: &Shard<Job>) {
 /// histograms, captures a slow request when it crosses the threshold,
 /// and sends the outcome.
 fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
+    // The job is done: a cancel from here on is `late`.
+    if let Some(id) = job.tx.tag() {
+        inner.cancels.complete(id);
+    }
+    // Hedge dedup: the second successful serve of a linked pair is a
+    // duplicate the client will discard — it stays out of per-model
+    // stats and the outcome ring (global counters still see it, so
+    // conservation holds). A failed attempt dissolves its pair so the
+    // surviving side gets full accounting.
+    let deduped = match (job.tx.tag(), &outcome) {
+        (Some(id), Ok(Reply::Prediction { .. })) => {
+            matches!(inner.hedges.on_served(id), HedgeRole::Deduped)
+        }
+        (Some(id), Err(_)) => {
+            inner.hedges.on_failed(id);
+            false
+        }
+        _ => false,
+    };
+    if deduped {
+        inner.robust.on_hedge_deduped();
+    }
     let total = job.trace.total();
     let queue_wait = job.trace.duration_of(Stage::QueueWait).unwrap_or_default();
     let parse = job.trace.duration_of(Stage::Parse).unwrap_or_default();
@@ -988,9 +1361,11 @@ fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
     inner.metrics.on_done(outcome.is_ok(), total);
     inner.metrics.on_phases(queue_wait, service);
     if let Some(name) = model {
-        let metrics = inner.model_metrics.for_model(name);
-        metrics.on_done(outcome.is_ok(), total);
-        metrics.on_phases(queue_wait, service);
+        if !deduped {
+            let metrics = inner.model_metrics.for_model(name);
+            metrics.on_done(outcome.is_ok(), total);
+            metrics.on_phases(queue_wait, service);
+        }
     }
     inner.stages.observe(&job.trace);
     if total >= inner.config.slow_request_threshold {
@@ -1005,12 +1380,16 @@ fn finish(inner: &Inner, model: Option<&str>, job: Job, outcome: Outcome) {
     // Register successful tagged predictions for outcome joining: the
     // client-assigned request id is the key a later `observe` uses.
     // Direct (in-process) submitters have no id the engine could join
-    // on, so only the wire paths participate.
-    if let (Some(id), Ok(Reply::Prediction { model, predicted_s })) = (job.tx.tag(), &outcome) {
-        let expired = inner
-            .pending
-            .record(id, model, predicted_micros(*predicted_s));
-        inner.outcomes.on_expired(expired);
+    // on, so only the wire paths participate. Deduplicated hedge
+    // losers stay out: their outcome report joins as orphaned instead
+    // of double-feeding the residual window.
+    if !deduped {
+        if let (Some(id), Ok(Reply::Prediction { model, predicted_s })) = (job.tx.tag(), &outcome) {
+            let expired = inner
+                .pending
+                .record(id, model, predicted_micros(*predicted_s));
+            inner.outcomes.on_expired(expired);
+        }
     }
     job.tx.send(outcome);
 }
@@ -1055,6 +1434,7 @@ fn summarize(request: &Request) -> String {
         Request::Save { .. } => "save".into(),
         Request::Reload { model, .. } => format!("reload model={model}"),
         Request::Observe { id, .. } => format!("observe id={id}"),
+        Request::Cancel { id } => format!("cancel id={id}"),
     }
 }
 
@@ -1081,6 +1461,19 @@ fn process_batch(inner: &Inner, shard: &Shard<Job>, jobs: Vec<Job>) {
             inner.robust.on_deadline_expired();
             shard.counters().on_shed();
             finish(inner, None, job, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        // Same for cancelled work: the client (usually a hedging one
+        // whose other attempt already won) is not waiting for this
+        // reply, so drop it before predict spends anything on it.
+        if job
+            .tx
+            .tag()
+            .is_some_and(|id| inner.cancels.take_cancelled(id))
+        {
+            inner.robust.on_cancelled();
+            shard.counters().on_shed();
+            finish(inner, None, job, Err(ServeError::Cancelled));
             continue;
         }
         // Attribute the wait to the queue the job actually sat in —
@@ -1424,6 +1817,10 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
                     outcomes_pending: inner.pending.len(),
                     drift_alarms: inner.outcomes.drift_alarms(),
                     drifting_models: inner.health.drifting_count(),
+                    cancelled: inner.robust.cancelled(),
+                    cancel_late: inner.robust.cancel_late(),
+                    hedge_deduped: inner.robust.hedge_deduped(),
+                    brownout_shed: brownout_shed_by_class(inner),
                 }))),
             )
         }
@@ -1437,8 +1834,26 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
                 .into_iter()
                 .map(|(name, _)| inner.health.report_for(&name))
                 .collect();
-            (None, Ok(Reply::Health(reports)))
+            let map = inner.shard_map();
+            let max_depth = map
+                .values()
+                .map(|s| s.depth())
+                .chain(std::iter::once(inner.control.depth()))
+                .max()
+                .unwrap_or(0);
+            let pressure = BrownoutPressure {
+                shed: brownout_shed_by_class(inner),
+                max_depth,
+                queue_capacity: inner.config.queue_capacity,
+            };
+            (None, Ok(Reply::Health { reports, pressure }))
         }
+        Request::Cancel { id } => (
+            None,
+            Ok(Reply::Cancelled {
+                pending: do_cancel(inner, *id),
+            }),
+        ),
         Request::Trace => (None, Ok(Reply::Traces(inner.events.dump()))),
         Request::Observe { id, actual_us } => {
             let (entry, expired) = inner.pending.take(*id);
@@ -1476,6 +1891,15 @@ fn process(inner: &Inner, request: &Request, trace: &mut Trace) -> (Option<Strin
         Request::Save { model, dest } => (None, do_save(inner, model.as_deref(), dest.as_deref())),
         Request::Reload { model, path } => (None, do_reload(inner, model, path.as_deref())),
     }
+}
+
+/// The per-class brownout shed totals in [`Priority::ALL`] order.
+fn brownout_shed_by_class(inner: &Inner) -> [u64; 3] {
+    let mut shed = [0u64; 3];
+    for (slot, priority) in shed.iter_mut().zip(Priority::ALL) {
+        *slot = inner.robust.brownout_shed(priority);
+    }
+    shed
 }
 
 /// `stats model=<name>`: the model's counters. The name must be
@@ -2247,6 +2671,12 @@ mod tests {
             "bagpred_queue_depth",
             "bagpred_worker_panics_total 0",
             "bagpred_deadline_expired_total 0",
+            "bagpred_cancelled_total 0",
+            "bagpred_cancel_late_total 0",
+            "bagpred_hedge_deduped_total 0",
+            "bagpred_brownout_shed_total{prio=\"high\"} 0",
+            "bagpred_brownout_shed_total{prio=\"normal\"} 0",
+            "bagpred_brownout_shed_total{prio=\"low\"} 0",
             "bagpred_quarantined_models 0",
             "bagpred_faults_injected_total 0",
             "bagpred_model_quarantined{model=\"pair-tree\"} 0",
@@ -2324,7 +2754,7 @@ mod tests {
             .expect("healthy model keeps serving");
 
         // `health` and `stats` both tell the story.
-        let Ok(Reply::Health(reports)) = service.call(Request::Health) else {
+        let Ok(Reply::Health { reports, .. }) = service.call(Request::Health) else {
             panic!("health failed")
         };
         let pair = reports
@@ -2427,7 +2857,7 @@ mod tests {
     fn tagged(service: &PredictionService, id: u64, request: Request) -> Outcome {
         let (tx, rx) = mpsc::channel();
         service
-            .submit_tagged(request, Trace::new(), None, id, tx)
+            .submit_tagged(request, Trace::new(), None, Priority::Normal, None, id, tx)
             .expect("enqueues");
         let (got, outcome) = rx.recv().expect("reply arrives");
         assert_eq!(got, id, "reply must carry the request's own id");
@@ -2581,7 +3011,7 @@ mod tests {
 
         // The flag is advisory and sticky: health reports it, the
         // exposition flips, but the model keeps serving.
-        let Ok(Reply::Health(reports)) = service.call(Request::Health) else {
+        let Ok(Reply::Health { reports, .. }) = service.call(Request::Health) else {
             panic!("health failed")
         };
         let report = reports
@@ -2630,7 +3060,7 @@ mod tests {
                 path: None,
             })
             .expect("reloads");
-        let Ok(Reply::Health(reports)) = service.call(Request::Health) else {
+        let Ok(Reply::Health { reports, .. }) = service.call(Request::Health) else {
             panic!("health failed")
         };
         let report = reports
@@ -2685,5 +3115,328 @@ mod tests {
         let line = crate::protocol::format_outcome(&Ok(Reply::Traces(events)));
         assert!(line.contains("tc=00-abc123-span7-01"), "{line}");
         service.shutdown();
+    }
+
+    /// A service whose pair-tree worker can be pinned: one worker per
+    /// shard, batch size one, and a single armed `slow_predict` fault
+    /// that holds the worker inside predict for `ms` milliseconds.
+    fn pinnable_service(ms: u64, queue_capacity: usize) -> Arc<PredictionService> {
+        PredictionService::start(
+            testutil::registry(),
+            Platforms::paper(),
+            ServiceConfig {
+                workers: 1,
+                batch_size: 1,
+                queue_capacity,
+                faults: Arc::new(
+                    FaultPlan::parse(&format!("slow_predict:model=pair-tree:count=1:ms={ms}"))
+                        .expect("parses"),
+                ),
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// Submits the blocker predict that trips the pin fault and waits
+    /// until the worker has picked it up (the shard queue drains).
+    fn pin_worker(service: &PredictionService) -> mpsc::Receiver<Outcome> {
+        let rx = service
+            .submit(Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            })
+            .expect("blocker enqueues");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while service.inner.queue_depth() > 0 {
+            assert!(Instant::now() < deadline, "worker never picked up blocker");
+            thread::sleep(Duration::from_millis(1));
+        }
+        rx
+    }
+
+    #[test]
+    fn cancelled_jobs_are_dropped_at_dequeue_with_a_typed_error() {
+        let service = pinnable_service(400, 64);
+        let blocker = pin_worker(&service);
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit_tagged(
+                Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                },
+                Trace::new(),
+                None,
+                Priority::Normal,
+                None,
+                7,
+                tx,
+            )
+            .expect("enqueues behind the blocker");
+        // The target is still queued: the cancel is pending, and the
+        // worker drops the job the moment it reaches it.
+        assert!(service.cancel(7), "queued job cancels as pending");
+        let (got, outcome) = rx.recv().expect("cancelled job still answers");
+        assert_eq!(got, 7);
+        assert!(matches!(outcome, Err(ServeError::Cancelled)), "{outcome:?}");
+        blocker.recv().expect("blocker finishes").expect("predicts");
+        assert_eq!(service.inner.robust.cancelled(), 1);
+        assert_eq!(service.inner.robust.cancel_late(), 0);
+        // The dropped job never registered a pending prediction.
+        assert_eq!(service.inner.pending.len(), 0);
+        // Conservation: every received request was answered.
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.received, snap.succeeded + snap.failed);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancel_after_reply_is_late_and_counted() {
+        let service = service();
+        let predicted_us = tagged_predict_us(&service, 9);
+        assert!(predicted_us > 0);
+        // The reply was already delivered: the cancel is late, by fast
+        // path and by queued command alike.
+        assert!(!service.cancel(9), "completed job cancels as late");
+        let Ok(Reply::Cancelled { pending }) = service.call(Request::Cancel { id: 9 }) else {
+            panic!("cancel command failed")
+        };
+        assert!(!pending);
+        // An id the server never saw is late too.
+        assert!(!service.cancel(424242));
+        assert_eq!(service.inner.robust.cancelled(), 0);
+        assert_eq!(service.inner.robust.cancel_late(), 3);
+        // The prediction's outcome join is untouched by the late cancel.
+        assert!(observe(&service, 9, predicted_us));
+        service.shutdown();
+    }
+
+    #[test]
+    fn hedge_pairs_count_the_served_attempt_exactly_once() {
+        let service = service();
+        // Primary serves first; the hedge arrives after (the in-flight-
+        // reply race) and links against the already-finished primary.
+        let Ok(Reply::Prediction { .. }) = tagged(
+            &service,
+            11,
+            Request::Predict {
+                model: Some(PAIR_MODEL.into()),
+                apps: pair_apps(),
+            },
+        ) else {
+            panic!("primary predict failed")
+        };
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit_tagged(
+                Request::Predict {
+                    model: Some(PAIR_MODEL.into()),
+                    apps: pair_apps(),
+                },
+                Trace::new(),
+                None,
+                Priority::Normal,
+                Some(11),
+                12,
+                tx,
+            )
+            .expect("hedge enqueues");
+        let (got, outcome) = rx.recv().expect("hedge answers");
+        assert_eq!(got, 12);
+        assert!(outcome.is_ok(), "the duplicate reply is still delivered");
+
+        // Per-model stats counted the served attempt once: two arrivals,
+        // one success, one latency sample.
+        let snap = service.model_metrics().for_model(PAIR_MODEL).snapshot();
+        assert_eq!(snap.received, 2);
+        assert_eq!(snap.succeeded, 1);
+        assert_eq!(snap.latency.samples, 1);
+        assert_eq!(service.inner.robust.hedge_deduped(), 1);
+        // Only the winner joined the outcome ring; the loser's report
+        // is orphaned, never double-feeding the residual window.
+        assert_eq!(service.inner.pending.len(), 1);
+        assert!(observe(&service, 11, 1_000), "winner joins");
+        assert!(!observe(&service, 12, 1_000), "loser orphaned");
+        assert_eq!(service.outcomes().matched(), 1);
+        assert_eq!(service.outcomes().orphaned(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn hedge_wins_after_a_cancelled_primary_and_counts_once() {
+        let service = pinnable_service(400, 64);
+        let blocker = pin_worker(&service);
+        let predict = Request::Predict {
+            model: Some(PAIR_MODEL.into()),
+            apps: pair_apps(),
+        };
+        let (ptx, prx) = mpsc::channel();
+        service
+            .submit_tagged(
+                predict.clone(),
+                Trace::new(),
+                None,
+                Priority::Normal,
+                None,
+                21,
+                ptx,
+            )
+            .expect("primary enqueues");
+        let (htx, hrx) = mpsc::channel();
+        service
+            .submit_tagged(
+                predict,
+                Trace::new(),
+                None,
+                Priority::Normal,
+                Some(21),
+                22,
+                htx,
+            )
+            .expect("hedge enqueues");
+        // The client's hedge won the race elsewhere; cancel the primary
+        // while it is still queued.
+        assert!(service.cancel(21));
+        let (_, primary) = prx.recv().expect("primary answers");
+        assert!(matches!(primary, Err(ServeError::Cancelled)), "{primary:?}");
+        let (_, hedge) = hrx.recv().expect("hedge answers");
+        assert!(hedge.is_ok(), "{hedge:?}");
+        blocker.recv().expect("blocker finishes").expect("predicts");
+
+        // The cancelled primary dissolved the pair, so the hedge's
+        // serve got full accounting: blocker + hedge = two arrivals,
+        // two successes, zero dedups — the logical request still
+        // counted exactly once.
+        let snap = service.model_metrics().for_model(PAIR_MODEL).snapshot();
+        assert_eq!(snap.received, 2);
+        assert_eq!(snap.succeeded, 2);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(service.inner.robust.hedge_deduped(), 0);
+        assert_eq!(service.inner.robust.cancelled(), 1);
+        // Only the hedge (tagged and served) is awaiting its outcome.
+        assert_eq!(service.inner.pending.len(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn brownout_sheds_low_before_normal_before_high() {
+        // Capacity 4: low sheds from depth 2, normal from 3, high only
+        // at the hard bound.
+        let service = pinnable_service(500, 4);
+        let blocker = pin_worker(&service);
+        let predict = || Request::Predict {
+            model: Some(PAIR_MODEL.into()),
+            apps: pair_apps(),
+        };
+        let (tx, rx) = mpsc::channel();
+        let mut accepted = 0usize;
+        let submit = |id: u64, priority: Priority| {
+            service.submit_tagged(
+                predict(),
+                Trace::new(),
+                None,
+                priority,
+                None,
+                id,
+                tx.clone(),
+            )
+        };
+        submit(1, Priority::Normal).expect("depth 0 accepts normal");
+        submit(2, Priority::Normal).expect("depth 1 accepts normal");
+        accepted += 2;
+        // Depth 2 = the low watermark: low sheds, normal still fits.
+        let err = submit(3, Priority::Low).expect_err("low browns out at depth 2");
+        assert!(matches!(err, ServeError::Overloaded), "{err:?}");
+        submit(4, Priority::Normal).expect("depth 2 accepts normal");
+        accepted += 1;
+        // Depth 3 = the normal watermark: normal sheds, high still fits.
+        let err = submit(5, Priority::Normal).expect_err("normal browns out at depth 3");
+        assert!(matches!(err, ServeError::Overloaded), "{err:?}");
+        submit(6, Priority::High).expect("depth 3 accepts high");
+        accepted += 1;
+        // Depth 4 = the hard bound: even high sheds, but as a plain
+        // queue-full rejection, not a brownout.
+        let err = submit(7, Priority::High).expect_err("full queue sheds high");
+        assert!(matches!(err, ServeError::Overloaded), "{err:?}");
+
+        assert_eq!(service.inner.robust.brownout_shed(Priority::Low), 1);
+        assert_eq!(service.inner.robust.brownout_shed(Priority::Normal), 1);
+        assert_eq!(service.inner.robust.brownout_shed(Priority::High), 0);
+        blocker.recv().expect("blocker finishes").expect("predicts");
+        for _ in 0..accepted {
+            let (_, outcome) = rx.recv().expect("accepted job answers");
+            outcome.expect("accepted job predicts");
+        }
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.shed, 3, "two brownouts plus one hard-full shed");
+        assert_eq!(snap.received, snap.succeeded + snap.failed);
+        service.shutdown();
+    }
+
+    mod cancel_race_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            /// The cancel-after-reply race, over randomized
+            /// interleavings: a canceller thread fires at an arbitrary
+            /// point relative to the predict. Whatever interleaving
+            /// results, every submitted job answers exactly once, a
+            /// cancel that lost the race reports late, and the global
+            /// counters conserve.
+            #[test]
+            fn cancel_reply_races_always_answer_and_conserve(
+                delays in proptest::collection::vec(0u64..200, 1..6)
+            ) {
+                let service = service();
+                let mut pending_cancels = 0u64;
+                let mut late_cancels = 0u64;
+                for (i, &delay_us) in delays.iter().enumerate() {
+                    let id = i as u64 + 1;
+                    let (tx, rx) = mpsc::channel();
+                    service
+                        .submit_tagged(
+                            Request::Predict {
+                                model: Some(PAIR_MODEL.into()),
+                                apps: pair_apps(),
+                            },
+                            Trace::new(),
+                            None,
+                            Priority::Normal,
+                            None,
+                            id,
+                            tx,
+                        )
+                        .expect("enqueues");
+                    let racer = Arc::clone(&service);
+                    let canceller = thread::spawn(move || {
+                        thread::sleep(Duration::from_micros(delay_us));
+                        racer.cancel(id)
+                    });
+                    let (got, outcome) = rx.recv().expect("answers exactly once");
+                    prop_assert_eq!(got, id);
+                    prop_assert!(
+                        matches!(outcome, Ok(Reply::Prediction { .. }) | Err(ServeError::Cancelled)),
+                        "unexpected outcome: {:?}", outcome
+                    );
+                    if canceller.join().expect("canceller exits") {
+                        pending_cancels += 1;
+                    } else {
+                        late_cancels += 1;
+                    }
+                    // The reply is in hand: a second cancel is always late.
+                    prop_assert!(!service.cancel(id), "cancel after reply must be late");
+                    late_cancels += 1;
+                }
+                let snap = service.metrics().snapshot();
+                prop_assert_eq!(snap.received, snap.succeeded + snap.failed);
+                prop_assert_eq!(service.inner.robust.cancel_late(), late_cancels);
+                // A pending cancel may still lose to a worker that had
+                // already picked the job up; it never over-counts.
+                prop_assert!(service.inner.robust.cancelled() <= pending_cancels);
+                service.shutdown();
+            }
+        }
     }
 }

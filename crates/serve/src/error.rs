@@ -38,6 +38,11 @@ pub enum ServeError {
     /// it up in time; it was shed at dequeue instead of serving a reply
     /// nobody is waiting for.
     DeadlineExceeded,
+    /// The request was cancelled by id (`cancel id=<req>`) while it
+    /// waited in the queue, and dropped at dequeue before predict ran.
+    /// This is the hedged-request loser's expected fate — the client
+    /// already took the winning reply and is not waiting for this one.
+    Cancelled,
     /// The snapshot directory itself is unusable (missing and
     /// uncreatable, or unreadable) — distinct from a single corrupt
     /// snapshot, which is quarantined without failing the boot.
@@ -71,6 +76,9 @@ impl fmt::Display for ServeError {
             ),
             ServeError::DeadlineExceeded => {
                 write!(f, "deadline: request expired before a worker picked it up")
+            }
+            ServeError::Cancelled => {
+                write!(f, "cancelled: request was cancelled before a worker ran it")
             }
             ServeError::SnapshotDir(why) => write!(f, "snapshot dir: {why}"),
             ServeError::Malformed(why) => write!(f, "malformed: {why}"),

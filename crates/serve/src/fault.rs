@@ -45,6 +45,16 @@ pub enum FaultSite {
     /// Sleep for `ms=` before writing a reply to the socket, exercising
     /// client timeouts and retry.
     StallReplyWrite,
+    /// Swallow a reply frame instead of writing it, exercising the
+    /// hedging client's ability to win via its other attempt (and the
+    /// soak harness's stuck-connection invariant).
+    DropReply,
+    /// Write a reply frame twice, exercising the client's stale-id
+    /// discard — the duplicate must be skipped, never misdelivered.
+    DupReply,
+    /// Sleep for `ms=` inside the cancel fast path, widening the window
+    /// of the cancel-vs-reply race the soak harness drills.
+    CancelRace,
 }
 
 impl FaultSite {
@@ -56,6 +66,9 @@ impl FaultSite {
             FaultSite::SlowPredict => "slow_predict",
             FaultSite::TornSnapshotWrite => "torn_snapshot_write",
             FaultSite::StallReplyWrite => "stall_reply_write",
+            FaultSite::DropReply => "drop_reply",
+            FaultSite::DupReply => "dup_reply",
+            FaultSite::CancelRace => "cancel_race",
         }
     }
 
@@ -66,18 +79,27 @@ impl FaultSite {
             "slow_predict" => Some(FaultSite::SlowPredict),
             "torn_snapshot_write" => Some(FaultSite::TornSnapshotWrite),
             "stall_reply_write" => Some(FaultSite::StallReplyWrite),
+            "drop_reply" => Some(FaultSite::DropReply),
+            "dup_reply" => Some(FaultSite::DupReply),
+            "cancel_race" => Some(FaultSite::CancelRace),
             _ => None,
         }
     }
 }
 
 /// One armed fault: a site, an optional model filter, a delay for the
-/// sleeping sites, and a remaining-fires budget.
+/// sleeping sites, a sampling period, and a remaining-fires budget.
 #[derive(Debug)]
 struct ArmedFault {
     site: FaultSite,
     model: Option<String>,
     delay: Duration,
+    /// Fire only on every `every`-th matching attempt (1 = every one).
+    /// Lets a plan slow a deterministic *fraction* of traffic — the
+    /// tail-latency benchmarks hit ~1-in-N requests without burning the
+    /// budget on the hedge copies that arrive in between.
+    every: u64,
+    attempts: AtomicU64,
     remaining: AtomicU64,
 }
 
@@ -102,8 +124,10 @@ impl FaultPlan {
 
     /// Parse a fault spec: `;`-separated entries, each
     /// `site[:key=value]*` with keys `model=` (filter to one model),
-    /// `count=` (fires before the fault disarms, default 1), and `ms=`
-    /// (sleep duration for the stalling sites, default 0).
+    /// `count=` (fires before the fault disarms, default 1), `ms=`
+    /// (sleep duration for the stalling sites, default 0), and `every=`
+    /// (fire only on every N-th matching attempt, default 1 — skipped
+    /// attempts do not consume the `count` budget).
     ///
     /// ```
     /// use bagpred_serve::FaultPlan;
@@ -124,6 +148,7 @@ impl FaultPlan {
             let mut model = None;
             let mut count = 1u64;
             let mut delay = Duration::ZERO;
+            let mut every = 1u64;
             for part in parts {
                 let (key, value) = part
                     .split_once('=')
@@ -143,6 +168,14 @@ impl FaultPlan {
                             .map_err(|_| format!("bad ms `{value}` in `{entry}`"))?;
                         delay = Duration::from_millis(ms);
                     }
+                    "every" => {
+                        every = value
+                            .trim()
+                            .parse()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad every `{value}` in `{entry}`"))?;
+                    }
                     other => return Err(format!("unknown fault key `{other}` in `{entry}`")),
                 }
             }
@@ -150,6 +183,8 @@ impl FaultPlan {
                 site,
                 model,
                 delay,
+                every,
+                attempts: AtomicU64::new(0),
                 remaining: AtomicU64::new(count),
             });
         }
@@ -202,6 +237,13 @@ impl FaultPlan {
                 if model != Some(filter.as_str()) {
                     continue;
                 }
+            }
+            // Sampling: only every `every`-th matching attempt fires.
+            // Skipped attempts leave the budget untouched, so
+            // `every=20:count=5` slows exactly attempts 20, 40, ..., 100.
+            let attempt = fault.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+            if attempt % fault.every != 0 {
+                continue;
             }
             // Decrement the budget without ever wrapping below zero, so
             // concurrent callers collectively fire exactly `count` times.
@@ -404,6 +446,9 @@ mod tests {
             FaultSite::SlowPredict,
             FaultSite::TornSnapshotWrite,
             FaultSite::StallReplyWrite,
+            FaultSite::DropReply,
+            FaultSite::DupReply,
+            FaultSite::CancelRace,
         ] {
             assert!(!plan.fire(site, None));
             assert!(!plan.fire(site, Some("pair-tree")));
@@ -474,12 +519,38 @@ mod tests {
     }
 
     #[test]
+    fn every_samples_matching_attempts_without_burning_budget() {
+        // every=3, count=2: fires on the 3rd and 6th matching attempts
+        // and never again; the skipped attempts cost no budget.
+        let plan = FaultPlan::parse("slow_predict:every=3:count=2:ms=5").unwrap();
+        let fired: Vec<bool> = (0..9)
+            .map(|_| plan.fire(FaultSite::SlowPredict, Some("pair-tree")))
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, false]
+        );
+        assert_eq!(plan.injected(), 2);
+        // Round-trip sanity: the new reply-path sites parse and fire.
+        let plan = FaultPlan::parse("drop_reply;dup_reply:count=2;cancel_race:ms=1").unwrap();
+        assert!(plan.fire(FaultSite::DropReply, None));
+        assert!(!plan.fire(FaultSite::DropReply, None));
+        assert!(plan.fire(FaultSite::DupReply, None));
+        assert_eq!(
+            plan.fire_delay(FaultSite::CancelRace, None),
+            Some(Duration::from_millis(1))
+        );
+    }
+
+    #[test]
     fn bad_specs_are_rejected_with_reasons() {
         for (spec, needle) in [
             ("explode", "unknown fault site"),
             ("worker_panic:boom", "key=value"),
             ("worker_panic:count=many", "bad count"),
             ("slow_predict:ms=fast", "bad ms"),
+            ("slow_predict:every=0", "bad every"),
+            ("slow_predict:every=often", "bad every"),
             ("worker_panic:color=red", "unknown fault key"),
         ] {
             let err = FaultPlan::parse(spec).expect_err(spec);

@@ -47,6 +47,7 @@
 //! 4 GiB length prefix costs a 4-byte read, not an allocation.
 
 use crate::error::ServeError;
+use crate::metrics::Priority;
 use bagpred_workloads::{Benchmark, Workload};
 use std::time::Duration;
 
@@ -98,6 +99,13 @@ pub enum Opcode {
     /// *is* the join key back to the recorded prediction, so closing
     /// the loop costs eight payload bytes.
     Outcome = 0x03,
+    /// Request: cancel the in-flight request whose id is carried in the
+    /// payload (the frame's own request id tags the cancel command's
+    /// reply). Answered `ok cancel=pending` when the target was still
+    /// queued and `ok cancel=late` when it had already been picked up,
+    /// served, or was never in flight — the hedging client treats both
+    /// as success.
+    Cancel = 0x04,
     /// Reply: a prediction, with the f64 carried as raw bits — no float
     /// formatting on the server, no parsing on the client, and exact
     /// bit-identity with the in-process engine for free.
@@ -116,6 +124,7 @@ impl Opcode {
             0x01 => Some(Opcode::Predict),
             0x02 => Some(Opcode::Line),
             0x03 => Some(Opcode::Outcome),
+            0x04 => Some(Opcode::Cancel),
             0x81 => Some(Opcode::Prediction),
             0x82 => Some(Opcode::LineReply),
             0xEE => Some(Opcode::Error),
@@ -152,6 +161,8 @@ pub mod error_code {
     pub const SNAPSHOT_DIR: u8 = 11;
     /// Binary frame failed to decode.
     pub const MALFORMED: u8 = 12;
+    /// Request cancelled by id before a worker picked it up.
+    pub const CANCELLED: u8 = 13;
 }
 
 /// The [`error_code`] for a [`ServeError`].
@@ -169,6 +180,7 @@ pub fn code_of(err: &ServeError) -> u8 {
         ServeError::DeadlineExceeded => error_code::DEADLINE,
         ServeError::SnapshotDir(_) => error_code::SNAPSHOT_DIR,
         ServeError::Malformed(_) => error_code::MALFORMED,
+        ServeError::Cancelled => error_code::CANCELLED,
     }
 }
 
@@ -183,6 +195,14 @@ pub enum Payload {
         apps: Vec<Workload>,
         /// Freshness budget, like the text protocol's `deadline_ms=N`.
         deadline: Option<Duration>,
+        /// Priority class for brownout shedding (one byte on the wire;
+        /// zero — the default — means `Normal`).
+        priority: Priority,
+        /// When this predict is the *hedge* copy of an earlier attempt,
+        /// the primary attempt's request id. The engine uses it to
+        /// deduplicate the pair so per-model stats and the pending
+        /// outcome ring count the logical request exactly once.
+        hedge_of: Option<u64>,
     },
     /// [`Opcode::Line`]: a text-protocol request line.
     Line(String),
@@ -192,6 +212,12 @@ pub enum Payload {
     Outcome {
         /// Observed actual runtime in microseconds.
         actual_us: u64,
+    },
+    /// [`Opcode::Cancel`]: drop the queued request with this id.
+    Cancel {
+        /// Request id of the in-flight request to cancel (distinct from
+        /// the frame's own request id, which tags the cancel's reply).
+        target: u64,
     },
     /// [`Opcode::Prediction`].
     Prediction {
@@ -219,6 +245,7 @@ impl Payload {
             Payload::Predict { .. } => Opcode::Predict,
             Payload::Line(_) => Opcode::Line,
             Payload::Outcome { .. } => Opcode::Outcome,
+            Payload::Cancel { .. } => Opcode::Cancel,
             Payload::Prediction { .. } => Opcode::Prediction,
             Payload::LineReply(_) => Opcode::LineReply,
             Payload::Error { .. } => Opcode::Error,
@@ -310,11 +337,18 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             model,
             apps,
             deadline,
+            priority,
+            hedge_of,
         } => {
             let deadline_ms = deadline.map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
             body.push(u8::from(deadline_ms.is_some()));
             if let Some(ms) = deadline_ms {
                 body.extend_from_slice(&ms.to_le_bytes());
+            }
+            body.push(priority.wire_code());
+            body.push(u8::from(hedge_of.is_some()));
+            if let Some(primary) = hedge_of {
+                body.extend_from_slice(&primary.to_le_bytes());
             }
             let name = model.as_deref().unwrap_or("");
             debug_assert!(name.len() <= u8::MAX as usize);
@@ -332,6 +366,9 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         }
         Payload::Outcome { actual_us } => {
             body.extend_from_slice(&actual_us.to_le_bytes());
+        }
+        Payload::Cancel { target } => {
+            body.extend_from_slice(&target.to_le_bytes());
         }
         Payload::Prediction { model, predicted_s } => {
             debug_assert!(model.len() <= u8::MAX as usize);
@@ -435,6 +472,19 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                     )))
                 }
             };
+            let prio_code = r.u8("priority")?;
+            let priority = Priority::from_wire_code(prio_code).ok_or_else(|| {
+                FrameError::Malformed(format!("unknown priority code {prio_code}"))
+            })?;
+            let hedge_of = match r.u8("hedge flag")? {
+                0 => None,
+                1 => Some(r.u64("hedge primary id")?),
+                other => {
+                    return Err(FrameError::Malformed(format!(
+                        "hedge flag must be 0 or 1, got {other}"
+                    )))
+                }
+            };
             let name_len = r.u8("model-name length")? as usize;
             let name = r.str(name_len, "model name")?;
             let model = (!name.is_empty()).then(|| name.to_string());
@@ -452,11 +502,16 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 model,
                 apps,
                 deadline,
+                priority,
+                hedge_of,
             }
         }
         Opcode::Line => Payload::Line(r.rest_str("request line")?.to_string()),
         Opcode::Outcome => Payload::Outcome {
             actual_us: r.u64("actual_us")?,
+        },
+        Opcode::Cancel => Payload::Cancel {
+            target: r.u64("cancel target id")?,
         },
         Opcode::Prediction => {
             let name_len = r.u8("model-name length")? as usize;
@@ -590,6 +645,8 @@ mod tests {
                         Workload::new(Benchmark::Knn, 40),
                     ],
                     deadline: None,
+                    priority: Priority::Normal,
+                    hedge_of: None,
                 },
             ),
             Frame {
@@ -602,6 +659,8 @@ mod tests {
                         Workload::new(Benchmark::Svm, 4_000_000),
                     ],
                     deadline: Some(Duration::from_millis(250)),
+                    priority: Priority::Low,
+                    hedge_of: Some(41),
                 },
             },
             Frame::new(7, Payload::Line("stats model=pair-tree".into())),
@@ -611,6 +670,7 @@ mod tests {
                     actual_us: 1_234_567,
                 },
             ),
+            Frame::new(12, Payload::Cancel { target: 11 }),
             Frame::new(
                 8,
                 Payload::Prediction {
@@ -662,7 +722,7 @@ mod tests {
         assert!(!MAGIC[0].is_ascii());
         for verb in [
             "predict", "schedule", "stats", "models", "metrics", "health", "trace", "observe",
-            "load", "save", "reload", "quit", "exit", "hello",
+            "cancel", "load", "save", "reload", "quit", "exit", "hello",
         ] {
             assert!(verb.as_bytes()[0].is_ascii_alphabetic());
             assert_ne!(verb.as_bytes()[0], MAGIC[0]);
@@ -766,6 +826,7 @@ mod tests {
             ServeError::DeadlineExceeded,
             ServeError::SnapshotDir("x".into()),
             ServeError::Malformed("x".into()),
+            ServeError::Cancelled,
         ];
         let mut codes: Vec<u8> = errors.iter().map(code_of).collect();
         codes.sort_unstable();
@@ -801,11 +862,13 @@ mod prop_tests {
                 )
             })
             .collect();
-        let payload = match kind % 6 {
+        let payload = match kind % 7 {
             0 => Payload::Predict {
                 model: (!text.is_empty()).then(|| text.chars().take(64).collect()),
                 apps,
                 deadline: deadline.map(|ms| Duration::from_millis(ms as u64)),
+                priority: Priority::ALL[napps % Priority::ALL.len()],
+                hedge_of: bits.is_multiple_of(2).then_some(id ^ 1),
             },
             1 => Payload::Line(text.into()),
             2 => Payload::Prediction {
@@ -814,6 +877,7 @@ mod prop_tests {
             },
             3 => Payload::LineReply(text.into()),
             4 => Payload::Outcome { actual_us: bits },
+            5 => Payload::Cancel { target: bits },
             _ => Payload::Error {
                 code,
                 message: text.into(),
@@ -836,14 +900,14 @@ mod prop_tests {
         /// the dedicated unit test above).
         #[test]
         fn round_trip_is_identity(
-            kind in 0usize..6,
+            kind in 0usize..7,
             id in any::<u64>(),
             ctx_bytes in proptest::collection::vec(97u8..123, 0..41),
             text_bytes in proptest::collection::vec(32u8..127, 0..201),
             napps in 0usize..6,
             picks in proptest::collection::vec(0usize..9, 1..7),
             batches in proptest::collection::vec(1usize..1_000_000, 1..7),
-            code in 0u8..13,
+            code in 0u8..14,
             bits in 0u64..(1u64 << 62),
             has_deadline in any::<bool>(),
             deadline_ms in 0u32..600_000,
@@ -866,7 +930,7 @@ mod prop_tests {
         /// typed `FrameError` or a structurally valid frame.
         #[test]
         fn mutated_frames_fail_typed_never_panic(
-            kind in 0usize..6,
+            kind in 0usize..7,
             id in any::<u64>(),
             text_bytes in proptest::collection::vec(32u8..127, 0..81),
             cut in 0usize..400,

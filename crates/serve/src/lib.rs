@@ -88,8 +88,8 @@ pub use engine::{PredictionService, Reply, Request, ServiceConfig, StatsReport};
 pub use error::ServeError;
 pub use fault::{FaultPlan, FaultSite, HealthReport, ModelHealth};
 pub use metrics::{
-    LatencySummary, Metrics, MetricsSnapshot, ModelMetrics, ModelOutcome, OutcomeCounters,
-    OutcomeTrackers,
+    BrownoutPressure, LatencySummary, Metrics, MetricsSnapshot, ModelMetrics, ModelOutcome,
+    OutcomeCounters, OutcomeTrackers, Priority,
 };
 pub use server::{MetricsServer, Server, ServerConfig};
 pub use snapshot::{DirLoad, ModelRegistry, ServableModel};

@@ -18,6 +18,76 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
+/// Request priority class, used by brownout shedding: under queue
+/// pressure a shard sheds `Low` traffic first, then `Normal`, and only
+/// refuses `High` when the queue is actually full. Carried as
+/// `prio=high|normal|low` on the text protocol and as one byte in the
+/// binary predict payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Shed only when the queue is completely full.
+    High,
+    /// The default class; shed at the upper watermark.
+    #[default]
+    Normal,
+    /// Best-effort traffic; shed first, at the lower watermark.
+    Low,
+}
+
+impl Priority {
+    /// Every class, in shed order (last sheds first).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Stable lowercase name used in wire options and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// Stable one-byte wire code (binary predict payload). Zero is the
+    /// default class so an all-zero byte means "normal", matching the
+    /// text protocol's omitted `prio=`.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            Priority::Normal => 0,
+            Priority::High => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Inverse of [`wire_code`](Self::wire_code).
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Priority::Normal),
+            1 => Some(Priority::High),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// Dense index for per-class counter arrays (matches [`ALL`](Self::ALL)).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
 /// Lock-free counters plus per-phase latency histograms.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -233,6 +303,20 @@ pub struct ShardSnapshot {
     pub queue_wait: LatencySummary,
 }
 
+/// Point-in-time brownout pressure, reported alongside `health` so a
+/// load balancer can steer low-priority traffic away *before* the hard
+/// capacity bound refuses everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrownoutPressure {
+    /// Cumulative brownout sheds per priority class, in
+    /// [`Priority::ALL`] order (high, normal, low).
+    pub shed: [u64; 3],
+    /// The deepest queue across every shard (including `_control`).
+    pub max_depth: usize,
+    /// Per-shard queue capacity the watermarks are fractions of.
+    pub queue_capacity: usize,
+}
+
 /// Summary of one latency histogram, as reported by `stats`.
 ///
 /// Percentiles are nearest-rank (see [`HistogramSnapshot::quantile`]),
@@ -281,6 +365,10 @@ pub struct RobustnessCounters {
     worker_respawns: AtomicU64,
     deadline_expired: AtomicU64,
     quarantines: AtomicU64,
+    cancelled: AtomicU64,
+    cancel_late: AtomicU64,
+    hedge_deduped: AtomicU64,
+    brownout_shed: [AtomicU64; 3],
 }
 
 impl RobustnessCounters {
@@ -309,6 +397,31 @@ impl RobustnessCounters {
         self.quarantines.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a job dropped at dequeue because its id was cancelled
+    /// while it waited in the queue.
+    pub fn on_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cancel that arrived after its target had already been
+    /// served (or was never in flight) — answered `ok cancel=late`.
+    pub fn on_cancel_late(&self) {
+        self.cancel_late.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a hedge attempt whose pair was already served: its stats
+    /// and pending-outcome registration were suppressed so the logical
+    /// request counts exactly once.
+    pub fn on_hedge_deduped(&self) {
+        self.hedge_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed at enqueue by a brownout watermark (queue
+    /// under pressure but not full) for its priority class.
+    pub fn on_brownout_shed(&self, prio: Priority) {
+        self.brownout_shed[prio.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Predict panics caught so far.
     pub fn worker_panics(&self) -> u64 {
         self.worker_panics.load(Ordering::Relaxed)
@@ -327,6 +440,31 @@ impl RobustnessCounters {
     /// Quarantine entries so far.
     pub fn quarantines(&self) -> u64 {
         self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dropped at dequeue on a cancelled id so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Cancels that arrived too late to matter so far.
+    pub fn cancel_late(&self) -> u64 {
+        self.cancel_late.load(Ordering::Relaxed)
+    }
+
+    /// Hedge attempts deduplicated after their pair was served so far.
+    pub fn hedge_deduped(&self) -> u64 {
+        self.hedge_deduped.load(Ordering::Relaxed)
+    }
+
+    /// Brownout sheds so far for one priority class.
+    pub fn brownout_shed(&self, prio: Priority) -> u64 {
+        self.brownout_shed[prio.index()].load(Ordering::Relaxed)
+    }
+
+    /// Brownout sheds so far across every priority class.
+    pub fn brownout_shed_total(&self) -> u64 {
+        Priority::ALL.iter().map(|&p| self.brownout_shed(p)).sum()
     }
 }
 
@@ -666,6 +804,37 @@ mod tests {
         let b = models.get("b").expect("entry exists").snapshot();
         assert_eq!((b.received, b.succeeded), (1, 0));
         assert!(models.get("c").is_none());
+    }
+
+    #[test]
+    fn priority_names_and_wire_codes_round_trip() {
+        for prio in Priority::ALL {
+            assert_eq!(Priority::from_name(prio.name()), Some(prio));
+            assert_eq!(Priority::from_wire_code(prio.wire_code()), Some(prio));
+        }
+        // Frozen wire values: zero must stay the default class.
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::Normal.wire_code(), 0);
+        assert_eq!(Priority::from_name("urgent"), None);
+        assert_eq!(Priority::from_wire_code(3), None);
+    }
+
+    #[test]
+    fn brownout_and_cancel_counters_track_per_class() {
+        let robust = RobustnessCounters::new();
+        robust.on_brownout_shed(Priority::Low);
+        robust.on_brownout_shed(Priority::Low);
+        robust.on_brownout_shed(Priority::Normal);
+        robust.on_cancelled();
+        robust.on_cancel_late();
+        robust.on_hedge_deduped();
+        assert_eq!(robust.brownout_shed(Priority::Low), 2);
+        assert_eq!(robust.brownout_shed(Priority::Normal), 1);
+        assert_eq!(robust.brownout_shed(Priority::High), 0);
+        assert_eq!(robust.brownout_shed_total(), 3);
+        assert_eq!(robust.cancelled(), 1);
+        assert_eq!(robust.cancel_late(), 1);
+        assert_eq!(robust.hedge_deduped(), 1);
     }
 
     #[test]

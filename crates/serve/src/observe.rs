@@ -191,6 +191,48 @@ pub(crate) fn render(inner: &Inner) -> String {
         inner.robust.deadline_expired() as f64,
     );
     expo.header(
+        "bagpred_cancelled_total",
+        "counter",
+        "Requests dropped at dequeue because a cancel arrived while they were still queued.",
+    );
+    expo.sample(
+        "bagpred_cancelled_total",
+        &[],
+        inner.robust.cancelled() as f64,
+    );
+    expo.header(
+        "bagpred_cancel_late_total",
+        "counter",
+        "Cancels that arrived after their target had already been served (answered ok cancel=late).",
+    );
+    expo.sample(
+        "bagpred_cancel_late_total",
+        &[],
+        inner.robust.cancel_late() as f64,
+    );
+    expo.header(
+        "bagpred_hedge_deduped_total",
+        "counter",
+        "Hedge-pair losers whose accounting was suppressed so the served attempt counts once.",
+    );
+    expo.sample(
+        "bagpred_hedge_deduped_total",
+        &[],
+        inner.robust.hedge_deduped() as f64,
+    );
+    expo.header(
+        "bagpred_brownout_shed_total",
+        "counter",
+        "Requests shed at enqueue by the priority brownout watermarks, by class.",
+    );
+    for prio in crate::metrics::Priority::ALL {
+        expo.sample(
+            "bagpred_brownout_shed_total",
+            &[("prio", prio.name())],
+            inner.robust.brownout_shed(prio) as f64,
+        );
+    }
+    expo.header(
         "bagpred_model_quarantines_total",
         "counter",
         "Times a model crossed the consecutive-panic threshold and was quarantined.",

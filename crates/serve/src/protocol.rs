@@ -7,6 +7,7 @@
 //! schedule [model=NAME] k=GPUS budget=SECONDS APP@BATCH [APP@BATCH ...]
 //! stats [model=NAME]
 //! observe id=REQUEST_ID actual_us=MICROS
+//! cancel id=REQUEST_ID
 //! models
 //! health
 //! metrics
@@ -20,7 +21,22 @@
 //! budget, measured from parse time. A request still queued when its
 //! deadline passes is shed at dequeue with `err deadline` instead of
 //! being served stale ([`parse_request_options`] strips the option
-//! before verb dispatch, so it composes with every verb).
+//! before verb dispatch, so it composes with every verb). Likewise
+//! `prio=high|normal|low` (default `normal`) picks the brownout class:
+//! under queue pressure a shard sheds `low` first, then `normal`, and
+//! `high` only at the hard capacity bound. `hedge_of=N` names an
+//! earlier attempt's request id: on a multiplexed (binary) connection
+//! the engine links the two into a hedge pair whose served attempt
+//! counts exactly once; on a plain text connection there is no wire id
+//! to link, so the option is accepted and ignored.
+//!
+//! `cancel id=<req>` cancels an earlier tagged request by its
+//! client-assigned id. A still-queued target is dropped at dequeue with
+//! `err cancelled`; the cancel itself always answers `ok
+//! cancel=pending` (the target was in flight) or `ok cancel=late` (it
+//! had already completed or was never seen) — hedging clients cancel
+//! their losing attempt constantly, so late cancels are counted, never
+//! punished.
 //!
 //! `health` reports per-model panic/quarantine state — one
 //! `<name>=<ok|quarantined|drifting>:<consecutive>/<total>` token per
@@ -69,7 +85,8 @@
 //! ok requests=9 ok=9 err=0 shed=0 cache_hits=12 ... latency_us_p95=1875
 //! ok model=pair-tree requests=9 ok=9 err=0 latency_samples=9 ... latency_us_max=211
 //! ok models=2 pair-tree=pair/tree nbag-tree=nbag/tree
-//! ok models=2 nbag-tree=ok:0/0 pair-tree=quarantined:3/5
+//! ok models=2 nbag-tree=ok:0/0 pair-tree=quarantined:3/5 pressure=0/64 shed_high=0 shed_normal=0 shed_low=0
+//! ok cancel=pending
 //! ok loaded model=custom kind=pair/tree replaced=false
 //! ok saved model=pair-tree dest=/tmp/m.bagsnap
 //! ok saved models=2 dest=/tmp/models
@@ -87,6 +104,7 @@
 
 use crate::engine::{Reply, Request, StatsReport};
 use crate::error::ServeError;
+use crate::metrics::Priority;
 use bagpred_core::nbag::MAX_BAG;
 use bagpred_ml::codec::fmt_f64;
 use bagpred_workloads::Workload;
@@ -137,6 +155,14 @@ pub struct RequestOptions {
     /// Freshness budget from `deadline_ms=N`: how long the request may
     /// wait before a worker picks it up. `None` means wait forever.
     pub deadline: Option<Duration>,
+    /// Brownout class from `prio=high|normal|low` (default `normal`):
+    /// which shedding watermark the request enqueues under.
+    pub priority: Priority,
+    /// Hedge link from `hedge_of=N`: the request id of the earlier
+    /// attempt this one is a hedge of, so the engine can deduplicate
+    /// the pair's accounting. Only meaningful on tagged (binary
+    /// protocol) submissions.
+    pub hedge_of: Option<u64>,
 }
 
 /// Parses one request line.
@@ -173,6 +199,17 @@ pub fn parse_request_options(line: &str) -> Result<(Request, RequestOptions), Se
             ))
         })?;
         options.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(raw) = take_kv(&mut tokens, "prio") {
+        options.priority = Priority::from_name(raw).ok_or_else(|| {
+            ServeError::BadRequest(format!("prio `{raw}` is not one of high, normal, low"))
+        })?;
+    }
+    if let Some(raw) = take_kv(&mut tokens, "hedge_of") {
+        let id: u64 = raw
+            .parse()
+            .map_err(|_| ServeError::BadRequest(format!("hedge_of `{raw}` is not a request id")))?;
+        options.hedge_of = Some(id);
     }
     let request = match verb {
         "predict" => {
@@ -247,6 +284,18 @@ pub fn parse_request_options(line: &str) -> Result<(Request, RequestOptions), Se
             }
             Ok(Request::Observe { id, actual_us })
         }
+        "cancel" => {
+            let id: u64 = take_kv(&mut tokens, "id")
+                .ok_or_else(|| ServeError::BadRequest("cancel needs id=<request id>".into()))?
+                .parse()
+                .map_err(|_| ServeError::BadRequest("id must be a non-negative integer".into()))?;
+            if !tokens.is_empty() {
+                return Err(ServeError::BadRequest(
+                    "cancel takes id=N and nothing else".into(),
+                ));
+            }
+            Ok(Request::Cancel { id })
+        }
         "models" if tokens.is_empty() => Ok(Request::Models),
         "models" => Err(ServeError::BadRequest("models takes no arguments".into())),
         "health" if tokens.is_empty() => Ok(Request::Health),
@@ -293,8 +342,8 @@ pub fn parse_request_options(line: &str) -> Result<(Request, RequestOptions), Se
         }
         other => Err(ServeError::BadRequest(format!(
             "unknown command `{other}` \
-             (try: predict, schedule, stats, observe, models, health, metrics, trace, \
-             load, save, reload)"
+             (try: predict, schedule, stats, observe, cancel, models, health, metrics, \
+             trace, load, save, reload)"
         ))),
     }?;
     Ok((request, options))
@@ -356,6 +405,13 @@ fn format_stats(s: &StatsReport) -> String {
         s.drift_alarms,
         s.drifting_models,
     ));
+    out.push_str(&format!(
+        " cancelled={} cancel_late={} hedge_deduped={}",
+        s.cancelled, s.cancel_late, s.hedge_deduped,
+    ));
+    for (prio, shed) in Priority::ALL.iter().zip(s.brownout_shed) {
+        out.push_str(&format!(" brownout_shed_{}={shed}", prio.name()));
+    }
     for map in &s.cache_maps {
         out.push_str(&format!(
             " cache_{0}_hits={1} cache_{0}_misses={2} cache_{0}_evictions={3} \
@@ -478,7 +534,7 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
             }
             out
         }
-        Ok(Reply::Health(reports)) => {
+        Ok(Reply::Health { reports, pressure }) => {
             let mut out = format!("ok models={}", reports.len());
             for r in reports {
                 // Quarantine (serving suspended) outranks drift (advisory
@@ -495,7 +551,21 @@ pub fn format_outcome(outcome: &Result<Reply, ServeError>) -> String {
                     r.model, r.consecutive_panics, r.total_panics
                 ));
             }
+            // Brownout pressure: the deepest queue against its capacity,
+            // plus cumulative sheds per priority class — what a load
+            // balancer needs to steer low-priority traffic away early.
+            out.push_str(&format!(
+                " pressure={}/{}",
+                pressure.max_depth, pressure.queue_capacity
+            ));
+            for (prio, shed) in Priority::ALL.iter().zip(pressure.shed) {
+                out.push_str(&format!(" shed_{}={shed}", prio.name()));
+            }
             out
+        }
+        Ok(Reply::Cancelled { pending }) => {
+            let state = if *pending { "pending" } else { "late" };
+            format!("ok cancel={state}")
         }
         // The exposition document is the one multi-line reply: it is
         // written verbatim and already ends with its own `# EOF`
@@ -595,6 +665,9 @@ mod tests {
             ("schedule k=2 SIFT@20", "budget="),
             ("schedule k=2 budget=1", "at least one"),
             ("stats now", "no arguments"),
+            ("cancel", "id="),
+            ("cancel id=soon", "integer"),
+            ("cancel id=7 junk", "nothing else"),
             ("models all", "no arguments"),
             ("metrics now", "no arguments"),
             ("trace all", "no arguments"),
@@ -650,34 +723,83 @@ mod tests {
         assert!(err.to_string().contains("no arguments"), "{err}");
 
         use crate::fault::HealthReport;
-        let line = format_outcome(&Ok(Reply::Health(vec![
-            HealthReport {
-                model: "nbag-tree".into(),
-                quarantined: false,
-                drifting: false,
-                consecutive_panics: 0,
-                total_panics: 0,
+        use crate::metrics::BrownoutPressure;
+        let line = format_outcome(&Ok(Reply::Health {
+            reports: vec![
+                HealthReport {
+                    model: "nbag-tree".into(),
+                    quarantined: false,
+                    drifting: false,
+                    consecutive_panics: 0,
+                    total_panics: 0,
+                },
+                HealthReport {
+                    model: "pair-tree".into(),
+                    quarantined: true,
+                    // Quarantine outranks drift in the rendered state.
+                    drifting: true,
+                    consecutive_panics: 3,
+                    total_panics: 5,
+                },
+                HealthReport {
+                    model: "stale-tree".into(),
+                    quarantined: false,
+                    drifting: true,
+                    consecutive_panics: 0,
+                    total_panics: 1,
+                },
+            ],
+            pressure: BrownoutPressure {
+                shed: [0, 2, 9],
+                max_depth: 48,
+                queue_capacity: 64,
             },
-            HealthReport {
-                model: "pair-tree".into(),
-                quarantined: true,
-                // Quarantine outranks drift in the rendered state.
-                drifting: true,
-                consecutive_panics: 3,
-                total_panics: 5,
-            },
-            HealthReport {
-                model: "stale-tree".into(),
-                quarantined: false,
-                drifting: true,
-                consecutive_panics: 0,
-                total_panics: 1,
-            },
-        ])));
+        }));
         assert_eq!(
             line,
-            "ok models=3 nbag-tree=ok:0/0 pair-tree=quarantined:3/5 stale-tree=drifting:0/1"
+            "ok models=3 nbag-tree=ok:0/0 pair-tree=quarantined:3/5 stale-tree=drifting:0/1 \
+             pressure=48/64 shed_high=0 shed_normal=2 shed_low=9"
         );
+    }
+
+    #[test]
+    fn parses_cancel_and_formats_its_reply() {
+        assert_eq!(
+            parse_request("cancel id=42").expect("parses"),
+            Request::Cancel { id: 42 }
+        );
+        assert!(
+            !Request::Cancel { id: 42 }.is_admin(),
+            "hedging clients cancel their losers constantly"
+        );
+        assert_eq!(
+            format_outcome(&Ok(Reply::Cancelled { pending: true })),
+            "ok cancel=pending"
+        );
+        assert_eq!(
+            format_outcome(&Ok(Reply::Cancelled { pending: false })),
+            "ok cancel=late"
+        );
+    }
+
+    #[test]
+    fn prio_composes_with_any_verb_and_rejects_garbage() {
+        let (req, opts) = parse_request_options("predict prio=low SIFT@20+KNN@40").expect("parses");
+        assert!(matches!(req, Request::Predict { .. }));
+        assert_eq!(opts.priority, Priority::Low);
+
+        // Composes with deadline_ms; position is irrelevant.
+        let (_, opts) = parse_request_options("predict SIFT@20+KNN@40 deadline_ms=50 prio=high")
+            .expect("parses");
+        assert_eq!(opts.priority, Priority::High);
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(50)));
+
+        let (_, opts) = parse_request_options("predict SIFT@20+KNN@40").expect("parses");
+        assert_eq!(opts.priority, Priority::Normal, "default is normal");
+
+        let err = parse_request_options("predict prio=urgent SIFT@20+KNN@40")
+            .expect_err("rejects garbage");
+        assert!(err.to_string().contains("prio"), "{err}");
     }
 
     #[test]

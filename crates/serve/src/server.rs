@@ -42,7 +42,9 @@
 
 use crate::engine::{Outcome, PredictionService, Reply, Request};
 use crate::error::ServeError;
+use crate::fault::FaultSite;
 use crate::frame::{self, Frame, Payload};
+use crate::metrics::Priority;
 use crate::protocol::{format_outcome, parse_request_options};
 use bagpred_obs::{Stage, Trace};
 use std::collections::HashMap;
@@ -224,6 +226,11 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Replies to a pipelining client come as back-to-back
+                // small writes; with Nagle on, the second sits in the
+                // kernel until the client's delayed ACK (up to 40ms).
+                // A socket that rejects the option still serves.
+                let _ = stream.set_nodelay(true);
                 // Opportunistically reclaim handles of finished threads
                 // so the registry stays bounded on a long-lived server.
                 accept_lifecycle.reap_finished();
@@ -524,9 +531,12 @@ fn handle_connection(
                                 Ok((request, _)) if request.is_admin() && !config.admin => {
                                     Err(ServeError::AdminDisabled)
                                 }
-                                Ok((request, options)) => {
-                                    service.call_traced_deadline(request, trace, options.deadline)
-                                }
+                                Ok((request, options)) => service.call_traced_options(
+                                    request,
+                                    trace,
+                                    options.deadline,
+                                    options.priority,
+                                ),
                             })
                         }
                     }
@@ -621,10 +631,11 @@ fn handle_binary(
     stop: &AtomicBool,
     config: &ServerConfig,
 ) -> io::Result<()> {
+    let conn_tag = CONN_SEQ.fetch_add(1, Ordering::Relaxed) & WIRE_ID_MASK;
     let (tx, rx) = mpsc::channel::<(u64, Outcome)>();
     thread::scope(|scope| {
         let writer_handle = scope.spawn(|| write_reply_frames(writer, rx, service));
-        let result = read_request_frames(&mut reader, service, stop, config, &tx);
+        let result = read_request_frames(&mut reader, service, stop, config, conn_tag, &tx);
         // Dropping the reader's sender lets the writer drain: the
         // engine-held clones drop as in-flight jobs finish, the channel
         // closes, and the writer exits after forwarding every reply.
@@ -634,12 +645,33 @@ fn handle_binary(
     })
 }
 
+/// Allocates each binary connection a namespace for its client-chosen
+/// request ids. Wraps after 2^32 connections — by then the earliest
+/// namespaces have no surviving state to collide with.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Low half of an engine tag: the client's wire id, echoed in replies.
+/// The upper half is the connection namespace — request ids are
+/// effectively 32-bit per connection on the binary transport.
+const WIRE_ID_MASK: u64 = 0xFFFF_FFFF;
+
+/// Scopes a client-chosen wire id to its connection before it reaches
+/// the engine. Request ids only need to be unique *per connection* on
+/// the wire, but the engine's cancel registry, hedge ledger, and
+/// pending-outcome ring are global — without this, client A's
+/// `cancel id=7` could drop client B's in-flight request 7 (every
+/// client counts from 1). Replies strip the namespace back off.
+fn namespaced(conn_tag: u64, wire_id: u64) -> u64 {
+    (conn_tag << 32) | (wire_id & WIRE_ID_MASK)
+}
+
 /// The binary connection's read half: frames in, engine submissions out.
 fn read_request_frames(
     reader: &mut BufReader<TcpStream>,
     service: &PredictionService,
     stop: &AtomicBool,
     config: &ServerConfig,
+    conn_tag: u64,
     tx: &mpsc::Sender<(u64, Outcome)>,
 ) -> io::Result<()> {
     let mut prelude = [0u8; frame::PRELUDE_LEN];
@@ -679,7 +711,7 @@ fn read_request_frames(
         }
         match frame::decode_body(&body) {
             Ok(request_frame) => {
-                if !dispatch_frame(request_frame, service, config, tx) {
+                if !dispatch_frame(request_frame, service, config, conn_tag, tx) {
                     return Ok(()); // client said quit/exit
                 }
             }
@@ -701,6 +733,7 @@ fn dispatch_frame(
     request_frame: Frame,
     service: &PredictionService,
     config: &ServerConfig,
+    conn_tag: u64,
     tx: &mpsc::Sender<(u64, Outcome)>,
 ) -> bool {
     let Frame {
@@ -708,6 +741,10 @@ fn dispatch_frame(
         trace_context,
         payload,
     } = request_frame;
+    // Everything id-shaped that crosses into the engine — the tag, a
+    // hedge link, a cancel target, an outcome join key — is scoped to
+    // this connection; see [`namespaced`].
+    let request_id = namespaced(conn_tag, request_id);
     // The upstream trace context rides into the engine's per-request
     // trace, so a slow-request summary can name the caller's span.
     let make_trace = || match &trace_context {
@@ -719,15 +756,31 @@ fn dispatch_frame(
             model,
             apps,
             deadline,
+            priority,
+            hedge_of,
         } => {
             let mut trace = make_trace();
             trace.mark(Stage::Parse); // frame decode is the parse work
             let request = Request::Predict { model, apps };
-            if let Err(err) =
-                service.submit_tagged(request, trace, deadline, request_id, tx.clone())
-            {
+            if let Err(err) = service.submit_tagged(
+                request,
+                trace,
+                deadline,
+                priority,
+                hedge_of.map(|primary| namespaced(conn_tag, primary)),
+                request_id,
+                tx.clone(),
+            ) {
                 let _ = tx.send((request_id, Err(err)));
             }
+            true
+        }
+        Payload::Cancel { target } => {
+            // Answered inline, never queued: a cancel enqueued behind
+            // the very backlog it is trying to trim would always lose
+            // the race it exists to win.
+            let pending = service.cancel(namespaced(conn_tag, target));
+            let _ = tx.send((request_id, Ok(Reply::Cancelled { pending })));
             true
         }
         Payload::Line(text) => {
@@ -752,9 +805,17 @@ fn dispatch_frame(
                 Ok((request, _)) if request.is_admin() && !config.admin => {
                     Err(ServeError::AdminDisabled)
                 }
-                Ok((request, options)) => {
-                    service.submit_tagged(request, trace, options.deadline, request_id, tx.clone())
-                }
+                Ok((request, options)) => service.submit_tagged(
+                    request,
+                    trace,
+                    options.deadline,
+                    options.priority,
+                    options
+                        .hedge_of
+                        .map(|primary| namespaced(conn_tag, primary)),
+                    request_id,
+                    tx.clone(),
+                ),
             };
             if let Err(err) = submitted {
                 let _ = tx.send((request_id, Err(err)));
@@ -772,7 +833,15 @@ fn dispatch_frame(
                 id: request_id,
                 actual_us,
             };
-            if let Err(err) = service.submit_tagged(request, trace, None, request_id, tx.clone()) {
+            if let Err(err) = service.submit_tagged(
+                request,
+                trace,
+                None,
+                Priority::Normal,
+                None,
+                request_id,
+                tx.clone(),
+            ) {
                 let _ = tx.send((request_id, Err(err)));
             }
             true
@@ -806,16 +875,35 @@ fn write_reply_frames(
         let write_started = Instant::now();
         if let Some(delay) = service
             .faults()
-            .fire_delay(crate::fault::FaultSite::StallReplyWrite, None)
+            .fire_delay(FaultSite::StallReplyWrite, None)
         {
             thread::sleep(delay);
         }
-        let reply = reply_frame(request_id, outcome);
+        // Fault site `drop_reply`: the reply vanishes on the wire, as if
+        // a proxy ate the frame — the client's timeout/hedge machinery
+        // must recover, the engine's accounting is already final.
+        if service.faults().fire(FaultSite::DropReply, None) {
+            continue;
+        }
+        // The engine saw the connection-namespaced tag; the client gets
+        // its own wire id back.
+        let reply = reply_frame(request_id & WIRE_ID_MASK, outcome);
+        let encoded = frame::encode(&reply);
+        // Fault site `dup_reply`: the frame is delivered twice, as if a
+        // retransmit survived — clients must treat the second copy as a
+        // stale id and discard it.
+        let copies = if service.faults().fire(FaultSite::DupReply, None) {
+            2
+        } else {
+            1
+        };
         // A failed or timed-out write is fatal to the connection (the
         // frame would be torn anyway): stop forwarding and let the
         // remaining replies drain into the closed channel.
-        if writer.write_all(&frame::encode(&reply)).is_err() || writer.flush().is_err() {
-            return;
+        for _ in 0..copies {
+            if writer.write_all(&encoded).is_err() || writer.flush().is_err() {
+                return;
+            }
         }
         service.record_stage(Stage::ReplyWrite, write_started.elapsed());
     }
@@ -1303,6 +1391,8 @@ mod tests {
                     model: None,
                     apps: pair_apps(),
                     deadline: None,
+                    priority: Priority::Normal,
+                    hedge_of: None,
                 },
             ),
         );
@@ -1393,6 +1483,8 @@ mod tests {
                         model: Some(model.into()),
                         apps: pair_apps(),
                         deadline: None,
+                        priority: Priority::Normal,
+                        hedge_of: None,
                     },
                 ),
             );
@@ -1444,6 +1536,8 @@ mod tests {
                     model: None,
                     apps: pair_apps(),
                     deadline: None,
+                    priority: Priority::Normal,
+                    hedge_of: None,
                 },
             ),
         );
@@ -1476,6 +1570,41 @@ mod tests {
         assert!(message.contains("bad magic"), "{message}");
         let mut byte = [0u8; 1];
         assert_eq!(reader.read(&mut byte).expect("clean EOF"), 0);
+        server.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn binary_cancel_opcode_answers_inline_and_late_after_the_reply() {
+        let (mut server, service) = start();
+        let stream = TcpStream::connect(server.local_addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut reader = BufReader::new(stream);
+        send_frame(
+            &mut writer,
+            &Frame::new(
+                7,
+                Payload::Predict {
+                    model: None,
+                    apps: pair_apps(),
+                    deadline: None,
+                    priority: Priority::High,
+                    hedge_of: None,
+                },
+            ),
+        );
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 7);
+        assert!(matches!(reply.payload, Payload::Prediction { .. }));
+        // The target already answered: its cancel must come back late,
+        // and must answer inline even though the id is long gone.
+        send_frame(&mut writer, &Frame::new(8, Payload::Cancel { target: 7 }));
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.request_id, 8);
+        let Payload::LineReply(text) = reply.payload else {
+            panic!("expected a line reply, got {:?}", reply.payload);
+        };
+        assert_eq!(text, "ok cancel=late");
         server.shutdown();
         service.shutdown();
     }

@@ -134,6 +134,29 @@ timeout 120 cargo test -q -p bagpred-serve --lib -- --exact \
   engine::tests::aborted_workers_are_respawned_and_keep_serving \
   snapshot::tests::truncated_and_bitflipped_snapshots_are_quarantined_then_resave_round_trips
 
+echo "== tail robustness: hedging + cancellation + brownout (bounded at 300s) =="
+# The tail-latency armor invariants, run by name so they can never be
+# silently filtered out: a hedge must beat a stalled shard while the
+# pair counts exactly once in per-model stats, the hedged retry must
+# inherit the *remaining* deadline (not a fresh one), an exhausted
+# request must carry every hedge attempt id, cancellation must drop
+# queued jobs with a typed error and answer `late` after the reply
+# (including over the binary Cancel opcode), the cancel/reply race
+# property must conserve counters, and brownout must shed low before
+# normal before high with per-class counters.
+timeout 300 cargo test -q -p bagpred-serve --lib -- --exact \
+  client::tests::hedge_beats_a_slow_shard_and_the_pair_counts_once \
+  client::tests::hedged_line_inherits_the_remaining_deadline \
+  client::tests::exhausted_carries_hedge_attempt_ids \
+  engine::tests::hedge_pairs_count_the_served_attempt_exactly_once \
+  engine::tests::hedge_wins_after_a_cancelled_primary_and_counts_once \
+  engine::tests::cancelled_jobs_are_dropped_at_dequeue_with_a_typed_error \
+  engine::tests::cancel_after_reply_is_late_and_counted \
+  engine::tests::cancel_race_props::cancel_reply_races_always_answer_and_conserve \
+  engine::tests::brownout_sheds_low_before_normal_before_high \
+  server::tests::binary_cancel_opcode_answers_inline_and_late_after_the_reply \
+  metrics::tests::brownout_and_cancel_counters_track_per_class
+
 echo "== flat traversal: level-order bit-identity + edge cases (bounded at 300s) =="
 # The lane-parallel traversal invariants, run by name so they can never
 # be silently filtered out: the chunked level-order walk (and its
@@ -163,7 +186,7 @@ echo "== bench smoke + regression gate (vs committed BENCH_pipeline.json) =="
 # Few-iteration smoke run; `repro bench` exits non-zero when any
 # *_ns_per_record rate regresses past 2x the committed baseline.
 smoke_json="$(mktemp /tmp/bagpred_bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_json" "${fleet_json:-}" "${fleet_json2:-}"' EXIT
+trap 'rm -f "$smoke_json" "${fleet_json:-}" "${fleet_json2:-}" "${soak1:-}" "${soak2:-}"' EXIT
 ./target/release/repro bench --smoke --out "$smoke_json" \
   --baseline BENCH_pipeline.json --max-regression 2.0
 for key in schema smoke threads corpus_bags batch_records \
@@ -180,6 +203,8 @@ for key in schema smoke threads corpus_bags batch_records \
   serve_isolation_baseline_p99_us serve_isolation_sharded_p99_us \
   serve_isolation_unsharded_p99_us \
   serve_obs_outcome_roundtrip_us obs_outcome_record_ns \
+  serve_hedge_unhedged_p99_us serve_hedge_hedged_p99_us \
+  serve_hedge_p99_improvement serve_cancel_roundtrip_us \
   flat_simd_tree_preorder_ns_per_record flat_simd_tree_ns_per_record \
   flat_simd_tree_speedup flat_simd_forest_preorder_ns_per_record \
   flat_simd_forest_ns_per_record flat_simd_forest_speedup \
@@ -232,6 +257,44 @@ awk -v s="$smoke_flat" 'BEGIN { exit !(s >= 1.2) }' || {
   exit 1
 }
 echo "smoke chunked level-order forest speedup: ${smoke_flat}x (>= 1.2x floor)"
+
+# Hedged requests must cut the stalled-model p99 by >=2x on the
+# committed run (a 50ms every-50th stall that the adaptive-p95 hedge
+# routes around), and clearly help even on the few-sample smoke run,
+# whose coarse p99 quantile flatters the unhedged baseline.
+committed_hedge="$(sed -n 's/.*"serve_hedge_p99_improvement": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)"
+awk -v s="$committed_hedge" 'BEGIN { exit !(s >= 2.0) }' || {
+  echo "committed serve_hedge_p99_improvement is ${committed_hedge}x (gate: >= 2.0x)" >&2
+  exit 1
+}
+echo "committed hedged p99 improvement: ${committed_hedge}x (>= 2.0x)"
+smoke_hedge="$(sed -n 's/.*"serve_hedge_p99_improvement": \([0-9.]*\).*/\1/p' "$smoke_json")"
+awk -v s="$smoke_hedge" 'BEGIN { exit !(s >= 1.5) }' || {
+  echo "smoke serve_hedge_p99_improvement is ${smoke_hedge}x (floor: >= 1.5x)" >&2
+  exit 1
+}
+echo "smoke hedged p99 improvement: ${smoke_hedge}x (>= 1.5x floor)"
+
+echo "== chaos soak: fault storm + invariants + digest determinism (bounded at 300s) =="
+# Seeded storm (stalls, worker panics, cancel races, dropped and
+# duplicated replies) against a live server with hedging clients. The
+# run must hold its conservation invariants (exit 0), and two runs of
+# the same seed must produce byte-identical digests.
+soak1="$(mktemp /tmp/bagpred_soak_digest.XXXXXX.txt)"
+soak2="$(mktemp /tmp/bagpred_soak_digest.XXXXXX.txt)"
+timeout 120 ./target/release/repro soak --smoke --digest > "$soak1" 2> /dev/null
+timeout 120 ./target/release/repro soak --smoke --digest > "$soak2" 2> /dev/null
+grep -q 'invariants=pass' "$soak1" || {
+  echo "chaos soak digest does not report passing invariants" >&2
+  exit 1
+}
+cmp -s "$soak1" "$soak2" || {
+  echo "chaos soak digest is not deterministic for a fixed seed" >&2
+  exit 1
+}
+echo "chaos soak: invariants hold, digest deterministic ($(cat "$soak1"))"
+timeout 300 cargo test -q -p bagpred-experiments --lib -- --exact \
+  soak::tests::smoke_soak_holds_invariants_and_digest_is_deterministic
 
 echo "== fleet smoke + determinism + FFD optimality-gap gate (bounded at 300s) =="
 # Fixed-seed capacity-planning smoke: the report must carry the full

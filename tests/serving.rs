@@ -1415,6 +1415,8 @@ fn binary_wire_predictions_are_bit_identical_to_the_offline_predictor() {
                 model: Some(bootstrap::PAIR_MODEL.to_string()),
                 apps: vec![Workload::new(ba, na), Workload::new(bb, nb)],
                 deadline: None,
+                priority: bagpred::serve::Priority::Normal,
+                hedge_of: None,
             },
         );
         writer
